@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Ablation: breakeven-speedup sensitivity to the SoC bus bandwidth.
+ *
+ * Equation 1's only platform parameter is the offload bandwidth. This
+ * sweep shows where the crossover falls: at low bandwidth almost no
+ * function can break even; as bandwidth grows, candidate coverage
+ * approaches the calltree's hot fraction and breakeven speedups
+ * collapse toward 1.
+ */
+
+#include "bench_common.hh"
+#include "cdfg/cdfg.hh"
+#include "cdfg/partitioner.hh"
+#include "support/table.hh"
+
+using namespace sigil;
+using namespace sigil::bench;
+
+int
+main()
+{
+    figureHeader("Ablation",
+                 "candidate coverage vs SoC bus bandwidth (simsmall)");
+
+    const double bandwidths[] = {0.5e9, 1e9, 2e9, 4e9, 8e9, 16e9, 32e9,
+                                 64e9};
+
+    TextTable table;
+    std::vector<std::string> header = {"benchmark"};
+    for (double bw : bandwidths)
+        header.push_back(strformat("%.1fGB/s", bw / 1e9));
+    table.header(header);
+
+    for (const char *name :
+         {"blackscholes", "bodytrack", "canneal", "dedup",
+          "fluidanimate", "vips"}) {
+        const workloads::Workload *w = workloads::findWorkload(name);
+        RunOutput r =
+            runWorkload(*w, workloads::Scale::SimSmall, Mode::SigilReuse);
+        cdfg::Cdfg graph = cdfg::Cdfg::build(r.profile, r.cgProfile);
+
+        std::vector<std::string> row = {name};
+        for (double bw : bandwidths) {
+            cdfg::BreakevenParams params;
+            params.busBytesPerSec = bw;
+            cdfg::PartitionResult parts =
+                cdfg::Partitioner(params).partition(graph);
+            row.push_back(strformat("%.0f%%", 100.0 * parts.coverage));
+        }
+        table.addRow(row);
+    }
+    table.print();
+    return 0;
+}

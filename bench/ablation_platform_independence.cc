@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Ablation: platform (in)dependence of the two profile kinds.
+ *
+ * The paper's motivation (Section I): cache-based memory profiles
+ * depend on the platform's cache configuration, while Sigil's
+ * communication profile does not. This harness profiles the same
+ * workloads under three cache hierarchies; the Callgrind-side D1 miss
+ * counts move with the configuration, while the Sigil profile is
+ * bit-identical every time (verified with the structural differ).
+ */
+
+#include "cdfg/cdfg.hh"
+#include "cg/cg_tool.hh"
+#include "core/profile_diff.hh"
+#include "core/sigil_profiler.hh"
+#include "support/table.hh"
+#include "workloads/workload.hh"
+
+using namespace sigil;
+
+namespace {
+
+struct CacheRun
+{
+    std::uint64_t d1Misses = 0;
+    std::uint64_t llMisses = 0;
+    core::SigilProfile profile;
+};
+
+CacheRun
+runWithCaches(const workloads::Workload &w, const cg::CacheConfig &d1,
+              const cg::CacheConfig &ll)
+{
+    vg::Guest g(w.name);
+    cg::CgTool cg_tool(d1, ll);
+    core::SigilProfiler sigil_tool;
+    g.addTool(&cg_tool);
+    g.addTool(&sigil_tool);
+    w.run(g, workloads::Scale::SimSmall);
+    g.finish();
+
+    CacheRun out;
+    cg::CgProfile p = cg_tool.takeProfile();
+    for (const cg::CgRow &row : p.rows) {
+        out.d1Misses += row.self.d1Misses;
+        out.llMisses += row.self.llMisses;
+    }
+    out.profile = sigil_tool.takeProfile();
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("==============================================================\n");
+    std::printf("Ablation — platform independence: cache profile vs Sigil "
+                "profile\n");
+    std::printf("==============================================================\n");
+
+    const cg::CacheConfig configs[][2] = {
+        {{8 * 1024, 2, 64}, {256 * 1024, 8, 64}},       // small embedded
+        {{32 * 1024, 8, 64}, {8 * 1024 * 1024, 16, 64}}, // desktop
+        {{64 * 1024, 16, 64}, {32 * 1024 * 1024, 16, 64}}, // server
+    };
+    const char *config_names[] = {"8K/256K", "32K/8M", "64K/32M"};
+
+    TextTable table;
+    table.header({"benchmark", "cache_cfg", "D1_misses", "LL_misses",
+                  "sigil_profile"});
+    for (const char *name :
+         {"blackscholes", "canneal", "vips", "streamcluster"}) {
+        const workloads::Workload *w = workloads::findWorkload(name);
+        CacheRun baseline =
+            runWithCaches(*w, configs[0][0], configs[0][1]);
+        for (int c = 0; c < 3; ++c) {
+            CacheRun run = runWithCaches(*w, configs[c][0], configs[c][1]);
+            core::ProfileDiff diff =
+                core::diffProfiles(baseline.profile, run.profile);
+            table.addRow({c == 0 ? name : "", config_names[c],
+                          std::to_string(run.d1Misses),
+                          std::to_string(run.llMisses),
+                          diff.identical() ? "identical" : "DIFFERS"});
+        }
+    }
+    table.print();
+    std::printf("\nMiss counts change with the hierarchy; the Sigil\n"
+                "communication profile does not — it is collected once\n"
+                "and reused across platforms, as the paper argues.\n");
+    return 0;
+}

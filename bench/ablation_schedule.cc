@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Extension of the critical-path study (Section IV-C's closing
+ * discussion): mapping dependency chains onto a fixed number of
+ * scheduling slots (cores) with a greedy list scheduler. Speedup
+ * saturates at each workload's theoretical function-level parallelism
+ * from Figure 13 — the developer-facing version of that limit.
+ */
+
+#include "bench_common.hh"
+#include "critpath/chain_stats.hh"
+#include "critpath/critical_path.hh"
+#include "support/table.hh"
+
+using namespace sigil;
+using namespace sigil::bench;
+
+int
+main()
+{
+    figureHeader("Ablation",
+                 "greedy schedule speedup vs core count (simsmall)");
+
+    const std::vector<unsigned> cores = {1, 2, 4, 8, 16, 32};
+    TextTable table;
+    std::vector<std::string> header = {"benchmark"};
+    for (unsigned c : cores)
+        header.push_back(strformat("%uc", c));
+    header.push_back("limit");
+    table.header(header);
+
+    for (const char *name :
+         {"blackscholes", "canneal", "dedup", "fluidanimate",
+          "streamcluster", "swaptions", "libquantum"}) {
+        const workloads::Workload *w = workloads::findWorkload(name);
+        RunOutput r = runWorkload(*w, workloads::Scale::SimSmall,
+                                  Mode::SigilEvents);
+        std::vector<double> speedups =
+            critpath::scheduleSpeedups(r.events, cores);
+        critpath::CriticalPathResult cp = critpath::analyze(r.events);
+
+        std::vector<std::string> row = {name};
+        for (double s : speedups)
+            row.push_back(strformat("%.2f", s));
+        row.push_back(strformat("%.2f", cp.maxParallelism));
+        table.addRow(row);
+    }
+    table.print();
+
+    std::printf("\nChain-structure summary:\n");
+    TextTable stats_table;
+    stats_table.header({"benchmark", "segments", "roots", "leaves",
+                        "edges", "avg_parallelism"});
+    for (const char *name : {"streamcluster", "fluidanimate",
+                             "libquantum"}) {
+        const workloads::Workload *w = workloads::findWorkload(name);
+        RunOutput r = runWorkload(*w, workloads::Scale::SimSmall,
+                                  Mode::SigilEvents);
+        critpath::ChainStats s = critpath::chainStats(r.events);
+        stats_table.addRow({name, std::to_string(s.segments),
+                            std::to_string(s.roots),
+                            std::to_string(s.leaves),
+                            std::to_string(s.edges),
+                            strformat("%.2f", s.avgParallelism)});
+    }
+    stats_table.print();
+    return 0;
+}

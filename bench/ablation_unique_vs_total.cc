@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Ablation: unique vs. total communication in the partitioning model.
+ *
+ * The paper's central methodological claim against prior profilers
+ * (Gremzow; Curreri et al.) is that total byte counts overstate the
+ * true cost of offloading — an accelerator with internal buffers pays
+ * only for unique bytes. This ablation partitions every benchmark
+ * twice, weighting subtree boundaries by unique bytes (Sigil) and by
+ * total bytes (prior work), and reports how the candidate set degrades:
+ * breakeven speedups inflate and communication-heavy candidates drop
+ * out entirely.
+ */
+
+#include "bench_common.hh"
+#include "cdfg/cdfg.hh"
+#include "cdfg/partitioner.hh"
+#include "support/table.hh"
+
+using namespace sigil;
+using namespace sigil::bench;
+
+int
+main()
+{
+    figureHeader("Ablation",
+                 "partitioning with unique vs total communication "
+                 "(simsmall)");
+
+    TextTable table;
+    table.header({"benchmark", "uniq_cand", "uniq_cov_%", "uniq_best_be",
+                  "total_cand", "total_cov_%", "total_best_be"});
+    for (const workloads::Workload &w : workloads::parsecWorkloads()) {
+        RunOutput r =
+            runWorkload(w, workloads::Scale::SimSmall, Mode::SigilReuse);
+        cdfg::Cdfg graph = cdfg::Cdfg::build(r.profile, r.cgProfile);
+        cdfg::Partitioner partitioner;
+
+        cdfg::PartitionResult unique = partitioner.partition(graph);
+        graph.reweightBoundaries(cdfg::BoundaryWeight::Total);
+        cdfg::PartitionResult total = partitioner.partition(graph);
+
+        auto best = [](const cdfg::PartitionResult &p) {
+            return p.candidates.empty()
+                       ? std::string("-")
+                       : strformat("%.3f",
+                                   p.candidates.front().breakevenSpeedup);
+        };
+        table.addRow({w.name, std::to_string(unique.candidates.size()),
+                      strformat("%.1f", 100.0 * unique.coverage),
+                      best(unique),
+                      std::to_string(total.candidates.size()),
+                      strformat("%.1f", 100.0 * total.coverage),
+                      best(total)});
+    }
+    table.print();
+    std::printf(
+        "\nTotal-byte weighting (prior work) inflates offload cost:\n"
+        "fewer viable candidates and lower coverage than Sigil's\n"
+        "unique-byte weighting wherever data is re-read.\n");
+    return 0;
+}

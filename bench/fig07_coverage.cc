@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 7: normalized execution-time coverage of the leaf nodes of the
+ * trimmed calltree, per benchmark.
+ *
+ * The paper's shape: most applications have >50% of their execution in
+ * the selected candidate functions, with canneal, ferret, and swaptions
+ * the low-coverage exceptions (fewer hot-code regions).
+ */
+
+#include "bench_common.hh"
+#include "cdfg/cdfg.hh"
+#include "cdfg/partitioner.hh"
+#include "support/table.hh"
+
+using namespace sigil;
+using namespace sigil::bench;
+
+int
+main()
+{
+    figureHeader("Figure 7",
+                 "coverage of trimmed-calltree leaf nodes (candidate "
+                 "functions), simsmall");
+
+    TextTable table;
+    table.header({"benchmark", "coverage_%", "rest_%", "candidates"});
+    for (const workloads::Workload &w : workloads::parsecWorkloads()) {
+        RunOutput r =
+            runWorkload(w, workloads::Scale::SimSmall, Mode::SigilReuse);
+        cdfg::Cdfg graph = cdfg::Cdfg::build(r.profile, r.cgProfile);
+        cdfg::Partitioner partitioner;
+        cdfg::PartitionResult parts = partitioner.partition(graph);
+        table.addRow({w.name, strformat("%.1f", 100.0 * parts.coverage),
+                      strformat("%.1f", 100.0 * (1.0 - parts.coverage)),
+                      std::to_string(parts.candidates.size())});
+    }
+    table.print();
+    return 0;
+}

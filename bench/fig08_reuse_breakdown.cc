@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 8: breakdown of data bytes by re-use count {0, 1-9, >9} for
+ * the PARSEC benchmarks (simsmall).
+ *
+ * The paper's shape: most intermediate data is consumed without ever
+ * being re-read (the zero bucket dominates for most benchmarks), very
+ * little data is re-used more than 9 times, and blackscholes /
+ * streamcluster show especially limited re-use.
+ */
+
+#include "bench_common.hh"
+#include "support/table.hh"
+
+using namespace sigil;
+using namespace sigil::bench;
+
+int
+main()
+{
+    figureHeader("Figure 8",
+                 "data bytes by re-use count within each consuming "
+                 "call (simsmall)");
+
+    // The paper notes simmedium/simlarge distributions are "almost
+    // identical" to simsmall; the medium columns check that here.
+    TextTable table;
+    table.header({"benchmark", "small_0_%", "small_1-9_%", "small_>9_%",
+                  "medium_0_%", "medium_1-9_%", "medium_>9_%"});
+    for (const workloads::Workload &w : workloads::parsecWorkloads()) {
+        RunOutput s =
+            runWorkload(w, workloads::Scale::SimSmall, Mode::SigilReuse);
+        RunOutput m = runWorkload(w, workloads::Scale::SimMedium,
+                                  Mode::SigilReuse);
+        const BoundsHistogram &hs = s.profile.unitReuseBreakdown;
+        const BoundsHistogram &hm = m.profile.unitReuseBreakdown;
+        table.addRow({w.name,
+                      strformat("%.1f", 100.0 * hs.binFraction(0)),
+                      strformat("%.1f", 100.0 * hs.binFraction(1)),
+                      strformat("%.1f", 100.0 * hs.binFraction(2)),
+                      strformat("%.1f", 100.0 * hm.binFraction(0)),
+                      strformat("%.1f", 100.0 * hm.binFraction(1)),
+                      strformat("%.1f", 100.0 * hm.binFraction(2))});
+    }
+    table.print();
+    return 0;
+}

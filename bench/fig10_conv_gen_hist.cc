@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 10: re-use-lifetime distribution of "conv_gen" in vips
+ * (bin size 1000, log-scale counts in the paper).
+ *
+ * The shape: a central peak away from zero plus a long tail — many data
+ * elements live across a K-row convolution window, i.e. bad temporal
+ * locality whose performance will be set by cache size.
+ */
+
+#include "bench_common.hh"
+#include "support/table.hh"
+
+using namespace sigil;
+using namespace sigil::bench;
+
+int
+main()
+{
+    figureHeader("Figure 10",
+                 "re-use lifetime histogram of conv_gen(1) in vips "
+                 "(bin size 1000 ops)");
+
+    const workloads::Workload *vips = workloads::findWorkload("vips");
+    RunOutput r =
+        runWorkload(*vips, workloads::Scale::SimSmall, Mode::SigilReuse);
+    const core::SigilRow *conv = r.profile.findByDisplayName("conv_gen(1)");
+    if (conv == nullptr) {
+        std::printf("conv_gen(1) not found\n");
+        return 1;
+    }
+    const LinearHistogram &h = conv->agg.lifetimeHist;
+    TextTable table;
+    table.header({"lifetime_bin", "bytes", "bar"});
+    for (std::size_t i = 0; i < h.numBins(); ++i) {
+        if (h.binCount(i) == 0)
+            continue;
+        // Log-scale bar, as the paper's y-axis is logarithmic.
+        int stars = 1;
+        for (std::uint64_t v = h.binCount(i); v > 1; v /= 4)
+            ++stars;
+        table.addRow({strformat("%zu", i * h.binWidth()),
+                      std::to_string(h.binCount(i)),
+                      std::string(static_cast<std::size_t>(stars), '*')});
+    }
+    table.print();
+    std::printf("mean lifetime: %.0f ops, max: %llu, reused bytes: %llu\n",
+                h.mean(), static_cast<unsigned long long>(h.maxValue()),
+                static_cast<unsigned long long>(h.totalCount()));
+    return 0;
+}

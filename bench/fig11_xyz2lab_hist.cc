@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 11: re-use-lifetime distribution of "imb_XYZ2Lab" in vips
+ * (bin size 1000).
+ *
+ * The shape: a dominant peak in the first bin and a short tail — the
+ * conversion re-reads each pixel immediately, i.e. strong temporal
+ * locality.
+ */
+
+#include "bench_common.hh"
+#include "support/table.hh"
+
+using namespace sigil;
+using namespace sigil::bench;
+
+int
+main()
+{
+    figureHeader("Figure 11",
+                 "re-use lifetime histogram of imb_XYZ2Lab in vips "
+                 "(bin size 1000 ops)");
+
+    const workloads::Workload *vips = workloads::findWorkload("vips");
+    RunOutput r =
+        runWorkload(*vips, workloads::Scale::SimSmall, Mode::SigilReuse);
+    auto rows = r.profile.findByFunction("imb_XYZ2Lab");
+    if (rows.empty()) {
+        std::printf("imb_XYZ2Lab not found\n");
+        return 1;
+    }
+    const LinearHistogram &h = rows[0]->agg.lifetimeHist;
+    TextTable table;
+    table.header({"lifetime_bin", "bytes", "bar"});
+    for (std::size_t i = 0; i < std::max<std::size_t>(h.numBins(), 1);
+         ++i) {
+        if (h.binCount(i) == 0)
+            continue;
+        int stars = 1;
+        for (std::uint64_t v = h.binCount(i); v > 1; v /= 4)
+            ++stars;
+        table.addRow({strformat("%zu", i * h.binWidth()),
+                      std::to_string(h.binCount(i)),
+                      std::string(static_cast<std::size_t>(stars), '*')});
+    }
+    table.print();
+    std::printf("mean lifetime: %.0f ops, max: %llu, reused bytes: %llu\n",
+                h.mean(), static_cast<unsigned long long>(h.maxValue()),
+                static_cast<unsigned long long>(h.totalCount()));
+    return 0;
+}

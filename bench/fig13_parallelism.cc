@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 13: maximum theoretical function-level parallelism (serial
+ * length / critical path) for PARSEC serial workloads and SPEC
+ * libquantum.
+ *
+ * The paper's shape: streamcluster and libquantum sit at the high end
+ * (many short dependency chains), fluidanimate at the bottom (a single
+ * dominant function, ComputeForces, serializes the program). The
+ * critical-path function chains are printed for the two benchmarks the
+ * paper discusses.
+ */
+
+#include "bench_common.hh"
+#include "critpath/critical_path.hh"
+#include "support/table.hh"
+
+using namespace sigil;
+using namespace sigil::bench;
+
+int
+main()
+{
+    figureHeader("Figure 13",
+                 "maximum speedup from function-level parallelism "
+                 "(simsmall)");
+
+    TextTable table;
+    table.header({"benchmark", "serial_ops", "critical_ops",
+                  "max_parallelism"});
+    for (const workloads::Workload &w : workloads::allWorkloads()) {
+        RunOutput r = runWorkload(w, workloads::Scale::SimSmall,
+                                  Mode::SigilEvents);
+        critpath::CriticalPathResult cp = critpath::analyze(r.events);
+        table.addRow(
+            {w.name, std::to_string(cp.serialLength),
+             std::to_string(cp.criticalPathLength),
+             strformat("%.2f", cp.maxParallelism)});
+
+        if (w.name == "streamcluster" || w.name == "fluidanimate") {
+            std::printf("critical path of %s (leaf to main):\n  ",
+                        w.name.c_str());
+            auto ctxs = cp.pathContexts();
+            std::size_t shown = 0;
+            for (vg::ContextId ctx : ctxs) {
+                if (shown++ >= 10) {
+                    std::printf(" -> ...");
+                    break;
+                }
+                std::printf("%s%s", shown > 1 ? " -> " : "",
+                            r.profile.row(ctx).displayName.c_str());
+            }
+            std::printf("\n");
+        }
+    }
+    table.print();
+    return 0;
+}

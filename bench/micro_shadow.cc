@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Microbenchmarks of the tool-stack hot paths (google-benchmark):
+ * shadow-memory lookup, read classification, cache simulation, and
+ * full event dispatch. These quantify the per-event costs behind the
+ * Figure 4/5 slowdowns.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "cg/cg_tool.hh"
+#include "core/sigil_profiler.hh"
+#include "shadow/reuse_distance.hh"
+#include "shadow/shadow_memory.hh"
+#include "support/rng.hh"
+#include "vg/guest.hh"
+#include "vg/trace_io.hh"
+
+using namespace sigil;
+
+namespace {
+
+void
+BM_ShadowLookupSequential(benchmark::State &state)
+{
+    shadow::ShadowMemory sm;
+    std::uint64_t unit = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sm.lookup(unit));
+        unit = (unit + 1) & 0xfffff;
+    }
+}
+BENCHMARK(BM_ShadowLookupSequential);
+
+void
+BM_ShadowLookupRandom(benchmark::State &state)
+{
+    shadow::ShadowMemory sm;
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sm.lookup(rng.nextBounded(1 << 20)));
+}
+BENCHMARK(BM_ShadowLookupRandom);
+
+void
+BM_ShadowLookupWithFifoLimit(benchmark::State &state)
+{
+    shadow::ShadowMemory::Config cfg;
+    cfg.maxChunks = 16;
+    shadow::ShadowMemory sm(cfg);
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sm.lookup(rng.nextBounded(1 << 20)));
+}
+BENCHMARK(BM_ShadowLookupWithFifoLimit);
+
+void
+BM_CacheSimAccess(benchmark::State &state)
+{
+    cg::CacheSim sim;
+    Rng rng(2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim.access(rng.nextBounded(1 << 22), 8));
+}
+BENCHMARK(BM_CacheSimAccess);
+
+/** Full stack: one traced read through cg + Sigil. */
+void
+BM_FullReadDispatch(benchmark::State &state)
+{
+    vg::Guest g("bench");
+    cg::CgTool cg_tool;
+    core::SigilProfiler sigil_tool;
+    g.addTool(&cg_tool);
+    g.addTool(&sigil_tool);
+    g.enter("main");
+    g.write(0x10000, 8);
+    Rng rng(3);
+    for (auto _ : state)
+        g.read(0x10000 + rng.nextBounded(4096), 8);
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FullReadDispatch);
+
+/** Baseline: the same read with no tools attached ("native"). */
+void
+BM_NativeReadDispatch(benchmark::State &state)
+{
+    vg::Guest g("bench");
+    g.enter("main");
+    Rng rng(3);
+    for (auto _ : state)
+        g.read(0x10000 + rng.nextBounded(4096), 8);
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_NativeReadDispatch);
+
+void
+BM_FunctionEnterLeave(benchmark::State &state)
+{
+    vg::Guest g("bench");
+    cg::CgTool cg_tool;
+    core::SigilProfiler sigil_tool;
+    g.addTool(&cg_tool);
+    g.addTool(&sigil_tool);
+    g.enter("main");
+    vg::FunctionId fn = g.fn("callee");
+    for (auto _ : state) {
+        g.enter(fn);
+        g.leave();
+    }
+}
+BENCHMARK(BM_FunctionEnterLeave);
+
+void
+BM_ReuseDistanceAccess(benchmark::State &state)
+{
+    shadow::ReuseDistanceTracker tracker;
+    Rng rng(5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tracker.access(rng.nextBounded(4096)));
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ReuseDistanceAccess);
+
+void
+BM_TraceReplayThroughput(benchmark::State &state)
+{
+    // Record a fixed synthetic trace once; replay it per iteration.
+    std::stringstream trace;
+    std::uint64_t events = 0;
+    {
+        vg::Guest g("bench");
+        vg::TraceRecorder recorder(trace);
+        g.addTool(&recorder);
+        Rng rng(6);
+        g.enter("main");
+        for (int i = 0; i < 20000; ++i) {
+            if ((i & 15) == 0) {
+                g.enter("fn");
+                g.iop(4);
+                g.leave();
+            }
+            g.write(0x10000 + rng.nextBounded(4096), 8);
+            g.read(0x10000 + rng.nextBounded(4096), 8);
+        }
+        g.leave();
+        g.finish();
+        events = recorder.eventsWritten();
+    }
+    std::string text = trace.str();
+    for (auto _ : state) {
+        std::stringstream in(text);
+        vg::Guest g2("bench");
+        core::SigilProfiler prof;
+        g2.addTool(&prof);
+        benchmark::DoNotOptimize(vg::replayTrace(in, g2));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * events));
+}
+BENCHMARK(BM_TraceReplayThroughput);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Table II: breakeven speedup for the top 5 candidate functions of
+ * blackscholes, bodytrack, canneal, and dedup (simsmall).
+ *
+ * The shape to reproduce: the best candidates sit just above a
+ * breakeven speedup of 1 (tiny communication relative to compute), and
+ * they are the compute kernels — math-library leaves for blackscholes,
+ * image kernels for bodytrack, netlist helpers for canneal, and the
+ * hashing/compression leaves for dedup.
+ */
+
+#include "bench_common.hh"
+#include "cdfg/cdfg.hh"
+#include "cdfg/partitioner.hh"
+#include "support/table.hh"
+
+using namespace sigil;
+using namespace sigil::bench;
+
+int
+main()
+{
+    figureHeader("Table II",
+                 "breakeven speedup, top 5 candidates per benchmark "
+                 "(simsmall)");
+
+    for (const char *name :
+         {"blackscholes", "bodytrack", "canneal", "dedup"}) {
+        const workloads::Workload *w = workloads::findWorkload(name);
+        RunOutput r =
+            runWorkload(*w, workloads::Scale::SimSmall, Mode::SigilReuse);
+        cdfg::Cdfg graph = cdfg::Cdfg::build(r.profile, r.cgProfile);
+        cdfg::PartitionResult parts =
+            cdfg::Partitioner().partition(graph);
+
+        std::printf("\n%s:\n", name);
+        TextTable table;
+        table.header({"function", "S(breakeven)", "coverage_%"});
+        for (const cdfg::Candidate &c : parts.top(5)) {
+            table.addRow({c.displayName,
+                          strformat("%.3f", c.breakevenSpeedup),
+                          strformat("%.2f", 100.0 * c.coverage)});
+        }
+        table.print();
+    }
+    return 0;
+}

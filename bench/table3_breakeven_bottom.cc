@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Table III: breakeven speedup for the worst 5 candidate functions of
+ * blackscholes, bodytrack, canneal, and dedup (simsmall).
+ *
+ * The shape to reproduce: the worst candidates are utility functions —
+ * constructors, destructors, allocator and copy routines — with low
+ * computational intensity and correspondingly high breakeven speedups.
+ */
+
+#include "bench_common.hh"
+#include "cdfg/cdfg.hh"
+#include "cdfg/partitioner.hh"
+#include "support/table.hh"
+
+using namespace sigil;
+using namespace sigil::bench;
+
+int
+main()
+{
+    figureHeader("Table III",
+                 "breakeven speedup, worst 5 candidates per benchmark "
+                 "(simsmall)");
+
+    for (const char *name :
+         {"blackscholes", "bodytrack", "canneal", "dedup"}) {
+        const workloads::Workload *w = workloads::findWorkload(name);
+        RunOutput r =
+            runWorkload(*w, workloads::Scale::SimSmall, Mode::SigilReuse);
+        cdfg::Cdfg graph = cdfg::Cdfg::build(r.profile, r.cgProfile);
+        cdfg::PartitionResult parts =
+            cdfg::Partitioner().partition(graph);
+
+        std::printf("\n%s (%zu candidates, %zu non-viable leaves):\n",
+                    name, parts.candidates.size(), parts.nonViable);
+        TextTable table;
+        table.header({"function", "S(breakeven)", "coverage_%"});
+        for (const cdfg::Candidate &c : parts.bottom(5)) {
+            table.addRow({c.displayName,
+                          strformat("%.3f", c.breakevenSpeedup),
+                          strformat("%.2f", 100.0 * c.coverage)});
+        }
+        table.print();
+    }
+    return 0;
+}

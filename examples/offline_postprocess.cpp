@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The paper's release model, end to end: profile once, write everything
+ * to disk (raw event trace, aggregate profile, event file), then run
+ * every analysis purely from the files — the instrumented binary never
+ * runs again. Finally, replay the raw trace into a second profiler
+ * configuration (line granularity) to show one collection feeding a
+ * different analysis mode.
+ *
+ * Usage: example_offline_postprocess [workload] [output_dir]
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "cdfg/cdfg.hh"
+#include "cdfg/partitioner.hh"
+#include "cg/cg_tool.hh"
+#include "core/profile_diff.hh"
+#include "core/profile_io.hh"
+#include "core/sigil_profiler.hh"
+#include "critpath/critical_path.hh"
+#include "support/logging.hh"
+#include "vg/trace_io.hh"
+#include "workloads/workload.hh"
+
+using namespace sigil;
+
+int
+main(int argc, char **argv)
+{
+    const char *name = argc >= 2 ? argv[1] : "dedup";
+    std::string dir = argc >= 3 ? argv[2] : "/tmp/sigil_out";
+    const workloads::Workload *w = workloads::findWorkload(name);
+    if (w == nullptr) {
+        std::fprintf(stderr, "unknown workload '%s'\n", name);
+        return 1;
+    }
+
+    std::string trace_path = dir + "/" + w->name + ".trace";
+    std::string profile_path = dir + "/" + w->name + ".profile";
+    std::string events_path = dir + "/" + w->name + ".events";
+
+    // Phase 1: the one expensive instrumented run.
+    {
+        std::ofstream trace(trace_path);
+        if (!trace)
+            fatal("cannot write to %s (create the directory first)",
+                  trace_path.c_str());
+        vg::Guest guest(w->name);
+        vg::TraceRecorder recorder(trace);
+        core::SigilConfig cfg;
+        cfg.collectReuse = true;
+        cfg.collectEvents = true;
+        core::SigilProfiler profiler(cfg);
+        guest.addTool(&recorder);
+        guest.addTool(&profiler);
+        w->run(guest, workloads::Scale::SimSmall);
+        guest.finish();
+        core::writeProfileFile(profile_path, profiler.takeProfile());
+        core::writeEventsFile(events_path, profiler.events());
+        std::printf("collected: %llu raw events\n",
+                    static_cast<unsigned long long>(
+                        recorder.eventsWritten()));
+        std::printf("  %s\n  %s\n  %s\n", trace_path.c_str(),
+                    profile_path.c_str(), events_path.c_str());
+    }
+
+    // Phase 2: analyses purely from the files.
+    {
+        core::SigilProfile profile =
+            core::readProfileFile(profile_path);
+        cdfg::Cdfg graph = cdfg::Cdfg::build(profile);
+        cdfg::PartitionResult parts =
+            cdfg::Partitioner().partition(graph);
+        std::printf("\nfrom %s: %zu accelerator candidates, %.1f%% "
+                    "coverage\n",
+                    profile_path.c_str(), parts.candidates.size(),
+                    100.0 * parts.coverage);
+        for (const cdfg::Candidate &c : parts.top(3)) {
+            std::printf("  %-24s S_be=%.3f\n", c.displayName.c_str(),
+                        c.breakevenSpeedup);
+        }
+
+        core::EventTrace events = core::readEventsFile(events_path);
+        critpath::CriticalPathResult cp = critpath::analyze(events);
+        std::printf("\nfrom %s: max function-level parallelism %.2fx\n",
+                    events_path.c_str(), cp.maxParallelism);
+    }
+
+    // Phase 3: replay the raw trace into a different profiler mode.
+    {
+        vg::Guest guest(w->name);
+        core::SigilConfig cfg;
+        cfg.granularityShift = 6; // line mode this time
+        core::SigilProfiler profiler(cfg);
+        guest.addTool(&profiler);
+        std::uint64_t events = vg::replayTraceFile(trace_path, guest);
+        core::SigilProfile lines = profiler.takeProfile();
+        std::printf("\nreplayed %llu events in 64B-line mode: line "
+                    "re-use breakdown\n",
+                    static_cast<unsigned long long>(events));
+        const BoundsHistogram &h = lines.lineReuseBreakdown;
+        for (std::size_t i = 0; i < h.numBins(); ++i) {
+            std::printf("  %-7s %5.1f%%\n", h.binLabel(i).c_str(),
+                        100.0 * h.binFraction(i));
+        }
+    }
+    return 0;
+}

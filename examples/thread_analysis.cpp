@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Multi-threaded communication analysis: profile the two threaded
+ * workloads (fork-join blackscholes, pipeline dedup) and show what the
+ * thread-aware profiler adds — the thread-to-thread matrix, the
+ * inter-thread share per function, and the effect of barriers on the
+ * dependency chains. The paper's serial scope stops at function-level
+ * entities; this is its "threads as communicating entities" future
+ * work made concrete.
+ *
+ * Usage: example_thread_analysis [blackscholes_parallel|dedup_parallel]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/report.hh"
+#include "core/sigil_profiler.hh"
+#include "critpath/chain_stats.hh"
+#include "critpath/critical_path.hh"
+#include "support/table.hh"
+#include "workloads/workload.hh"
+
+using namespace sigil;
+
+namespace {
+
+void
+analyze(const char *name)
+{
+    const workloads::Workload *w = workloads::findWorkload(name);
+    if (w == nullptr) {
+        std::fprintf(stderr, "unknown workload '%s'\n", name);
+        std::exit(1);
+    }
+
+    vg::Guest guest(w->name);
+    core::SigilConfig cfg;
+    cfg.collectEvents = true;
+    core::SigilProfiler profiler(cfg);
+    guest.addTool(&profiler);
+    w->run(guest, workloads::Scale::SimSmall);
+    guest.finish();
+
+    core::SigilProfile profile = profiler.takeProfile();
+    std::printf("== %s: %zu guest threads ==\n\n", name,
+                guest.numThreads());
+    std::printf("%s\n", core::commSummary(profile).c_str());
+
+    std::printf("thread matrix (unique / re-read bytes):\n");
+    TextTable matrix;
+    matrix.header({"", "flow", "unique_B", "re-read_B"});
+    for (const core::ThreadCommEdge &e : profile.threadEdges) {
+        matrix.addRow(
+            {"", strformat("t%u -> t%u", e.producer, e.consumer),
+             std::to_string(e.uniqueBytes),
+             std::to_string(e.nonuniqueBytes)});
+    }
+    matrix.print();
+
+    critpath::CriticalPathResult cp = critpath::analyze(profiler.events());
+    critpath::ChainStats stats = critpath::chainStats(profiler.events());
+    std::printf("\ndependency graph: %llu segments, %llu roots, "
+                "%llu leaves\n",
+                static_cast<unsigned long long>(stats.segments),
+                static_cast<unsigned long long>(stats.roots),
+                static_cast<unsigned long long>(stats.leaves));
+    std::printf("parallelism limit: %.2fx (serial %llu ops / critical "
+                "%llu ops)\n\n",
+                cp.maxParallelism,
+                static_cast<unsigned long long>(cp.serialLength),
+                static_cast<unsigned long long>(cp.criticalPathLength));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc >= 2) {
+        analyze(argv[1]);
+        return 0;
+    }
+    analyze("blackscholes_parallel");
+    analyze("dedup_parallel");
+    std::printf(
+        "The fork-join workload distributes input from the main thread\n"
+        "and reduces tiny partial sums back; the pipeline moves every\n"
+        "payload byte across each stage boundary. A shared cache or NoC\n"
+        "sees fundamentally different traffic for the same 'dedup'.\n");
+    return 0;
+}

@@ -1,0 +1,153 @@
+#include "cdfg.hh"
+
+#include "core/comm_stats.hh"
+#include "support/logging.hh"
+
+namespace sigil::cdfg {
+
+Cdfg
+Cdfg::build(const core::SigilProfile &sigil, const cg::CgProfile &cg)
+{
+    if (cg.rows.size() != sigil.rows.size()) {
+        fatal("Cdfg::build: profile size mismatch (%zu sigil vs %zu cg "
+              "contexts) — snapshot both tools from one run",
+              sigil.rows.size(), cg.rows.size());
+    }
+    Cdfg g = build(sigil);
+    for (std::size_t i = 0; i < cg.rows.size(); ++i)
+        g.nodes_[i].selfCycles = cg.rows[i].self.cycleEstimate();
+    g.computeInclusive();
+    g.computeBoundaries();
+    return g;
+}
+
+Cdfg
+Cdfg::build(const core::SigilProfile &sigil)
+{
+    Cdfg g;
+    g.nodes_.resize(sigil.rows.size());
+    for (std::size_t i = 0; i < sigil.rows.size(); ++i) {
+        const core::SigilRow &r = sigil.rows[i];
+        CdfgNode &n = g.nodes_[i];
+        n.ctx = r.ctx;
+        n.parent = r.parent;
+        n.fnName = r.fnName;
+        n.displayName = r.displayName;
+        n.path = r.path;
+        n.calls = r.agg.calls;
+        n.selfOps = r.agg.iops + r.agg.flops;
+        // Without a Callgrind profile, estimated cycles default to a
+        // flat cost per op and per byte moved.
+        n.selfCycles = n.selfOps + r.agg.readBytes + r.agg.writeBytes;
+        if (r.parent != vg::kInvalidContext) {
+            if (r.parent >= r.ctx)
+                panic("Cdfg::build: context %d has out-of-order parent",
+                      r.ctx);
+            g.nodes_[static_cast<std::size_t>(r.parent)]
+                .children.push_back(r.ctx);
+            n.depth =
+                g.nodes_[static_cast<std::size_t>(r.parent)].depth + 1;
+        } else {
+            g.roots_.push_back(r.ctx);
+        }
+    }
+    for (const core::CommEdge &e : sigil.edges) {
+        CdfgEdge edge;
+        edge.producer = e.producer;
+        edge.consumer = e.consumer;
+        edge.uniqueBytes = e.uniqueBytes;
+        edge.nonuniqueBytes = e.nonuniqueBytes;
+        g.edges_.push_back(edge);
+    }
+    g.computeInclusive();
+    g.computeBoundaries();
+    return g;
+}
+
+const CdfgNode &
+Cdfg::node(vg::ContextId ctx) const
+{
+    if (ctx < 0 || static_cast<std::size_t>(ctx) >= nodes_.size())
+        panic("Cdfg::node: bad context %d", ctx);
+    return nodes_[static_cast<std::size_t>(ctx)];
+}
+
+bool
+Cdfg::isAncestorOrSelf(vg::ContextId anc, vg::ContextId ctx) const
+{
+    if (anc < 0 || ctx < 0)
+        return false;
+    for (vg::ContextId a = ctx; a != vg::kInvalidContext;
+         a = node(a).parent) {
+        if (a == anc)
+            return true;
+    }
+    return false;
+}
+
+void
+Cdfg::computeInclusive()
+{
+    for (CdfgNode &n : nodes_) {
+        n.inclOps = n.selfOps;
+        n.inclCycles = n.selfCycles;
+    }
+    for (std::size_t i = nodes_.size(); i-- > 0;) {
+        CdfgNode &n = nodes_[i];
+        if (n.parent == vg::kInvalidContext)
+            continue;
+        CdfgNode &p = nodes_[static_cast<std::size_t>(n.parent)];
+        p.inclOps += n.inclOps;
+        p.inclCycles += n.inclCycles;
+    }
+    totalCycles_ = 0;
+    totalOps_ = 0;
+    for (vg::ContextId r : roots_) {
+        totalCycles_ += node(r).inclCycles;
+        totalOps_ += node(r).inclOps;
+    }
+}
+
+void
+Cdfg::computeBoundaries(BoundaryWeight weight)
+{
+    for (CdfgNode &n : nodes_) {
+        n.boundaryInBytes = 0;
+        n.boundaryOutBytes = 0;
+    }
+    // An edge p→c crosses the boundary of the box around subtree(r)
+    // exactly when r covers one endpoint but not the other. The set of
+    // r covering an endpoint x is x and its ancestors, so walk both
+    // ancestor chains up to the fork (their common suffix contains both
+    // endpoints and sees the edge as internal).
+    for (const CdfgEdge &e : edges_) {
+        std::uint64_t bytes = e.uniqueBytes;
+        if (weight == BoundaryWeight::Total)
+            bytes += e.nonuniqueBytes;
+        // Ancestors of the consumer not shared with the producer see
+        // the edge as inbound; producer-only ancestors see it as
+        // outbound.
+        for (vg::ContextId a = e.consumer; a != vg::kInvalidContext;
+             a = node(a).parent) {
+            if (isAncestorOrSelf(a, e.producer))
+                break;
+            nodes_[static_cast<std::size_t>(a)].boundaryInBytes += bytes;
+        }
+        if (e.producer < 0)
+            continue; // program input has no node
+        for (vg::ContextId a = e.producer; a != vg::kInvalidContext;
+             a = node(a).parent) {
+            if (isAncestorOrSelf(a, e.consumer))
+                break;
+            nodes_[static_cast<std::size_t>(a)].boundaryOutBytes += bytes;
+        }
+    }
+}
+
+void
+Cdfg::reweightBoundaries(BoundaryWeight weight)
+{
+    computeBoundaries(weight);
+}
+
+} // namespace sigil::cdfg

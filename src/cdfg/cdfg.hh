@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Control data flow graph: a calltree with data-dependency edges
+ * (Section II-C1 of the paper).
+ *
+ * Nodes are calling contexts; call edges come from the context tree and
+ * dependency edges from Sigil's producer→consumer communication matrix,
+ * weighted by unique bytes (the true input set — an accelerator with
+ * internal buffers never pays for non-unique re-fetches).
+ *
+ * For every node the graph precomputes the quantities needed to "draw a
+ * box" around the node's entire subtree: inclusive computation
+ * (operations and estimated cycles) and the unique bytes crossing the
+ * subtree boundary inward and outward. Edges internal to the box are
+ * discarded, exactly as in Figure 2 of the paper.
+ */
+
+#ifndef SIGIL_CDFG_CDFG_HH
+#define SIGIL_CDFG_CDFG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cg/cg_profile.hh"
+#include "core/profile.hh"
+#include "vg/types.hh"
+
+namespace sigil::cdfg {
+
+/** One node of the control data flow graph. */
+struct CdfgNode
+{
+    vg::ContextId ctx = vg::kInvalidContext;
+    vg::ContextId parent = vg::kInvalidContext;
+    std::vector<vg::ContextId> children;
+
+    std::string fnName;
+    std::string displayName;
+    std::string path;
+    int depth = 0;
+
+    /** Calls to this context. */
+    std::uint64_t calls = 0;
+
+    /** Self computation (iops + flops). */
+    std::uint64_t selfOps = 0;
+
+    /** Self estimated cycles (Callgrind formula). */
+    std::uint64_t selfCycles = 0;
+
+    /** Subtree-inclusive computation. */
+    std::uint64_t inclOps = 0;
+    std::uint64_t inclCycles = 0;
+
+    /**
+     * Unique bytes crossing the subtree boundary when this node and its
+     * whole subtree are merged into one accelerator box.
+     */
+    std::uint64_t boundaryInBytes = 0;
+    std::uint64_t boundaryOutBytes = 0;
+};
+
+/** A dependency edge between two contexts (node-level, not boxed). */
+struct CdfgEdge
+{
+    vg::ContextId producer = vg::kInvalidContext; // may be kUninitProducer
+    vg::ContextId consumer = vg::kInvalidContext;
+    std::uint64_t uniqueBytes = 0;
+    std::uint64_t nonuniqueBytes = 0;
+};
+
+/**
+ * How dependency edges are weighted when computing subtree boundaries.
+ * The paper's methodology uses unique bytes only (an accelerator with
+ * internal buffers never re-fetches); Total reproduces prior work that
+ * did not separate first use from re-use, for ablation.
+ */
+enum class BoundaryWeight { UniqueOnly, Total };
+
+/** The calltree-with-dependencies graph. */
+class Cdfg
+{
+  public:
+    /**
+     * Build from matching Sigil and Callgrind profiles (both snapshotted
+     * from the same guest run, so context ids agree).
+     */
+    static Cdfg build(const core::SigilProfile &sigil,
+                      const cg::CgProfile &cg);
+
+    /** Build from a Sigil profile alone (cycles fall back to ops). */
+    static Cdfg build(const core::SigilProfile &sigil);
+
+    const std::vector<CdfgNode> &nodes() const { return nodes_; }
+    const std::vector<CdfgEdge> &edges() const { return edges_; }
+
+    const CdfgNode &node(vg::ContextId ctx) const;
+
+    /** Root contexts (no parent). */
+    const std::vector<vg::ContextId> &roots() const { return roots_; }
+
+    /** Total estimated cycles of the whole program. */
+    std::uint64_t totalCycles() const { return totalCycles_; }
+
+    /** Total operations of the whole program. */
+    std::uint64_t totalOps() const { return totalOps_; }
+
+    /** True if anc == ctx or anc is an ancestor of ctx. */
+    bool isAncestorOrSelf(vg::ContextId anc, vg::ContextId ctx) const;
+
+    /**
+     * Recompute every node's boundary bytes under a different edge
+     * weighting (ablation of the unique/non-unique distinction).
+     */
+    void reweightBoundaries(BoundaryWeight weight);
+
+  private:
+    void computeInclusive();
+    void computeBoundaries(BoundaryWeight weight =
+                               BoundaryWeight::UniqueOnly);
+
+    std::vector<CdfgNode> nodes_;
+    std::vector<CdfgEdge> edges_;
+    std::vector<vg::ContextId> roots_;
+    std::uint64_t totalCycles_ = 0;
+    std::uint64_t totalOps_ = 0;
+};
+
+} // namespace sigil::cdfg
+
+#endif // SIGIL_CDFG_CDFG_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Graphviz DOT export of control data flow graphs.
+ *
+ * Renders the paper's Figure 1 view: the calltree as solid edges, data
+ * dependencies as dashed edges weighted by unique bytes. Optionally
+ * renders a trimmed tree (Figure 2) where each selected candidate's
+ * subtree is drawn as one merged box.
+ */
+
+#ifndef SIGIL_CDFG_DOT_WRITER_HH
+#define SIGIL_CDFG_DOT_WRITER_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "cdfg/cdfg.hh"
+#include "cdfg/partitioner.hh"
+
+namespace sigil::cdfg {
+
+/** Options controlling the DOT rendering. */
+struct DotOptions
+{
+    /** Suppress dependency edges carrying fewer unique bytes. */
+    std::uint64_t minEdgeBytes = 1;
+
+    /** Suppress nodes with less inclusive-cycle share than this. */
+    double minNodeShare = 0.0;
+
+    /** Include the synthetic *input* producer as a node. */
+    bool showInput = true;
+};
+
+/** Write the full control data flow graph (paper Figure 1). */
+void writeDot(std::ostream &os, const Cdfg &graph,
+              const DotOptions &options = DotOptions{});
+
+/**
+ * Write the trimmed graph (paper Figure 2b): every candidate's subtree
+ * collapses to a single box labelled with its inclusive cost and
+ * breakeven speedup.
+ */
+void writeTrimmedDot(std::ostream &os, const Cdfg &graph,
+                     const PartitionResult &parts,
+                     const DotOptions &options = DotOptions{});
+
+/** Convenience: render writeDot to a string. */
+std::string dotString(const Cdfg &graph,
+                      const DotOptions &options = DotOptions{});
+
+} // namespace sigil::cdfg
+
+#endif // SIGIL_CDFG_DOT_WRITER_HH

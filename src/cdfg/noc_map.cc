@@ -1,0 +1,195 @@
+#include "noc_map.hh"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "support/logging.hh"
+
+namespace sigil::cdfg {
+
+namespace {
+
+/** Total bytes (unique + re-read) a context sends or receives. */
+std::unordered_map<vg::ContextId, std::uint64_t>
+commVolume(const core::SigilProfile &profile)
+{
+    std::unordered_map<vg::ContextId, std::uint64_t> vol;
+    for (const core::CommEdge &e : profile.edges) {
+        std::uint64_t bytes = e.uniqueBytes + e.nonuniqueBytes;
+        if (e.producer >= 0)
+            vol[e.producer] += bytes;
+        vol[e.consumer] += bytes;
+    }
+    return vol;
+}
+
+/** Contexts ordered by descending communication volume, capped at n. */
+std::vector<vg::ContextId>
+topCommunicators(const core::SigilProfile &profile, std::size_t n)
+{
+    auto vol = commVolume(profile);
+    std::vector<std::pair<vg::ContextId, std::uint64_t>> ranked(
+        vol.begin(), vol.end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second != b.second)
+                      return a.second > b.second;
+                  return a.first < b.first;
+              });
+    std::vector<vg::ContextId> out;
+    for (const auto &[ctx, v] : ranked) {
+        (void)v;
+        if (out.size() >= n)
+            break;
+        out.push_back(ctx);
+    }
+    return out;
+}
+
+} // namespace
+
+int
+MeshMapping::tileOf(vg::ContextId ctx) const
+{
+    for (std::size_t t = 0; t < tileContents.size(); ++t) {
+        if (tileContents[t] == ctx)
+            return static_cast<int>(t);
+    }
+    return -1;
+}
+
+unsigned
+MeshMapping::hopDistance(unsigned tile_a, unsigned tile_b) const
+{
+    if (meshSize == 0)
+        panic("MeshMapping::hopDistance on empty mapping");
+    unsigned xa = tile_a % meshSize, ya = tile_a / meshSize;
+    unsigned xb = tile_b % meshSize, yb = tile_b / meshSize;
+    unsigned dx = xa > xb ? xa - xb : xb - xa;
+    unsigned dy = ya > yb ? ya - yb : yb - ya;
+    return dx + dy;
+}
+
+std::uint64_t
+MeshMapping::byteHops(const std::vector<core::CommEdge> &edges) const
+{
+    std::uint64_t total = 0;
+    unsigned diameter = meshSize > 0 ? 2 * (meshSize - 1) : 0;
+    for (const core::CommEdge &e : edges) {
+        std::uint64_t bytes = e.uniqueBytes + e.nonuniqueBytes;
+        int src = e.producer >= 0 ? tileOf(e.producer) : -1;
+        int dst = tileOf(e.consumer);
+        if (src < 0 || dst < 0) {
+            total += bytes * diameter; // off-chip / memory controller
+            continue;
+        }
+        total += bytes * hopDistance(static_cast<unsigned>(src),
+                                     static_cast<unsigned>(dst));
+    }
+    return total;
+}
+
+MeshMapping
+mapRowMajor(const core::SigilProfile &profile, unsigned k)
+{
+    if (k == 0)
+        fatal("mapRowMajor: mesh size must be > 0");
+    MeshMapping m;
+    m.meshSize = k;
+    m.tileContents = topCommunicators(profile, std::size_t{k} * k);
+    return m;
+}
+
+MeshMapping
+mapGreedy(const core::SigilProfile &profile, unsigned k)
+{
+    if (k == 0)
+        fatal("mapGreedy: mesh size must be > 0");
+    std::vector<vg::ContextId> nodes =
+        topCommunicators(profile, std::size_t{k} * k);
+
+    // Pairwise affinity among the selected nodes.
+    std::map<std::pair<vg::ContextId, vg::ContextId>, std::uint64_t>
+        affinity;
+    for (const core::CommEdge &e : profile.edges) {
+        if (e.producer < 0)
+            continue;
+        affinity[{e.producer, e.consumer}] +=
+            e.uniqueBytes + e.nonuniqueBytes;
+    }
+    auto pair_bytes = [&](vg::ContextId a, vg::ContextId b) {
+        std::uint64_t v = 0;
+        auto it = affinity.find({a, b});
+        if (it != affinity.end())
+            v += it->second;
+        it = affinity.find({b, a});
+        if (it != affinity.end())
+            v += it->second;
+        return v;
+    };
+
+    MeshMapping m;
+    m.meshSize = k;
+    m.tileContents.assign(std::size_t{k} * k, vg::kInvalidContext);
+    if (nodes.empty())
+        return m;
+
+    std::vector<bool> tile_used(std::size_t{k} * k, false);
+    std::vector<bool> placed(nodes.size(), false);
+
+    // Seed: the heaviest communicator at the mesh centre.
+    unsigned centre = (k / 2) * k + k / 2;
+    m.tileContents[centre] = nodes[0];
+    tile_used[centre] = true;
+    placed[0] = true;
+
+    for (std::size_t step = 1; step < nodes.size(); ++step) {
+        // Pick the unplaced node with the strongest tie to placed ones.
+        std::size_t best_node = nodes.size();
+        std::uint64_t best_tie = 0;
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            if (placed[i])
+                continue;
+            std::uint64_t tie = 0;
+            for (std::size_t j = 0; j < nodes.size(); ++j) {
+                if (placed[j])
+                    tie += pair_bytes(nodes[i], nodes[j]);
+            }
+            if (best_node == nodes.size() || tie > best_tie) {
+                best_node = i;
+                best_tie = tie;
+            }
+        }
+
+        // Put it on the free tile minimizing weighted distance to its
+        // placed partners.
+        unsigned best_tile = 0;
+        std::uint64_t best_cost = ~0ull;
+        for (unsigned t = 0; t < k * k; ++t) {
+            if (tile_used[t])
+                continue;
+            std::uint64_t cost = 0;
+            for (unsigned u = 0; u < k * k; ++u) {
+                if (!tile_used[u])
+                    continue;
+                std::uint64_t bytes =
+                    pair_bytes(nodes[best_node], m.tileContents[u]);
+                cost += bytes * m.hopDistance(t, u);
+            }
+            if (cost < best_cost) {
+                best_cost = cost;
+                best_tile = t;
+            }
+        }
+        m.tileContents[best_tile] = nodes[best_node];
+        tile_used[best_tile] = true;
+        placed[best_node] = true;
+    }
+
+    // Compact representation: strip unused trailing slots is not
+    // needed — tileOf() skips kInvalidContext entries naturally.
+    return m;
+}
+
+} // namespace sigil::cdfg

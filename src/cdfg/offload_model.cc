@@ -1,0 +1,49 @@
+#include "offload_model.hh"
+
+#include "support/logging.hh"
+
+namespace sigil::cdfg {
+
+std::size_t
+OffloadEstimate::offloadedCount() const
+{
+    std::size_t n = 0;
+    for (const OffloadDecision &d : decisions)
+        n += d.offloaded ? 1 : 0;
+    return n;
+}
+
+OffloadEstimate
+estimateOffload(const Cdfg &graph, const PartitionResult &parts,
+                double s_acc, const BreakevenParams &params)
+{
+    if (s_acc < 1.0)
+        fatal("estimateOffload: accelerator speedup must be >= 1");
+
+    OffloadEstimate est;
+    est.acceleratorSpeedup = s_acc;
+    est.tTotal =
+        static_cast<double>(graph.totalCycles()) / params.cpuFreqHz;
+    est.tNew = est.tTotal;
+
+    for (const Candidate &c : parts.candidates) {
+        OffloadDecision d;
+        d.candidate = c;
+        d.tSw = static_cast<double>(c.inclCycles) / params.cpuFreqHz;
+        double t_comm =
+            static_cast<double>(c.boundaryInBytes +
+                                c.boundaryOutBytes) /
+            params.busBytesPerSec;
+        d.tAccel = d.tSw / s_acc + t_comm;
+        d.offloaded = d.tAccel < d.tSw;
+        if (d.offloaded)
+            est.tNew -= d.tSw - d.tAccel;
+        est.decisions.push_back(d);
+    }
+    est.overallSpeedup = est.tNew > 0.0 ? est.tTotal / est.tNew : 1.0;
+    if (est.overallSpeedup < 1.0)
+        est.overallSpeedup = 1.0;
+    return est;
+}
+
+} // namespace sigil::cdfg

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Whole-program offload speedup estimation.
+ *
+ * The paper's companion work (Nilakantan, Battle, Hempstead, CAL 2012
+ * — cited as [23]) combines Sigil's profile with an execution model to
+ * "measure overall gains with offloaded functions". This module
+ * implements that model: given the trimmed calltree's candidates, an
+ * assumed computational speedup per accelerator, and the breakeven
+ * platform parameters, it applies Amdahl's law with explicit
+ * data-offload costs:
+ *
+ *   T_new = T_total − Σ_f [ t_sw(f) − ( t_sw(f)/S_acc + t_comm(f) ) ]
+ *
+ * restricted to candidates where the bracket is positive (a candidate
+ * whose communication eats the gain is left on the CPU).
+ */
+
+#ifndef SIGIL_CDFG_OFFLOAD_MODEL_HH
+#define SIGIL_CDFG_OFFLOAD_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cdfg/partitioner.hh"
+
+namespace sigil::cdfg {
+
+/** Per-candidate outcome of the offload model. */
+struct OffloadDecision
+{
+    Candidate candidate;
+
+    /** Software time of the candidate's subtree, seconds. */
+    double tSw = 0.0;
+
+    /** Accelerated time incl. data movement, seconds. */
+    double tAccel = 0.0;
+
+    /** Whether offloading this candidate is a net win. */
+    bool offloaded = false;
+};
+
+/** Whole-program estimate. */
+struct OffloadEstimate
+{
+    /** Assumed computational speedup of every accelerator. */
+    double acceleratorSpeedup = 1.0;
+
+    /** Total software time of the program, seconds. */
+    double tTotal = 0.0;
+
+    /** Estimated time with all profitable candidates offloaded. */
+    double tNew = 0.0;
+
+    /** tTotal / tNew. */
+    double overallSpeedup = 1.0;
+
+    std::vector<OffloadDecision> decisions;
+
+    /** Number of candidates actually offloaded. */
+    std::size_t offloadedCount() const;
+};
+
+/**
+ * Estimate the whole-program speedup when every partition candidate is
+ * given an accelerator with computational speedup s_acc. Candidates
+ * are assumed independent (they are disjoint subtrees by
+ * construction).
+ */
+OffloadEstimate estimateOffload(const Cdfg &graph,
+                                const PartitionResult &parts,
+                                double s_acc,
+                                const BreakevenParams &params =
+                                    BreakevenParams{});
+
+} // namespace sigil::cdfg
+
+#endif // SIGIL_CDFG_OFFLOAD_MODEL_HH

@@ -1,0 +1,121 @@
+#include "partitioner.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/logging.hh"
+
+namespace sigil::cdfg {
+
+BreakevenResult
+breakeven(const CdfgNode &node, const BreakevenParams &params)
+{
+    BreakevenResult r;
+    r.tSw = static_cast<double>(node.inclCycles) / params.cpuFreqHz;
+    r.tCommIn =
+        static_cast<double>(node.boundaryInBytes) / params.busBytesPerSec;
+    r.tCommOut =
+        static_cast<double>(node.boundaryOutBytes) / params.busBytesPerSec;
+    double denom = r.tSw - (r.tCommIn + r.tCommOut);
+    if (r.tSw <= 0.0 || denom <= 0.0)
+        r.speedup = std::numeric_limits<double>::infinity();
+    else
+        r.speedup = r.tSw / denom;
+    return r;
+}
+
+std::vector<Candidate>
+PartitionResult::top(std::size_t n) const
+{
+    std::vector<Candidate> out(candidates.begin(),
+                               candidates.begin() +
+                                   std::min(n, candidates.size()));
+    return out;
+}
+
+std::vector<Candidate>
+PartitionResult::bottom(std::size_t n) const
+{
+    std::vector<Candidate> out;
+    std::size_t count = std::min(n, candidates.size());
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back(candidates[candidates.size() - 1 - i]);
+    return out;
+}
+
+double
+Partitioner::chooseCuts(const Cdfg &graph, vg::ContextId ctx,
+                        std::vector<vg::ContextId> &out) const
+{
+    const CdfgNode &n = graph.node(ctx);
+
+    std::vector<vg::ContextId> child_cuts;
+    double best_below = std::numeric_limits<double>::infinity();
+    for (vg::ContextId c : n.children)
+        best_below = std::min(best_below,
+                              chooseCuts(graph, c, child_cuts));
+
+    // The synthetic input producer and empty wrappers are never
+    // accelerator candidates.
+    double be = std::numeric_limits<double>::infinity();
+    if (n.inclOps > 0 && n.fnName != "*input*")
+        be = breakeven(n, params_).speedup;
+
+    if (std::isfinite(be) && be <= best_below) {
+        // Merging the whole subtree into this node is at least as good
+        // as anything below it: cut here, absorbing internal edges.
+        out.push_back(ctx);
+        return be;
+    }
+    out.insert(out.end(), child_cuts.begin(), child_cuts.end());
+    return best_below;
+}
+
+PartitionResult
+Partitioner::partition(const Cdfg &graph) const
+{
+    std::vector<vg::ContextId> cuts;
+    for (vg::ContextId root : graph.roots()) {
+        // The root (main) is never merged; evaluate its children.
+        for (vg::ContextId c : graph.node(root).children)
+            chooseCuts(graph, c, cuts);
+    }
+
+    PartitionResult result;
+    double total_cycles = static_cast<double>(graph.totalCycles());
+    for (vg::ContextId ctx : cuts) {
+        const CdfgNode &n = graph.node(ctx);
+        Candidate cand;
+        cand.ctx = ctx;
+        cand.displayName = n.displayName;
+        cand.path = n.path;
+        cand.breakevenSpeedup = breakeven(n, params_).speedup;
+        cand.inclCycles = n.inclCycles;
+        cand.inclOps = n.inclOps;
+        cand.boundaryInBytes = n.boundaryInBytes;
+        cand.boundaryOutBytes = n.boundaryOutBytes;
+        cand.coverage = total_cycles > 0.0
+                            ? static_cast<double>(n.inclCycles) /
+                                  total_cycles
+                            : 0.0;
+        result.candidates.push_back(std::move(cand));
+    }
+    std::sort(result.candidates.begin(), result.candidates.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  if (a.breakevenSpeedup != b.breakevenSpeedup)
+                      return a.breakevenSpeedup < b.breakevenSpeedup;
+                  return a.inclCycles > b.inclCycles;
+              });
+    for (const Candidate &c : result.candidates)
+        result.coverage += c.coverage;
+
+    for (const CdfgNode &n : graph.nodes()) {
+        if (n.children.empty() && n.inclOps > 0 &&
+            !breakeven(n, params_).viable()) {
+            ++result.nonViable;
+        }
+    }
+    return result;
+}
+
+} // namespace sigil::cdfg

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * HW/SW partitioning of control data flow graphs (Sections II-C1 and
+ * IV-A of the paper).
+ *
+ * The breakeven-speedup metric (paper eq. 1) is the computational
+ * speedup an accelerator for a subtree must achieve just to offset the
+ * cost of moving its unique input and output data over a fixed-bandwidth
+ * SoC bus. The trimming heuristic walks the calltree bottom-up and
+ * merges a subtree into its root whenever the root's breakeven-speedup
+ * is no worse than the best achievable inside the subtree — maximizing
+ * application coverage while keeping communication minimal. The leaf
+ * nodes of the trimmed tree are the accelerator candidates.
+ */
+
+#ifndef SIGIL_CDFG_PARTITIONER_HH
+#define SIGIL_CDFG_PARTITIONER_HH
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cdfg/cdfg.hh"
+
+namespace sigil::cdfg {
+
+/** Platform parameters of the breakeven model. */
+struct BreakevenParams
+{
+    /** CPU frequency used to convert estimated cycles to seconds. */
+    double cpuFreqHz = 2.0e9;
+
+    /** SoC bus bandwidth for accelerator offload traffic. */
+    double busBytesPerSec = 16.0e9;
+};
+
+/** Breakeven evaluation of one node's boxed subtree. */
+struct BreakevenResult
+{
+    /** Estimated software run time of the subtree, seconds. */
+    double tSw = 0.0;
+
+    /** Input + output offload time, seconds. */
+    double tCommIn = 0.0;
+    double tCommOut = 0.0;
+
+    /**
+     * Breakeven speedup; infinity when communication costs meet or
+     * exceed the software run time (offload can never win).
+     */
+    double speedup = 0.0;
+
+    bool viable() const { return std::isfinite(speedup); }
+};
+
+/** Compute eq. 1 for the boxed subtree rooted at a node. */
+BreakevenResult breakeven(const CdfgNode &node,
+                          const BreakevenParams &params);
+
+/** One selected accelerator candidate. */
+struct Candidate
+{
+    vg::ContextId ctx = vg::kInvalidContext;
+    std::string displayName;
+    std::string path;
+    double breakevenSpeedup = 0.0;
+    std::uint64_t inclCycles = 0;
+    std::uint64_t inclOps = 0;
+    std::uint64_t boundaryInBytes = 0;
+    std::uint64_t boundaryOutBytes = 0;
+    /** Fraction of total program cycles covered by this candidate. */
+    double coverage = 0.0;
+};
+
+/** Result of trimming a calltree. */
+struct PartitionResult
+{
+    /** Leaf nodes of the trimmed tree, sorted by ascending breakeven. */
+    std::vector<Candidate> candidates;
+
+    /** Σ candidate coverage — the lower bar of the paper's Figure 7. */
+    double coverage = 0.0;
+
+    /** Contexts whose subtree was found non-viable (infinite S_be). */
+    std::size_t nonViable = 0;
+
+    /** The best (lowest breakeven) candidates, up to n. */
+    std::vector<Candidate> top(std::size_t n) const;
+
+    /** The worst (highest finite breakeven) candidates, up to n. */
+    std::vector<Candidate> bottom(std::size_t n) const;
+};
+
+/** The max-coverage / min-communication trimming heuristic. */
+class Partitioner
+{
+  public:
+    explicit Partitioner(const BreakevenParams &params = BreakevenParams{})
+        : params_(params)
+    {}
+
+    /** Trim the tree; roots themselves are never merged. */
+    PartitionResult partition(const Cdfg &graph) const;
+
+  private:
+    /**
+     * Recursive cut selection: returns the best breakeven achievable in
+     * the subtree, appending cut nodes to out.
+     */
+    double chooseCuts(const Cdfg &graph, vg::ContextId ctx,
+                      std::vector<vg::ContextId> &out) const;
+
+    BreakevenParams params_;
+};
+
+} // namespace sigil::cdfg
+
+#endif // SIGIL_CDFG_PARTITIONER_HH

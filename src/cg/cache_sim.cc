@@ -1,0 +1,115 @@
+#include "cache_sim.hh"
+
+#include "support/logging.hh"
+
+namespace sigil::cg {
+
+namespace {
+
+unsigned
+log2Exact(std::uint64_t v, const char *what)
+{
+    if (v == 0 || (v & (v - 1)) != 0)
+        fatal("cache %s must be a nonzero power of two (got %llu)", what,
+              static_cast<unsigned long long>(v));
+    unsigned s = 0;
+    while ((v >> s) != 1)
+        ++s;
+    return s;
+}
+
+} // namespace
+
+CacheLevel::CacheLevel(const CacheConfig &config)
+    : lineBytes_(config.lineBytes),
+      lineShift_(log2Exact(config.lineBytes, "line size")),
+      assoc_(config.associativity)
+{
+    if (assoc_ == 0)
+        fatal("cache associativity must be > 0");
+    std::uint64_t lines = config.sizeBytes / config.lineBytes;
+    if (lines == 0 || lines % assoc_ != 0)
+        fatal("cache size must be a multiple of line size * associativity");
+    numSets_ = lines / assoc_;
+    setShift_ = log2Exact(numSets_, "set count");
+    tags_.assign(lines, 0);
+    valid_.assign(lines, 0);
+    dirty_.assign(lines, 0);
+    lru_.assign(lines, 0);
+}
+
+bool
+CacheLevel::accessLine(std::uint64_t line_number, bool is_write)
+{
+    ++accesses_;
+    wroteBack_ = false;
+    std::uint64_t set = line_number & (numSets_ - 1);
+    std::uint64_t tag = line_number >> setShift_;
+    std::size_t base = static_cast<std::size_t>(set) * assoc_;
+
+    // Search for a hit and track the LRU victim in one pass; an invalid
+    // way is always the preferred victim.
+    std::size_t victim = base;
+    std::uint64_t oldest = ~0ull;
+    for (std::size_t w = 0; w < assoc_; ++w) {
+        std::size_t idx = base + w;
+        if (valid_[idx] && tags_[idx] == tag) {
+            lru_[idx] = ++stamp_;
+            if (is_write)
+                dirty_[idx] = 1;
+            return true;
+        }
+        std::uint64_t rank = valid_[idx] ? lru_[idx] : 0;
+        if (rank < oldest) {
+            oldest = rank;
+            victim = idx;
+        }
+    }
+    ++misses_;
+    if (valid_[victim] && dirty_[victim]) {
+        ++writeBacks_;
+        wroteBack_ = true;
+        writeBackLine_ = (tags_[victim] << setShift_) | set;
+    }
+    tags_[victim] = tag;
+    valid_[victim] = 1;
+    dirty_[victim] = is_write ? 1 : 0;
+    lru_[victim] = ++stamp_;
+    return false;
+}
+
+CacheSim::CacheSim()
+    : CacheSim(CacheConfig{32 * 1024, 8, 64},
+               CacheConfig{8 * 1024 * 1024, 16, 64})
+{}
+
+CacheSim::CacheSim(const CacheConfig &d1, const CacheConfig &ll)
+    : d1_(d1), ll_(ll),
+      lineShift_(log2Exact(d1.lineBytes, "line size"))
+{
+    if (d1.lineBytes != ll.lineBytes)
+        fatal("D1 and LL must share a line size");
+}
+
+CacheAccessResult
+CacheSim::access(vg::Addr addr, unsigned size, bool is_write)
+{
+    CacheAccessResult res;
+    if (size == 0)
+        return res;
+    std::uint64_t first = addr >> lineShift_;
+    std::uint64_t last = (addr + size - 1) >> lineShift_;
+    for (std::uint64_t line = first; line <= last; ++line) {
+        if (!d1_.accessLine(line, is_write)) {
+            ++res.d1Misses;
+            // A dirty line displaced from D1 is written back to LL.
+            if (d1_.lastAccessWroteBack())
+                ll_.accessLine(d1_.lastWriteBackLine(), true);
+            if (!ll_.accessLine(line, is_write))
+                ++res.llMisses;
+        }
+    }
+    return res;
+}
+
+} // namespace sigil::cg

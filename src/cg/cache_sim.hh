@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Two-level data-cache simulator.
+ *
+ * Mirrors the on-the-fly cache simulation Callgrind performs while
+ * profiling: a first-level data cache (D1) backed by a last-level cache
+ * (LL), both set-associative with true-LRU replacement. The miss counts
+ * feed the cycle-estimation formula of the cost model.
+ */
+
+#ifndef SIGIL_CG_CACHE_SIM_HH
+#define SIGIL_CG_CACHE_SIM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "vg/types.hh"
+
+namespace sigil::cg {
+
+/** Geometry of one cache level. */
+struct CacheConfig
+{
+    std::uint64_t sizeBytes;
+    unsigned associativity;
+    unsigned lineBytes;
+};
+
+/** One set-associative LRU cache level with write-back accounting. */
+class CacheLevel
+{
+  public:
+    explicit CacheLevel(const CacheConfig &config);
+
+    /**
+     * Access one line; returns true on hit. Updates LRU state and the
+     * line's dirty bit when is_write is set. On a miss that evicts a
+     * dirty line, a write-back is counted and the victim's line number
+     * is retrievable via lastWriteBackLine() until the next access.
+     */
+    bool accessLine(std::uint64_t line_number, bool is_write = false);
+
+    /** Victim line of the most recent dirty eviction, or no value. */
+    bool lastAccessWroteBack() const { return wroteBack_; }
+    std::uint64_t lastWriteBackLine() const { return writeBackLine_; }
+
+    /** Dirty lines written back on eviction so far. */
+    std::uint64_t writeBacks() const { return writeBacks_; }
+
+    unsigned lineBytes() const { return lineBytes_; }
+    std::uint64_t numSets() const { return numSets_; }
+    unsigned associativity() const { return assoc_; }
+
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    unsigned lineBytes_;
+    unsigned lineShift_;
+    unsigned assoc_;
+    std::uint64_t numSets_;
+    unsigned setShift_;
+    /** tags_[set * assoc + way]; lru_ rank parallel to it. */
+    std::vector<std::uint64_t> tags_;
+    std::vector<std::uint8_t> valid_;
+    std::vector<std::uint8_t> dirty_;
+    std::vector<std::uint64_t> lru_;
+    bool wroteBack_ = false;
+    std::uint64_t writeBackLine_ = 0;
+    std::uint64_t writeBacks_ = 0;
+    std::uint64_t stamp_ = 0;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+/** Result of one memory access through the hierarchy. */
+struct CacheAccessResult
+{
+    unsigned d1Misses = 0;
+    unsigned llMisses = 0;
+};
+
+/**
+ * The D1 + LL hierarchy. Accesses spanning multiple lines touch each
+ * line once, as cachegrind does.
+ */
+class CacheSim
+{
+  public:
+    /** Default geometry: 32KiB/8-way D1, 8MiB/16-way LL, 64B lines. */
+    CacheSim();
+    CacheSim(const CacheConfig &d1, const CacheConfig &ll);
+
+    /** Simulate a data access; returns miss counts incurred. */
+    CacheAccessResult access(vg::Addr addr, unsigned size,
+                             bool is_write = false);
+
+    const CacheLevel &d1() const { return d1_; }
+    const CacheLevel &ll() const { return ll_; }
+
+  private:
+    CacheLevel d1_;
+    CacheLevel ll_;
+    unsigned lineShift_;
+};
+
+} // namespace sigil::cg
+
+#endif // SIGIL_CG_CACHE_SIM_HH

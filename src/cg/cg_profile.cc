@@ -1,0 +1,47 @@
+#include "cg_profile.hh"
+
+#include "support/logging.hh"
+
+namespace sigil::cg {
+
+std::uint64_t
+CgProfile::totalCycles() const
+{
+    std::uint64_t total = 0;
+    for (const CgRow &row : rows) {
+        if (row.parent == vg::kInvalidContext)
+            total += row.incl.cycleEstimate();
+    }
+    return total;
+}
+
+std::uint64_t
+CgProfile::totalInstructions() const
+{
+    std::uint64_t total = 0;
+    for (const CgRow &row : rows)
+        total += row.self.instructions;
+    return total;
+}
+
+void
+CgProfile::accumulateInclusive()
+{
+    for (CgRow &row : rows)
+        row.incl = row.self;
+    // Contexts are created parent-before-child, so a reverse sweep folds
+    // every subtree upward in one pass.
+    for (std::size_t i = rows.size(); i-- > 0;) {
+        const CgRow &row = rows[i];
+        if (row.parent == vg::kInvalidContext)
+            continue;
+        if (static_cast<std::size_t>(row.parent) >= rows.size() ||
+            row.parent >= row.ctx) {
+            panic("CgProfile: context %d has out-of-order parent %d",
+                  row.ctx, row.parent);
+        }
+        rows[static_cast<std::size_t>(row.parent)].incl.add(row.incl);
+    }
+}
+
+} // namespace sigil::cg

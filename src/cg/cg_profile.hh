@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Snapshot of a Callgrind-style profile.
+ *
+ * One row per calling context with self costs; inclusive costs are
+ * accumulated over the context tree. The cycle estimate follows
+ * Callgrind's formula: CEst = Ir + 10*Bm + 10*L1m + 100*LLm.
+ */
+
+#ifndef SIGIL_CG_CG_PROFILE_HH
+#define SIGIL_CG_CG_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vg/types.hh"
+
+namespace sigil::cg {
+
+/** Self-cost counters attributed to one calling context. */
+struct CgCounters
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t iops = 0;
+    std::uint64_t flops = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t readBytes = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t writeBytes = 0;
+    std::uint64_t d1Misses = 0;
+    std::uint64_t i1Misses = 0;
+    std::uint64_t llMisses = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t branchMispredicts = 0;
+    std::uint64_t calls = 0;
+
+    void
+    add(const CgCounters &o)
+    {
+        instructions += o.instructions;
+        iops += o.iops;
+        flops += o.flops;
+        reads += o.reads;
+        readBytes += o.readBytes;
+        writes += o.writes;
+        writeBytes += o.writeBytes;
+        d1Misses += o.d1Misses;
+        i1Misses += o.i1Misses;
+        llMisses += o.llMisses;
+        branches += o.branches;
+        branchMispredicts += o.branchMispredicts;
+        calls += o.calls;
+    }
+
+    /** Callgrind's estimated cycle count for these costs (L1m counts
+     *  both instruction- and data-side first-level misses). */
+    std::uint64_t
+    cycleEstimate() const
+    {
+        return instructions + 10 * branchMispredicts +
+               10 * (d1Misses + i1Misses) + 100 * llMisses;
+    }
+};
+
+/** One context row of a profile. */
+struct CgRow
+{
+    vg::ContextId ctx = vg::kInvalidContext;
+    vg::ContextId parent = vg::kInvalidContext;
+    vg::FunctionId fn = vg::kInvalidFunction;
+    std::string fnName;
+    std::string displayName;
+    std::string path;
+    CgCounters self;
+    CgCounters incl;
+};
+
+/** A full profile: rows indexed by context id. */
+struct CgProfile
+{
+    std::string program;
+    std::vector<CgRow> rows;
+
+    /** Sum of inclusive cycle estimates over root contexts. */
+    std::uint64_t totalCycles() const;
+
+    /** Sum of self instructions over all rows. */
+    std::uint64_t totalInstructions() const;
+
+    /** Compute inclusive costs from self costs (parents < children). */
+    void accumulateInclusive();
+};
+
+} // namespace sigil::cg
+
+#endif // SIGIL_CG_CG_PROFILE_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Miss-ratio-curve tool.
+ *
+ * Attaches the exact reuse-distance tracker to the guest's data-access
+ * stream at cache-line granularity. One profiling run yields the miss
+ * ratio of *every* fully associative LRU cache size at once — the
+ * quantitative form of the paper's cache/scratchpad sizing discussion
+ * (Section IV-B), and the input to buffer-vs-bandwidth (BB) curves for
+ * accelerator design. At power-of-two capacities the curve is exact.
+ */
+
+#ifndef SIGIL_CG_MRC_TOOL_HH
+#define SIGIL_CG_MRC_TOOL_HH
+
+#include "shadow/reuse_distance.hh"
+#include "vg/tool.hh"
+
+namespace sigil::cg {
+
+/** Records LRU stack distances of every data access. */
+class MrcTool : public vg::Tool
+{
+  public:
+    /** @param line_shift log2 of the tracked line size (6 = 64B). */
+    explicit MrcTool(unsigned line_shift = 6)
+        : lineShift_(line_shift)
+    {}
+
+    void
+    memRead(vg::Addr addr, unsigned size) override
+    {
+        touch(addr, size);
+    }
+
+    void
+    memWrite(vg::Addr addr, unsigned size) override
+    {
+        touch(addr, size);
+    }
+
+    const shadow::ReuseDistanceTracker &tracker() const
+    {
+        return tracker_;
+    }
+
+    unsigned lineBytes() const { return 1u << lineShift_; }
+
+    /** Miss ratio of a fully associative LRU cache of the given size. */
+    double
+    missRatioForBytes(std::uint64_t cache_bytes) const
+    {
+        std::uint64_t lines = cache_bytes >> lineShift_;
+        return tracker_.missRatio(lines == 0 ? 1 : lines);
+    }
+
+  private:
+    void
+    touch(vg::Addr addr, unsigned size)
+    {
+        if (size == 0)
+            return;
+        std::uint64_t first = addr >> lineShift_;
+        std::uint64_t last = (addr + size - 1) >> lineShift_;
+        for (std::uint64_t line = first; line <= last; ++line)
+            tracker_.access(line);
+    }
+
+    unsigned lineShift_;
+    shadow::ReuseDistanceTracker tracker_;
+};
+
+} // namespace sigil::cg
+
+#endif // SIGIL_CG_MRC_TOOL_HH

@@ -1,0 +1,107 @@
+#include "callgrind_writer.hh"
+
+#include <ostream>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace sigil::core {
+
+void
+writeCallgrindFormat(std::ostream &os, const SigilProfile &sigil,
+                     const cg::CgProfile *cg)
+{
+    if (cg != nullptr && cg->rows.size() != sigil.rows.size())
+        fatal("writeCallgrindFormat: mismatched profiles");
+
+    os << "# callgrind format\n";
+    os << "version: 1\n";
+    os << "creator: sigil-repro\n";
+    os << "cmd: " << sigil.program << "\n";
+    os << "positions: line\n";
+    if (cg != nullptr) {
+        os << "events: Ir Dr Dw D1mr Bc Bim "
+              "UniqIn NonUniqIn UniqOut UniqLocal\n";
+    } else {
+        os << "events: UniqIn NonUniqIn UniqOut UniqLocal\n";
+    }
+    os << "\n";
+
+    // One fn block per context; display names make contexts unique.
+    for (const SigilRow &row : sigil.rows) {
+        const CommAggregates &a = row.agg;
+        os << "fn=" << row.displayName << "\n";
+        os << "0";
+        if (cg != nullptr) {
+            const cg::CgCounters &c =
+                cg->rows[static_cast<std::size_t>(row.ctx)].self;
+            os << ' ' << c.instructions << ' ' << c.reads << ' '
+               << c.writes << ' ' << c.d1Misses << ' ' << c.branches
+               << ' ' << c.branchMispredicts;
+        }
+        os << ' ' << a.uniqueInputBytes << ' ' << a.nonuniqueInputBytes
+           << ' ' << a.uniqueOutputBytes << ' ' << a.uniqueLocalBytes
+           << "\n";
+
+        // Call records: one per child context, with the child's
+        // inclusive costs attached as the called cost.
+        for (const SigilRow &child : sigil.rows) {
+            if (child.parent != row.ctx)
+                continue;
+            os << "cfn=" << child.displayName << "\n";
+            os << "calls=" << child.agg.calls << " 0\n";
+            const CommAggregates &b = child.agg;
+            os << "0";
+            if (cg != nullptr) {
+                const cg::CgCounters &c =
+                    cg->rows[static_cast<std::size_t>(child.ctx)].incl;
+                os << ' ' << c.instructions << ' ' << c.reads << ' '
+                   << c.writes << ' ' << c.d1Misses << ' ' << c.branches
+                   << ' ' << c.branchMispredicts;
+            }
+            os << ' ' << b.uniqueInputBytes << ' '
+               << b.nonuniqueInputBytes << ' ' << b.uniqueOutputBytes
+               << ' ' << b.uniqueLocalBytes << "\n";
+        }
+        os << "\n";
+    }
+
+    // Summary line (totals) for callgrind_annotate.
+    std::uint64_t t_ir = 0, t_dr = 0, t_dw = 0, t_d1 = 0, t_bc = 0,
+                  t_bim = 0;
+    std::uint64_t t_ui = 0, t_nui = 0, t_uo = 0, t_ul = 0;
+    for (const SigilRow &row : sigil.rows) {
+        const CommAggregates &a = row.agg;
+        t_ui += a.uniqueInputBytes;
+        t_nui += a.nonuniqueInputBytes;
+        t_uo += a.uniqueOutputBytes;
+        t_ul += a.uniqueLocalBytes;
+    }
+    if (cg != nullptr) {
+        for (const cg::CgRow &row : cg->rows) {
+            t_ir += row.self.instructions;
+            t_dr += row.self.reads;
+            t_dw += row.self.writes;
+            t_d1 += row.self.d1Misses;
+            t_bc += row.self.branches;
+            t_bim += row.self.branchMispredicts;
+        }
+    }
+    os << "totals:";
+    if (cg != nullptr) {
+        os << ' ' << t_ir << ' ' << t_dr << ' ' << t_dw << ' ' << t_d1
+           << ' ' << t_bc << ' ' << t_bim;
+    }
+    os << ' ' << t_ui << ' ' << t_nui << ' ' << t_uo << ' ' << t_ul
+       << "\n";
+}
+
+std::string
+callgrindString(const SigilProfile &sigil, const cg::CgProfile *cg)
+{
+    std::ostringstream os;
+    writeCallgrindFormat(os, sigil, cg);
+    return os.str();
+}
+
+} // namespace sigil::core

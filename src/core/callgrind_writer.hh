@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Callgrind-format profile export.
+ *
+ * The original Sigil extends Callgrind and inherits its output format,
+ * so existing tooling (callgrind_annotate, KCachegrind) can browse the
+ * combined profile. This writer emits that format from our profiles:
+ * the standard cost events plus Sigil's communication events as extra
+ * counters (unique/non-unique input, output, and local bytes) attached
+ * to every function, with the calltree expressed through cfn/calls
+ * records.
+ */
+
+#ifndef SIGIL_CORE_CALLGRIND_WRITER_HH
+#define SIGIL_CORE_CALLGRIND_WRITER_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "cg/cg_profile.hh"
+#include "core/profile.hh"
+
+namespace sigil::core {
+
+/**
+ * Write a callgrind-format file combining the cost model's counters
+ * with Sigil's communication counters. The two profiles must come from
+ * the same run (matching context ids); pass nullptr for cg to emit
+ * communication counters only.
+ */
+void writeCallgrindFormat(std::ostream &os, const SigilProfile &sigil,
+                          const cg::CgProfile *cg);
+
+/** Convenience: render to a string. */
+std::string callgrindString(const SigilProfile &sigil,
+                            const cg::CgProfile *cg);
+
+} // namespace sigil::core
+
+#endif // SIGIL_CORE_CALLGRIND_WRITER_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Communication-classification types.
+ *
+ * Every byte Sigil observes being read is classified along two axes
+ * (Section II-A of the paper):
+ *  - local vs. input/output: was the byte produced by the reading
+ *    context itself, or by another context (making it an input of the
+ *    reader and an output of the producer)?
+ *  - unique vs. non-unique: is this the first read of the byte by this
+ *    consumer since it was produced, or a re-read?
+ */
+
+#ifndef SIGIL_CORE_COMM_STATS_HH
+#define SIGIL_CORE_COMM_STATS_HH
+
+#include <cstdint>
+
+#include "support/histogram.hh"
+#include "vg/types.hh"
+
+namespace sigil::core {
+
+/** Producer id of a byte that was read before ever being written. */
+constexpr vg::ContextId kUninitProducer = -2;
+
+/** Per-context communication and re-use aggregates. */
+struct CommAggregates
+{
+    std::uint64_t calls = 0;
+    std::uint64_t iops = 0;
+    std::uint64_t flops = 0;
+    std::uint64_t readBytes = 0;
+    std::uint64_t writeBytes = 0;
+
+    /** Bytes produced and consumed by this same context. */
+    std::uint64_t uniqueLocalBytes = 0;
+    std::uint64_t nonuniqueLocalBytes = 0;
+
+    /** Bytes consumed by this context but produced elsewhere. */
+    std::uint64_t uniqueInputBytes = 0;
+    std::uint64_t nonuniqueInputBytes = 0;
+
+    /** Bytes produced by this context and consumed elsewhere. */
+    std::uint64_t uniqueOutputBytes = 0;
+    std::uint64_t nonuniqueOutputBytes = 0;
+
+    /**
+     * Subset of the input bytes whose producer ran on a different
+     * guest thread (cross-thread communication).
+     */
+    std::uint64_t uniqueInterThreadBytes = 0;
+    std::uint64_t nonuniqueInterThreadBytes = 0;
+
+    /** @name Re-use statistics (re-use mode only) */
+    /// @{
+
+    /** Re-use runs (unit × call) with at least one re-read. */
+    std::uint64_t reusedUnits = 0;
+
+    /** Total re-reads across all runs. */
+    std::uint64_t reuseReads = 0;
+
+    /** Sum of re-use lifetimes (run last - first read) in ticks. */
+    std::uint64_t lifetimeSum = 0;
+
+    /** Histogram of re-use lifetimes, bin width 1000 ticks. */
+    LinearHistogram lifetimeHist;
+
+    /// @}
+
+    /** Total bytes this context read (all classes). */
+    std::uint64_t
+    totalReadBytes() const
+    {
+        return uniqueLocalBytes + nonuniqueLocalBytes + uniqueInputBytes +
+               nonuniqueInputBytes;
+    }
+
+    /** True unique input set of the context. */
+    std::uint64_t uniqueIn() const { return uniqueInputBytes; }
+
+    /** True unique output set of the context. */
+    std::uint64_t uniqueOut() const { return uniqueOutputBytes; }
+
+    /** Mean re-use lifetime of a re-used unit, 0 if none. */
+    double
+    avgReuseLifetime() const
+    {
+        return reusedUnits == 0 ? 0.0
+                                : static_cast<double>(lifetimeSum) /
+                                      static_cast<double>(reusedUnits);
+    }
+};
+
+/** One producer→consumer edge of the communication matrix. */
+struct CommEdge
+{
+    vg::ContextId producer = vg::kInvalidContext;
+    vg::ContextId consumer = vg::kInvalidContext;
+    std::uint64_t uniqueBytes = 0;
+    std::uint64_t nonuniqueBytes = 0;
+};
+
+/** One producer-thread→consumer-thread edge (multi-threaded guests). */
+struct ThreadCommEdge
+{
+    vg::ThreadId producer = 0;
+    vg::ThreadId consumer = 0;
+    std::uint64_t uniqueBytes = 0;
+    std::uint64_t nonuniqueBytes = 0;
+};
+
+} // namespace sigil::core
+
+#endif // SIGIL_CORE_COMM_STATS_HH

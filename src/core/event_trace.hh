@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The "event" representation of an execution (Section II-C2).
+ *
+ * A program is reduced to a sequence of computation fragments
+ * ("segments") separated by data-transfer edges. A new segment starts
+ * whenever control enters or re-enters a function; transfers record
+ * which earlier segment produced the bytes a segment consumes. The
+ * trace preserves inter-function ordering but not ordering within a
+ * function, exactly as the paper specifies.
+ */
+
+#ifndef SIGIL_CORE_EVENT_TRACE_HH
+#define SIGIL_CORE_EVENT_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "vg/types.hh"
+
+namespace sigil::core {
+
+/** A computation fragment: one contiguous stay inside a function. */
+struct ComputeEvent
+{
+    /** Unique, strictly increasing segment id. */
+    std::uint64_t seq = 0;
+
+    /**
+     * Segment this one is serially ordered after: the caller's segment
+     * for the first segment of a call, or the same call's previous
+     * segment for a re-occurrence after a child returned (the
+     * conservative ordering edge of the paper's Figure 3). 0 = none.
+     */
+    std::uint64_t predSeq = 0;
+
+    vg::ContextId ctx = vg::kInvalidContext;
+    vg::CallNum call = 0;
+    std::uint64_t iops = 0;
+    std::uint64_t flops = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+};
+
+/** Unique bytes transferred from a producing segment into a consumer. */
+struct XferEvent
+{
+    /** Producing segment (its ComputeEvent::seq). */
+    std::uint64_t srcSeq = 0;
+    /** Consuming segment. */
+    std::uint64_t dstSeq = 0;
+    std::uint64_t bytes = 0;
+};
+
+/** One record of the trace, in program order. */
+struct EventRecord
+{
+    enum class Kind { Compute, Xfer };
+
+    Kind kind;
+    ComputeEvent compute; // valid when kind == Compute
+    XferEvent xfer;       // valid when kind == Xfer
+
+    static EventRecord
+    makeCompute(const ComputeEvent &c)
+    {
+        EventRecord r;
+        r.kind = Kind::Compute;
+        r.compute = c;
+        return r;
+    }
+
+    static EventRecord
+    makeXfer(const XferEvent &x)
+    {
+        EventRecord r;
+        r.kind = Kind::Xfer;
+        r.xfer = x;
+        return r;
+    }
+};
+
+/** An in-memory event trace. */
+struct EventTrace
+{
+    std::vector<EventRecord> records;
+
+    std::size_t size() const { return records.size(); }
+    bool empty() const { return records.empty(); }
+};
+
+} // namespace sigil::core
+
+#endif // SIGIL_CORE_EVENT_TRACE_HH

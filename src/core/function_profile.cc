@@ -1,0 +1,77 @@
+#include "function_profile.hh"
+
+#include <algorithm>
+#include <map>
+
+namespace sigil::core {
+
+const FunctionRow *
+FunctionProfile::find(const std::string &fn_name) const
+{
+    for (const FunctionRow &row : rows) {
+        if (row.fnName == fn_name)
+            return &row;
+    }
+    return nullptr;
+}
+
+std::vector<const FunctionRow *>
+FunctionProfile::topBy(
+    std::size_t n,
+    const std::function<std::uint64_t(const FunctionRow &)> &metric) const
+{
+    std::vector<const FunctionRow *> out;
+    out.reserve(rows.size());
+    for (const FunctionRow &row : rows)
+        out.push_back(&row);
+    std::sort(out.begin(), out.end(),
+              [&](const FunctionRow *a, const FunctionRow *b) {
+                  std::uint64_t ma = metric(*a);
+                  std::uint64_t mb = metric(*b);
+                  if (ma != mb)
+                      return ma > mb;
+                  return a->fnName < b->fnName;
+              });
+    if (out.size() > n)
+        out.resize(n);
+    return out;
+}
+
+FunctionProfile
+collapseByFunction(const SigilProfile &profile)
+{
+    FunctionProfile out;
+    out.program = profile.program;
+    std::map<std::string, std::size_t> index;
+    for (const SigilRow &row : profile.rows) {
+        auto [it, inserted] =
+            index.try_emplace(row.fnName, out.rows.size());
+        if (inserted) {
+            FunctionRow fr;
+            fr.fnName = row.fnName;
+            out.rows.push_back(std::move(fr));
+        }
+        FunctionRow &fr = out.rows[it->second];
+        ++fr.numContexts;
+        CommAggregates &a = fr.agg;
+        const CommAggregates &b = row.agg;
+        a.calls += b.calls;
+        a.iops += b.iops;
+        a.flops += b.flops;
+        a.readBytes += b.readBytes;
+        a.writeBytes += b.writeBytes;
+        a.uniqueLocalBytes += b.uniqueLocalBytes;
+        a.nonuniqueLocalBytes += b.nonuniqueLocalBytes;
+        a.uniqueInputBytes += b.uniqueInputBytes;
+        a.nonuniqueInputBytes += b.nonuniqueInputBytes;
+        a.uniqueOutputBytes += b.uniqueOutputBytes;
+        a.nonuniqueOutputBytes += b.nonuniqueOutputBytes;
+        a.reusedUnits += b.reusedUnits;
+        a.reuseReads += b.reuseReads;
+        a.lifetimeSum += b.lifetimeSum;
+        a.lifetimeHist.merge(b.lifetimeHist);
+    }
+    return out;
+}
+
+} // namespace sigil::core

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Function-level (context-collapsed) views of a Sigil profile.
+ *
+ * Sigil keeps separate accounting per calling context; many analyses
+ * (and gprof-style reporting) want per-function totals instead. This
+ * module folds all contexts of a function into one row and provides
+ * sorted top-N queries over any metric.
+ */
+
+#ifndef SIGIL_CORE_FUNCTION_PROFILE_HH
+#define SIGIL_CORE_FUNCTION_PROFILE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/profile.hh"
+
+namespace sigil::core {
+
+/** Per-function totals over all calling contexts. */
+struct FunctionRow
+{
+    std::string fnName;
+    std::size_t numContexts = 0;
+    CommAggregates agg;
+};
+
+/** A context-collapsed profile. */
+struct FunctionProfile
+{
+    std::string program;
+    std::vector<FunctionRow> rows;
+
+    /** Row by function name; nullptr if absent. */
+    const FunctionRow *find(const std::string &fn_name) const;
+
+    /**
+     * The n rows with the largest value of metric, descending.
+     * Ties are broken by function name for determinism.
+     */
+    std::vector<const FunctionRow *>
+    topBy(std::size_t n,
+          const std::function<std::uint64_t(const FunctionRow &)> &metric)
+        const;
+};
+
+/** Collapse a context-sensitive profile to per-function rows. */
+FunctionProfile collapseByFunction(const SigilProfile &profile);
+
+} // namespace sigil::core
+
+#endif // SIGIL_CORE_FUNCTION_PROFILE_HH

@@ -1,0 +1,63 @@
+#include "profile.hh"
+
+#include "support/logging.hh"
+
+namespace sigil::core {
+
+std::uint64_t
+SigilProfile::totalUniqueInputBytes() const
+{
+    std::uint64_t total = 0;
+    for (const SigilRow &r : rows)
+        total += r.agg.uniqueInputBytes;
+    return total;
+}
+
+std::uint64_t
+SigilProfile::totalUniqueLocalBytes() const
+{
+    std::uint64_t total = 0;
+    for (const SigilRow &r : rows)
+        total += r.agg.uniqueLocalBytes;
+    return total;
+}
+
+std::uint64_t
+SigilProfile::totalReadBytes() const
+{
+    std::uint64_t total = 0;
+    for (const SigilRow &r : rows)
+        total += r.agg.readBytes;
+    return total;
+}
+
+const SigilRow &
+SigilProfile::row(vg::ContextId ctx) const
+{
+    if (ctx < 0 || static_cast<std::size_t>(ctx) >= rows.size())
+        panic("SigilProfile::row: bad context %d", ctx);
+    return rows[static_cast<std::size_t>(ctx)];
+}
+
+const SigilRow *
+SigilProfile::findByDisplayName(const std::string &name) const
+{
+    for (const SigilRow &r : rows) {
+        if (r.displayName == name)
+            return &r;
+    }
+    return nullptr;
+}
+
+std::vector<const SigilRow *>
+SigilProfile::findByFunction(const std::string &fn_name) const
+{
+    std::vector<const SigilRow *> out;
+    for (const SigilRow &r : rows) {
+        if (r.fnName == fn_name)
+            out.push_back(&r);
+    }
+    return out;
+}
+
+} // namespace sigil::core

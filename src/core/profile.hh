@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Snapshot of a Sigil profile: per-context communication aggregates,
+ * the producer→consumer communication matrix, and program-wide re-use
+ * breakdowns. This is the "aggregate" output representation of the
+ * paper; the event-file representation lives in event_trace.hh.
+ */
+
+#ifndef SIGIL_CORE_PROFILE_HH
+#define SIGIL_CORE_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/comm_stats.hh"
+#include "support/histogram.hh"
+#include "vg/types.hh"
+
+namespace sigil::core {
+
+/** One context row of a Sigil profile. */
+struct SigilRow
+{
+    vg::ContextId ctx = vg::kInvalidContext;
+    vg::ContextId parent = vg::kInvalidContext;
+    vg::FunctionId fn = vg::kInvalidFunction;
+    std::string fnName;
+    std::string displayName;
+    std::string path;
+    CommAggregates agg;
+};
+
+/** A complete aggregate profile. */
+struct SigilProfile
+{
+    std::string program;
+
+    /** log2 of the shadowed unit (0 = byte mode, 6 = 64B lines). */
+    unsigned granularityShift = 0;
+
+    /** Rows indexed by context id. */
+    std::vector<SigilRow> rows;
+
+    /** Producer→consumer unique/non-unique byte matrix (no self edges). */
+    std::vector<CommEdge> edges;
+
+    /**
+     * Cross-thread communication matrix (empty for single-threaded
+     * guests): bytes produced on one thread and consumed on another.
+     */
+    std::vector<ThreadCommEdge> threadEdges;
+
+    /**
+     * Per-data-structure traffic (populated when collectObjects is
+     * set): row 0 is the "<other>" bucket (scratch stack, allocator
+     * headers), followed by one row per tagged heap allocation in
+     * allocation order.
+     */
+    struct ObjectRow
+    {
+        std::string tag;
+        vg::Addr base = 0;
+        std::uint64_t size = 0;
+        std::uint64_t readBytes = 0;
+        std::uint64_t writeBytes = 0;
+        std::uint64_t uniqueReadBytes = 0;
+    };
+    std::vector<ObjectRow> objects;
+
+    /**
+     * Figure 8: per (unit, consuming call) re-use-count samples with
+     * bins {0, 1-9, >9}.
+     */
+    BoundsHistogram unitReuseBreakdown{std::vector<std::uint64_t>{0, 9}};
+
+    /**
+     * Figure 12 (line mode): per-unit total re-use counts with bins
+     * {<10, <100, <1000, <10000, >=10000}.
+     */
+    BoundsHistogram lineReuseBreakdown{
+        std::vector<std::uint64_t>{9, 99, 999, 9999}};
+
+    /** Peak shadow-memory bytes the profiler held. */
+    std::uint64_t shadowPeakBytes = 0;
+
+    /** Shadow chunks evicted by the FIFO memory limiter. */
+    std::uint64_t shadowEvictions = 0;
+
+    /** Sum over rows of unique input bytes. */
+    std::uint64_t totalUniqueInputBytes() const;
+
+    /** Sum over rows of unique local bytes. */
+    std::uint64_t totalUniqueLocalBytes() const;
+
+    /** Sum over rows of all read bytes. */
+    std::uint64_t totalReadBytes() const;
+
+    /** Row for a context id; panics if out of range. */
+    const SigilRow &row(vg::ContextId ctx) const;
+
+    /** First row whose display name matches, or nullptr. */
+    const SigilRow *findByDisplayName(const std::string &name) const;
+
+    /** All rows whose function name matches (multiple contexts). */
+    std::vector<const SigilRow *>
+    findByFunction(const std::string &fn_name) const;
+};
+
+} // namespace sigil::core
+
+#endif // SIGIL_CORE_PROFILE_HH

@@ -1,0 +1,131 @@
+#include "profile_diff.hh"
+
+#include <map>
+
+namespace sigil::core {
+
+namespace {
+
+void
+check(ProfileDiff &diff, const std::string &where, const char *field,
+      std::uint64_t lhs, std::uint64_t rhs)
+{
+    if (lhs != rhs)
+        diff.mismatches.push_back(ProfileMismatch{where, field, lhs, rhs});
+}
+
+} // namespace
+
+std::string
+ProfileDiff::describe(std::size_t max_items) const
+{
+    std::string out;
+    std::size_t shown = 0;
+    for (const ProfileMismatch &m : mismatches) {
+        if (shown++ >= max_items) {
+            out += "... (" +
+                   std::to_string(mismatches.size() - max_items) +
+                   " more)\n";
+            break;
+        }
+        out += m.where + ": " + m.field + " " + std::to_string(m.lhs) +
+               " != " + std::to_string(m.rhs) + "\n";
+    }
+    return out;
+}
+
+ProfileDiff
+diffProfiles(const SigilProfile &lhs, const SigilProfile &rhs)
+{
+    ProfileDiff diff;
+
+    // Index rows by context path (context ids may differ in principle).
+    std::map<std::string, const SigilRow *> lrows, rrows;
+    for (const SigilRow &r : lhs.rows)
+        lrows[r.path] = &r;
+    for (const SigilRow &r : rhs.rows)
+        rrows[r.path] = &r;
+
+    for (const auto &[path, lr] : lrows) {
+        auto it = rrows.find(path);
+        if (it == rrows.end()) {
+            diff.mismatches.push_back(
+                ProfileMismatch{path, "missing-in-rhs", 1, 0});
+            continue;
+        }
+        const SigilRow *rr = it->second;
+        const CommAggregates &a = lr->agg;
+        const CommAggregates &b = rr->agg;
+        check(diff, path, "calls", a.calls, b.calls);
+        check(diff, path, "iops", a.iops, b.iops);
+        check(diff, path, "flops", a.flops, b.flops);
+        check(diff, path, "readBytes", a.readBytes, b.readBytes);
+        check(diff, path, "writeBytes", a.writeBytes, b.writeBytes);
+        check(diff, path, "uniqueLocalBytes", a.uniqueLocalBytes,
+              b.uniqueLocalBytes);
+        check(diff, path, "nonuniqueLocalBytes", a.nonuniqueLocalBytes,
+              b.nonuniqueLocalBytes);
+        check(diff, path, "uniqueInputBytes", a.uniqueInputBytes,
+              b.uniqueInputBytes);
+        check(diff, path, "nonuniqueInputBytes", a.nonuniqueInputBytes,
+              b.nonuniqueInputBytes);
+        check(diff, path, "uniqueOutputBytes", a.uniqueOutputBytes,
+              b.uniqueOutputBytes);
+        check(diff, path, "nonuniqueOutputBytes", a.nonuniqueOutputBytes,
+              b.nonuniqueOutputBytes);
+        check(diff, path, "uniqueInterThreadBytes",
+              a.uniqueInterThreadBytes, b.uniqueInterThreadBytes);
+        check(diff, path, "nonuniqueInterThreadBytes",
+              a.nonuniqueInterThreadBytes, b.nonuniqueInterThreadBytes);
+        check(diff, path, "lifetimeHistMass",
+              a.lifetimeHist.totalCount(), b.lifetimeHist.totalCount());
+    }
+    for (const auto &[path, rr] : rrows) {
+        (void)rr;
+        if (!lrows.count(path)) {
+            diff.mismatches.push_back(
+                ProfileMismatch{path, "missing-in-lhs", 0, 1});
+        }
+    }
+
+    // Communication matrix, keyed by producer/consumer paths.
+    auto edge_map = [](const SigilProfile &p) {
+        std::map<std::pair<std::string, std::string>,
+                 std::pair<std::uint64_t, std::uint64_t>>
+            out;
+        for (const CommEdge &e : p.edges) {
+            std::string src = e.producer >= 0
+                                  ? p.row(e.producer).path
+                                  : std::string("<uninit>");
+            std::string dst = p.row(e.consumer).path;
+            auto &cell = out[{src, dst}];
+            cell.first += e.uniqueBytes;
+            cell.second += e.nonuniqueBytes;
+        }
+        return out;
+    };
+    auto le = edge_map(lhs);
+    auto re = edge_map(rhs);
+    for (const auto &[key, lval] : le) {
+        auto it = re.find(key);
+        std::string where = "edge " + key.first + " -> " + key.second;
+        if (it == re.end()) {
+            diff.mismatches.push_back(
+                ProfileMismatch{where, "missing-in-rhs", lval.first, 0});
+            continue;
+        }
+        check(diff, where, "uniqueBytes", lval.first, it->second.first);
+        check(diff, where, "nonuniqueBytes", lval.second,
+              it->second.second);
+    }
+    for (const auto &[key, rval] : re) {
+        if (!le.count(key)) {
+            diff.mismatches.push_back(ProfileMismatch{
+                "edge " + key.first + " -> " + key.second,
+                "missing-in-lhs", 0, rval.first});
+        }
+    }
+    return diff;
+}
+
+} // namespace sigil::core

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Structural comparison of two Sigil profiles.
+ *
+ * The paper's release model rests on profiles being platform
+ * independent: "the profiles will remain the same despite the platform
+ * that the profile is run on". This module checks that claim
+ * mechanically — two profiles of the same program (collected with
+ * different cache configurations, tool modes, or on different hosts)
+ * must agree on every communication number; profiles of different
+ * input scales can be compared field by field to study how
+ * communication grows.
+ */
+
+#ifndef SIGIL_CORE_PROFILE_DIFF_HH
+#define SIGIL_CORE_PROFILE_DIFF_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/profile.hh"
+
+namespace sigil::core {
+
+/** One field mismatch between two profiles. */
+struct ProfileMismatch
+{
+    std::string where; // context path or "edges"/"structure"
+    std::string field;
+    std::uint64_t lhs = 0;
+    std::uint64_t rhs = 0;
+};
+
+/** Result of a comparison. */
+struct ProfileDiff
+{
+    std::vector<ProfileMismatch> mismatches;
+
+    bool identical() const { return mismatches.empty(); }
+
+    /** Render the first max_items mismatches, one per line. */
+    std::string describe(std::size_t max_items = 10) const;
+};
+
+/**
+ * Compare the platform-independent content of two profiles: the
+ * context tree (by path), per-context communication aggregates, and
+ * the communication matrix. Re-use histograms are compared by total
+ * mass. Host-side artefacts (shadow peak bytes, eviction counts) are
+ * deliberately ignored — those are allowed to differ across platforms.
+ */
+ProfileDiff diffProfiles(const SigilProfile &lhs, const SigilProfile &rhs);
+
+} // namespace sigil::core
+
+#endif // SIGIL_CORE_PROFILE_DIFF_HH

@@ -1,0 +1,371 @@
+#include "profile_io.hh"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace sigil::core {
+
+namespace {
+
+/** Split a line on tabs. */
+std::vector<std::string>
+splitTabs(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        std::size_t pos = line.find('\t', start);
+        if (pos == std::string::npos) {
+            out.push_back(line.substr(start));
+            return out;
+        }
+        out.push_back(line.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::uint64_t
+parseU64(const std::string &s, const char *what)
+{
+    try {
+        std::size_t consumed = 0;
+        std::uint64_t v = std::stoull(s, &consumed);
+        if (consumed != s.size())
+            fatal("profile parse: bad %s value '%s'", what, s.c_str());
+        return v;
+    } catch (const std::exception &) {
+        fatal("profile parse: bad %s value '%s'", what, s.c_str());
+    }
+}
+
+std::int64_t
+parseI64(const std::string &s, const char *what)
+{
+    try {
+        std::size_t consumed = 0;
+        std::int64_t v = std::stoll(s, &consumed);
+        if (consumed != s.size())
+            fatal("profile parse: bad %s value '%s'", what, s.c_str());
+        return v;
+    } catch (const std::exception &) {
+        fatal("profile parse: bad %s value '%s'", what, s.c_str());
+    }
+}
+
+std::string
+sanitize(const std::string &name)
+{
+    std::string out = name;
+    for (char &c : out) {
+        if (c == '\t' || c == '\n')
+            c = ' ';
+    }
+    return out;
+}
+
+void
+writeBounds(std::ostream &os, const char *tag, const BoundsHistogram &h)
+{
+    os << "breakdown\t" << tag;
+    for (std::size_t i = 0; i < h.numBins(); ++i)
+        os << '\t' << h.binCount(i);
+    os << '\n';
+}
+
+} // namespace
+
+void
+writeProfile(std::ostream &os, const SigilProfile &profile)
+{
+    os << "sigil-profile\t1\n";
+    os << "program\t" << sanitize(profile.program) << '\n';
+    os << "granularity\t" << profile.granularityShift << '\n';
+    os << "shadow\t" << profile.shadowPeakBytes << '\t'
+       << profile.shadowEvictions << '\n';
+
+    for (const SigilRow &r : profile.rows) {
+        const CommAggregates &a = r.agg;
+        os << "row\t" << r.ctx << '\t' << r.parent << '\t'
+           << sanitize(r.fnName) << '\t' << sanitize(r.displayName) << '\t'
+           << sanitize(r.path) << '\t' << a.calls << '\t' << a.iops << '\t'
+           << a.flops << '\t' << a.readBytes << '\t' << a.writeBytes
+           << '\t' << a.uniqueLocalBytes << '\t' << a.nonuniqueLocalBytes
+           << '\t' << a.uniqueInputBytes << '\t' << a.nonuniqueInputBytes
+           << '\t' << a.uniqueOutputBytes << '\t'
+           << a.nonuniqueOutputBytes << '\t' << a.reusedUnits << '\t'
+           << a.reuseReads << '\t' << a.lifetimeSum << '\t'
+           << a.uniqueInterThreadBytes << '\t'
+           << a.nonuniqueInterThreadBytes << '\n';
+        const LinearHistogram &h = a.lifetimeHist;
+        if (h.totalCount() > 0) {
+            os << "hist\t" << r.ctx << '\t' << h.binWidth() << '\t'
+               << h.overflowCount() << '\t' << h.totalValue() << '\t'
+               << h.maxValue() << '\t' << h.numBins();
+            for (std::size_t i = 0; i < h.numBins(); ++i)
+                os << '\t' << h.binCount(i);
+            os << '\n';
+        }
+    }
+
+    for (const CommEdge &e : profile.edges) {
+        os << "edge\t" << e.producer << '\t' << e.consumer << '\t'
+           << e.uniqueBytes << '\t' << e.nonuniqueBytes << '\n';
+    }
+    for (const ThreadCommEdge &e : profile.threadEdges) {
+        os << "tedge\t" << e.producer << '\t' << e.consumer << '\t'
+           << e.uniqueBytes << '\t' << e.nonuniqueBytes << '\n';
+    }
+
+    writeBounds(os, "unit", profile.unitReuseBreakdown);
+    writeBounds(os, "line", profile.lineReuseBreakdown);
+    os << "end\n";
+}
+
+void
+writeProfileFile(const std::string &path, const SigilProfile &profile)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open '%s' for writing", path.c_str());
+    writeProfile(os, profile);
+    if (!os)
+        fatal("I/O error writing '%s'", path.c_str());
+}
+
+SigilProfile
+readProfile(std::istream &is)
+{
+    SigilProfile profile;
+    std::string line;
+    bool saw_header = false;
+    bool saw_end = false;
+    std::unordered_map<std::string, vg::FunctionId> fn_ids;
+
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::vector<std::string> f = splitTabs(line);
+        const std::string &tag = f[0];
+
+        if (!saw_header) {
+            if (tag != "sigil-profile" || f.size() < 2 || f[1] != "1")
+                fatal("not a sigil profile (bad header)");
+            saw_header = true;
+            continue;
+        }
+        if (tag == "program" && f.size() >= 2) {
+            profile.program = f[1];
+        } else if (tag == "granularity" && f.size() >= 2) {
+            profile.granularityShift =
+                static_cast<unsigned>(parseU64(f[1], "granularity"));
+        } else if (tag == "shadow" && f.size() >= 3) {
+            profile.shadowPeakBytes = parseU64(f[1], "shadow peak");
+            profile.shadowEvictions = parseU64(f[2], "shadow evictions");
+        } else if (tag == "row") {
+            if (f.size() < 22)
+                fatal("profile parse: short row line");
+            SigilRow r;
+            r.ctx = static_cast<vg::ContextId>(parseI64(f[1], "ctx"));
+            r.parent =
+                static_cast<vg::ContextId>(parseI64(f[2], "parent"));
+            r.fnName = f[3];
+            r.displayName = f[4];
+            r.path = f[5];
+            auto [it, inserted] = fn_ids.try_emplace(
+                r.fnName, static_cast<vg::FunctionId>(fn_ids.size()));
+            (void)inserted;
+            r.fn = it->second;
+            CommAggregates &a = r.agg;
+            a.calls = parseU64(f[6], "calls");
+            a.iops = parseU64(f[7], "iops");
+            a.flops = parseU64(f[8], "flops");
+            a.readBytes = parseU64(f[9], "readBytes");
+            a.writeBytes = parseU64(f[10], "writeBytes");
+            a.uniqueLocalBytes = parseU64(f[11], "ul");
+            a.nonuniqueLocalBytes = parseU64(f[12], "nul");
+            a.uniqueInputBytes = parseU64(f[13], "ui");
+            a.nonuniqueInputBytes = parseU64(f[14], "nui");
+            a.uniqueOutputBytes = parseU64(f[15], "uo");
+            a.nonuniqueOutputBytes = parseU64(f[16], "nuo");
+            a.reusedUnits = parseU64(f[17], "reusedUnits");
+            a.reuseReads = parseU64(f[18], "reuseReads");
+            a.lifetimeSum = parseU64(f[19], "lifetimeSum");
+            a.uniqueInterThreadBytes = parseU64(f[20], "uit");
+            a.nonuniqueInterThreadBytes = parseU64(f[21], "nit");
+            std::size_t idx = static_cast<std::size_t>(r.ctx);
+            if (idx >= profile.rows.size())
+                profile.rows.resize(idx + 1);
+            profile.rows[idx] = std::move(r);
+        } else if (tag == "hist") {
+            if (f.size() < 7)
+                fatal("profile parse: short hist line");
+            std::size_t ctx = parseU64(f[1], "hist ctx");
+            std::uint64_t width = parseU64(f[2], "hist width");
+            std::uint64_t overflow = parseU64(f[3], "hist overflow");
+            std::uint64_t sum = parseU64(f[4], "hist sum");
+            std::uint64_t max = parseU64(f[5], "hist max");
+            std::size_t nbins = parseU64(f[6], "hist nbins");
+            if (f.size() != 7 + nbins)
+                fatal("profile parse: hist bin count mismatch");
+            std::vector<std::uint64_t> bins(nbins);
+            for (std::size_t i = 0; i < nbins; ++i)
+                bins[i] = parseU64(f[7 + i], "hist bin");
+            if (ctx >= profile.rows.size())
+                fatal("profile parse: hist for unknown context");
+            LinearHistogram h(width);
+            h.restore(std::move(bins), overflow, sum, max);
+            profile.rows[ctx].agg.lifetimeHist = std::move(h);
+        } else if (tag == "tedge") {
+            if (f.size() < 5)
+                fatal("profile parse: short tedge line");
+            ThreadCommEdge e;
+            e.producer = static_cast<vg::ThreadId>(
+                parseU64(f[1], "producer tid"));
+            e.consumer = static_cast<vg::ThreadId>(
+                parseU64(f[2], "consumer tid"));
+            e.uniqueBytes = parseU64(f[3], "unique");
+            e.nonuniqueBytes = parseU64(f[4], "nonunique");
+            profile.threadEdges.push_back(e);
+        } else if (tag == "edge") {
+            if (f.size() < 5)
+                fatal("profile parse: short edge line");
+            CommEdge e;
+            e.producer =
+                static_cast<vg::ContextId>(parseI64(f[1], "producer"));
+            e.consumer =
+                static_cast<vg::ContextId>(parseI64(f[2], "consumer"));
+            e.uniqueBytes = parseU64(f[3], "unique");
+            e.nonuniqueBytes = parseU64(f[4], "nonunique");
+            profile.edges.push_back(e);
+        } else if (tag == "breakdown") {
+            if (f.size() < 2)
+                fatal("profile parse: short breakdown line");
+            std::vector<std::uint64_t> counts;
+            for (std::size_t i = 2; i < f.size(); ++i)
+                counts.push_back(parseU64(f[i], "breakdown"));
+            if (f[1] == "unit")
+                profile.unitReuseBreakdown.restore(counts);
+            else if (f[1] == "line")
+                profile.lineReuseBreakdown.restore(counts);
+            else
+                fatal("profile parse: unknown breakdown '%s'",
+                      f[1].c_str());
+        } else if (tag == "end") {
+            saw_end = true;
+            break;
+        } else {
+            fatal("profile parse: unknown tag '%s'", tag.c_str());
+        }
+    }
+    if (!saw_header)
+        fatal("not a sigil profile (empty input)");
+    if (!saw_end)
+        fatal("profile parse: truncated input (missing 'end')");
+    return profile;
+}
+
+SigilProfile
+readProfileFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open '%s' for reading", path.c_str());
+    return readProfile(is);
+}
+
+void
+writeEvents(std::ostream &os, const EventTrace &events)
+{
+    os << "sigil-events\t1\n";
+    for (const EventRecord &r : events.records) {
+        if (r.kind == EventRecord::Kind::Compute) {
+            const ComputeEvent &c = r.compute;
+            os << "C\t" << c.seq << '\t' << c.predSeq << '\t' << c.ctx
+               << '\t' << c.call << '\t' << c.iops << '\t' << c.flops
+               << '\t' << c.reads << '\t' << c.writes << '\n';
+        } else {
+            const XferEvent &x = r.xfer;
+            os << "X\t" << x.srcSeq << '\t' << x.dstSeq << '\t' << x.bytes
+               << '\n';
+        }
+    }
+    os << "end\n";
+}
+
+void
+writeEventsFile(const std::string &path, const EventTrace &events)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open '%s' for writing", path.c_str());
+    writeEvents(os, events);
+    if (!os)
+        fatal("I/O error writing '%s'", path.c_str());
+}
+
+EventTrace
+readEvents(std::istream &is)
+{
+    EventTrace trace;
+    std::string line;
+    bool saw_header = false;
+    bool saw_end = false;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::vector<std::string> f = splitTabs(line);
+        if (!saw_header) {
+            if (f[0] != "sigil-events" || f.size() < 2 || f[1] != "1")
+                fatal("not a sigil event file (bad header)");
+            saw_header = true;
+            continue;
+        }
+        if (f[0] == "C") {
+            if (f.size() < 9)
+                fatal("event parse: short compute line");
+            ComputeEvent c;
+            c.seq = parseU64(f[1], "seq");
+            c.predSeq = parseU64(f[2], "predSeq");
+            c.ctx = static_cast<vg::ContextId>(parseI64(f[3], "ctx"));
+            c.call = parseU64(f[4], "call");
+            c.iops = parseU64(f[5], "iops");
+            c.flops = parseU64(f[6], "flops");
+            c.reads = parseU64(f[7], "reads");
+            c.writes = parseU64(f[8], "writes");
+            trace.records.push_back(EventRecord::makeCompute(c));
+        } else if (f[0] == "X") {
+            if (f.size() < 4)
+                fatal("event parse: short xfer line");
+            XferEvent x;
+            x.srcSeq = parseU64(f[1], "srcSeq");
+            x.dstSeq = parseU64(f[2], "dstSeq");
+            x.bytes = parseU64(f[3], "bytes");
+            trace.records.push_back(EventRecord::makeXfer(x));
+        } else if (f[0] == "end") {
+            saw_end = true;
+            break;
+        } else {
+            fatal("event parse: unknown tag '%s'", f[0].c_str());
+        }
+    }
+    if (!saw_header)
+        fatal("not a sigil event file (empty input)");
+    if (!saw_end)
+        fatal("event parse: truncated input (missing 'end')");
+    return trace;
+}
+
+EventTrace
+readEventsFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open '%s' for reading", path.c_str());
+    return readEvents(is);
+}
+
+} // namespace sigil::core

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Text serialization of Sigil's two output representations: the
+ * per-function aggregate profile and the event file. The formats are
+ * line-oriented and tab-delimited so that function names containing
+ * spaces (e.g. "operator new") round-trip safely, and so downstream
+ * post-processing (the cdfg and critpath modules, or external scripts)
+ * can consume them without the profiler in the loop — which is how the
+ * paper's released profiles were meant to be used.
+ */
+
+#ifndef SIGIL_CORE_PROFILE_IO_HH
+#define SIGIL_CORE_PROFILE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "core/event_trace.hh"
+#include "core/profile.hh"
+
+namespace sigil::core {
+
+/** Write an aggregate profile. */
+void writeProfile(std::ostream &os, const SigilProfile &profile);
+
+/** Write an aggregate profile to a file; fatal() on I/O failure. */
+void writeProfileFile(const std::string &path, const SigilProfile &profile);
+
+/** Parse an aggregate profile; fatal() on malformed input. */
+SigilProfile readProfile(std::istream &is);
+
+/** Parse an aggregate profile from a file. */
+SigilProfile readProfileFile(const std::string &path);
+
+/** Write an event trace. */
+void writeEvents(std::ostream &os, const EventTrace &events);
+
+/** Write an event trace to a file; fatal() on I/O failure. */
+void writeEventsFile(const std::string &path, const EventTrace &events);
+
+/** Parse an event trace; fatal() on malformed input. */
+EventTrace readEvents(std::istream &is);
+
+/** Parse an event trace from a file. */
+EventTrace readEventsFile(const std::string &path);
+
+} // namespace sigil::core
+
+#endif // SIGIL_CORE_PROFILE_IO_HH

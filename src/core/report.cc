@@ -1,0 +1,126 @@
+#include "report.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/logging.hh"
+#include "support/table.hh"
+
+namespace sigil::core {
+
+std::string
+flatReport(const SigilProfile &sigil, const cg::CgProfile *cg,
+           std::size_t top_n)
+{
+    if (cg != nullptr && cg->rows.size() != sigil.rows.size())
+        fatal("flatReport: mismatched profiles");
+
+    struct Entry
+    {
+        const SigilRow *row;
+        std::uint64_t inclCost;
+        std::uint64_t selfCost;
+    };
+    std::vector<Entry> entries;
+    for (const SigilRow &row : sigil.rows) {
+        Entry e;
+        e.row = &row;
+        if (cg != nullptr) {
+            const cg::CgRow &c =
+                cg->rows[static_cast<std::size_t>(row.ctx)];
+            e.inclCost = c.incl.cycleEstimate();
+            e.selfCost = c.self.cycleEstimate();
+        } else {
+            e.inclCost = e.selfCost = row.agg.iops + row.agg.flops;
+        }
+        entries.push_back(e);
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  if (a.inclCost != b.inclCost)
+                      return a.inclCost > b.inclCost;
+                  return a.row->displayName < b.row->displayName;
+              });
+
+    std::uint64_t total = 0;
+    for (const Entry &e : entries) {
+        if (e.row->parent == vg::kInvalidContext)
+            total += e.inclCost;
+    }
+
+    TextTable table;
+    table.header({"incl%", "self", "calls", "uniq_in", "nonuniq_in",
+                  "uniq_out", "context"});
+    std::size_t shown = 0;
+    for (const Entry &e : entries) {
+        if (shown++ >= top_n)
+            break;
+        double pct = total == 0 ? 0.0
+                                : 100.0 * static_cast<double>(e.inclCost) /
+                                      static_cast<double>(total);
+        const CommAggregates &a = e.row->agg;
+        table.addRow({strformat("%.1f", pct),
+                      std::to_string(e.selfCost),
+                      std::to_string(a.calls),
+                      std::to_string(a.uniqueInputBytes),
+                      std::to_string(a.nonuniqueInputBytes),
+                      std::to_string(a.uniqueOutputBytes),
+                      e.row->path});
+    }
+    return table.render();
+}
+
+std::string
+commSummary(const SigilProfile &sigil)
+{
+    std::uint64_t ul = 0, nul = 0, ui = 0, nui = 0, uo = 0, it = 0,
+                  nit = 0;
+    for (const SigilRow &row : sigil.rows) {
+        const CommAggregates &a = row.agg;
+        ul += a.uniqueLocalBytes;
+        nul += a.nonuniqueLocalBytes;
+        ui += a.uniqueInputBytes;
+        nui += a.nonuniqueInputBytes;
+        uo += a.uniqueOutputBytes;
+        it += a.uniqueInterThreadBytes;
+        nit += a.nonuniqueInterThreadBytes;
+    }
+    std::uint64_t total = ul + nul + ui + nui;
+    auto pct = [&](std::uint64_t v) {
+        return total == 0 ? 0.0
+                          : 100.0 * static_cast<double>(v) /
+                                static_cast<double>(total);
+    };
+
+    std::string out;
+    out += strformat("total classified read bytes : %llu\n",
+                     static_cast<unsigned long long>(total));
+    out += strformat("  unique input     : %llu (%.1f%%)\n",
+                     static_cast<unsigned long long>(ui), pct(ui));
+    out += strformat("  re-read input    : %llu (%.1f%%)\n",
+                     static_cast<unsigned long long>(nui), pct(nui));
+    out += strformat("  unique local     : %llu (%.1f%%)\n",
+                     static_cast<unsigned long long>(ul), pct(ul));
+    out += strformat("  re-read local    : %llu (%.1f%%)\n",
+                     static_cast<unsigned long long>(nul), pct(nul));
+    out += strformat("unique output attributions  : %llu\n",
+                     static_cast<unsigned long long>(uo));
+    if (it + nit > 0) {
+        out += strformat("cross-thread bytes          : %llu unique, "
+                         "%llu re-read\n",
+                         static_cast<unsigned long long>(it),
+                         static_cast<unsigned long long>(nit));
+    }
+    const BoundsHistogram &h = sigil.unitReuseBreakdown;
+    if (h.totalCount() > 0) {
+        out += "re-use breakdown (per consuming call): ";
+        for (std::size_t i = 0; i < h.numBins(); ++i) {
+            out += strformat("%s=%.1f%%%s", h.binLabel(i).c_str(),
+                             100.0 * h.binFraction(i),
+                             i + 1 < h.numBins() ? ", " : "\n");
+        }
+    }
+    return out;
+}
+
+} // namespace sigil::core

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Human-readable profile reports: a gprof-style flat profile ranked by
+ * inclusive cycles, and a communication summary giving the paper's
+ * headline numbers (how much of the traffic is unique, local, re-read)
+ * for one run.
+ */
+
+#ifndef SIGIL_CORE_REPORT_HH
+#define SIGIL_CORE_REPORT_HH
+
+#include <string>
+
+#include "cg/cg_profile.hh"
+#include "core/profile.hh"
+
+namespace sigil::core {
+
+/**
+ * Flat profile of the top_n contexts by inclusive cycle estimate (or
+ * by operations when cg is nullptr), with per-row communication
+ * columns. Rendered as an aligned text table.
+ */
+std::string flatReport(const SigilProfile &sigil, const cg::CgProfile *cg,
+                       std::size_t top_n = 20);
+
+/**
+ * Program-wide communication summary: totals of every classification
+ * axis, the unique fraction, the re-use breakdown, and cross-thread
+ * share when the guest was multi-threaded.
+ */
+std::string commSummary(const SigilProfile &sigil);
+
+} // namespace sigil::core
+
+#endif // SIGIL_CORE_REPORT_HH

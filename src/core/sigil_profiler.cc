@@ -1,0 +1,476 @@
+#include "sigil_profiler.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace sigil::core {
+
+const CommAggregates SigilProfiler::kZero = CommAggregates();
+
+namespace {
+
+std::uint64_t
+edgeKey(vg::ContextId producer, vg::ContextId consumer)
+{
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(producer))
+            << 32) |
+           static_cast<std::uint32_t>(consumer);
+}
+
+} // namespace
+
+SigilProfiler::SigilProfiler(const SigilConfig &config)
+    : config_(config),
+      shadow_(shadow::ShadowMemory::Config{config.granularityShift,
+                                           config.maxShadowChunks})
+{
+    shadow_.setEvictionHandler(
+        [this](std::uint64_t unit, shadow::ShadowObject &obj) {
+            (void)unit;
+            finalizeRun(obj);
+        });
+    collecting_ = !config_.roiOnly;
+}
+
+void
+SigilProfiler::roi(bool active)
+{
+    if (config_.roiOnly)
+        collecting_ = active;
+}
+
+void
+SigilProfiler::attach(const vg::Guest &guest)
+{
+    Tool::attach(guest);
+}
+
+CommAggregates &
+SigilProfiler::row(vg::ContextId ctx)
+{
+    std::size_t idx = static_cast<std::size_t>(ctx);
+    if (idx >= rows_.size())
+        rows_.resize(idx + 1);
+    return rows_[idx];
+}
+
+void
+SigilProfiler::fnEnter(vg::ContextId ctx, vg::CallNum call)
+{
+    if (collecting_)
+        ++row(ctx).calls;
+    if (!config_.collectEvents)
+        return;
+    // The first segment of a call is spawned by the caller's segment
+    // that was open at the call site (on the same thread).
+    SegState &state = seg();
+    std::uint64_t pred = state.open ? state.segment.seq : 0;
+    startSegment(state, ctx, call, pred);
+    state.frameLastSeq.push_back(state.segment.seq);
+}
+
+void
+SigilProfiler::fnLeave(vg::ContextId ctx, vg::CallNum call)
+{
+    (void)ctx;
+    (void)call;
+    if (!config_.collectEvents)
+        return;
+    SegState &state = seg();
+    if (state.frameLastSeq.empty())
+        panic("SigilProfiler::fnLeave with no open frame");
+    state.frameLastSeq.pop_back();
+    // The guest has already popped the left frame, so its current frame
+    // (if any) is the caller resuming execution: open a fresh segment
+    // for this re-occurrence of the caller, serially ordered after the
+    // caller's previous segment (not after the child — functions are
+    // modelled as non-blocking).
+    if (guest_->callDepth() > 0) {
+        startSegment(state, guest_->currentContext(),
+                     guest_->currentCall(), state.frameLastSeq.back());
+        state.frameLastSeq.back() = state.segment.seq;
+    } else {
+        flushSegment(state);
+    }
+}
+
+SigilProfiler::ObjectStats &
+SigilProfiler::objectSlot(int alloc_index)
+{
+    std::size_t slot = static_cast<std::size_t>(alloc_index + 1);
+    if (slot >= objectStats_.size())
+        objectStats_.resize(slot + 1);
+    return objectStats_[slot];
+}
+
+void
+SigilProfiler::memWrite(vg::Addr addr, unsigned size)
+{
+    vg::ContextId ctx = guest_->currentContext();
+    vg::CallNum call = guest_->currentCall();
+    if (collecting_) {
+        row(ctx).writeBytes += size;
+        if (config_.collectObjects)
+            objectSlot(guest_->allocationOf(addr)).writeBytes += size;
+    }
+    SegState &state = seg();
+    if (state.open)
+        ++state.segment.writes;
+
+    std::uint64_t first = shadow_.unitOf(addr);
+    std::uint64_t last = shadow_.lastUnitOf(addr, size);
+    for (std::uint64_t u = first; u <= last; ++u) {
+        shadow::ShadowObject &s = shadow_.lookup(u);
+        if (config_.collectReuse)
+            finalizeRun(s);
+        s.lastWriterCtx = ctx;
+        s.lastWriterCall = call;
+        s.lastWriterSeq = state.open ? state.segment.seq : 0;
+        s.lastWriterThread = currentTid_;
+        s.lastReaderCtx = vg::kInvalidContext;
+        s.lastReaderCall = 0;
+    }
+}
+
+void
+SigilProfiler::memRead(vg::Addr addr, unsigned size)
+{
+    vg::ContextId ctx = guest_->currentContext();
+    vg::CallNum call = guest_->currentCall();
+    vg::Tick now = guest_->now();
+    CommAggregates &reader = row(ctx);
+    if (collecting_)
+        reader.readBytes += size;
+    SegState &state = seg();
+    if (state.open)
+        ++state.segment.reads;
+    std::uint64_t unique_bytes_this_access = 0;
+
+    std::uint64_t first = shadow_.unitOf(addr);
+    std::uint64_t last = shadow_.lastUnitOf(addr, size);
+    for (std::uint64_t u = first; u <= last; ++u) {
+        shadow::ShadowObject &s = shadow_.lookup(u);
+
+        // Bytes of this access falling inside unit u (1 in byte mode).
+        std::uint64_t unit_lo = u << shadow_.granularityShift();
+        std::uint64_t unit_hi = unit_lo + shadow_.unitBytes();
+        std::uint64_t lo = std::max<std::uint64_t>(addr, unit_lo);
+        std::uint64_t hi = std::min<std::uint64_t>(addr + size, unit_hi);
+        std::uint64_t w = hi - lo;
+
+        vg::ContextId producer =
+            s.everWritten() ? s.lastWriterCtx : kUninitProducer;
+        bool unique = s.lastReaderCtx != ctx;
+        bool local = producer == ctx;
+
+        if (!collecting_) {
+            // Outside the ROI: maintain shadow state only. Clear any
+            // pending run so pre-ROI reads never leak into ROI stats.
+            s.runReads = 0;
+            s.lastReaderCtx = ctx;
+            s.lastReaderCall = call;
+            continue;
+        }
+
+        if (unique)
+            unique_bytes_this_access += w;
+        if (local) {
+            if (unique)
+                reader.uniqueLocalBytes += w;
+            else
+                reader.nonuniqueLocalBytes += w;
+        } else {
+            if (unique)
+                reader.uniqueInputBytes += w;
+            else
+                reader.nonuniqueInputBytes += w;
+            if (producer >= 0) {
+                CommAggregates &prod = row(producer);
+                if (unique)
+                    prod.uniqueOutputBytes += w;
+                else
+                    prod.nonuniqueOutputBytes += w;
+            }
+            std::uint64_t key = edgeKey(producer, ctx);
+            auto [it, inserted] =
+                edgeIndex_.try_emplace(key, edges_.size());
+            if (inserted)
+                edges_.push_back(CommEdge{producer, ctx, 0, 0});
+            CommEdge &edge = edges_[it->second];
+            if (unique)
+                edge.uniqueBytes += w;
+            else
+                edge.nonuniqueBytes += w;
+        }
+
+        // Cross-thread communication: producer ran on another thread.
+        // Orthogonal to the local/input axis — two threads executing
+        // the same function still communicate through memory.
+        if (s.everWritten() && s.lastWriterThread != currentTid_) {
+            if (unique)
+                reader.uniqueInterThreadBytes += w;
+            else
+                reader.nonuniqueInterThreadBytes += w;
+            std::uint64_t tkey =
+                (static_cast<std::uint64_t>(s.lastWriterThread) << 32) |
+                currentTid_;
+            auto [tit, tin] = threadEdgeIndex_.try_emplace(
+                tkey, threadEdges_.size());
+            if (tin) {
+                threadEdges_.push_back(ThreadCommEdge{
+                    s.lastWriterThread, currentTid_, 0, 0});
+            }
+            ThreadCommEdge &tedge = threadEdges_[tit->second];
+            if (unique)
+                tedge.uniqueBytes += w;
+            else
+                tedge.nonuniqueBytes += w;
+        }
+
+        if (config_.collectEvents && unique && s.everWritten() &&
+            state.open && s.lastWriterSeq != state.segment.seq) {
+            state.xfers[s.lastWriterSeq] += w;
+        }
+
+        if (config_.collectReuse) {
+            if (s.lastReaderCtx == ctx && s.lastReaderCall == call) {
+                ++s.runReads;
+                s.runLastRead = now;
+            } else {
+                finalizeRun(s);
+                s.runReads = 1;
+                s.runFirstRead = now;
+                s.runLastRead = now;
+            }
+        }
+
+        ++s.totalAccesses;
+        s.lastReaderCtx = ctx;
+        s.lastReaderCall = call;
+    }
+
+    if (collecting_ && config_.collectObjects) {
+        ObjectStats &obj = objectSlot(guest_->allocationOf(addr));
+        obj.readBytes += size;
+        obj.uniqueReadBytes += unique_bytes_this_access;
+    }
+}
+
+void
+SigilProfiler::op(std::uint64_t iops, std::uint64_t flops)
+{
+    if (!collecting_)
+        return;
+    CommAggregates &r = row(guest_->currentContext());
+    r.iops += iops;
+    r.flops += flops;
+    SegState &state = seg();
+    if (state.open) {
+        state.segment.iops += iops;
+        state.segment.flops += flops;
+    }
+}
+
+void
+SigilProfiler::threadSwitch(vg::ThreadId tid)
+{
+    if (static_cast<std::size_t>(tid) >= segStates_.size())
+        segStates_.resize(static_cast<std::size_t>(tid) + 1);
+    if (!config_.collectEvents) {
+        currentTid_ = tid;
+        return;
+    }
+    // A compute segment cannot span a descheduling: flush the outgoing
+    // thread's open segment so the trace stays topologically ordered
+    // (a consumer on another thread may reference it immediately).
+    flushSegment(seg());
+    currentTid_ = tid;
+    // Resume the incoming thread's current function (if any) as a new
+    // segment chained to its previous one.
+    SegState &state = seg();
+    if (!state.frameLastSeq.empty()) {
+        startSegment(state, guest_->currentContext(),
+                     guest_->currentCall(), state.frameLastSeq.back());
+        state.frameLastSeq.back() = state.segment.seq;
+    }
+}
+
+void
+SigilProfiler::finalizeRun(shadow::ShadowObject &obj)
+{
+    if (!config_.collectReuse)
+        return;
+    if (obj.lastReaderCtx == vg::kInvalidContext || obj.runReads == 0)
+        return;
+    std::uint64_t reuse = obj.runReads - 1;
+    unitReuseBreakdown_.add(reuse);
+    if (reuse >= 1) {
+        CommAggregates &r = row(obj.lastReaderCtx);
+        ++r.reusedUnits;
+        r.reuseReads += reuse;
+        std::uint64_t lifetime = obj.runLastRead - obj.runFirstRead;
+        r.lifetimeSum += lifetime;
+        r.lifetimeHist.add(lifetime);
+    }
+    obj.runReads = 0;
+}
+
+std::uint64_t
+SigilProfiler::resolvePred(std::uint64_t seq) const
+{
+    // Follow the forwarding chain through skipped empty segments so an
+    // ordering edge never dangles on a segment absent from the trace.
+    auto it = skippedSegments_.find(seq);
+    while (it != skippedSegments_.end()) {
+        seq = it->second;
+        it = skippedSegments_.find(seq);
+    }
+    return seq;
+}
+
+void
+SigilProfiler::barrier()
+{
+    if (!config_.collectEvents)
+        return;
+    // Close every thread's open segment; everything after the barrier
+    // is ordered after everything before it.
+    barrierPreds_.clear();
+    for (SegState &state : segStates_) {
+        flushSegment(state);
+        if (!state.frameLastSeq.empty())
+            barrierPreds_.push_back(state.frameLastSeq.back());
+        state.barrierPending = true;
+    }
+    // The current thread keeps running: reopen its segment so the
+    // post-barrier work lands in a node that carries the barrier edges.
+    SegState &cur = seg();
+    if (!cur.frameLastSeq.empty()) {
+        startSegment(cur, guest_->currentContext(),
+                     guest_->currentCall(), cur.frameLastSeq.back());
+        cur.frameLastSeq.back() = cur.segment.seq;
+    }
+}
+
+void
+SigilProfiler::startSegment(SegState &state, vg::ContextId ctx,
+                            vg::CallNum call, std::uint64_t pred_seq)
+{
+    flushSegment(state);
+    state.segment = ComputeEvent{};
+    state.segment.seq = nextSeq_++;
+    state.segment.predSeq = resolvePred(pred_seq);
+    state.segment.ctx = ctx;
+    state.segment.call = call;
+    state.open = true;
+    if (state.barrierPending) {
+        // Zero-byte ordering edges from every thread's pre-barrier
+        // work (the serial predecessor already covers this thread's
+        // own chain).
+        for (std::uint64_t pred : barrierPreds_) {
+            std::uint64_t resolved = resolvePred(pred);
+            if (resolved != state.segment.predSeq && resolved != 0)
+                state.xfers.try_emplace(resolved, 0);
+        }
+        state.barrierPending = false;
+    }
+}
+
+void
+SigilProfiler::flushSegment(SegState &state)
+{
+    if (!state.open)
+        return;
+    const ComputeEvent &segment = state.segment;
+    bool has_work = segment.iops || segment.flops || segment.reads ||
+                    segment.writes;
+    if (collecting_ && (has_work || !state.xfers.empty())) {
+        for (const auto &[src, bytes] : state.xfers) {
+            XferEvent x;
+            x.srcSeq = resolvePred(src);
+            x.dstSeq = segment.seq;
+            x.bytes = bytes;
+            events_.records.push_back(EventRecord::makeXfer(x));
+        }
+        events_.records.push_back(EventRecord::makeCompute(segment));
+    } else {
+        skippedSegments_.emplace(segment.seq, segment.predSeq);
+    }
+    state.xfers.clear();
+    state.open = false;
+}
+
+void
+SigilProfiler::finish()
+{
+    for (SegState &state : segStates_)
+        flushSegment(state);
+    shadow_.forEach([this](std::uint64_t unit, shadow::ShadowObject &obj) {
+        (void)unit;
+        finalizeRun(obj);
+        if (config_.granularityShift > 0 && obj.totalAccesses > 0)
+            lineReuseBreakdown_.add(obj.totalAccesses - 1);
+    });
+}
+
+const CommAggregates &
+SigilProfiler::aggregates(vg::ContextId ctx) const
+{
+    std::size_t idx = static_cast<std::size_t>(ctx);
+    return idx < rows_.size() ? rows_[idx] : kZero;
+}
+
+SigilProfile
+SigilProfiler::takeProfile() const
+{
+    if (guest_ == nullptr)
+        panic("SigilProfiler::takeProfile before attach");
+    const vg::ContextTree &ctxs = guest_->contexts();
+    const vg::FunctionRegistry &fns = guest_->functions();
+
+    SigilProfile profile;
+    profile.program = guest_->programName();
+    profile.granularityShift = config_.granularityShift;
+    profile.rows.resize(ctxs.size());
+    for (std::size_t i = 0; i < ctxs.size(); ++i) {
+        vg::ContextId ctx = static_cast<vg::ContextId>(i);
+        SigilRow &out = profile.rows[i];
+        out.ctx = ctx;
+        out.parent = ctxs.parent(ctx);
+        out.fn = ctxs.function(ctx);
+        out.fnName = fns.name(out.fn);
+        out.displayName = ctxs.displayName(ctx);
+        out.path = ctxs.pathName(ctx);
+        out.agg = aggregates(ctx);
+    }
+    profile.edges = edges_;
+    profile.threadEdges = threadEdges_;
+    if (config_.collectObjects) {
+        const auto &allocs = guest_->allocations();
+        // Row i+1 of objectStats_ maps to allocation i; row 0 = other.
+        for (std::size_t i = 0; i < allocs.size() + 1; ++i) {
+            SigilProfile::ObjectRow row;
+            if (i == 0) {
+                row.tag = "<other>";
+            } else {
+                row.tag = allocs[i - 1].tag;
+                row.base = allocs[i - 1].base;
+                row.size = allocs[i - 1].size;
+            }
+            if (i < objectStats_.size()) {
+                row.readBytes = objectStats_[i].readBytes;
+                row.writeBytes = objectStats_[i].writeBytes;
+                row.uniqueReadBytes = objectStats_[i].uniqueReadBytes;
+            }
+            profile.objects.push_back(std::move(row));
+        }
+    }
+    profile.unitReuseBreakdown = unitReuseBreakdown_;
+    profile.lineReuseBreakdown = lineReuseBreakdown_;
+    profile.shadowPeakBytes = shadow_.peakBytes();
+    profile.shadowEvictions = shadow_.stats().evictions;
+    return profile;
+}
+
+} // namespace sigil::core

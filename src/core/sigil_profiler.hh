@@ -1,0 +1,182 @@
+/**
+ * @file
+ * The Sigil profiling tool.
+ *
+ * Implements the paper's measurement methodology (Section II-B): a
+ * shadow object per data unit tracks the last writer and last reader;
+ * writes mark the producer, reads are classified as local vs.
+ * input/output (producer identity) and unique vs. non-unique (last
+ * reader identity). In re-use mode the tool additionally tracks per
+ * (unit, consuming call) re-use runs — read counts and first/last
+ * timestamps — whose lifetimes feed per-function histograms. With event
+ * collection enabled the tool also emits the event-file representation
+ * (computation segments + data-transfer edges).
+ */
+
+#ifndef SIGIL_CORE_SIGIL_PROFILER_HH
+#define SIGIL_CORE_SIGIL_PROFILER_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/comm_stats.hh"
+#include "core/event_trace.hh"
+#include "core/profile.hh"
+#include "shadow/shadow_memory.hh"
+#include "vg/guest.hh"
+#include "vg/tool.hh"
+
+namespace sigil::core {
+
+/** Configuration of a profiling run. */
+struct SigilConfig
+{
+    /** 0 = shadow every byte; 6 = shadow 64-byte lines (Fig. 12). */
+    unsigned granularityShift = 0;
+
+    /** Shadow-memory limit in chunks; 0 = unlimited. */
+    std::size_t maxShadowChunks = 0;
+
+    /** Track re-use runs and lifetimes (Table I "Reuse mode"). */
+    bool collectReuse = true;
+
+    /** Emit the event-file representation. */
+    bool collectEvents = false;
+
+    /**
+     * Collect only inside the guest's region of interest (the PARSEC
+     * __parsec_roi_begin/end convention). Shadow state is maintained
+     * throughout — producers written during setup are still known —
+     * but aggregates, edges, re-use samples, and event records are
+     * attributed only within the ROI.
+     */
+    bool roiOnly = false;
+
+    /**
+     * Attribute traffic to the guest's tagged heap allocations
+     * (per-data-structure communication).
+     */
+    bool collectObjects = false;
+};
+
+/** The Sigil communication profiler. */
+class SigilProfiler : public vg::Tool
+{
+  public:
+    explicit SigilProfiler(const SigilConfig &config = SigilConfig{});
+
+    void attach(const vg::Guest &guest) override;
+    void fnEnter(vg::ContextId ctx, vg::CallNum call) override;
+    void fnLeave(vg::ContextId ctx, vg::CallNum call) override;
+    void memRead(vg::Addr addr, unsigned size) override;
+    void memWrite(vg::Addr addr, unsigned size) override;
+    void op(std::uint64_t iops, std::uint64_t flops) override;
+    void threadSwitch(vg::ThreadId tid) override;
+    void barrier() override;
+    void roi(bool active) override;
+    void finish() override;
+
+    /** Aggregates of one context (zeroes if never seen). */
+    const CommAggregates &aggregates(vg::ContextId ctx) const;
+
+    /** Snapshot the aggregate profile (names, edges, breakdowns). */
+    SigilProfile takeProfile() const;
+
+    /** The event trace (empty unless collectEvents). */
+    const EventTrace &events() const { return events_; }
+
+    const shadow::ShadowMemory &shadowMemory() const { return shadow_; }
+
+    const SigilConfig &config() const { return config_; }
+
+  private:
+    CommAggregates &row(vg::ContextId ctx);
+
+    /**
+     * Close the pending re-use run of a shadow object, folding its
+     * lifetime into the last reader's statistics and its read count
+     * into the program-wide breakdown.
+     */
+    void finalizeRun(shadow::ShadowObject &obj);
+
+    struct SegState;
+
+    /** Flush a thread's open compute segment and start a new one. */
+    void startSegment(SegState &state, vg::ContextId ctx,
+                      vg::CallNum call, std::uint64_t pred_seq);
+
+    /** Emit a thread's open compute segment (if any) to the trace. */
+    void flushSegment(SegState &state);
+
+    /** Resolve a predecessor through any skipped (empty) segments. */
+    std::uint64_t resolvePred(std::uint64_t seq) const;
+
+    SigilConfig config_;
+    shadow::ShadowMemory shadow_;
+
+    /** False while ROI-only collection is outside the ROI. */
+    bool collecting_ = true;
+
+    std::vector<CommAggregates> rows_;
+
+    /** (producer<<32|consumer) → edge index, no self edges. */
+    std::unordered_map<std::uint64_t, std::size_t> edgeIndex_;
+    std::vector<CommEdge> edges_;
+
+    BoundsHistogram unitReuseBreakdown_{std::vector<std::uint64_t>{0, 9}};
+    BoundsHistogram lineReuseBreakdown_{
+        std::vector<std::uint64_t>{9, 99, 999, 9999}};
+
+    /** (producerTid<<32|consumerTid) → thread-edge index. */
+    std::unordered_map<std::uint64_t, std::size_t> threadEdgeIndex_;
+    std::vector<ThreadCommEdge> threadEdges_;
+
+    /** Per-allocation traffic; slot 0 is the "other" bucket. */
+    struct ObjectStats
+    {
+        std::uint64_t readBytes = 0;
+        std::uint64_t writeBytes = 0;
+        std::uint64_t uniqueReadBytes = 0;
+    };
+    std::vector<ObjectStats> objectStats_;
+
+    /** Grow-and-fetch the stats slot of allocation index (-1 = other). */
+    ObjectStats &objectSlot(int alloc_index);
+
+    /** @name Open event-trace segments (one per guest thread) */
+    /// @{
+    EventTrace events_;
+    std::uint64_t nextSeq_ = 1;
+
+    /** Per-thread segment state; threads interleave in the trace. */
+    struct SegState
+    {
+        bool open = false;
+        ComputeEvent segment;
+        /** Producer segment → unique bytes consumed by the segment. */
+        std::unordered_map<std::uint64_t, std::uint64_t> xfers;
+        /** Last segment of each active frame on this thread. */
+        std::vector<std::uint64_t> frameLastSeq;
+        /** The thread must pick up barrier ordering edges. */
+        bool barrierPending = false;
+    };
+
+    SegState &seg() { return segStates_[currentTid_]; }
+
+    std::vector<SegState> segStates_{1};
+    vg::ThreadId currentTid_ = 0;
+
+    /** Skipped empty segments: seq → its own predecessor. */
+    std::unordered_map<std::uint64_t, std::uint64_t> skippedSegments_;
+
+    /** Every thread's last segment at the most recent barrier. */
+    std::vector<std::uint64_t> barrierPreds_;
+    /// @}
+
+    static const CommAggregates kZero;
+};
+
+} // namespace sigil::core
+
+#endif // SIGIL_CORE_SIGIL_PROFILER_HH

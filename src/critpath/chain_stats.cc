@@ -1,0 +1,92 @@
+#include "chain_stats.hh"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "critpath/critical_path.hh"
+#include "support/logging.hh"
+
+namespace sigil::critpath {
+
+ChainStats
+chainStats(const core::EventTrace &trace)
+{
+    ChainStats stats;
+    std::unordered_map<std::uint64_t, std::uint64_t> incl_of;
+    std::unordered_set<std::uint64_t> has_successor;
+    std::vector<core::XferEvent> pending;
+
+    for (const core::EventRecord &rec : trace.records) {
+        if (rec.kind == core::EventRecord::Kind::Xfer) {
+            pending.push_back(rec.xfer);
+            continue;
+        }
+        const core::ComputeEvent &c = rec.compute;
+        ++stats.segments;
+        std::uint64_t self = c.iops + c.flops;
+        stats.totalWork += self;
+
+        std::uint64_t best = 0;
+        std::uint64_t preds = 0;
+        auto dep = [&](std::uint64_t seq) {
+            if (seq == 0)
+                return;
+            auto it = incl_of.find(seq);
+            if (it == incl_of.end())
+                return;
+            ++preds;
+            has_successor.insert(seq);
+            if (it->second > best)
+                best = it->second;
+        };
+        dep(c.predSeq);
+        for (const core::XferEvent &x : pending) {
+            if (x.dstSeq == c.seq)
+                dep(x.srcSeq);
+        }
+        pending.clear();
+
+        stats.edges += preds;
+        if (preds == 0)
+            ++stats.roots;
+        std::uint64_t incl = best + self;
+        incl_of.emplace(c.seq, incl);
+        stats.inclCostHist.add(incl);
+        if (incl > stats.criticalPath)
+            stats.criticalPath = incl;
+    }
+
+    for (const auto &[seq, incl] : incl_of) {
+        (void)incl;
+        if (!has_successor.count(seq))
+            ++stats.leaves;
+    }
+
+    stats.avgParallelism =
+        stats.criticalPath == 0
+            ? 1.0
+            : static_cast<double>(stats.totalWork) /
+                  static_cast<double>(stats.criticalPath);
+    if (stats.avgParallelism < 1.0)
+        stats.avgParallelism = 1.0;
+    return stats;
+}
+
+std::vector<double>
+scheduleSpeedups(const core::EventTrace &trace,
+                 const std::vector<unsigned> &slots)
+{
+    std::uint64_t serial = scheduleMakespan(trace, 1);
+    std::vector<double> out;
+    out.reserve(slots.size());
+    for (unsigned s : slots) {
+        std::uint64_t makespan = scheduleMakespan(trace, s);
+        out.push_back(makespan == 0
+                          ? 1.0
+                          : static_cast<double>(serial) /
+                                static_cast<double>(makespan));
+    }
+    return out;
+}
+
+} // namespace sigil::critpath

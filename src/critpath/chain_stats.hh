@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Dependency-chain statistics beyond the single critical path.
+ *
+ * The paper contrasts benchmarks with "many short paths" (streamcluster,
+ * libquantum) against ones whose path is "composed of a single function"
+ * (fluidanimate). This module quantifies that: how many chain roots and
+ * leaves the dependency graph has, the distribution of chain depths and
+ * costs, and how much parallel work is available at each depth — the
+ * inputs a scheduler would use to map chains onto cores.
+ */
+
+#ifndef SIGIL_CRITPATH_CHAIN_STATS_HH
+#define SIGIL_CRITPATH_CHAIN_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/event_trace.hh"
+#include "support/histogram.hh"
+
+namespace sigil::critpath {
+
+/** Aggregate statistics of the dependency graph. */
+struct ChainStats
+{
+    /** Total segments (graph nodes). */
+    std::uint64_t segments = 0;
+
+    /** Segments with no predecessor (chain starts). */
+    std::uint64_t roots = 0;
+
+    /** Segments no other segment depends on (chain ends). */
+    std::uint64_t leaves = 0;
+
+    /** Total dependency edges (serial + data). */
+    std::uint64_t edges = 0;
+
+    /** Histogram of per-segment accumulated chain costs, bin 1000. */
+    LinearHistogram inclCostHist{1000};
+
+    /** Σ self cost over all segments. */
+    std::uint64_t totalWork = 0;
+
+    /** Longest accumulated chain. */
+    std::uint64_t criticalPath = 0;
+
+    /**
+     * Average number of segments that are simultaneously "ready" when
+     * executing greedily (work / critical path, the average-parallelism
+     * figure of merit).
+     */
+    double avgParallelism = 1.0;
+};
+
+/** Compute chain statistics of an event trace. */
+ChainStats chainStats(const core::EventTrace &trace);
+
+/**
+ * Speedup of a greedy list schedule of the trace on each slot count in
+ * slots (serial time / makespan). Saturates at the trace's
+ * max parallelism; this is the "map dependency chains onto scheduling
+ * slots" experiment the paper's Section IV-C closes with.
+ */
+std::vector<double> scheduleSpeedups(const core::EventTrace &trace,
+                                     const std::vector<unsigned> &slots);
+
+} // namespace sigil::critpath
+
+#endif // SIGIL_CRITPATH_CHAIN_STATS_HH

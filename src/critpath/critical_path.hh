@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Dependency-chain construction and critical-path analysis over Sigil
+ * event traces (Sections II-C2 and IV-C of the paper).
+ *
+ * Each computation segment of the trace becomes a chain node whose self
+ * cost is the operations retired in it. A node depends on its serial
+ * predecessor (previous occurrence of the same call, or the caller
+ * segment that spawned it) and on every segment it consumed unique data
+ * from. Functions are modelled as non-blocking, so a caller's
+ * re-occurrence after a child returns does NOT depend on the child —
+ * only data creates that edge. The longest accumulated chain is the
+ * critical path; total self cost divided by the critical path bounds
+ * the extractable function-level parallelism.
+ */
+
+#ifndef SIGIL_CRITPATH_CRITICAL_PATH_HH
+#define SIGIL_CRITPATH_CRITICAL_PATH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/event_trace.hh"
+#include "vg/types.hh"
+
+namespace sigil::critpath {
+
+/** One node of a dependency chain. */
+struct ChainNode
+{
+    std::uint64_t seq = 0;
+    vg::ContextId ctx = vg::kInvalidContext;
+    vg::CallNum call = 0;
+
+    /** Operations retired in the segment. */
+    std::uint64_t selfCost = 0;
+
+    /** Longest-chain cost from any root through this node. */
+    std::uint64_t inclCost = 0;
+
+    /** Predecessor on the longest chain (0 = chain starts here). */
+    std::uint64_t bestPredSeq = 0;
+};
+
+/** Result of analyzing one event trace. */
+struct CriticalPathResult
+{
+    /** Σ self cost over all segments (the serial program length). */
+    std::uint64_t serialLength = 0;
+
+    /** Length of the longest dependency chain. */
+    std::uint64_t criticalPathLength = 0;
+
+    /** serialLength / criticalPathLength (≥ 1). */
+    double maxParallelism = 1.0;
+
+    /** Nodes of the critical path, leaf first (as the paper lists). */
+    std::vector<ChainNode> path;
+
+    /**
+     * Contexts along the critical path, leaf first, with consecutive
+     * duplicates collapsed — the "drand48_iterate → … → main" view.
+     */
+    std::vector<vg::ContextId> pathContexts() const;
+};
+
+/** Analyze an event trace. */
+CriticalPathResult analyze(const core::EventTrace &trace);
+
+/**
+ * Greedy list-schedule of the dependency graph onto a fixed number of
+ * cores (scheduling slots), respecting all edges: an upper-bound
+ * makespan for mapping the chains onto real cores (Section IV-C's
+ * closing discussion).
+ *
+ * @return makespan in operations.
+ */
+std::uint64_t scheduleMakespan(const core::EventTrace &trace,
+                               unsigned slots);
+
+} // namespace sigil::critpath
+
+#endif // SIGIL_CRITPATH_CRITICAL_PATH_HH

@@ -1,0 +1,126 @@
+#include "reuse_distance.hh"
+
+#include "support/logging.hh"
+
+namespace sigil::shadow {
+
+void
+ReuseDistanceTracker::fenwickAdd(std::size_t pos, std::int64_t delta)
+{
+    // 1-based Fenwick tree.
+    for (std::size_t i = pos + 1; i <= fenwick_.size();
+         i += i & (~i + 1)) {
+        fenwick_[i - 1] += delta;
+    }
+}
+
+std::int64_t
+ReuseDistanceTracker::fenwickSum(std::size_t pos) const
+{
+    std::int64_t sum = 0;
+    for (std::size_t i = pos + 1; i > 0; i -= i & (~i + 1))
+        sum += fenwick_[i - 1];
+    return sum;
+}
+
+void
+ReuseDistanceTracker::recordDistance(std::uint64_t distance)
+{
+    // Bin 0 holds distance 0; bin i holds [2^(i-1), 2^i). This aligns
+    // every bin boundary with a power-of-two capacity, so missRatio()
+    // is exact there.
+    std::size_t bin = 0;
+    while ((std::uint64_t{1} << bin) <= distance && bin < 63)
+        ++bin;
+    if (bin >= bins_.size())
+        bins_.resize(bin + 1, 0);
+    ++bins_[bin];
+}
+
+std::uint64_t
+ReuseDistanceTracker::access(std::uint64_t unit)
+{
+    std::uint64_t now = clock_++;
+    if (now >= fenwick_.size()) {
+        // Grow by rebuilding from prefix sums: amortized O(log n) per
+        // access overall.
+        std::vector<std::int64_t> old = std::move(fenwick_);
+        std::size_t old_size = old.size();
+        std::size_t new_size = old_size == 0 ? 1024 : old_size * 2;
+        fenwick_.assign(new_size, 0);
+        auto old_sum = [&](std::size_t pos) {
+            std::int64_t sum = 0;
+            for (std::size_t i = pos + 1; i > 0; i -= i & (~i + 1))
+                sum += old[i - 1];
+            return sum;
+        };
+        std::int64_t prev = 0;
+        for (std::size_t i = 0; i < old_size; ++i) {
+            std::int64_t cur = old_sum(i);
+            std::int64_t point = cur - prev;
+            prev = cur;
+            if (point != 0)
+                fenwickAdd(i, point);
+        }
+    }
+
+    std::uint64_t distance = kColdAccess;
+    auto it = lastAccess_.find(unit);
+    if (it == lastAccess_.end()) {
+        ++cold_;
+        lastAccess_.emplace(unit, now);
+    } else {
+        std::uint64_t prev = it->second;
+        // Markers strictly after prev = distinct units touched since.
+        std::int64_t after_prev =
+            fenwickSum(fenwick_.size() - 1) -
+            fenwickSum(static_cast<std::size_t>(prev));
+        if (after_prev < 0)
+            panic("ReuseDistanceTracker: negative marker count");
+        distance = static_cast<std::uint64_t>(after_prev);
+        fenwickAdd(static_cast<std::size_t>(prev), -1);
+        it->second = now;
+        recordDistance(distance);
+    }
+    fenwickAdd(static_cast<std::size_t>(now), +1);
+    return distance;
+}
+
+double
+ReuseDistanceTracker::missRatio(std::uint64_t capacity_units) const
+{
+    if (clock_ == 0)
+        return 0.0;
+    // Misses: cold accesses plus re-accesses whose distance >= capacity.
+    std::uint64_t misses = cold_;
+    for (std::size_t bin = 0; bin < bins_.size(); ++bin) {
+        std::uint64_t lo =
+            bin == 0 ? 0 : (std::uint64_t{1} << (bin - 1));
+        std::uint64_t hi =
+            bin == 0 ? 0 : (std::uint64_t{1} << bin) - 1;
+        if (lo >= capacity_units) {
+            misses += bins_[bin];
+        } else if (hi >= capacity_units) {
+            // The bin straddles the capacity; apportion linearly.
+            std::uint64_t span = hi - lo + 1;
+            std::uint64_t over = hi - capacity_units + 1;
+            misses += bins_[bin] * over / span;
+        }
+    }
+    return static_cast<double>(misses) / static_cast<double>(clock_);
+}
+
+std::vector<std::pair<std::uint64_t, double>>
+ReuseDistanceTracker::missRatioCurve() const
+{
+    std::vector<std::pair<std::uint64_t, double>> curve;
+    std::uint64_t cap = 1;
+    std::uint64_t limit = distinctUnits() * 2 + 2;
+    while (cap < limit) {
+        curve.emplace_back(cap, missRatio(cap));
+        cap <<= 1;
+    }
+    return curve;
+}
+
+} // namespace sigil::shadow

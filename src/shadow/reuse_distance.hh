@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Exact LRU stack-distance (reuse-distance) tracking.
+ *
+ * The paper's Section IV-B argues Sigil's re-use data lets designers
+ * size caches, scratchpads, and accelerator buffers (the BB-curves of
+ * Cong et al.). The quantitative backbone of that analysis is the
+ * reuse-distance histogram: the number of *distinct* units touched
+ * between consecutive accesses to the same unit. For a fully
+ * associative LRU memory of capacity C units, an access hits exactly
+ * when its reuse distance is < C, so one histogram yields the whole
+ * miss-ratio curve.
+ *
+ * Implementation: the classic Bennett–Kruskal / Olken scheme — a
+ * Fenwick tree over access timestamps holds one marker per unit at its
+ * most recent access time; the reuse distance of an access is the
+ * number of markers after the unit's previous timestamp.
+ */
+
+#ifndef SIGIL_SHADOW_REUSE_DISTANCE_HH
+#define SIGIL_SHADOW_REUSE_DISTANCE_HH
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "support/histogram.hh"
+
+namespace sigil::shadow {
+
+/** Sentinel distance for the first-ever (cold) access to a unit. */
+constexpr std::uint64_t kColdAccess =
+    std::numeric_limits<std::uint64_t>::max();
+
+/** Exact reuse-distance tracker over an arbitrary unit space. */
+class ReuseDistanceTracker
+{
+  public:
+    ReuseDistanceTracker() = default;
+
+    /**
+     * Record an access to a unit.
+     * @return the LRU stack distance (distinct units touched since the
+     *         unit's previous access), or kColdAccess on first touch.
+     */
+    std::uint64_t access(std::uint64_t unit);
+
+    /** Total accesses recorded. */
+    std::uint64_t accesses() const { return clock_; }
+
+    /** Distinct units ever touched (the working-set size). */
+    std::uint64_t distinctUnits() const
+    {
+        return static_cast<std::uint64_t>(lastAccess_.size());
+    }
+
+    /** Cold (first-touch) accesses. */
+    std::uint64_t coldAccesses() const { return cold_; }
+
+    /**
+     * Histogram of non-cold distances in power-of-two bins: bin 0
+     * counts distance 0, bin i counts [2^(i-1), 2^i).
+     */
+    const std::vector<std::uint64_t> &distanceBins() const
+    {
+        return bins_;
+    }
+
+    /**
+     * Miss ratio of a fully associative LRU memory with the given
+     * capacity in units, derived from the exact distance records.
+     * Cold misses are included.
+     */
+    double missRatio(std::uint64_t capacity_units) const;
+
+    /**
+     * Miss-ratio curve at power-of-two capacities from 1 to beyond the
+     * working set; pairs of (capacity, miss ratio).
+     */
+    std::vector<std::pair<std::uint64_t, double>> missRatioCurve() const;
+
+  private:
+    void fenwickAdd(std::size_t pos, std::int64_t delta);
+    std::int64_t fenwickSum(std::size_t pos) const; // sum of [0, pos]
+
+    /** Exact distances kept sorted lazily for missRatio queries. */
+    void recordDistance(std::uint64_t distance);
+
+    std::uint64_t clock_ = 0;
+    std::uint64_t cold_ = 0;
+    std::unordered_map<std::uint64_t, std::uint64_t> lastAccess_;
+    std::vector<std::int64_t> fenwick_; // 1-based, grows with clock_
+    std::vector<std::uint64_t> bins_;   // power-of-two distance bins
+};
+
+} // namespace sigil::shadow
+
+#endif // SIGIL_SHADOW_REUSE_DISTANCE_HH

@@ -1,0 +1,101 @@
+#include "shadow_memory.hh"
+
+#include "support/logging.hh"
+
+namespace sigil::shadow {
+
+ShadowMemory::ShadowMemory(const Config &config)
+    : granularityShift_(config.granularityShift),
+      maxChunks_(config.maxChunks)
+{
+    if (granularityShift_ > 12)
+        fatal("shadow granularity shift %u too large (max 12)",
+              granularityShift_);
+    if (maxChunks_ == 1)
+        fatal("shadow memory limit must allow at least 2 chunks");
+}
+
+void
+ShadowMemory::setEvictionHandler(EvictionHandler handler)
+{
+    evictionHandler_ = std::move(handler);
+}
+
+ShadowMemory::Chunk &
+ShadowMemory::chunkFor(std::uint64_t unit)
+{
+    std::uint64_t index = unit >> kChunkShift;
+    if (lastChunk_ != nullptr && index == lastChunkIndex_) {
+        lastChunk_->lastTouch = ++touchClock_;
+        return *lastChunk_;
+    }
+
+    auto it = directory_.find(index);
+    if (it == directory_.end()) {
+        if (maxChunks_ != 0 && directory_.size() >= maxChunks_)
+            evictOldest();
+        Chunk chunk;
+        chunk.base = index << kChunkShift;
+        chunk.objects = std::make_unique<ShadowObject[]>(kChunkUnits);
+        it = directory_.emplace(index, std::move(chunk)).first;
+        ++stats_.chunksAllocated;
+        stats_.chunksLive = directory_.size();
+        if (stats_.chunksLive > stats_.chunksPeak)
+            stats_.chunksPeak = stats_.chunksLive;
+    }
+    it->second.lastTouch = ++touchClock_;
+    lastChunk_ = &it->second;
+    lastChunkIndex_ = index;
+    return it->second;
+}
+
+ShadowObject &
+ShadowMemory::lookup(std::uint64_t unit)
+{
+    Chunk &chunk = chunkFor(unit);
+    return chunk.objects[unit & (kChunkUnits - 1)];
+}
+
+ShadowObject *
+ShadowMemory::find(std::uint64_t unit)
+{
+    std::uint64_t index = unit >> kChunkShift;
+    auto it = directory_.find(index);
+    if (it == directory_.end())
+        return nullptr;
+    return &it->second.objects[unit & (kChunkUnits - 1)];
+}
+
+void
+ShadowMemory::forEach(const EvictionHandler &visitor)
+{
+    for (auto &[index, chunk] : directory_) {
+        for (std::size_t i = 0; i < kChunkUnits; ++i)
+            visitor(chunk.base + i, chunk.objects[i]);
+    }
+}
+
+void
+ShadowMemory::evictOldest()
+{
+    if (directory_.empty())
+        panic("ShadowMemory::evictOldest with no chunks");
+    auto oldest = directory_.begin();
+    for (auto it = directory_.begin(); it != directory_.end(); ++it) {
+        if (it->second.lastTouch < oldest->second.lastTouch)
+            oldest = it;
+    }
+    if (evictionHandler_) {
+        Chunk &chunk = oldest->second;
+        for (std::size_t i = 0; i < kChunkUnits; ++i)
+            evictionHandler_(chunk.base + i, chunk.objects[i]);
+    }
+    // The lookup cache may point into the evicted chunk.
+    lastChunk_ = nullptr;
+    lastChunkIndex_ = ~0ull;
+    directory_.erase(oldest);
+    ++stats_.evictions;
+    stats_.chunksLive = directory_.size();
+}
+
+} // namespace sigil::shadow

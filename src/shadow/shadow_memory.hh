@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Two-level shadow memory.
+ *
+ * Holds one ShadowObject per shadowed unit (byte, or cache line in
+ * line-granularity mode) of the guest address space, following
+ * Nethercote and Seward's design: a first-level directory indexed by the
+ * high bits of the unit index, pointing at lazily created second-level
+ * chunks of shadow objects. Chunks are created the first time their
+ * address range is touched.
+ *
+ * An optional memory limit enables the paper's FIFO reclamation: when
+ * the number of live chunks would exceed the limit, the least recently
+ * touched chunk is evicted (its pending re-use state is handed to an
+ * eviction handler first, so statistics lose only precision, not mass).
+ */
+
+#ifndef SIGIL_SHADOW_SHADOW_MEMORY_HH
+#define SIGIL_SHADOW_SHADOW_MEMORY_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "vg/types.hh"
+
+namespace sigil::shadow {
+
+/**
+ * Shadow state of one shadowed unit (Table I of the paper).
+ *
+ * Baseline fields identify the producer (last writer) and last consumer
+ * (last reader, with its call number); re-use mode additionally tracks
+ * the current re-use run: how many times the last reader has read this
+ * unit and the first/last access timestamps of that run.
+ */
+struct ShadowObject
+{
+    vg::ContextId lastWriterCtx = vg::kInvalidContext;
+    vg::ContextId lastReaderCtx = vg::kInvalidContext;
+    vg::CallNum lastWriterCall = 0;
+    vg::CallNum lastReaderCall = 0;
+
+    /** Event-trace segment that produced the current value. */
+    std::uint64_t lastWriterSeq = 0;
+
+    /** Thread that produced the current value. */
+    vg::ThreadId lastWriterThread = 0;
+
+    /** Reads by the last reader in the current re-use run. */
+    std::uint32_t runReads = 0;
+    /** Timestamp of the run's first and most recent read. */
+    vg::Tick runFirstRead = 0;
+    vg::Tick runLastRead = 0;
+
+    /** Line-granularity mode: total accesses to this unit, ever. */
+    std::uint64_t totalAccesses = 0;
+
+    bool
+    everWritten() const
+    {
+        return lastWriterCtx != vg::kInvalidContext;
+    }
+};
+
+/** Allocation / eviction statistics (drives the memory-usage figure). */
+struct ShadowStats
+{
+    std::uint64_t chunksAllocated = 0;
+    std::uint64_t chunksLive = 0;
+    std::uint64_t chunksPeak = 0;
+    std::uint64_t evictions = 0;
+
+    std::uint64_t
+    peakBytes(std::size_t chunk_bytes) const
+    {
+        return chunksPeak * chunk_bytes;
+    }
+};
+
+/** The two-level shadow table. */
+class ShadowMemory
+{
+  public:
+    /** Units per second-level chunk (2^12 = 4096). */
+    static constexpr unsigned kChunkShift = 12;
+    static constexpr std::size_t kChunkUnits = std::size_t{1}
+                                               << kChunkShift;
+
+    struct Config
+    {
+        /**
+         * log2 of the shadowed unit size: 0 shadows every byte, 6
+         * shadows 64-byte lines.
+         */
+        unsigned granularityShift = 0;
+
+        /** Max live chunks; 0 means unlimited (no FIFO reclamation). */
+        std::size_t maxChunks = 0;
+    };
+
+    ShadowMemory() : ShadowMemory(Config{}) {}
+    explicit ShadowMemory(const Config &config);
+
+    /** Called with each live object of a chunk about to be evicted. */
+    using EvictionHandler =
+        std::function<void(std::uint64_t unit, ShadowObject &obj)>;
+
+    void setEvictionHandler(EvictionHandler handler);
+
+    /** Unit index covering a guest address. */
+    std::uint64_t
+    unitOf(vg::Addr addr) const
+    {
+        return addr >> granularityShift_;
+    }
+
+    /** Unit index of the last unit covering [addr, addr+size). */
+    std::uint64_t
+    lastUnitOf(vg::Addr addr, unsigned size) const
+    {
+        return (addr + (size ? size - 1 : 0)) >> granularityShift_;
+    }
+
+    unsigned granularityShift() const { return granularityShift_; }
+
+    /** Shadow unit size in guest bytes. */
+    unsigned unitBytes() const { return 1u << granularityShift_; }
+
+    /**
+     * Locate (creating if needed) the shadow object of a unit, marking
+     * its chunk as most recently touched. May evict another chunk when
+     * a memory limit is configured.
+     */
+    ShadowObject &lookup(std::uint64_t unit);
+
+    /** Locate without creating; nullptr if the chunk does not exist. */
+    ShadowObject *find(std::uint64_t unit);
+
+    /**
+     * Visit every live shadow object (used for the end-of-run sweep
+     * that finalizes pending re-use runs).
+     */
+    void forEach(const EvictionHandler &visitor);
+
+    const ShadowStats &stats() const { return stats_; }
+
+    /** Host bytes of one chunk, for memory accounting. */
+    static constexpr std::size_t
+    chunkBytes()
+    {
+        return kChunkUnits * sizeof(ShadowObject);
+    }
+
+    /** Current host bytes held by live chunks. */
+    std::uint64_t liveBytes() const
+    {
+        return stats_.chunksLive * chunkBytes();
+    }
+
+    /** Peak host bytes ever held. */
+    std::uint64_t peakBytes() const
+    {
+        return stats_.chunksPeak * chunkBytes();
+    }
+
+  private:
+    struct Chunk
+    {
+        std::uint64_t base; // first unit index covered
+        std::uint64_t lastTouch = 0;
+        std::unique_ptr<ShadowObject[]> objects;
+    };
+
+    Chunk &chunkFor(std::uint64_t unit);
+    void evictOldest();
+
+    unsigned granularityShift_;
+    std::size_t maxChunks_;
+    std::unordered_map<std::uint64_t, Chunk> directory_;
+    /** One-entry lookup cache for the common sequential-access case. */
+    Chunk *lastChunk_ = nullptr;
+    std::uint64_t lastChunkIndex_ = ~0ull;
+    std::uint64_t touchClock_ = 0;
+    EvictionHandler evictionHandler_;
+    ShadowStats stats_;
+};
+
+} // namespace sigil::shadow
+
+#endif // SIGIL_SHADOW_SHADOW_MEMORY_HH

@@ -1,0 +1,98 @@
+#include "logging.hh"
+
+#include <cstdarg>
+#include <vector>
+
+namespace sigil {
+
+namespace {
+
+void
+defaultSink(LogLevel level, const std::string &msg)
+{
+    const char *tag = "";
+    switch (level) {
+      case LogLevel::Panic: tag = "panic: "; break;
+      case LogLevel::Fatal: tag = "fatal: "; break;
+      case LogLevel::Warn: tag = "warn: "; break;
+      case LogLevel::Inform: tag = "info: "; break;
+    }
+    std::fprintf(stderr, "%s%s\n", tag, msg.c_str());
+}
+
+LogSink currentSink = defaultSink;
+
+std::string
+vformat(const char *fmt, va_list ap)
+{
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    if (n < 0) {
+        va_end(ap2);
+        return "<format error>";
+    }
+    std::vector<char> buf(static_cast<std::size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+    va_end(ap2);
+    return std::string(buf.data(), static_cast<std::size_t>(n));
+}
+
+} // namespace
+
+LogSink
+setLogSink(LogSink sink)
+{
+    LogSink prev = currentSink;
+    currentSink = sink ? sink : defaultSink;
+    return prev;
+}
+
+void
+logMessage(LogLevel level, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    currentSink(level, vformat(fmt, ap));
+    va_end(ap);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    currentSink(LogLevel::Panic, vformat(fmt, ap));
+    va_end(ap);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    currentSink(LogLevel::Fatal, vformat(fmt, ap));
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    currentSink(LogLevel::Warn, vformat(fmt, ap));
+    va_end(ap);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    currentSink(LogLevel::Inform, vformat(fmt, ap));
+    va_end(ap);
+}
+
+} // namespace sigil

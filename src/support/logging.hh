@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Error and status reporting in the gem5 style.
+ *
+ * panic() is for internal invariant violations (tool bugs) and aborts;
+ * fatal() is for user errors (bad configuration, bad input) and exits
+ * cleanly with an error code; warn()/inform() report conditions without
+ * stopping.
+ */
+
+#ifndef SIGIL_SUPPORT_LOGGING_HH
+#define SIGIL_SUPPORT_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace sigil {
+
+/** Severity of a log message. */
+enum class LogLevel { Panic, Fatal, Warn, Inform };
+
+/**
+ * Sink invoked for every log message. Tests may override it to capture
+ * messages; the default prints to stderr.
+ */
+using LogSink = void (*)(LogLevel level, const std::string &msg);
+
+/** Install a log sink; returns the previous sink. */
+LogSink setLogSink(LogSink sink);
+
+/** Emit a formatted message to the current sink. */
+void logMessage(LogLevel level, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/**
+ * Report an internal invariant violation and abort.
+ * Use only for conditions that indicate a bug in the tool itself.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report a user-caused error (bad configuration or input) and exit(1).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Warn about possibly-incorrect behaviour without stopping. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Informational status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** panic() unless the condition holds. */
+#define SIGIL_ASSERT(cond, msg)                                           \
+    do {                                                                  \
+        if (!(cond))                                                      \
+            ::sigil::panic("assertion failed: %s (%s:%d): %s", #cond,     \
+                           __FILE__, __LINE__, msg);                      \
+    } while (0)
+
+} // namespace sigil
+
+#endif // SIGIL_SUPPORT_LOGGING_HH

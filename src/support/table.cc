@@ -1,0 +1,69 @@
+#include "table.hh"
+
+#include <cstdarg>
+
+namespace sigil {
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths;
+    auto widen = [&](const std::vector<std::string> &row) {
+        if (row.size() > widths.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    widen(header_);
+    for (const auto &row : rows_)
+        widen(row);
+
+    auto emit = [&](std::string &out, const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            std::string cell = i < row.size() ? row[i] : "";
+            cell.resize(widths[i], ' ');
+            out += cell;
+            if (i + 1 < widths.size())
+                out += "  ";
+        }
+        while (!out.empty() && out.back() == ' ')
+            out.pop_back();
+        out += '\n';
+    };
+
+    std::string out;
+    if (!header_.empty()) {
+        emit(out, header_);
+        std::string rule;
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            rule += std::string(widths[i], '-');
+            if (i + 1 < widths.size())
+                rule += "  ";
+        }
+        out += rule + '\n';
+    }
+    for (const auto &row : rows_)
+        emit(out, row);
+    return out;
+}
+
+std::string
+strformat(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    if (n < 0) {
+        va_end(ap2);
+        return "<format error>";
+    }
+    std::string out(static_cast<std::size_t>(n), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+    va_end(ap2);
+    return out;
+}
+
+} // namespace sigil

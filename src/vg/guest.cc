@@ -1,0 +1,290 @@
+#include "guest.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace sigil::vg {
+
+Guest::Guest(std::string program_name, const GuestConfig &config)
+    : programName_(std::move(program_name)),
+      contexts_(functions_, config.maxContextDepth)
+{
+    inputFn_ = functions_.intern("*input*");
+    threads_.push_back(ThreadCtx{{}, kStackBase});
+}
+
+void
+Guest::addTool(Tool *tool)
+{
+    if (tool == nullptr)
+        panic("Guest::addTool: null tool");
+    tools_.push_back(tool);
+    tool->attach(*this);
+}
+
+void
+Guest::enter(FunctionId fn)
+{
+    if (finished_)
+        panic("Guest::enter after finish()");
+    ThreadCtx &t = thread();
+    ContextId parent =
+        t.frames.empty() ? kInvalidContext : t.frames.back().ctx;
+    ContextId ctx = contexts_.enterChild(parent, fn);
+    CallNum call = nextCall_++;
+    t.frames.push_back(Frame{ctx, call, t.stackPtr});
+    ++counters_.calls;
+    dispatchEnter(ctx, call);
+}
+
+void
+Guest::leave()
+{
+    ThreadCtx &t = thread();
+    if (t.frames.empty())
+        panic("Guest::leave with empty call stack");
+    Frame f = t.frames.back();
+    t.frames.pop_back();
+    t.stackPtr = f.stackWatermark;
+    dispatchLeave(f.ctx, f.call);
+}
+
+ContextId
+Guest::currentContext() const
+{
+    if (thread().frames.empty())
+        panic("Guest::currentContext with empty call stack");
+    return thread().frames.back().ctx;
+}
+
+CallNum
+Guest::currentCall() const
+{
+    if (thread().frames.empty())
+        panic("Guest::currentCall with empty call stack");
+    return thread().frames.back().call;
+}
+
+Addr
+Guest::alloc(std::size_t bytes, std::string_view tag)
+{
+    if (bytes == 0)
+        bytes = 1;
+    Addr base = heapPtr_;
+    // Keep allocations 64-byte aligned so line-granularity shadowing
+    // never aliases two allocations onto one line.
+    heapPtr_ += (bytes + 63) & ~static_cast<Addr>(63);
+    if (heapPtr_ >= kStackBase)
+        fatal("guest heap exhausted (%llu bytes allocated)",
+              static_cast<unsigned long long>(heapBytes()));
+    allocations_.push_back(Allocation{
+        base, static_cast<std::uint64_t>(bytes),
+        std::string(tag.empty() ? "anon" : tag)});
+    return base;
+}
+
+int
+Guest::allocationOf(Addr addr) const
+{
+    // Allocations are bump-allocated, so the vector is base-sorted.
+    std::size_t lo = 0, hi = allocations_.size();
+    while (lo < hi) {
+        std::size_t mid = (lo + hi) / 2;
+        if (allocations_[mid].base <= addr)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    if (lo == 0)
+        return -1;
+    const Allocation &a = allocations_[lo - 1];
+    if (addr < a.base + a.size)
+        return static_cast<int>(lo - 1);
+    return -1;
+}
+
+Addr
+Guest::stackAlloc(std::size_t bytes)
+{
+    ThreadCtx &t = thread();
+    if (t.frames.empty())
+        panic("Guest::stackAlloc outside any function");
+    Addr base = t.stackPtr;
+    t.stackPtr += (bytes + 7) & ~static_cast<Addr>(7);
+    return base;
+}
+
+void
+Guest::read(Addr addr, unsigned size)
+{
+    ++counters_.reads;
+    counters_.readBytes += size;
+    if (thread().frames.empty())
+        panic("Guest::read outside any function");
+    for (Tool *t : tools_)
+        t->memRead(addr, size);
+}
+
+void
+Guest::write(Addr addr, unsigned size)
+{
+    ++counters_.writes;
+    counters_.writeBytes += size;
+    if (thread().frames.empty())
+        panic("Guest::write outside any function");
+    for (Tool *t : tools_)
+        t->memWrite(addr, size);
+}
+
+void
+Guest::iop(std::uint64_t n)
+{
+    counters_.iops += n;
+    for (Tool *t : tools_)
+        t->op(n, 0);
+}
+
+void
+Guest::flop(std::uint64_t n)
+{
+    counters_.flops += n;
+    for (Tool *t : tools_)
+        t->op(0, n);
+}
+
+void
+Guest::branch(bool taken)
+{
+    ++counters_.branches;
+    for (Tool *t : tools_)
+        t->branch(taken);
+}
+
+void
+Guest::beginInput()
+{
+    enter(inputFn_);
+}
+
+void
+Guest::endInput()
+{
+    if (thread().frames.empty() ||
+        contexts_.function(thread().frames.back().ctx) != inputFn_) {
+        panic("Guest::endInput without matching beginInput");
+    }
+    leave();
+}
+
+void
+Guest::syscallOut(std::string_view name, Addr addr, unsigned size)
+{
+    enter(functions_.intern("sys_" + std::string(name)));
+    // The kernel reads the user buffer in page-sized gulps.
+    for (unsigned off = 0; off < size; off += 4096) {
+        unsigned chunk = std::min(4096u, size - off);
+        read(addr + off, chunk);
+    }
+    iop(2);
+    leave();
+}
+
+void
+Guest::syscallIn(std::string_view name, Addr addr, unsigned size)
+{
+    enter(functions_.intern("sys_" + std::string(name)));
+    for (unsigned off = 0; off < size; off += 4096) {
+        unsigned chunk = std::min(4096u, size - off);
+        write(addr + off, chunk);
+    }
+    iop(2);
+    leave();
+}
+
+ThreadId
+Guest::spawnThread()
+{
+    if (finished_)
+        panic("Guest::spawnThread after finish()");
+    ThreadId tid = static_cast<ThreadId>(threads_.size());
+    threads_.push_back(ThreadCtx{
+        {}, kStackBase + static_cast<Addr>(tid) * kThreadStackStride});
+    return tid;
+}
+
+void
+Guest::switchThread(ThreadId tid)
+{
+    if (tid >= threads_.size())
+        panic("Guest::switchThread to unknown thread %u", tid);
+    if (tid == currentTid_)
+        return;
+    currentTid_ = tid;
+    for (Tool *t : tools_)
+        t->threadSwitch(tid);
+}
+
+void
+Guest::roiBegin()
+{
+    if (roiActive_)
+        panic("Guest::roiBegin: ROI already active (no nesting)");
+    roiActive_ = true;
+    for (Tool *t : tools_)
+        t->roi(true);
+}
+
+void
+Guest::roiEnd()
+{
+    if (!roiActive_)
+        panic("Guest::roiEnd without roiBegin");
+    roiActive_ = false;
+    for (Tool *t : tools_)
+        t->roi(false);
+}
+
+void
+Guest::barrier()
+{
+    if (finished_)
+        panic("Guest::barrier after finish()");
+    for (Tool *t : tools_)
+        t->barrier();
+}
+
+void
+Guest::finish()
+{
+    if (finished_)
+        return;
+    for (ThreadId tid = 0; tid < threads_.size(); ++tid) {
+        if (threads_[tid].frames.empty())
+            continue;
+        warn("Guest::finish with %zu frames active on thread %u",
+             threads_[tid].frames.size(), tid);
+        switchThread(tid);
+        while (!thread().frames.empty())
+            leave();
+    }
+    finished_ = true;
+    for (Tool *t : tools_)
+        t->finish();
+}
+
+void
+Guest::dispatchEnter(ContextId ctx, CallNum call)
+{
+    for (Tool *t : tools_)
+        t->fnEnter(ctx, call);
+}
+
+void
+Guest::dispatchLeave(ContextId ctx, CallNum call)
+{
+    for (Tool *t : tools_)
+        t->fnLeave(ctx, call);
+}
+
+} // namespace sigil::vg

@@ -1,0 +1,228 @@
+#include "trace_io.hh"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <unordered_map>
+
+#include "support/logging.hh"
+
+namespace sigil::vg {
+
+TraceRecorder::TraceRecorder(std::ostream &os) : os_(os) {}
+
+void
+TraceRecorder::attach(const Guest &guest)
+{
+    Tool::attach(guest);
+    os_ << "sigil-trace\t1\n";
+    os_ << "program\t" << guest.programName() << '\n';
+}
+
+void
+TraceRecorder::ensureFunction(FunctionId fn)
+{
+    std::size_t idx = static_cast<std::size_t>(fn);
+    if (idx >= emitted_.size())
+        emitted_.resize(idx + 1, false);
+    if (emitted_[idx])
+        return;
+    emitted_[idx] = true;
+    os_ << "F\t" << fn << '\t' << guest_->functions().name(fn) << '\n';
+}
+
+void
+TraceRecorder::fnEnter(ContextId ctx, CallNum call)
+{
+    (void)call;
+    FunctionId fn = guest_->contexts().function(ctx);
+    ensureFunction(fn);
+    os_ << "E\t" << fn << '\n';
+    ++events_;
+}
+
+void
+TraceRecorder::fnLeave(ContextId ctx, CallNum call)
+{
+    (void)ctx;
+    (void)call;
+    os_ << "L\n";
+    ++events_;
+}
+
+void
+TraceRecorder::memRead(Addr addr, unsigned size)
+{
+    os_ << "R\t" << addr << '\t' << size << '\n';
+    ++events_;
+}
+
+void
+TraceRecorder::memWrite(Addr addr, unsigned size)
+{
+    os_ << "W\t" << addr << '\t' << size << '\n';
+    ++events_;
+}
+
+void
+TraceRecorder::op(std::uint64_t iops, std::uint64_t flops)
+{
+    os_ << "O\t" << iops << '\t' << flops << '\n';
+    ++events_;
+}
+
+void
+TraceRecorder::branch(bool taken)
+{
+    os_ << "B\t" << (taken ? 1 : 0) << '\n';
+    ++events_;
+}
+
+void
+TraceRecorder::threadSwitch(ThreadId tid)
+{
+    os_ << "T\t" << tid << '\n';
+    ++events_;
+}
+
+void
+TraceRecorder::barrier()
+{
+    os_ << "Z\n";
+    ++events_;
+}
+
+void
+TraceRecorder::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    os_ << "end\n";
+    os_.flush();
+}
+
+std::uint64_t
+replayTrace(std::istream &is, Guest &guest)
+{
+    std::string line;
+    bool saw_header = false;
+    bool saw_end = false;
+    std::uint64_t events = 0;
+    std::unordered_map<long, FunctionId> fn_map;
+
+    auto bad = [&](const char *what) {
+        fatal("trace replay: %s in line '%s'", what, line.c_str());
+    };
+
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        if (!saw_header) {
+            if (line.rfind("sigil-trace\t1", 0) != 0)
+                fatal("not a sigil trace (bad header)");
+            saw_header = true;
+            continue;
+        }
+        char tag = line[0];
+        const char *rest = line.c_str() + (line.size() > 1 ? 2 : 1);
+        switch (tag) {
+          case 'p': // program line — informational
+            break;
+          case 'F': {
+            char *end = nullptr;
+            long id = std::strtol(rest, &end, 10);
+            if (end == rest || *end != '\t')
+                bad("bad function record");
+            fn_map[id] = guest.functions().intern(end + 1);
+            break;
+          }
+          case 'E': {
+            char *end = nullptr;
+            long id = std::strtol(rest, &end, 10);
+            auto it = fn_map.find(id);
+            if (end == rest || it == fn_map.end())
+                bad("unknown function id");
+            guest.enter(it->second);
+            ++events;
+            break;
+          }
+          case 'L':
+            guest.leave();
+            ++events;
+            break;
+          case 'R':
+          case 'W': {
+            char *end = nullptr;
+            unsigned long long addr = std::strtoull(rest, &end, 10);
+            if (end == rest || *end != '\t')
+                bad("bad access record");
+            unsigned long size = std::strtoul(end + 1, nullptr, 10);
+            if (tag == 'R')
+                guest.read(static_cast<Addr>(addr),
+                           static_cast<unsigned>(size));
+            else
+                guest.write(static_cast<Addr>(addr),
+                            static_cast<unsigned>(size));
+            ++events;
+            break;
+          }
+          case 'O': {
+            char *end = nullptr;
+            unsigned long long iops = std::strtoull(rest, &end, 10);
+            if (end == rest || *end != '\t')
+                bad("bad op record");
+            unsigned long long flops = std::strtoull(end + 1, nullptr, 10);
+            if (iops)
+                guest.iop(iops);
+            if (flops)
+                guest.flop(flops);
+            ++events;
+            break;
+          }
+          case 'B':
+            guest.branch(rest[0] == '1');
+            ++events;
+            break;
+          case 'T': {
+            char *end = nullptr;
+            unsigned long tid = std::strtoul(rest, &end, 10);
+            if (end == rest)
+                bad("bad thread-switch record");
+            while (guest.numThreads() <= tid)
+                guest.spawnThread();
+            guest.switchThread(static_cast<ThreadId>(tid));
+            ++events;
+            break;
+          }
+          case 'Z':
+            guest.barrier();
+            ++events;
+            break;
+          case 'e': // "end"
+            saw_end = true;
+            break;
+          default:
+            bad("unknown record tag");
+        }
+        if (saw_end)
+            break;
+    }
+    if (!saw_header)
+        fatal("not a sigil trace (empty input)");
+    if (!saw_end)
+        fatal("trace replay: truncated input (missing 'end')");
+    guest.finish();
+    return events;
+}
+
+std::uint64_t
+replayTraceFile(const std::string &path, Guest &guest)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open '%s' for reading", path.c_str());
+    return replayTrace(is, guest);
+}
+
+} // namespace sigil::vg

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Raw guest-event trace recording and replay.
+ *
+ * TraceRecorder is a Tool that streams the primitive event sequence
+ * (function enters/leaves, reads, writes, ops, branches) plus the
+ * function name table to a text file. replayTrace() drives a fresh
+ * Guest — with any set of analysis tools attached — through exactly the
+ * same event sequence. This is the paper's "collect once" model taken
+ * to its limit: one expensive instrumented run can feed any number of
+ * later analyses (different Sigil modes, different cache
+ * configurations) without rerunning the program.
+ */
+
+#ifndef SIGIL_VG_TRACE_IO_HH
+#define SIGIL_VG_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "vg/guest.hh"
+#include "vg/tool.hh"
+
+namespace sigil::vg {
+
+/** Streams the raw event sequence to an output stream. */
+class TraceRecorder : public Tool
+{
+  public:
+    /** The stream must outlive the recorder. */
+    explicit TraceRecorder(std::ostream &os);
+
+    void attach(const Guest &guest) override;
+    void fnEnter(ContextId ctx, CallNum call) override;
+    void fnLeave(ContextId ctx, CallNum call) override;
+    void memRead(Addr addr, unsigned size) override;
+    void memWrite(Addr addr, unsigned size) override;
+    void op(std::uint64_t iops, std::uint64_t flops) override;
+    void branch(bool taken) override;
+    void threadSwitch(ThreadId tid) override;
+    void barrier() override;
+    void finish() override;
+
+    /** Events written so far. */
+    std::uint64_t eventsWritten() const { return events_; }
+
+  private:
+    /** Emit the name-table entry for fn if not yet emitted. */
+    void ensureFunction(FunctionId fn);
+
+    std::ostream &os_;
+    std::vector<bool> emitted_;
+    std::uint64_t events_ = 0;
+    bool finished_ = false;
+};
+
+/**
+ * Replay a recorded trace into a guest. The guest must be freshly
+ * constructed; attach analysis tools before calling. Calls
+ * guest.finish() at the trace's end.
+ *
+ * @return number of events replayed. fatal() on malformed input.
+ */
+std::uint64_t replayTrace(std::istream &is, Guest &guest);
+
+/** Replay from a file. */
+std::uint64_t replayTraceFile(const std::string &path, Guest &guest);
+
+} // namespace sigil::vg
+
+#endif // SIGIL_VG_TRACE_IO_HH

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Traced guest data containers.
+ *
+ * GuestArray and GuestVar hold real host data while routing every access
+ * through the Guest so that attached tools observe the load/store stream,
+ * exactly as compiler- or JIT-inserted instrumentation would.
+ */
+
+#ifndef SIGIL_VG_TRACED_HH
+#define SIGIL_VG_TRACED_HH
+
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "support/logging.hh"
+#include "vg/guest.hh"
+
+namespace sigil::vg {
+
+/**
+ * An array of T living in the guest address space.
+ *
+ * get()/set() emit traced accesses; raw() bypasses tracing (used for
+ * host-side setup and verification only).
+ */
+template <typename T>
+class GuestArray
+{
+  public:
+    GuestArray(Guest &guest, std::size_t n, std::string_view tag = "")
+        : guest_(&guest), data_(n),
+          base_(guest.alloc(n * sizeof(T), tag))
+    {}
+
+    std::size_t size() const { return data_.size(); }
+
+    /** Guest address of element i. */
+    Addr
+    addr(std::size_t i) const
+    {
+        return base_ + static_cast<Addr>(i) * sizeof(T);
+    }
+
+    /** Traced load of element i. */
+    T
+    get(std::size_t i) const
+    {
+        boundsCheck(i);
+        guest_->read(addr(i), sizeof(T));
+        return data_[i];
+    }
+
+    /** Traced store to element i. */
+    void
+    set(std::size_t i, const T &v)
+    {
+        boundsCheck(i);
+        guest_->write(addr(i), sizeof(T));
+        data_[i] = v;
+    }
+
+    /** Untraced host access (setup / verification only). */
+    T &
+    raw(std::size_t i)
+    {
+        boundsCheck(i);
+        return data_[i];
+    }
+
+    const T &
+    raw(std::size_t i) const
+    {
+        boundsCheck(i);
+        return data_[i];
+    }
+
+    /**
+     * Initialize the whole array as program input: each element is
+     * written under the synthetic "*input*" producer.
+     */
+    template <typename Fn>
+    void
+    fillAsInput(Fn &&gen)
+    {
+        guest_->beginInput();
+        for (std::size_t i = 0; i < data_.size(); ++i)
+            set(i, gen(i));
+        guest_->endInput();
+    }
+
+  private:
+    void
+    boundsCheck(std::size_t i) const
+    {
+        if (i >= data_.size())
+            panic("GuestArray: index %zu out of range (size %zu)", i,
+                  data_.size());
+    }
+
+    Guest *guest_;
+    std::vector<T> data_;
+    Addr base_;
+};
+
+/** A single traced guest variable. */
+template <typename T>
+class GuestVar
+{
+  public:
+    explicit GuestVar(Guest &guest, T init = T{},
+                      std::string_view tag = "")
+        : guest_(&guest), value_(init),
+          addr_(guest.alloc(sizeof(T), tag))
+    {}
+
+    Addr addr() const { return addr_; }
+
+    /** Traced load. */
+    T
+    get() const
+    {
+        guest_->read(addr_, sizeof(T));
+        return value_;
+    }
+
+    /** Traced store. */
+    void
+    set(const T &v)
+    {
+        guest_->write(addr_, sizeof(T));
+        value_ = v;
+    }
+
+    /** Untraced host access. */
+    T &raw() { return value_; }
+    const T &raw() const { return value_; }
+
+  private:
+    Guest *guest_;
+    T value_;
+    Addr addr_;
+};
+
+/**
+ * A by-value argument spilled to the guest stack: the caller constructs
+ * it (traced write in the caller's frame is emitted by spill()), the
+ * callee loads it with load(). This makes scalar argument passing show
+ * up as (small) input communication, as it does for real binaries where
+ * arguments cross a register/stack boundary.
+ */
+template <typename T>
+class ArgSlot
+{
+  public:
+    ArgSlot(Guest &guest, const T &v) : guest_(&guest), value_(v)
+    {
+        addr_ = guest_->stackAlloc(sizeof(T));
+        guest_->write(addr_, sizeof(T));
+    }
+
+    /** Traced read by the callee. */
+    T
+    load() const
+    {
+        guest_->read(addr_, sizeof(T));
+        return value_;
+    }
+
+  private:
+    Guest *guest_;
+    T value_;
+    Addr addr_;
+};
+
+} // namespace sigil::vg
+
+#endif // SIGIL_VG_TRACED_HH

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Miniature PARSEC bodytrack: particle-filter body tracking against
+ * multi-camera silhouette images.
+ *
+ * Per frame, every particle's pose is scored by
+ * ImageMeasurements::ImageErrorInside over each camera's foreground map
+ * (the paper's Table II lists it twice — it is called from two distinct
+ * contexts, the inside- and edge-error passes). FlexImage::Set
+ * (memcpy-backed) loads each camera image, and the likelihood uses
+ * _ieee754_log; DMatrix and std::vector construction dominate the worst
+ * candidates, as in Table III.
+ */
+
+#include <cstdint>
+
+#include "support/rng.hh"
+#include "vg/traced.hh"
+#include "workloads/tracedlib.hh"
+#include "workloads/workload.hh"
+
+namespace sigil::workloads {
+
+namespace {
+
+using Image = vg::GuestArray<unsigned char>;
+
+/** DMatrix: a small dense pose-covariance matrix, zero-initialized. */
+class DMatrix
+{
+  public:
+    DMatrix(vg::Guest &g, Lib &lib, std::size_t dim)
+        : data_(g, dim * dim, "DMatrix"), dim_(dim)
+    {
+        vg::ScopedFunction f(g, "DMatrix::DMatrix");
+        lib.consume(lib.vectorCtor(dim * dim, 8), dim * dim * 8);
+        for (std::size_t i = 0; i < dim * dim; ++i) {
+            data_.set(i, i % (dim + 1) == 0 ? 1.0 : 0.0);
+            g.iop(1);
+        }
+    }
+
+    vg::GuestArray<double> &data() { return data_; }
+    std::size_t dim() const { return dim_; }
+
+  private:
+    vg::GuestArray<double> data_;
+    std::size_t dim_;
+};
+
+/** FlexImage::Set — loads a camera frame into the working image. */
+void
+flexImageSet(vg::Guest &g, Lib &lib, Image &dst, const Image &src,
+             std::size_t frame_off, std::size_t pixels)
+{
+    vg::ScopedFunction f(g, "FlexImage::Set");
+    g.iop(4); // geometry bookkeeping
+    lib.memcpy(dst, 0, src, frame_off, pixels);
+}
+
+/**
+ * ImageMeasurements::ImageErrorInside — counts silhouette mismatches of
+ * a pose sample inside a projected body-part rectangle.
+ */
+std::uint64_t
+imageErrorInside(vg::Guest &g, const Image &image, unsigned width,
+                 unsigned x0, unsigned y0, unsigned w, unsigned h)
+{
+    vg::ScopedFunction f(g, "ImageMeasurements::ImageErrorInside");
+    std::uint64_t error = 0;
+    for (unsigned y = y0; y < y0 + h; ++y) {
+        for (unsigned x = x0; x < x0 + w; ++x) {
+            unsigned char p = image.get(y * width + x);
+            error += p < 128 ? 1 : 0;
+            g.iop(3);
+        }
+        g.branch(y + 1 < y0 + h);
+    }
+    return error;
+}
+
+} // namespace
+
+void
+runBodytrack(vg::Guest &g, Scale scale)
+{
+    const unsigned factor = scaleFactor(scale);
+    const unsigned cameras = 4;
+    const unsigned width = 48;
+    const unsigned height = 48;
+    const unsigned frames = factor;
+    const unsigned particles = 24;
+    const std::size_t pixels = std::size_t{width} * height;
+
+    Lib lib(g);
+    Rng rng(0xb0d);
+
+    // Camera streams: frames × cameras silhouette maps.
+    Image stream(g, pixels * cameras * frames, "camera_stream");
+    stream.fillAsInput([&](std::size_t) {
+        return static_cast<unsigned char>(rng.nextBounded(256));
+    });
+
+    vg::ScopedFunction main_fn(g, "main");
+    lib.consume(lib.localeCtor(), 192);
+
+    Image working(g, pixels, "working_image");
+    vg::GuestArray<double> weights(g, particles, "weights");
+    lib.consume(lib.vectorCtor(particles, 8), particles * 8);
+
+    DMatrix pose_cov(g, lib, 8);
+
+    vg::GuestArray<double> likelihood(g, 1, "likelihood");
+    likelihood.set(0, 0.0);
+
+    for (unsigned frame = 0; frame < frames; ++frame) {
+        for (unsigned cam = 0; cam < cameras; ++cam) {
+            // Image load is its own pipeline stage, outside the
+            // observation kernel, as in the threaded benchmark.
+            std::size_t off =
+                (std::size_t{frame} * cameras + cam) * pixels;
+            flexImageSet(g, lib, working, stream, off, pixels);
+
+            vg::ScopedFunction track(g,
+                                     "TrackingModel::GetObservation");
+            for (unsigned p = 0; p < particles; ++p) {
+                // Inside-error pass over the torso box, then the
+                // edge-error pass over thinner limb boxes — two call
+                // sites, so ImageErrorInside appears in two contexts
+                // exactly as in the paper's Table II.
+                std::uint64_t inside, edge;
+                {
+                    vg::ScopedFunction fe(
+                        g, "ImageMeasurements::InsideError");
+                    unsigned x0 = 4 + static_cast<unsigned>(
+                                          rng.nextBounded(width / 2));
+                    unsigned y0 = 4 + static_cast<unsigned>(
+                                          rng.nextBounded(height / 2));
+                    g.iop(2);
+                    inside = imageErrorInside(g, working, width, x0, y0,
+                                              12, 12);
+                }
+                {
+                    vg::ScopedFunction fe(g,
+                                          "ImageMeasurements::EdgeError");
+                    unsigned x0 = 2 + static_cast<unsigned>(
+                                          rng.nextBounded(width / 2));
+                    unsigned y0 = 2 + static_cast<unsigned>(
+                                          rng.nextBounded(height / 2));
+                    g.iop(2);
+                    edge = imageErrorInside(g, working, width, x0, y0, 16,
+                                            4);
+                }
+
+                double err =
+                    static_cast<double>(inside) + 0.5 * static_cast<double>(edge);
+                g.flop(2);
+                double logw = -lib.log(1.0 + err);
+                g.flop(1);
+                weights.set(p, logw);
+            }
+        }
+
+        // Normalize particle weights through the pose covariance.
+        vg::ScopedFunction upd(g, "ParticleFilter::Update");
+        double sum = 0.0;
+        for (unsigned p = 0; p < particles; ++p) {
+            sum += weights.get(p);
+            g.flop(1);
+        }
+        double scaled =
+            sum * pose_cov.data().get(0) +
+            pose_cov.data().get(pose_cov.dim() + 1);
+        g.flop(3);
+        likelihood.set(0, likelihood.get(0) + scaled);
+        g.flop(1);
+    }
+
+    lib.isnan(likelihood.get(0));
+}
+
+} // namespace sigil::workloads

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Miniature PARSEC canneal: simulated-annealing routing-cost
+ * minimization of a netlist.
+ *
+ * Each annealing step picks two random elements (through the traced
+ * lrand48 chain), evaluates the wirelength delta of exchanging their
+ * locations ("mul" computes the weighted Manhattan terms), and commits
+ * good swaps with netlist::swap_locations. Element lookup by name uses
+ * memchr over the name pool plus std::string::compare, and the netlist
+ * loader shifts elements with memmove — the exact utility functions
+ * Table II lists for canneal.
+ */
+
+#include <cstdint>
+
+#include "support/rng.hh"
+#include "vg/traced.hh"
+#include "workloads/tracedlib.hh"
+#include "workloads/workload.hh"
+
+namespace sigil::workloads {
+
+namespace {
+
+constexpr std::size_t kNameLen = 12;
+
+/**
+ * "mul" — the weighted wirelength term of one net, computed with a
+ * software shift-and-add multiply (the compatibility path the paper's
+ * canneal profile ranks near breakeven 1).
+ */
+std::uint64_t
+mul(vg::Guest &g, std::uint64_t dist, std::uint64_t weight)
+{
+    vg::StackMark mark(g);
+    vg::ArgSlot<std::uint64_t> a(g, dist);
+    vg::ArgSlot<std::uint64_t> b(g, weight);
+    vg::ScopedFunction f(g, "mul");
+    std::uint64_t d = a.load();
+    std::uint64_t w = b.load();
+    std::uint64_t acc = 0;
+    while (w != 0) {
+        if (w & 1)
+            acc += d;
+        d <<= 1;
+        w >>= 1;
+        g.iop(4);
+        g.branch(w != 0);
+    }
+    // Guard band so even weight=1 pays the full software-multiply cost.
+    g.iop(12);
+    return acc;
+}
+
+/** Manhattan distance between two element locations. */
+std::uint64_t
+routingDistance(vg::Guest &g, const vg::GuestArray<std::int32_t> &locx,
+                const vg::GuestArray<std::int32_t> &locy, std::size_t a,
+                std::size_t b)
+{
+    vg::ScopedFunction f(g, "netlist_elem::routing_cost_given_loc");
+    std::int32_t dx = locx.get(a) - locx.get(b);
+    std::int32_t dy = locy.get(a) - locy.get(b);
+    g.iop(4);
+    if (dx < 0)
+        dx = -dx;
+    if (dy < 0)
+        dy = -dy;
+    g.iop(2);
+    return static_cast<std::uint64_t>(dx) +
+           static_cast<std::uint64_t>(dy);
+}
+
+/** netlist::swap_locations — exchange two elements' coordinates. */
+void
+swapLocations(vg::Guest &g, vg::GuestArray<std::int32_t> &locx,
+              vg::GuestArray<std::int32_t> &locy, std::size_t a,
+              std::size_t b)
+{
+    vg::ScopedFunction f(g, "netlist::swap_locations");
+    std::int32_t ax = locx.get(a);
+    std::int32_t ay = locy.get(a);
+    locx.set(a, locx.get(b));
+    locy.set(a, locy.get(b));
+    locx.set(b, ax);
+    locy.set(b, ay);
+    g.iop(6);
+}
+
+} // namespace
+
+void
+runCanneal(vg::Guest &g, Scale scale)
+{
+    const unsigned factor = scaleFactor(scale);
+    const std::size_t elems = 1024;
+    const std::size_t steps = 2048 * factor;
+    const std::size_t fanout = 4;
+
+    Lib lib(g);
+    Rng rng(0xca8);
+
+    // The netlist file: per element a fixed-width name and location.
+    vg::GuestArray<unsigned char> names(g, elems * kNameLen, "name_pool");
+    names.fillAsInput([&](std::size_t i) {
+        std::size_t pos = i % kNameLen;
+        if (pos == kNameLen - 1)
+            return static_cast<unsigned char>('\0');
+        return static_cast<unsigned char>('a' + (i * 131) % 26);
+    });
+
+    vg::ScopedFunction main_fn(g, "main");
+    lib.consume(lib.localeCtor(), 192);
+
+    vg::GuestArray<std::int32_t> locx(g, elems, "loc_x");
+    vg::GuestArray<std::int32_t> locy(g, elems, "loc_y");
+    vg::GuestArray<std::int32_t> fanin(g, elems * fanout, "fanin");
+    vg::GuestArray<std::uint64_t> weights(g, elems, "net_weights");
+    lib.consume(lib.vectorCtor(elems, 4), elems * 4);
+
+    {
+        // Netlist load: place elements, register names, and compact the
+        // element table with memmove as the real loader does.
+        vg::ScopedFunction load(g, "netlist::netlist");
+        for (std::size_t i = 0; i < elems; ++i) {
+            locx.set(i, static_cast<std::int32_t>(rng.nextBounded(512)));
+            locy.set(i, static_cast<std::int32_t>(rng.nextBounded(512)));
+            weights.set(i, 1 + rng.nextBounded(7));
+            for (std::size_t k = 0; k < fanout; ++k) {
+                fanin.set(i * fanout + k,
+                          static_cast<std::int32_t>(
+                              rng.nextBounded(elems)));
+            }
+            g.iop(4);
+        }
+        // Shift a block of locations to model vector growth.
+        lib.memmove(locx, 0, locx, 0, elems / 8);
+
+        // Name lookups exercised during load: find the terminator with
+        // memchr, then compare against a query name.
+        for (std::size_t q = 0; q < elems / 4; ++q) {
+            std::size_t idx = rng.nextBounded(elems);
+            lib.memchr(names, idx * kNameLen, kNameLen, '\0');
+            std::size_t other = rng.nextBounded(elems);
+            lib.stringCompare(names, idx * kNameLen, names,
+                              other * kNameLen, kNameLen - 1);
+        }
+    }
+
+    {
+        vg::ScopedFunction anneal(g, "annealer_thread::Run");
+        std::uint64_t accepted = 0;
+        for (std::size_t s = 0; s < steps; ++s) {
+            std::size_t a = static_cast<std::size_t>(lib.lrand48()) %
+                            elems;
+            std::size_t b = static_cast<std::size_t>(lib.lrand48()) %
+                            elems;
+            g.iop(2);
+            if (a == b)
+                continue;
+
+            // Delta cost over both elements' fanin nets.
+            std::uint64_t before = 0, after = 0;
+            {
+                vg::ScopedFunction sc(g, "netlist_elem::swap_cost");
+                for (std::size_t k = 0; k < fanout; ++k) {
+                    std::size_t na = static_cast<std::size_t>(
+                        fanin.get(a * fanout + k));
+                    std::size_t nb = static_cast<std::size_t>(
+                        fanin.get(b * fanout + k));
+                    std::uint64_t wa = weights.get(a);
+                    std::uint64_t wb = weights.get(b);
+                    before += mul(g, routingDistance(g, locx, locy, a, na),
+                                  wa);
+                    before += mul(g, routingDistance(g, locx, locy, b, nb),
+                                  wb);
+                    after += mul(g, routingDistance(g, locx, locy, b, na),
+                                 wa);
+                    after += mul(g, routingDistance(g, locx, locy, a, nb),
+                                 wb);
+                    g.iop(4);
+                }
+            }
+            bool accept = after < before ||
+                          (lib.lrand48() & 0xff) < 8;
+            g.iop(2);
+            g.branch(accept);
+            if (accept) {
+                swapLocations(g, locx, locy, a, b);
+                ++accepted;
+            }
+        }
+        g.iop(1);
+        (void)accepted;
+    }
+}
+
+} // namespace sigil::workloads

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Miniature PARSEC dedup: the deduplicating compression pipeline.
+ *
+ * The stream is fragmented into content-defined chunks with a rolling
+ * adler32 fingerprint, every chunk is hashed with the real SHA-1
+ * compression function (sha1_block_data_order appears in two calling
+ * contexts — first-pass hashing in Deduplicate and verification in
+ * ChunkVerify — matching its duplicated Table II rows), duplicate
+ * chunks are found through hashtable_search, and unique chunks go
+ * through the deflate-style _tr_flush_block before write_file appends
+ * them to the archive.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hh"
+#include "vg/traced.hh"
+#include "workloads/tracedlib.hh"
+#include "workloads/workload.hh"
+
+namespace sigil::workloads {
+
+namespace {
+
+using Bytes = vg::GuestArray<unsigned char>;
+
+/** SHA-1 of chunk bytes (whole 64-byte blocks only, real compression). */
+std::uint64_t
+chunkDigest(vg::Guest &g, Lib &lib, vg::GuestArray<std::uint32_t> &state,
+            const Bytes &data, std::size_t off, std::size_t len)
+{
+    state.set(0, 0x67452301u);
+    state.set(1, 0xefcdab89u);
+    state.set(2, 0x98badcfeu);
+    state.set(3, 0x10325476u);
+    state.set(4, 0xc3d2e1f0u);
+    std::size_t blocks = len / 64;
+    for (std::size_t b = 0; b < blocks; ++b)
+        lib.sha1Block(state, data, off + b * 64);
+    g.iop(4);
+    std::uint64_t digest =
+        (static_cast<std::uint64_t>(state.get(0)) << 32) | state.get(1);
+    // Hash-table keys must be nonzero (0 marks an empty slot).
+    return digest | 1;
+}
+
+} // namespace
+
+void
+runDedup(vg::Guest &g, Scale scale)
+{
+    const unsigned factor = scaleFactor(scale);
+    const std::size_t stream_len = 32768 * factor;
+    const std::size_t min_chunk = 256;
+    const std::size_t max_chunk = 1024;
+
+    Lib lib(g);
+    Rng rng(0xded);
+
+    // Input stream with long repeated spans so chunks deduplicate.
+    std::vector<unsigned char> host(stream_len);
+    {
+        Rng seg_rng(0x5e6);
+        std::size_t pos = 0;
+        std::vector<unsigned char> motif(2048);
+        for (auto &b : motif)
+            b = static_cast<unsigned char>(seg_rng.nextBounded(256));
+        while (pos < stream_len) {
+            bool repeat = (seg_rng.next() & 1) != 0;
+            std::size_t span =
+                std::min<std::size_t>(1024, stream_len - pos);
+            for (std::size_t i = 0; i < span; ++i) {
+                host[pos + i] = repeat
+                                    ? motif[i % motif.size()]
+                                    : static_cast<unsigned char>(
+                                          seg_rng.nextBounded(256));
+            }
+            pos += span;
+        }
+    }
+    // The stream arrives through the read() syscall, which the paper
+    // models as an opaque producer of the buffer bytes.
+    Bytes stream(g, stream_len, "input_stream");
+    for (std::size_t i = 0; i < stream_len; ++i)
+        stream.raw(i) = host[i];
+    g.syscallIn("read", stream.addr(0),
+                static_cast<unsigned>(stream_len));
+
+    vg::ScopedFunction main_fn(g, "main");
+    lib.consume(lib.localeCtor(), 192);
+
+    Bytes buffer(g, max_chunk, "chunk_buffer");
+    Bytes compressed(g, 2 * max_chunk + 16, "compressed");
+    // RLE can expand incompressible chunks to 2x, so size for worst
+    // case.
+    Bytes archive(g, 2 * stream_len + 4096, "archive");
+    vg::GuestArray<std::uint32_t> sha_state(g, 5, "sha1_state");
+    vg::GuestArray<std::uint64_t> table(g, 1024, "dedup_table");
+    lib.memset(table, 0, table.size(), std::uint64_t{0});
+
+    std::size_t archive_off = 0;
+    std::size_t pos = 0;
+    std::uint64_t unique_chunks = 0, dup_chunks = 0;
+
+    while (pos < stream_len) {
+        // Fragment: scan forward with a rolling adler32 fingerprint over
+        // 64-byte windows until a content-defined boundary.
+        std::size_t chunk_len;
+        {
+            vg::ScopedFunction frag(g, "Fragment");
+            chunk_len = min_chunk;
+            while (pos + chunk_len + 64 <= stream_len &&
+                   chunk_len < max_chunk) {
+                std::uint32_t fp = lib.adler32(
+                    1, stream, pos + chunk_len, 64);
+                g.iop(2);
+                g.branch((fp & 0x3f) == 0x21);
+                if ((fp & 0x3f) == 0x21)
+                    break;
+                chunk_len += 64;
+            }
+            chunk_len = std::min(chunk_len, stream_len - pos);
+            // Refine: stage the chunk into the working buffer.
+            vg::ScopedFunction refine(g, "FragmentRefine");
+            lib.memcpy(buffer, 0, stream, pos, chunk_len);
+        }
+
+        std::uint64_t digest;
+        bool duplicate;
+        std::size_t slot;
+        {
+            vg::ScopedFunction dd(g, "Deduplicate");
+            digest = chunkDigest(g, lib, sha_state, buffer, 0, chunk_len);
+            slot = lib.hashtableSearch(table, digest);
+            duplicate = slot < table.size() && table.get(slot) == digest;
+            g.iop(2);
+            g.branch(duplicate);
+        }
+
+        if (duplicate) {
+            ++dup_chunks;
+            // Verify against the stored digest (second sha1 context).
+            vg::ScopedFunction verify(g, "ChunkVerify");
+            std::uint64_t again =
+                chunkDigest(g, lib, sha_state, buffer, 0, chunk_len);
+            g.iop(1);
+            g.branch(again == digest);
+            // Emit an 8-byte reference record.
+            for (int i = 0; i < 8; ++i)
+                archive.set(archive_off + static_cast<std::size_t>(i),
+                            static_cast<unsigned char>(digest >> (8 * i)));
+            archive_off += 8;
+        } else {
+            ++unique_chunks;
+            if (slot < table.size())
+                table.set(slot, digest);
+            std::size_t clen;
+            {
+                vg::ScopedFunction comp(g, "Compress");
+                clen = lib.trFlushBlock(buffer, 0, chunk_len, compressed,
+                                        0);
+            }
+            lib.writeFile(archive, archive_off, compressed, 0, clen);
+            archive_off += clen;
+        }
+        pos += chunk_len;
+        g.iop(2);
+    }
+    // Flush the archive to storage through the write() syscall.
+    g.syscallOut("write", archive.addr(0),
+                 static_cast<unsigned>(archive_off));
+    g.iop(1);
+    (void)unique_chunks;
+    (void)dup_chunks;
+}
+
+} // namespace sigil::workloads

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Miniature PARSEC facesim: quasi-static mass-spring simulation of a
+ * face mesh, solved with conjugate gradient.
+ *
+ * Per frame: Update_Position_Based_State evaluates spring strains,
+ * Add_Velocity_Independent_Forces assembles elastic forces, and a
+ * One_Newton_Step_Toward_Steady_State CG solve updates positions.
+ * facesim is the memory-intensive member of the suite (large vertex
+ * arrays), matching its standing in the paper's Figure 6.
+ */
+
+#include <cstdint>
+
+#include "support/rng.hh"
+#include "vg/traced.hh"
+#include "workloads/tracedlib.hh"
+#include "workloads/workload.hh"
+
+namespace sigil::workloads {
+
+namespace {
+
+using Vec = vg::GuestArray<double>;
+
+/** Dot product of two vertex-component vectors. */
+double
+dot(vg::Guest &g, const Vec &a, const Vec &b, std::size_t n)
+{
+    vg::ScopedFunction f(g, "CG_Vector_Dot");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        acc += a.get(i) * b.get(i);
+        g.flop(2);
+    }
+    return acc;
+}
+
+/** y += alpha * x. */
+void
+axpy(vg::Guest &g, Vec &y, const Vec &x, double alpha, std::size_t n)
+{
+    vg::ScopedFunction f(g, "CG_Vector_Add");
+    for (std::size_t i = 0; i < n; ++i) {
+        y.set(i, y.get(i) + alpha * x.get(i));
+        g.flop(2);
+    }
+}
+
+/** Spring-laplacian matrix-vector product along the mesh ring. */
+void
+applyStiffness(vg::Guest &g, const Vec &x, Vec &out, std::size_t n)
+{
+    vg::ScopedFunction f(g, "Add_Force_Differential");
+    for (std::size_t i = 0; i < n; ++i) {
+        double left = x.get(i == 0 ? n - 1 : i - 1);
+        double right = x.get(i + 1 == n ? 0 : i + 1);
+        double self = x.get(i);
+        out.set(i, 2.2 * self - 1.05 * (left + right));
+        g.flop(4);
+    }
+}
+
+} // namespace
+
+void
+runFacesim(vg::Guest &g, Scale scale)
+{
+    const unsigned factor = scaleFactor(scale);
+    const std::size_t verts = 3072 * factor;
+    const unsigned frames = 2;
+    const unsigned cg_iters = 6;
+
+    Lib lib(g);
+    Rng rng(0xface);
+
+    Vec rest(g, verts, "rest_positions");
+    rest.fillAsInput(
+        [&](std::size_t) { return rng.nextRange(-1.0, 1.0); });
+
+    vg::ScopedFunction main_fn(g, "main");
+    lib.consume(lib.localeCtor(), 192);
+
+    Vec pos(g, verts, "positions");
+    Vec strain(g, verts, "strain");
+    Vec force(g, verts, "forces");
+    Vec residual(g, verts, "cg_residual");
+    Vec direction(g, verts, "cg_direction");
+    Vec temp(g, verts, "cg_temp");
+    lib.consume(lib.vectorCtor(verts, 8), verts * 8);
+    lib.consume(lib.vectorCtor(verts, 8), verts * 8);
+
+    {
+        vg::ScopedFunction init(g, "Initialize_Deformable_Object");
+        lib.memcpy(pos, 0, rest, 0, verts);
+    }
+
+    for (unsigned frame = 0; frame < frames; ++frame) {
+        {
+            vg::ScopedFunction upd(g, "Update_Position_Based_State");
+            for (std::size_t i = 0; i < verts; ++i) {
+                double d = pos.get(i) - rest.get(i);
+                strain.set(i, d * d * 0.5 + 0.02 * d);
+                g.flop(5);
+            }
+        }
+        {
+            vg::ScopedFunction asm_f(
+                g, "Add_Velocity_Independent_Forces");
+            for (std::size_t i = 0; i < verts; ++i) {
+                double left = strain.get(i == 0 ? verts - 1 : i - 1);
+                double self = strain.get(i);
+                force.set(i, -3.0 * self + 1.4 * left);
+                g.flop(3);
+            }
+        }
+
+        // CG solve: K dx = f.
+        vg::ScopedFunction solve(
+            g, "One_Newton_Step_Toward_Steady_State");
+        for (std::size_t i = 0; i < verts; ++i) {
+            residual.set(i, force.get(i));
+            direction.set(i, force.get(i));
+        }
+        double rho = dot(g, residual, residual, verts);
+        for (unsigned it = 0; it < cg_iters; ++it) {
+            applyStiffness(g, direction, temp, verts);
+            double alpha = rho / (dot(g, direction, temp, verts) + 1e-12);
+            g.flop(2);
+            axpy(g, pos, direction, alpha, verts);
+            axpy(g, residual, temp, -alpha, verts);
+            double rho_new = dot(g, residual, residual, verts);
+            double beta = rho_new / (rho + 1e-12);
+            g.flop(2);
+            // direction = residual + beta * direction.
+            {
+                vg::ScopedFunction up(g, "CG_Vector_Scale_Add");
+                for (std::size_t i = 0; i < verts; ++i) {
+                    direction.set(
+                        i, residual.get(i) + beta * direction.get(i));
+                    g.flop(2);
+                }
+            }
+            rho = rho_new;
+        }
+        lib.isnan(rho);
+    }
+}
+
+} // namespace sigil::workloads

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Miniature PARSEC ferret: content-based image similarity search.
+ *
+ * Each query image is segmented, a feature vector is extracted per
+ * segment, candidate sets are probed through hashtable_search (the LSH
+ * stand-in), and candidates are ranked by an EMD-style distance. The
+ * pipeline mirrors ferret's stage structure (load → segment → extract →
+ * index probe → rank), whose many small stages give it the low
+ * candidate coverage the paper's Figure 7 shows.
+ */
+
+#include <cstdint>
+
+#include "support/rng.hh"
+#include "vg/traced.hh"
+#include "workloads/tracedlib.hh"
+#include "workloads/workload.hh"
+
+namespace sigil::workloads {
+
+namespace {
+
+constexpr unsigned kDim = 24;
+constexpr unsigned kImgW = 24;
+constexpr unsigned kImgH = 24;
+constexpr unsigned kSegments = 4;
+
+/** Extract a moment-based feature vector from one image segment. */
+void
+featureExtract(vg::Guest &g, const vg::GuestArray<unsigned char> &image,
+               std::size_t img_off, unsigned seg,
+               vg::GuestArray<double> &feature, std::size_t feat_off)
+{
+    vg::ScopedFunction f(g, "image_extract_helper");
+    unsigned y0 = (seg / 2) * (kImgH / 2);
+    unsigned x0 = (seg % 2) * (kImgW / 2);
+    double m0 = 0.0, m1 = 0.0, m2 = 0.0;
+    for (unsigned y = y0; y < y0 + kImgH / 2; ++y) {
+        for (unsigned x = x0; x < x0 + kImgW / 2; ++x) {
+            double p = image.get(img_off + y * kImgW + x);
+            m0 += p;
+            m1 += p * static_cast<double>(x);
+            m2 += p * static_cast<double>(y);
+            g.flop(5);
+        }
+    }
+    for (unsigned d = 0; d < kDim; ++d) {
+        double v = (d % 3 == 0 ? m0 : d % 3 == 1 ? m1 : m2) /
+                   (1.0 + static_cast<double>(d));
+        feature.set(feat_off + d, v);
+        g.flop(2);
+    }
+}
+
+/** EMD-style distance between a query feature and a database vector. */
+double
+emdDistance(vg::Guest &g, const vg::GuestArray<double> &a,
+            std::size_t aoff, const vg::GuestArray<double> &b,
+            std::size_t boff)
+{
+    vg::ScopedFunction f(g, "emd");
+    double acc = 0.0, flow = 0.0;
+    for (unsigned d = 0; d < kDim; ++d) {
+        flow += a.get(aoff + d) - b.get(boff + d);
+        acc += flow < 0 ? -flow : flow;
+        g.flop(3);
+    }
+    return acc;
+}
+
+} // namespace
+
+void
+runFerret(vg::Guest &g, Scale scale)
+{
+    const unsigned factor = scaleFactor(scale);
+    const unsigned queries = 4 * factor;
+    const unsigned db_size = 128;
+    const unsigned candidates = 32;
+    const unsigned topk = 8;
+    const std::size_t img_pixels = std::size_t{kImgW} * kImgH;
+
+    Lib lib(g);
+    Rng rng(0xfe44e7);
+
+    vg::GuestArray<unsigned char> images(g, img_pixels * queries,
+                                         "query_images");
+    images.fillAsInput([&](std::size_t) {
+        return static_cast<unsigned char>(rng.nextBounded(256));
+    });
+    vg::GuestArray<double> database(g, std::size_t{db_size} * kDim,
+                                    "feature_db");
+    database.fillAsInput(
+        [&](std::size_t) { return rng.nextRange(0.0, 4096.0); });
+
+    vg::ScopedFunction main_fn(g, "main");
+    lib.consume(lib.localeCtor(), 192);
+    lib.dlAddr();
+
+    vg::GuestArray<std::uint64_t> lsh_table(g, 512, "lsh_table");
+    vg::GuestArray<double> norms(g, db_size, "db_norms");
+    vg::GuestArray<double> norms_tmp(g, db_size, "db_norms_tmp");
+    {
+        vg::ScopedFunction build(g, "cass_table_load");
+        lib.memset(lsh_table, 0, lsh_table.size(), std::uint64_t{0});
+        for (unsigned v = 0; v < db_size; ++v) {
+            std::uint64_t key = (rng.next() % 509) + 1;
+            std::size_t slot = lib.hashtableSearch(lsh_table, key);
+            if (slot < lsh_table.size())
+                lsh_table.set(slot, key);
+            g.iop(2);
+        }
+        // Rank the database vectors by norm for the candidate scan,
+        // through the traced merge sort (glibc's qsort path).
+        for (unsigned v = 0; v < db_size; ++v) {
+            double acc = 0.0;
+            for (unsigned d = 0; d < kDim; d += 4) {
+                acc += database.get(std::size_t{v} * kDim + d);
+                g.flop(1);
+            }
+            norms.set(v, acc);
+        }
+        lib.msort(norms, 0, db_size, norms_tmp, 0);
+    }
+
+    vg::GuestArray<double> feature(g, std::size_t{kSegments} * kDim,
+                                   "query_feature");
+    vg::GuestArray<double> ranks(g, topk, "rank_scores");
+    vg::GuestArray<std::int32_t> rank_ids(g, topk, "rank_ids");
+
+    for (unsigned q = 0; q < queries; ++q) {
+        vg::ScopedFunction pipeline(g, "ferret_query");
+        std::size_t img_off = std::size_t{q} * img_pixels;
+
+        {
+            vg::ScopedFunction seg(g, "image_segment");
+            for (unsigned s = 0; s < kSegments; ++s)
+                featureExtract(g, images, img_off, s, feature,
+                               std::size_t{s} * kDim);
+        }
+
+        {
+            vg::ScopedFunction probe(g, "cass_table_query");
+            // LSH probe per segment feature.
+            for (unsigned s = 0; s < kSegments; ++s) {
+                double v = feature.get(std::size_t{s} * kDim);
+                std::uint64_t key =
+                    (static_cast<std::uint64_t>(v) % 509) + 1;
+                g.iop(3);
+                lib.hashtableSearch(lsh_table, key);
+            }
+
+            // Rank candidate database vectors by EMD distance.
+            vg::ScopedFunction rank(g, "cass_result_merge");
+            for (unsigned k = 0; k < topk; ++k) {
+                ranks.set(k, 1e300);
+                rank_ids.set(k, -1);
+            }
+            for (unsigned c = 0; c < candidates; ++c) {
+                unsigned vec = static_cast<unsigned>(
+                    rng.nextBounded(db_size));
+                double best = 1e300;
+                for (unsigned s = 0; s < kSegments; ++s) {
+                    double d = emdDistance(
+                        g, feature, std::size_t{s} * kDim, database,
+                        std::size_t{vec} * kDim);
+                    if (d < best)
+                        best = d;
+                    g.flop(1);
+                }
+                // Insertion into the top-k list.
+                for (unsigned k = 0; k < topk; ++k) {
+                    g.iop(1);
+                    g.branch(best < ranks.get(k));
+                    if (best < ranks.get(k)) {
+                        for (unsigned m = topk - 1; m > k; --m) {
+                            ranks.set(m, ranks.get(m - 1));
+                            rank_ids.set(m, rank_ids.get(m - 1));
+                        }
+                        ranks.set(k, best);
+                        rank_ids.set(k,
+                                     static_cast<std::int32_t>(vec));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace sigil::workloads

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Miniature PARSEC fluidanimate: smoothed-particle-hydrodynamics fluid
+ * simulation on a uniform grid.
+ *
+ * Per frame: RebuildGrid bins particles into cells, ComputeDensities
+ * accumulates kernel-weighted neighbor masses, ComputeForces — by far
+ * the dominant kernel, contributing ~90% of all operations, exactly as
+ * the paper observes — evaluates pressure and viscosity forces over all
+ * neighbor pairs, and AdvanceParticles integrates. Every frame's forces
+ * depend on the previous frame's positions, so the dependency chains
+ * collapse onto ComputeForces and the critical path is essentially the
+ * serial program (Figure 13's shortest bar).
+ */
+
+#include <cmath>
+#include <cstdint>
+
+#include "support/rng.hh"
+#include "vg/traced.hh"
+#include "workloads/tracedlib.hh"
+#include "workloads/workload.hh"
+
+namespace sigil::workloads {
+
+namespace {
+
+constexpr unsigned kGrid = 4;        // cells per axis
+constexpr double kCell = 0.25;       // cell edge
+constexpr double kH = 0.25;          // smoothing radius
+constexpr double kMass = 1.0;
+constexpr double kStiff = 1.5;
+constexpr double kViscosity = 0.4;
+constexpr double kDt = 0.005;
+
+inline unsigned
+cellOf(double x, double y, double z)
+{
+    auto clamp = [](int v) {
+        return v < 0 ? 0
+                     : (v >= static_cast<int>(kGrid)
+                            ? static_cast<int>(kGrid) - 1
+                            : v);
+    };
+    int cx = clamp(static_cast<int>(x / kCell));
+    int cy = clamp(static_cast<int>(y / kCell));
+    int cz = clamp(static_cast<int>(z / kCell));
+    return static_cast<unsigned>((cz * static_cast<int>(kGrid) + cy) *
+                                     static_cast<int>(kGrid) +
+                                 cx);
+}
+
+} // namespace
+
+void
+runFluidanimate(vg::Guest &g, Scale scale)
+{
+    const unsigned factor = scaleFactor(scale);
+    const std::size_t n = 160 * factor;
+    const unsigned frames = 4;
+    const std::size_t cells = kGrid * kGrid * kGrid;
+
+    Lib lib(g);
+    Rng rng(0xf1);
+
+    vg::GuestArray<double> px(g, n, "pos_x"), py(g, n, "pos_y"),
+        pz(g, n, "pos_z");
+    vg::GuestArray<double> vx(g, n, "vel_x"), vy(g, n, "vel_y"),
+        vz(g, n, "vel_z");
+    vg::GuestArray<double> ax(g, n, "acc_x"), ay(g, n, "acc_y"),
+        az(g, n, "acc_z");
+    vg::GuestArray<double> density(g, n, "density");
+    vg::GuestArray<std::int32_t> cell_head(g, cells, "cell_head");
+    vg::GuestArray<std::int32_t> next_in_cell(g, n, "next_in_cell");
+
+    px.fillAsInput([&](std::size_t) { return rng.nextRange(0.0, 1.0); });
+    py.fillAsInput([&](std::size_t) { return rng.nextRange(0.0, 1.0); });
+    pz.fillAsInput([&](std::size_t) { return rng.nextRange(0.0, 1.0); });
+    vx.fillAsInput([&](std::size_t) { return 0.0; });
+    vy.fillAsInput([&](std::size_t) { return 0.0; });
+    vz.fillAsInput([&](std::size_t) { return 0.0; });
+
+    vg::ScopedFunction main_fn(g, "main");
+    lib.consume(lib.vectorCtor(n, 8), n * 8);
+
+    for (unsigned frame = 0; frame < frames; ++frame) {
+        {
+            vg::ScopedFunction rebuild(g, "RebuildGrid");
+            for (std::size_t c = 0; c < cells; ++c)
+                cell_head.set(c, -1);
+            for (std::size_t i = 0; i < n; ++i) {
+                unsigned c = cellOf(px.get(i), py.get(i), pz.get(i));
+                g.iop(6);
+                next_in_cell.set(i, cell_head.get(c));
+                cell_head.set(c, static_cast<std::int32_t>(i));
+            }
+        }
+
+        // Visit every particle pair in the same cell (neighbor cells
+        // are folded into the cell size for this miniature).
+        auto for_pairs = [&](auto &&body) {
+            for (std::size_t c = 0; c < cells; ++c) {
+                for (std::int32_t i = cell_head.get(c); i >= 0;
+                     i = next_in_cell.get(static_cast<std::size_t>(i))) {
+                    for (std::int32_t j = next_in_cell.get(
+                             static_cast<std::size_t>(i));
+                         j >= 0;
+                         j = next_in_cell.get(
+                             static_cast<std::size_t>(j))) {
+                        body(static_cast<std::size_t>(i),
+                             static_cast<std::size_t>(j));
+                    }
+                }
+            }
+        };
+
+        {
+            vg::ScopedFunction dens(g, "ComputeDensities");
+            for (std::size_t i = 0; i < n; ++i)
+                density.set(i, kMass);
+            for_pairs([&](std::size_t i, std::size_t j) {
+                double dx = px.get(i) - px.get(j);
+                double dy = py.get(i) - py.get(j);
+                double dz = pz.get(i) - pz.get(j);
+                double r2 = dx * dx + dy * dy + dz * dz;
+                g.flop(9);
+                g.branch(r2 < kH * kH);
+                if (r2 < kH * kH) {
+                    double w = kH * kH - r2;
+                    double contrib = kMass * w * w * w;
+                    density.set(i, density.get(i) + contrib);
+                    density.set(j, density.get(j) + contrib);
+                    g.flop(7);
+                }
+            });
+        }
+
+        {
+            vg::ScopedFunction forces(g, "ComputeForces");
+            for (std::size_t i = 0; i < n; ++i) {
+                ax.set(i, 0.0);
+                ay.set(i, -9.8);
+                az.set(i, 0.0);
+            }
+            for_pairs([&](std::size_t i, std::size_t j) {
+                double dx = px.get(i) - px.get(j);
+                double dy = py.get(i) - py.get(j);
+                double dz = pz.get(i) - pz.get(j);
+                double r2 = dx * dx + dy * dy + dz * dz;
+                g.flop(9);
+                g.branch(r2 < kH * kH);
+                if (r2 >= kH * kH || r2 <= 0.0)
+                    return;
+                // Pressure term (Tait EOS) and Laplacian viscosity.
+                double r = std::sqrt(r2);
+                double di = density.get(i);
+                double dj = density.get(j);
+                double pi = kStiff * (di - 1.0);
+                double pj = kStiff * (dj - 1.0);
+                double wgrad = (kH - r) * (kH - r) / r;
+                double pterm =
+                    0.5 * kMass * (pi + pj) / (di * dj) * wgrad;
+                g.flop(16);
+                double fvx = (vx.get(j) - vx.get(i)) * kViscosity *
+                             (kH - r);
+                double fvy = (vy.get(j) - vy.get(i)) * kViscosity *
+                             (kH - r);
+                double fvz = (vz.get(j) - vz.get(i)) * kViscosity *
+                             (kH - r);
+                g.flop(9);
+                double fx = -dx * pterm + fvx;
+                double fy = -dy * pterm + fvy;
+                double fz = -dz * pterm + fvz;
+                g.flop(9);
+                ax.set(i, ax.get(i) + fx / di);
+                ay.set(i, ay.get(i) + fy / di);
+                az.set(i, az.get(i) + fz / di);
+                ax.set(j, ax.get(j) - fx / dj);
+                ay.set(j, ay.get(j) - fy / dj);
+                az.set(j, az.get(j) - fz / dj);
+                g.flop(12);
+            });
+        }
+
+        {
+            vg::ScopedFunction adv(g, "AdvanceParticles");
+            for (std::size_t i = 0; i < n; ++i) {
+                double nvx = vx.get(i) + ax.get(i) * kDt;
+                double nvy = vy.get(i) + ay.get(i) * kDt;
+                double nvz = vz.get(i) + az.get(i) * kDt;
+                double npx = px.get(i) + nvx * kDt;
+                double npy = py.get(i) + nvy * kDt;
+                double npz = pz.get(i) + nvz * kDt;
+                g.flop(12);
+                // Reflecting walls.
+                auto wall = [&](double &p, double &v) {
+                    g.branch(p < 0.0 || p > 1.0);
+                    if (p < 0.0) {
+                        p = -p;
+                        v = -v;
+                    } else if (p > 1.0) {
+                        p = 2.0 - p;
+                        v = -v;
+                    }
+                    g.iop(2);
+                };
+                wall(npx, nvx);
+                wall(npy, nvy);
+                wall(npz, nvz);
+                vx.set(i, nvx);
+                vy.set(i, nvy);
+                vz.set(i, nvz);
+                px.set(i, npx);
+                py.set(i, npy);
+                pz.set(i, npz);
+            }
+        }
+    }
+}
+
+} // namespace sigil::workloads

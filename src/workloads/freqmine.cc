@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Miniature PARSEC freqmine: frequent-itemset mining with FP-growth.
+ *
+ * The transaction database is scanned for item counts
+ * (scan1_DB), transactions are re-sorted by frequency and inserted
+ * into an FP-tree (insert_FPtree), and the tree is mined recursively
+ * for frequent patterns (FP_growth — a genuinely recursive kernel,
+ * exercising the context tree's recursion folding). Included as an
+ * extension beyond the paper's figure set; it participates in the
+ * PARSEC sweeps.
+ */
+
+#include <cstdint>
+
+#include "support/rng.hh"
+#include "vg/traced.hh"
+#include "workloads/tracedlib.hh"
+#include "workloads/workload.hh"
+
+namespace sigil::workloads {
+
+namespace {
+
+constexpr unsigned kItems = 48;
+constexpr unsigned kMaxTxnLen = 8;
+constexpr std::size_t kMaxNodes = 4096;
+
+/** An FP-tree stored in parallel guest arrays (item, count, links). */
+struct FpTree
+{
+    FpTree(vg::Guest &g)
+        : item(g, kMaxNodes, "fp_item"), count(g, kMaxNodes, "fp_count"),
+          child(g, kMaxNodes, "fp_child"),
+          sibling(g, kMaxNodes, "fp_sibling"),
+          parent(g, kMaxNodes, "fp_parent"), nodes(g, 1, "fp_nodes")
+    {}
+
+    vg::GuestArray<std::int32_t> item;
+    vg::GuestArray<std::int32_t> count;
+    vg::GuestArray<std::int32_t> child;
+    vg::GuestArray<std::int32_t> sibling;
+    vg::GuestArray<std::int32_t> parent;
+    vg::GuestVar<std::int32_t> nodes;
+};
+
+/** Insert one frequency-sorted transaction into the FP-tree. */
+void
+insertTransaction(vg::Guest &g, FpTree &tree,
+                  const std::int32_t *items, unsigned len)
+{
+    vg::ScopedFunction f(g, "insert_FPtree");
+    std::int32_t cur = 0; // root
+    for (unsigned k = 0; k < len; ++k) {
+        std::int32_t it = items[k];
+        // Find a child of cur with this item.
+        std::int32_t c = tree.child.get(static_cast<std::size_t>(cur));
+        std::int32_t found = -1;
+        while (c >= 0) {
+            g.iop(2);
+            g.branch(tree.item.get(static_cast<std::size_t>(c)) == it);
+            if (tree.item.get(static_cast<std::size_t>(c)) == it) {
+                found = c;
+                break;
+            }
+            c = tree.sibling.get(static_cast<std::size_t>(c));
+        }
+        if (found >= 0) {
+            tree.count.set(static_cast<std::size_t>(found),
+                           tree.count.get(
+                               static_cast<std::size_t>(found)) +
+                               1);
+            cur = found;
+            g.iop(2);
+            continue;
+        }
+        // Allocate a new node.
+        std::int32_t n = tree.nodes.get();
+        if (static_cast<std::size_t>(n) >= kMaxNodes)
+            return; // tree full: drop the tail (bounded miniature)
+        tree.nodes.set(n + 1);
+        tree.item.set(static_cast<std::size_t>(n), it);
+        tree.count.set(static_cast<std::size_t>(n), 1);
+        tree.child.set(static_cast<std::size_t>(n), -1);
+        tree.sibling.set(static_cast<std::size_t>(n),
+                         tree.child.get(static_cast<std::size_t>(cur)));
+        tree.parent.set(static_cast<std::size_t>(n), cur);
+        tree.child.set(static_cast<std::size_t>(cur), n);
+        cur = n;
+        g.iop(6);
+    }
+}
+
+/**
+ * FP_growth: recursively mine the subtree below node, accumulating
+ * pattern counts. Recursion folds onto one context, as Callgrind's
+ * cycle handling does.
+ */
+std::uint64_t
+fpGrowth(vg::Guest &g, FpTree &tree, std::int32_t node, unsigned depth,
+         vg::GuestArray<std::uint32_t> &pattern_counts)
+{
+    vg::ScopedFunction f(g, "FP_growth");
+    std::uint64_t patterns = 0;
+    std::int32_t c = tree.child.get(static_cast<std::size_t>(node));
+    while (c >= 0) {
+        std::int32_t cnt = tree.count.get(static_cast<std::size_t>(c));
+        std::int32_t it = tree.item.get(static_cast<std::size_t>(c));
+        g.iop(3);
+        g.branch(cnt >= 2);
+        if (cnt >= 2) {
+            ++patterns;
+            std::size_t slot =
+                (static_cast<std::size_t>(it) * 31 + depth) %
+                pattern_counts.size();
+            pattern_counts.set(
+                slot, pattern_counts.get(slot) +
+                          static_cast<std::uint32_t>(cnt));
+            g.iop(3);
+            if (depth < 12) {
+                patterns +=
+                    fpGrowth(g, tree, c, depth + 1, pattern_counts);
+            }
+        }
+        c = tree.sibling.get(static_cast<std::size_t>(c));
+    }
+    return patterns;
+}
+
+} // namespace
+
+void
+runFreqmine(vg::Guest &g, Scale scale)
+{
+    const unsigned factor = scaleFactor(scale);
+    const std::size_t txns = 512 * factor;
+
+    Lib lib(g);
+    Rng rng(0xf4e9);
+
+    // Transaction database: fixed-width rows of item ids (0 = empty).
+    vg::GuestArray<std::int32_t> db(g, txns * kMaxTxnLen, "txn_db");
+    db.fillAsInput([&](std::size_t i) {
+        // Zipf-ish skew: low item ids are frequent.
+        std::uint64_t r = rng.nextBounded(kItems * 3);
+        std::int32_t item = static_cast<std::int32_t>(
+            r < kItems ? r : r < 2 * kItems ? r % (kItems / 4)
+                                            : r % (kItems / 8));
+        bool present = (i % kMaxTxnLen) < 2 + rng.nextBounded(
+                                                  kMaxTxnLen - 2);
+        return present ? item + 1 : 0;
+    });
+
+    vg::ScopedFunction main_fn(g, "main");
+    lib.consume(lib.localeCtor(), 192);
+
+    vg::GuestArray<std::uint32_t> item_counts(g, kItems + 1,
+                                              "item_counts");
+    vg::GuestArray<std::uint32_t> pattern_counts(g, 256,
+                                                 "pattern_counts");
+    FpTree tree(g);
+
+    {
+        // First database scan: global item frequencies.
+        vg::ScopedFunction scan(g, "scan1_DB");
+        lib.memset(item_counts, 0, item_counts.size(),
+                   std::uint32_t{0});
+        for (std::size_t i = 0; i < db.size(); ++i) {
+            std::int32_t it = db.get(i);
+            g.iop(1);
+            g.branch(it != 0);
+            if (it != 0) {
+                item_counts.set(static_cast<std::size_t>(it),
+                                item_counts.get(
+                                    static_cast<std::size_t>(it)) +
+                                    1);
+            }
+        }
+    }
+
+    {
+        // Second scan: sort each transaction by global frequency and
+        // insert into the FP-tree.
+        vg::ScopedFunction scan(g, "scan2_DB");
+        tree.nodes.set(1); // node 0 is the root
+        tree.item.set(0, -1);
+        tree.child.set(0, -1);
+        for (std::size_t t = 0; t < txns; ++t) {
+            std::int32_t items[kMaxTxnLen];
+            unsigned len = 0;
+            for (unsigned k = 0; k < kMaxTxnLen; ++k) {
+                std::int32_t it = db.get(t * kMaxTxnLen + k);
+                g.iop(1);
+                if (it != 0)
+                    items[len++] = it;
+            }
+            // Insertion-sort by descending frequency.
+            for (unsigned a = 1; a < len; ++a) {
+                std::int32_t v = items[a];
+                std::uint32_t vf = item_counts.get(
+                    static_cast<std::size_t>(v));
+                unsigned b = a;
+                while (b > 0) {
+                    std::uint32_t pf = item_counts.get(
+                        static_cast<std::size_t>(items[b - 1]));
+                    g.iop(2);
+                    g.branch(pf < vf);
+                    if (pf >= vf)
+                        break;
+                    items[b] = items[b - 1];
+                    --b;
+                }
+                items[b] = v;
+            }
+            insertTransaction(g, tree, items, len);
+        }
+    }
+
+    {
+        vg::ScopedFunction mine(g, "FP_growth_first_top");
+        lib.memset(pattern_counts, 0, pattern_counts.size(),
+                   std::uint32_t{0});
+        std::uint64_t patterns =
+            fpGrowth(g, tree, 0, 0, pattern_counts);
+        g.iop(1);
+        (void)patterns;
+    }
+}
+
+} // namespace sigil::workloads

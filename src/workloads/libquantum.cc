@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Miniature SPEC libquantum: simulation of a quantum register running
+ * Grover iterations.
+ *
+ * The register is a dense amplitude vector. Each gate
+ * (quantum_toffoli / quantum_cnot / quantum_sigma_x / quantum_hadamard)
+ * sweeps the state in fixed-size blocks through the
+ * quantum_state_update helper; blocks are data-independent within a
+ * gate, and consecutive gates touch rotating qubit subsets, so the
+ * dependency chains stay short — giving libquantum the high theoretical
+ * function-level parallelism the paper reports alongside streamcluster
+ * in Figure 13.
+ */
+
+#include <algorithm>
+#include <cstdint>
+
+#include "support/rng.hh"
+#include "vg/traced.hh"
+#include "workloads/tracedlib.hh"
+#include "workloads/workload.hh"
+
+namespace sigil::workloads {
+
+namespace {
+
+constexpr double kInvSqrt2 = 0.7071067811865476;
+constexpr std::size_t kBlocks = 16;
+
+using Amps = vg::GuestArray<double>;
+
+enum class Gate { SigmaX, Cnot, Toffoli, Hadamard };
+
+struct GateArgs
+{
+    Gate gate;
+    unsigned qubits;
+    unsigned c1 = 0;
+    unsigned c2 = 0;
+    unsigned target = 0;
+};
+
+/**
+ * quantum_state_update: apply one gate to the basis states in
+ * [lo, hi) — the per-block leaf every gate fans out to.
+ */
+void
+stateUpdate(vg::Guest &g, Amps &re, Amps &im, const GateArgs &args,
+            std::size_t lo, std::size_t hi)
+{
+    vg::ScopedFunction f(g, "quantum_state_update");
+    std::size_t tbit = std::size_t{1} << args.target;
+    std::size_t b1 = std::size_t{1} << args.c1;
+    std::size_t b2 = std::size_t{1} << args.c2;
+    for (std::size_t i = lo; i < hi; ++i) {
+        bool act = false;
+        switch (args.gate) {
+          case Gate::SigmaX:
+            act = (i & tbit) == 0;
+            g.iop(2);
+            break;
+          case Gate::Cnot:
+            act = (i & b1) != 0 && (i & tbit) == 0;
+            g.iop(3);
+            break;
+          case Gate::Toffoli:
+            act = (i & b1) != 0 && (i & b2) != 0 && (i & tbit) == 0;
+            g.iop(4);
+            break;
+          case Gate::Hadamard:
+            act = (i & tbit) == 0;
+            g.iop(2);
+            break;
+        }
+        g.branch(act);
+        if (!act)
+            continue;
+        if (args.gate == Gate::Hadamard) {
+            double ra = re.get(i), ia = im.get(i);
+            double rb = re.get(i | tbit), ib = im.get(i | tbit);
+            re.set(i, kInvSqrt2 * (ra + rb));
+            im.set(i, kInvSqrt2 * (ia + ib));
+            re.set(i | tbit, kInvSqrt2 * (ra - rb));
+            im.set(i | tbit, kInvSqrt2 * (ia - ib));
+            g.flop(8);
+        } else {
+            double r0 = re.get(i), i0 = im.get(i);
+            re.set(i, re.get(i | tbit));
+            im.set(i, im.get(i | tbit));
+            re.set(i | tbit, r0);
+            im.set(i | tbit, i0);
+        }
+    }
+}
+
+/** Run one gate as a block-sweep under its own named function. */
+void
+applyGate(vg::Guest &g, const char *name, Amps &re, Amps &im,
+          const GateArgs &args)
+{
+    vg::ScopedFunction f(g, name);
+    std::size_t n = std::size_t{1} << args.qubits;
+    std::size_t block = n / kBlocks ? n / kBlocks : n;
+    g.iop(3);
+    for (std::size_t lo = 0; lo < n; lo += block)
+        stateUpdate(g, re, im, args, lo, std::min(lo + block, n));
+}
+
+} // namespace
+
+void
+runLibquantum(vg::Guest &g, Scale scale)
+{
+    const unsigned factor = scaleFactor(scale);
+    const unsigned qubits = 7 + (factor == 1 ? 0 : factor == 4 ? 1 : 2);
+    const unsigned iterations = 6 * factor;
+    const std::size_t n = std::size_t{1} << qubits;
+
+    Lib lib(g);
+    Rng rng(0x9b);
+
+    Amps re(g, n, "amps_re");
+    Amps im(g, n, "amps_im");
+    re.fillAsInput([&](std::size_t i) { return i == 0 ? 1.0 : 0.0; });
+    im.fillAsInput([&](std::size_t) { return 0.0; });
+
+    vg::ScopedFunction main_fn(g, "main");
+    g.iop(4);
+
+    {
+        vg::ScopedFunction init(g, "quantum_new_qureg");
+        lib.consume(lib.vectorCtor(n, 16), n * 16);
+    }
+
+    {
+        // Uniform superposition.
+        vg::ScopedFunction gi(g, "quantum_walsh");
+        g.iop(2);
+        for (unsigned q = 0; q < qubits; ++q) {
+            applyGate(g, "quantum_hadamard", re, im,
+                      GateArgs{Gate::Hadamard, qubits, 0, 0, q});
+        }
+    }
+
+    for (unsigned it = 0; it < iterations; ++it) {
+        vg::ScopedFunction grover(g, "grover_iterate");
+        g.iop(3);
+        // Oracle: gates over rotating qubit subsets, mostly disjoint
+        // between consecutive gates.
+        unsigned a = (it * 3) % qubits;
+        unsigned b = (it * 3 + 1) % qubits;
+        unsigned c = (it * 3 + 2) % qubits;
+        applyGate(g, "quantum_toffoli", re, im,
+                  GateArgs{Gate::Toffoli, qubits, a, b, c});
+        applyGate(g, "quantum_cnot", re, im,
+                  GateArgs{Gate::Cnot, qubits, b, 0,
+                           (b + 2) % qubits});
+        applyGate(g, "quantum_sigma_x", re, im,
+                  GateArgs{Gate::SigmaX, qubits, 0, 0,
+                           (a + 4) % qubits});
+        // Diffusion on two qubits.
+        applyGate(g, "quantum_hadamard", re, im,
+                  GateArgs{Gate::Hadamard, qubits, 0, 0, a});
+        applyGate(g, "quantum_hadamard", re, im,
+                  GateArgs{Gate::Hadamard, qubits, 0, 0,
+                           (a + 1) % qubits});
+    }
+
+    {
+        vg::ScopedFunction measure(g, "quantum_measure");
+        g.iop(2);
+        double norm = 0.0;
+        std::size_t block = n / kBlocks ? n / kBlocks : n;
+        for (std::size_t lo = 0; lo < n; lo += block) {
+            // quantum_prob of one block of basis states.
+            vg::ScopedFunction pr(g, "quantum_prob_inline");
+            double part = 0.0;
+            std::size_t hi = std::min(lo + block, n);
+            for (std::size_t i = lo; i < hi; ++i) {
+                part += re.get(i) * re.get(i) + im.get(i) * im.get(i);
+                g.flop(4);
+            }
+            norm += part;
+        }
+        lib.isnan(norm);
+    }
+}
+
+} // namespace sigil::workloads

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * blackscholes_parallel: the pthreads version of blackscholes, for the
+ * multi-threaded extension of the profiler (the paper analyzes serial
+ * versions and leaves threads as future work — threads are explicitly
+ * listed among the "software entities" whose communication matters).
+ *
+ * Four worker threads price disjoint slices of the portfolio under a
+ * round-robin schedule; each worker reads the shared input arrays
+ * (produced on the main thread) and publishes a partial sum that the
+ * main thread reduces — both flows are visible as cross-thread
+ * communication in the profile's thread matrix.
+ */
+
+#include <cstdint>
+
+#include "support/rng.hh"
+#include "vg/traced.hh"
+#include "workloads/tracedlib.hh"
+#include "workloads/workload.hh"
+
+namespace sigil::workloads {
+
+namespace {
+
+constexpr unsigned kThreads = 4;
+
+/** One pricing step (Black-Scholes core, float precision). */
+float
+priceOption(vg::Guest &g, Lib &lib, const vg::GuestArray<float> &spot,
+            const vg::GuestArray<float> &strike,
+            const vg::GuestArray<float> &vol,
+            const vg::GuestArray<float> &time, std::size_t i)
+{
+    vg::ScopedFunction f(g, "BlkSchlsEqEuroNoDiv");
+    float s = spot.get(i);
+    float k = strike.get(i);
+    float v = vol.get(i);
+    float t = time.get(i);
+    float sqrt_t = static_cast<float>(lib.sqrt(t));
+    float d1 = (lib.logf(s / k) + 0.5f * v * v * t) / (v * sqrt_t);
+    g.flop(8);
+    float nd1 = 0.5f * (1.0f + d1 / (1.0f + (d1 < 0 ? -d1 : d1)));
+    g.flop(5);
+    float price = s * nd1 - k * lib.expf(-0.04f * t) * nd1;
+    g.flop(5);
+    return price;
+}
+
+} // namespace
+
+void
+runBlackscholesParallel(vg::Guest &g, Scale scale)
+{
+    const std::size_t n = 256 * scaleFactor(scale);
+    const std::size_t slice = n / kThreads;
+    const std::size_t stripe = 16; // options per scheduling quantum
+
+    Lib lib(g);
+    Rng rng(0xb1ac5);
+
+    vg::GuestArray<float> spot(g, n, "spot");
+    vg::GuestArray<float> strike(g, n, "strike");
+    vg::GuestArray<float> vol(g, n, "vol");
+    vg::GuestArray<float> time(g, n, "time");
+    spot.fillAsInput([&](std::size_t) {
+        return static_cast<float>(rng.nextRange(10.0, 150.0));
+    });
+    strike.fillAsInput([&](std::size_t) {
+        return static_cast<float>(rng.nextRange(10.0, 150.0));
+    });
+    vol.fillAsInput([&](std::size_t) {
+        return static_cast<float>(rng.nextRange(0.05, 0.6));
+    });
+    time.fillAsInput([&](std::size_t) {
+        return static_cast<float>(rng.nextRange(0.1, 3.0));
+    });
+
+    vg::GuestArray<float> prices(g, n, "prices");
+    vg::GuestArray<double> partials(g, kThreads, "partial_sums");
+
+    // Main thread: setup.
+    g.enter("main");
+    g.iop(8);
+
+    // Spawn the workers and start each one's bs_thread frame.
+    vg::ThreadId workers[kThreads];
+    for (unsigned t = 0; t < kThreads; ++t) {
+        workers[t] = g.spawnThread();
+        g.switchThread(workers[t]);
+        g.enter("bs_thread");
+        g.iop(2);
+        vg::ScopedFunction init(g, "thread_init");
+        partials.set(t, 0.0);
+    }
+    g.switchThread(0);
+
+    // Round-robin scheduler: each quantum prices one stripe.
+    double host_partials[kThreads] = {};
+    for (std::size_t base = 0; base < slice; base += stripe) {
+        for (unsigned t = 0; t < kThreads; ++t) {
+            g.switchThread(workers[t]);
+            std::size_t lo = t * slice + base;
+            std::size_t hi = std::min(lo + stripe, (t + 1) * slice);
+            double sum = 0.0;
+            for (std::size_t i = lo; i < hi; ++i) {
+                float p = priceOption(g, lib, spot, strike, vol, time, i);
+                prices.set(i, p);
+                sum += p;
+                g.flop(1);
+            }
+            host_partials[t] += sum;
+            partials.set(t, host_partials[t]);
+        }
+    }
+
+    // All workers synchronize before publishing results.
+    g.barrier();
+
+    // Workers exit their thread function.
+    for (unsigned t = 0; t < kThreads; ++t) {
+        g.switchThread(workers[t]);
+        g.leave(); // bs_thread
+    }
+
+    // Join + reduction on the main thread: reads every worker's
+    // partial sum — the cross-thread edges t → 0.
+    g.switchThread(0);
+    {
+        vg::ScopedFunction join(g, "pthread_join_reduce");
+        double total = 0.0;
+        for (unsigned t = 0; t < kThreads; ++t) {
+            total += partials.get(t);
+            g.flop(1);
+        }
+        lib.isnan(total);
+    }
+    g.leave(); // main
+}
+
+} // namespace sigil::workloads

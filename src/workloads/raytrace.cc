@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Miniature PARSEC raytrace: Whitted-style ray tracing of a sphere
+ * scene.
+ *
+ * Per pixel a primary ray is intersected against every sphere
+ * (IntersectSphere leans on _ieee754_sqrt for the discriminant), the
+ * nearest hit is shaded with a Phong term through _ieee754_pow, and one
+ * shadow ray is cast. raytrace and facesim are the memory-heavier
+ * benchmarks of the suite's characterization figures, so the scene and
+ * framebuffer are comparatively large.
+ */
+
+#include <cmath>
+#include <cstdint>
+
+#include "support/rng.hh"
+#include "vg/traced.hh"
+#include "workloads/tracedlib.hh"
+#include "workloads/workload.hh"
+
+namespace sigil::workloads {
+
+namespace {
+
+struct Hit
+{
+    double t = 1e30;
+    int sphere = -1;
+};
+
+/** Ray/sphere intersection; returns the nearest positive t or <0. */
+double
+intersectSphere(vg::Guest &g, Lib &lib,
+                const vg::GuestArray<double> &spheres, std::size_t s,
+                double ox, double oy, double oz, double dx, double dy,
+                double dz)
+{
+    vg::ScopedFunction f(g, "IntersectSphere");
+    double cx = spheres.get(s * 4 + 0);
+    double cy = spheres.get(s * 4 + 1);
+    double cz = spheres.get(s * 4 + 2);
+    double r = spheres.get(s * 4 + 3);
+    double lx = cx - ox, ly = cy - oy, lz = cz - oz;
+    double b = lx * dx + ly * dy + lz * dz;
+    double c = lx * lx + ly * ly + lz * lz - r * r;
+    double disc = b * b - c;
+    g.flop(17);
+    g.branch(disc < 0.0);
+    if (disc < 0.0)
+        return -1.0;
+    double sq = lib.sqrt(disc);
+    double t = b - sq;
+    g.flop(1);
+    if (t < 1e-6) {
+        t = b + sq;
+        g.flop(1);
+    }
+    return t > 1e-6 ? t : -1.0;
+}
+
+} // namespace
+
+void
+runRaytrace(vg::Guest &g, Scale scale)
+{
+    const unsigned factor = scaleFactor(scale);
+    const unsigned w = 32 * (factor == 1 ? 1 : factor == 4 ? 2 : 4);
+    const unsigned h = w;
+    const unsigned n_spheres = 12;
+
+    Lib lib(g);
+    Rng rng(0x4a7);
+
+    vg::GuestArray<double> spheres(g, std::size_t{n_spheres} * 4,
+                                   "spheres");
+    spheres.fillAsInput([&](std::size_t i) {
+        switch (i % 4) {
+          case 0:
+          case 1: return rng.nextRange(-4.0, 4.0);
+          case 2: return rng.nextRange(4.0, 14.0);
+          default: return rng.nextRange(0.5, 1.6);
+        }
+    });
+
+    vg::ScopedFunction main_fn(g, "main");
+    lib.consume(lib.localeCtor(), 192);
+
+    vg::GuestArray<float> framebuffer(g, std::size_t{w} * h,
+                                      "framebuffer");
+    lib.consume(lib.vectorCtor(std::size_t{w} * h, 4),
+                std::size_t{w} * h * 4);
+
+    vg::ScopedFunction render(g, "RenderFrame");
+    // Exposure metering accumulates through memory pixel by pixel, the
+    // serial spine of the frame loop.
+    vg::GuestVar<double> exposure(g, 0.0, "exposure");
+    for (unsigned y = 0; y < h; ++y) {
+        // Camera sway per scanline via the traced trig kernels.
+        double sway = 0.002 * lib.sin(0.2 * static_cast<double>(y));
+        double tilt = 0.002 * lib.cos(0.2 * static_cast<double>(y));
+        g.flop(2);
+        for (unsigned x = 0; x < w; ++x) {
+            vg::ScopedFunction trace(g, "TraceRay");
+            double dx = (static_cast<double>(x) / w - 0.5) * 0.8 + sway;
+            double dy = (static_cast<double>(y) / h - 0.5) * 0.8 + tilt;
+            double dz = 1.0;
+            double inv = 1.0 / std::sqrt(dx * dx + dy * dy + dz * dz);
+            dx *= inv;
+            dy *= inv;
+            dz *= inv;
+            g.flop(12);
+
+            Hit hit;
+            for (unsigned s = 0; s < n_spheres; ++s) {
+                double t = intersectSphere(g, lib, spheres, s, 0, 0, 0,
+                                           dx, dy, dz);
+                g.branch(t > 0.0 && t < hit.t);
+                if (t > 0.0 && t < hit.t) {
+                    hit.t = t;
+                    hit.sphere = static_cast<int>(s);
+                }
+                g.iop(2);
+            }
+
+            float color = 0.05f;
+            if (hit.sphere >= 0) {
+                vg::ScopedFunction shade(g, "Shade");
+                std::size_t s = static_cast<std::size_t>(hit.sphere);
+                double px = dx * hit.t, py = dy * hit.t, pz = dz * hit.t;
+                double nx = px - spheres.get(s * 4 + 0);
+                double ny = py - spheres.get(s * 4 + 1);
+                double nz = pz - spheres.get(s * 4 + 2);
+                double nlen =
+                    std::sqrt(nx * nx + ny * ny + nz * nz) + 1e-12;
+                nx /= nlen;
+                ny /= nlen;
+                nz /= nlen;
+                g.flop(15);
+                // Light from (1,1,-1)/sqrt(3).
+                double ndotl =
+                    (nx + ny - nz) * 0.5773502691896258;
+                if (ndotl < 0.0)
+                    ndotl = 0.0;
+                double spec = lib.pow(ndotl + 0.001, 16.0);
+                color = static_cast<float>(0.1 + 0.7 * ndotl +
+                                           0.2 * spec);
+                g.flop(7);
+
+                // Shadow ray toward the light.
+                bool shadowed = false;
+                for (unsigned o = 0; o < n_spheres; ++o) {
+                    if (o == s)
+                        continue;
+                    double t = intersectSphere(
+                        g, lib, spheres, o, px, py, pz, 0.57735,
+                        0.57735, -0.57735);
+                    g.branch(t > 0.0);
+                    if (t > 0.0) {
+                        shadowed = true;
+                        break;
+                    }
+                }
+                if (shadowed) {
+                    color *= 0.3f;
+                    g.flop(1);
+                }
+            }
+            framebuffer.set(std::size_t{y} * w + x, color);
+            exposure.set(exposure.get() + color);
+            g.flop(3);
+        }
+    }
+}
+
+} // namespace sigil::workloads

@@ -1,0 +1,81 @@
+#include "workload.hh"
+
+#include "support/logging.hh"
+
+namespace sigil::workloads {
+
+const char *
+scaleName(Scale scale)
+{
+    switch (scale) {
+      case Scale::SimSmall: return "simsmall";
+      case Scale::SimMedium: return "simmedium";
+      case Scale::SimLarge: return "simlarge";
+    }
+    panic("scaleName: bad scale");
+}
+
+unsigned
+scaleFactor(Scale scale)
+{
+    switch (scale) {
+      case Scale::SimSmall: return 1;
+      case Scale::SimMedium: return 4;
+      case Scale::SimLarge: return 16;
+    }
+    panic("scaleFactor: bad scale");
+}
+
+const std::vector<Workload> &
+allWorkloads()
+{
+    static const std::vector<Workload> workloads = {
+        {"blackscholes", "Black-Scholes option pricing", runBlackscholes},
+        {"bodytrack", "body tracking from camera silhouettes",
+         runBodytrack},
+        {"canneal", "simulated-annealing netlist placement", runCanneal},
+        {"dedup", "deduplicating compression pipeline", runDedup},
+        {"ferret", "content-based image similarity search", runFerret},
+        {"fluidanimate", "SPH fluid dynamics", runFluidanimate},
+        {"streamcluster", "online k-median clustering", runStreamcluster},
+        {"swaptions", "HJM Monte-Carlo swaption pricing", runSwaptions},
+        {"vips", "image-processing pipeline", runVips},
+        {"raytrace", "Whitted-style ray tracing", runRaytrace},
+        {"facesim", "face-mesh physical simulation", runFacesim},
+        {"libquantum", "quantum register simulation (SPEC)",
+         runLibquantum},
+        {"freqmine", "FP-growth frequent-itemset mining", runFreqmine},
+        {"x264", "H.264-style motion estimation and coding", runX264},
+        {"blackscholes_parallel",
+         "pthreads blackscholes (multi-threaded extension)",
+         runBlackscholesParallel},
+        {"dedup_parallel",
+         "pipeline-threaded dedup (multi-threaded extension)",
+         runDedupParallel},
+    };
+    return workloads;
+}
+
+const Workload *
+findWorkload(std::string_view name)
+{
+    for (const Workload &w : allWorkloads()) {
+        if (w.name == name)
+            return &w;
+    }
+    return nullptr;
+}
+
+std::vector<Workload>
+parsecWorkloads()
+{
+    std::vector<Workload> out;
+    for (const Workload &w : allWorkloads()) {
+        if (w.name != "libquantum" && w.name != "blackscholes_parallel" &&
+            w.name != "dedup_parallel")
+            out.push_back(w);
+    }
+    return out;
+}
+
+} // namespace sigil::workloads

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Miniature PARSEC streamcluster: online k-median clustering of a
+ * point stream.
+ *
+ * streamCluster consumes the stream in chunks; localSearch improves the
+ * current centers by repeated pkmedian passes; pkmedian samples
+ * candidate centers through the traced lrand48 → nrand48_r →
+ * drand48_iterate chain and evaluates reassignment gains with many
+ * small independent dist calls. Those short chains are why the paper
+ * finds a high theoretical function-level parallelism here, with the
+ * rand chain sitting at the leaf end of the critical path.
+ */
+
+#include <cstdint>
+
+#include "support/rng.hh"
+#include "vg/traced.hh"
+#include "workloads/tracedlib.hh"
+#include "workloads/workload.hh"
+
+namespace sigil::workloads {
+
+namespace {
+
+constexpr unsigned kDim = 8;
+
+/** Squared Euclidean distance between a point and a center. */
+double
+dist(vg::Guest &g, const vg::GuestArray<double> &points, std::size_t p,
+     const vg::GuestArray<double> &centers, std::size_t c)
+{
+    vg::ScopedFunction f(g, "dist");
+    double acc = 0.0;
+    for (unsigned d = 0; d < kDim; ++d) {
+        double diff = points.get(p * kDim + d) - centers.get(c * kDim + d);
+        acc += diff * diff;
+        g.flop(3);
+    }
+    return acc;
+}
+
+} // namespace
+
+void
+runStreamcluster(vg::Guest &g, Scale scale)
+{
+    const unsigned factor = scaleFactor(scale);
+    const std::size_t chunk_points = 128 * factor;
+    const unsigned chunks = 2;
+    const unsigned k_centers = 6;
+    const unsigned search_iters = 3;
+
+    Lib lib(g);
+    Rng rng(0x5c);
+
+    vg::GuestArray<double> stream(
+        g, std::size_t{chunks} * chunk_points * kDim, "point_stream");
+    stream.fillAsInput(
+        [&](std::size_t) { return rng.nextRange(0.0, 100.0); });
+
+    vg::ScopedFunction main_fn(g, "main");
+
+    vg::GuestArray<double> points(g, chunk_points * kDim, "chunk");
+    vg::GuestArray<double> centers(g, std::size_t{k_centers} * kDim,
+                                   "centers");
+    vg::GuestArray<double> assign_cost(g, chunk_points, "assign_cost");
+    vg::GuestArray<std::int32_t> assignment(g, chunk_points,
+                                            "assignment");
+    lib.consume(lib.vectorCtor(chunk_points, 8), chunk_points * 8);
+
+    vg::ScopedFunction sc(g, "streamCluster");
+    for (unsigned chunk = 0; chunk < chunks; ++chunk) {
+        // Pull the next chunk off the stream.
+        lib.memcpy(points, 0, stream,
+                   std::size_t{chunk} * chunk_points * kDim,
+                   chunk_points * kDim);
+
+        vg::ScopedFunction ls(g, "localSearch");
+        for (unsigned iter = 0; iter < search_iters; ++iter) {
+            vg::ScopedFunction pk(g, "pkmedian");
+
+            // Sample candidate centers from the chunk.
+            for (unsigned c = 0; c < k_centers; ++c) {
+                std::size_t pick =
+                    static_cast<std::size_t>(lib.lrand48()) %
+                    chunk_points;
+                g.iop(1);
+                for (unsigned d = 0; d < kDim; ++d) {
+                    centers.set(std::size_t{c} * kDim + d,
+                                points.get(pick * kDim + d));
+                }
+            }
+
+            // Assign every point to its nearest candidate.
+            double total = 0.0;
+            for (std::size_t p = 0; p < chunk_points; ++p) {
+                double best = 1e300;
+                std::int32_t best_c = 0;
+                for (unsigned c = 0; c < k_centers; ++c) {
+                    double d = dist(g, points, p, centers, c);
+                    g.branch(d < best);
+                    if (d < best) {
+                        best = d;
+                        best_c = static_cast<std::int32_t>(c);
+                    }
+                    g.iop(1);
+                }
+                assignment.set(p, best_c);
+                assign_cost.set(p, best);
+                total += best;
+                g.flop(1);
+            }
+
+            // pgain: would closing a random center help?
+            vg::ScopedFunction pg(g, "pgain");
+            std::size_t victim =
+                static_cast<std::size_t>(lib.lrand48()) % k_centers;
+            double gain = 0.0;
+            for (std::size_t p = 0; p < chunk_points; ++p) {
+                g.iop(1);
+                g.branch(assignment.get(p) ==
+                         static_cast<std::int32_t>(victim));
+                if (assignment.get(p) !=
+                    static_cast<std::int32_t>(victim))
+                    continue;
+                double second = 1e300;
+                for (unsigned c = 0; c < k_centers; ++c) {
+                    if (c == victim)
+                        continue;
+                    double d = dist(g, points, p, centers, c);
+                    if (d < second)
+                        second = d;
+                    g.iop(1);
+                }
+                gain += second - assign_cost.get(p);
+                g.flop(2);
+            }
+            g.flop(1);
+            (void)gain;
+            (void)total;
+        }
+    }
+}
+
+} // namespace sigil::workloads

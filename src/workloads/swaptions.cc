@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Miniature PARSEC swaptions: Heath-Jarrow-Morton Monte-Carlo swaption
+ * pricing.
+ *
+ * Each swaption is priced by simulating forward-rate paths
+ * (HJM_SimPath_Forward_Blocking), discounting the payoff
+ * (_ieee754_exp), and averaging across trials. Randomness flows through
+ * the traced lrand48 chain converted to normals (RanUnif / CumNormalInv),
+ * mirroring the benchmark's structure.
+ */
+
+#include <cstdint>
+
+#include "support/rng.hh"
+#include "vg/traced.hh"
+#include "workloads/tracedlib.hh"
+#include "workloads/workload.hh"
+
+namespace sigil::workloads {
+
+namespace {
+
+/** Uniform (0,1) from the traced lrand48 chain. */
+double
+ranUnif(vg::Guest &g, Lib &lib)
+{
+    vg::ScopedFunction f(g, "RanUnif");
+    long r = lib.lrand48();
+    g.flop(2);
+    return (static_cast<double>(r) + 1.0) / 2147483649.0;
+}
+
+/** Moro's inverse normal CDF approximation (rational part only). */
+double
+cumNormalInv(vg::Guest &g, double u)
+{
+    vg::StackMark mark(g);
+    vg::ArgSlot<double> arg(g, u);
+    vg::ScopedFunction f(g, "CumNormalInv");
+    double x = arg.load() - 0.5;
+    static constexpr double a[] = {2.50662823884, -18.61500062529,
+                                   41.39119773534, -25.44106049637};
+    static constexpr double b[] = {-8.47351093090, 23.08336743743,
+                                   -21.06224101826, 3.13082909833};
+    double r = x * x;
+    double num = ((a[3] * r + a[2]) * r + a[1]) * r + a[0];
+    double den = (((b[3] * r + b[2]) * r + b[1]) * r + b[0]) * r + 1.0;
+    g.flop(16);
+    return x * num / den;
+}
+
+} // namespace
+
+void
+runSwaptions(vg::Guest &g, Scale scale)
+{
+    const unsigned factor = scaleFactor(scale);
+    const unsigned swaptions = 2 * factor;
+    const unsigned trials = 32;
+    const unsigned steps = 12;
+    const unsigned tenors = 8;
+
+    Lib lib(g);
+    Rng rng(0x5a);
+
+    // Initial forward curve and swaption strikes are program input.
+    vg::GuestArray<double> fwd0(g, tenors, "forward_curve");
+    fwd0.fillAsInput(
+        [&](std::size_t) { return rng.nextRange(0.01, 0.06); });
+    vg::GuestArray<double> strikes(g, swaptions, "strikes");
+    strikes.fillAsInput(
+        [&](std::size_t) { return rng.nextRange(0.01, 0.05); });
+
+    vg::ScopedFunction main_fn(g, "main");
+    lib.consume(lib.localeCtor(), 192);
+
+    vg::GuestArray<double> path(g, std::size_t{steps} * tenors,
+                                "hjm_path");
+    vg::GuestArray<double> prices(g, swaptions, "prices");
+    lib.consume(lib.vectorCtor(std::size_t{steps} * tenors, 8),
+                std::size_t{steps} * tenors * 8);
+
+    for (unsigned s = 0; s < swaptions; ++s) {
+        vg::ScopedFunction worker(g, "HJM_Swaption_Blocking");
+        double sum = 0.0;
+        double strike = strikes.get(s);
+
+        for (unsigned t = 0; t < trials; ++t) {
+            {
+                vg::ScopedFunction sim(g, "HJM_SimPath_Forward_Blocking");
+                // Row 0 is the input curve.
+                for (unsigned k = 0; k < tenors; ++k)
+                    path.set(k, fwd0.get(k));
+                // Evolve: drift + vol * dZ per step and tenor.
+                for (unsigned st = 1; st < steps; ++st) {
+                    double z = cumNormalInv(g, ranUnif(g, lib));
+                    for (unsigned k = 0; k < tenors; ++k) {
+                        double prev =
+                            path.get((std::size_t{st} - 1) * tenors + k);
+                        double drift = 0.0005 * (0.04 - prev);
+                        double vol = 0.008 + 0.001 * k;
+                        double next = prev + drift + vol * z * 0.1;
+                        g.flop(7);
+                        if (next < 0.0001) {
+                            next = 0.0001;
+                            g.iop(1);
+                        }
+                        path.set(std::size_t{st} * tenors + k, next);
+                    }
+                }
+            }
+
+            // Payoff: discounted swap value at expiry vs the strike.
+            vg::ScopedFunction disc(g, "Discount_Factors_Blocking");
+            double swap_rate = 0.0;
+            for (unsigned k = 0; k < tenors; ++k) {
+                swap_rate +=
+                    path.get(std::size_t{steps - 1} * tenors + k);
+                g.flop(1);
+            }
+            swap_rate /= tenors;
+            double df = lib.exp(-swap_rate *
+                                static_cast<double>(steps) * 0.1);
+            double payoff = swap_rate - strike;
+            if (payoff < 0.0)
+                payoff = 0.0;
+            sum += payoff * df;
+            g.flop(6);
+            g.branch(payoff > 0.0);
+        }
+
+        prices.set(s, sum / trials);
+        g.flop(1);
+        lib.isnan(prices.get(s));
+    }
+}
+
+} // namespace sigil::workloads

@@ -1,0 +1,795 @@
+#include "tracedlib.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/logging.hh"
+
+namespace sigil::workloads {
+
+Lib::Lib(vg::Guest &guest) : g_(guest)
+{
+    vg::FunctionRegistry &f = g_.functions();
+    fnExp_ = f.intern("_ieee754_exp");
+    fnExpf_ = f.intern("_ieee754_expf");
+    fnLog_ = f.intern("_ieee754_log");
+    fnLogf_ = f.intern("_ieee754_logf");
+    fnSqrt_ = f.intern("_ieee754_sqrt");
+    fnPow_ = f.intern("_ieee754_pow");
+    fnSin_ = f.intern("_ieee754_sin");
+    fnCos_ = f.intern("_ieee754_cos");
+    fnIsnan_ = f.intern("isnan");
+    fnMsort_ = f.intern("msort_with_tmp");
+    fnMpnMul_ = f.intern("__mpn_mul");
+    fnMpnRshift_ = f.intern("__mpn_rshift");
+    fnMpnLshift_ = f.intern("__mpn_lshift");
+    fnStrtof_ = f.intern("strtof");
+    fnMemcpy_ = f.intern("memcpy");
+    fnMemmove_ = f.intern("memmove");
+    fnMemset_ = f.intern("memset");
+    fnMemchr_ = f.intern("memchr");
+    fnStrCompare_ = f.intern("std::string::compare");
+    fnAdler_ = f.intern("adler32");
+    fnSha1_ = f.intern("sha1_block_data_order");
+    fnTrFlush_ = f.intern("_tr_flush_block");
+    fnWriteFile_ = f.intern("write_file");
+    fnHashSearch_ = f.intern("hashtable_search");
+    fnNew_ = f.intern("operator new");
+    fnFree_ = f.intern("free");
+    fnVectorCtor_ = f.intern("std::vector<T>::vector");
+    fnStringCtor_ = f.intern("std::basic_string");
+    fnStringAssign_ = f.intern("std::string::assign");
+    fnLocale_ = f.intern("std::locale::locale");
+    fnDlAddr_ = f.intern("dl_addr");
+    fnXsgetn_ = f.intern("_IO_file_xsgetn");
+    fnSputbackc_ = f.intern("_IO_sputbackc");
+    fnLrand48_ = f.intern("lrand48");
+    fnNrand48R_ = f.intern("nrand48_r");
+    fnDrand48It_ = f.intern("drand48_iterate");
+
+    seed48_ = std::make_unique<vg::GuestArray<std::uint64_t>>(
+        g_, 1, "seed48");
+    seed48_->fillAsInput([](std::size_t) { return 0x330e5deece66dull; });
+
+    linkMap_ = std::make_unique<vg::GuestArray<std::uint64_t>>(
+        g_, 64, "link_map");
+    linkMap_->fillAsInput(
+        [](std::size_t i) { return 0x400000ull + i * 0x1000; });
+
+    arenaMeta_ = std::make_unique<vg::GuestArray<std::uint64_t>>(
+        g_, 8, "malloc_arena");
+    arenaMeta_->fillAsInput([](std::size_t) { return 0; });
+}
+
+double
+Lib::exp(double x)
+{
+    vg::StackMark mark(g_);
+    vg::ArgSlot<double> arg(g_, x);
+    vg::ScopedFunction f(g_, fnExp_);
+    double v = arg.load();
+
+    // Range-reduce: v = k*ln2 + r with |r| <= ln2/2, then a degree-9
+    // Taylor polynomial of e^r by Horner, finally scale by 2^k.
+    static constexpr double kLn2 = 0.6931471805599453;
+    static constexpr double kInvLn2 = 1.4426950408889634;
+    double kd = std::nearbyint(v * kInvLn2);
+    int k = static_cast<int>(kd);
+    double r = v - kd * kLn2;
+    g_.flop(4);
+
+    static constexpr double c[] = {
+        1.0 / 362880, 1.0 / 40320, 1.0 / 5040, 1.0 / 720, 1.0 / 120,
+        1.0 / 24,     1.0 / 6,     1.0 / 2,    1.0,       1.0,
+    };
+    double p = c[0];
+    for (int i = 1; i < 10; ++i)
+        p = p * r + c[i];
+    g_.flop(18);
+
+    double result = std::ldexp(p, k);
+    g_.flop(1);
+    return result;
+}
+
+float
+Lib::expf(float x)
+{
+    vg::StackMark mark(g_);
+    vg::ArgSlot<float> arg(g_, x);
+    vg::ScopedFunction f(g_, fnExpf_);
+    float v = arg.load();
+
+    static constexpr float kLn2f = 0.69314718f;
+    static constexpr float kInvLn2f = 1.44269504f;
+    float kd = std::nearbyintf(v * kInvLn2f);
+    int k = static_cast<int>(kd);
+    float r = v - kd * kLn2f;
+    g_.flop(4);
+
+    static constexpr float c[] = {1.0f / 720, 1.0f / 120, 1.0f / 24,
+                                  1.0f / 6,   1.0f / 2,   1.0f,
+                                  1.0f};
+    float p = c[0];
+    for (int i = 1; i < 7; ++i)
+        p = p * r + c[i];
+    g_.flop(12);
+
+    float result = std::ldexp(p, k);
+    g_.flop(1);
+    return result;
+}
+
+double
+Lib::log(double x)
+{
+    vg::StackMark mark(g_);
+    vg::ArgSlot<double> arg(g_, x);
+    vg::ScopedFunction f(g_, fnLog_);
+    double v = arg.load();
+    if (v <= 0.0) {
+        g_.iop(2);
+        return -std::numeric_limits<double>::infinity();
+    }
+
+    // v = m * 2^e with m in [sqrt(0.5), sqrt(2)); log v = e*ln2 +
+    // 2*atanh(t) with t = (m-1)/(m+1), atanh by its odd-power series.
+    static constexpr double kLn2 = 0.6931471805599453;
+    int e = 0;
+    double m = std::frexp(v, &e);
+    if (m < 0.7071067811865476) {
+        m *= 2.0;
+        e -= 1;
+        g_.flop(1);
+    }
+    g_.flop(2);
+
+    double t = (m - 1.0) / (m + 1.0);
+    double t2 = t * t;
+    g_.flop(4);
+    double s = 1.0 / 15;
+    static constexpr double c[] = {1.0 / 13, 1.0 / 11, 1.0 / 9, 1.0 / 7,
+                                   1.0 / 5,  1.0 / 3,  1.0};
+    for (double ci : c)
+        s = s * t2 + ci;
+    g_.flop(14);
+    double result = 2.0 * t * s + static_cast<double>(e) * kLn2;
+    g_.flop(4);
+    return result;
+}
+
+float
+Lib::logf(float x)
+{
+    vg::StackMark mark(g_);
+    vg::ArgSlot<float> arg(g_, x);
+    vg::ScopedFunction f(g_, fnLogf_);
+    float v = arg.load();
+    if (v <= 0.0f) {
+        g_.iop(2);
+        return -std::numeric_limits<float>::infinity();
+    }
+
+    static constexpr float kLn2f = 0.69314718f;
+    int e = 0;
+    float m = std::frexp(v, &e);
+    if (m < 0.70710678f) {
+        m *= 2.0f;
+        e -= 1;
+        g_.flop(1);
+    }
+    g_.flop(2);
+
+    float t = (m - 1.0f) / (m + 1.0f);
+    float t2 = t * t;
+    g_.flop(4);
+    float s = 1.0f / 9;
+    static constexpr float c[] = {1.0f / 7, 1.0f / 5, 1.0f / 3, 1.0f};
+    for (float ci : c)
+        s = s * t2 + ci;
+    g_.flop(8);
+    float result = 2.0f * t * s + static_cast<float>(e) * kLn2f;
+    g_.flop(4);
+    return result;
+}
+
+double
+Lib::sqrt(double x)
+{
+    vg::StackMark mark(g_);
+    vg::ArgSlot<double> arg(g_, x);
+    vg::ScopedFunction f(g_, fnSqrt_);
+    double v = arg.load();
+    if (v <= 0.0) {
+        g_.iop(2);
+        return 0.0;
+    }
+
+    // Initial guess from halving the exponent, then Newton iterations.
+    int e = 0;
+    double m = std::frexp(v, &e);
+    double y = std::ldexp(0.5 + 0.5 * m, e / 2);
+    g_.flop(3);
+    for (int i = 0; i < 5; ++i) {
+        y = 0.5 * (y + v / y);
+        g_.flop(3);
+    }
+    return y;
+}
+
+double
+Lib::pow(double x, double y)
+{
+    vg::StackMark mark(g_);
+    vg::ArgSlot<double> ax(g_, x);
+    vg::ArgSlot<double> ay(g_, y);
+    vg::ScopedFunction f(g_, fnPow_);
+    double b = ax.load();
+    double e = ay.load();
+    double result = exp(e * log(b));
+    g_.flop(1);
+    return result;
+}
+
+namespace {
+
+/** Degree-13 Taylor sine on a range-reduced argument in [-pi/2,pi/2]. */
+double
+sinPoly(vg::Guest &g, double r)
+{
+    // sin r = r * (1 - r^2/6 + r^4/120 - ...), Horner over r^2.
+    double r2 = r * r;
+    double p = 1.0 / 6227020800.0;
+    static constexpr double c[] = {-1.0 / 39916800, 1.0 / 362880,
+                                   -1.0 / 5040, 1.0 / 120, -1.0 / 6,
+                                   1.0};
+    for (double ci : c)
+        p = p * r2 + ci;
+    g.flop(14);
+    return p * r;
+}
+
+} // namespace
+
+double
+Lib::sin(double x)
+{
+    vg::StackMark mark(g_);
+    vg::ArgSlot<double> arg(g_, x);
+    vg::ScopedFunction f(g_, fnSin_);
+    double v = arg.load();
+    // Reduce to [-pi, pi].
+    static constexpr double kTwoPi = 6.283185307179586;
+    double k = std::nearbyint(v / kTwoPi);
+    double r = v - k * kTwoPi;
+    g_.flop(3);
+    if (r > 3.141592653589793) {
+        r -= kTwoPi;
+        g_.flop(1);
+    } else if (r < -3.141592653589793) {
+        r += kTwoPi;
+        g_.flop(1);
+    }
+    // Use the half-angle fold for accuracy near ±pi.
+    if (r > 1.5707963267948966) {
+        r = 3.141592653589793 - r;
+        g_.flop(1);
+    } else if (r < -1.5707963267948966) {
+        r = -3.141592653589793 - r;
+        g_.flop(1);
+    }
+    return sinPoly(g_, r);
+}
+
+double
+Lib::cos(double x)
+{
+    vg::StackMark mark(g_);
+    vg::ArgSlot<double> arg(g_, x);
+    vg::ScopedFunction f(g_, fnCos_);
+    double v = arg.load();
+    g_.flop(1);
+    return sin(v + 1.5707963267948966);
+}
+
+bool
+Lib::isnan(double x)
+{
+    vg::StackMark mark(g_);
+    vg::ArgSlot<double> arg(g_, x);
+    vg::ScopedFunction f(g_, fnIsnan_);
+    double v = arg.load();
+    g_.iop(1);
+    return v != v;
+}
+
+void
+Lib::mpnMul(vg::GuestArray<std::uint64_t> &dst,
+            const vg::GuestArray<std::uint64_t> &src1, std::size_t n1,
+            const vg::GuestArray<std::uint64_t> &src2, std::size_t n2)
+{
+    vg::ScopedFunction f(g_, fnMpnMul_);
+    for (std::size_t i = 0; i < n1 + n2; ++i)
+        dst.set(i, 0);
+    for (std::size_t i = 0; i < n1; ++i) {
+        std::uint64_t a = src1.get(i);
+        std::uint64_t carry = 0;
+        for (std::size_t j = 0; j < n2; ++j) {
+            unsigned __int128 t =
+                static_cast<unsigned __int128>(a) * src2.get(j) +
+                dst.get(i + j) + carry;
+            dst.set(i + j, static_cast<std::uint64_t>(t));
+            carry = static_cast<std::uint64_t>(t >> 64);
+            g_.iop(6);
+        }
+        dst.set(i + n2, dst.get(i + n2) + carry);
+        g_.iop(2);
+    }
+}
+
+void
+Lib::mpnRshift(vg::GuestArray<std::uint64_t> &arr, std::size_t n,
+               unsigned bits)
+{
+    vg::ScopedFunction f(g_, fnMpnRshift_);
+    if (bits == 0 || bits >= 64)
+        panic("mpnRshift: bad shift %u", bits);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t lo = arr.get(i) >> bits;
+        std::uint64_t hi =
+            (i + 1 < n) ? (arr.get(i + 1) << (64 - bits)) : 0;
+        arr.set(i, lo | hi);
+        g_.iop(4);
+    }
+}
+
+void
+Lib::mpnLshift(vg::GuestArray<std::uint64_t> &arr, std::size_t n,
+               unsigned bits)
+{
+    vg::ScopedFunction f(g_, fnMpnLshift_);
+    if (bits == 0 || bits >= 64)
+        panic("mpnLshift: bad shift %u", bits);
+    for (std::size_t i = n; i-- > 0;) {
+        std::uint64_t hi = arr.get(i) << bits;
+        std::uint64_t lo = (i > 0) ? (arr.get(i - 1) >> (64 - bits)) : 0;
+        arr.set(i, hi | lo);
+        g_.iop(4);
+    }
+}
+
+float
+Lib::strtof(const vg::GuestArray<char> &buf, std::size_t pos,
+            std::size_t *end)
+{
+    vg::ScopedFunction f(g_, fnStrtof_);
+    std::size_t i = pos;
+    auto peek = [&]() -> char {
+        g_.iop(1);
+        return i < buf.size() ? buf.get(i) : '\0';
+    };
+
+    while (peek() == ' ')
+        ++i;
+    double sign = 1.0;
+    char c = peek();
+    if (c == '+' || c == '-') {
+        sign = (c == '-') ? -1.0 : 1.0;
+        ++i;
+        g_.iop(1);
+    }
+
+    double mantissa = 0.0;
+    int digits = 0;
+    while (true) {
+        c = peek();
+        if (c < '0' || c > '9')
+            break;
+        mantissa = mantissa * 10.0 + (c - '0');
+        ++digits;
+        ++i;
+        g_.flop(2);
+    }
+    int frac_digits = 0;
+    if (peek() == '.') {
+        ++i;
+        while (true) {
+            c = peek();
+            if (c < '0' || c > '9')
+                break;
+            mantissa = mantissa * 10.0 + (c - '0');
+            ++digits;
+            ++frac_digits;
+            ++i;
+            g_.flop(2);
+        }
+    }
+    int exp10 = -frac_digits;
+    c = peek();
+    if (c == 'e' || c == 'E') {
+        ++i;
+        int esign = 1;
+        c = peek();
+        if (c == '+' || c == '-') {
+            esign = (c == '-') ? -1 : 1;
+            ++i;
+        }
+        int ev = 0;
+        while (true) {
+            c = peek();
+            if (c < '0' || c > '9')
+                break;
+            ev = ev * 10 + (c - '0');
+            ++i;
+            g_.iop(2);
+        }
+        exp10 += esign * ev;
+        g_.iop(1);
+    }
+    if (end != nullptr)
+        *end = i;
+
+    // Long mantissas take the bignum slow path, as glibc's strtof does:
+    // the decimal mantissa is held in limbs and scaled by powers of ten
+    // with __mpn_mul / __mpn_lshift / __mpn_rshift.
+    if (digits > 9) {
+        if (!mpnScratchA_) {
+            mpnScratchA_ = std::make_unique<vg::GuestArray<std::uint64_t>>(
+                g_, 4, "mpn_a");
+            mpnScratchB_ = std::make_unique<vg::GuestArray<std::uint64_t>>(
+                g_, 4, "mpn_b");
+            mpnScratchD_ = std::make_unique<vg::GuestArray<std::uint64_t>>(
+                g_, 8, "mpn_d");
+        }
+        mpnScratchA_->set(0, static_cast<std::uint64_t>(mantissa));
+        mpnScratchA_->set(1, 0);
+        mpnScratchB_->set(0, 0x8ac7230489e80000ull); // 10^19
+        mpnScratchB_->set(1, 0);
+        mpnMul(*mpnScratchD_, *mpnScratchA_, 2, *mpnScratchB_, 2);
+        if (exp10 > 0)
+            mpnLshift(*mpnScratchD_, 4, 3);
+        else if (exp10 < 0)
+            mpnRshift(*mpnScratchD_, 4, 3);
+    }
+
+    double result = sign * mantissa * std::pow(10.0, exp10);
+    g_.flop(3);
+    return static_cast<float>(result);
+}
+
+long
+Lib::memchr(const vg::GuestArray<unsigned char> &buf, std::size_t off,
+            std::size_t n, unsigned char value)
+{
+    vg::ScopedFunction f(g_, fnMemchr_);
+    for (std::size_t i = 0; i < n; ++i) {
+        unsigned char c = buf.get(off + i);
+        g_.iop(1);
+        g_.branch(c == value);
+        if (c == value)
+            return static_cast<long>(off + i);
+    }
+    return -1;
+}
+
+int
+Lib::stringCompare(const vg::GuestArray<unsigned char> &a,
+                   std::size_t aoff, const vg::GuestArray<unsigned char> &b,
+                   std::size_t boff, std::size_t n)
+{
+    vg::ScopedFunction f(g_, fnStrCompare_);
+    for (std::size_t i = 0; i < n; ++i) {
+        unsigned char ca = a.get(aoff + i);
+        unsigned char cb = b.get(boff + i);
+        g_.iop(2);
+        g_.branch(ca != cb);
+        if (ca != cb)
+            return ca < cb ? -1 : 1;
+    }
+    return 0;
+}
+
+std::uint32_t
+Lib::adler32(std::uint32_t adler, const vg::GuestArray<unsigned char> &buf,
+             std::size_t off, std::size_t n)
+{
+    vg::ScopedFunction f(g_, fnAdler_);
+    static constexpr std::uint32_t kBase = 65521;
+    std::uint32_t a = adler & 0xffff;
+    std::uint32_t b = (adler >> 16) & 0xffff;
+    g_.iop(2);
+    for (std::size_t i = 0; i < n; ++i) {
+        a += buf.get(off + i);
+        b += a;
+        g_.iop(2);
+        if ((i & 0xfff) == 0xfff) {
+            a %= kBase;
+            b %= kBase;
+            g_.iop(2);
+        }
+    }
+    a %= kBase;
+    b %= kBase;
+    g_.iop(3);
+    return (b << 16) | a;
+}
+
+void
+Lib::sha1Block(vg::GuestArray<std::uint32_t> &state,
+               const vg::GuestArray<unsigned char> &block, std::size_t off)
+{
+    vg::ScopedFunction f(g_, fnSha1_);
+    std::uint32_t w[80];
+    for (int t = 0; t < 16; ++t) {
+        w[t] = (static_cast<std::uint32_t>(block.get(off + 4 * t)) << 24) |
+               (static_cast<std::uint32_t>(block.get(off + 4 * t + 1))
+                << 16) |
+               (static_cast<std::uint32_t>(block.get(off + 4 * t + 2))
+                << 8) |
+               static_cast<std::uint32_t>(block.get(off + 4 * t + 3));
+        g_.iop(6);
+    }
+    auto rotl = [](std::uint32_t v, unsigned s) {
+        return (v << s) | (v >> (32 - s));
+    };
+    for (int t = 16; t < 80; ++t) {
+        w[t] = rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+        g_.iop(5);
+    }
+
+    std::uint32_t a = state.get(0), b = state.get(1), c = state.get(2),
+                  d = state.get(3), e = state.get(4);
+    for (int t = 0; t < 80; ++t) {
+        std::uint32_t fv, k;
+        if (t < 20) {
+            fv = (b & c) | ((~b) & d);
+            k = 0x5a827999;
+        } else if (t < 40) {
+            fv = b ^ c ^ d;
+            k = 0x6ed9eba1;
+        } else if (t < 60) {
+            fv = (b & c) | (b & d) | (c & d);
+            k = 0x8f1bbcdc;
+        } else {
+            fv = b ^ c ^ d;
+            k = 0xca62c1d6;
+        }
+        std::uint32_t tmp = rotl(a, 5) + fv + e + k + w[t];
+        e = d;
+        d = c;
+        c = rotl(b, 30);
+        b = a;
+        a = tmp;
+        g_.iop(10);
+    }
+    state.set(0, state.get(0) + a);
+    state.set(1, state.get(1) + b);
+    state.set(2, state.get(2) + c);
+    state.set(3, state.get(3) + d);
+    state.set(4, state.get(4) + e);
+    g_.iop(5);
+}
+
+std::size_t
+Lib::trFlushBlock(const vg::GuestArray<unsigned char> &in, std::size_t off,
+                  std::size_t n, vg::GuestArray<unsigned char> &out,
+                  std::size_t ooff)
+{
+    vg::ScopedFunction f(g_, fnTrFlush_);
+    // Byte-run RLE with a 2-byte (count, value) code per run: a small
+    // stand-in for deflate's block flush that preserves its read-mostly
+    // compute profile.
+    std::size_t emitted = 0;
+    std::size_t i = 0;
+    while (i < n) {
+        unsigned char v = in.get(off + i);
+        std::size_t run = 1;
+        g_.iop(2);
+        while (run < 255 && i + run < n) {
+            unsigned char nxt = in.get(off + i + run);
+            g_.iop(1);
+            g_.branch(nxt == v);
+            if (nxt != v)
+                break;
+            ++run;
+        }
+        out.set(ooff + emitted, static_cast<unsigned char>(run));
+        out.set(ooff + emitted + 1, v);
+        emitted += 2;
+        i += run;
+        g_.iop(3);
+    }
+    return emitted;
+}
+
+void
+Lib::writeFile(vg::GuestArray<unsigned char> &file, std::size_t foff,
+               const vg::GuestArray<unsigned char> &data, std::size_t off,
+               std::size_t n)
+{
+    vg::ScopedFunction f(g_, fnWriteFile_);
+    for (std::size_t i = 0; i < n; ++i) {
+        file.set(foff + i, data.get(off + i));
+        g_.iop(1);
+    }
+}
+
+std::size_t
+Lib::hashtableSearch(const vg::GuestArray<std::uint64_t> &table,
+                     std::uint64_t key)
+{
+    vg::ScopedFunction f(g_, fnHashSearch_);
+    std::size_t size = table.size();
+    std::size_t slot = static_cast<std::size_t>(
+        (key * 0x9e3779b97f4a7c15ull) % size);
+    g_.iop(3);
+    for (std::size_t probe = 0; probe < size; ++probe) {
+        std::uint64_t v = table.get(slot);
+        g_.iop(1);
+        g_.branch(v == key || v == 0);
+        if (v == key || v == 0)
+            return slot;
+        slot = (slot + 1) % size;
+        g_.iop(2);
+    }
+    return size;
+}
+
+vg::Addr
+Lib::operatorNew(std::size_t bytes)
+{
+    vg::ScopedFunction f(g_, fnNew_);
+    // Size-class lookup in the arena bins, as glibc malloc does.
+    arenaMeta_->get(0);
+    arenaMeta_->get(1 + bytes % 4);
+    vg::Addr base = g_.alloc(bytes + 16, "new");
+    // Size + canary header, as a real allocator writes.
+    g_.write(base, 8);
+    g_.write(base + 8, 8);
+    arenaMeta_->set(0, arenaMeta_->raw(0) + bytes);
+    g_.iop(5);
+    return base + 16;
+}
+
+void
+Lib::free(vg::Addr addr)
+{
+    vg::ScopedFunction f(g_, fnFree_);
+    g_.read(addr - 16, 8);
+    g_.read(addr - 8, 8);
+    // Return the block to its arena bin.
+    arenaMeta_->get(5);
+    arenaMeta_->set(5, arenaMeta_->raw(5) + 1);
+    g_.iop(4);
+}
+
+vg::Addr
+Lib::vectorCtor(std::size_t n, std::size_t elem_size)
+{
+    vg::ScopedFunction f(g_, fnVectorCtor_);
+    vg::Addr storage = operatorNew(n * elem_size);
+    std::size_t bytes = n * elem_size;
+    for (std::size_t o = 0; o < bytes; o += 8) {
+        unsigned w = static_cast<unsigned>(std::min<std::size_t>(
+            8, bytes - o));
+        g_.write(storage + o, w);
+        g_.iop(1);
+    }
+    return storage;
+}
+
+vg::Addr
+Lib::stringCtor(const vg::GuestArray<unsigned char> &src, std::size_t off,
+                std::size_t n)
+{
+    vg::ScopedFunction f(g_, fnStringCtor_);
+    vg::Addr storage = operatorNew(n + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        src.get(off + i);
+        g_.write(storage + i, 1);
+        g_.iop(1);
+    }
+    g_.write(storage + n, 1);
+    return storage;
+}
+
+void
+Lib::stringAssign(vg::GuestArray<unsigned char> &dst, std::size_t doff,
+                  const vg::GuestArray<unsigned char> &src,
+                  std::size_t soff, std::size_t n)
+{
+    vg::ScopedFunction f(g_, fnStringAssign_);
+    for (std::size_t i = 0; i < n; ++i) {
+        dst.set(doff + i, src.get(soff + i));
+        g_.iop(1);
+    }
+}
+
+vg::Addr
+Lib::localeCtor()
+{
+    vg::ScopedFunction f(g_, fnLocale_);
+    vg::Addr facets = operatorNew(192);
+    for (std::size_t o = 0; o < 192; o += 8) {
+        g_.write(facets + o, 8);
+        g_.iop(2);
+    }
+    return facets;
+}
+
+void
+Lib::dlAddr()
+{
+    vg::ScopedFunction f(g_, fnDlAddr_);
+    for (std::size_t i = 0; i < 16; ++i) {
+        linkMap_->get(i);
+        g_.iop(2);
+        g_.branch(i == 15);
+    }
+}
+
+void
+Lib::ioFileXsgetn(vg::GuestArray<unsigned char> &dst, std::size_t doff,
+                  const vg::GuestArray<unsigned char> &file,
+                  std::size_t foff, std::size_t n)
+{
+    vg::ScopedFunction f(g_, fnXsgetn_);
+    for (std::size_t i = 0; i < n; ++i) {
+        dst.set(doff + i, file.get(foff + i));
+        g_.iop(2);
+    }
+}
+
+void
+Lib::ioSputbackc(vg::GuestArray<unsigned char> &file, std::size_t foff)
+{
+    vg::ScopedFunction f(g_, fnSputbackc_);
+    unsigned char c = file.get(foff);
+    file.set(foff, c);
+    g_.iop(2);
+}
+
+void
+Lib::consume(vg::Addr addr, std::size_t bytes)
+{
+    for (std::size_t o = 0; o < bytes; o += 8) {
+        unsigned w =
+            static_cast<unsigned>(std::min<std::size_t>(8, bytes - o));
+        g_.read(addr + o, w);
+        g_.iop(1);
+    }
+}
+
+std::uint64_t
+Lib::drand48Iterate()
+{
+    vg::ScopedFunction f(g_, fnDrand48It_);
+    static constexpr std::uint64_t kA = 0x5deece66dull;
+    static constexpr std::uint64_t kC = 0xb;
+    static constexpr std::uint64_t kMask = (1ull << 48) - 1;
+    std::uint64_t x = seed48_->get(0);
+    x = (kA * x + kC) & kMask;
+    seed48_->set(0, x);
+    g_.iop(3);
+    return x;
+}
+
+long
+Lib::nrand48R()
+{
+    vg::ScopedFunction f(g_, fnNrand48R_);
+    std::uint64_t x = drand48Iterate();
+    g_.iop(2);
+    return static_cast<long>(x >> 17);
+}
+
+long
+Lib::lrand48()
+{
+    vg::ScopedFunction f(g_, fnLrand48_);
+    g_.iop(1);
+    return nrand48R();
+}
+
+} // namespace sigil::workloads

@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Traced standard-library surrogates.
+ *
+ * Real PARSEC binaries spend much of their time in libc/libm leaves —
+ * math kernels, string/memory utilities, allocator and iostream
+ * plumbing — and those are exactly the functions the paper's
+ * partitioning tables rank (Table II/III: _ieee754_exp, strtof,
+ * __mpn_mul, memchr, adler32, sha1_block_data_order, operator new,
+ * free, ...). This library implements those functions against the
+ * instrumented guest: each enters its registered name, reads its
+ * spilled arguments, performs the real computation with faithful
+ * operation accounting, and touches guest memory exactly where the real
+ * implementation would.
+ */
+
+#ifndef SIGIL_WORKLOADS_TRACEDLIB_HH
+#define SIGIL_WORKLOADS_TRACEDLIB_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "vg/guest.hh"
+#include "vg/traced.hh"
+
+namespace sigil::workloads {
+
+/** Traced libc/libm bound to one guest. */
+class Lib
+{
+  public:
+    explicit Lib(vg::Guest &guest);
+
+    vg::Guest &guest() { return g_; }
+
+    /** @name Math (the _ieee754_ family) */
+    /// @{
+    double exp(double x);
+    float expf(float x);
+    double log(double x);
+    float logf(float x);
+    double sqrt(double x);
+    double pow(double x, double y);
+    double sin(double x);
+    double cos(double x);
+    bool isnan(double x);
+    /// @}
+
+    /** @name Bignum limbs (strtof's slow path) */
+    /// @{
+
+    /**
+     * Schoolbook multiply: dst[0..n1+n2) = src1[0..n1) * src2[0..n2).
+     * Registered as "__mpn_mul".
+     */
+    void mpnMul(vg::GuestArray<std::uint64_t> &dst,
+                const vg::GuestArray<std::uint64_t> &src1, std::size_t n1,
+                const vg::GuestArray<std::uint64_t> &src2, std::size_t n2);
+
+    /** In-place right shift of n limbs by bits (< 64). */
+    void mpnRshift(vg::GuestArray<std::uint64_t> &arr, std::size_t n,
+                   unsigned bits);
+
+    /** In-place left shift of n limbs by bits (< 64). */
+    void mpnLshift(vg::GuestArray<std::uint64_t> &arr, std::size_t n,
+                   unsigned bits);
+    /// @}
+
+    /**
+     * Parse a float from traced characters starting at pos; *end gets
+     * the index one past the parsed text. Registered as "strtof".
+     */
+    float strtof(const vg::GuestArray<char> &buf, std::size_t pos,
+                 std::size_t *end);
+
+    /** @name Memory and string utilities */
+    /// @{
+
+    /** Element-wise copy, registered as "memcpy". */
+    template <typename T>
+    void
+    memcpy(vg::GuestArray<T> &dst, std::size_t doff,
+           const vg::GuestArray<T> &src, std::size_t soff, std::size_t n)
+    {
+        vg::ScopedFunction f(g_, fnMemcpy_);
+        for (std::size_t i = 0; i < n; ++i) {
+            g_.iop();
+            dst.set(doff + i, src.get(soff + i));
+        }
+    }
+
+    /** Overlap-safe element-wise copy, registered as "memmove". */
+    template <typename T>
+    void
+    memmove(vg::GuestArray<T> &dst, std::size_t doff,
+            const vg::GuestArray<T> &src, std::size_t soff, std::size_t n)
+    {
+        vg::ScopedFunction f(g_, fnMemmove_);
+        bool forward = dst.addr(doff) <= src.addr(soff);
+        g_.iop(2);
+        for (std::size_t k = 0; k < n; ++k) {
+            std::size_t i = forward ? k : n - 1 - k;
+            g_.iop();
+            dst.set(doff + i, src.get(soff + i));
+        }
+    }
+
+    /** Fill with a value, registered as "memset". */
+    template <typename T>
+    void
+    memset(vg::GuestArray<T> &dst, std::size_t off, std::size_t n,
+           const T &value)
+    {
+        vg::ScopedFunction f(g_, fnMemset_);
+        for (std::size_t i = 0; i < n; ++i) {
+            g_.iop();
+            dst.set(off + i, value);
+        }
+    }
+
+    /**
+     * Bottom-up merge sort of n elements using a caller-provided
+     * temporary buffer, exactly glibc's qsort fallback. Registered as
+     * "msort_with_tmp".
+     */
+    template <typename T>
+    void
+    msort(vg::GuestArray<T> &arr, std::size_t off, std::size_t n,
+          vg::GuestArray<T> &tmp, std::size_t tmp_off)
+    {
+        vg::ScopedFunction f(g_, fnMsort_);
+        for (std::size_t width = 1; width < n; width *= 2) {
+            g_.iop(2);
+            for (std::size_t lo = 0; lo < n; lo += 2 * width) {
+                std::size_t mid = std::min(lo + width, n);
+                std::size_t hi = std::min(lo + 2 * width, n);
+                std::size_t i = lo, j = mid, k = lo;
+                while (i < mid && j < hi) {
+                    T a = arr.get(off + i);
+                    T b = arr.get(off + j);
+                    g_.iop(3);
+                    g_.branch(a <= b);
+                    if (a <= b) {
+                        tmp.set(tmp_off + k++, a);
+                        ++i;
+                    } else {
+                        tmp.set(tmp_off + k++, b);
+                        ++j;
+                    }
+                }
+                while (i < mid) {
+                    tmp.set(tmp_off + k++, arr.get(off + i++));
+                    g_.iop(1);
+                }
+                while (j < hi) {
+                    tmp.set(tmp_off + k++, arr.get(off + j++));
+                    g_.iop(1);
+                }
+                for (std::size_t m = lo; m < hi; ++m)
+                    arr.set(off + m, tmp.get(tmp_off + m));
+            }
+        }
+    }
+
+    /**
+     * First index of value in buf[off, off+n), or -1.
+     * Registered as "memchr".
+     */
+    long memchr(const vg::GuestArray<unsigned char> &buf, std::size_t off,
+                std::size_t n, unsigned char value);
+
+    /**
+     * Lexicographic compare of n traced bytes.
+     * Registered as "std::string::compare".
+     */
+    int stringCompare(const vg::GuestArray<unsigned char> &a,
+                      std::size_t aoff,
+                      const vg::GuestArray<unsigned char> &b,
+                      std::size_t boff, std::size_t n);
+    /// @}
+
+    /** @name Checksums and compression (the dedup pipeline leaves) */
+    /// @{
+
+    /** Rolling Adler-32 over traced bytes, registered as "adler32". */
+    std::uint32_t adler32(std::uint32_t adler,
+                          const vg::GuestArray<unsigned char> &buf,
+                          std::size_t off, std::size_t n);
+
+    /**
+     * Real SHA-1 compression of one 64-byte block into a 5-word state.
+     * Registered as "sha1_block_data_order".
+     */
+    void sha1Block(vg::GuestArray<std::uint32_t> &state,
+                   const vg::GuestArray<unsigned char> &block,
+                   std::size_t off);
+
+    /**
+     * Simplified deflate block flush: RLE+bit-pack n input bytes into
+     * out, returning bytes emitted. Registered as "_tr_flush_block".
+     */
+    std::size_t trFlushBlock(const vg::GuestArray<unsigned char> &in,
+                             std::size_t off, std::size_t n,
+                             vg::GuestArray<unsigned char> &out,
+                             std::size_t ooff);
+
+    /**
+     * Append data to an output "file" buffer (models the write path of
+     * dedup). Registered as "write_file".
+     */
+    void writeFile(vg::GuestArray<unsigned char> &file, std::size_t foff,
+                   const vg::GuestArray<unsigned char> &data,
+                   std::size_t off, std::size_t n);
+    /// @}
+
+    /**
+     * Linear-probe search of an open-addressed table of keys; returns
+     * the slot index holding key or the first empty slot (key 0).
+     * Registered as "hashtable_search".
+     */
+    std::size_t hashtableSearch(const vg::GuestArray<std::uint64_t> &table,
+                                std::uint64_t key);
+
+    /** @name Allocator / runtime plumbing (Table III's usual suspects) */
+    /// @{
+
+    /** Allocate guest memory with a traced header ("operator new"). */
+    vg::Addr operatorNew(std::size_t bytes);
+
+    /** Read back the header of an allocation ("free"). */
+    void free(vg::Addr addr);
+
+    /**
+     * Default-construct a vector of n elements of elem_size bytes:
+     * operator new + zero-fill ("std::vector<T>::vector").
+     * @return guest address of the storage.
+     */
+    vg::Addr vectorCtor(std::size_t n, std::size_t elem_size);
+
+    /** Copy-construct a string from traced bytes ("std::basic_string"). */
+    vg::Addr stringCtor(const vg::GuestArray<unsigned char> &src,
+                        std::size_t off, std::size_t n);
+
+    /** Assign traced bytes into a string ("std::string::assign"). */
+    void stringAssign(vg::GuestArray<unsigned char> &dst, std::size_t doff,
+                      const vg::GuestArray<unsigned char> &src,
+                      std::size_t soff, std::size_t n);
+
+    /**
+     * Construct the classic locale ("std::locale::locale").
+     * @return guest address of the facet table.
+     */
+    vg::Addr localeCtor();
+
+    /** Symbol lookup walk over the link map ("dl_addr"). */
+    void dlAddr();
+
+    /**
+     * Buffered stream read of n bytes from a traced "file" into dst
+     * ("_IO_file_xsgetn").
+     */
+    void ioFileXsgetn(vg::GuestArray<unsigned char> &dst, std::size_t doff,
+                      const vg::GuestArray<unsigned char> &file,
+                      std::size_t foff, std::size_t n);
+
+    /** Push one byte back into the stream buffer ("_IO_sputbackc"). */
+    void ioSputbackc(vg::GuestArray<unsigned char> &file,
+                     std::size_t foff);
+    /// @}
+
+    /**
+     * Read a byte range in the calling context (8 bytes at a time).
+     * Used by workloads to model later use of constructor-initialized
+     * storage, so a constructor's output is visible as communication.
+     */
+    void consume(vg::Addr addr, std::size_t bytes);
+
+    /** @name The drand48 chain (streamcluster's critical-path leaves) */
+    /// @{
+
+    /** POSIX lrand48: "lrand48" → "nrand48_r" → "drand48_iterate". */
+    long lrand48();
+    /// @}
+
+  private:
+    std::uint64_t drand48Iterate();
+    long nrand48R();
+
+    vg::Guest &g_;
+
+    vg::FunctionId fnExp_, fnExpf_, fnLog_, fnLogf_, fnSqrt_, fnPow_,
+        fnSin_, fnCos_, fnIsnan_, fnMsort_;
+    vg::FunctionId fnMpnMul_, fnMpnRshift_, fnMpnLshift_, fnStrtof_;
+    vg::FunctionId fnMemcpy_, fnMemmove_, fnMemset_, fnMemchr_,
+        fnStrCompare_;
+    vg::FunctionId fnAdler_, fnSha1_, fnTrFlush_, fnWriteFile_,
+        fnHashSearch_;
+    vg::FunctionId fnNew_, fnFree_, fnVectorCtor_, fnStringCtor_,
+        fnStringAssign_, fnLocale_, fnDlAddr_, fnXsgetn_, fnSputbackc_;
+    vg::FunctionId fnLrand48_, fnNrand48R_, fnDrand48It_;
+
+    /** 48-bit LCG state in guest memory. */
+    std::unique_ptr<vg::GuestArray<std::uint64_t>> seed48_;
+
+    /** Pseudo link-map table walked by dlAddr(). */
+    std::unique_ptr<vg::GuestArray<std::uint64_t>> linkMap_;
+
+    /** Allocator arena bins touched by operatorNew()/free(). */
+    std::unique_ptr<vg::GuestArray<std::uint64_t>> arenaMeta_;
+
+    /** Reused limb scratch for strtof's bignum slow path. */
+    std::unique_ptr<vg::GuestArray<std::uint64_t>> mpnScratchA_;
+    std::unique_ptr<vg::GuestArray<std::uint64_t>> mpnScratchB_;
+    std::unique_ptr<vg::GuestArray<std::uint64_t>> mpnScratchD_;
+};
+
+} // namespace sigil::workloads
+
+#endif // SIGIL_WORKLOADS_TRACEDLIB_HH

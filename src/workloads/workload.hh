@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The miniature PARSEC-like workload suite.
+ *
+ * Each workload is a faithful, reduced-scale serial implementation of
+ * the algorithm at the core of the corresponding PARSEC (or SPEC)
+ * benchmark, written against the instrumented guest: all data lives in
+ * guest arrays, all hot functions are registered under the names the
+ * paper's tables report, and input data is written under the synthetic
+ * "*input*" producer. Input scales mirror PARSEC's simsmall /
+ * simmedium / simlarge.
+ */
+
+#ifndef SIGIL_WORKLOADS_WORKLOAD_HH
+#define SIGIL_WORKLOADS_WORKLOAD_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "vg/guest.hh"
+
+namespace sigil::workloads {
+
+/** Input scale, mirroring PARSEC's input packs. */
+enum class Scale { SimSmall, SimMedium, SimLarge };
+
+/** "simsmall", "simmedium", or "simlarge". */
+const char *scaleName(Scale scale);
+
+/** Multiplier applied to a workload's base problem size. */
+unsigned scaleFactor(Scale scale);
+
+/** A registered workload. */
+struct Workload
+{
+    std::string name;
+    std::string description;
+    void (*run)(vg::Guest &guest, Scale scale);
+};
+
+/** All workloads, in the order the paper's figures list them. */
+const std::vector<Workload> &allWorkloads();
+
+/** Find by name; nullptr if unknown. */
+const Workload *findWorkload(std::string_view name);
+
+/** The PARSEC subset (everything except libquantum). */
+std::vector<Workload> parsecWorkloads();
+
+/** @name Individual runners */
+/// @{
+void runBlackscholes(vg::Guest &guest, Scale scale);
+void runBodytrack(vg::Guest &guest, Scale scale);
+void runCanneal(vg::Guest &guest, Scale scale);
+void runDedup(vg::Guest &guest, Scale scale);
+void runFerret(vg::Guest &guest, Scale scale);
+void runFluidanimate(vg::Guest &guest, Scale scale);
+void runStreamcluster(vg::Guest &guest, Scale scale);
+void runSwaptions(vg::Guest &guest, Scale scale);
+void runVips(vg::Guest &guest, Scale scale);
+void runRaytrace(vg::Guest &guest, Scale scale);
+void runFacesim(vg::Guest &guest, Scale scale);
+void runLibquantum(vg::Guest &guest, Scale scale);
+void runFreqmine(vg::Guest &guest, Scale scale);
+void runX264(vg::Guest &guest, Scale scale);
+void runBlackscholesParallel(vg::Guest &guest, Scale scale);
+void runDedupParallel(vg::Guest &guest, Scale scale);
+/// @}
+
+} // namespace sigil::workloads
+
+#endif // SIGIL_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Miniature PARSEC x264: H.264-style motion estimation and residual
+ * coding of a frame sequence.
+ *
+ * Per 16x16 macroblock a diamond search over the previous frame
+ * minimizes the sum of absolute differences (pixel_sad — by far the
+ * hottest leaf in the real encoder), the predicted block produces a
+ * residual, and a 4x4 integer DCT (dct4x4) plus zig-zag quantization
+ * models the transform stage. Included as an extension beyond the
+ * paper's figure set; it participates in the PARSEC sweeps.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "support/rng.hh"
+#include "vg/traced.hh"
+#include "workloads/tracedlib.hh"
+#include "workloads/workload.hh"
+
+namespace sigil::workloads {
+
+namespace {
+
+constexpr unsigned kMb = 16; // macroblock edge
+
+using Frame = vg::GuestArray<unsigned char>;
+
+/** pixel_sad: sum of absolute differences of one 16x16 block pair. */
+std::uint64_t
+pixelSad(vg::Guest &g, const Frame &cur, std::size_t cur_off,
+         unsigned cur_x, unsigned cur_y, const Frame &ref, int ref_x,
+         int ref_y, unsigned width, unsigned height)
+{
+    vg::ScopedFunction f(g, "pixel_sad");
+    std::uint64_t sad = 0;
+    for (unsigned dy = 0; dy < kMb; ++dy) {
+        for (unsigned dx = 0; dx < kMb; ++dx) {
+            int rx = ref_x + static_cast<int>(dx);
+            int ry = ref_y + static_cast<int>(dy);
+            if (rx < 0)
+                rx = 0;
+            if (ry < 0)
+                ry = 0;
+            if (rx >= static_cast<int>(width))
+                rx = static_cast<int>(width) - 1;
+            if (ry >= static_cast<int>(height))
+                ry = static_cast<int>(height) - 1;
+            int a = cur.get(cur_off + std::size_t{cur_y + dy} * width +
+                            cur_x + dx);
+            int b = ref.get(static_cast<std::size_t>(ry) * width +
+                            static_cast<std::size_t>(rx));
+            sad += static_cast<std::uint64_t>(a > b ? a - b : b - a);
+            g.iop(6);
+        }
+    }
+    return sad;
+}
+
+/** me_search: small diamond motion search around (0,0). */
+void
+motionSearch(vg::Guest &g, const Frame &cur, std::size_t cur_off,
+             unsigned mb_x, unsigned mb_y, const Frame &ref,
+             unsigned width, unsigned height, int *best_dx, int *best_dy)
+{
+    vg::ScopedFunction f(g, "me_search");
+    static constexpr int kDiamond[][2] = {
+        {0, 0}, {-2, 0}, {2, 0}, {0, -2}, {0, 2},
+        {-1, -1}, {1, 1}, {-1, 1}, {1, -1},
+    };
+    std::uint64_t best = ~0ull;
+    *best_dx = 0;
+    *best_dy = 0;
+    for (const auto &d : kDiamond) {
+        std::uint64_t sad = pixelSad(
+            g, cur, cur_off, mb_x, mb_y, ref,
+            static_cast<int>(mb_x) + d[0], static_cast<int>(mb_y) + d[1],
+            width, height);
+        g.iop(1);
+        g.branch(sad < best);
+        if (sad < best) {
+            best = sad;
+            *best_dx = d[0];
+            *best_dy = d[1];
+        }
+    }
+}
+
+/** dct4x4: integer 4x4 transform of a residual sub-block (in place). */
+void
+dct4x4(vg::Guest &g, vg::GuestArray<std::int32_t> &block, std::size_t off)
+{
+    vg::ScopedFunction f(g, "dct4x4dc");
+    // Rows then columns of the H.264 core transform.
+    for (int pass = 0; pass < 2; ++pass) {
+        for (int i = 0; i < 4; ++i) {
+            std::size_t s0, s1, s2, s3;
+            if (pass == 0) {
+                s0 = off + static_cast<std::size_t>(i) * 4;
+                s1 = s0 + 1;
+                s2 = s0 + 2;
+                s3 = s0 + 3;
+            } else {
+                s0 = off + static_cast<std::size_t>(i);
+                s1 = s0 + 4;
+                s2 = s0 + 8;
+                s3 = s0 + 12;
+            }
+            std::int32_t a = block.get(s0), b = block.get(s1),
+                         c = block.get(s2), d = block.get(s3);
+            std::int32_t e = a + d, h = a - d;
+            std::int32_t fq = b + c, gq = b - c;
+            block.set(s0, e + fq);
+            block.set(s1, 2 * h + gq);
+            block.set(s2, e - fq);
+            block.set(s3, h - 2 * gq);
+            g.iop(10);
+        }
+    }
+}
+
+/** quant_4x4: quantize and count nonzero coefficients. */
+unsigned
+quant4x4(vg::Guest &g, vg::GuestArray<std::int32_t> &block,
+         std::size_t off, int qp)
+{
+    vg::ScopedFunction f(g, "quant_4x4");
+    unsigned nonzero = 0;
+    for (std::size_t i = 0; i < 16; ++i) {
+        std::int32_t v = block.get(off + i) / (qp + 1);
+        block.set(off + i, v);
+        g.iop(3);
+        g.branch(v != 0);
+        if (v != 0)
+            ++nonzero;
+    }
+    return nonzero;
+}
+
+} // namespace
+
+void
+runX264(vg::Guest &g, Scale scale)
+{
+    const unsigned factor = scaleFactor(scale);
+    const unsigned width = 48;
+    const unsigned height = 48;
+    const unsigned frames = 1 + factor;
+    const std::size_t pixels = std::size_t{width} * height;
+
+    Lib lib(g);
+    Rng rng(0x264);
+
+    Frame video(g, pixels * frames, "yuv_input");
+    {
+        // Smooth video: each frame is the previous plus small motion.
+        std::vector<unsigned char> base(pixels);
+        Rng vr(77);
+        for (auto &p : base)
+            p = static_cast<unsigned char>(vr.nextBounded(256));
+        video.fillAsInput([&](std::size_t i) {
+            std::size_t f = i / pixels;
+            std::size_t p = i % pixels;
+            std::size_t shifted = (p + f * 3) % pixels;
+            return static_cast<unsigned char>(
+                (base[shifted] + f * 2) & 0xff);
+        });
+    }
+
+    vg::ScopedFunction main_fn(g, "main");
+    lib.consume(lib.localeCtor(), 192);
+
+    Frame recon(g, pixels, "recon_frame");
+    vg::GuestArray<std::int32_t> residual(g, kMb * kMb, "residual");
+    vg::GuestArray<std::int32_t> mvs(
+        g, (std::size_t{width} / kMb) * (height / kMb) * 2, "mvs");
+    vg::GuestVar<std::uint64_t> bits(g, 0, "bitcount");
+
+    // Frame 0 is intra: just copy into the reconstruction buffer.
+    {
+        vg::ScopedFunction intra(g, "x264_intra_frame");
+        lib.memcpy(recon, 0, video, 0, pixels);
+    }
+
+    for (unsigned frame = 1; frame < frames; ++frame) {
+        vg::ScopedFunction enc(g, "x264_slice_write");
+        std::size_t frame_off = std::size_t{frame} * pixels;
+        unsigned mb_index = 0;
+        for (unsigned mb_y = 0; mb_y + kMb <= height; mb_y += kMb) {
+            for (unsigned mb_x = 0; mb_x + kMb <= width;
+                 mb_x += kMb, ++mb_index) {
+                vg::ScopedFunction mb(g, "macroblock_analyse");
+                // Current macroblock view lives inside the input frame.
+                // Build a shifted "current frame" accessor by offset.
+                // Motion search against the reconstruction.
+                int dx = 0, dy = 0;
+                motionSearch(g, video, frame_off, mb_x, mb_y, recon,
+                             width, height, &dx, &dy);
+                mvs.set(std::size_t{mb_index} * 2, dx);
+                mvs.set(std::size_t{mb_index} * 2 + 1, dy);
+
+                // Residual = current - motion-compensated prediction.
+                {
+                    vg::ScopedFunction res(g, "mc_luma_residual");
+                    for (unsigned py = 0; py < kMb; ++py) {
+                        for (unsigned px = 0; px < kMb; ++px) {
+                            int rx = static_cast<int>(mb_x + px) + dx;
+                            int ry = static_cast<int>(mb_y + py) + dy;
+                            if (rx < 0)
+                                rx = 0;
+                            if (ry < 0)
+                                ry = 0;
+                            if (rx >= static_cast<int>(width))
+                                rx = static_cast<int>(width) - 1;
+                            if (ry >= static_cast<int>(height))
+                                ry = static_cast<int>(height) - 1;
+                            int c = video.get(frame_off +
+                                              std::size_t{mb_y + py} *
+                                                  width +
+                                              mb_x + px);
+                            int p = recon.get(
+                                static_cast<std::size_t>(ry) * width +
+                                static_cast<std::size_t>(rx));
+                            residual.set(std::size_t{py} * kMb + px,
+                                         c - p);
+                            g.iop(6);
+                        }
+                    }
+                }
+
+                // Transform + quantize the 16 4x4 sub-blocks.
+                unsigned nonzero = 0;
+                for (unsigned sub = 0; sub < 16; ++sub) {
+                    std::size_t off = std::size_t{sub} * 16;
+                    dct4x4(g, residual, off);
+                    nonzero += quant4x4(g, residual, off, 6);
+                }
+                bits.set(bits.get() + nonzero * 4 + 8);
+                g.iop(3);
+            }
+        }
+        // Reconstruction update: adopt the current frame.
+        lib.memcpy(recon, 0, video, frame_off, pixels);
+    }
+}
+
+} // namespace sigil::workloads

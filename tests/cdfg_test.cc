@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for CDFG construction, inclusive costs, and subtree-boundary
+ * communication — including the paper's Figure 2 merge semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cdfg/cdfg.hh"
+#include "cg/cg_tool.hh"
+#include "core/sigil_profiler.hh"
+#include "vg/guest.hh"
+
+namespace sigil::cdfg {
+namespace {
+
+/**
+ * The Figure 1/2 toy program: main calls A and C; A calls B and D; C
+ * calls D (second context). A produces data for B, D1, and C; C
+ * produces data for D2.
+ */
+struct Toy
+{
+    Toy()
+    {
+        guest = std::make_unique<vg::Guest>("toy");
+        core::SigilConfig cfg;
+        sigil = std::make_unique<core::SigilProfiler>(cfg);
+        cg = std::make_unique<cg::CgTool>();
+        guest->addTool(cg.get());
+        guest->addTool(sigil.get());
+
+        vg::Guest &g = *guest;
+        vg::Addr a_out = g.alloc(16);
+        vg::Addr c_out = g.alloc(16);
+
+        g.enter("main");
+        g.enter("A");
+        g.write(a_out, 16);
+        g.iop(40);
+        g.enter("B");
+        g.read(a_out, 4); // 4 bytes A→B
+        g.iop(10);
+        g.leave();
+        g.enter("D");
+        g.read(a_out, 8); // 8 bytes A→D1
+        g.iop(20);
+        g.leave();
+        g.leave();
+        g.enter("C");
+        g.read(a_out, 12); // 12 bytes A→C
+        g.write(c_out, 16);
+        g.iop(30);
+        g.enter("D");
+        g.read(c_out, 16); // 16 bytes C→D2
+        g.iop(25);
+        g.leave();
+        g.leave();
+        g.leave();
+        g.finish();
+
+        graph = std::make_unique<Cdfg>(
+            Cdfg::build(sigil->takeProfile(), cg->takeProfile()));
+    }
+
+    const CdfgNode &
+    node(const std::string &display) const
+    {
+        for (const CdfgNode &n : graph->nodes())
+            if (n.displayName == display)
+                return n;
+        ADD_FAILURE() << "no node " << display;
+        static CdfgNode dummy;
+        return dummy;
+    }
+
+    std::unique_ptr<vg::Guest> guest;
+    std::unique_ptr<core::SigilProfiler> sigil;
+    std::unique_ptr<cg::CgTool> cg;
+    std::unique_ptr<Cdfg> graph;
+};
+
+TEST(Cdfg, TreeStructureMatchesCalls)
+{
+    Toy t;
+    EXPECT_EQ(t.graph->roots().size(), 1u);
+    const CdfgNode &main_n = t.node("main");
+    EXPECT_EQ(main_n.children.size(), 2u);
+    const CdfgNode &a = t.node("A");
+    EXPECT_EQ(a.children.size(), 2u);
+    EXPECT_EQ(a.depth, 1);
+    EXPECT_EQ(t.node("D(1)").depth, 2);
+}
+
+TEST(Cdfg, InclusiveOpsSumSubtree)
+{
+    Toy t;
+    EXPECT_EQ(t.node("A").selfOps, 40u);
+    EXPECT_EQ(t.node("A").inclOps, 70u);      // 40 + 10 + 20
+    EXPECT_EQ(t.node("C").inclOps, 55u);      // 30 + 25
+    EXPECT_EQ(t.node("main").inclOps, 125u);
+    EXPECT_EQ(t.graph->totalOps(), 125u);
+}
+
+TEST(Cdfg, BoundaryAbsorbsInternalEdges)
+{
+    Toy t;
+    // Boxing A's subtree: edges A→B and A→D1 become internal; the only
+    // crossing edge is A→C (12 bytes out).
+    const CdfgNode &a = t.node("A");
+    EXPECT_EQ(a.boundaryOutBytes, 12u);
+    EXPECT_EQ(a.boundaryInBytes, 0u);
+}
+
+TEST(Cdfg, LeafBoundariesAreTheirOwnEdges)
+{
+    Toy t;
+    EXPECT_EQ(t.node("B").boundaryInBytes, 4u);
+    EXPECT_EQ(t.node("D(1)").boundaryInBytes, 8u);
+    EXPECT_EQ(t.node("D(2)").boundaryInBytes, 16u);
+    EXPECT_EQ(t.node("B").boundaryOutBytes, 0u);
+}
+
+TEST(Cdfg, BoxingCAbsorbsItsChildEdge)
+{
+    Toy t;
+    // C's box contains D2, so C→D2 is internal; crossing: A→C in.
+    const CdfgNode &c = t.node("C");
+    EXPECT_EQ(c.boundaryInBytes, 12u);
+    EXPECT_EQ(c.boundaryOutBytes, 0u);
+}
+
+TEST(Cdfg, RootBoundaryIsProgramIO)
+{
+    Toy t;
+    // main's box contains everything; nothing crosses (no input reads).
+    const CdfgNode &m = t.node("main");
+    EXPECT_EQ(m.boundaryInBytes, 0u);
+    EXPECT_EQ(m.boundaryOutBytes, 0u);
+}
+
+TEST(Cdfg, CyclesComeFromCgProfile)
+{
+    Toy t;
+    // With the cg profile attached, selfCycles uses the cycle formula
+    // (≥ instruction count).
+    const CdfgNode &a = t.node("A");
+    EXPECT_GE(a.selfCycles, a.selfOps);
+    EXPECT_GT(t.graph->totalCycles(), 0u);
+}
+
+TEST(Cdfg, MismatchedProfilesAreFatal)
+{
+    Toy t;
+    cg::CgProfile broken = t.cg->takeProfile();
+    broken.rows.pop_back();
+    core::SigilProfile sp = t.sigil->takeProfile();
+    EXPECT_EXIT(Cdfg::build(sp, broken), ::testing::ExitedWithCode(1),
+                "");
+}
+
+TEST(Cdfg, BuildWithoutCgUsesOpProxy)
+{
+    Toy t;
+    Cdfg g = Cdfg::build(t.sigil->takeProfile());
+    for (const CdfgNode &n : g.nodes())
+        EXPECT_GE(n.selfCycles, n.selfOps);
+}
+
+TEST(Cdfg, AncestorQueries)
+{
+    Toy t;
+    const Cdfg &g = *t.graph;
+    vg::ContextId main_c = t.node("main").ctx;
+    vg::ContextId d1 = t.node("D(1)").ctx;
+    EXPECT_TRUE(g.isAncestorOrSelf(main_c, d1));
+    EXPECT_FALSE(g.isAncestorOrSelf(d1, main_c));
+    EXPECT_FALSE(g.isAncestorOrSelf(-2, d1));
+}
+
+} // namespace
+} // namespace sigil::cdfg

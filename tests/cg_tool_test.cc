@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests for the Callgrind-style cost-attribution tool.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cg/cg_tool.hh"
+#include "vg/traced.hh"
+
+namespace sigil::cg {
+namespace {
+
+TEST(CgTool, AttributesSelfCostsToCurrentContext)
+{
+    vg::Guest g("t");
+    CgTool tool;
+    g.addTool(&tool);
+
+    g.enter("main");
+    g.iop(5);
+    g.enter("A");
+    g.flop(3);
+    vg::Addr a = g.alloc(8);
+    g.write(a, 8);
+    g.read(a, 8);
+    g.leave();
+    g.iop(2);
+    g.leave();
+    g.finish();
+
+    CgProfile p = tool.takeProfile();
+    ASSERT_EQ(p.rows.size(), 2u);
+    const CgRow &rmain = p.rows[0];
+    const CgRow &ra = p.rows[1];
+    EXPECT_EQ(rmain.fnName, "main");
+    EXPECT_EQ(ra.fnName, "A");
+    EXPECT_EQ(rmain.self.iops, 7u);
+    EXPECT_EQ(rmain.self.instructions, 7u);
+    EXPECT_EQ(ra.self.flops, 3u);
+    EXPECT_EQ(ra.self.reads, 1u);
+    EXPECT_EQ(ra.self.writes, 1u);
+    EXPECT_EQ(ra.self.instructions, 5u);
+    EXPECT_EQ(ra.self.calls, 1u);
+    EXPECT_EQ(rmain.self.calls, 1u);
+}
+
+TEST(CgTool, InclusiveCostsFoldUpward)
+{
+    vg::Guest g("t");
+    CgTool tool;
+    g.addTool(&tool);
+
+    g.enter("main");
+    g.iop(1);
+    g.enter("A");
+    g.iop(10);
+    g.enter("B");
+    g.iop(100);
+    g.leave();
+    g.leave();
+    g.leave();
+    g.finish();
+
+    CgProfile p = tool.takeProfile();
+    ASSERT_EQ(p.rows.size(), 3u);
+    EXPECT_EQ(p.rows[0].incl.iops, 111u);
+    EXPECT_EQ(p.rows[1].incl.iops, 110u);
+    EXPECT_EQ(p.rows[2].incl.iops, 100u);
+    EXPECT_EQ(p.totalInstructions(), 111u);
+    EXPECT_EQ(p.totalCycles(), p.rows[0].incl.cycleEstimate());
+}
+
+TEST(CgTool, CycleEstimateFormula)
+{
+    CgCounters c;
+    c.instructions = 1000;
+    c.branchMispredicts = 3;
+    c.d1Misses = 5;
+    c.llMisses = 2;
+    EXPECT_EQ(c.cycleEstimate(), 1000u + 30u + 50u + 200u);
+}
+
+TEST(CgTool, CacheMissesAttributed)
+{
+    vg::Guest g("t");
+    CgTool tool;
+    g.addTool(&tool);
+    g.enter("main");
+    vg::Addr a = g.alloc(64 * 4);
+    for (int i = 0; i < 4; ++i)
+        g.read(a + static_cast<vg::Addr>(i) * 64, 8);
+    // Re-read: all hits now.
+    for (int i = 0; i < 4; ++i)
+        g.read(a + static_cast<vg::Addr>(i) * 64, 8);
+    g.leave();
+    g.finish();
+
+    CgProfile p = tool.takeProfile();
+    EXPECT_EQ(p.rows[0].self.d1Misses, 4u);
+    EXPECT_EQ(p.rows[0].self.llMisses, 4u);
+    EXPECT_EQ(p.rows[0].self.reads, 8u);
+}
+
+TEST(CgTool, BranchMispredictsCounted)
+{
+    vg::Guest g("t");
+    CgTool tool;
+    g.addTool(&tool);
+    g.enter("main");
+    for (int i = 0; i < 50; ++i)
+        g.branch(true);
+    g.leave();
+    g.finish();
+
+    CgProfile p = tool.takeProfile();
+    EXPECT_EQ(p.rows[0].self.branches, 50u);
+    EXPECT_LE(p.rows[0].self.branchMispredicts, 2u);
+}
+
+TEST(CgTool, ContextSeparationByCallPath)
+{
+    vg::Guest g("t");
+    CgTool tool;
+    g.addTool(&tool);
+    g.enter("main");
+    g.enter("A");
+    g.enter("D");
+    g.iop(10);
+    g.leave();
+    g.leave();
+    g.enter("C");
+    g.enter("D");
+    g.iop(20);
+    g.leave();
+    g.leave();
+    g.leave();
+    g.finish();
+
+    CgProfile p = tool.takeProfile();
+    ASSERT_EQ(p.rows.size(), 5u);
+    std::uint64_t d1 = 0, d2 = 0;
+    for (const CgRow &r : p.rows) {
+        if (r.displayName == "D(1)")
+            d1 = r.self.iops;
+        if (r.displayName == "D(2)")
+            d2 = r.self.iops;
+    }
+    EXPECT_EQ(d1, 10u);
+    EXPECT_EQ(d2, 20u);
+}
+
+TEST(CgTool, HotLoopHitsInI1)
+{
+    vg::Guest g("t");
+    CgTool tool;
+    g.addTool(&tool);
+    g.enter("main");
+    // A long run of ops in one function wraps its 1 KiB region: after
+    // the first pass every fetch hits.
+    for (int i = 0; i < 100; ++i)
+        g.iop(64);
+    g.leave();
+    g.finish();
+    CgProfile p = tool.takeProfile();
+    // 1 KiB / 64B = 16 cold lines at most (plus the entry fetch).
+    EXPECT_LE(p.rows[0].self.i1Misses, 17u);
+    EXPECT_GT(p.rows[0].self.i1Misses, 0u);
+}
+
+TEST(CgTool, FunctionChurnMissesInI1)
+{
+    vg::Guest g("t");
+    CgTool tool;
+    g.addTool(&tool);
+    g.enter("main");
+    // Touch many distinct functions' code regions: each entry is cold,
+    // and with hundreds of 1 KiB regions the 32 KiB I1 keeps evicting.
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 200; ++i) {
+            g.enter("fn" + std::to_string(i));
+            g.iop(8);
+            g.leave();
+        }
+    }
+    g.leave();
+    g.finish();
+    CgProfile p = tool.takeProfile();
+    std::uint64_t total_i1 = 0;
+    for (const CgRow &r : p.rows)
+        total_i1 += r.self.i1Misses;
+    // 200 functions x 3 rounds thrash the I1: misses well beyond the
+    // one-round cold count.
+    EXPECT_GT(total_i1, 400u);
+}
+
+TEST(CgTool, I1MissesEnterCycleEstimate)
+{
+    CgCounters c;
+    c.instructions = 100;
+    c.i1Misses = 3;
+    EXPECT_EQ(c.cycleEstimate(), 130u);
+}
+
+TEST(CgProfile, AccumulateRejectsOutOfOrderParents)
+{
+    CgProfile p;
+    p.rows.resize(2);
+    p.rows[0].ctx = 0;
+    p.rows[0].parent = 1; // parent after child: invalid
+    p.rows[1].ctx = 1;
+    p.rows[1].parent = vg::kInvalidContext;
+    EXPECT_DEATH(p.accumulateInclusive(), "");
+}
+
+} // namespace
+} // namespace sigil::cg

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Property test: critical-path analysis against a brute-force
+ * longest-path computation on randomly generated, topologically
+ * ordered event traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "critpath/chain_stats.hh"
+#include "critpath/critical_path.hh"
+#include "support/rng.hh"
+
+namespace sigil::critpath {
+namespace {
+
+using core::ComputeEvent;
+using core::EventRecord;
+using core::EventTrace;
+using core::XferEvent;
+
+struct RandomDag
+{
+    EventTrace trace;
+    /** seq → (self cost, predecessors). */
+    std::map<std::uint64_t,
+             std::pair<std::uint64_t, std::vector<std::uint64_t>>>
+        nodes;
+};
+
+RandomDag
+makeDag(Rng &rng, std::size_t n)
+{
+    RandomDag dag;
+    std::vector<std::uint64_t> seqs;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t seq = i + 1;
+        ComputeEvent c;
+        c.seq = seq;
+        c.ctx = static_cast<vg::ContextId>(rng.nextBounded(8));
+        c.call = seq;
+        c.iops = rng.nextBounded(100);
+        c.flops = rng.nextBounded(50);
+
+        std::vector<std::uint64_t> preds;
+        if (!seqs.empty() && rng.nextBounded(10) < 8) {
+            c.predSeq = seqs[rng.nextBounded(seqs.size())];
+            preds.push_back(c.predSeq);
+        }
+        // Up to three extra data edges from earlier segments.
+        std::uint64_t extra = seqs.empty() ? 0 : rng.nextBounded(4);
+        for (std::uint64_t e = 0; e < extra; ++e) {
+            std::uint64_t src = seqs[rng.nextBounded(seqs.size())];
+            XferEvent x;
+            x.srcSeq = src;
+            x.dstSeq = seq;
+            x.bytes = rng.nextBounded(4096);
+            dag.trace.records.push_back(EventRecord::makeXfer(x));
+            preds.push_back(src);
+        }
+        dag.trace.records.push_back(EventRecord::makeCompute(c));
+        dag.nodes[seq] = {c.iops + c.flops, preds};
+        seqs.push_back(seq);
+    }
+    return dag;
+}
+
+class CritPathOracle : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(CritPathOracle, MatchesBruteForceLongestPath)
+{
+    Rng rng(GetParam());
+    RandomDag dag = makeDag(rng, 400);
+
+    // Brute force DP in seq order (records are topologically ordered).
+    std::map<std::uint64_t, std::uint64_t> incl;
+    std::uint64_t best = 0, serial = 0;
+    for (const auto &[seq, node] : dag.nodes) {
+        std::uint64_t pred_best = 0;
+        for (std::uint64_t p : node.second)
+            pred_best = std::max(pred_best, incl[p]);
+        incl[seq] = pred_best + node.first;
+        best = std::max(best, incl[seq]);
+        serial += node.first;
+    }
+
+    CriticalPathResult r = analyze(dag.trace);
+    EXPECT_EQ(r.serialLength, serial);
+    EXPECT_EQ(r.criticalPathLength, best);
+
+    // The reported path must be a real chain whose costs sum to the
+    // critical length and whose links are actual edges.
+    std::uint64_t path_sum = 0;
+    for (std::size_t i = 0; i < r.path.size(); ++i) {
+        path_sum += r.path[i].selfCost;
+        if (i + 1 < r.path.size()) {
+            const auto &preds = dag.nodes.at(r.path[i].seq).second;
+            bool linked = false;
+            for (std::uint64_t p : preds)
+                linked |= p == r.path[i + 1].seq;
+            EXPECT_TRUE(linked)
+                << r.path[i].seq << " -> " << r.path[i + 1].seq;
+        }
+    }
+    EXPECT_EQ(path_sum, best);
+
+    // Chain statistics agree with the analyzer.
+    ChainStats stats = chainStats(dag.trace);
+    EXPECT_EQ(stats.criticalPath, best);
+    EXPECT_EQ(stats.totalWork, serial);
+    EXPECT_EQ(stats.segments, 400u);
+
+    // A schedule can never beat the critical path nor exceed serial.
+    for (unsigned slots : {1u, 3u, 16u}) {
+        std::uint64_t makespan = scheduleMakespan(dag.trace, slots);
+        EXPECT_GE(makespan, best);
+        EXPECT_LE(makespan, serial);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CritPathOracle,
+                         ::testing::Values(7, 17, 27, 37, 47));
+
+} // namespace
+} // namespace sigil::critpath

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the whole-program offload speedup model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cdfg/offload_model.hh"
+#include "cg/cg_tool.hh"
+#include "core/sigil_profiler.hh"
+#include "vg/traced.hh"
+#include "workloads/workload.hh"
+
+namespace sigil::cdfg {
+namespace {
+
+struct OffloadFixture
+{
+    OffloadFixture()
+    {
+        guest = std::make_unique<vg::Guest>("t");
+        sigil = std::make_unique<core::SigilProfiler>();
+        cg_tool = std::make_unique<cg::CgTool>();
+        guest->addTool(cg_tool.get());
+        guest->addTool(sigil.get());
+        vg::Guest &g = *guest;
+        vg::GuestArray<double> in(g, 64, "in");
+        in.fillAsInput([](std::size_t) { return 1.0; });
+
+        g.enter("main");
+        g.iop(1000); // unaccelerated remainder
+        g.enter("hot_kernel");
+        for (std::size_t i = 0; i < 64; ++i)
+            in.get(i);
+        g.flop(100000);
+        g.leave();
+        g.leave();
+        g.finish();
+
+        graph = std::make_unique<Cdfg>(
+            Cdfg::build(sigil->takeProfile(), cg_tool->takeProfile()));
+        parts = Partitioner().partition(*graph);
+    }
+
+    std::unique_ptr<vg::Guest> guest;
+    std::unique_ptr<core::SigilProfiler> sigil;
+    std::unique_ptr<cg::CgTool> cg_tool;
+    std::unique_ptr<Cdfg> graph;
+    PartitionResult parts;
+};
+
+TEST(OffloadModel, UnitSpeedupChangesNothing)
+{
+    OffloadFixture f;
+    OffloadEstimate est = estimateOffload(*f.graph, f.parts, 1.0);
+    // s_acc = 1 means t_accel = t_sw + t_comm > t_sw: nothing offloads.
+    EXPECT_EQ(est.offloadedCount(), 0u);
+    EXPECT_DOUBLE_EQ(est.overallSpeedup, 1.0);
+    EXPECT_DOUBLE_EQ(est.tNew, est.tTotal);
+}
+
+TEST(OffloadModel, SpeedupGrowsMonotonically)
+{
+    OffloadFixture f;
+    double prev = 1.0;
+    for (double s : {2.0, 4.0, 16.0, 256.0}) {
+        OffloadEstimate est = estimateOffload(*f.graph, f.parts, s);
+        EXPECT_GE(est.overallSpeedup + 1e-12, prev) << s;
+        prev = est.overallSpeedup;
+    }
+}
+
+TEST(OffloadModel, BoundedByAmdahl)
+{
+    OffloadFixture f;
+    OffloadEstimate est = estimateOffload(*f.graph, f.parts, 1e9);
+    // Even infinite acceleration cannot beat 1 / (1 - coverage).
+    double amdahl = 1.0 / (1.0 - f.parts.coverage + 1e-12);
+    EXPECT_LE(est.overallSpeedup, amdahl + 1e-6);
+    EXPECT_GT(est.overallSpeedup, 1.0);
+}
+
+TEST(OffloadModel, HotKernelIsOffloaded)
+{
+    OffloadFixture f;
+    OffloadEstimate est = estimateOffload(*f.graph, f.parts, 8.0);
+    ASSERT_FALSE(est.decisions.empty());
+    bool hot_offloaded = false;
+    for (const OffloadDecision &d : est.decisions) {
+        if (d.candidate.displayName == "hot_kernel") {
+            hot_offloaded = d.offloaded;
+            EXPECT_LT(d.tAccel, d.tSw);
+        }
+    }
+    EXPECT_TRUE(hot_offloaded);
+    EXPECT_GT(est.overallSpeedup, 4.0);
+}
+
+TEST(OffloadModel, DecisionAccountingIsConsistent)
+{
+    OffloadFixture f;
+    OffloadEstimate est = estimateOffload(*f.graph, f.parts, 16.0);
+    double saved = 0.0;
+    for (const OffloadDecision &d : est.decisions) {
+        if (d.offloaded)
+            saved += d.tSw - d.tAccel;
+    }
+    EXPECT_NEAR(est.tNew, est.tTotal - saved, 1e-15);
+}
+
+TEST(OffloadModel, SubUnitSpeedupIsFatal)
+{
+    OffloadFixture f;
+    EXPECT_EXIT(estimateOffload(*f.graph, f.parts, 0.5),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(OffloadModel, RealWorkloadSweepIsSane)
+{
+    const workloads::Workload *w = workloads::findWorkload("vips");
+    vg::Guest g(w->name);
+    core::SigilProfiler prof;
+    cg::CgTool cg_tool;
+    g.addTool(&cg_tool);
+    g.addTool(&prof);
+    w->run(g, workloads::Scale::SimSmall);
+    g.finish();
+    Cdfg graph = Cdfg::build(prof.takeProfile(), cg_tool.takeProfile());
+    PartitionResult parts = Partitioner().partition(graph);
+
+    OffloadEstimate e2 = estimateOffload(graph, parts, 2.0);
+    OffloadEstimate einf = estimateOffload(graph, parts, 1e9);
+    EXPECT_GT(e2.overallSpeedup, 1.0);
+    EXPECT_GT(einf.overallSpeedup, e2.overallSpeedup);
+    // vips has ~96% coverage: infinite accelerators give a large but
+    // finite speedup (communication + remainder floor).
+    EXPECT_LT(einf.overallSpeedup, 100.0);
+}
+
+} // namespace
+} // namespace sigil::cdfg

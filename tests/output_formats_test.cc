@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Tests for the human/tool-facing output formats: the callgrind-format
+ * export, the flat/communication reports, and the NoC mesh mapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cdfg/noc_map.hh"
+#include "cg/cg_tool.hh"
+#include "core/callgrind_writer.hh"
+#include "core/report.hh"
+#include "core/sigil_profiler.hh"
+#include "vg/traced.hh"
+#include "workloads/workload.hh"
+
+namespace sigil {
+namespace {
+
+struct FmtRun
+{
+    FmtRun()
+    {
+        guest = std::make_unique<vg::Guest>("fmt");
+        profiler = std::make_unique<core::SigilProfiler>();
+        cg_tool = std::make_unique<cg::CgTool>();
+        guest->addTool(cg_tool.get());
+        guest->addTool(profiler.get());
+        vg::Guest &g = *guest;
+        vg::Addr a = g.alloc(64);
+        vg::Addr b = g.alloc(64);
+
+        g.enter("main");
+        g.enter("producer");
+        g.write(a, 64);
+        g.iop(100);
+        g.leave();
+        g.enter("stage1");
+        g.read(a, 64);
+        g.write(b, 64);
+        g.flop(200);
+        g.leave();
+        g.enter("stage2");
+        g.read(b, 64);
+        g.read(a, 32);
+        g.iop(50);
+        g.leave();
+        g.leave();
+        g.finish();
+    }
+
+    std::unique_ptr<vg::Guest> guest;
+    std::unique_ptr<core::SigilProfiler> profiler;
+    std::unique_ptr<cg::CgTool> cg_tool;
+};
+
+TEST(CallgrindWriter, EmitsValidStructure)
+{
+    FmtRun run;
+    core::SigilProfile sp = run.profiler->takeProfile();
+    cg::CgProfile cp = run.cg_tool->takeProfile();
+    std::string out = core::callgrindString(sp, &cp);
+
+    EXPECT_NE(out.find("# callgrind format"), std::string::npos);
+    EXPECT_NE(out.find("version: 1"), std::string::npos);
+    EXPECT_NE(out.find("events: Ir Dr Dw D1mr Bc Bim UniqIn NonUniqIn "
+                       "UniqOut UniqLocal"),
+              std::string::npos);
+    EXPECT_NE(out.find("fn=main"), std::string::npos);
+    EXPECT_NE(out.find("fn=stage1"), std::string::npos);
+    EXPECT_NE(out.find("cfn=producer"), std::string::npos);
+    EXPECT_NE(out.find("calls=1 0"), std::string::npos);
+    EXPECT_NE(out.find("totals:"), std::string::npos);
+}
+
+TEST(CallgrindWriter, CommOnlyModeOmitsCgEvents)
+{
+    FmtRun run;
+    core::SigilProfile sp = run.profiler->takeProfile();
+    std::string out = core::callgrindString(sp, nullptr);
+    EXPECT_NE(out.find("events: UniqIn NonUniqIn UniqOut UniqLocal"),
+              std::string::npos);
+    EXPECT_EQ(out.find(" Ir "), std::string::npos);
+}
+
+TEST(CallgrindWriter, MismatchedProfilesFatal)
+{
+    FmtRun run;
+    core::SigilProfile sp = run.profiler->takeProfile();
+    cg::CgProfile cp = run.cg_tool->takeProfile();
+    cp.rows.pop_back();
+    std::ostringstream os;
+    EXPECT_EXIT(core::writeCallgrindFormat(os, sp, &cp),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(Report, FlatReportRanksByInclusiveCost)
+{
+    FmtRun run;
+    core::SigilProfile sp = run.profiler->takeProfile();
+    cg::CgProfile cp = run.cg_tool->takeProfile();
+    std::string out = core::flatReport(sp, &cp, 10);
+    // main is the root: 100% inclusive, listed first.
+    std::size_t main_pos = out.find("fmt/main");
+    (void)main_pos;
+    std::size_t p1 = out.find("main");
+    std::size_t p2 = out.find("stage1");
+    ASSERT_NE(p1, std::string::npos);
+    ASSERT_NE(p2, std::string::npos);
+    EXPECT_LT(p1, p2);
+    EXPECT_NE(out.find("100.0"), std::string::npos);
+}
+
+TEST(Report, FlatReportRespectsTopN)
+{
+    FmtRun run;
+    core::SigilProfile sp = run.profiler->takeProfile();
+    std::string out = core::flatReport(sp, nullptr, 2);
+    // Header + rule + 2 rows.
+    int lines = 0;
+    for (char c : out)
+        lines += c == '\n' ? 1 : 0;
+    EXPECT_EQ(lines, 4);
+}
+
+TEST(Report, CommSummaryAddsUp)
+{
+    FmtRun run;
+    core::SigilProfile sp = run.profiler->takeProfile();
+    std::string out = core::commSummary(sp);
+    // stage1 read 64 unique input, stage2 read 96 unique input.
+    EXPECT_NE(out.find("total classified read bytes : 160"),
+              std::string::npos);
+    EXPECT_NE(out.find("unique input     : 160 (100.0%)"),
+              std::string::npos);
+    EXPECT_NE(out.find("re-use breakdown"), std::string::npos);
+}
+
+TEST(NocMap, HopDistanceIsManhattan)
+{
+    cdfg::MeshMapping m;
+    m.meshSize = 4;
+    EXPECT_EQ(m.hopDistance(0, 0), 0u);
+    EXPECT_EQ(m.hopDistance(0, 3), 3u);   // same row
+    EXPECT_EQ(m.hopDistance(0, 12), 3u);  // same column
+    EXPECT_EQ(m.hopDistance(0, 15), 6u);  // diagonal corner
+    EXPECT_EQ(m.hopDistance(5, 10), 2u);
+}
+
+TEST(NocMap, GreedyPlacesCommunicatorsAdjacent)
+{
+    FmtRun run;
+    core::SigilProfile sp = run.profiler->takeProfile();
+    cdfg::MeshMapping greedy = cdfg::mapGreedy(sp, 3);
+    // producer→stage1 carry 64 bytes: they must end up adjacent.
+    int t_prod = greedy.tileOf(sp.findByDisplayName("producer")->ctx);
+    int t_s1 = greedy.tileOf(sp.findByDisplayName("stage1")->ctx);
+    ASSERT_GE(t_prod, 0);
+    ASSERT_GE(t_s1, 0);
+    EXPECT_EQ(greedy.hopDistance(static_cast<unsigned>(t_prod),
+                                 static_cast<unsigned>(t_s1)),
+              1u);
+}
+
+TEST(NocMap, GreedyNeverWorseThanRowMajorOnWorkloads)
+{
+    for (const char *name : {"canneal", "vips", "dedup"}) {
+        const workloads::Workload *w = workloads::findWorkload(name);
+        vg::Guest g(w->name);
+        core::SigilProfiler prof;
+        g.addTool(&prof);
+        w->run(g, workloads::Scale::SimSmall);
+        g.finish();
+        core::SigilProfile sp = prof.takeProfile();
+
+        cdfg::MeshMapping naive = cdfg::mapRowMajor(sp, 4);
+        cdfg::MeshMapping greedy = cdfg::mapGreedy(sp, 4);
+        EXPECT_LE(greedy.byteHops(sp.edges), naive.byteHops(sp.edges))
+            << name;
+    }
+}
+
+TEST(NocMap, UnplacedEndpointsChargedDiameter)
+{
+    FmtRun run;
+    core::SigilProfile sp = run.profiler->takeProfile();
+    // Mesh of 1 tile: only the top communicator fits; everything else
+    // is off-chip at diameter 0 (k=1 → diameter 0).
+    cdfg::MeshMapping tiny = cdfg::mapGreedy(sp, 1);
+    EXPECT_EQ(tiny.byteHops(sp.edges), 0u);
+    // Mesh of 2: diameter 2; edges to unplaced nodes pay 2 per byte.
+    cdfg::MeshMapping small = cdfg::mapGreedy(sp, 2);
+    EXPECT_LE(small.byteHops(sp.edges),
+              cdfg::mapRowMajor(sp, 2).byteHops(sp.edges));
+}
+
+TEST(NocMap, ZeroMeshIsFatal)
+{
+    FmtRun run;
+    core::SigilProfile sp = run.profiler->takeProfile();
+    EXPECT_EXIT(cdfg::mapGreedy(sp, 0), ::testing::ExitedWithCode(1),
+                "");
+}
+
+} // namespace
+} // namespace sigil

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the breakeven-speedup model (paper eq. 1) and the
+ * max-coverage / min-communication trimming heuristic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cdfg/partitioner.hh"
+#include "cg/cg_tool.hh"
+#include "core/sigil_profiler.hh"
+#include "vg/traced.hh"
+
+namespace sigil::cdfg {
+namespace {
+
+TEST(Breakeven, MatchesEquationOne)
+{
+    CdfgNode n;
+    n.inclCycles = 2000; // at 2 GHz → 1 µs
+    n.boundaryInBytes = 4000;
+    n.boundaryOutBytes = 4000; // at 16 GB/s → 0.5 µs total
+    BreakevenParams params;
+    params.cpuFreqHz = 2.0e9;
+    params.busBytesPerSec = 16.0e9;
+    BreakevenResult r = breakeven(n, params);
+    EXPECT_NEAR(r.tSw, 1e-6, 1e-15);
+    EXPECT_NEAR(r.tCommIn + r.tCommOut, 0.5e-6, 1e-15);
+    EXPECT_NEAR(r.speedup, 2.0, 1e-9);
+    EXPECT_TRUE(r.viable());
+}
+
+TEST(Breakeven, CommunicationBoundIsNonViable)
+{
+    CdfgNode n;
+    n.inclCycles = 100;
+    n.boundaryInBytes = 1 << 20;
+    BreakevenParams params;
+    BreakevenResult r = breakeven(n, params);
+    EXPECT_FALSE(r.viable());
+    EXPECT_TRUE(std::isinf(r.speedup));
+}
+
+TEST(Breakeven, ZeroWorkIsNonViable)
+{
+    CdfgNode n;
+    BreakevenResult r = breakeven(n, BreakevenParams{});
+    EXPECT_FALSE(r.viable());
+}
+
+TEST(Breakeven, NoCommunicationApproachesOne)
+{
+    CdfgNode n;
+    n.inclCycles = 1000000;
+    BreakevenResult r = breakeven(n, BreakevenParams{});
+    EXPECT_NEAR(r.speedup, 1.0, 1e-9);
+}
+
+/**
+ * Builds a tree where a compute-heavy child sits under a chatty parent:
+ * the cut must land on the child.
+ */
+struct HeuristicFixture
+{
+    HeuristicFixture(std::uint64_t parent_ops, std::uint64_t child_ops,
+                     unsigned parent_extra_in)
+    {
+        guest = std::make_unique<vg::Guest>("t");
+        core::SigilConfig cfg;
+        sigil = std::make_unique<core::SigilProfiler>(cfg);
+        cg_tool = std::make_unique<cg::CgTool>();
+        guest->addTool(cg_tool.get());
+        guest->addTool(sigil.get());
+        vg::Guest &g = *guest;
+
+        vg::GuestArray<double> data(g, 1024, "data");
+        data.fillAsInput([](std::size_t) { return 1.0; });
+
+        g.enter("main");
+        g.enter("parent");
+        // Parent reads a lot of input (communication-heavy).
+        for (unsigned i = 0; i < parent_extra_in; ++i)
+            data.get(i);
+        g.iop(parent_ops);
+        g.enter("child");
+        data.get(1000); // tiny input
+        g.iop(child_ops);
+        g.leave();
+        g.leave();
+        g.leave();
+        g.finish();
+
+        graph = std::make_unique<Cdfg>(
+            Cdfg::build(sigil->takeProfile(), cg_tool->takeProfile()));
+    }
+
+    std::unique_ptr<vg::Guest> guest;
+    std::unique_ptr<core::SigilProfiler> sigil;
+    std::unique_ptr<cg::CgTool> cg_tool;
+    std::unique_ptr<Cdfg> graph;
+};
+
+TEST(Partitioner, CutsChildWhenParentIsChatty)
+{
+    HeuristicFixture f(10, 100000, 800);
+    Partitioner p;
+    PartitionResult r = p.partition(*f.graph);
+    ASSERT_FALSE(r.candidates.empty());
+    EXPECT_EQ(r.candidates[0].displayName, "child");
+}
+
+TEST(Partitioner, MergesSubtreeWhenParentDominates)
+{
+    // Parent has heavy compute and barely any extra input: merging the
+    // whole subtree at the parent maximizes coverage.
+    HeuristicFixture f(200000, 50, 2);
+    Partitioner p;
+    PartitionResult r = p.partition(*f.graph);
+    ASSERT_EQ(r.candidates.size(), 1u);
+    EXPECT_EQ(r.candidates[0].displayName, "parent");
+    // The merged candidate covers nearly the whole program.
+    EXPECT_GT(r.coverage, 0.9);
+}
+
+TEST(Partitioner, RootIsNeverACandidate)
+{
+    HeuristicFixture f(1000, 1000, 10);
+    Partitioner p;
+    PartitionResult r = p.partition(*f.graph);
+    for (const Candidate &c : r.candidates)
+        EXPECT_NE(c.displayName, "main");
+}
+
+TEST(Partitioner, CandidatesSortedByBreakeven)
+{
+    HeuristicFixture f(10, 100000, 800);
+    Partitioner p;
+    PartitionResult r = p.partition(*f.graph);
+    for (std::size_t i = 1; i < r.candidates.size(); ++i) {
+        EXPECT_LE(r.candidates[i - 1].breakevenSpeedup,
+                  r.candidates[i].breakevenSpeedup);
+    }
+}
+
+TEST(Partitioner, TopAndBottomSliceTheRanking)
+{
+    HeuristicFixture f(10, 100000, 800);
+    Partitioner p;
+    PartitionResult r = p.partition(*f.graph);
+    auto top = r.top(1);
+    auto bottom = r.bottom(1);
+    ASSERT_EQ(top.size(), 1u);
+    ASSERT_EQ(bottom.size(), 1u);
+    EXPECT_LE(top[0].breakevenSpeedup, bottom[0].breakevenSpeedup);
+    EXPECT_GE(r.top(100).size(), r.candidates.size());
+}
+
+TEST(Partitioner, CoverageIsFractionOfTotalCycles)
+{
+    HeuristicFixture f(200000, 50, 2);
+    Partitioner p;
+    PartitionResult r = p.partition(*f.graph);
+    double sum = 0;
+    for (const Candidate &c : r.candidates)
+        sum += c.coverage;
+    EXPECT_NEAR(sum, r.coverage, 1e-12);
+    EXPECT_LE(r.coverage, 1.0 + 1e-12);
+}
+
+TEST(Partitioner, InputPseudoFunctionIsExcluded)
+{
+    HeuristicFixture f(1000, 1000, 100);
+    Partitioner p;
+    PartitionResult r = p.partition(*f.graph);
+    for (const Candidate &c : r.candidates)
+        EXPECT_NE(c.displayName, "*input*");
+}
+
+} // namespace
+} // namespace sigil::cdfg

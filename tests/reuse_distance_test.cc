@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Tests for the exact reuse-distance tracker and the miss-ratio-curve
+ * tool, validated against a brute-force LRU stack and the
+ * set-associative cache simulator configured as fully associative.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <list>
+
+#include "cg/cache_sim.hh"
+#include "cg/mrc_tool.hh"
+#include "shadow/reuse_distance.hh"
+#include "support/rng.hh"
+#include "vg/guest.hh"
+#include "workloads/workload.hh"
+
+namespace sigil::shadow {
+namespace {
+
+/** Brute-force LRU stack: O(n) per access reference model. */
+class StackOracle
+{
+  public:
+    std::uint64_t
+    access(std::uint64_t unit)
+    {
+        auto it = std::find(stack_.begin(), stack_.end(), unit);
+        std::uint64_t distance;
+        if (it == stack_.end()) {
+            distance = kColdAccess;
+        } else {
+            distance = static_cast<std::uint64_t>(
+                std::distance(stack_.begin(), it));
+            stack_.erase(it);
+        }
+        stack_.push_front(unit);
+        return distance;
+    }
+
+  private:
+    std::list<std::uint64_t> stack_;
+};
+
+TEST(ReuseDistance, SimpleSequence)
+{
+    ReuseDistanceTracker t;
+    EXPECT_EQ(t.access(10), kColdAccess);
+    EXPECT_EQ(t.access(10), 0u); // immediate re-access
+    EXPECT_EQ(t.access(20), kColdAccess);
+    EXPECT_EQ(t.access(10), 1u); // one distinct unit (20) in between
+    EXPECT_EQ(t.access(30), kColdAccess);
+    EXPECT_EQ(t.access(20), 2u); // 10 and 30 in between
+    EXPECT_EQ(t.accesses(), 6u);
+    EXPECT_EQ(t.coldAccesses(), 3u);
+    EXPECT_EQ(t.distinctUnits(), 3u);
+}
+
+TEST(ReuseDistance, RepeatedAccessIsZeroDistance)
+{
+    ReuseDistanceTracker t;
+    t.access(1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(t.access(1), 0u);
+}
+
+TEST(ReuseDistance, CyclicScanHasWorkingSetDistance)
+{
+    // Scanning N units cyclically: every re-access has distance N-1.
+    ReuseDistanceTracker t;
+    const std::uint64_t n = 50;
+    for (std::uint64_t i = 0; i < n; ++i)
+        t.access(i);
+    for (std::uint64_t round = 0; round < 3; ++round) {
+        for (std::uint64_t i = 0; i < n; ++i)
+            EXPECT_EQ(t.access(i), n - 1);
+    }
+}
+
+class ReuseDistanceOracle : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(ReuseDistanceOracle, MatchesBruteForceStack)
+{
+    ReuseDistanceTracker tracker;
+    StackOracle oracle;
+    Rng rng(GetParam());
+    // Mixed locality: hot set + occasional cold streams; enough
+    // accesses to force several Fenwick regrowths.
+    for (int i = 0; i < 30000; ++i) {
+        std::uint64_t unit;
+        std::uint64_t r = rng.nextBounded(100);
+        if (r < 60)
+            unit = rng.nextBounded(16); // hot
+        else if (r < 90)
+            unit = 100 + rng.nextBounded(512); // warm
+        else
+            unit = 10000 + static_cast<std::uint64_t>(i); // cold stream
+        ASSERT_EQ(tracker.access(unit), oracle.access(unit))
+            << "at access " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReuseDistanceOracle,
+                         ::testing::Values(1, 2, 3));
+
+TEST(ReuseDistance, MissRatioExactAtPowerOfTwoCapacities)
+{
+    // Distances land in power-of-two bins, so at capacity 2^k the
+    // binned miss ratio equals the exact one. Validate against direct
+    // counting.
+    ReuseDistanceTracker tracker;
+    std::vector<std::uint64_t> distances;
+    Rng rng(9);
+    for (int i = 0; i < 5000; ++i) {
+        std::uint64_t d = tracker.access(rng.nextBounded(256));
+        if (d != kColdAccess)
+            distances.push_back(d);
+    }
+    for (std::uint64_t cap : {1u, 2u, 4u, 16u, 64u, 256u, 1024u}) {
+        std::uint64_t misses = tracker.coldAccesses();
+        for (std::uint64_t d : distances)
+            misses += d >= cap ? 1 : 0;
+        double expect = static_cast<double>(misses) /
+                        static_cast<double>(tracker.accesses());
+        EXPECT_NEAR(tracker.missRatio(cap), expect, 1e-12)
+            << "capacity " << cap;
+    }
+}
+
+TEST(ReuseDistance, MissRatioCurveIsMonotoneNonIncreasing)
+{
+    ReuseDistanceTracker tracker;
+    Rng rng(4);
+    for (int i = 0; i < 20000; ++i)
+        tracker.access(rng.nextBounded(1000));
+    auto curve = tracker.missRatioCurve();
+    ASSERT_GE(curve.size(), 4u);
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        EXPECT_LE(curve[i].second, curve[i - 1].second + 1e-12);
+        EXPECT_EQ(curve[i].first, curve[i - 1].first * 2);
+    }
+    // A capacity beyond the working set leaves only cold misses.
+    double floor = static_cast<double>(tracker.coldAccesses()) /
+                   static_cast<double>(tracker.accesses());
+    EXPECT_NEAR(curve.back().second, floor, 1e-12);
+}
+
+TEST(MrcTool, MatchesFullyAssociativeCacheSim)
+{
+    // Drive identical access streams through the MRC tool and through
+    // the cache simulator configured as one fully associative set; the
+    // measured miss counts must agree at the matching capacity.
+    const std::uint64_t lines = 64;
+    vg::Guest g("t");
+    cg::MrcTool mrc(6);
+    g.addTool(&mrc);
+    cg::CacheLevel cache(cg::CacheConfig{lines * 64, lines, 64});
+
+    g.enter("main");
+    Rng rng(11);
+    std::uint64_t sim_misses = 0, accesses = 0;
+    for (int i = 0; i < 20000; ++i) {
+        vg::Addr addr = 0x10000 + (rng.nextBounded(200) << 6);
+        g.read(addr, 8);
+        if (!cache.accessLine(addr >> 6))
+            ++sim_misses;
+        ++accesses;
+    }
+    g.leave();
+    g.finish();
+
+    double sim_ratio = static_cast<double>(sim_misses) /
+                       static_cast<double>(accesses);
+    EXPECT_NEAR(mrc.missRatioForBytes(lines * 64), sim_ratio, 1e-12);
+}
+
+TEST(MrcTool, LineCrossingCountsBothLines)
+{
+    vg::Guest g("t");
+    cg::MrcTool mrc(6);
+    g.addTool(&mrc);
+    g.enter("main");
+    g.read(60, 8); // crosses lines 0 and 1
+    g.leave();
+    g.finish();
+    EXPECT_EQ(mrc.tracker().accesses(), 2u);
+    EXPECT_EQ(mrc.tracker().distinctUnits(), 2u);
+}
+
+TEST(MrcTool, WorkloadCurveIsSane)
+{
+    const workloads::Workload *w =
+        workloads::findWorkload("streamcluster");
+    vg::Guest g(w->name);
+    cg::MrcTool mrc;
+    g.addTool(&mrc);
+    w->run(g, workloads::Scale::SimSmall);
+    g.finish();
+
+    auto curve = mrc.tracker().missRatioCurve();
+    ASSERT_FALSE(curve.empty());
+    EXPECT_GT(curve.front().second, curve.back().second);
+    EXPECT_LE(curve.front().second, 1.0);
+    EXPECT_GE(curve.back().second, 0.0);
+}
+
+} // namespace
+} // namespace sigil::shadow

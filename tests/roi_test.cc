@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for region-of-interest (ROI) collection: the PARSEC
+ * __parsec_roi_begin/end convention restricted to the profiler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sigil_profiler.hh"
+#include "vg/traced.hh"
+#include "workloads/workload.hh"
+
+namespace sigil::core {
+namespace {
+
+TEST(Roi, MarkersAreAdvisoryByDefault)
+{
+    vg::Guest g("t");
+    SigilProfiler prof; // roiOnly = false
+    g.addTool(&prof);
+    g.enter("main");
+    g.iop(10);
+    g.roiBegin();
+    g.iop(5);
+    g.roiEnd();
+    g.leave();
+    g.finish();
+
+    SigilProfile p = prof.takeProfile();
+    EXPECT_EQ(p.findByDisplayName("main")->agg.iops, 15u);
+}
+
+TEST(Roi, RoiOnlyRestrictsAttribution)
+{
+    vg::Guest g("t");
+    SigilConfig cfg;
+    cfg.roiOnly = true;
+    SigilProfiler prof(cfg);
+    g.addTool(&prof);
+
+    vg::Addr a = g.alloc(8);
+    g.enter("main");
+    g.enter("setup");
+    g.write(a, 8); // pre-ROI producer
+    g.iop(100);
+    g.leave();
+    g.roiBegin();
+    g.enter("kernel");
+    g.read(a, 8); // inside ROI, produced by setup
+    g.iop(50);
+    g.leave();
+    g.roiEnd();
+    g.enter("teardown");
+    g.read(a, 8);
+    g.iop(30);
+    g.leave();
+    g.leave();
+    g.finish();
+
+    SigilProfile p = prof.takeProfile();
+    // setup's ops happened outside the ROI: invisible.
+    EXPECT_EQ(p.findByDisplayName("setup")->agg.iops, 0u);
+    EXPECT_EQ(p.findByDisplayName("teardown")->agg.iops, 0u);
+    EXPECT_EQ(p.findByDisplayName("teardown")->agg.readBytes, 0u);
+    // kernel is fully attributed, including the producer identity of
+    // data written during setup (shadow state is maintained).
+    const SigilRow *kernel = p.findByDisplayName("kernel");
+    EXPECT_EQ(kernel->agg.iops, 50u);
+    EXPECT_EQ(kernel->agg.uniqueInputBytes, 8u);
+    ASSERT_EQ(p.edges.size(), 1u);
+    EXPECT_EQ(p.row(p.edges[0].producer).displayName, "setup");
+}
+
+TEST(Roi, RoiOnlyEventsCoverOnlyTheRegion)
+{
+    vg::Guest g("t");
+    SigilConfig cfg;
+    cfg.roiOnly = true;
+    cfg.collectEvents = true;
+    SigilProfiler prof(cfg);
+    g.addTool(&prof);
+
+    g.enter("main");
+    g.iop(100); // pre-ROI
+    g.roiBegin();
+    g.enter("kernel");
+    g.iop(7);
+    g.leave();
+    g.roiEnd();
+    g.iop(200); // post-ROI
+    g.leave();
+    g.finish();
+
+    std::uint64_t trace_ops = 0;
+    for (const EventRecord &r : prof.events().records) {
+        if (r.kind == EventRecord::Kind::Compute)
+            trace_ops += r.compute.iops + r.compute.flops;
+    }
+    EXPECT_EQ(trace_ops, 7u);
+}
+
+TEST(Roi, NestingAndUnderflowPanic)
+{
+    vg::Guest g("t");
+    g.roiBegin();
+    EXPECT_DEATH(g.roiBegin(), "");
+    g.roiEnd();
+    EXPECT_DEATH(g.roiEnd(), "");
+}
+
+TEST(Roi, BlackscholesRoiIsThePricingPhase)
+{
+    const workloads::Workload *w = workloads::findWorkload("blackscholes");
+
+    vg::Guest g(w->name);
+    SigilConfig cfg;
+    cfg.roiOnly = true;
+    SigilProfiler prof(cfg);
+    g.addTool(&prof);
+    w->run(g, workloads::Scale::SimSmall);
+    g.finish();
+
+    SigilProfile p = prof.takeProfile();
+    // Parsing is outside the ROI, pricing inside.
+    auto strtof_rows = p.findByFunction("strtof");
+    ASSERT_FALSE(strtof_rows.empty());
+    EXPECT_EQ(strtof_rows[0]->agg.calls, 0u);
+    EXPECT_EQ(strtof_rows[0]->agg.iops, 0u);
+    auto bs_rows = p.findByFunction("BlkSchlsEqEuroNoDiv");
+    ASSERT_FALSE(bs_rows.empty());
+    EXPECT_GT(bs_rows[0]->agg.calls, 0u);
+    EXPECT_GT(bs_rows[0]->agg.flops, 0u);
+    // The pricing kernel's option data was produced pre-ROI (by the
+    // parser) — producer attribution survives.
+    EXPECT_GT(bs_rows[0]->agg.uniqueInputBytes, 0u);
+}
+
+} // namespace
+} // namespace sigil::core

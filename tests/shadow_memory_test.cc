@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests for the two-level shadow memory: lazy chunk creation, the
+ * lookup cache, line granularity, the FIFO memory limit, and eviction
+ * callbacks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "shadow/shadow_memory.hh"
+#include "support/rng.hh"
+
+namespace sigil::shadow {
+namespace {
+
+TEST(ShadowMemory, LookupCreatesChunkOnDemand)
+{
+    ShadowMemory sm;
+    EXPECT_EQ(sm.stats().chunksLive, 0u);
+    ShadowObject &o = sm.lookup(100);
+    EXPECT_FALSE(o.everWritten());
+    EXPECT_EQ(sm.stats().chunksLive, 1u);
+    EXPECT_EQ(sm.stats().chunksAllocated, 1u);
+}
+
+TEST(ShadowMemory, FindDoesNotCreate)
+{
+    ShadowMemory sm;
+    EXPECT_EQ(sm.find(100), nullptr);
+    sm.lookup(100).lastWriterCtx = 3;
+    ShadowObject *o = sm.find(100);
+    ASSERT_NE(o, nullptr);
+    EXPECT_EQ(o->lastWriterCtx, 3);
+    EXPECT_EQ(sm.stats().chunksLive, 1u);
+}
+
+TEST(ShadowMemory, StatePersistsAcrossLookups)
+{
+    ShadowMemory sm;
+    sm.lookup(5).lastWriterCtx = 42;
+    sm.lookup(1 << 20); // different chunk, invalidates lookup cache
+    EXPECT_EQ(sm.lookup(5).lastWriterCtx, 42);
+}
+
+TEST(ShadowMemory, UnitMappingByteMode)
+{
+    ShadowMemory sm;
+    EXPECT_EQ(sm.unitOf(100), 100u);
+    EXPECT_EQ(sm.lastUnitOf(100, 8), 107u);
+    EXPECT_EQ(sm.unitBytes(), 1u);
+}
+
+TEST(ShadowMemory, UnitMappingLineMode)
+{
+    ShadowMemory::Config cfg;
+    cfg.granularityShift = 6;
+    ShadowMemory sm(cfg);
+    EXPECT_EQ(sm.unitOf(0), 0u);
+    EXPECT_EQ(sm.unitOf(63), 0u);
+    EXPECT_EQ(sm.unitOf(64), 1u);
+    EXPECT_EQ(sm.lastUnitOf(60, 8), 1u);
+    EXPECT_EQ(sm.lastUnitOf(60, 4), 0u);
+    EXPECT_EQ(sm.unitBytes(), 64u);
+}
+
+TEST(ShadowMemory, DistantAddressesGetDistinctChunks)
+{
+    ShadowMemory sm;
+    sm.lookup(0);
+    sm.lookup(ShadowMemory::kChunkUnits);
+    sm.lookup(ShadowMemory::kChunkUnits * 100);
+    EXPECT_EQ(sm.stats().chunksLive, 3u);
+}
+
+TEST(ShadowMemory, PeakTracksHighWater)
+{
+    ShadowMemory sm;
+    for (std::uint64_t c = 0; c < 5; ++c)
+        sm.lookup(c * ShadowMemory::kChunkUnits);
+    EXPECT_EQ(sm.stats().chunksPeak, 5u);
+    EXPECT_EQ(sm.peakBytes(), 5u * ShadowMemory::chunkBytes());
+    EXPECT_EQ(sm.liveBytes(), sm.peakBytes());
+}
+
+TEST(ShadowMemory, FifoLimitEvictsLeastRecentlyTouched)
+{
+    ShadowMemory::Config cfg;
+    cfg.maxChunks = 2;
+    ShadowMemory sm(cfg);
+    sm.lookup(0 * ShadowMemory::kChunkUnits).lastWriterCtx = 10;
+    sm.lookup(1 * ShadowMemory::kChunkUnits).lastWriterCtx = 11;
+    sm.lookup(0 * ShadowMemory::kChunkUnits); // touch chunk 0 again
+    sm.lookup(2 * ShadowMemory::kChunkUnits); // evicts chunk 1
+    EXPECT_EQ(sm.stats().evictions, 1u);
+    EXPECT_EQ(sm.stats().chunksLive, 2u);
+    // Chunk 0 survived with its state; chunk 1's state is gone.
+    EXPECT_EQ(sm.find(0)->lastWriterCtx, 10);
+    EXPECT_EQ(sm.find(ShadowMemory::kChunkUnits), nullptr);
+}
+
+TEST(ShadowMemory, EvictionHandlerSeesLiveObjects)
+{
+    ShadowMemory::Config cfg;
+    cfg.maxChunks = 2;
+    ShadowMemory sm(cfg);
+    std::set<std::uint64_t> evicted_units;
+    sm.setEvictionHandler(
+        [&](std::uint64_t unit, ShadowObject &obj) {
+            if (obj.everWritten())
+                evicted_units.insert(unit);
+        });
+    sm.lookup(7).lastWriterCtx = 1;
+    sm.lookup(ShadowMemory::kChunkUnits + 3).lastWriterCtx = 1;
+    sm.lookup(2 * ShadowMemory::kChunkUnits); // evicts the oldest (unit 7)
+    EXPECT_EQ(evicted_units.size(), 1u);
+    EXPECT_TRUE(evicted_units.count(7));
+}
+
+TEST(ShadowMemory, EvictedChunkRecreatedFresh)
+{
+    ShadowMemory::Config cfg;
+    cfg.maxChunks = 2;
+    ShadowMemory sm(cfg);
+    sm.lookup(0).lastWriterCtx = 99;
+    sm.lookup(ShadowMemory::kChunkUnits);
+    sm.lookup(2 * ShadowMemory::kChunkUnits); // evicts chunk of unit 0
+    ShadowObject &o = sm.lookup(0);           // recreated
+    EXPECT_FALSE(o.everWritten());
+    EXPECT_EQ(sm.stats().chunksAllocated, 4u);
+}
+
+TEST(ShadowMemory, ForEachVisitsAllChunks)
+{
+    ShadowMemory sm;
+    sm.lookup(1).lastWriterCtx = 1;
+    sm.lookup(ShadowMemory::kChunkUnits + 2).lastWriterCtx = 2;
+    int written = 0;
+    sm.forEach([&](std::uint64_t, ShadowObject &o) {
+        if (o.everWritten())
+            ++written;
+    });
+    EXPECT_EQ(written, 2);
+}
+
+TEST(ShadowMemory, LimitOfOneIsRejected)
+{
+    ShadowMemory::Config cfg;
+    cfg.maxChunks = 1;
+    EXPECT_EXIT(ShadowMemory sm(cfg), ::testing::ExitedWithCode(1), "");
+}
+
+TEST(ShadowMemory, HugeGranularityRejected)
+{
+    ShadowMemory::Config cfg;
+    cfg.granularityShift = 16;
+    EXPECT_EXIT(ShadowMemory sm(cfg), ::testing::ExitedWithCode(1), "");
+}
+
+/** Property: shadow memory behaves like a plain map of unit → object. */
+class ShadowOracle : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(ShadowOracle, MatchesMapSemantics)
+{
+    ShadowMemory sm;
+    std::map<std::uint64_t, vg::ContextId> oracle;
+    sigil::Rng rng(GetParam());
+    for (int i = 0; i < 20000; ++i) {
+        std::uint64_t unit = rng.nextBounded(1 << 18);
+        if (rng.next() & 1) {
+            vg::ContextId ctx =
+                static_cast<vg::ContextId>(rng.nextBounded(100));
+            sm.lookup(unit).lastWriterCtx = ctx;
+            oracle[unit] = ctx;
+        } else {
+            auto it = oracle.find(unit);
+            ShadowObject &o = sm.lookup(unit);
+            if (it == oracle.end())
+                EXPECT_FALSE(o.everWritten()) << "unit " << unit;
+            else
+                EXPECT_EQ(o.lastWriterCtx, it->second) << "unit " << unit;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShadowOracle,
+                         ::testing::Values(11, 22, 33, 44));
+
+} // namespace
+} // namespace sigil::shadow

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for logging, table rendering, and the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "support/table.hh"
+
+namespace sigil {
+namespace {
+
+std::vector<std::pair<LogLevel, std::string>> captured;
+
+void
+captureSink(LogLevel level, const std::string &msg)
+{
+    captured.emplace_back(level, msg);
+}
+
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        captured.clear();
+        prev_ = setLogSink(captureSink);
+    }
+
+    void TearDown() override { setLogSink(prev_); }
+
+    LogSink prev_ = nullptr;
+};
+
+TEST_F(LoggingTest, WarnAndInformReachSink)
+{
+    warn("watch out for %d", 42);
+    inform("hello %s", "world");
+    ASSERT_EQ(captured.size(), 2u);
+    EXPECT_EQ(captured[0].first, LogLevel::Warn);
+    EXPECT_EQ(captured[0].second, "watch out for 42");
+    EXPECT_EQ(captured[1].first, LogLevel::Inform);
+    EXPECT_EQ(captured[1].second, "hello world");
+}
+
+TEST_F(LoggingTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("invariant %d broken", 7), "");
+}
+
+TEST_F(LoggingTest, FatalExitsWithError)
+{
+    EXPECT_EXIT(fatal("bad config"), ::testing::ExitedWithCode(1), "");
+}
+
+TEST_F(LoggingTest, AssertMacroFiresOnFalse)
+{
+    EXPECT_DEATH(SIGIL_ASSERT(1 == 2, "math is broken"), "");
+}
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t;
+    t.header({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "22"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("name    value"), std::string::npos);
+    EXPECT_NE(out.find("------  -----"), std::string::npos);
+    EXPECT_NE(out.find("longer  22"), std::string::npos);
+}
+
+TEST(TextTable, PadsShortRows)
+{
+    TextTable t;
+    t.header({"a", "b", "c"});
+    t.addRow({"1"});
+    std::string out = t.render();
+    EXPECT_NE(out.find('1'), std::string::npos);
+    EXPECT_EQ(t.numRows(), 1u);
+}
+
+TEST(Strformat, FormatsLikePrintf)
+{
+    EXPECT_EQ(strformat("%d-%s-%.2f", 3, "x", 1.5), "3-x-1.50");
+}
+
+TEST(Rng, IsDeterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        std::uint64_t v = rng.nextBounded(17);
+        EXPECT_LT(v, 17u);
+    }
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, RangeRespectsBounds)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.nextRange(-3.0, 7.0);
+        EXPECT_GE(v, -3.0);
+        EXPECT_LT(v, 7.0);
+    }
+}
+
+} // namespace
+} // namespace sigil

@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Tests for the multi-threaded guest extension: per-thread call and
+ * scratch stacks, tool notification, cross-thread communication
+ * classification, the thread communication matrix, and thread-aware
+ * event traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cg/cg_tool.hh"
+#include "core/profile_diff.hh"
+#include "core/profile_io.hh"
+#include "core/sigil_profiler.hh"
+#include "critpath/critical_path.hh"
+#include "vg/traced.hh"
+#include "workloads/workload.hh"
+
+#include <sstream>
+
+namespace sigil {
+namespace {
+
+TEST(GuestThreads, SpawnAndSwitch)
+{
+    vg::Guest g("t");
+    EXPECT_EQ(g.numThreads(), 1u);
+    EXPECT_EQ(g.currentThread(), 0u);
+    vg::ThreadId t1 = g.spawnThread();
+    EXPECT_EQ(t1, 1u);
+    EXPECT_EQ(g.numThreads(), 2u);
+    g.switchThread(t1);
+    EXPECT_EQ(g.currentThread(), t1);
+    g.switchThread(0);
+    EXPECT_EQ(g.currentThread(), 0u);
+}
+
+TEST(GuestThreads, SwitchToUnknownThreadPanics)
+{
+    vg::Guest g("t");
+    EXPECT_DEATH(g.switchThread(5), "");
+}
+
+TEST(GuestThreads, CallStacksAreIndependent)
+{
+    vg::Guest g("t");
+    vg::ThreadId t1 = g.spawnThread();
+    g.enter("main");
+    g.enter("worker_a");
+    EXPECT_EQ(g.callDepth(), 2u);
+    g.switchThread(t1);
+    EXPECT_EQ(g.callDepth(), 0u);
+    g.enter("worker_b");
+    EXPECT_EQ(g.callDepth(), 1u);
+    g.switchThread(0);
+    EXPECT_EQ(g.callDepth(), 2u);
+    EXPECT_EQ(g.contexts().pathName(g.currentContext()),
+              "main/worker_a");
+    g.switchThread(t1);
+    EXPECT_EQ(g.contexts().pathName(g.currentContext()), "worker_b");
+    g.finish();
+}
+
+TEST(GuestThreads, ScratchStacksAreDisjoint)
+{
+    vg::Guest g("t");
+    vg::ThreadId t1 = g.spawnThread();
+    g.enter("a");
+    vg::Addr a0 = g.stackAlloc(8);
+    g.switchThread(t1);
+    g.enter("b");
+    vg::Addr a1 = g.stackAlloc(8);
+    EXPECT_NE(a0, a1);
+    EXPECT_GE(a1, vg::kStackBase + vg::kThreadStackStride);
+    g.finish();
+}
+
+TEST(GuestThreads, FinishUnwindsEveryThread)
+{
+    vg::Guest g("t");
+    vg::ThreadId t1 = g.spawnThread();
+    g.enter("main");
+    g.switchThread(t1);
+    g.enter("worker");
+    g.enter("inner");
+    g.finish();
+    EXPECT_EQ(g.callDepth(), 0u);
+}
+
+TEST(GuestThreads, ToolsSeeSwitches)
+{
+    struct SwitchSpy : vg::Tool
+    {
+        std::vector<vg::ThreadId> seen;
+        void
+        threadSwitch(vg::ThreadId tid) override
+        {
+            seen.push_back(tid);
+        }
+    };
+    vg::Guest g("t");
+    SwitchSpy spy;
+    g.addTool(&spy);
+    vg::ThreadId t1 = g.spawnThread();
+    g.switchThread(t1);
+    g.switchThread(t1); // no-op: already current
+    g.switchThread(0);
+    ASSERT_EQ(spy.seen.size(), 2u);
+    EXPECT_EQ(spy.seen[0], t1);
+    EXPECT_EQ(spy.seen[1], 0u);
+}
+
+struct ThreadedFixture
+{
+    ThreadedFixture(bool events = false)
+    {
+        guest = std::make_unique<vg::Guest>("t");
+        core::SigilConfig cfg;
+        cfg.collectEvents = events;
+        profiler = std::make_unique<core::SigilProfiler>(cfg);
+        guest->addTool(profiler.get());
+    }
+
+    std::unique_ptr<vg::Guest> guest;
+    std::unique_ptr<core::SigilProfiler> profiler;
+};
+
+TEST(ThreadComm, CrossThreadReadIsInterThread)
+{
+    ThreadedFixture f;
+    vg::Guest &g = *f.guest;
+    vg::ThreadId t1 = g.spawnThread();
+    vg::Addr a = g.alloc(8);
+
+    g.enter("main");
+    g.enter("producer");
+    g.write(a, 8);
+    g.leave();
+    g.switchThread(t1);
+    g.enter("consumer");
+    g.read(a, 8);
+    g.leave();
+    g.switchThread(0);
+    g.leave();
+    g.finish();
+
+    core::SigilProfile p = f.profiler->takeProfile();
+    const core::SigilRow *cons = p.findByDisplayName("consumer");
+    ASSERT_NE(cons, nullptr);
+    EXPECT_EQ(cons->agg.uniqueInputBytes, 8u);
+    EXPECT_EQ(cons->agg.uniqueInterThreadBytes, 8u);
+    ASSERT_EQ(p.threadEdges.size(), 1u);
+    EXPECT_EQ(p.threadEdges[0].producer, 0u);
+    EXPECT_EQ(p.threadEdges[0].consumer, t1);
+    EXPECT_EQ(p.threadEdges[0].uniqueBytes, 8u);
+}
+
+TEST(ThreadComm, SameThreadReadIsNotInterThread)
+{
+    ThreadedFixture f;
+    vg::Guest &g = *f.guest;
+    g.spawnThread(); // exists but unused
+    vg::Addr a = g.alloc(8);
+    g.enter("main");
+    g.write(a, 8);
+    g.read(a, 8);
+    g.leave();
+    g.finish();
+
+    core::SigilProfile p = f.profiler->takeProfile();
+    EXPECT_TRUE(p.threadEdges.empty());
+    EXPECT_EQ(p.findByDisplayName("main")->agg.uniqueInterThreadBytes,
+              0u);
+}
+
+TEST(ThreadComm, SameFunctionAcrossThreadsStillCommunicates)
+{
+    // Two threads running the same function share a context, so the
+    // byte is "local" on the function axis — but it still crossed a
+    // thread boundary and must appear in the thread matrix.
+    ThreadedFixture f;
+    vg::Guest &g = *f.guest;
+    vg::ThreadId t1 = g.spawnThread();
+    vg::Addr a = g.alloc(8);
+
+    g.enter("worker");
+    g.write(a, 8);
+    g.switchThread(t1);
+    g.enter("worker"); // same root context
+    g.read(a, 8);
+    g.leave();
+    g.switchThread(0);
+    g.leave();
+    g.finish();
+
+    core::SigilProfile p = f.profiler->takeProfile();
+    const core::SigilRow *w = p.findByDisplayName("worker");
+    EXPECT_EQ(w->agg.uniqueLocalBytes, 8u); // function axis: local
+    EXPECT_EQ(w->agg.uniqueInterThreadBytes, 8u);
+    ASSERT_EQ(p.threadEdges.size(), 1u);
+    EXPECT_EQ(p.threadEdges[0].uniqueBytes, 8u);
+}
+
+TEST(ThreadComm, RereadAcrossThreadsIsNonUnique)
+{
+    ThreadedFixture f;
+    vg::Guest &g = *f.guest;
+    vg::ThreadId t1 = g.spawnThread();
+    vg::Addr a = g.alloc(8);
+    g.enter("main");
+    g.write(a, 8);
+    g.switchThread(t1);
+    g.enter("consumer");
+    g.read(a, 8);
+    g.read(a, 8);
+    g.leave();
+    g.switchThread(0);
+    g.leave();
+    g.finish();
+
+    core::SigilProfile p = f.profiler->takeProfile();
+    ASSERT_EQ(p.threadEdges.size(), 1u);
+    EXPECT_EQ(p.threadEdges[0].uniqueBytes, 8u);
+    EXPECT_EQ(p.threadEdges[0].nonuniqueBytes, 8u);
+}
+
+TEST(ThreadComm, EventSegmentsInterleaveAcrossThreads)
+{
+    ThreadedFixture f(true);
+    vg::Guest &g = *f.guest;
+    vg::ThreadId t1 = g.spawnThread();
+    vg::Addr a = g.alloc(8);
+
+    g.enter("main");
+    g.iop(5);
+    g.write(a, 8);
+    g.switchThread(t1);
+    g.enter("worker");
+    g.iop(7);
+    g.read(a, 8); // cross-thread data edge
+    g.leave();
+    g.switchThread(0);
+    g.iop(3);
+    g.leave();
+    g.finish();
+
+    critpath::CriticalPathResult cp =
+        critpath::analyze(f.profiler->events());
+    EXPECT_EQ(cp.serialLength, 15u);
+    // The worker depends on main's first segment through the data, so
+    // the critical path is 5 + 7 = 12 (main's tail runs in parallel).
+    EXPECT_EQ(cp.criticalPathLength, 12u);
+}
+
+TEST(ThreadComm, BarrierOrdersAllThreads)
+{
+    // Two threads do independent work, hit a barrier, then do more
+    // independent work: with the barrier the critical path must cross
+    // both phases' maxima (10 + 20 = 30), not just one chain.
+    ThreadedFixture f(true);
+    vg::Guest &g = *f.guest;
+    vg::ThreadId t1 = g.spawnThread();
+
+    g.enter("main");
+    g.iop(10); // phase 1, thread 0: cost 10
+    g.switchThread(t1);
+    g.enter("worker");
+    g.iop(5); // phase 1, thread 1: cost 5
+    g.barrier();
+    g.iop(20); // phase 2, thread 1: cost 20
+    g.leave();
+    g.switchThread(0);
+    g.iop(2); // phase 2, thread 0: cost 2
+    g.leave();
+    g.finish();
+
+    critpath::CriticalPathResult cp =
+        critpath::analyze(f.profiler->events());
+    EXPECT_EQ(cp.serialLength, 37u);
+    EXPECT_EQ(cp.criticalPathLength, 30u);
+}
+
+TEST(ThreadComm, WithoutBarrierPhasesOverlap)
+{
+    ThreadedFixture f(true);
+    vg::Guest &g = *f.guest;
+    vg::ThreadId t1 = g.spawnThread();
+
+    g.enter("main");
+    g.iop(10);
+    g.switchThread(t1);
+    g.enter("worker");
+    g.iop(5);
+    g.iop(20);
+    g.leave();
+    g.switchThread(0);
+    g.iop(2);
+    g.leave();
+    g.finish();
+
+    critpath::CriticalPathResult cp =
+        critpath::analyze(f.profiler->events());
+    // No ordering between the threads: the worker chain (25) wins.
+    EXPECT_EQ(cp.criticalPathLength, 25u);
+}
+
+TEST(ThreadComm, ProfileRoundTripsThreadData)
+{
+    ThreadedFixture f;
+    vg::Guest &g = *f.guest;
+    vg::ThreadId t1 = g.spawnThread();
+    vg::Addr a = g.alloc(16);
+    g.enter("main");
+    g.write(a, 16);
+    g.switchThread(t1);
+    g.enter("consumer");
+    g.read(a, 16);
+    g.leave();
+    g.switchThread(0);
+    g.leave();
+    g.finish();
+
+    core::SigilProfile p = f.profiler->takeProfile();
+    std::stringstream ss;
+    core::writeProfile(ss, p);
+    core::SigilProfile q = core::readProfile(ss);
+    ASSERT_EQ(q.threadEdges.size(), 1u);
+    EXPECT_EQ(q.threadEdges[0].uniqueBytes, 16u);
+    EXPECT_EQ(q.findByDisplayName("consumer")
+                  ->agg.uniqueInterThreadBytes,
+              16u);
+    EXPECT_TRUE(core::diffProfiles(p, q).identical());
+}
+
+TEST(ThreadComm, ParallelWorkloadHasThreadMatrix)
+{
+    const workloads::Workload *w =
+        workloads::findWorkload("blackscholes_parallel");
+    ASSERT_NE(w, nullptr);
+    vg::Guest g(w->name);
+    core::SigilProfiler prof;
+    g.addTool(&prof);
+    w->run(g, workloads::Scale::SimSmall);
+    g.finish();
+    EXPECT_EQ(g.numThreads(), 5u); // main + 4 workers
+
+    core::SigilProfile p = prof.takeProfile();
+    ASSERT_FALSE(p.threadEdges.empty());
+    // Input flows 0 → every worker; partial sums flow worker → 0.
+    bool main_to_worker = false, worker_to_main = false;
+    for (const core::ThreadCommEdge &e : p.threadEdges) {
+        if (e.producer == 0 && e.consumer != 0)
+            main_to_worker = true;
+        if (e.producer != 0 && e.consumer == 0)
+            worker_to_main = true;
+    }
+    EXPECT_TRUE(main_to_worker);
+    EXPECT_TRUE(worker_to_main);
+
+    // The reduction's cross-thread input shows on the join function.
+    const core::SigilRow *join =
+        p.findByDisplayName("pthread_join_reduce");
+    ASSERT_NE(join, nullptr);
+    EXPECT_GT(join->agg.uniqueInterThreadBytes, 0u);
+}
+
+} // namespace
+} // namespace sigil

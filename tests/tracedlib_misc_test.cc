@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Coverage for the remaining traced-library plumbing (string/locale/
+ * iostream/allocator shims) and for the DOT writer's filtering options.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cdfg/dot_writer.hh"
+#include "cg/cg_tool.hh"
+#include "core/sigil_profiler.hh"
+#include "vg/traced.hh"
+#include "workloads/tracedlib.hh"
+
+namespace sigil::workloads {
+namespace {
+
+struct LibFixture
+{
+    LibFixture() : guest("lib"), lib(guest)
+    {
+        guest.enter("main");
+    }
+
+    ~LibFixture()
+    {
+        guest.finish();
+    }
+
+    vg::Guest guest;
+    Lib lib;
+};
+
+TEST(TracedPlumbing, VectorCtorZeroesStorage)
+{
+    LibFixture f;
+    std::uint64_t w = f.guest.counters().writes;
+    vg::Addr storage = f.lib.vectorCtor(10, 8);
+    EXPECT_NE(storage, 0u);
+    // 2 header writes + 1 arena write + 10 zeroing writes.
+    EXPECT_EQ(f.guest.counters().writes, w + 13);
+    EXPECT_NE(f.guest.functions().find("std::vector<T>::vector"),
+              vg::kInvalidFunction);
+}
+
+TEST(TracedPlumbing, StringCtorCopiesBytes)
+{
+    LibFixture f;
+    vg::GuestArray<unsigned char> src(f.guest, 8, "s");
+    for (std::size_t i = 0; i < 8; ++i)
+        src.raw(i) = static_cast<unsigned char>('a' + i);
+    std::uint64_t r = f.guest.counters().reads;
+    vg::Addr storage = f.lib.stringCtor(src, 0, 8);
+    EXPECT_NE(storage, 0u);
+    // 8 source reads plus the allocator's bin reads.
+    EXPECT_GE(f.guest.counters().reads, r + 8);
+    EXPECT_NE(f.guest.functions().find("std::basic_string"),
+              vg::kInvalidFunction);
+}
+
+TEST(TracedPlumbing, StringAssignMovesBytes)
+{
+    LibFixture f;
+    vg::GuestArray<unsigned char> a(f.guest, 4, "a"), b(f.guest, 4, "b");
+    for (std::size_t i = 0; i < 4; ++i)
+        a.raw(i) = static_cast<unsigned char>(i + 1);
+    f.lib.stringAssign(b, 0, a, 0, 4);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(b.raw(i), i + 1);
+}
+
+TEST(TracedPlumbing, LocaleCtorAllocatesFacets)
+{
+    LibFixture f;
+    vg::Addr facets = f.lib.localeCtor();
+    EXPECT_NE(facets, 0u);
+    EXPECT_NE(f.guest.functions().find("std::locale::locale"),
+              vg::kInvalidFunction);
+}
+
+TEST(TracedPlumbing, DlAddrWalksLinkMap)
+{
+    LibFixture f;
+    std::uint64_t r = f.guest.counters().reads;
+    f.lib.dlAddr();
+    EXPECT_EQ(f.guest.counters().reads, r + 16);
+}
+
+TEST(TracedPlumbing, IoFileXsgetnCopiesFromFile)
+{
+    LibFixture f;
+    vg::GuestArray<unsigned char> file(f.guest, 16, "f"),
+        dst(f.guest, 16, "d");
+    for (std::size_t i = 0; i < 16; ++i)
+        file.raw(i) = static_cast<unsigned char>(i * 3);
+    f.lib.ioFileXsgetn(dst, 0, file, 0, 16);
+    EXPECT_EQ(dst.raw(5), 15);
+    EXPECT_NE(f.guest.functions().find("_IO_file_xsgetn"),
+              vg::kInvalidFunction);
+}
+
+TEST(TracedPlumbing, IoSputbackcTouchesOneByte)
+{
+    LibFixture f;
+    vg::GuestArray<unsigned char> file(f.guest, 4, "f");
+    file.raw(0) = 7;
+    std::uint64_t r = f.guest.counters().reads;
+    std::uint64_t w = f.guest.counters().writes;
+    f.lib.ioSputbackc(file, 0);
+    EXPECT_EQ(f.guest.counters().reads, r + 1);
+    EXPECT_EQ(f.guest.counters().writes, w + 1);
+}
+
+TEST(TracedPlumbing, ConsumeReadsRange)
+{
+    LibFixture f;
+    vg::Addr a = f.guest.alloc(20);
+    std::uint64_t rb = f.guest.counters().readBytes;
+    f.lib.consume(a, 20);
+    EXPECT_EQ(f.guest.counters().readBytes, rb + 20);
+}
+
+TEST(DotOptions, MinNodeShareHidesColdNodes)
+{
+    vg::Guest g("t");
+    cg::CgTool cg_tool;
+    core::SigilProfiler prof;
+    g.addTool(&cg_tool);
+    g.addTool(&prof);
+    g.enter("main");
+    g.enter("hot");
+    g.iop(100000);
+    g.leave();
+    g.enter("cold");
+    g.iop(1);
+    g.leave();
+    g.leave();
+    g.finish();
+
+    cdfg::Cdfg graph = cdfg::Cdfg::build(prof.takeProfile(),
+                                         cg_tool.takeProfile());
+    cdfg::DotOptions options;
+    options.minNodeShare = 0.01;
+    std::string dot = cdfg::dotString(graph, options);
+    EXPECT_NE(dot.find("hot"), std::string::npos);
+    EXPECT_EQ(dot.find("cold"), std::string::npos);
+}
+
+TEST(DotOptions, ShowInputToggleHidesInputProducer)
+{
+    vg::Guest g("t");
+    core::SigilProfiler prof;
+    g.addTool(&prof);
+    vg::GuestArray<int> in(g, 4, "in");
+    in.fillAsInput([](std::size_t i) { return static_cast<int>(i); });
+    g.enter("main");
+    for (std::size_t i = 0; i < 4; ++i)
+        in.get(i);
+    g.leave();
+    g.finish();
+
+    cdfg::Cdfg graph = cdfg::Cdfg::build(prof.takeProfile());
+    cdfg::DotOptions options;
+    options.showInput = false;
+    std::string dot = cdfg::dotString(graph, options);
+    EXPECT_EQ(dot.find("*input*"), std::string::npos);
+    options.showInput = true;
+    dot = cdfg::dotString(graph, options);
+    EXPECT_NE(dot.find("*input*"), std::string::npos);
+}
+
+} // namespace
+} // namespace sigil::workloads

@@ -1,0 +1,372 @@
+/**
+ * @file
+ * Tests for the traced standard-library surrogates: numerical accuracy
+ * against the host libm, known checksum vectors, parsing correctness,
+ * and instrumentation-visibility properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sigil_profiler.hh"
+#include "support/rng.hh"
+#include "workloads/tracedlib.hh"
+
+namespace sigil::workloads {
+namespace {
+
+struct Fixture
+{
+    Fixture() : guest("lib"), lib(guest)
+    {
+        guest.enter("main");
+    }
+
+    ~Fixture()
+    {
+        guest.leave();
+        guest.finish();
+    }
+
+    vg::Guest guest;
+    Lib lib;
+};
+
+TEST(TracedMath, ExpMatchesLibm)
+{
+    Fixture f;
+    for (double x : {-5.0, -1.0, -0.1, 0.0, 0.5, 1.0, 3.0, 10.0})
+        EXPECT_NEAR(f.lib.exp(x), std::exp(x),
+                    std::abs(std::exp(x)) * 1e-9)
+            << x;
+}
+
+TEST(TracedMath, ExpfMatchesLibm)
+{
+    Fixture f;
+    for (float x : {-4.0f, -0.5f, 0.0f, 0.7f, 2.0f, 8.0f})
+        EXPECT_NEAR(f.lib.expf(x), std::exp(x),
+                    std::abs(std::exp(x)) * 1e-4f)
+            << x;
+}
+
+TEST(TracedMath, LogMatchesLibm)
+{
+    Fixture f;
+    for (double x : {1e-6, 0.1, 0.5, 1.0, 2.718281828, 100.0, 1e12})
+        EXPECT_NEAR(f.lib.log(x), std::log(x),
+                    std::max(1e-10, std::abs(std::log(x)) * 1e-9))
+            << x;
+    EXPECT_TRUE(std::isinf(f.lib.log(0.0)));
+}
+
+TEST(TracedMath, LogfMatchesLibm)
+{
+    Fixture f;
+    for (float x : {0.2f, 1.0f, 7.5f, 1000.0f})
+        EXPECT_NEAR(f.lib.logf(x), std::log(x), 1e-4f) << x;
+}
+
+TEST(TracedMath, SqrtMatchesLibm)
+{
+    Fixture f;
+    for (double x : {1e-8, 0.25, 2.0, 49.0, 1e10})
+        EXPECT_NEAR(f.lib.sqrt(x), std::sqrt(x),
+                    std::sqrt(x) * 1e-12)
+            << x;
+    EXPECT_DOUBLE_EQ(f.lib.sqrt(-1.0), 0.0);
+}
+
+TEST(TracedMath, PowMatchesLibm)
+{
+    Fixture f;
+    EXPECT_NEAR(f.lib.pow(2.0, 10.0), 1024.0, 1e-6);
+    EXPECT_NEAR(f.lib.pow(9.0, 0.5), 3.0, 1e-9);
+}
+
+TEST(TracedMath, SinMatchesLibm)
+{
+    Fixture f;
+    for (double x : {-7.0, -3.14, -1.0, 0.0, 0.5, 1.5707, 3.0, 9.42})
+        EXPECT_NEAR(f.lib.sin(x), std::sin(x), 1e-9) << x;
+}
+
+TEST(TracedMath, CosMatchesLibm)
+{
+    Fixture f;
+    for (double x : {-5.0, -0.3, 0.0, 1.0, 3.14159, 6.0})
+        EXPECT_NEAR(f.lib.cos(x), std::cos(x), 1e-9) << x;
+}
+
+TEST(TracedMem, MsortSortsAndTraces)
+{
+    Fixture f;
+    vg::GuestArray<double> a(f.guest, 33, "a"), tmp(f.guest, 33, "t");
+    Rng rng(3);
+    for (std::size_t i = 0; i < 33; ++i)
+        a.raw(i) = rng.nextRange(-100.0, 100.0);
+    std::uint64_t reads = f.guest.counters().reads;
+    f.lib.msort(a, 0, 33, tmp, 0);
+    EXPECT_GT(f.guest.counters().reads, reads + 33);
+    for (std::size_t i = 1; i < 33; ++i)
+        EXPECT_LE(a.raw(i - 1), a.raw(i)) << i;
+    EXPECT_NE(f.guest.functions().find("msort_with_tmp"),
+              vg::kInvalidFunction);
+}
+
+TEST(TracedMem, MsortHandlesTinyInputs)
+{
+    Fixture f;
+    vg::GuestArray<int> a(f.guest, 2, "a"), tmp(f.guest, 2, "t");
+    a.raw(0) = 9;
+    a.raw(1) = 3;
+    f.lib.msort(a, 0, 2, tmp, 0);
+    EXPECT_EQ(a.raw(0), 3);
+    EXPECT_EQ(a.raw(1), 9);
+    // n = 1 and n = 0 are no-ops.
+    f.lib.msort(a, 0, 1, tmp, 0);
+    f.lib.msort(a, 0, 0, tmp, 0);
+    EXPECT_EQ(a.raw(0), 3);
+}
+
+TEST(TracedMath, IsnanDetects)
+{
+    Fixture f;
+    EXPECT_TRUE(f.lib.isnan(std::nan("")));
+    EXPECT_FALSE(f.lib.isnan(1.0));
+}
+
+TEST(TracedMath, OpsAreAccounted)
+{
+    Fixture f;
+    std::uint64_t before = f.guest.counters().flops;
+    f.lib.exp(1.0);
+    EXPECT_GT(f.guest.counters().flops, before + 10);
+}
+
+TEST(TracedMpn, MulMatchesWideMultiply)
+{
+    Fixture f;
+    vg::GuestArray<std::uint64_t> a(f.guest, 2, "a");
+    vg::GuestArray<std::uint64_t> b(f.guest, 2, "b");
+    vg::GuestArray<std::uint64_t> d(f.guest, 4, "d");
+    a.raw(0) = 0xffffffffffffffffull;
+    a.raw(1) = 0;
+    b.raw(0) = 0x100000001ull;
+    b.raw(1) = 0;
+    f.lib.mpnMul(d, a, 2, b, 2);
+    unsigned __int128 expect =
+        static_cast<unsigned __int128>(a.raw(0)) * b.raw(0);
+    EXPECT_EQ(d.raw(0), static_cast<std::uint64_t>(expect));
+    EXPECT_EQ(d.raw(1), static_cast<std::uint64_t>(expect >> 64));
+    EXPECT_EQ(d.raw(2), 0u);
+}
+
+TEST(TracedMpn, ShiftsAreInverse)
+{
+    Fixture f;
+    vg::GuestArray<std::uint64_t> a(f.guest, 3, "a");
+    a.raw(0) = 0x0123456789abcdefull;
+    a.raw(1) = 0xfedcba9876543210ull;
+    a.raw(2) = 0;
+    std::uint64_t o0 = a.raw(0), o1 = a.raw(1);
+    f.lib.mpnLshift(a, 3, 7);
+    f.lib.mpnRshift(a, 3, 7);
+    EXPECT_EQ(a.raw(0), o0);
+    EXPECT_EQ(a.raw(1), o1);
+}
+
+TEST(TracedStrtof, ParsesFloats)
+{
+    Fixture f;
+    const char *text = "  3.14159 -2.5e3 0.001 42 ";
+    vg::GuestArray<char> buf(f.guest, std::strlen(text), "buf");
+    for (std::size_t i = 0; i < buf.size(); ++i)
+        buf.raw(i) = text[i];
+    std::size_t pos = 0;
+    EXPECT_NEAR(f.lib.strtof(buf, pos, &pos), 3.14159f, 1e-4f);
+    EXPECT_NEAR(f.lib.strtof(buf, pos, &pos), -2500.0f, 1e-1f);
+    EXPECT_NEAR(f.lib.strtof(buf, pos, &pos), 0.001f, 1e-7f);
+    EXPECT_NEAR(f.lib.strtof(buf, pos, &pos), 42.0f, 1e-4f);
+}
+
+TEST(TracedStrtof, LongMantissaTakesMpnPath)
+{
+    Fixture f;
+    const char *text = "3.14159265358979 ";
+    vg::GuestArray<char> buf(f.guest, std::strlen(text), "buf");
+    for (std::size_t i = 0; i < buf.size(); ++i)
+        buf.raw(i) = text[i];
+    std::size_t pos = 0;
+    float v = f.lib.strtof(buf, pos, &pos);
+    EXPECT_NEAR(v, 3.14159265f, 1e-5f);
+    // The bignum path registers and exercises __mpn_mul.
+    vg::FunctionId mpn = f.guest.functions().find("__mpn_mul");
+    ASSERT_NE(mpn, vg::kInvalidFunction);
+}
+
+TEST(TracedMem, MemcpyCopiesAndTraces)
+{
+    Fixture f;
+    vg::GuestArray<int> src(f.guest, 8, "s"), dst(f.guest, 8, "d");
+    for (std::size_t i = 0; i < 8; ++i)
+        src.raw(i) = static_cast<int>(i * 3);
+    std::uint64_t reads = f.guest.counters().reads;
+    f.lib.memcpy(dst, 0, src, 0, 8);
+    EXPECT_EQ(dst.raw(5), 15);
+    EXPECT_EQ(f.guest.counters().reads, reads + 8);
+}
+
+TEST(TracedMem, MemmoveHandlesOverlap)
+{
+    Fixture f;
+    vg::GuestArray<int> a(f.guest, 8, "a");
+    for (std::size_t i = 0; i < 8; ++i)
+        a.raw(i) = static_cast<int>(i);
+    f.lib.memmove(a, 2, a, 0, 6); // shift right by 2
+    EXPECT_EQ(a.raw(2), 0);
+    EXPECT_EQ(a.raw(7), 5);
+}
+
+TEST(TracedMem, MemchrFindsFirst)
+{
+    Fixture f;
+    vg::GuestArray<unsigned char> a(f.guest, 16, "a");
+    for (std::size_t i = 0; i < 16; ++i)
+        a.raw(i) = static_cast<unsigned char>(i);
+    EXPECT_EQ(f.lib.memchr(a, 0, 16, 7), 7);
+    EXPECT_EQ(f.lib.memchr(a, 8, 8, 7), -1);
+}
+
+TEST(TracedMem, StringCompareOrders)
+{
+    Fixture f;
+    vg::GuestArray<unsigned char> a(f.guest, 4, "a"), b(f.guest, 4, "b");
+    const char *sa = "abcd", *sb = "abce";
+    for (std::size_t i = 0; i < 4; ++i) {
+        a.raw(i) = static_cast<unsigned char>(sa[i]);
+        b.raw(i) = static_cast<unsigned char>(sb[i]);
+    }
+    EXPECT_LT(f.lib.stringCompare(a, 0, b, 0, 4), 0);
+    EXPECT_GT(f.lib.stringCompare(b, 0, a, 0, 4), 0);
+    EXPECT_EQ(f.lib.stringCompare(a, 0, a, 0, 4), 0);
+}
+
+TEST(TracedChecksum, Adler32KnownVector)
+{
+    Fixture f;
+    // adler32 of "Wikipedia" is 0x11E60398.
+    const char *text = "Wikipedia";
+    vg::GuestArray<unsigned char> a(f.guest, 9, "a");
+    for (std::size_t i = 0; i < 9; ++i)
+        a.raw(i) = static_cast<unsigned char>(text[i]);
+    EXPECT_EQ(f.lib.adler32(1, a, 0, 9), 0x11E60398u);
+}
+
+TEST(TracedChecksum, Sha1KnownVector)
+{
+    Fixture f;
+    // SHA-1("abc"): first words a9993e36 4706816a.
+    vg::GuestArray<std::uint32_t> state(f.guest, 5, "state");
+    state.raw(0) = 0x67452301u;
+    state.raw(1) = 0xefcdab89u;
+    state.raw(2) = 0x98badcfeu;
+    state.raw(3) = 0x10325476u;
+    state.raw(4) = 0xc3d2e1f0u;
+    vg::GuestArray<unsigned char> block(f.guest, 64, "block");
+    for (std::size_t i = 0; i < 64; ++i)
+        block.raw(i) = 0;
+    block.raw(0) = 'a';
+    block.raw(1) = 'b';
+    block.raw(2) = 'c';
+    block.raw(3) = 0x80;
+    block.raw(63) = 24; // bit length
+    f.lib.sha1Block(state, block, 0);
+    EXPECT_EQ(state.raw(0), 0xa9993e36u);
+    EXPECT_EQ(state.raw(1), 0x4706816au);
+    EXPECT_EQ(state.raw(4), 0x9cd0d89du);
+}
+
+TEST(TracedCompress, RleRoundTripSize)
+{
+    Fixture f;
+    vg::GuestArray<unsigned char> in(f.guest, 64, "in"),
+        out(f.guest, 160, "out");
+    for (std::size_t i = 0; i < 64; ++i)
+        in.raw(i) = static_cast<unsigned char>(i / 16); // 4 runs of 16
+    std::size_t n = f.lib.trFlushBlock(in, 0, 64, out, 0);
+    EXPECT_EQ(n, 8u); // 4 runs × 2 bytes
+    EXPECT_EQ(out.raw(0), 16);
+    EXPECT_EQ(out.raw(1), 0);
+}
+
+TEST(TracedHash, SearchFindsKeyOrEmpty)
+{
+    Fixture f;
+    vg::GuestArray<std::uint64_t> table(f.guest, 16, "t");
+    for (std::size_t i = 0; i < 16; ++i)
+        table.raw(i) = 0;
+    std::size_t slot = f.lib.hashtableSearch(table, 12345);
+    ASSERT_LT(slot, 16u);
+    table.raw(slot) = 12345;
+    EXPECT_EQ(f.lib.hashtableSearch(table, 12345), slot);
+}
+
+TEST(TracedAlloc, NewAndFreeTouchHeadersAndArena)
+{
+    Fixture f;
+    std::uint64_t w = f.guest.counters().writes;
+    std::uint64_t r0 = f.guest.counters().reads;
+    vg::Addr a = f.lib.operatorNew(100);
+    // Two header writes plus one arena-bin update.
+    EXPECT_EQ(f.guest.counters().writes, w + 3);
+    // Two arena-bin reads for the size-class lookup.
+    EXPECT_EQ(f.guest.counters().reads, r0 + 2);
+    std::uint64_t r = f.guest.counters().reads;
+    f.lib.free(a);
+    // Two header reads plus one arena-bin read.
+    EXPECT_EQ(f.guest.counters().reads, r + 3);
+}
+
+TEST(TracedRand, Lrand48MatchesPosixLcg)
+{
+    Fixture f;
+    // With the default seed the first draws must be deterministic and
+    // in [0, 2^31).
+    long a = f.lib.lrand48();
+    long b = f.lib.lrand48();
+    EXPECT_NE(a, b);
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 1L << 31);
+    // Chain must register all three functions.
+    EXPECT_NE(f.guest.functions().find("drand48_iterate"),
+              vg::kInvalidFunction);
+    EXPECT_NE(f.guest.functions().find("nrand48_r"),
+              vg::kInvalidFunction);
+}
+
+TEST(TracedLib, FunctionsAppearAsContexts)
+{
+    vg::Guest g("lib");
+    core::SigilProfiler prof;
+    g.addTool(&prof);
+    Lib lib(g);
+    g.enter("main");
+    lib.exp(1.0);
+    lib.lrand48();
+    g.leave();
+    g.finish();
+
+    core::SigilProfile p = prof.takeProfile();
+    const core::SigilRow *exp_row =
+        p.findByDisplayName("_ieee754_exp");
+    ASSERT_NE(exp_row, nullptr);
+    EXPECT_EQ(exp_row->agg.calls, 1u);
+    // The exp argument spill shows up as 8 unique input bytes.
+    EXPECT_EQ(exp_row->agg.uniqueInputBytes, 8u);
+    EXPECT_EQ(p.findByDisplayName("drand48_iterate")->agg.calls, 1u);
+}
+
+} // namespace
+} // namespace sigil::workloads

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Integration tests over the whole workload suite: every workload runs
+ * under the full tool stack without violating any profiler invariant,
+ * produces the functions its case study depends on, and scales with the
+ * input pack.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cg/cg_tool.hh"
+#include "core/sigil_profiler.hh"
+#include "critpath/critical_path.hh"
+#include "workloads/workload.hh"
+
+namespace sigil::workloads {
+namespace {
+
+struct RunResult
+{
+    core::SigilProfile profile;
+    cg::CgProfile cg_profile;
+    core::EventTrace events;
+    vg::GuestCounters counters;
+};
+
+RunResult
+runUnderTools(const Workload &w, Scale scale, bool events = false)
+{
+    vg::Guest g(w.name);
+    cg::CgTool cg_tool;
+    core::SigilConfig cfg;
+    cfg.collectReuse = true;
+    cfg.collectEvents = events;
+    core::SigilProfiler prof(cfg);
+    g.addTool(&cg_tool);
+    g.addTool(&prof);
+    w.run(g, scale);
+    g.finish();
+    RunResult r{prof.takeProfile(), cg_tool.takeProfile(), prof.events(),
+                g.counters()};
+    return r;
+}
+
+class AllWorkloads : public ::testing::TestWithParam<std::size_t>
+{
+  protected:
+    const Workload &
+    workload() const
+    {
+        return allWorkloads()[GetParam()];
+    }
+};
+
+TEST_P(AllWorkloads, RunsCleanAndBalanced)
+{
+    RunResult r = runUnderTools(workload(), Scale::SimSmall);
+    EXPECT_GT(r.counters.instructions(), 10000u) << "suspiciously small";
+
+    // Per-row invariants.
+    std::uint64_t total_in_unique = 0, total_out_unique = 0;
+    std::uint64_t total_in_nonunique = 0, total_out_nonunique = 0;
+    std::uint64_t read_bytes = 0, classified = 0;
+    for (const core::SigilRow &row : r.profile.rows) {
+        const core::CommAggregates &a = row.agg;
+        EXPECT_EQ(a.totalReadBytes(), a.readBytes) << row.path;
+        total_in_unique += a.uniqueInputBytes;
+        total_in_nonunique += a.nonuniqueInputBytes;
+        total_out_unique += a.uniqueOutputBytes;
+        total_out_nonunique += a.nonuniqueOutputBytes;
+        read_bytes += a.readBytes;
+        classified += a.totalReadBytes();
+    }
+    EXPECT_EQ(read_bytes, r.counters.readBytes);
+    EXPECT_EQ(classified, read_bytes);
+    // Output mass can only come from non-local input mass (uninit
+    // producers contribute input without output).
+    EXPECT_LE(total_out_unique, total_in_unique);
+    EXPECT_LE(total_out_nonunique, total_in_nonunique);
+
+    // Context tree is consistent between the two tools.
+    ASSERT_EQ(r.profile.rows.size(), r.cg_profile.rows.size());
+    for (std::size_t i = 0; i < r.profile.rows.size(); ++i) {
+        EXPECT_EQ(r.profile.rows[i].fnName, r.cg_profile.rows[i].fnName);
+        EXPECT_EQ(r.profile.rows[i].parent, r.cg_profile.rows[i].parent);
+    }
+
+    // Ops recorded by both tools agree.
+    std::uint64_t sigil_ops = 0, cg_ops = 0;
+    for (const core::SigilRow &row : r.profile.rows)
+        sigil_ops += row.agg.iops + row.agg.flops;
+    for (const cg::CgRow &row : r.cg_profile.rows)
+        cg_ops += row.self.iops + row.self.flops;
+    EXPECT_EQ(sigil_ops, cg_ops);
+    EXPECT_EQ(sigil_ops, r.counters.iops + r.counters.flops);
+}
+
+TEST_P(AllWorkloads, ReusesDataSomewhere)
+{
+    RunResult r = runUnderTools(workload(), Scale::SimSmall);
+    EXPECT_GT(r.profile.unitReuseBreakdown.totalCount(), 0u);
+}
+
+TEST_P(AllWorkloads, InputIsConsumed)
+{
+    RunResult r = runUnderTools(workload(), Scale::SimSmall);
+    auto input_rows = r.profile.findByFunction("*input*");
+    ASSERT_FALSE(input_rows.empty());
+    std::uint64_t produced = 0, consumed = 0;
+    for (const auto *row : input_rows) {
+        produced += row->agg.writeBytes;
+        consumed += row->agg.uniqueOutputBytes;
+    }
+    EXPECT_GT(produced, 0u);
+    // Note: consumed (unique output) can exceed produced, because each
+    // distinct consumer's first read of a byte counts separately.
+    EXPECT_GT(consumed, 0u);
+}
+
+TEST_P(AllWorkloads, SimMediumIsLarger)
+{
+    RunResult small = runUnderTools(workload(), Scale::SimSmall);
+    RunResult medium = runUnderTools(workload(), Scale::SimMedium);
+    EXPECT_GT(medium.counters.instructions(),
+              small.counters.instructions() * 2);
+}
+
+TEST_P(AllWorkloads, EventTraceIsAnalyzable)
+{
+    RunResult r = runUnderTools(workload(), Scale::SimSmall, true);
+    ASSERT_FALSE(r.events.empty());
+    critpath::CriticalPathResult cp = critpath::analyze(r.events);
+    EXPECT_GT(cp.serialLength, 0u);
+    EXPECT_GE(cp.maxParallelism, 1.0);
+    EXPECT_LE(cp.criticalPathLength, cp.serialLength);
+    // Serial length in the trace equals all retired ops.
+    EXPECT_EQ(cp.serialLength, r.counters.iops + r.counters.flops);
+}
+
+TEST_P(AllWorkloads, DeterministicAcrossRuns)
+{
+    RunResult a = runUnderTools(workload(), Scale::SimSmall);
+    RunResult b = runUnderTools(workload(), Scale::SimSmall);
+    EXPECT_EQ(a.counters.instructions(), b.counters.instructions());
+    EXPECT_EQ(a.profile.totalUniqueInputBytes(),
+              b.profile.totalUniqueInputBytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, AllWorkloads,
+    ::testing::Range<std::size_t>(0, allWorkloads().size()),
+    [](const ::testing::TestParamInfo<std::size_t> &info) {
+        return allWorkloads()[info.param].name;
+    });
+
+TEST(Registry, FindsAllByName)
+{
+    EXPECT_EQ(allWorkloads().size(), 16u);
+    for (const Workload &w : allWorkloads()) {
+        const Workload *found = findWorkload(w.name);
+        ASSERT_NE(found, nullptr);
+        EXPECT_EQ(found->run, w.run);
+    }
+    EXPECT_EQ(findWorkload("nope"), nullptr);
+    EXPECT_EQ(parsecWorkloads().size(), 13u);
+}
+
+TEST(Registry, ScaleHelpers)
+{
+    EXPECT_STREQ(scaleName(Scale::SimSmall), "simsmall");
+    EXPECT_STREQ(scaleName(Scale::SimLarge), "simlarge");
+    EXPECT_EQ(scaleFactor(Scale::SimSmall), 1u);
+    EXPECT_EQ(scaleFactor(Scale::SimMedium), 4u);
+    EXPECT_EQ(scaleFactor(Scale::SimLarge), 16u);
+}
+
+TEST(CaseStudyFunctions, BlackscholesHasTableIIFunctions)
+{
+    RunResult r =
+        runUnderTools(*findWorkload("blackscholes"), Scale::SimSmall);
+    for (const char *fn :
+         {"strtof", "_ieee754_expf", "_ieee754_logf", "__mpn_mul",
+          "BlkSchlsEqEuroNoDiv", "CNDF"}) {
+        auto rows = r.profile.findByFunction(fn);
+        EXPECT_FALSE(rows.empty()) << fn;
+        if (!rows.empty()) {
+            EXPECT_GT(rows[0]->agg.calls, 0u) << fn;
+        }
+    }
+}
+
+TEST(CaseStudyFunctions, DedupHasShaInTwoContexts)
+{
+    RunResult r = runUnderTools(*findWorkload("dedup"), Scale::SimSmall);
+    auto rows = r.profile.findByFunction("sha1_block_data_order");
+    EXPECT_EQ(rows.size(), 2u);
+    EXPECT_FALSE(
+        r.profile.findByFunction("_tr_flush_block").empty());
+    EXPECT_FALSE(r.profile.findByFunction("adler32").empty());
+    EXPECT_FALSE(r.profile.findByFunction("write_file").empty());
+}
+
+TEST(CaseStudyFunctions, CannealHasTableIIFunctions)
+{
+    RunResult r =
+        runUnderTools(*findWorkload("canneal"), Scale::SimSmall);
+    for (const char *fn : {"mul", "memchr", "netlist::swap_locations",
+                           "memmove", "std::string::compare"}) {
+        EXPECT_FALSE(r.profile.findByFunction(fn).empty()) << fn;
+    }
+}
+
+TEST(CaseStudyFunctions, VipsHasConvGenInTwoContexts)
+{
+    RunResult r = runUnderTools(*findWorkload("vips"), Scale::SimSmall);
+    auto conv = r.profile.findByFunction("conv_gen");
+    ASSERT_EQ(conv.size(), 2u);
+    EXPECT_NE(r.profile.findByDisplayName("conv_gen(1)"), nullptr);
+    EXPECT_NE(r.profile.findByDisplayName("conv_gen(2)"), nullptr);
+    EXPECT_FALSE(r.profile.findByFunction("imb_XYZ2Lab").empty());
+    EXPECT_FALSE(r.profile.findByFunction("affine_gen").empty());
+}
+
+TEST(CaseStudyFunctions, VipsReuseShapes)
+{
+    RunResult r = runUnderTools(*findWorkload("vips"), Scale::SimSmall);
+    auto conv = r.profile.findByFunction("conv_gen");
+    auto lab = r.profile.findByFunction("imb_XYZ2Lab");
+    ASSERT_FALSE(conv.empty());
+    ASSERT_FALSE(lab.empty());
+    // conv_gen re-reads across a K-row window: much longer average
+    // re-use lifetime than the immediate re-reads of imb_XYZ2Lab.
+    EXPECT_GT(conv[0]->agg.avgReuseLifetime(),
+              10.0 * lab[0]->agg.avgReuseLifetime());
+}
+
+TEST(CaseStudyFunctions, StreamclusterRandChainPresent)
+{
+    RunResult r =
+        runUnderTools(*findWorkload("streamcluster"), Scale::SimSmall);
+    for (const char *fn : {"drand48_iterate", "nrand48_r", "lrand48",
+                           "pkmedian", "localSearch", "streamCluster"}) {
+        EXPECT_FALSE(r.profile.findByFunction(fn).empty()) << fn;
+    }
+}
+
+TEST(CaseStudyFunctions, FluidanimateComputeForcesDominates)
+{
+    RunResult r =
+        runUnderTools(*findWorkload("fluidanimate"), Scale::SimSmall);
+    auto cf = r.profile.findByFunction("ComputeForces");
+    ASSERT_EQ(cf.size(), 1u);
+    std::uint64_t cf_ops = cf[0]->agg.iops + cf[0]->agg.flops;
+    std::uint64_t total = 0;
+    for (const core::SigilRow &row : r.profile.rows)
+        total += row.agg.iops + row.agg.flops;
+    // The paper reports ~90%; require clear dominance.
+    EXPECT_GT(cf_ops, total / 2) << cf_ops << " of " << total;
+}
+
+} // namespace
+} // namespace sigil::workloads
