@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bus_bandwidth.dir/ablation_bus_bandwidth.cc.o"
+  "CMakeFiles/ablation_bus_bandwidth.dir/ablation_bus_bandwidth.cc.o.d"
+  "ablation_bus_bandwidth"
+  "ablation_bus_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bus_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mrc.dir/ablation_mrc.cc.o"
+  "CMakeFiles/ablation_mrc.dir/ablation_mrc.cc.o.d"
+  "ablation_mrc"
+  "ablation_mrc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_noc.dir/ablation_noc.cc.o"
+  "CMakeFiles/ablation_noc.dir/ablation_noc.cc.o.d"
+  "ablation_noc"
+  "ablation_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_objects.dir/ablation_objects.cc.o"
+  "CMakeFiles/ablation_objects.dir/ablation_objects.cc.o.d"
+  "ablation_objects"
+  "ablation_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_platform_independence.dir/ablation_platform_independence.cc.o"
+  "CMakeFiles/ablation_platform_independence.dir/ablation_platform_independence.cc.o.d"
+  "ablation_platform_independence"
+  "ablation_platform_independence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_platform_independence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_roi.dir/ablation_roi.cc.o"
+  "CMakeFiles/ablation_roi.dir/ablation_roi.cc.o.d"
+  "ablation_roi"
+  "ablation_roi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_roi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_schedule.dir/ablation_schedule.cc.o"
+  "CMakeFiles/ablation_schedule.dir/ablation_schedule.cc.o.d"
+  "ablation_schedule"
+  "ablation_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

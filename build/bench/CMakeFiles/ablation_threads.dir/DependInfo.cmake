@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_threads.cc" "bench/CMakeFiles/ablation_threads.dir/ablation_threads.cc.o" "gcc" "bench/CMakeFiles/ablation_threads.dir/ablation_threads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/sigil_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdfg/CMakeFiles/sigil_cdfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/critpath/CMakeFiles/sigil_critpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sigil_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cg/CMakeFiles/sigil_cg.dir/DependInfo.cmake"
+  "/root/repo/build/src/shadow/CMakeFiles/sigil_shadow.dir/DependInfo.cmake"
+  "/root/repo/build/src/vg/CMakeFiles/sigil_vg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sigil_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

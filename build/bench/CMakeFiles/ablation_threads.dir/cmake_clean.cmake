@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_threads.dir/ablation_threads.cc.o"
+  "CMakeFiles/ablation_threads.dir/ablation_threads.cc.o.d"
+  "ablation_threads"
+  "ablation_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_unique_vs_total.dir/ablation_unique_vs_total.cc.o"
+  "CMakeFiles/ablation_unique_vs_total.dir/ablation_unique_vs_total.cc.o.d"
+  "ablation_unique_vs_total"
+  "ablation_unique_vs_total.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_unique_vs_total.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

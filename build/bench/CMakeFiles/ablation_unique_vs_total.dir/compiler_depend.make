@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_unique_vs_total.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_slowdown.dir/fig04_slowdown.cc.o"
+  "CMakeFiles/fig04_slowdown.dir/fig04_slowdown.cc.o.d"
+  "fig04_slowdown"
+  "fig04_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

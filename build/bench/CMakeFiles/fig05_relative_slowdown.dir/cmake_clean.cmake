@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_relative_slowdown.dir/fig05_relative_slowdown.cc.o"
+  "CMakeFiles/fig05_relative_slowdown.dir/fig05_relative_slowdown.cc.o.d"
+  "fig05_relative_slowdown"
+  "fig05_relative_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_relative_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_relative_slowdown.
+# This may be replaced when dependencies are built.

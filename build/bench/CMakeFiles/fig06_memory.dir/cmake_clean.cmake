@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_memory.dir/fig06_memory.cc.o"
+  "CMakeFiles/fig06_memory.dir/fig06_memory.cc.o.d"
+  "fig06_memory"
+  "fig06_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

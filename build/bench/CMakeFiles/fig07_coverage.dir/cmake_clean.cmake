@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_coverage.dir/fig07_coverage.cc.o"
+  "CMakeFiles/fig07_coverage.dir/fig07_coverage.cc.o.d"
+  "fig07_coverage"
+  "fig07_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

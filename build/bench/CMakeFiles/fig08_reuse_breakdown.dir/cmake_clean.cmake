@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_reuse_breakdown.dir/fig08_reuse_breakdown.cc.o"
+  "CMakeFiles/fig08_reuse_breakdown.dir/fig08_reuse_breakdown.cc.o.d"
+  "fig08_reuse_breakdown"
+  "fig08_reuse_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_reuse_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_vips_lifetimes.dir/fig09_vips_lifetimes.cc.o"
+  "CMakeFiles/fig09_vips_lifetimes.dir/fig09_vips_lifetimes.cc.o.d"
+  "fig09_vips_lifetimes"
+  "fig09_vips_lifetimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_vips_lifetimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_conv_gen_hist.dir/fig10_conv_gen_hist.cc.o"
+  "CMakeFiles/fig10_conv_gen_hist.dir/fig10_conv_gen_hist.cc.o.d"
+  "fig10_conv_gen_hist"
+  "fig10_conv_gen_hist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_conv_gen_hist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

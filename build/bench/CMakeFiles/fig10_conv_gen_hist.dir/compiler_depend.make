@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_conv_gen_hist.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_xyz2lab_hist.dir/fig11_xyz2lab_hist.cc.o"
+  "CMakeFiles/fig11_xyz2lab_hist.dir/fig11_xyz2lab_hist.cc.o.d"
+  "fig11_xyz2lab_hist"
+  "fig11_xyz2lab_hist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_xyz2lab_hist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

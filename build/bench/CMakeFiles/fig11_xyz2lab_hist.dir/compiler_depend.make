@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11_xyz2lab_hist.
+# This may be replaced when dependencies are built.

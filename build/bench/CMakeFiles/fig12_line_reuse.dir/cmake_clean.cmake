@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_line_reuse.dir/fig12_line_reuse.cc.o"
+  "CMakeFiles/fig12_line_reuse.dir/fig12_line_reuse.cc.o.d"
+  "fig12_line_reuse"
+  "fig12_line_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_line_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

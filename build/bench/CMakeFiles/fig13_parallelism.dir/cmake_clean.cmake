@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_parallelism.dir/fig13_parallelism.cc.o"
+  "CMakeFiles/fig13_parallelism.dir/fig13_parallelism.cc.o.d"
+  "fig13_parallelism"
+  "fig13_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

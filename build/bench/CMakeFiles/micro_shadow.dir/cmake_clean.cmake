@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_shadow.dir/micro_shadow.cc.o"
+  "CMakeFiles/micro_shadow.dir/micro_shadow.cc.o.d"
+  "micro_shadow"
+  "micro_shadow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_shadow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

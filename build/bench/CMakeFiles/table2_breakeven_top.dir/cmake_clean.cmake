@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_breakeven_top.dir/table2_breakeven_top.cc.o"
+  "CMakeFiles/table2_breakeven_top.dir/table2_breakeven_top.cc.o.d"
+  "table2_breakeven_top"
+  "table2_breakeven_top.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_breakeven_top.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

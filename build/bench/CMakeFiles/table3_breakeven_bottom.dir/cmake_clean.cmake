@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_breakeven_bottom.dir/table3_breakeven_bottom.cc.o"
+  "CMakeFiles/table3_breakeven_bottom.dir/table3_breakeven_bottom.cc.o.d"
+  "table3_breakeven_bottom"
+  "table3_breakeven_bottom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_breakeven_bottom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hwsw_partition.dir/hwsw_partition.cpp.o"
+  "CMakeFiles/example_hwsw_partition.dir/hwsw_partition.cpp.o.d"
+  "example_hwsw_partition"
+  "example_hwsw_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hwsw_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

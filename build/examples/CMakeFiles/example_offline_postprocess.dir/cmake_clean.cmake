@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_offline_postprocess.dir/offline_postprocess.cpp.o"
+  "CMakeFiles/example_offline_postprocess.dir/offline_postprocess.cpp.o.d"
+  "example_offline_postprocess"
+  "example_offline_postprocess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_offline_postprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

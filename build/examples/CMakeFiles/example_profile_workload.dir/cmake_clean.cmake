@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_profile_workload.dir/profile_workload.cpp.o"
+  "CMakeFiles/example_profile_workload.dir/profile_workload.cpp.o.d"
+  "example_profile_workload"
+  "example_profile_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_profile_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_reuse_analysis.dir/reuse_analysis.cpp.o"
+  "CMakeFiles/example_reuse_analysis.dir/reuse_analysis.cpp.o.d"
+  "example_reuse_analysis"
+  "example_reuse_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_reuse_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_thread_analysis.dir/thread_analysis.cpp.o"
+  "CMakeFiles/example_thread_analysis.dir/thread_analysis.cpp.o.d"
+  "example_thread_analysis"
+  "example_thread_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_thread_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_thread_analysis.
+# This may be replaced when dependencies are built.

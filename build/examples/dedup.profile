@@ -1,0 +1,47 @@
+sigil-profile	1
+program	dedup
+granularity	0
+shadow	6291456	0
+row	0	-1	*input*	*input*	*input*	3	0	0	0	584	0	0	0	0	16	0	0	0	0	0	0
+row	1	-1	sys_read	sys_read	sys_read	1	2	0	0	32768	0	0	0	0	57216	0	0	0	0	0	0
+row	2	-1	main	main	main	1	91	0	192	192	0	0	192	0	152	0	0	0	0	0	0
+row	3	2	std::locale::locale	std::locale::locale	main/std::locale::locale	1	48	0	0	192	0	0	0	0	192	0	0	0	0	0	0
+row	4	3	operator new	operator new	main/std::locale::locale/operator new	1	5	0	16	24	0	0	16	0	0	0	0	0	0	0	0
+row	5	2	memset	memset	main/memset	1	1024	0	0	8192	0	0	0	0	384	0	0	0	0	0	0
+row	6	2	Fragment	Fragment	main/Fragment	33	764	0	0	0	0	0	0	0	0	0	0	0	0	0	0
+row	7	6	adler32	adler32	main/Fragment/adler32	382	50806	0	24448	0	0	0	24448	0	0	0	0	0	0	0	0
+row	8	6	FragmentRefine	FragmentRefine	main/Fragment/FragmentRefine	33	0	0	0	0	0	0	0	0	0	0	0	0	0	0	0
+row	9	8	memcpy	memcpy	main/Fragment/FragmentRefine/memcpy	33	32768	0	32768	32768	0	0	32768	0	65536	23404	0	0	0	0	0
+row	10	2	Deduplicate	Deduplicate	main/Deduplicate	33	198	0	528	660	0	0	528	0	660	660	0	0	0	0	0
+row	11	10	sha1_block_data_order	sha1_block_data_order(1)	main/Deduplicate/sha1_block_data_order	512	625152	0	53248	10240	9580	9580	33428	660	264	0	10240	10240	8263680	0	0
+hist	11	1000	0	8263680	809	1	10240
+row	12	10	hashtable_search	hashtable_search	main/Deduplicate/hashtable_search	33	135	0	272	0	0	0	272	0	0	0	0	0	0	0	0
+row	13	2	Compress	Compress	main/Compress	24	0	0	0	0	0	0	0	0	0	0	0	0	0	0	0
+row	14	13	_tr_flush_block	_tr_flush_block	main/Compress/_tr_flush_block	24	140668	0	46956	46856	0	0	23552	23404	46856	0	23404	23404	187232	0	0
+hist	14	1000	0	187232	8	1	23404
+row	15	2	write_file	write_file	main/write_file	24	46856	0	46856	46856	0	0	46856	0	46856	0	0	0	0	0	0
+row	16	2	ChunkVerify	ChunkVerify	main/ChunkVerify	9	45	0	72	252	0	0	72	0	252	180	0	0	0	0	0
+row	17	16	sha1_block_data_order	sha1_block_data_order(2)	main/ChunkVerify/sha1_block_data_order	144	175824	0	14976	2880	2700	2700	9396	180	72	0	2880	2880	2324160	0	0
+hist	17	1000	0	2324160	809	1	2880
+row	18	2	sys_write	sys_write	main/sys_write	1	2	0	46928	0	0	0	46928	0	0	0	0	0	0	0	0
+edge	0	4	16	0
+edge	3	2	192	0
+edge	1	7	24448	0
+edge	1	9	32768	0
+edge	9	11	32768	0
+edge	10	11	660	660
+edge	11	10	264	0
+edge	5	12	192	0
+edge	5	10	192	0
+edge	9	14	23552	23404
+edge	14	15	46856	0
+edge	2	12	80	0
+edge	2	10	72	0
+edge	9	17	9216	0
+edge	16	17	180	180
+edge	17	16	72	0
+edge	15	18	46856	0
+edge	16	18	72	0
+breakdown	unit	194212	36524	0
+breakdown	line	0	0	0	0	0
+end

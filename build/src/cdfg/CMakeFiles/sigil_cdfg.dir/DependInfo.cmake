@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cdfg/cdfg.cc" "src/cdfg/CMakeFiles/sigil_cdfg.dir/cdfg.cc.o" "gcc" "src/cdfg/CMakeFiles/sigil_cdfg.dir/cdfg.cc.o.d"
+  "/root/repo/src/cdfg/dot_writer.cc" "src/cdfg/CMakeFiles/sigil_cdfg.dir/dot_writer.cc.o" "gcc" "src/cdfg/CMakeFiles/sigil_cdfg.dir/dot_writer.cc.o.d"
+  "/root/repo/src/cdfg/noc_map.cc" "src/cdfg/CMakeFiles/sigil_cdfg.dir/noc_map.cc.o" "gcc" "src/cdfg/CMakeFiles/sigil_cdfg.dir/noc_map.cc.o.d"
+  "/root/repo/src/cdfg/offload_model.cc" "src/cdfg/CMakeFiles/sigil_cdfg.dir/offload_model.cc.o" "gcc" "src/cdfg/CMakeFiles/sigil_cdfg.dir/offload_model.cc.o.d"
+  "/root/repo/src/cdfg/partitioner.cc" "src/cdfg/CMakeFiles/sigil_cdfg.dir/partitioner.cc.o" "gcc" "src/cdfg/CMakeFiles/sigil_cdfg.dir/partitioner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sigil_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cg/CMakeFiles/sigil_cg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sigil_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/shadow/CMakeFiles/sigil_shadow.dir/DependInfo.cmake"
+  "/root/repo/build/src/vg/CMakeFiles/sigil_vg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

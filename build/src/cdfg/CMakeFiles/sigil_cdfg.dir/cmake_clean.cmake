@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigil_cdfg.dir/cdfg.cc.o"
+  "CMakeFiles/sigil_cdfg.dir/cdfg.cc.o.d"
+  "CMakeFiles/sigil_cdfg.dir/dot_writer.cc.o"
+  "CMakeFiles/sigil_cdfg.dir/dot_writer.cc.o.d"
+  "CMakeFiles/sigil_cdfg.dir/noc_map.cc.o"
+  "CMakeFiles/sigil_cdfg.dir/noc_map.cc.o.d"
+  "CMakeFiles/sigil_cdfg.dir/offload_model.cc.o"
+  "CMakeFiles/sigil_cdfg.dir/offload_model.cc.o.d"
+  "CMakeFiles/sigil_cdfg.dir/partitioner.cc.o"
+  "CMakeFiles/sigil_cdfg.dir/partitioner.cc.o.d"
+  "libsigil_cdfg.a"
+  "libsigil_cdfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigil_cdfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cg/cache_sim.cc" "src/cg/CMakeFiles/sigil_cg.dir/cache_sim.cc.o" "gcc" "src/cg/CMakeFiles/sigil_cg.dir/cache_sim.cc.o.d"
+  "/root/repo/src/cg/cg_profile.cc" "src/cg/CMakeFiles/sigil_cg.dir/cg_profile.cc.o" "gcc" "src/cg/CMakeFiles/sigil_cg.dir/cg_profile.cc.o.d"
+  "/root/repo/src/cg/cg_tool.cc" "src/cg/CMakeFiles/sigil_cg.dir/cg_tool.cc.o" "gcc" "src/cg/CMakeFiles/sigil_cg.dir/cg_tool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vg/CMakeFiles/sigil_vg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sigil_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigil_cg.dir/cache_sim.cc.o"
+  "CMakeFiles/sigil_cg.dir/cache_sim.cc.o.d"
+  "CMakeFiles/sigil_cg.dir/cg_profile.cc.o"
+  "CMakeFiles/sigil_cg.dir/cg_profile.cc.o.d"
+  "CMakeFiles/sigil_cg.dir/cg_tool.cc.o"
+  "CMakeFiles/sigil_cg.dir/cg_tool.cc.o.d"
+  "libsigil_cg.a"
+  "libsigil_cg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigil_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

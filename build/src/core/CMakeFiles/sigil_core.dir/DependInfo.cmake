@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/callgrind_writer.cc" "src/core/CMakeFiles/sigil_core.dir/callgrind_writer.cc.o" "gcc" "src/core/CMakeFiles/sigil_core.dir/callgrind_writer.cc.o.d"
+  "/root/repo/src/core/function_profile.cc" "src/core/CMakeFiles/sigil_core.dir/function_profile.cc.o" "gcc" "src/core/CMakeFiles/sigil_core.dir/function_profile.cc.o.d"
+  "/root/repo/src/core/profile.cc" "src/core/CMakeFiles/sigil_core.dir/profile.cc.o" "gcc" "src/core/CMakeFiles/sigil_core.dir/profile.cc.o.d"
+  "/root/repo/src/core/profile_diff.cc" "src/core/CMakeFiles/sigil_core.dir/profile_diff.cc.o" "gcc" "src/core/CMakeFiles/sigil_core.dir/profile_diff.cc.o.d"
+  "/root/repo/src/core/profile_io.cc" "src/core/CMakeFiles/sigil_core.dir/profile_io.cc.o" "gcc" "src/core/CMakeFiles/sigil_core.dir/profile_io.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/sigil_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/sigil_core.dir/report.cc.o.d"
+  "/root/repo/src/core/sigil_profiler.cc" "src/core/CMakeFiles/sigil_core.dir/sigil_profiler.cc.o" "gcc" "src/core/CMakeFiles/sigil_core.dir/sigil_profiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/shadow/CMakeFiles/sigil_shadow.dir/DependInfo.cmake"
+  "/root/repo/build/src/vg/CMakeFiles/sigil_vg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sigil_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

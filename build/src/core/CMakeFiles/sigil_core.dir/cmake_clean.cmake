@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigil_core.dir/callgrind_writer.cc.o"
+  "CMakeFiles/sigil_core.dir/callgrind_writer.cc.o.d"
+  "CMakeFiles/sigil_core.dir/function_profile.cc.o"
+  "CMakeFiles/sigil_core.dir/function_profile.cc.o.d"
+  "CMakeFiles/sigil_core.dir/profile.cc.o"
+  "CMakeFiles/sigil_core.dir/profile.cc.o.d"
+  "CMakeFiles/sigil_core.dir/profile_diff.cc.o"
+  "CMakeFiles/sigil_core.dir/profile_diff.cc.o.d"
+  "CMakeFiles/sigil_core.dir/profile_io.cc.o"
+  "CMakeFiles/sigil_core.dir/profile_io.cc.o.d"
+  "CMakeFiles/sigil_core.dir/report.cc.o"
+  "CMakeFiles/sigil_core.dir/report.cc.o.d"
+  "CMakeFiles/sigil_core.dir/sigil_profiler.cc.o"
+  "CMakeFiles/sigil_core.dir/sigil_profiler.cc.o.d"
+  "libsigil_core.a"
+  "libsigil_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigil_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigil_critpath.dir/chain_stats.cc.o"
+  "CMakeFiles/sigil_critpath.dir/chain_stats.cc.o.d"
+  "CMakeFiles/sigil_critpath.dir/critical_path.cc.o"
+  "CMakeFiles/sigil_critpath.dir/critical_path.cc.o.d"
+  "libsigil_critpath.a"
+  "libsigil_critpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigil_critpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shadow/reuse_distance.cc" "src/shadow/CMakeFiles/sigil_shadow.dir/reuse_distance.cc.o" "gcc" "src/shadow/CMakeFiles/sigil_shadow.dir/reuse_distance.cc.o.d"
+  "/root/repo/src/shadow/shadow_memory.cc" "src/shadow/CMakeFiles/sigil_shadow.dir/shadow_memory.cc.o" "gcc" "src/shadow/CMakeFiles/sigil_shadow.dir/shadow_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vg/CMakeFiles/sigil_vg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sigil_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

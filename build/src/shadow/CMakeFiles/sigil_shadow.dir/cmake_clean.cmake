@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigil_shadow.dir/reuse_distance.cc.o"
+  "CMakeFiles/sigil_shadow.dir/reuse_distance.cc.o.d"
+  "CMakeFiles/sigil_shadow.dir/shadow_memory.cc.o"
+  "CMakeFiles/sigil_shadow.dir/shadow_memory.cc.o.d"
+  "libsigil_shadow.a"
+  "libsigil_shadow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigil_shadow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigil_support.dir/histogram.cc.o"
+  "CMakeFiles/sigil_support.dir/histogram.cc.o.d"
+  "CMakeFiles/sigil_support.dir/logging.cc.o"
+  "CMakeFiles/sigil_support.dir/logging.cc.o.d"
+  "CMakeFiles/sigil_support.dir/table.cc.o"
+  "CMakeFiles/sigil_support.dir/table.cc.o.d"
+  "libsigil_support.a"
+  "libsigil_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigil_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

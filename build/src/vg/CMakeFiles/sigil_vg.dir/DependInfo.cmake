@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vg/context_tree.cc" "src/vg/CMakeFiles/sigil_vg.dir/context_tree.cc.o" "gcc" "src/vg/CMakeFiles/sigil_vg.dir/context_tree.cc.o.d"
+  "/root/repo/src/vg/function_registry.cc" "src/vg/CMakeFiles/sigil_vg.dir/function_registry.cc.o" "gcc" "src/vg/CMakeFiles/sigil_vg.dir/function_registry.cc.o.d"
+  "/root/repo/src/vg/guest.cc" "src/vg/CMakeFiles/sigil_vg.dir/guest.cc.o" "gcc" "src/vg/CMakeFiles/sigil_vg.dir/guest.cc.o.d"
+  "/root/repo/src/vg/trace_io.cc" "src/vg/CMakeFiles/sigil_vg.dir/trace_io.cc.o" "gcc" "src/vg/CMakeFiles/sigil_vg.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sigil_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

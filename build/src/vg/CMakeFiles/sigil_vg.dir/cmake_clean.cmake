@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigil_vg.dir/context_tree.cc.o"
+  "CMakeFiles/sigil_vg.dir/context_tree.cc.o.d"
+  "CMakeFiles/sigil_vg.dir/function_registry.cc.o"
+  "CMakeFiles/sigil_vg.dir/function_registry.cc.o.d"
+  "CMakeFiles/sigil_vg.dir/guest.cc.o"
+  "CMakeFiles/sigil_vg.dir/guest.cc.o.d"
+  "CMakeFiles/sigil_vg.dir/trace_io.cc.o"
+  "CMakeFiles/sigil_vg.dir/trace_io.cc.o.d"
+  "libsigil_vg.a"
+  "libsigil_vg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigil_vg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

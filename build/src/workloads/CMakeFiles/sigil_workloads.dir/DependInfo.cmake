@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/blackscholes.cc" "src/workloads/CMakeFiles/sigil_workloads.dir/blackscholes.cc.o" "gcc" "src/workloads/CMakeFiles/sigil_workloads.dir/blackscholes.cc.o.d"
+  "/root/repo/src/workloads/bodytrack.cc" "src/workloads/CMakeFiles/sigil_workloads.dir/bodytrack.cc.o" "gcc" "src/workloads/CMakeFiles/sigil_workloads.dir/bodytrack.cc.o.d"
+  "/root/repo/src/workloads/canneal.cc" "src/workloads/CMakeFiles/sigil_workloads.dir/canneal.cc.o" "gcc" "src/workloads/CMakeFiles/sigil_workloads.dir/canneal.cc.o.d"
+  "/root/repo/src/workloads/dedup.cc" "src/workloads/CMakeFiles/sigil_workloads.dir/dedup.cc.o" "gcc" "src/workloads/CMakeFiles/sigil_workloads.dir/dedup.cc.o.d"
+  "/root/repo/src/workloads/dedup_parallel.cc" "src/workloads/CMakeFiles/sigil_workloads.dir/dedup_parallel.cc.o" "gcc" "src/workloads/CMakeFiles/sigil_workloads.dir/dedup_parallel.cc.o.d"
+  "/root/repo/src/workloads/facesim.cc" "src/workloads/CMakeFiles/sigil_workloads.dir/facesim.cc.o" "gcc" "src/workloads/CMakeFiles/sigil_workloads.dir/facesim.cc.o.d"
+  "/root/repo/src/workloads/ferret.cc" "src/workloads/CMakeFiles/sigil_workloads.dir/ferret.cc.o" "gcc" "src/workloads/CMakeFiles/sigil_workloads.dir/ferret.cc.o.d"
+  "/root/repo/src/workloads/fluidanimate.cc" "src/workloads/CMakeFiles/sigil_workloads.dir/fluidanimate.cc.o" "gcc" "src/workloads/CMakeFiles/sigil_workloads.dir/fluidanimate.cc.o.d"
+  "/root/repo/src/workloads/freqmine.cc" "src/workloads/CMakeFiles/sigil_workloads.dir/freqmine.cc.o" "gcc" "src/workloads/CMakeFiles/sigil_workloads.dir/freqmine.cc.o.d"
+  "/root/repo/src/workloads/libquantum.cc" "src/workloads/CMakeFiles/sigil_workloads.dir/libquantum.cc.o" "gcc" "src/workloads/CMakeFiles/sigil_workloads.dir/libquantum.cc.o.d"
+  "/root/repo/src/workloads/parallel.cc" "src/workloads/CMakeFiles/sigil_workloads.dir/parallel.cc.o" "gcc" "src/workloads/CMakeFiles/sigil_workloads.dir/parallel.cc.o.d"
+  "/root/repo/src/workloads/raytrace.cc" "src/workloads/CMakeFiles/sigil_workloads.dir/raytrace.cc.o" "gcc" "src/workloads/CMakeFiles/sigil_workloads.dir/raytrace.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/sigil_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/sigil_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/streamcluster.cc" "src/workloads/CMakeFiles/sigil_workloads.dir/streamcluster.cc.o" "gcc" "src/workloads/CMakeFiles/sigil_workloads.dir/streamcluster.cc.o.d"
+  "/root/repo/src/workloads/swaptions.cc" "src/workloads/CMakeFiles/sigil_workloads.dir/swaptions.cc.o" "gcc" "src/workloads/CMakeFiles/sigil_workloads.dir/swaptions.cc.o.d"
+  "/root/repo/src/workloads/tracedlib.cc" "src/workloads/CMakeFiles/sigil_workloads.dir/tracedlib.cc.o" "gcc" "src/workloads/CMakeFiles/sigil_workloads.dir/tracedlib.cc.o.d"
+  "/root/repo/src/workloads/vips.cc" "src/workloads/CMakeFiles/sigil_workloads.dir/vips.cc.o" "gcc" "src/workloads/CMakeFiles/sigil_workloads.dir/vips.cc.o.d"
+  "/root/repo/src/workloads/x264.cc" "src/workloads/CMakeFiles/sigil_workloads.dir/x264.cc.o" "gcc" "src/workloads/CMakeFiles/sigil_workloads.dir/x264.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vg/CMakeFiles/sigil_vg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sigil_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdfg_property_test.dir/cdfg_property_test.cc.o"
+  "CMakeFiles/cdfg_property_test.dir/cdfg_property_test.cc.o.d"
+  "cdfg_property_test"
+  "cdfg_property_test.pdb"
+  "cdfg_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdfg_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

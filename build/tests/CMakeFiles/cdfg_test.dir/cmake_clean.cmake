@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdfg_test.dir/cdfg_test.cc.o"
+  "CMakeFiles/cdfg_test.dir/cdfg_test.cc.o.d"
+  "cdfg_test"
+  "cdfg_test.pdb"
+  "cdfg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdfg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

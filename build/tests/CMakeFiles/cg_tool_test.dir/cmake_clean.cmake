@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_tool_test.dir/cg_tool_test.cc.o"
+  "CMakeFiles/cg_tool_test.dir/cg_tool_test.cc.o.d"
+  "cg_tool_test"
+  "cg_tool_test.pdb"
+  "cg_tool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_tool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/critpath_oracle_test.dir/critpath_oracle_test.cc.o"
+  "CMakeFiles/critpath_oracle_test.dir/critpath_oracle_test.cc.o.d"
+  "critpath_oracle_test"
+  "critpath_oracle_test.pdb"
+  "critpath_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/critpath_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

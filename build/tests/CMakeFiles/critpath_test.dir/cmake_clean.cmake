@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/critpath_test.dir/critpath_test.cc.o"
+  "CMakeFiles/critpath_test.dir/critpath_test.cc.o.d"
+  "critpath_test"
+  "critpath_test.pdb"
+  "critpath_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/critpath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_model_test.dir/offload_model_test.cc.o"
+  "CMakeFiles/offload_model_test.dir/offload_model_test.cc.o.d"
+  "offload_model_test"
+  "offload_model_test.pdb"
+  "offload_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/output_formats_test.dir/output_formats_test.cc.o"
+  "CMakeFiles/output_formats_test.dir/output_formats_test.cc.o.d"
+  "output_formats_test"
+  "output_formats_test.pdb"
+  "output_formats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/output_formats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

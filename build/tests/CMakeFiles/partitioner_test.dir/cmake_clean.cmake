@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitioner_test.dir/partitioner_test.cc.o"
+  "CMakeFiles/partitioner_test.dir/partitioner_test.cc.o.d"
+  "partitioner_test"
+  "partitioner_test.pdb"
+  "partitioner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitioner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

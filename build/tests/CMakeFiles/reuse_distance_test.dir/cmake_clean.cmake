@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reuse_distance_test.dir/reuse_distance_test.cc.o"
+  "CMakeFiles/reuse_distance_test.dir/reuse_distance_test.cc.o.d"
+  "reuse_distance_test"
+  "reuse_distance_test.pdb"
+  "reuse_distance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reuse_distance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

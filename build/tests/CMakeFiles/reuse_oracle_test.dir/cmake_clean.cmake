@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reuse_oracle_test.dir/reuse_oracle_test.cc.o"
+  "CMakeFiles/reuse_oracle_test.dir/reuse_oracle_test.cc.o.d"
+  "reuse_oracle_test"
+  "reuse_oracle_test.pdb"
+  "reuse_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reuse_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

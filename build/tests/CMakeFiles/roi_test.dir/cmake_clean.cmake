@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roi_test.dir/roi_test.cc.o"
+  "CMakeFiles/roi_test.dir/roi_test.cc.o.d"
+  "roi_test"
+  "roi_test.pdb"
+  "roi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shadow_memory_test.dir/shadow_memory_test.cc.o"
+  "CMakeFiles/shadow_memory_test.dir/shadow_memory_test.cc.o.d"
+  "shadow_memory_test"
+  "shadow_memory_test.pdb"
+  "shadow_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shadow_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

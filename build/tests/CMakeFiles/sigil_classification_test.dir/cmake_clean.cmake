@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigil_classification_test.dir/sigil_classification_test.cc.o"
+  "CMakeFiles/sigil_classification_test.dir/sigil_classification_test.cc.o.d"
+  "sigil_classification_test"
+  "sigil_classification_test.pdb"
+  "sigil_classification_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigil_classification_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

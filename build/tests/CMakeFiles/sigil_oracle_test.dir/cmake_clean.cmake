@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigil_oracle_test.dir/sigil_oracle_test.cc.o"
+  "CMakeFiles/sigil_oracle_test.dir/sigil_oracle_test.cc.o.d"
+  "sigil_oracle_test"
+  "sigil_oracle_test.pdb"
+  "sigil_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigil_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

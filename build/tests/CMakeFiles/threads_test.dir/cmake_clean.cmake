@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threads_test.dir/threads_test.cc.o"
+  "CMakeFiles/threads_test.dir/threads_test.cc.o.d"
+  "threads_test"
+  "threads_test.pdb"
+  "threads_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracedlib_misc_test.dir/tracedlib_misc_test.cc.o"
+  "CMakeFiles/tracedlib_misc_test.dir/tracedlib_misc_test.cc.o.d"
+  "tracedlib_misc_test"
+  "tracedlib_misc_test.pdb"
+  "tracedlib_misc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracedlib_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracedlib_test.dir/tracedlib_test.cc.o"
+  "CMakeFiles/tracedlib_test.dir/tracedlib_test.cc.o.d"
+  "tracedlib_test"
+  "tracedlib_test.pdb"
+  "tracedlib_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracedlib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

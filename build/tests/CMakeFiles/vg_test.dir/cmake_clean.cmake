@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vg_test.dir/vg_test.cc.o"
+  "CMakeFiles/vg_test.dir/vg_test.cc.o.d"
+  "vg_test"
+  "vg_test.pdb"
+  "vg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

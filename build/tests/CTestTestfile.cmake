@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/cache_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/cdfg_property_test[1]_include.cmake")
+include("/root/repo/build/tests/cdfg_test[1]_include.cmake")
+include("/root/repo/build/tests/cg_tool_test[1]_include.cmake")
+include("/root/repo/build/tests/critpath_oracle_test[1]_include.cmake")
+include("/root/repo/build/tests/critpath_test[1]_include.cmake")
+include("/root/repo/build/tests/event_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/histogram_test[1]_include.cmake")
+include("/root/repo/build/tests/offload_model_test[1]_include.cmake")
+include("/root/repo/build/tests/output_formats_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_shapes_test[1]_include.cmake")
+include("/root/repo/build/tests/partitioner_test[1]_include.cmake")
+include("/root/repo/build/tests/profile_io_test[1]_include.cmake")
+include("/root/repo/build/tests/regression_test[1]_include.cmake")
+include("/root/repo/build/tests/reuse_distance_test[1]_include.cmake")
+include("/root/repo/build/tests/reuse_oracle_test[1]_include.cmake")
+include("/root/repo/build/tests/roi_test[1]_include.cmake")
+include("/root/repo/build/tests/shadow_memory_test[1]_include.cmake")
+include("/root/repo/build/tests/sigil_classification_test[1]_include.cmake")
+include("/root/repo/build/tests/sigil_oracle_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/threads_test[1]_include.cmake")
+include("/root/repo/build/tests/tracedlib_misc_test[1]_include.cmake")
+include("/root/repo/build/tests/tracedlib_test[1]_include.cmake")
+include("/root/repo/build/tests/vg_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
