@@ -56,6 +56,79 @@ BM_ShadowLookupWithFifoLimit(benchmark::State &state)
 }
 BENCHMARK(BM_ShadowLookupWithFifoLimit);
 
+/**
+ * Strided shadow walks: one access of `size` guest bytes per
+ * iteration, advancing by `size` through a wrapping address window,
+ * walking every covered unit — the shape of
+ * SigilProfiler::memRead/memWrite. The PerUnit variant resolves the
+ * chunk per unit (the retained reference path); the Span variant
+ * resolves it per chunk-clamped run.
+ *
+ * Unlimited variants use a hot 16 KiB window whose shadow stays
+ * cache-resident, so the walk overhead itself is measured rather than
+ * DRAM latency on the shadow arrays. Chunk-limit variants sweep a
+ * 4 MiB window so the limiter continuously allocates and evicts, which
+ * is the cost that mode exists to bound.
+ *
+ * Args: {access bytes, granularity shift, max chunks (0 = no limit)}.
+ */
+std::uint64_t
+strideWindow(std::size_t max_chunks)
+{
+    return max_chunks == 0 ? (std::uint64_t{1} << 14)
+                           : (std::uint64_t{1} << 22);
+}
+
+void
+BM_ShadowPerUnitStride(benchmark::State &state)
+{
+    shadow::ShadowMemory::Config cfg;
+    cfg.granularityShift = static_cast<unsigned>(state.range(1));
+    cfg.maxChunks = static_cast<std::size_t>(state.range(2));
+    shadow::ShadowMemory sm(cfg);
+    unsigned size = static_cast<unsigned>(state.range(0));
+    const std::uint64_t window = strideWindow(cfg.maxChunks);
+    vg::Addr addr = 0;
+    for (auto _ : state) {
+        std::uint64_t first = sm.unitOf(addr);
+        std::uint64_t last = sm.lastUnitOf(addr, size);
+        for (std::uint64_t u = first; u <= last; ++u)
+            sm.lookup(u).hot.lastWriterCtx = 1;
+        addr = (addr + size) & (window - 1);
+    }
+    benchmark::DoNotOptimize(sm.stats().chunksAllocated);
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * size);
+}
+BENCHMARK(BM_ShadowPerUnitStride)
+    ->ArgsProduct({{1, 8, 64, 4096}, {0, 6}, {0, 16}});
+
+void
+BM_ShadowSpanStride(benchmark::State &state)
+{
+    shadow::ShadowMemory::Config cfg;
+    cfg.granularityShift = static_cast<unsigned>(state.range(1));
+    cfg.maxChunks = static_cast<std::size_t>(state.range(2));
+    shadow::ShadowMemory sm(cfg);
+    unsigned size = static_cast<unsigned>(state.range(0));
+    const std::uint64_t window = strideWindow(cfg.maxChunks);
+    vg::Addr addr = 0;
+    for (auto _ : state) {
+        std::uint64_t first = sm.unitOf(addr);
+        std::uint64_t last = sm.lastUnitOf(addr, size);
+        sm.span(first, last, [](shadow::ShadowMemory::Run run) {
+            for (std::size_t i = 0; i < run.count; ++i)
+                run.hot[i].lastWriterCtx = 1;
+        });
+        addr = (addr + size) & (window - 1);
+    }
+    benchmark::DoNotOptimize(sm.stats().chunksAllocated);
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * size);
+}
+BENCHMARK(BM_ShadowSpanStride)
+    ->ArgsProduct({{1, 8, 64, 4096}, {0, 6}, {0, 16}});
+
 void
 BM_CacheSimAccess(benchmark::State &state)
 {
@@ -162,6 +235,60 @@ BM_TraceReplayThroughput(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations() * events));
 }
 BENCHMARK(BM_TraceReplayThroughput);
+
+/** Same replay on the retained per-unit reference shadow path. */
+void
+BM_TraceReplayThroughputReference(benchmark::State &state)
+{
+    std::stringstream trace;
+    std::uint64_t events = 0;
+    {
+        vg::Guest g("bench");
+        vg::TraceRecorder recorder(trace);
+        g.addTool(&recorder);
+        Rng rng(6);
+        g.enter("main");
+        for (int i = 0; i < 20000; ++i) {
+            if ((i & 15) == 0) {
+                g.enter("fn");
+                g.iop(4);
+                g.leave();
+            }
+            g.write(0x10000 + rng.nextBounded(4096), 8);
+            g.read(0x10000 + rng.nextBounded(4096), 8);
+        }
+        g.leave();
+        g.finish();
+        events = recorder.eventsWritten();
+    }
+    std::string text = trace.str();
+    core::SigilConfig cfg;
+    cfg.referenceShadowPath = true;
+    for (auto _ : state) {
+        std::stringstream in(text);
+        vg::Guest g2("bench");
+        core::SigilProfiler prof(cfg);
+        g2.addTool(&prof);
+        benchmark::DoNotOptimize(vg::replayTrace(in, g2));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * events));
+}
+BENCHMARK(BM_TraceReplayThroughputReference);
+
+/** Sequential byte stream through the cache sim (last-line filter). */
+void
+BM_CacheSimSequential(benchmark::State &state)
+{
+    cg::CacheSim sim;
+    vg::Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim.access(addr, 8));
+        addr = (addr + 8) & ((1 << 22) - 1);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheSimSequential);
 
 } // namespace
 

@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Run the shadow-path microbenchmarks and record the results as
+# BENCH_shadow.json at the repo root. Future PRs compare against this
+# file to keep the perf trajectory honest.
+#
+# Usage: bench/run_benches.sh [build-dir] [extra benchmark args...]
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="$repo_root/build"
+if [ $# -gt 0 ]; then
+    case $1 in
+        -*) ;; # benchmark flag, leave it for the binary
+        *) build_dir=$1; shift ;;
+    esac
+fi
+
+if [ ! -x "$build_dir/bench/micro_shadow" ]; then
+    cmake -B "$build_dir" -S "$repo_root"
+    cmake --build "$build_dir" --target micro_shadow -j
+fi
+
+"$build_dir/bench/micro_shadow" \
+    --benchmark_format=json \
+    --benchmark_out="$repo_root/BENCH_shadow.json" \
+    --benchmark_out_format=json \
+    "$@"
+
+echo "wrote $repo_root/BENCH_shadow.json"

@@ -100,6 +100,15 @@ CacheSim::access(vg::Addr addr, unsigned size, bool is_write)
     std::uint64_t first = addr >> lineShift_;
     std::uint64_t last = (addr + size - 1) >> lineShift_;
     for (std::uint64_t line = first; line <= last; ++line) {
+        // Last-line filter: a repeat of the immediately preceding
+        // access is a guaranteed MRU hit. A write through the filter
+        // requires the dirty bit to be set already; otherwise fall
+        // through so accessLine records it.
+        if (haveLastLine_ && line == lastLine_ &&
+            (!is_write || lastLineDirty_)) {
+            d1_.countFilteredHit();
+            continue;
+        }
         if (!d1_.accessLine(line, is_write)) {
             ++res.d1Misses;
             // A dirty line displaced from D1 is written back to LL.
@@ -108,6 +117,9 @@ CacheSim::access(vg::Addr addr, unsigned size, bool is_write)
             if (!ll_.accessLine(line, is_write))
                 ++res.llMisses;
         }
+        haveLastLine_ = true;
+        lastLine_ = line;
+        lastLineDirty_ = is_write;
     }
     return res;
 }

@@ -47,6 +47,13 @@ class CacheLevel
     /** Dirty lines written back on eviction so far. */
     std::uint64_t writeBacks() const { return writeBacks_; }
 
+    /**
+     * Account an access that the caller proved is a hit without
+     * probing the set (the hierarchy's last-line filter). Counts like
+     * accessLine() returning true but skips tag compare and LRU work.
+     */
+    void countFilteredHit() { ++accesses_; }
+
     unsigned lineBytes() const { return lineBytes_; }
     std::uint64_t numSets() const { return numSets_; }
     unsigned associativity() const { return assoc_; }
@@ -83,6 +90,15 @@ struct CacheAccessResult
 /**
  * The D1 + LL hierarchy. Accesses spanning multiple lines touch each
  * line once, as cachegrind does.
+ *
+ * A one-entry last-line filter short-circuits the common case of
+ * consecutive accesses to the same D1 line (the same hoisting the
+ * shadow-memory span path applies to chunk resolution): the previous
+ * access left that line most-recently-used in its set, so a repeat
+ * access cannot miss, cannot evict, and cannot change the relative LRU
+ * order — the full probe is skipped and only the access counter moves.
+ * Hit/miss/write-back statistics are bit-identical to the unfiltered
+ * simulation.
  */
 class CacheSim
 {
@@ -102,6 +118,15 @@ class CacheSim
     CacheLevel d1_;
     CacheLevel ll_;
     unsigned lineShift_;
+
+    /** @name Last-line filter */
+    /// @{
+    bool haveLastLine_ = false;
+    /** The line of the immediately preceding D1 access. */
+    std::uint64_t lastLine_ = 0;
+    /** Whether that line is known dirty (write already recorded). */
+    bool lastLineDirty_ = false;
+    /// @}
 };
 
 } // namespace sigil::cg

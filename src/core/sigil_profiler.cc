@@ -26,9 +26,9 @@ SigilProfiler::SigilProfiler(const SigilConfig &config)
                                            config.maxShadowChunks})
 {
     shadow_.setEvictionHandler(
-        [this](std::uint64_t unit, shadow::ShadowObject &obj) {
+        [this](std::uint64_t unit, shadow::ShadowRef obj) {
             (void)unit;
-            finalizeRun(obj);
+            finalizeRun(obj.hot, obj.cold);
         });
     collecting_ = !config_.roiOnly;
 }
@@ -117,20 +117,37 @@ SigilProfiler::memWrite(vg::Addr addr, unsigned size)
     SegState &state = seg();
     if (state.open)
         ++state.segment.writes;
+    std::uint64_t seq = state.open ? state.segment.seq : 0;
 
     std::uint64_t first = shadow_.unitOf(addr);
     std::uint64_t last = shadow_.lastUnitOf(addr, size);
-    for (std::uint64_t u = first; u <= last; ++u) {
-        shadow::ShadowObject &s = shadow_.lookup(u);
-        if (config_.collectReuse)
-            finalizeRun(s);
-        s.lastWriterCtx = ctx;
-        s.lastWriterCall = call;
-        s.lastWriterSeq = state.open ? state.segment.seq : 0;
-        s.lastWriterThread = currentTid_;
-        s.lastReaderCtx = vg::kInvalidContext;
-        s.lastReaderCall = 0;
+    if (config_.referenceShadowPath) {
+        // Reference path: resolve the chunk once per unit.
+        for (std::uint64_t u = first; u <= last; ++u) {
+            shadow::ShadowRef s = shadow_.lookup(u);
+            writeUnit(s.hot, s.cold, ctx, call, seq);
+        }
+        return;
     }
+    shadow_.span(first, last, [&](shadow::ShadowMemory::Run run) {
+        for (std::size_t i = 0; i < run.count; ++i)
+            writeUnit(run.hot[i], run.cold[i], ctx, call, seq);
+    });
+}
+
+void
+SigilProfiler::writeUnit(shadow::ShadowHot &hot, shadow::ShadowCold &cold,
+                         vg::ContextId ctx, vg::CallNum call,
+                         std::uint64_t seq)
+{
+    if (config_.collectReuse)
+        finalizeRun(hot, cold);
+    hot.lastWriterCtx = ctx;
+    hot.lastWriterCall = call;
+    hot.lastWriterSeq = seq;
+    hot.lastWriterThread = currentTid_;
+    hot.lastReaderCtx = vg::kInvalidContext;
+    hot.lastReaderCall = 0;
 }
 
 void
@@ -139,9 +156,8 @@ SigilProfiler::memRead(vg::Addr addr, unsigned size)
     vg::ContextId ctx = guest_->currentContext();
     vg::CallNum call = guest_->currentCall();
     vg::Tick now = guest_->now();
-    CommAggregates &reader = row(ctx);
     if (collecting_)
-        reader.readBytes += size;
+        row(ctx).readBytes += size;
     SegState &state = seg();
     if (state.open)
         ++state.segment.reads;
@@ -149,105 +165,41 @@ SigilProfiler::memRead(vg::Addr addr, unsigned size)
 
     std::uint64_t first = shadow_.unitOf(addr);
     std::uint64_t last = shadow_.lastUnitOf(addr, size);
-    for (std::uint64_t u = first; u <= last; ++u) {
-        shadow::ShadowObject &s = shadow_.lookup(u);
-
-        // Bytes of this access falling inside unit u (1 in byte mode).
-        std::uint64_t unit_lo = u << shadow_.granularityShift();
-        std::uint64_t unit_hi = unit_lo + shadow_.unitBytes();
-        std::uint64_t lo = std::max<std::uint64_t>(addr, unit_lo);
-        std::uint64_t hi = std::min<std::uint64_t>(addr + size, unit_hi);
-        std::uint64_t w = hi - lo;
-
-        vg::ContextId producer =
-            s.everWritten() ? s.lastWriterCtx : kUninitProducer;
-        bool unique = s.lastReaderCtx != ctx;
-        bool local = producer == ctx;
-
-        if (!collecting_) {
-            // Outside the ROI: maintain shadow state only. Clear any
-            // pending run so pre-ROI reads never leak into ROI stats.
-            s.runReads = 0;
-            s.lastReaderCtx = ctx;
-            s.lastReaderCall = call;
-            continue;
+    const unsigned shift = shadow_.granularityShift();
+    const std::uint64_t unit_bytes = shadow_.unitBytes();
+    if (config_.referenceShadowPath) {
+        // Reference path: resolve the chunk and compute the covered
+        // byte width from scratch for every unit.
+        for (std::uint64_t u = first; u <= last; ++u) {
+            shadow::ShadowRef s = shadow_.lookup(u);
+            std::uint64_t unit_lo = u << shift;
+            std::uint64_t unit_hi = unit_lo + unit_bytes;
+            std::uint64_t lo = std::max<std::uint64_t>(addr, unit_lo);
+            std::uint64_t hi =
+                std::min<std::uint64_t>(addr + size, unit_hi);
+            readUnit(s.hot, s.cold, hi - lo, ctx, call, now, state,
+                     unique_bytes_this_access);
         }
-
-        if (unique)
-            unique_bytes_this_access += w;
-        if (local) {
-            if (unique)
-                reader.uniqueLocalBytes += w;
-            else
-                reader.nonuniqueLocalBytes += w;
-        } else {
-            if (unique)
-                reader.uniqueInputBytes += w;
-            else
-                reader.nonuniqueInputBytes += w;
-            if (producer >= 0) {
-                CommAggregates &prod = row(producer);
-                if (unique)
-                    prod.uniqueOutputBytes += w;
-                else
-                    prod.nonuniqueOutputBytes += w;
+    } else {
+        shadow_.span(first, last, [&](shadow::ShadowMemory::Run run) {
+            for (std::size_t i = 0; i < run.count; ++i) {
+                // Every unit covers a full unit's worth of the access
+                // except possibly the two end units.
+                std::uint64_t u = run.firstUnit + i;
+                std::uint64_t w = unit_bytes;
+                if (u == first || u == last) {
+                    std::uint64_t unit_lo = u << shift;
+                    std::uint64_t unit_hi = unit_lo + unit_bytes;
+                    std::uint64_t lo =
+                        std::max<std::uint64_t>(addr, unit_lo);
+                    std::uint64_t hi =
+                        std::min<std::uint64_t>(addr + size, unit_hi);
+                    w = hi - lo;
+                }
+                readUnit(run.hot[i], run.cold[i], w, ctx, call, now,
+                         state, unique_bytes_this_access);
             }
-            std::uint64_t key = edgeKey(producer, ctx);
-            auto [it, inserted] =
-                edgeIndex_.try_emplace(key, edges_.size());
-            if (inserted)
-                edges_.push_back(CommEdge{producer, ctx, 0, 0});
-            CommEdge &edge = edges_[it->second];
-            if (unique)
-                edge.uniqueBytes += w;
-            else
-                edge.nonuniqueBytes += w;
-        }
-
-        // Cross-thread communication: producer ran on another thread.
-        // Orthogonal to the local/input axis — two threads executing
-        // the same function still communicate through memory.
-        if (s.everWritten() && s.lastWriterThread != currentTid_) {
-            if (unique)
-                reader.uniqueInterThreadBytes += w;
-            else
-                reader.nonuniqueInterThreadBytes += w;
-            std::uint64_t tkey =
-                (static_cast<std::uint64_t>(s.lastWriterThread) << 32) |
-                currentTid_;
-            auto [tit, tin] = threadEdgeIndex_.try_emplace(
-                tkey, threadEdges_.size());
-            if (tin) {
-                threadEdges_.push_back(ThreadCommEdge{
-                    s.lastWriterThread, currentTid_, 0, 0});
-            }
-            ThreadCommEdge &tedge = threadEdges_[tit->second];
-            if (unique)
-                tedge.uniqueBytes += w;
-            else
-                tedge.nonuniqueBytes += w;
-        }
-
-        if (config_.collectEvents && unique && s.everWritten() &&
-            state.open && s.lastWriterSeq != state.segment.seq) {
-            state.xfers[s.lastWriterSeq] += w;
-        }
-
-        if (config_.collectReuse) {
-            if (s.lastReaderCtx == ctx && s.lastReaderCall == call) {
-                ++s.runReads;
-                s.runLastRead = now;
-            } else {
-                finalizeRun(s);
-                s.runReads = 1;
-                s.runFirstRead = now;
-                s.runLastRead = now;
-            }
-        }
-
-        ++s.totalAccesses;
-        s.lastReaderCtx = ctx;
-        s.lastReaderCall = call;
+        });
     }
 
     if (collecting_ && config_.collectObjects) {
@@ -255,6 +207,111 @@ SigilProfiler::memRead(vg::Addr addr, unsigned size)
         obj.readBytes += size;
         obj.uniqueReadBytes += unique_bytes_this_access;
     }
+}
+
+void
+SigilProfiler::readUnit(shadow::ShadowHot &s, shadow::ShadowCold &c,
+                        std::uint64_t w, vg::ContextId ctx,
+                        vg::CallNum call, vg::Tick now, SegState &state,
+                        std::uint64_t &unique_bytes_this_access)
+{
+    vg::ContextId producer =
+        s.everWritten() ? s.lastWriterCtx : kUninitProducer;
+    bool unique = s.lastReaderCtx != ctx;
+    bool local = producer == ctx;
+
+    if (!collecting_) {
+        // Outside the ROI: maintain shadow state only. Clear any
+        // pending run so pre-ROI reads never leak into ROI stats.
+        c.runReads = 0;
+        s.lastReaderCtx = ctx;
+        s.lastReaderCall = call;
+        return;
+    }
+
+    if (unique)
+        unique_bytes_this_access += w;
+    if (local) {
+        // row() may grow rows_, so the reader row is re-fetched after
+        // any call that can resize it rather than cached across them.
+        CommAggregates &reader = row(ctx);
+        if (unique)
+            reader.uniqueLocalBytes += w;
+        else
+            reader.nonuniqueLocalBytes += w;
+    } else {
+        CommAggregates &reader = row(ctx);
+        if (unique)
+            reader.uniqueInputBytes += w;
+        else
+            reader.nonuniqueInputBytes += w;
+        if (producer >= 0) {
+            CommAggregates &prod = row(producer);
+            if (unique)
+                prod.uniqueOutputBytes += w;
+            else
+                prod.nonuniqueOutputBytes += w;
+        }
+        std::uint64_t key = edgeKey(producer, ctx);
+        auto [it, inserted] = edgeIndex_.try_emplace(key, edges_.size());
+        if (inserted)
+            edges_.push_back(CommEdge{producer, ctx, 0, 0});
+        CommEdge &edge = edges_[it->second];
+        if (unique)
+            edge.uniqueBytes += w;
+        else
+            edge.nonuniqueBytes += w;
+    }
+
+    // Cross-thread communication: producer ran on another thread.
+    // Orthogonal to the local/input axis — two threads executing
+    // the same function still communicate through memory.
+    if (s.everWritten() && s.lastWriterThread != currentTid_) {
+        CommAggregates &reader = row(ctx);
+        if (unique)
+            reader.uniqueInterThreadBytes += w;
+        else
+            reader.nonuniqueInterThreadBytes += w;
+        std::uint64_t tkey =
+            (static_cast<std::uint64_t>(s.lastWriterThread) << 32) |
+            currentTid_;
+        auto [tit, tin] =
+            threadEdgeIndex_.try_emplace(tkey, threadEdges_.size());
+        if (tin) {
+            threadEdges_.push_back(
+                ThreadCommEdge{s.lastWriterThread, currentTid_, 0, 0});
+        }
+        ThreadCommEdge &tedge = threadEdges_[tit->second];
+        if (unique)
+            tedge.uniqueBytes += w;
+        else
+            tedge.nonuniqueBytes += w;
+    }
+
+    if (config_.collectEvents && unique && s.everWritten() &&
+        state.open && s.lastWriterSeq != state.segment.seq) {
+        state.xfers[s.lastWriterSeq] += w;
+    }
+
+    if (config_.collectReuse) {
+        if (s.lastReaderCtx == ctx && s.lastReaderCall == call) {
+            ++c.runReads;
+            c.runLastRead = now;
+        } else {
+            finalizeRun(s, c);
+            c.runReads = 1;
+            c.runFirstRead = now;
+            c.runLastRead = now;
+        }
+    }
+
+    // Per-unit access totals only feed the line-granularity re-use
+    // breakdown, so byte-mode reads skip the cold record entirely
+    // unless they are tracking a re-use run.
+    if (config_.granularityShift > 0)
+        ++c.totalAccesses;
+    s.lastReaderCtx = ctx;
+    s.lastReaderCall = call;
 }
 
 void
@@ -297,23 +354,23 @@ SigilProfiler::threadSwitch(vg::ThreadId tid)
 }
 
 void
-SigilProfiler::finalizeRun(shadow::ShadowObject &obj)
+SigilProfiler::finalizeRun(shadow::ShadowHot &hot, shadow::ShadowCold &cold)
 {
     if (!config_.collectReuse)
         return;
-    if (obj.lastReaderCtx == vg::kInvalidContext || obj.runReads == 0)
+    if (hot.lastReaderCtx == vg::kInvalidContext || cold.runReads == 0)
         return;
-    std::uint64_t reuse = obj.runReads - 1;
+    std::uint64_t reuse = cold.runReads - 1;
     unitReuseBreakdown_.add(reuse);
     if (reuse >= 1) {
-        CommAggregates &r = row(obj.lastReaderCtx);
+        CommAggregates &r = row(hot.lastReaderCtx);
         ++r.reusedUnits;
         r.reuseReads += reuse;
-        std::uint64_t lifetime = obj.runLastRead - obj.runFirstRead;
+        std::uint64_t lifetime = cold.runLastRead - cold.runFirstRead;
         r.lifetimeSum += lifetime;
         r.lifetimeHist.add(lifetime);
     }
-    obj.runReads = 0;
+    cold.runReads = 0;
 }
 
 std::uint64_t
@@ -406,11 +463,11 @@ SigilProfiler::finish()
 {
     for (SegState &state : segStates_)
         flushSegment(state);
-    shadow_.forEach([this](std::uint64_t unit, shadow::ShadowObject &obj) {
+    shadow_.forEach([this](std::uint64_t unit, shadow::ShadowRef obj) {
         (void)unit;
-        finalizeRun(obj);
-        if (config_.granularityShift > 0 && obj.totalAccesses > 0)
-            lineReuseBreakdown_.add(obj.totalAccesses - 1);
+        finalizeRun(obj.hot, obj.cold);
+        if (config_.granularityShift > 0 && obj.cold.totalAccesses > 0)
+            lineReuseBreakdown_.add(obj.cold.totalAccesses - 1);
     });
 }
 

@@ -58,6 +58,15 @@ struct SigilConfig
      * (per-data-structure communication).
      */
     bool collectObjects = false;
+
+    /**
+     * Use the retained per-unit shadow walk (one ShadowMemory::lookup
+     * per unit) instead of the span-oriented hot path. The two paths
+     * produce bitwise-identical profiles; this one exists as the
+     * reference implementation for differential testing and as the
+     * baseline for the span-path microbenchmarks.
+     */
+    bool referenceShadowPath = false;
 };
 
 /** The Sigil communication profiler. */
@@ -98,9 +107,24 @@ class SigilProfiler : public vg::Tool
      * lifetime into the last reader's statistics and its read count
      * into the program-wide breakdown.
      */
-    void finalizeRun(shadow::ShadowObject &obj);
+    void finalizeRun(shadow::ShadowHot &hot, shadow::ShadowCold &cold);
 
     struct SegState;
+
+    /**
+     * Classify one read of w bytes against a unit's shadow state and
+     * update that state. Shared by the span hot path and the per-unit
+     * reference path so both produce identical profiles.
+     */
+    void readUnit(shadow::ShadowHot &hot, shadow::ShadowCold &cold,
+                  std::uint64_t w, vg::ContextId ctx, vg::CallNum call,
+                  vg::Tick now, SegState &state,
+                  std::uint64_t &unique_bytes_this_access);
+
+    /** Record one write into a unit's shadow state. */
+    void writeUnit(shadow::ShadowHot &hot, shadow::ShadowCold &cold,
+                   vg::ContextId ctx, vg::CallNum call,
+                   std::uint64_t seq);
 
     /** Flush a thread's open compute segment and start a new one. */
     void startSegment(SegState &state, vg::ContextId ctx,

@@ -1,5 +1,8 @@
 #include "shadow_memory.hh"
 
+#include <bit>
+#include <vector>
+
 #include "support/logging.hh"
 
 namespace sigil::shadow {
@@ -21,14 +24,41 @@ ShadowMemory::setEvictionHandler(EvictionHandler handler)
     evictionHandler_ = std::move(handler);
 }
 
+void
+ShadowMemory::lruUnlink(Chunk *chunk)
+{
+    if (chunk->lruPrev != nullptr)
+        chunk->lruPrev->lruNext = chunk->lruNext;
+    else
+        lruHead_ = chunk->lruNext;
+    if (chunk->lruNext != nullptr)
+        chunk->lruNext->lruPrev = chunk->lruPrev;
+    else
+        lruTail_ = chunk->lruPrev;
+    chunk->lruPrev = nullptr;
+    chunk->lruNext = nullptr;
+}
+
+void
+ShadowMemory::lruAppend(Chunk *chunk)
+{
+    chunk->lruPrev = lruTail_;
+    chunk->lruNext = nullptr;
+    if (lruTail_ != nullptr)
+        lruTail_->lruNext = chunk;
+    else
+        lruHead_ = chunk;
+    lruTail_ = chunk;
+}
+
 ShadowMemory::Chunk &
 ShadowMemory::chunkFor(std::uint64_t unit)
 {
     std::uint64_t index = unit >> kChunkShift;
-    if (lastChunk_ != nullptr && index == lastChunkIndex_) {
-        lastChunk_->lastTouch = ++touchClock_;
+    // The cached chunk is the most recently touched one, so a cache hit
+    // needs no recency-list maintenance at all.
+    if (lastChunk_ != nullptr && index == lastChunkIndex_)
         return *lastChunk_;
-    }
 
     auto it = directory_.find(index);
     if (it == directory_.end()) {
@@ -36,64 +66,95 @@ ShadowMemory::chunkFor(std::uint64_t unit)
             evictOldest();
         Chunk chunk;
         chunk.base = index << kChunkShift;
-        chunk.objects = std::make_unique<ShadowObject[]>(kChunkUnits);
+        chunk.index = index;
+        chunk.hot = std::make_unique<ShadowHot[]>(kChunkUnits);
+        chunk.cold = std::make_unique<ShadowCold[]>(kChunkUnits);
         it = directory_.emplace(index, std::move(chunk)).first;
+        lruAppend(&it->second);
         ++stats_.chunksAllocated;
         stats_.chunksLive = directory_.size();
         if (stats_.chunksLive > stats_.chunksPeak)
             stats_.chunksPeak = stats_.chunksLive;
+    } else if (&it->second != lruTail_) {
+        lruUnlink(&it->second);
+        lruAppend(&it->second);
     }
-    it->second.lastTouch = ++touchClock_;
     lastChunk_ = &it->second;
     lastChunkIndex_ = index;
     return it->second;
 }
 
-ShadowObject &
+ShadowRef
 ShadowMemory::lookup(std::uint64_t unit)
 {
     Chunk &chunk = chunkFor(unit);
-    return chunk.objects[unit & (kChunkUnits - 1)];
+    std::size_t off = unit & (kChunkUnits - 1);
+    chunk.touched[off >> 6] |= std::uint64_t{1} << (off & 63);
+    return ShadowRef{chunk.hot[off], chunk.cold[off]};
 }
 
-ShadowObject *
+ShadowPtr
 ShadowMemory::find(std::uint64_t unit)
 {
     std::uint64_t index = unit >> kChunkShift;
     auto it = directory_.find(index);
     if (it == directory_.end())
-        return nullptr;
-    return &it->second.objects[unit & (kChunkUnits - 1)];
+        return ShadowPtr{};
+    std::size_t off = unit & (kChunkUnits - 1);
+    return ShadowPtr{&it->second.hot[off], &it->second.cold[off]};
 }
 
 void
 ShadowMemory::forEach(const EvictionHandler &visitor)
 {
-    for (auto &[index, chunk] : directory_) {
-        for (std::size_t i = 0; i < kChunkUnits; ++i)
-            visitor(chunk.base + i, chunk.objects[i]);
+    std::vector<Chunk *> chunks;
+    chunks.reserve(directory_.size());
+    for (auto &[index, chunk] : directory_)
+        chunks.push_back(&chunk);
+    std::sort(chunks.begin(), chunks.end(),
+              [](const Chunk *a, const Chunk *b) {
+                  return a->base < b->base;
+              });
+    for (Chunk *chunk : chunks) {
+        for (std::size_t w = 0; w < kTouchedWords; ++w) {
+            std::uint64_t bits = chunk->touched[w];
+            while (bits != 0) {
+                std::size_t i =
+                    (w << 6) +
+                    static_cast<std::size_t>(std::countr_zero(bits));
+                bits &= bits - 1;
+                visitor(chunk->base + i,
+                        ShadowRef{chunk->hot[i], chunk->cold[i]});
+            }
+        }
     }
 }
 
 void
 ShadowMemory::evictOldest()
 {
-    if (directory_.empty())
+    if (lruHead_ == nullptr)
         panic("ShadowMemory::evictOldest with no chunks");
-    auto oldest = directory_.begin();
-    for (auto it = directory_.begin(); it != directory_.end(); ++it) {
-        if (it->second.lastTouch < oldest->second.lastTouch)
-            oldest = it;
-    }
+    Chunk *oldest = lruHead_;
     if (evictionHandler_) {
-        Chunk &chunk = oldest->second;
-        for (std::size_t i = 0; i < kChunkUnits; ++i)
-            evictionHandler_(chunk.base + i, chunk.objects[i]);
+        for (std::size_t w = 0; w < kTouchedWords; ++w) {
+            std::uint64_t bits = oldest->touched[w];
+            while (bits != 0) {
+                std::size_t i =
+                    (w << 6) +
+                    static_cast<std::size_t>(std::countr_zero(bits));
+                bits &= bits - 1;
+                evictionHandler_(
+                    oldest->base + i,
+                    ShadowRef{oldest->hot[i], oldest->cold[i]});
+            }
+        }
     }
     // The lookup cache may point into the evicted chunk.
     lastChunk_ = nullptr;
     lastChunkIndex_ = ~0ull;
-    directory_.erase(oldest);
+    lruUnlink(oldest);
+    directory_.erase(oldest->index);
     ++stats_.evictions;
     stats_.chunksLive = directory_.size();
 }

@@ -1,23 +1,39 @@
 /**
  * @file
- * Two-level shadow memory.
+ * Two-level shadow memory with a span-oriented hot path.
  *
- * Holds one ShadowObject per shadowed unit (byte, or cache line in
+ * Holds shadow state per shadowed unit (byte, or cache line in
  * line-granularity mode) of the guest address space, following
  * Nethercote and Seward's design: a first-level directory indexed by the
  * high bits of the unit index, pointing at lazily created second-level
  * chunks of shadow objects. Chunks are created the first time their
  * address range is touched.
  *
- * An optional memory limit enables the paper's FIFO reclamation: when
- * the number of live chunks would exceed the limit, the least recently
+ * Per chunk the state is stored as a structure-of-arrays split:
+ *  - a *hot* array (ShadowHot): producer/consumer identity, touched on
+ *    every access;
+ *  - a *cold* array (ShadowCold): re-use run state and line-mode access
+ *    totals, touched only in re-use / line mode;
+ *  - a *touched bitmap*: one bit per unit ever returned to a client, so
+ *    end-of-run sweeps and eviction handlers visit only units whose
+ *    state can differ from the default instead of all kChunkUnits.
+ *
+ * Clients that walk a contiguous unit range should use span(), which
+ * resolves each chunk once and yields chunk-clamped runs, instead of
+ * calling lookup() per unit.
+ *
+ * An optional memory limit enables the paper's reclamation: when the
+ * number of live chunks would exceed the limit, the least recently
  * touched chunk is evicted (its pending re-use state is handed to an
  * eviction handler first, so statistics lose only precision, not mass).
+ * Recency is maintained with an intrusive doubly-linked list over the
+ * chunks, making both the touch and the evict constant time.
  */
 
 #ifndef SIGIL_SHADOW_SHADOW_MEMORY_HH
 #define SIGIL_SHADOW_SHADOW_MEMORY_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -28,40 +44,61 @@
 namespace sigil::shadow {
 
 /**
- * Shadow state of one shadowed unit (Table I of the paper).
- *
- * Baseline fields identify the producer (last writer) and last consumer
- * (last reader, with its call number); re-use mode additionally tracks
- * the current re-use run: how many times the last reader has read this
- * unit and the first/last access timestamps of that run.
+ * Hot shadow state of one shadowed unit (Table I of the paper):
+ * identity of the producer (last writer) and of the last consumer
+ * (last reader, with its call number). Every traced access reads or
+ * writes this record, so it carries nothing else.
  */
-struct ShadowObject
+struct ShadowHot
 {
-    vg::ContextId lastWriterCtx = vg::kInvalidContext;
-    vg::ContextId lastReaderCtx = vg::kInvalidContext;
-    vg::CallNum lastWriterCall = 0;
-    vg::CallNum lastReaderCall = 0;
-
     /** Event-trace segment that produced the current value. */
     std::uint64_t lastWriterSeq = 0;
-
+    vg::CallNum lastWriterCall = 0;
+    vg::CallNum lastReaderCall = 0;
+    vg::ContextId lastWriterCtx = vg::kInvalidContext;
+    vg::ContextId lastReaderCtx = vg::kInvalidContext;
     /** Thread that produced the current value. */
     vg::ThreadId lastWriterThread = 0;
-
-    /** Reads by the last reader in the current re-use run. */
-    std::uint32_t runReads = 0;
-    /** Timestamp of the run's first and most recent read. */
-    vg::Tick runFirstRead = 0;
-    vg::Tick runLastRead = 0;
-
-    /** Line-granularity mode: total accesses to this unit, ever. */
-    std::uint64_t totalAccesses = 0;
 
     bool
     everWritten() const
     {
         return lastWriterCtx != vg::kInvalidContext;
     }
+};
+
+/**
+ * Cold shadow state of one shadowed unit: the current re-use run (how
+ * many times the last reader has read this unit and the first/last
+ * access timestamps of that run) and the line-granularity access
+ * total. Only re-use / line mode touches this record, so it lives in a
+ * side array that baseline-mode accesses never pull into cache.
+ */
+struct ShadowCold
+{
+    /** Timestamp of the run's first and most recent read. */
+    vg::Tick runFirstRead = 0;
+    vg::Tick runLastRead = 0;
+    /** Line-granularity mode: total accesses to this unit, ever. */
+    std::uint64_t totalAccesses = 0;
+    /** Reads by the last reader in the current re-use run. */
+    std::uint32_t runReads = 0;
+};
+
+/** Reference to the full (hot + cold) shadow state of one unit. */
+struct ShadowRef
+{
+    ShadowHot &hot;
+    ShadowCold &cold;
+};
+
+/** Nullable variant of ShadowRef (find() result). */
+struct ShadowPtr
+{
+    ShadowHot *hot = nullptr;
+    ShadowCold *cold = nullptr;
+
+    explicit operator bool() const { return hot != nullptr; }
 };
 
 /** Allocation / eviction statistics (drives the memory-usage figure). */
@@ -87,6 +124,8 @@ class ShadowMemory
     static constexpr unsigned kChunkShift = 12;
     static constexpr std::size_t kChunkUnits = std::size_t{1}
                                                << kChunkShift;
+    /** 64-bit words in a chunk's touched bitmap. */
+    static constexpr std::size_t kTouchedWords = kChunkUnits / 64;
 
     struct Config
     {
@@ -96,16 +135,16 @@ class ShadowMemory
          */
         unsigned granularityShift = 0;
 
-        /** Max live chunks; 0 means unlimited (no FIFO reclamation). */
+        /** Max live chunks; 0 means unlimited (no reclamation). */
         std::size_t maxChunks = 0;
     };
 
     ShadowMemory() : ShadowMemory(Config{}) {}
     explicit ShadowMemory(const Config &config);
 
-    /** Called with each live object of a chunk about to be evicted. */
+    /** Called with each touched object of a chunk about to be evicted. */
     using EvictionHandler =
-        std::function<void(std::uint64_t unit, ShadowObject &obj)>;
+        std::function<void(std::uint64_t unit, ShadowRef obj)>;
 
     void setEvictionHandler(EvictionHandler handler);
 
@@ -129,28 +168,85 @@ class ShadowMemory
     unsigned unitBytes() const { return 1u << granularityShift_; }
 
     /**
-     * Locate (creating if needed) the shadow object of a unit, marking
+     * Locate (creating if needed) the shadow state of a unit, marking
      * its chunk as most recently touched. May evict another chunk when
      * a memory limit is configured.
      */
-    ShadowObject &lookup(std::uint64_t unit);
-
-    /** Locate without creating; nullptr if the chunk does not exist. */
-    ShadowObject *find(std::uint64_t unit);
+    ShadowRef lookup(std::uint64_t unit);
 
     /**
-     * Visit every live shadow object (used for the end-of-run sweep
-     * that finalizes pending re-use runs).
+     * A maximal contiguous run of shadow state inside one chunk:
+     * units [firstUnit, firstUnit + count) map to hot[0..count) and
+     * cold[0..count).
+     */
+    struct Run
+    {
+        std::uint64_t firstUnit;
+        std::size_t count;
+        ShadowHot *hot;
+        ShadowCold *cold;
+    };
+
+    /**
+     * Span-oriented lookup: visit the shadow state of every unit in
+     * [first_unit, last_unit] as chunk-clamped contiguous runs,
+     * resolving each chunk exactly once. Equivalent to calling
+     * lookup() per unit (same touch ordering, same evictions at chunk
+     * boundaries) without the per-unit directory and recency work.
+     *
+     * The references inside a Run are valid only during the callback:
+     * the next chunk resolution may evict the chunk that backed it.
+     */
+    template <typename Fn>
+    void
+    span(std::uint64_t first_unit, std::uint64_t last_unit, Fn &&fn)
+    {
+        if (first_unit == last_unit) {
+            // Single-unit access (the byte-mode common case): skip the
+            // run clamping and range bitmap arithmetic entirely.
+            Chunk &chunk = chunkFor(first_unit);
+            std::size_t off = first_unit & (kChunkUnits - 1);
+            chunk.touched[off >> 6] |= std::uint64_t{1} << (off & 63);
+            fn(Run{first_unit, 1, chunk.hot.get() + off,
+                   chunk.cold.get() + off});
+            return;
+        }
+        std::uint64_t u = first_unit;
+        while (u <= last_unit) {
+            Chunk &chunk = chunkFor(u);
+            std::size_t off = static_cast<std::size_t>(u - chunk.base);
+            std::size_t n = static_cast<std::size_t>(
+                std::min<std::uint64_t>(last_unit - u + 1,
+                                        kChunkUnits - off));
+            markTouched(chunk, off, n);
+            fn(Run{u, n, chunk.hot.get() + off, chunk.cold.get() + off});
+            u += n;
+        }
+    }
+
+    /** Locate without creating or touching; null if chunk is absent. */
+    ShadowPtr find(std::uint64_t unit);
+
+    /**
+     * Visit every touched shadow object (used for the end-of-run sweep
+     * that finalizes pending re-use runs). Chunks are visited in
+     * ascending base order so the sweep is deterministic run-to-run;
+     * within a chunk only units marked in the touched bitmap are
+     * visited.
      */
     void forEach(const EvictionHandler &visitor);
 
     const ShadowStats &stats() const { return stats_; }
 
-    /** Host bytes of one chunk, for memory accounting. */
+    /**
+     * Host bytes of one chunk, for memory accounting: the hot and cold
+     * unit arrays plus the touched bitmap.
+     */
     static constexpr std::size_t
     chunkBytes()
     {
-        return kChunkUnits * sizeof(ShadowObject);
+        return kChunkUnits * (sizeof(ShadowHot) + sizeof(ShadowCold)) +
+               kTouchedWords * sizeof(std::uint64_t);
     }
 
     /** Current host bytes held by live chunks. */
@@ -168,13 +264,40 @@ class ShadowMemory
   private:
     struct Chunk
     {
-        std::uint64_t base; // first unit index covered
-        std::uint64_t lastTouch = 0;
-        std::unique_ptr<ShadowObject[]> objects;
+        std::uint64_t base = 0; // first unit index covered
+        std::uint64_t index = 0;
+        std::unique_ptr<ShadowHot[]> hot;
+        std::unique_ptr<ShadowCold[]> cold;
+        /** Bit per unit: ever returned via lookup()/span(). */
+        std::uint64_t touched[kTouchedWords] = {};
+        /** Intrusive recency list; head = oldest, tail = newest. */
+        Chunk *lruPrev = nullptr;
+        Chunk *lruNext = nullptr;
     };
 
     Chunk &chunkFor(std::uint64_t unit);
     void evictOldest();
+
+    void lruUnlink(Chunk *chunk);
+    void lruAppend(Chunk *chunk);
+
+    /** Mark units [off, off + n) of a chunk as touched. */
+    static void
+    markTouched(Chunk &chunk, std::size_t off, std::size_t n)
+    {
+        std::size_t first_word = off >> 6;
+        std::size_t last_word = (off + n - 1) >> 6;
+        std::uint64_t head = ~0ull << (off & 63);
+        std::uint64_t tail = ~0ull >> (63 - ((off + n - 1) & 63));
+        if (first_word == last_word) {
+            chunk.touched[first_word] |= head & tail;
+            return;
+        }
+        chunk.touched[first_word] |= head;
+        for (std::size_t w = first_word + 1; w < last_word; ++w)
+            chunk.touched[w] = ~0ull;
+        chunk.touched[last_word] |= tail;
+    }
 
     unsigned granularityShift_;
     std::size_t maxChunks_;
@@ -182,7 +305,8 @@ class ShadowMemory
     /** One-entry lookup cache for the common sequential-access case. */
     Chunk *lastChunk_ = nullptr;
     std::uint64_t lastChunkIndex_ = ~0ull;
-    std::uint64_t touchClock_ = 0;
+    Chunk *lruHead_ = nullptr;
+    Chunk *lruTail_ = nullptr;
     EvictionHandler evictionHandler_;
     ShadowStats stats_;
 };

@@ -1,14 +1,15 @@
 /**
  * @file
  * Tests for the two-level shadow memory: lazy chunk creation, the
- * lookup cache, line granularity, the FIFO memory limit, and eviction
- * callbacks.
+ * lookup cache, the span API, line granularity, the LRU memory limit,
+ * the touched bitmap, and eviction callbacks.
  */
 
 #include <gtest/gtest.h>
 
 #include <map>
 #include <set>
+#include <vector>
 
 #include "shadow/shadow_memory.hh"
 #include "support/rng.hh"
@@ -20,8 +21,8 @@ TEST(ShadowMemory, LookupCreatesChunkOnDemand)
 {
     ShadowMemory sm;
     EXPECT_EQ(sm.stats().chunksLive, 0u);
-    ShadowObject &o = sm.lookup(100);
-    EXPECT_FALSE(o.everWritten());
+    ShadowRef o = sm.lookup(100);
+    EXPECT_FALSE(o.hot.everWritten());
     EXPECT_EQ(sm.stats().chunksLive, 1u);
     EXPECT_EQ(sm.stats().chunksAllocated, 1u);
 }
@@ -29,20 +30,20 @@ TEST(ShadowMemory, LookupCreatesChunkOnDemand)
 TEST(ShadowMemory, FindDoesNotCreate)
 {
     ShadowMemory sm;
-    EXPECT_EQ(sm.find(100), nullptr);
-    sm.lookup(100).lastWriterCtx = 3;
-    ShadowObject *o = sm.find(100);
-    ASSERT_NE(o, nullptr);
-    EXPECT_EQ(o->lastWriterCtx, 3);
+    EXPECT_FALSE(sm.find(100));
+    sm.lookup(100).hot.lastWriterCtx = 3;
+    ShadowPtr o = sm.find(100);
+    ASSERT_TRUE(o);
+    EXPECT_EQ(o.hot->lastWriterCtx, 3);
     EXPECT_EQ(sm.stats().chunksLive, 1u);
 }
 
 TEST(ShadowMemory, StatePersistsAcrossLookups)
 {
     ShadowMemory sm;
-    sm.lookup(5).lastWriterCtx = 42;
+    sm.lookup(5).hot.lastWriterCtx = 42;
     sm.lookup(1 << 20); // different chunk, invalidates lookup cache
-    EXPECT_EQ(sm.lookup(5).lastWriterCtx, 42);
+    EXPECT_EQ(sm.lookup(5).hot.lastWriterCtx, 42);
 }
 
 TEST(ShadowMemory, UnitMappingByteMode)
@@ -85,38 +86,61 @@ TEST(ShadowMemory, PeakTracksHighWater)
     EXPECT_EQ(sm.liveBytes(), sm.peakBytes());
 }
 
-TEST(ShadowMemory, FifoLimitEvictsLeastRecentlyTouched)
+TEST(ShadowMemory, LimitEvictsLeastRecentlyTouched)
 {
     ShadowMemory::Config cfg;
     cfg.maxChunks = 2;
     ShadowMemory sm(cfg);
-    sm.lookup(0 * ShadowMemory::kChunkUnits).lastWriterCtx = 10;
-    sm.lookup(1 * ShadowMemory::kChunkUnits).lastWriterCtx = 11;
+    sm.lookup(0 * ShadowMemory::kChunkUnits).hot.lastWriterCtx = 10;
+    sm.lookup(1 * ShadowMemory::kChunkUnits).hot.lastWriterCtx = 11;
     sm.lookup(0 * ShadowMemory::kChunkUnits); // touch chunk 0 again
     sm.lookup(2 * ShadowMemory::kChunkUnits); // evicts chunk 1
     EXPECT_EQ(sm.stats().evictions, 1u);
     EXPECT_EQ(sm.stats().chunksLive, 2u);
     // Chunk 0 survived with its state; chunk 1's state is gone.
-    EXPECT_EQ(sm.find(0)->lastWriterCtx, 10);
-    EXPECT_EQ(sm.find(ShadowMemory::kChunkUnits), nullptr);
+    EXPECT_EQ(sm.find(0).hot->lastWriterCtx, 10);
+    EXPECT_FALSE(sm.find(ShadowMemory::kChunkUnits));
 }
 
-TEST(ShadowMemory, EvictionHandlerSeesLiveObjects)
+TEST(ShadowMemory, LruOrderSurvivesManyInterleavedTouches)
+{
+    // Exercise the intrusive recency list beyond the pairwise case:
+    // re-touch chunks in a scrambled order and verify evictions follow
+    // exactly that order.
+    constexpr std::uint64_t kC = ShadowMemory::kChunkUnits;
+    ShadowMemory::Config cfg;
+    cfg.maxChunks = 4;
+    ShadowMemory sm(cfg);
+    std::vector<std::uint64_t> evicted;
+    sm.setEvictionHandler([&](std::uint64_t unit, ShadowRef) {
+        evicted.push_back(unit / kC);
+    });
+    for (std::uint64_t c = 0; c < 4; ++c)
+        sm.lookup(c * kC).hot.lastWriterCtx = 1; // LRU order 0,1,2,3
+    sm.lookup(1 * kC);                           // order 0,2,3,1
+    sm.lookup(0 * kC);                           // order 2,3,1,0
+    sm.lookup(4 * kC).hot.lastWriterCtx = 1;     // evicts 2
+    sm.lookup(5 * kC).hot.lastWriterCtx = 1;     // evicts 3
+    sm.lookup(6 * kC).hot.lastWriterCtx = 1;     // evicts 1
+    sm.lookup(7 * kC).hot.lastWriterCtx = 1;     // evicts 0
+    EXPECT_EQ(evicted, (std::vector<std::uint64_t>{2, 3, 1, 0}));
+    EXPECT_EQ(sm.stats().evictions, 4u);
+}
+
+TEST(ShadowMemory, EvictionHandlerSeesOnlyTouchedUnits)
 {
     ShadowMemory::Config cfg;
     cfg.maxChunks = 2;
     ShadowMemory sm(cfg);
     std::set<std::uint64_t> evicted_units;
-    sm.setEvictionHandler(
-        [&](std::uint64_t unit, ShadowObject &obj) {
-            if (obj.everWritten())
-                evicted_units.insert(unit);
-        });
-    sm.lookup(7).lastWriterCtx = 1;
-    sm.lookup(ShadowMemory::kChunkUnits + 3).lastWriterCtx = 1;
-    sm.lookup(2 * ShadowMemory::kChunkUnits); // evicts the oldest (unit 7)
-    EXPECT_EQ(evicted_units.size(), 1u);
-    EXPECT_TRUE(evicted_units.count(7));
+    sm.setEvictionHandler([&](std::uint64_t unit, ShadowRef) {
+        evicted_units.insert(unit);
+    });
+    sm.lookup(7).hot.lastWriterCtx = 1;
+    sm.lookup(9); // touched but never written — still reported
+    sm.lookup(ShadowMemory::kChunkUnits + 3).hot.lastWriterCtx = 1;
+    sm.lookup(2 * ShadowMemory::kChunkUnits); // evicts the oldest chunk
+    EXPECT_EQ(evicted_units, (std::set<std::uint64_t>{7, 9}));
 }
 
 TEST(ShadowMemory, EvictedChunkRecreatedFresh)
@@ -124,25 +148,138 @@ TEST(ShadowMemory, EvictedChunkRecreatedFresh)
     ShadowMemory::Config cfg;
     cfg.maxChunks = 2;
     ShadowMemory sm(cfg);
-    sm.lookup(0).lastWriterCtx = 99;
+    sm.lookup(0).hot.lastWriterCtx = 99;
     sm.lookup(ShadowMemory::kChunkUnits);
     sm.lookup(2 * ShadowMemory::kChunkUnits); // evicts chunk of unit 0
-    ShadowObject &o = sm.lookup(0);           // recreated
-    EXPECT_FALSE(o.everWritten());
+    ShadowRef o = sm.lookup(0);               // recreated
+    EXPECT_FALSE(o.hot.everWritten());
     EXPECT_EQ(sm.stats().chunksAllocated, 4u);
 }
 
-TEST(ShadowMemory, ForEachVisitsAllChunks)
+TEST(ShadowMemory, ForEachVisitsOnlyTouchedUnits)
 {
     ShadowMemory sm;
-    sm.lookup(1).lastWriterCtx = 1;
-    sm.lookup(ShadowMemory::kChunkUnits + 2).lastWriterCtx = 2;
+    sm.lookup(1).hot.lastWriterCtx = 1;
+    sm.lookup(ShadowMemory::kChunkUnits + 2).hot.lastWriterCtx = 2;
+    sm.lookup(ShadowMemory::kChunkUnits + 5); // touched, default state
+    std::vector<std::uint64_t> seen;
     int written = 0;
-    sm.forEach([&](std::uint64_t, ShadowObject &o) {
-        if (o.everWritten())
+    sm.forEach([&](std::uint64_t unit, ShadowRef o) {
+        seen.push_back(unit);
+        if (o.hot.everWritten())
             ++written;
     });
     EXPECT_EQ(written, 2);
+    EXPECT_EQ(seen, (std::vector<std::uint64_t>{
+                        1, ShadowMemory::kChunkUnits + 2,
+                        ShadowMemory::kChunkUnits + 5}));
+}
+
+TEST(ShadowMemory, ForEachIsSortedByBaseRegardlessOfCreationOrder)
+{
+    constexpr std::uint64_t kC = ShadowMemory::kChunkUnits;
+    ShadowMemory sm;
+    // Create chunks in scrambled order; the sweep must be ascending.
+    for (std::uint64_t c : {9ull, 2ull, 31ull, 0ull, 17ull, 5ull})
+        sm.lookup(c * kC + 1).hot.lastWriterCtx = 1;
+    std::vector<std::uint64_t> order;
+    sm.forEach([&](std::uint64_t unit, ShadowRef) {
+        order.push_back(unit);
+    });
+    std::vector<std::uint64_t> expect{1,          2 * kC + 1,  5 * kC + 1,
+                                      9 * kC + 1, 17 * kC + 1, 31 * kC + 1};
+    EXPECT_EQ(order, expect);
+}
+
+TEST(ShadowMemory, SpanYieldsChunkClampedRuns)
+{
+    constexpr std::uint64_t kC = ShadowMemory::kChunkUnits;
+    ShadowMemory sm;
+    // A span crossing two chunk boundaries decomposes into three runs.
+    std::vector<std::pair<std::uint64_t, std::size_t>> runs;
+    sm.span(kC - 3, 2 * kC + 4, [&](ShadowMemory::Run run) {
+        runs.push_back({run.firstUnit, run.count});
+        for (std::size_t i = 0; i < run.count; ++i)
+            run.hot[i].lastWriterCtx = 7;
+    });
+    ASSERT_EQ(runs.size(), 3u);
+    EXPECT_EQ(runs[0], (std::pair<std::uint64_t, std::size_t>{kC - 3, 3}));
+    EXPECT_EQ(runs[1], (std::pair<std::uint64_t, std::size_t>{kC, kC}));
+    EXPECT_EQ(runs[2],
+              (std::pair<std::uint64_t, std::size_t>{2 * kC, 5}));
+    // Every unit of the span (and only those) is written and touched.
+    EXPECT_FALSE(sm.lookup(kC - 4).hot.everWritten());
+    EXPECT_TRUE(sm.lookup(kC - 3).hot.everWritten());
+    EXPECT_TRUE(sm.lookup(2 * kC + 4).hot.everWritten());
+    std::size_t visited = 0;
+    sm.forEach([&](std::uint64_t, ShadowRef) { ++visited; });
+    // 3 + 4096 + 5 span units, plus unit kC-4 touched by the probe
+    // lookup above (the other two probes hit already-touched units).
+    EXPECT_EQ(visited, 3 + kC + 5 + 1);
+}
+
+TEST(ShadowMemory, SpanMatchesPerUnitLookup)
+{
+    // Randomized spans against per-unit lookups on a twin instance.
+    ShadowMemory a, b;
+    sigil::Rng rng(7);
+    for (int i = 0; i < 2000; ++i) {
+        std::uint64_t first = rng.nextBounded(1 << 16);
+        std::uint64_t last = first + rng.nextBounded(300);
+        vg::ContextId ctx =
+            static_cast<vg::ContextId>(rng.nextBounded(50));
+        a.span(first, last, [&](ShadowMemory::Run run) {
+            for (std::size_t k = 0; k < run.count; ++k)
+                run.hot[k].lastWriterCtx = ctx;
+        });
+        for (std::uint64_t u = first; u <= last; ++u)
+            b.lookup(u).hot.lastWriterCtx = ctx;
+    }
+    EXPECT_EQ(a.stats().chunksAllocated, b.stats().chunksAllocated);
+    std::vector<std::pair<std::uint64_t, vg::ContextId>> va, vb;
+    a.forEach([&](std::uint64_t u, ShadowRef o) {
+        va.push_back({u, o.hot.lastWriterCtx});
+    });
+    b.forEach([&](std::uint64_t u, ShadowRef o) {
+        vb.push_back({u, o.hot.lastWriterCtx});
+    });
+    EXPECT_EQ(va, vb);
+}
+
+TEST(ShadowMemory, SpanAndPerUnitEvictIdentically)
+{
+    // Under a chunk limit, span and per-unit walks must trigger the
+    // same evictions in the same order.
+    ShadowMemory::Config cfg;
+    cfg.maxChunks = 3;
+    ShadowMemory a(cfg), b(cfg);
+    std::vector<std::uint64_t> ea, eb;
+    a.setEvictionHandler(
+        [&](std::uint64_t u, ShadowRef) { ea.push_back(u); });
+    b.setEvictionHandler(
+        [&](std::uint64_t u, ShadowRef) { eb.push_back(u); });
+    sigil::Rng rng(13);
+    for (int i = 0; i < 500; ++i) {
+        std::uint64_t first = rng.nextBounded(1 << 16);
+        std::uint64_t last = first + rng.nextBounded(3000);
+        a.span(first, last, [&](ShadowMemory::Run run) {
+            for (std::size_t k = 0; k < run.count; ++k)
+                run.hot[k].lastWriterCtx = 1;
+        });
+        for (std::uint64_t u = first; u <= last; ++u)
+            b.lookup(u).hot.lastWriterCtx = 1;
+    }
+    EXPECT_EQ(a.stats().evictions, b.stats().evictions);
+    EXPECT_EQ(ea, eb);
+}
+
+TEST(ShadowMemory, ChunkBytesAccountsHotColdAndBitmap)
+{
+    constexpr std::size_t expect =
+        ShadowMemory::kChunkUnits *
+            (sizeof(ShadowHot) + sizeof(ShadowCold)) +
+        ShadowMemory::kChunkUnits / 8;
+    EXPECT_EQ(ShadowMemory::chunkBytes(), expect);
 }
 
 TEST(ShadowMemory, LimitOfOneIsRejected)
@@ -173,15 +310,16 @@ TEST_P(ShadowOracle, MatchesMapSemantics)
         if (rng.next() & 1) {
             vg::ContextId ctx =
                 static_cast<vg::ContextId>(rng.nextBounded(100));
-            sm.lookup(unit).lastWriterCtx = ctx;
+            sm.lookup(unit).hot.lastWriterCtx = ctx;
             oracle[unit] = ctx;
         } else {
             auto it = oracle.find(unit);
-            ShadowObject &o = sm.lookup(unit);
+            ShadowRef o = sm.lookup(unit);
             if (it == oracle.end())
-                EXPECT_FALSE(o.everWritten()) << "unit " << unit;
+                EXPECT_FALSE(o.hot.everWritten()) << "unit " << unit;
             else
-                EXPECT_EQ(o.lastWriterCtx, it->second) << "unit " << unit;
+                EXPECT_EQ(o.hot.lastWriterCtx, it->second)
+                    << "unit " << unit;
         }
     }
 }
