@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Microbenchmarks of the event transport (google-benchmark): per-event
+ * virtual dispatch vs. the batched SoA transport (sync and async), and
+ * text vs. binary trace replay. These back the batching design the same
+ * way micro_shadow backs the span-oriented shadow path: the batch
+ * transport must buy real end-to-end profiling throughput, and the
+ * binary format must replay several times faster than text.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "cg/cg_tool.hh"
+#include "core/sigil_profiler.hh"
+#include "support/rng.hh"
+#include "vg/guest.hh"
+#include "vg/trace_io.hh"
+
+using namespace sigil;
+
+namespace {
+
+/** Dispatch mode selector for the benchmark Args. */
+vg::GuestConfig
+modeConfig(std::int64_t mode)
+{
+    vg::GuestConfig cfg;
+    if (mode == 1)
+        cfg.batchEvents = true;
+    else if (mode == 2)
+        cfg.asyncTools = true;
+    return cfg;
+}
+
+/**
+ * One deterministic mixed workload: function calls, ops, branches, and
+ * memory traffic in a hot 16 KiB window. The shape of a real traced
+ * program, sized so one benchmark iteration is one full run.
+ */
+void
+driveWorkload(vg::Guest &g, int iters)
+{
+    Rng rng(42);
+    vg::FunctionId fns[4] = {g.fn("a"), g.fn("b"), g.fn("c"), g.fn("d")};
+    g.enter("main");
+    for (int i = 0; i < iters; ++i) {
+        switch (i & 7) {
+        case 0:
+            if (g.callDepth() < 8)
+                g.enter(fns[rng.nextBounded(4)]);
+            g.iop(3);
+            break;
+        case 1:
+            if (g.callDepth() > 1)
+                g.leave();
+            break;
+        case 2:
+            g.iop(1 + rng.nextBounded(16));
+            break;
+        case 3:
+            g.branch((i & 16) != 0);
+            break;
+        default:
+            if (i & 1)
+                g.read(0x10000 + rng.nextBounded(1 << 14), 8);
+            else
+                g.write(0x10000 + rng.nextBounded(1 << 14), 8);
+            break;
+        }
+    }
+    while (g.callDepth() > 0)
+        g.leave();
+    g.finish();
+}
+
+constexpr int kWorkloadIters = 50000;
+
+/** Counts every event; the cheapest possible analysis. With the
+ *  native batch consumer this isolates the transport cost itself. */
+class CountingTool : public vg::Tool
+{
+  public:
+    void fnEnter(vg::ContextId, vg::CallNum) override { ++count_; }
+    void fnLeave(vg::ContextId, vg::CallNum) override { ++count_; }
+    void memRead(vg::Addr, unsigned size) override { count_ += size; }
+    void memWrite(vg::Addr, unsigned size) override { count_ += size; }
+    void op(std::uint64_t i, std::uint64_t f) override { count_ += i + f; }
+    void branch(bool) override { ++count_; }
+
+    void
+    processBatch(const vg::EventBuffer &batch) override
+    {
+        const vg::EventKind *kinds = batch.kinds();
+        const std::uint64_t *as = batch.as();
+        const std::uint64_t *bs = batch.bs();
+        std::uint64_t n = 0;
+        for (std::size_t i = 0, e = batch.size(); i < e; ++i) {
+            switch (kinds[i]) {
+              case vg::EventKind::kRead:
+              case vg::EventKind::kWrite:
+                n += bs[i];
+                break;
+              case vg::EventKind::kOp:
+                n += as[i] + bs[i];
+                break;
+              case vg::EventKind::kEnter:
+              case vg::EventKind::kLeave:
+              case vg::EventKind::kBranch:
+                ++n;
+                break;
+              default:
+                break;
+            }
+        }
+        count_ += n;
+    }
+
+    std::uint64_t count() const { return count_; }
+
+  private:
+    std::uint64_t count_ = 0;
+};
+
+/** Same counters through the default adapter (no processBatch
+ *  override): measures the compatibility path, which pays for the
+ *  append AND the per-event replay. */
+class AdapterCountingTool : public CountingTool
+{
+  public:
+    void
+    processBatch(const vg::EventBuffer &batch) override
+    {
+        batch.replayTo(*this);
+    }
+};
+
+/**
+ * Transport overhead alone: per-event virtuals vs. the batch lanes.
+ * Args: 0 = per-event, 1 = batched native, 2 = async native,
+ * 3 = batched through the default replay adapter.
+ */
+void
+BM_DispatchCountingTool(benchmark::State &state)
+{
+    bool adapter = state.range(0) == 3;
+    for (auto _ : state) {
+        vg::Guest g("bench", modeConfig(adapter ? 1 : state.range(0)));
+        CountingTool native;
+        AdapterCountingTool compat;
+        vg::Tool *tool = adapter ? static_cast<vg::Tool *>(&compat)
+                                 : static_cast<vg::Tool *>(&native);
+        g.addTool(tool);
+        driveWorkload(g, kWorkloadIters);
+        benchmark::DoNotOptimize(adapter ? compat.count()
+                                         : native.count());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            kWorkloadIters);
+}
+BENCHMARK(BM_DispatchCountingTool)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+/**
+ * End-to-end Sigil profiling throughput under each dispatch mode.
+ * Args: {mode, granularity shift} — shift 6 is the paper's
+ * line-granularity mode, where light per-access shadow work exposes
+ * the transport share of the per-event cost.
+ */
+void
+BM_SigilWorkload(benchmark::State &state)
+{
+    core::SigilConfig cfg;
+    cfg.granularityShift = static_cast<unsigned>(state.range(1));
+    for (auto _ : state) {
+        vg::Guest g("bench", modeConfig(state.range(0)));
+        core::SigilProfiler prof(cfg);
+        g.addTool(&prof);
+        driveWorkload(g, kWorkloadIters);
+        benchmark::DoNotOptimize(prof.aggregates(0).readBytes);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            kWorkloadIters);
+}
+BENCHMARK(BM_SigilWorkload)
+    ->ArgsProduct({{0, 1, 2}, {0, 6}});
+
+/** Full stack (Sigil + cg cache/branch simulation) per dispatch mode. */
+void
+BM_FullStackWorkload(benchmark::State &state)
+{
+    for (auto _ : state) {
+        vg::Guest g("bench", modeConfig(state.range(0)));
+        core::SigilProfiler prof;
+        cg::CgTool cg_tool;
+        g.addTool(&prof);
+        g.addTool(&cg_tool);
+        driveWorkload(g, kWorkloadIters);
+        benchmark::DoNotOptimize(prof.aggregates(0).readBytes);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            kWorkloadIters);
+}
+BENCHMARK(BM_FullStackWorkload)->Arg(0)->Arg(1)->Arg(2);
+
+/** Record the benchmark trace once in both formats. */
+const std::string &
+recordedTrace(bool binary)
+{
+    static std::string text, bin;
+    if (text.empty()) {
+        std::ostringstream tos;
+        std::ostringstream bos(std::ios::binary);
+        vg::Guest g("bench");
+        vg::TraceRecorder trec(tos);
+        vg::BinaryTraceRecorder brec(bos);
+        g.addTool(&trec);
+        g.addTool(&brec);
+        driveWorkload(g, kWorkloadIters);
+        text = tos.str();
+        bin = bos.str();
+    }
+    return binary ? bin : text;
+}
+
+/**
+ * Trace replay, parsing cost only (no tools attached): text vs. binary.
+ * Args: {binary format?}.
+ */
+void
+BM_TraceReplayParse(benchmark::State &state)
+{
+    bool binary = state.range(0) != 0;
+    const std::string &trace = recordedTrace(binary);
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        std::istringstream is(trace, binary ? std::ios::binary
+                                            : std::ios::in);
+        vg::Guest g("bench");
+        events = binary ? vg::replayBinaryTrace(is, g)
+                        : vg::replayTrace(is, g);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * events));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations() * trace.size()));
+}
+BENCHMARK(BM_TraceReplayParse)->Arg(0)->Arg(1);
+
+/**
+ * Trace replay feeding a Sigil profiler — the "collect once, analyze
+ * many times" loop this PR accelerates end to end. Args: {binary
+ * format?, batched guest?, granularity shift}. The headline comparison
+ * is {0,0,s} (text format, per-event dispatch: the pre-PR pipeline)
+ * against {1,1,s} (binary format, batched dispatch).
+ */
+void
+BM_TraceReplayProfiled(benchmark::State &state)
+{
+    bool binary = state.range(0) != 0;
+    const std::string &trace = recordedTrace(binary);
+    core::SigilConfig cfg;
+    cfg.granularityShift = static_cast<unsigned>(state.range(2));
+    for (auto _ : state) {
+        std::istringstream is(trace, binary ? std::ios::binary
+                                            : std::ios::in);
+        vg::Guest g("bench", modeConfig(state.range(1)));
+        core::SigilProfiler prof(cfg);
+        g.addTool(&prof);
+        if (binary)
+            vg::replayBinaryTrace(is, g);
+        else
+            vg::replayTrace(is, g);
+        benchmark::DoNotOptimize(prof.aggregates(0).readBytes);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            kWorkloadIters);
+}
+BENCHMARK(BM_TraceReplayProfiled)
+    ->ArgsProduct({{0, 1}, {0, 1}, {0, 6}});
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
-# Run the shadow-path microbenchmarks and record the results as
-# BENCH_shadow.json at the repo root. Future PRs compare against this
-# file to keep the perf trajectory honest.
+# Run the shadow-path and event-transport microbenchmarks and record the
+# results as BENCH_shadow.json and BENCH_dispatch.json at the repo root.
+# Future PRs compare against these files to keep the perf trajectory
+# honest.
 #
 # Usage: bench/run_benches.sh [build-dir] [extra benchmark args...]
 set -eu
@@ -15,9 +16,10 @@ if [ $# -gt 0 ]; then
     esac
 fi
 
-if [ ! -x "$build_dir/bench/micro_shadow" ]; then
+if [ ! -x "$build_dir/bench/micro_shadow" ] ||
+   [ ! -x "$build_dir/bench/micro_dispatch" ]; then
     cmake -B "$build_dir" -S "$repo_root"
-    cmake --build "$build_dir" --target micro_shadow -j
+    cmake --build "$build_dir" --target micro_shadow micro_dispatch -j
 fi
 
 "$build_dir/bench/micro_shadow" \
@@ -27,3 +29,11 @@ fi
     "$@"
 
 echo "wrote $repo_root/BENCH_shadow.json"
+
+"$build_dir/bench/micro_dispatch" \
+    --benchmark_format=json \
+    --benchmark_out="$repo_root/BENCH_dispatch.json" \
+    --benchmark_out_format=json \
+    "$@"
+
+echo "wrote $repo_root/BENCH_dispatch.json"

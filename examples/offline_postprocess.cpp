@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "cdfg/cdfg.hh"
 #include "cdfg/partitioner.hh"
@@ -42,14 +43,22 @@ main(int argc, char **argv)
     std::string profile_path = dir + "/" + w->name + ".profile";
     std::string events_path = dir + "/" + w->name + ".events";
 
-    // Phase 1: the one expensive instrumented run.
+    // Phase 1: the one expensive instrumented run. The trace goes to
+    // disk in the binary block format through a megabyte stream buffer,
+    // and the guest hands events to the tools in batches.
     {
-        std::ofstream trace(trace_path);
+        std::vector<char> iobuf(1 << 20);
+        std::ofstream trace;
+        trace.rdbuf()->pubsetbuf(iobuf.data(),
+                                 static_cast<std::streamsize>(iobuf.size()));
+        trace.open(trace_path, std::ios::binary);
         if (!trace)
             fatal("cannot write to %s (create the directory first)",
                   trace_path.c_str());
-        vg::Guest guest(w->name);
-        vg::TraceRecorder recorder(trace);
+        vg::GuestConfig gcfg;
+        gcfg.batchEvents = true;
+        vg::Guest guest(w->name, gcfg);
+        vg::BinaryTraceRecorder recorder(trace);
         core::SigilConfig cfg;
         cfg.collectReuse = true;
         cfg.collectEvents = true;
@@ -90,8 +99,12 @@ main(int argc, char **argv)
     }
 
     // Phase 3: replay the raw trace into a different profiler mode.
+    // replayTraceFile() sniffs the format, so the same call reads this
+    // binary trace or a legacy text one.
     {
-        vg::Guest guest(w->name);
+        vg::GuestConfig gcfg;
+        gcfg.batchEvents = true;
+        vg::Guest guest(w->name, gcfg);
         core::SigilConfig cfg;
         cfg.granularityShift = 6; // line mode this time
         core::SigilProfiler profiler(cfg);

@@ -73,10 +73,17 @@ CgTool::fnLeave(vg::ContextId ctx, vg::CallNum call)
 void
 CgTool::memRead(vg::Addr addr, unsigned size)
 {
+    readAt(addr, size,
+           collecting_ ? guest_->currentContext() : vg::kInvalidContext);
+}
+
+void
+CgTool::readAt(vg::Addr addr, unsigned size, vg::ContextId ctx)
+{
     CacheAccessResult r = caches_.access(addr, size);
     if (!collecting_)
         return;
-    CgCounters &c = row(guest_->currentContext());
+    CgCounters &c = row(ctx);
     ++c.instructions;
     ++c.reads;
     c.readBytes += size;
@@ -87,10 +94,17 @@ CgTool::memRead(vg::Addr addr, unsigned size)
 void
 CgTool::memWrite(vg::Addr addr, unsigned size)
 {
+    writeAt(addr, size,
+            collecting_ ? guest_->currentContext() : vg::kInvalidContext);
+}
+
+void
+CgTool::writeAt(vg::Addr addr, unsigned size, vg::ContextId ctx)
+{
     CacheAccessResult r = caches_.access(addr, size, true);
     if (!collecting_)
         return;
-    CgCounters &c = row(guest_->currentContext());
+    CgCounters &c = row(ctx);
     ++c.instructions;
     ++c.writes;
     c.writeBytes += size;
@@ -101,7 +115,12 @@ CgTool::memWrite(vg::Addr addr, unsigned size)
 void
 CgTool::op(std::uint64_t iops, std::uint64_t flops)
 {
-    vg::ContextId ctx = guest_->currentContext();
+    opAt(iops, flops, guest_->currentContext());
+}
+
+void
+CgTool::opAt(std::uint64_t iops, std::uint64_t flops, vg::ContextId ctx)
+{
     if (collecting_) {
         CgCounters &c = row(ctx);
         c.instructions += iops + flops;
@@ -115,7 +134,12 @@ CgTool::op(std::uint64_t iops, std::uint64_t flops)
 void
 CgTool::branch(bool taken)
 {
-    vg::ContextId ctx = guest_->currentContext();
+    branchAt(taken, guest_->currentContext());
+}
+
+void
+CgTool::branchAt(bool taken, vg::ContextId ctx)
+{
     bool mispredict = branches_.record(ctx, taken);
     if (!collecting_)
         return;
@@ -124,6 +148,41 @@ CgTool::branch(bool taken)
     ++c.branches;
     if (mispredict)
         ++c.branchMispredicts;
+}
+
+void
+CgTool::processBatch(const vg::EventBuffer &batch)
+{
+    const vg::EventKind *kinds = batch.kinds();
+    const std::uint64_t *as = batch.as();
+    const std::uint64_t *bs = batch.bs();
+    const vg::ContextId *ctxs = batch.ctxs();
+    for (std::size_t i = 0, n = batch.size(); i < n; ++i) {
+        switch (kinds[i]) {
+          case vg::EventKind::kRead:
+            readAt(as[i], static_cast<unsigned>(bs[i]), ctxs[i]);
+            break;
+          case vg::EventKind::kWrite:
+            writeAt(as[i], static_cast<unsigned>(bs[i]), ctxs[i]);
+            break;
+          case vg::EventKind::kOp:
+            opAt(as[i], bs[i], ctxs[i]);
+            break;
+          case vg::EventKind::kBranch:
+            branchAt(as[i] != 0, ctxs[i]);
+            break;
+          case vg::EventKind::kEnter:
+            fnEnter(ctxs[i], batch.call(i));
+            break;
+          case vg::EventKind::kLeave:
+          case vg::EventKind::kThreadSwitch:
+          case vg::EventKind::kBarrier:
+            break;
+          case vg::EventKind::kRoi:
+            roi(as[i] != 0);
+            break;
+        }
+    }
 }
 
 const CgCounters &

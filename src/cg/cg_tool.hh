@@ -58,6 +58,13 @@ class CgTool : public vg::Tool
     void branch(bool taken) override;
     void roi(bool active) override;
 
+    /**
+     * Native batch consumer: drives the cache and branch simulators
+     * straight from the buffer's lanes, using each record's ambient
+     * context instead of querying the guest per event.
+     */
+    void processBatch(const vg::EventBuffer &batch) override;
+
     /** The instruction-side first-level cache. */
     const CacheLevel &i1() const { return i1_; }
 
@@ -71,6 +78,14 @@ class CgTool : public vg::Tool
 
   private:
     CgCounters &row(vg::ContextId ctx);
+
+    /** @name Event bodies with explicit ambient context */
+    /// @{
+    void readAt(vg::Addr addr, unsigned size, vg::ContextId ctx);
+    void writeAt(vg::Addr addr, unsigned size, vg::ContextId ctx);
+    void opAt(std::uint64_t iops, std::uint64_t flops, vg::ContextId ctx);
+    void branchAt(bool taken, vg::ContextId ctx);
+    /// @}
 
     /**
      * Fetch instruction bytes for the current context from its

@@ -77,6 +77,17 @@ SigilProfiler::fnLeave(vg::ContextId ctx, vg::CallNum call)
     (void)call;
     if (!config_.collectEvents)
         return;
+    std::size_t depth = guest_->callDepth();
+    leaveAt(depth > 0 ? guest_->currentContext() : vg::kInvalidContext,
+            depth > 0 ? guest_->currentCall() : 0, depth);
+}
+
+void
+SigilProfiler::leaveAt(vg::ContextId resumed_ctx, vg::CallNum resumed_call,
+                       std::size_t depth)
+{
+    if (!config_.collectEvents)
+        return;
     SegState &state = seg();
     if (state.frameLastSeq.empty())
         panic("SigilProfiler::fnLeave with no open frame");
@@ -86,9 +97,9 @@ SigilProfiler::fnLeave(vg::ContextId ctx, vg::CallNum call)
     // for this re-occurrence of the caller, serially ordered after the
     // caller's previous segment (not after the child — functions are
     // modelled as non-blocking).
-    if (guest_->callDepth() > 0) {
-        startSegment(state, guest_->currentContext(),
-                     guest_->currentCall(), state.frameLastSeq.back());
+    if (depth > 0) {
+        startSegment(state, resumed_ctx, resumed_call,
+                     state.frameLastSeq.back());
         state.frameLastSeq.back() = state.segment.seq;
     } else {
         flushSegment(state);
@@ -107,8 +118,14 @@ SigilProfiler::objectSlot(int alloc_index)
 void
 SigilProfiler::memWrite(vg::Addr addr, unsigned size)
 {
-    vg::ContextId ctx = guest_->currentContext();
-    vg::CallNum call = guest_->currentCall();
+    writeAccess(addr, size, guest_->currentContext(),
+                guest_->currentCall());
+}
+
+void
+SigilProfiler::writeAccess(vg::Addr addr, unsigned size,
+                           vg::ContextId ctx, vg::CallNum call)
+{
     if (collecting_) {
         row(ctx).writeBytes += size;
         if (config_.collectObjects)
@@ -153,9 +170,14 @@ SigilProfiler::writeUnit(shadow::ShadowHot &hot, shadow::ShadowCold &cold,
 void
 SigilProfiler::memRead(vg::Addr addr, unsigned size)
 {
-    vg::ContextId ctx = guest_->currentContext();
-    vg::CallNum call = guest_->currentCall();
-    vg::Tick now = guest_->now();
+    readAccess(addr, size, guest_->currentContext(),
+               guest_->currentCall(), guest_->now());
+}
+
+void
+SigilProfiler::readAccess(vg::Addr addr, unsigned size, vg::ContextId ctx,
+                          vg::CallNum call, vg::Tick now)
+{
     if (collecting_)
         row(ctx).readBytes += size;
     SegState &state = seg();
@@ -319,7 +341,18 @@ SigilProfiler::op(std::uint64_t iops, std::uint64_t flops)
 {
     if (!collecting_)
         return;
-    CommAggregates &r = row(guest_->currentContext());
+    opAt(iops, flops, guest_->currentContext());
+}
+
+void
+SigilProfiler::opAt(std::uint64_t iops, std::uint64_t flops,
+                    vg::ContextId ctx)
+{
+    if (!collecting_)
+        return;
+    if (ctx == vg::kInvalidContext)
+        panic("SigilProfiler: op outside any function");
+    CommAggregates &r = row(ctx);
     r.iops += iops;
     r.flops += flops;
     SegState &state = seg();
@@ -331,6 +364,17 @@ SigilProfiler::op(std::uint64_t iops, std::uint64_t flops)
 
 void
 SigilProfiler::threadSwitch(vg::ThreadId tid)
+{
+    // At this point the guest's current thread is already tid.
+    bool active = guest_->callDepth() > 0;
+    threadSwitchAt(tid,
+                   active ? guest_->currentContext() : vg::kInvalidContext,
+                   active ? guest_->currentCall() : 0);
+}
+
+void
+SigilProfiler::threadSwitchAt(vg::ThreadId tid, vg::ContextId ctx,
+                              vg::CallNum call)
 {
     if (static_cast<std::size_t>(tid) >= segStates_.size())
         segStates_.resize(static_cast<std::size_t>(tid) + 1);
@@ -347,8 +391,7 @@ SigilProfiler::threadSwitch(vg::ThreadId tid)
     // segment chained to its previous one.
     SegState &state = seg();
     if (!state.frameLastSeq.empty()) {
-        startSegment(state, guest_->currentContext(),
-                     guest_->currentCall(), state.frameLastSeq.back());
+        startSegment(state, ctx, call, state.frameLastSeq.back());
         state.frameLastSeq.back() = state.segment.seq;
     }
 }
@@ -391,6 +434,16 @@ SigilProfiler::barrier()
 {
     if (!config_.collectEvents)
         return;
+    bool active = guest_->callDepth() > 0;
+    barrierAt(active ? guest_->currentContext() : vg::kInvalidContext,
+              active ? guest_->currentCall() : 0);
+}
+
+void
+SigilProfiler::barrierAt(vg::ContextId ctx, vg::CallNum call)
+{
+    if (!config_.collectEvents)
+        return;
     // Close every thread's open segment; everything after the barrier
     // is ordered after everything before it.
     barrierPreds_.clear();
@@ -404,8 +457,7 @@ SigilProfiler::barrier()
     // post-barrier work lands in a node that carries the barrier edges.
     SegState &cur = seg();
     if (!cur.frameLastSeq.empty()) {
-        startSegment(cur, guest_->currentContext(),
-                     guest_->currentCall(), cur.frameLastSeq.back());
+        startSegment(cur, ctx, call, cur.frameLastSeq.back());
         cur.frameLastSeq.back() = cur.segment.seq;
     }
 }
@@ -456,6 +508,52 @@ SigilProfiler::flushSegment(SegState &state)
     }
     state.xfers.clear();
     state.open = false;
+}
+
+void
+SigilProfiler::processBatch(const vg::EventBuffer &batch)
+{
+    const vg::EventKind *kinds = batch.kinds();
+    const std::uint64_t *as = batch.as();
+    const std::uint64_t *bs = batch.bs();
+    const vg::ContextId *ctxs = batch.ctxs();
+    const vg::CallNum *calls = batch.calls();
+    const vg::Tick *ticks = batch.ticks();
+    const std::uint32_t *depths = batch.depths();
+    for (std::size_t i = 0, n = batch.size(); i < n; ++i) {
+        switch (kinds[i]) {
+          case vg::EventKind::kRead:
+            readAccess(as[i], static_cast<unsigned>(bs[i]), ctxs[i],
+                       calls[i], ticks[i]);
+            break;
+          case vg::EventKind::kWrite:
+            writeAccess(as[i], static_cast<unsigned>(bs[i]), ctxs[i],
+                        calls[i]);
+            break;
+          case vg::EventKind::kOp:
+            if (collecting_)
+                opAt(as[i], bs[i], ctxs[i]);
+            break;
+          case vg::EventKind::kBranch:
+            break;
+          case vg::EventKind::kEnter:
+            fnEnter(ctxs[i], calls[i]);
+            break;
+          case vg::EventKind::kLeave:
+            leaveAt(ctxs[i], calls[i], depths[i]);
+            break;
+          case vg::EventKind::kThreadSwitch:
+            threadSwitchAt(static_cast<vg::ThreadId>(as[i]), ctxs[i],
+                           calls[i]);
+            break;
+          case vg::EventKind::kBarrier:
+            barrierAt(ctxs[i], calls[i]);
+            break;
+          case vg::EventKind::kRoi:
+            roi(as[i] != 0);
+            break;
+        }
+    }
 }
 
 void

@@ -86,6 +86,13 @@ class SigilProfiler : public vg::Tool
     void roi(bool active) override;
     void finish() override;
 
+    /**
+     * Native batch consumer: reads the buffer's lanes directly instead
+     * of going through the per-event virtuals and the guest's
+     * ambient-state accessors. Produces bit-identical profiles.
+     */
+    void processBatch(const vg::EventBuffer &batch) override;
+
     /** Aggregates of one context (zeroes if never seen). */
     const CommAggregates &aggregates(vg::ContextId ctx) const;
 
@@ -101,6 +108,25 @@ class SigilProfiler : public vg::Tool
 
   private:
     CommAggregates &row(vg::ContextId ctx);
+
+    /** @name Event bodies with explicit ambient state
+     *
+     * The per-event virtuals query the guest for the ambient state
+     * (current context, call, virtual time, depth) and forward here;
+     * processBatch() forwards the buffer's ambient lanes directly.
+     */
+    /// @{
+    void readAccess(vg::Addr addr, unsigned size, vg::ContextId ctx,
+                    vg::CallNum call, vg::Tick now);
+    void writeAccess(vg::Addr addr, unsigned size, vg::ContextId ctx,
+                     vg::CallNum call);
+    void opAt(std::uint64_t iops, std::uint64_t flops, vg::ContextId ctx);
+    void leaveAt(vg::ContextId resumed_ctx, vg::CallNum resumed_call,
+                 std::size_t depth);
+    void threadSwitchAt(vg::ThreadId tid, vg::ContextId ctx,
+                        vg::CallNum call);
+    void barrierAt(vg::ContextId ctx, vg::CallNum call);
+    /// @}
 
     /**
      * Close the pending re-use run of a shadow object, folding its

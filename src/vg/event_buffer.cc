@@ -1,0 +1,71 @@
+#include "event_buffer.hh"
+
+#include "vg/tool.hh"
+
+namespace sigil::vg {
+
+namespace {
+
+thread_local const DispatchCursor *tActiveCursor = nullptr;
+
+} // namespace
+
+const DispatchCursor *
+activeDispatchCursor()
+{
+    return tActiveCursor;
+}
+
+void
+EventBuffer::replayTo(Tool &tool) const
+{
+    DispatchCursor cursor;
+    const DispatchCursor *saved = tActiveCursor;
+    tActiveCursor = &cursor;
+    for (std::size_t i = 0; i < size_; ++i) {
+        cursor.ctx = ctx_[i];
+        cursor.call = call_[i];
+        cursor.tick = tick_[i];
+        cursor.depth = depth_[i];
+        switch (kind_[i]) {
+          case EventKind::kRead:
+            tool.memRead(a_[i], static_cast<unsigned>(b_[i]));
+            break;
+          case EventKind::kWrite:
+            tool.memWrite(a_[i], static_cast<unsigned>(b_[i]));
+            break;
+          case EventKind::kOp:
+            tool.op(a_[i], b_[i]);
+            break;
+          case EventKind::kBranch:
+            tool.branch(a_[i] != 0);
+            break;
+          case EventKind::kEnter:
+            tool.fnEnter(ctx_[i], call_[i]);
+            break;
+          case EventKind::kLeave:
+            tool.fnLeave(static_cast<ContextId>(
+                             static_cast<std::int64_t>(a_[i])),
+                         b_[i]);
+            break;
+          case EventKind::kThreadSwitch:
+            tool.threadSwitch(static_cast<ThreadId>(a_[i]));
+            break;
+          case EventKind::kBarrier:
+            tool.barrier();
+            break;
+          case EventKind::kRoi:
+            tool.roi(a_[i] != 0);
+            break;
+        }
+    }
+    tActiveCursor = saved;
+}
+
+void
+Tool::processBatch(const EventBuffer &batch)
+{
+    batch.replayTo(*this);
+}
+
+} // namespace sigil::vg

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Batched event transport between the Guest and its tools.
+ *
+ * Instead of one virtual Tool call per primitive event, the Guest can
+ * append compact POD records into a fixed-capacity structure-of-arrays
+ * EventBuffer and hand the whole buffer to each tool at once through
+ * Tool::processBatch(). Tools that do not override processBatch() get a
+ * default adapter that replays the batch through the per-event virtuals
+ * in order, so every existing tool keeps working unchanged.
+ *
+ * Because dispatch is deferred, a tool callback can no longer read the
+ * live guest state (the guest has already moved past the event). Every
+ * record therefore carries the ambient state a tool may query — current
+ * context, call number, call depth, and the virtual clock (folded into
+ * the record rather than emitted as separate clock events). During a
+ * replay the adapter exposes that state through a thread-local
+ * DispatchCursor which Guest::currentContext()/currentCall()/now()/
+ * callDepth() consult, making deferred dispatch observably identical to
+ * immediate dispatch.
+ */
+
+#ifndef SIGIL_VG_EVENT_BUFFER_HH
+#define SIGIL_VG_EVENT_BUFFER_HH
+
+#include <cstdint>
+#include <cstddef>
+#include <memory>
+
+#include "vg/types.hh"
+
+namespace sigil::vg {
+
+class Tool;
+
+/** Discriminator of one buffered event record. */
+enum class EventKind : std::uint8_t {
+    kRead,         ///< a = addr, b = size
+    kWrite,        ///< a = addr, b = size
+    kOp,           ///< a = iops, b = flops
+    kBranch,       ///< a = taken
+    kEnter,        ///< a = function id; ctx/call lanes = entered frame
+    kLeave,        ///< a = left ctx, b = left call; ctx/call = resumed
+    kThreadSwitch, ///< a = incoming thread id
+    kBarrier,      ///< no payload
+    kRoi,          ///< a = active flag
+};
+
+/**
+ * Ambient guest state of the event currently being replayed to a tool.
+ * While a replay is active on a thread, the Guest's state accessors
+ * answer from the cursor instead of the live (producer-side) state.
+ */
+struct DispatchCursor
+{
+    ContextId ctx = kInvalidContext;
+    CallNum call = 0;
+    Tick tick = 0;
+    std::uint32_t depth = 0;
+};
+
+/**
+ * The cursor active on the calling thread, or nullptr outside a batch
+ * replay. Set by EventBuffer::replayTo().
+ */
+const DispatchCursor *activeDispatchCursor();
+
+/**
+ * Fixed-capacity structure-of-arrays buffer of primitive guest events.
+ *
+ * Lanes are parallel arrays indexed by record number: the payload lanes
+ * a/b (meaning per EventKind, see above) and the ambient lanes
+ * ctx/call/tick/depth (state *after* the event applied: for kLeave the
+ * resumed caller frame, for kEnter the entered frame). Batch-native
+ * consumers read the lanes directly; everyone else goes through
+ * replayTo().
+ */
+class EventBuffer
+{
+  public:
+    explicit EventBuffer(std::size_t capacity)
+        : capacity_(capacity ? capacity : 1),
+          kind_(new EventKind[capacity_]), a_(new std::uint64_t[capacity_]),
+          b_(new std::uint64_t[capacity_]), ctx_(new ContextId[capacity_]),
+          call_(new CallNum[capacity_]), tick_(new Tick[capacity_]),
+          depth_(new std::uint32_t[capacity_])
+    {}
+
+    EventBuffer(const EventBuffer &) = delete;
+    EventBuffer &operator=(const EventBuffer &) = delete;
+
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return capacity_; }
+    bool empty() const { return size_ == 0; }
+    bool full() const { return size_ == capacity_; }
+    void clear() { size_ = 0; }
+
+    /** Append one record; the caller checks full() afterwards. */
+    void
+    append(EventKind kind, std::uint64_t a, std::uint64_t b,
+           ContextId ctx, CallNum call, Tick tick, std::uint32_t depth)
+    {
+        std::size_t i = size_++;
+        kind_[i] = kind;
+        a_[i] = a;
+        b_[i] = b;
+        ctx_[i] = ctx;
+        call_[i] = call;
+        tick_[i] = tick;
+        depth_[i] = depth;
+    }
+
+    /** @name Per-record accessors */
+    /// @{
+    EventKind kind(std::size_t i) const { return kind_[i]; }
+    std::uint64_t a(std::size_t i) const { return a_[i]; }
+    std::uint64_t b(std::size_t i) const { return b_[i]; }
+    ContextId ctx(std::size_t i) const { return ctx_[i]; }
+    CallNum call(std::size_t i) const { return call_[i]; }
+    Tick tick(std::size_t i) const { return tick_[i]; }
+    std::uint32_t depth(std::size_t i) const { return depth_[i]; }
+    /// @}
+
+    /** @name Raw lanes, for batch-native consumers */
+    /// @{
+    const EventKind *kinds() const { return kind_.get(); }
+    const std::uint64_t *as() const { return a_.get(); }
+    const std::uint64_t *bs() const { return b_.get(); }
+    const ContextId *ctxs() const { return ctx_.get(); }
+    const CallNum *calls() const { return call_.get(); }
+    const Tick *ticks() const { return tick_.get(); }
+    const std::uint32_t *depths() const { return depth_.get(); }
+    /// @}
+
+    /**
+     * Replay every record through the tool's per-event virtuals, in
+     * order, with the dispatch cursor of the calling thread tracking
+     * each record's ambient lanes. This is the default
+     * Tool::processBatch() implementation.
+     */
+    void replayTo(Tool &tool) const;
+
+  private:
+    std::size_t size_ = 0;
+    std::size_t capacity_;
+    std::unique_ptr<EventKind[]> kind_;
+    std::unique_ptr<std::uint64_t[]> a_;
+    std::unique_ptr<std::uint64_t[]> b_;
+    std::unique_ptr<ContextId[]> ctx_;
+    std::unique_ptr<CallNum[]> call_;
+    std::unique_ptr<Tick[]> tick_;
+    std::unique_ptr<std::uint32_t[]> depth_;
+};
+
+} // namespace sigil::vg
+
+#endif // SIGIL_VG_EVENT_BUFFER_HH

@@ -1,10 +1,100 @@
 #include "guest.hh"
 
 #include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
 
 #include "support/logging.hh"
 
 namespace sigil::vg {
+
+/**
+ * Double-buffered hand-off between the workload thread and the tool
+ * consumer thread (asyncTools mode). The guest fills one EventBuffer
+ * while the consumer drains the other; submit() exchanges a filled
+ * buffer for a drained one, blocking only when the consumer is still
+ * behind by a full buffer.
+ *
+ * The hand-off mutex is also the synchronization point for the shared
+ * read-mostly registries (function names, context nodes, allocations):
+ * the guest calls waitIdle() before any vector reallocation of those,
+ * so the consumer never observes storage being moved. Everything a
+ * buffered event refers to was created before the buffer was submitted,
+ * hence before the consumer could dereference it.
+ */
+class AsyncToolPipeline
+{
+  public:
+    AsyncToolPipeline(Guest &guest, std::size_t capacity)
+        : guest_(guest), spare_(std::make_unique<EventBuffer>(capacity))
+    {
+        worker_ = std::thread([this] { run(); });
+    }
+
+    ~AsyncToolPipeline()
+    {
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        worker_.join();
+    }
+
+    /** Exchange a filled buffer for a drained one. */
+    std::unique_ptr<EventBuffer>
+    submit(std::unique_ptr<EventBuffer> filled)
+    {
+        std::unique_lock<std::mutex> lock(m_);
+        cv_.wait(lock, [this] { return spare_ != nullptr; });
+        std::unique_ptr<EventBuffer> fresh = std::move(spare_);
+        pending_ = std::move(filled);
+        cv_.notify_all();
+        return fresh;
+    }
+
+    /** Block until every submitted buffer has been fully drained. */
+    void
+    waitIdle()
+    {
+        std::unique_lock<std::mutex> lock(m_);
+        cv_.wait(lock, [this] { return pending_ == nullptr && !busy_; });
+    }
+
+  private:
+    void
+    run()
+    {
+        std::unique_lock<std::mutex> lock(m_);
+        for (;;) {
+            cv_.wait(lock,
+                     [this] { return stop_ || pending_ != nullptr; });
+            if (pending_ == nullptr) // stop requested, nothing queued
+                return;
+            std::unique_ptr<EventBuffer> batch = std::move(pending_);
+            busy_ = true;
+            lock.unlock();
+            guest_.dispatchBatch(*batch);
+            batch->clear();
+            lock.lock();
+            spare_ = std::move(batch);
+            busy_ = false;
+            cv_.notify_all();
+            if (stop_)
+                return;
+        }
+    }
+
+    Guest &guest_;
+    std::thread worker_;
+    std::mutex m_;
+    std::condition_variable cv_;
+    std::unique_ptr<EventBuffer> pending_;
+    std::unique_ptr<EventBuffer> spare_;
+    bool busy_ = false;
+    bool stop_ = false;
+};
 
 Guest::Guest(std::string program_name, const GuestConfig &config)
     : programName_(std::move(program_name)),
@@ -12,6 +102,29 @@ Guest::Guest(std::string program_name, const GuestConfig &config)
 {
     inputFn_ = functions_.intern("*input*");
     threads_.push_back(ThreadCtx{{}, kStackBase});
+    batching_ = config.batchEvents || config.asyncTools;
+    if (batching_) {
+        fillBuf_ = std::make_unique<EventBuffer>(config.eventBufferEvents);
+        if (config.asyncTools) {
+            pipeline_ = std::make_unique<AsyncToolPipeline>(
+                *this, config.eventBufferEvents);
+            // The consumer dereferences registry entries while the
+            // workload thread appends new ones; stall it across the
+            // rare vector reallocation so storage never moves under a
+            // concurrent reader.
+            auto barrier = [this] { pipeline_->waitIdle(); };
+            functions_.setGrowthBarrier(barrier);
+            contexts_.setGrowthBarrier(barrier);
+        }
+    }
+}
+
+Guest::~Guest()
+{
+    // Unsynced buffered events are dropped, not dispatched: the tools
+    // (owned by the caller) may already be destroyed by now. finish()
+    // is the orderly path.
+    pipeline_.reset();
 }
 
 void
@@ -21,6 +134,53 @@ Guest::addTool(Tool *tool)
         panic("Guest::addTool: null tool");
     tools_.push_back(tool);
     tool->attach(*this);
+}
+
+void
+Guest::appendEvent(EventKind kind, std::uint64_t a, std::uint64_t b)
+{
+    const ThreadCtx &t = thread();
+    ContextId ctx = kInvalidContext;
+    CallNum call = 0;
+    if (!t.frames.empty()) {
+        const Frame &f = t.frames.back();
+        ctx = f.ctx;
+        call = f.call;
+    }
+    fillBuf_->append(kind, a, b, ctx, call, counters_.instructions(),
+                     static_cast<std::uint32_t>(t.frames.size()));
+    if (fillBuf_->full())
+        flushFill();
+}
+
+void
+Guest::flushFill()
+{
+    if (fillBuf_->empty())
+        return;
+    if (pipeline_) {
+        fillBuf_ = pipeline_->submit(std::move(fillBuf_));
+    } else {
+        dispatchBatch(*fillBuf_);
+        fillBuf_->clear();
+    }
+}
+
+void
+Guest::dispatchBatch(const EventBuffer &batch)
+{
+    for (Tool *t : tools_)
+        t->processBatch(batch);
+}
+
+void
+Guest::sync()
+{
+    if (!batching_)
+        return;
+    flushFill();
+    if (pipeline_)
+        pipeline_->waitIdle();
 }
 
 void
@@ -35,6 +195,13 @@ Guest::enter(FunctionId fn)
     CallNum call = nextCall_++;
     t.frames.push_back(Frame{ctx, call, t.stackPtr});
     ++counters_.calls;
+    if (batching_) {
+        appendEvent(EventKind::kEnter,
+                    static_cast<std::uint64_t>(
+                        static_cast<std::uint32_t>(fn)),
+                    0);
+        return;
+    }
     dispatchEnter(ctx, call);
 }
 
@@ -47,12 +214,24 @@ Guest::leave()
     Frame f = t.frames.back();
     t.frames.pop_back();
     t.stackPtr = f.stackWatermark;
+    if (batching_) {
+        appendEvent(EventKind::kLeave,
+                    static_cast<std::uint64_t>(
+                        static_cast<std::uint32_t>(f.ctx)),
+                    f.call);
+        return;
+    }
     dispatchLeave(f.ctx, f.call);
 }
 
 ContextId
 Guest::currentContext() const
 {
+    if (const DispatchCursor *c = activeDispatchCursor()) {
+        if (c->ctx == kInvalidContext)
+            panic("Guest::currentContext with empty call stack");
+        return c->ctx;
+    }
     if (thread().frames.empty())
         panic("Guest::currentContext with empty call stack");
     return thread().frames.back().ctx;
@@ -61,6 +240,11 @@ Guest::currentContext() const
 CallNum
 Guest::currentCall() const
 {
+    if (const DispatchCursor *c = activeDispatchCursor()) {
+        if (c->ctx == kInvalidContext)
+            panic("Guest::currentCall with empty call stack");
+        return c->call;
+    }
     if (thread().frames.empty())
         panic("Guest::currentCall with empty call stack");
     return thread().frames.back().call;
@@ -78,9 +262,12 @@ Guest::alloc(std::size_t bytes, std::string_view tag)
     if (heapPtr_ >= kStackBase)
         fatal("guest heap exhausted (%llu bytes allocated)",
               static_cast<unsigned long long>(heapBytes()));
+    if (pipeline_ && allocations_.size() == allocations_.capacity())
+        pipeline_->waitIdle();
     allocations_.push_back(Allocation{
         base, static_cast<std::uint64_t>(bytes),
         std::string(tag.empty() ? "anon" : tag)});
+    allocCount_.store(allocations_.size(), std::memory_order_release);
     return base;
 }
 
@@ -88,7 +275,10 @@ int
 Guest::allocationOf(Addr addr) const
 {
     // Allocations are bump-allocated, so the vector is base-sorted.
-    std::size_t lo = 0, hi = allocations_.size();
+    // The published count (not the raw vector size) bounds the search
+    // so the async consumer sees a consistent prefix.
+    std::size_t lo = 0;
+    std::size_t hi = allocCount_.load(std::memory_order_acquire);
     while (lo < hi) {
         std::size_t mid = (lo + hi) / 2;
         if (allocations_[mid].base <= addr)
@@ -122,6 +312,10 @@ Guest::read(Addr addr, unsigned size)
     counters_.readBytes += size;
     if (thread().frames.empty())
         panic("Guest::read outside any function");
+    if (batching_) {
+        appendEvent(EventKind::kRead, addr, size);
+        return;
+    }
     for (Tool *t : tools_)
         t->memRead(addr, size);
 }
@@ -133,6 +327,10 @@ Guest::write(Addr addr, unsigned size)
     counters_.writeBytes += size;
     if (thread().frames.empty())
         panic("Guest::write outside any function");
+    if (batching_) {
+        appendEvent(EventKind::kWrite, addr, size);
+        return;
+    }
     for (Tool *t : tools_)
         t->memWrite(addr, size);
 }
@@ -141,6 +339,10 @@ void
 Guest::iop(std::uint64_t n)
 {
     counters_.iops += n;
+    if (batching_) {
+        appendEvent(EventKind::kOp, n, 0);
+        return;
+    }
     for (Tool *t : tools_)
         t->op(n, 0);
 }
@@ -149,6 +351,10 @@ void
 Guest::flop(std::uint64_t n)
 {
     counters_.flops += n;
+    if (batching_) {
+        appendEvent(EventKind::kOp, 0, n);
+        return;
+    }
     for (Tool *t : tools_)
         t->op(0, n);
 }
@@ -157,6 +363,10 @@ void
 Guest::branch(bool taken)
 {
     ++counters_.branches;
+    if (batching_) {
+        appendEvent(EventKind::kBranch, taken ? 1 : 0, 0);
+        return;
+    }
     for (Tool *t : tools_)
         t->branch(taken);
 }
@@ -221,6 +431,10 @@ Guest::switchThread(ThreadId tid)
     if (tid == currentTid_)
         return;
     currentTid_ = tid;
+    if (batching_) {
+        appendEvent(EventKind::kThreadSwitch, tid, 0);
+        return;
+    }
     for (Tool *t : tools_)
         t->threadSwitch(tid);
 }
@@ -231,6 +445,10 @@ Guest::roiBegin()
     if (roiActive_)
         panic("Guest::roiBegin: ROI already active (no nesting)");
     roiActive_ = true;
+    if (batching_) {
+        appendEvent(EventKind::kRoi, 1, 0);
+        return;
+    }
     for (Tool *t : tools_)
         t->roi(true);
 }
@@ -241,6 +459,10 @@ Guest::roiEnd()
     if (!roiActive_)
         panic("Guest::roiEnd without roiBegin");
     roiActive_ = false;
+    if (batching_) {
+        appendEvent(EventKind::kRoi, 0, 0);
+        return;
+    }
     for (Tool *t : tools_)
         t->roi(false);
 }
@@ -250,6 +472,10 @@ Guest::barrier()
 {
     if (finished_)
         panic("Guest::barrier after finish()");
+    if (batching_) {
+        appendEvent(EventKind::kBarrier, 0, 0);
+        return;
+    }
     for (Tool *t : tools_)
         t->barrier();
 }
@@ -269,6 +495,7 @@ Guest::finish()
             leave();
     }
     finished_ = true;
+    sync();
     for (Tool *t : tools_)
         t->finish();
 }

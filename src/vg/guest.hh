@@ -18,12 +18,15 @@
 #ifndef SIGIL_VG_GUEST_HH
 #define SIGIL_VG_GUEST_HH
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "vg/context_tree.hh"
+#include "vg/event_buffer.hh"
 #include "vg/function_registry.hh"
 #include "vg/tool.hh"
 #include "vg/types.hh"
@@ -59,7 +62,33 @@ struct GuestConfig
      * 0 = unlimited.
      */
     unsigned maxContextDepth = 0;
+
+    /**
+     * Batched event transport: buffer events into a structure-of-arrays
+     * EventBuffer and dispatch them to tools one full buffer at a time
+     * (Tool::processBatch) instead of one virtual call per event.
+     * Observably identical to per-event dispatch, except that tool
+     * state lags the guest until the buffer flushes — call sync()
+     * before querying a tool mid-run.
+     */
+    bool batchEvents = false;
+
+    /**
+     * Asynchronous analysis pipeline (implies batchEvents): a consumer
+     * thread drains filled buffers through the tools while the workload
+     * thread fills the other buffer (double buffering). sync() is the
+     * barrier that makes tool state current; finish() syncs
+     * implicitly, so end-of-run results are bit-identical to
+     * synchronous dispatch. Tools must not be destroyed before
+     * finish()/sync() has drained the pipeline.
+     */
+    bool asyncTools = false;
+
+    /** Capacity of each event buffer, in records. */
+    std::size_t eventBufferEvents = 4096;
 };
+
+class AsyncToolPipeline;
 
 /** The instrumented guest program. */
 class Guest
@@ -70,6 +99,8 @@ class Guest
     {}
 
     Guest(std::string program_name, const GuestConfig &config);
+
+    ~Guest();
 
     Guest(const Guest &) = delete;
     Guest &operator=(const Guest &) = delete;
@@ -105,7 +136,13 @@ class Guest
     CallNum currentCall() const;
 
     /** Current call depth (of the current thread). */
-    std::size_t callDepth() const { return thread().frames.size(); }
+    std::size_t
+    callDepth() const
+    {
+        if (const DispatchCursor *c = activeDispatchCursor())
+            return c->depth;
+        return thread().frames.size();
+    }
 
     /// @}
 
@@ -263,8 +300,23 @@ class Guest
     /** Finish the program: pops nothing, notifies tools. Idempotent. */
     void finish();
 
+    /**
+     * Flush buffered events to the tools and, in async mode, wait for
+     * the consumer thread to drain them. After sync() every tool has
+     * observed every event emitted so far; required before querying
+     * tool state mid-run in batched/async mode. No-op in per-event
+     * mode. finish() syncs implicitly.
+     */
+    void sync();
+
     /** Virtual time in retired operations. */
-    Tick now() const { return counters_.instructions(); }
+    Tick
+    now() const
+    {
+        if (const DispatchCursor *c = activeDispatchCursor())
+            return c->tick;
+        return counters_.instructions();
+    }
 
     const GuestCounters &counters() const { return counters_; }
 
@@ -288,6 +340,22 @@ class Guest
     void dispatchEnter(ContextId ctx, CallNum call);
     void dispatchLeave(ContextId ctx, CallNum call);
 
+    /** @name Batched transport */
+    /// @{
+
+    friend class AsyncToolPipeline;
+
+    /** Append one record with the current ambient state. */
+    void appendEvent(EventKind kind, std::uint64_t a, std::uint64_t b);
+
+    /** Hand the filled buffer to the tools (or the consumer thread). */
+    void flushFill();
+
+    /** Run one buffer through every attached tool, in attach order. */
+    void dispatchBatch(const EventBuffer &batch);
+
+    /// @}
+
     std::string programName_;
     FunctionRegistry functions_;
     ContextTree contexts_;
@@ -299,10 +367,16 @@ class Guest
 
     Addr heapPtr_ = kHeapBase;
     std::vector<Allocation> allocations_;
+    /** Allocation count published for cross-thread allocationOf(). */
+    std::atomic<std::size_t> allocCount_{0};
 
     FunctionId inputFn_;
     bool roiActive_ = false;
     bool finished_ = false;
+
+    bool batching_ = false;
+    std::unique_ptr<EventBuffer> fillBuf_;
+    std::unique_ptr<AsyncToolPipeline> pipeline_;
 
     GuestCounters counters_;
 };

@@ -17,6 +17,7 @@
 
 namespace sigil::vg {
 
+class EventBuffer;
 class Guest;
 
 /** Base class for instrumentation tools. */
@@ -27,6 +28,16 @@ class Tool
 
     /** Called once when the tool is attached to a guest. */
     virtual void attach(const Guest &guest) { guest_ = &guest; }
+
+    /**
+     * A batch of buffered events (batched-transport mode). The default
+     * implementation replays the batch through the per-event virtuals
+     * below, with the guest's ambient-state accessors answering from
+     * the batch's dispatch cursor, so tools that never heard of
+     * batching behave identically. Hot tools override this and consume
+     * the buffer's lanes directly.
+     */
+    virtual void processBatch(const EventBuffer &batch);
 
     /** A function was entered, creating context ctx with call number. */
     virtual void fnEnter(ContextId ctx, CallNum call)

@@ -1,5 +1,7 @@
 #include "trace_io.hh"
 
+#include <charconv>
+#include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -9,14 +11,224 @@
 
 namespace sigil::vg {
 
-TraceRecorder::TraceRecorder(std::ostream &os) : os_(os) {}
+namespace {
+
+/** Flush the text formatting buffer once it crosses this size. */
+constexpr std::size_t kTextFlushBytes = 64 * 1024;
+
+constexpr char kBinaryMagic[4] = {'S', 'G', 'B', '1'};
+
+/** @name Binary section tags */
+/// @{
+constexpr std::uint8_t kSecEnd = 0x00;
+constexpr std::uint8_t kSecFunction = 0x01;
+constexpr std::uint8_t kSecBlock = 0x02;
+/// @}
+
+/** @name Binary event opcodes */
+/// @{
+constexpr std::uint8_t kOpRead = 1;
+constexpr std::uint8_t kOpWrite = 2;
+constexpr std::uint8_t kOpOp = 3;
+constexpr std::uint8_t kOpBranchTaken = 4;
+constexpr std::uint8_t kOpBranchNotTaken = 5;
+constexpr std::uint8_t kOpEnter = 6;
+constexpr std::uint8_t kOpLeave = 7;
+constexpr std::uint8_t kOpThreadSwitch = 8;
+constexpr std::uint8_t kOpBarrier = 9;
+constexpr std::uint8_t kOpRoiBegin = 10;
+constexpr std::uint8_t kOpRoiEnd = 11;
+/// @}
+
+void
+putVarint(std::string &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<char>(v | 0x80));
+        v >>= 7;
+    }
+    out.push_back(static_cast<char>(v));
+}
+
+std::uint64_t
+zigzag(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t
+unzigzag(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v >> 1) ^
+           -static_cast<std::int64_t>(v & 1);
+}
+
+void
+putUint(std::string &out, std::uint64_t v)
+{
+    char tmp[20];
+    auto [ptr, ec] = std::to_chars(tmp, tmp + sizeof(tmp), v);
+    (void)ec;
+    out.append(tmp, ptr);
+}
+
+/**
+ * Checked byte-level reader over an istream for the binary format.
+ * Reads the stream in large chunks and serves bytes from an internal
+ * buffer: varint decoding touches every byte, and a virtual
+ * istream::get() per byte would dominate the replay cost.
+ */
+class ByteReader
+{
+  public:
+    explicit ByteReader(std::istream &is) : is_(is)
+    {
+        buf_.resize(kChunkBytes);
+    }
+
+    std::uint8_t
+    u8()
+    {
+        if (pos_ == len_)
+            refill();
+        return static_cast<std::uint8_t>(buf_[pos_++]);
+    }
+
+    std::uint64_t
+    varint()
+    {
+        // Fast path: a full varint's worth of buffered bytes.
+        if (len_ - pos_ >= 10) {
+            const unsigned char *p =
+                reinterpret_cast<const unsigned char *>(buf_.data()) + pos_;
+            std::uint64_t v = p[0] & 0x7f;
+            if (!(p[0] & 0x80)) {
+                ++pos_;
+                return v;
+            }
+            unsigned i = 1;
+            unsigned shift = 7;
+            do {
+                v |= static_cast<std::uint64_t>(p[i] & 0x7f) << shift;
+                shift += 7;
+            } while ((p[i++] & 0x80) && shift < 70);
+            if (shift >= 70 && (p[i - 1] & 0x80))
+                fatal("binary trace: varint overflow");
+            pos_ += i;
+            return v;
+        }
+        std::uint64_t v = 0;
+        unsigned shift = 0;
+        for (;;) {
+            std::uint8_t byte = u8();
+            if (shift >= 64)
+                fatal("binary trace: varint overflow");
+            v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+            if (!(byte & 0x80))
+                return v;
+            shift += 7;
+        }
+    }
+
+    std::string
+    bytes(std::uint64_t n)
+    {
+        if (n > (1u << 20))
+            fatal("binary trace: unreasonable string length");
+        std::string s;
+        s.reserve(n);
+        while (s.size() < n) {
+            if (pos_ == len_)
+                refill();
+            std::size_t take = std::min<std::size_t>(len_ - pos_,
+                                                     n - s.size());
+            s.append(buf_.data() + pos_, take);
+            pos_ += take;
+        }
+        return s;
+    }
+
+  private:
+    static constexpr std::size_t kChunkBytes = 256 * 1024;
+
+    void
+    refill()
+    {
+        is_.read(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+        len_ = static_cast<std::size_t>(is_.gcount());
+        pos_ = 0;
+        if (len_ == 0)
+            fatal("binary trace: truncated input");
+    }
+
+    std::istream &is_;
+    std::string buf_;
+    std::size_t pos_ = 0;
+    std::size_t len_ = 0;
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Text recorder
+// ---------------------------------------------------------------------
+
+TraceRecorder::TraceRecorder(std::ostream &os) : os_(os)
+{
+    buf_.reserve(kTextFlushBytes + 256);
+}
 
 void
 TraceRecorder::attach(const Guest &guest)
 {
     Tool::attach(guest);
-    os_ << "sigil-trace\t1\n";
-    os_ << "program\t" << guest.programName() << '\n';
+    buf_ += "sigil-trace\t1\n";
+    buf_ += "program\t";
+    buf_ += guest.programName();
+    buf_ += '\n';
+}
+
+void
+TraceRecorder::maybeFlush()
+{
+    if (buf_.size() >= kTextFlushBytes) {
+        os_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+        buf_.clear();
+    }
+}
+
+void
+TraceRecorder::put(char tag)
+{
+    buf_ += tag;
+    buf_ += '\n';
+    ++events_;
+    maybeFlush();
+}
+
+void
+TraceRecorder::put(char tag, std::uint64_t v0)
+{
+    buf_ += tag;
+    buf_ += '\t';
+    putUint(buf_, v0);
+    buf_ += '\n';
+    ++events_;
+    maybeFlush();
+}
+
+void
+TraceRecorder::put(char tag, std::uint64_t v0, std::uint64_t v1)
+{
+    buf_ += tag;
+    buf_ += '\t';
+    putUint(buf_, v0);
+    buf_ += '\t';
+    putUint(buf_, v1);
+    buf_ += '\n';
+    ++events_;
+    maybeFlush();
 }
 
 void
@@ -28,7 +240,11 @@ TraceRecorder::ensureFunction(FunctionId fn)
     if (emitted_[idx])
         return;
     emitted_[idx] = true;
-    os_ << "F\t" << fn << '\t' << guest_->functions().name(fn) << '\n';
+    buf_ += "F\t";
+    putUint(buf_, static_cast<std::uint64_t>(static_cast<std::uint32_t>(fn)));
+    buf_ += '\t';
+    buf_ += guest_->functions().name(fn);
+    buf_ += '\n';
 }
 
 void
@@ -37,8 +253,7 @@ TraceRecorder::fnEnter(ContextId ctx, CallNum call)
     (void)call;
     FunctionId fn = guest_->contexts().function(ctx);
     ensureFunction(fn);
-    os_ << "E\t" << fn << '\n';
-    ++events_;
+    put('E', static_cast<std::uint64_t>(static_cast<std::uint32_t>(fn)));
 }
 
 void
@@ -46,50 +261,90 @@ TraceRecorder::fnLeave(ContextId ctx, CallNum call)
 {
     (void)ctx;
     (void)call;
-    os_ << "L\n";
-    ++events_;
+    put('L');
 }
 
 void
 TraceRecorder::memRead(Addr addr, unsigned size)
 {
-    os_ << "R\t" << addr << '\t' << size << '\n';
-    ++events_;
+    put('R', addr, size);
 }
 
 void
 TraceRecorder::memWrite(Addr addr, unsigned size)
 {
-    os_ << "W\t" << addr << '\t' << size << '\n';
-    ++events_;
+    put('W', addr, size);
 }
 
 void
 TraceRecorder::op(std::uint64_t iops, std::uint64_t flops)
 {
-    os_ << "O\t" << iops << '\t' << flops << '\n';
-    ++events_;
+    put('O', iops, flops);
 }
 
 void
 TraceRecorder::branch(bool taken)
 {
-    os_ << "B\t" << (taken ? 1 : 0) << '\n';
-    ++events_;
+    put('B', taken ? 1 : 0);
 }
 
 void
 TraceRecorder::threadSwitch(ThreadId tid)
 {
-    os_ << "T\t" << tid << '\n';
-    ++events_;
+    put('T', tid);
 }
 
 void
 TraceRecorder::barrier()
 {
-    os_ << "Z\n";
-    ++events_;
+    put('Z');
+}
+
+void
+TraceRecorder::roi(bool active)
+{
+    put('I', active ? 1 : 0);
+}
+
+void
+TraceRecorder::processBatch(const EventBuffer &batch)
+{
+    for (std::size_t i = 0, n = batch.size(); i < n; ++i) {
+        std::uint64_t a = batch.a(i);
+        std::uint64_t b = batch.b(i);
+        switch (batch.kind(i)) {
+          case EventKind::kRead:
+            put('R', a, b);
+            break;
+          case EventKind::kWrite:
+            put('W', a, b);
+            break;
+          case EventKind::kOp:
+            put('O', a, b);
+            break;
+          case EventKind::kBranch:
+            put('B', a ? 1 : 0);
+            break;
+          case EventKind::kEnter: {
+            FunctionId fn = static_cast<FunctionId>(a);
+            ensureFunction(fn);
+            put('E', a);
+            break;
+          }
+          case EventKind::kLeave:
+            put('L');
+            break;
+          case EventKind::kThreadSwitch:
+            put('T', a);
+            break;
+          case EventKind::kBarrier:
+            put('Z');
+            break;
+          case EventKind::kRoi:
+            put('I', a ? 1 : 0);
+            break;
+        }
+    }
 }
 
 void
@@ -98,9 +353,220 @@ TraceRecorder::finish()
     if (finished_)
         return;
     finished_ = true;
-    os_ << "end\n";
+    buf_ += "end\n";
+    os_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+    buf_.clear();
     os_.flush();
 }
+
+// ---------------------------------------------------------------------
+// Binary recorder
+// ---------------------------------------------------------------------
+
+BinaryTraceRecorder::BinaryTraceRecorder(std::ostream &os) : os_(os) {}
+
+void
+BinaryTraceRecorder::attach(const Guest &guest)
+{
+    Tool::attach(guest);
+    std::string header(kBinaryMagic, sizeof(kBinaryMagic));
+    putVarint(header, 1); // version
+    const std::string &name = guest.programName();
+    putVarint(header, name.size());
+    header += name;
+    os_.write(header.data(), static_cast<std::streamsize>(header.size()));
+}
+
+void
+BinaryTraceRecorder::ensureFunction(FunctionId fn)
+{
+    std::size_t idx = static_cast<std::size_t>(fn);
+    if (idx >= emitted_.size())
+        emitted_.resize(idx + 1, false);
+    if (emitted_[idx])
+        return;
+    emitted_[idx] = true;
+    pendingFns_.push_back(static_cast<char>(kSecFunction));
+    putVarint(pendingFns_,
+              static_cast<std::uint64_t>(static_cast<std::uint32_t>(fn)));
+    const std::string &name = guest_->functions().name(fn);
+    putVarint(pendingFns_, name.size());
+    pendingFns_ += name;
+}
+
+void
+BinaryTraceRecorder::flushBlock()
+{
+    if (!pendingFns_.empty()) {
+        os_.write(pendingFns_.data(),
+                  static_cast<std::streamsize>(pendingFns_.size()));
+        pendingFns_.clear();
+    }
+    if (blockEvents_ == 0)
+        return;
+    std::string frame;
+    frame.push_back(static_cast<char>(kSecBlock));
+    putVarint(frame, blockEvents_);
+    os_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+    os_.write(block_.data(), static_cast<std::streamsize>(block_.size()));
+    block_.clear();
+    blockEvents_ = 0;
+}
+
+void
+BinaryTraceRecorder::event(std::uint8_t opcode)
+{
+    block_.push_back(static_cast<char>(opcode));
+    ++events_;
+    if (++blockEvents_ >= kBlockEvents)
+        flushBlock();
+}
+
+void
+BinaryTraceRecorder::access(std::uint8_t opcode, Addr addr, unsigned size)
+{
+    block_.push_back(static_cast<char>(opcode));
+    putVarint(block_, zigzag(static_cast<std::int64_t>(addr - prevAddr_)));
+    putVarint(block_, size);
+    prevAddr_ = addr;
+    ++events_;
+    if (++blockEvents_ >= kBlockEvents)
+        flushBlock();
+}
+
+void
+BinaryTraceRecorder::fnEnter(ContextId ctx, CallNum call)
+{
+    (void)call;
+    FunctionId fn = guest_->contexts().function(ctx);
+    ensureFunction(fn);
+    block_.push_back(static_cast<char>(kOpEnter));
+    putVarint(block_,
+              static_cast<std::uint64_t>(static_cast<std::uint32_t>(fn)));
+    ++events_;
+    if (++blockEvents_ >= kBlockEvents)
+        flushBlock();
+}
+
+void
+BinaryTraceRecorder::fnLeave(ContextId ctx, CallNum call)
+{
+    (void)ctx;
+    (void)call;
+    event(kOpLeave);
+}
+
+void
+BinaryTraceRecorder::memRead(Addr addr, unsigned size)
+{
+    access(kOpRead, addr, size);
+}
+
+void
+BinaryTraceRecorder::memWrite(Addr addr, unsigned size)
+{
+    access(kOpWrite, addr, size);
+}
+
+void
+BinaryTraceRecorder::op(std::uint64_t iops, std::uint64_t flops)
+{
+    block_.push_back(static_cast<char>(kOpOp));
+    putVarint(block_, iops);
+    putVarint(block_, flops);
+    ++events_;
+    if (++blockEvents_ >= kBlockEvents)
+        flushBlock();
+}
+
+void
+BinaryTraceRecorder::branch(bool taken)
+{
+    event(taken ? kOpBranchTaken : kOpBranchNotTaken);
+}
+
+void
+BinaryTraceRecorder::threadSwitch(ThreadId tid)
+{
+    block_.push_back(static_cast<char>(kOpThreadSwitch));
+    putVarint(block_, tid);
+    ++events_;
+    if (++blockEvents_ >= kBlockEvents)
+        flushBlock();
+}
+
+void
+BinaryTraceRecorder::barrier()
+{
+    event(kOpBarrier);
+}
+
+void
+BinaryTraceRecorder::roi(bool active)
+{
+    event(active ? kOpRoiBegin : kOpRoiEnd);
+}
+
+void
+BinaryTraceRecorder::processBatch(const EventBuffer &batch)
+{
+    for (std::size_t i = 0, n = batch.size(); i < n; ++i) {
+        std::uint64_t a = batch.a(i);
+        std::uint64_t b = batch.b(i);
+        switch (batch.kind(i)) {
+          case EventKind::kRead:
+            access(kOpRead, a, static_cast<unsigned>(b));
+            break;
+          case EventKind::kWrite:
+            access(kOpWrite, a, static_cast<unsigned>(b));
+            break;
+          case EventKind::kOp:
+            op(a, b);
+            break;
+          case EventKind::kBranch:
+            event(a ? kOpBranchTaken : kOpBranchNotTaken);
+            break;
+          case EventKind::kEnter: {
+            FunctionId fn = static_cast<FunctionId>(a);
+            ensureFunction(fn);
+            block_.push_back(static_cast<char>(kOpEnter));
+            putVarint(block_, a);
+            ++events_;
+            if (++blockEvents_ >= kBlockEvents)
+                flushBlock();
+            break;
+          }
+          case EventKind::kLeave:
+            event(kOpLeave);
+            break;
+          case EventKind::kThreadSwitch:
+            threadSwitch(static_cast<ThreadId>(a));
+            break;
+          case EventKind::kBarrier:
+            event(kOpBarrier);
+            break;
+          case EventKind::kRoi:
+            event(a ? kOpRoiBegin : kOpRoiEnd);
+            break;
+        }
+    }
+}
+
+void
+BinaryTraceRecorder::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    flushBlock();
+    char end = static_cast<char>(kSecEnd);
+    os_.write(&end, 1);
+    os_.flush();
+}
+
+// ---------------------------------------------------------------------
+// Replay
+// ---------------------------------------------------------------------
 
 std::uint64_t
 replayTrace(std::istream &is, Guest &guest)
@@ -199,6 +665,13 @@ replayTrace(std::istream &is, Guest &guest)
             guest.barrier();
             ++events;
             break;
+          case 'I':
+            if (rest[0] == '1')
+                guest.roiBegin();
+            else
+                guest.roiEnd();
+            ++events;
+            break;
           case 'e': // "end"
             saw_end = true;
             break;
@@ -217,12 +690,125 @@ replayTrace(std::istream &is, Guest &guest)
 }
 
 std::uint64_t
+replayBinaryTrace(std::istream &is, Guest &guest)
+{
+    char magic[4];
+    is.read(magic, sizeof(magic));
+    if (is.gcount() != sizeof(magic) ||
+        std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
+        fatal("not a binary sigil trace (bad magic)");
+    }
+    ByteReader r(is);
+    std::uint64_t version = r.varint();
+    if (version != 1)
+        fatal("binary trace: unsupported version %llu",
+              static_cast<unsigned long long>(version));
+    r.bytes(r.varint()); // program name — informational
+
+    std::uint64_t events = 0;
+    std::uint64_t prev_addr = 0;
+    std::unordered_map<std::uint64_t, FunctionId> fn_map;
+
+    for (;;) {
+        std::uint8_t sec = r.u8();
+        if (sec == kSecEnd)
+            break;
+        if (sec == kSecFunction) {
+            std::uint64_t id = r.varint();
+            fn_map[id] = guest.functions().intern(r.bytes(r.varint()));
+            continue;
+        }
+        if (sec != kSecBlock)
+            fatal("binary trace: unknown section tag %u", sec);
+        std::uint64_t count = r.varint();
+        for (std::uint64_t i = 0; i < count; ++i) {
+            std::uint8_t opcode = r.u8();
+            switch (opcode) {
+              case kOpRead:
+              case kOpWrite: {
+                prev_addr += static_cast<std::uint64_t>(
+                    unzigzag(r.varint()));
+                unsigned size = static_cast<unsigned>(r.varint());
+                if (opcode == kOpRead)
+                    guest.read(prev_addr, size);
+                else
+                    guest.write(prev_addr, size);
+                break;
+              }
+              case kOpOp: {
+                std::uint64_t iops = r.varint();
+                std::uint64_t flops = r.varint();
+                if (iops)
+                    guest.iop(iops);
+                if (flops)
+                    guest.flop(flops);
+                break;
+              }
+              case kOpBranchTaken:
+                guest.branch(true);
+                break;
+              case kOpBranchNotTaken:
+                guest.branch(false);
+                break;
+              case kOpEnter: {
+                auto it = fn_map.find(r.varint());
+                if (it == fn_map.end())
+                    fatal("binary trace: unknown function id");
+                guest.enter(it->second);
+                break;
+              }
+              case kOpLeave:
+                guest.leave();
+                break;
+              case kOpThreadSwitch: {
+                std::uint64_t tid = r.varint();
+                while (guest.numThreads() <= tid)
+                    guest.spawnThread();
+                guest.switchThread(static_cast<ThreadId>(tid));
+                break;
+              }
+              case kOpBarrier:
+                guest.barrier();
+                break;
+              case kOpRoiBegin:
+                guest.roiBegin();
+                break;
+              case kOpRoiEnd:
+                guest.roiEnd();
+                break;
+              default:
+                fatal("binary trace: unknown opcode %u", opcode);
+            }
+            ++events;
+        }
+    }
+    guest.finish();
+    return events;
+}
+
+std::uint64_t
 replayTraceFile(const std::string &path, Guest &guest)
 {
-    std::ifstream is(path);
+    std::ifstream is(path, std::ios::binary);
     if (!is)
         fatal("cannot open '%s' for reading", path.c_str());
+    char magic[4] = {0, 0, 0, 0};
+    is.read(magic, sizeof(magic));
+    is.clear();
+    is.seekg(0);
+    if (std::memcmp(magic, kBinaryMagic, sizeof(magic)) == 0)
+        return replayBinaryTrace(is, guest);
     return replayTrace(is, guest);
+}
+
+std::uint64_t
+convertTextTraceToBinary(std::istream &text, std::ostream &bin,
+                         const std::string &program)
+{
+    Guest guest(program);
+    BinaryTraceRecorder recorder(bin);
+    guest.addTool(&recorder);
+    return replayTrace(text, guest);
 }
 
 } // namespace sigil::vg
