@@ -10,9 +10,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <sstream>
+#include <string>
 
 #include "cg/cg_tool.hh"
+#include "core/checkpoint.hh"
 #include "core/sigil_profiler.hh"
 #include "support/rng.hh"
 #include "vg/guest.hh"
@@ -203,41 +206,74 @@ BM_FullStackWorkload(benchmark::State &state)
 }
 BENCHMARK(BM_FullStackWorkload)->Arg(0)->Arg(1)->Arg(2);
 
-/** Record the benchmark trace once in both formats. */
+/** Trace format selector for the benchmark Args: 0 = text,
+ *  1 = SGB1 (unframed), 2 = SGB2 (checksummed frames). */
 const std::string &
-recordedTrace(bool binary)
+recordedTrace(int format)
 {
-    static std::string text, bin;
+    static std::string text, sgb1, sgb2;
     if (text.empty()) {
         std::ostringstream tos;
-        std::ostringstream bos(std::ios::binary);
+        std::ostringstream b1os(std::ios::binary);
+        std::ostringstream b2os(std::ios::binary);
         vg::Guest g("bench");
         vg::TraceRecorder trec(tos);
-        vg::BinaryTraceRecorder brec(bos);
+        vg::BinaryTraceRecorder b1rec(b1os, vg::TraceFormat::SGB1);
+        vg::BinaryTraceRecorder b2rec(b2os, vg::TraceFormat::SGB2);
         g.addTool(&trec);
-        g.addTool(&brec);
+        g.addTool(&b1rec);
+        g.addTool(&b2rec);
         driveWorkload(g, kWorkloadIters);
         text = tos.str();
-        bin = bos.str();
+        sgb1 = b1os.str();
+        sgb2 = b2os.str();
     }
-    return binary ? bin : text;
+    return format == 2 ? sgb2 : format == 1 ? sgb1 : text;
 }
 
 /**
- * Trace replay, parsing cost only (no tools attached): text vs. binary.
- * Args: {binary format?}.
+ * Recording cost per format: SGB1 vs. SGB2. The SGB2 column prices the
+ * robustness tax — per-block CRC32C (payload + header) and the framing
+ * fields — which must stay within a few percent of SGB1.
+ */
+void
+BM_TraceRecordBinary(benchmark::State &state)
+{
+    auto format = state.range(0) == 1 ? vg::TraceFormat::SGB1
+                                      : vg::TraceFormat::SGB2;
+    std::size_t bytes = 0;
+    for (auto _ : state) {
+        std::ostringstream os(std::ios::binary);
+        vg::Guest g("bench");
+        vg::BinaryTraceRecorder rec(os, format);
+        g.addTool(&rec);
+        driveWorkload(g, kWorkloadIters);
+        bytes = os.str().size();
+        benchmark::DoNotOptimize(bytes);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            kWorkloadIters);
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations() * bytes));
+}
+BENCHMARK(BM_TraceRecordBinary)->Arg(1)->Arg(2);
+
+/**
+ * Trace replay, parsing cost only (no tools attached): text vs. the
+ * two binary framings. Args: {format: 0 text, 1 SGB1, 2 SGB2}. The
+ * SGB2 column includes per-block CRC verification.
  */
 void
 BM_TraceReplayParse(benchmark::State &state)
 {
-    bool binary = state.range(0) != 0;
-    const std::string &trace = recordedTrace(binary);
+    int format = static_cast<int>(state.range(0));
+    const std::string &trace = recordedTrace(format);
     std::uint64_t events = 0;
     for (auto _ : state) {
-        std::istringstream is(trace, binary ? std::ios::binary
+        std::istringstream is(trace, format ? std::ios::binary
                                             : std::ios::in);
         vg::Guest g("bench");
-        events = binary ? vg::replayBinaryTrace(is, g)
+        events = format ? vg::replayBinaryTrace(is, g)
                         : vg::replayTrace(is, g);
     }
     state.SetItemsProcessed(
@@ -245,7 +281,7 @@ BM_TraceReplayParse(benchmark::State &state)
     state.SetBytesProcessed(
         static_cast<std::int64_t>(state.iterations() * trace.size()));
 }
-BENCHMARK(BM_TraceReplayParse)->Arg(0)->Arg(1);
+BENCHMARK(BM_TraceReplayParse)->Arg(0)->Arg(1)->Arg(2);
 
 /**
  * Trace replay feeding a Sigil profiler — the "collect once, analyze
@@ -257,17 +293,17 @@ BENCHMARK(BM_TraceReplayParse)->Arg(0)->Arg(1);
 void
 BM_TraceReplayProfiled(benchmark::State &state)
 {
-    bool binary = state.range(0) != 0;
-    const std::string &trace = recordedTrace(binary);
+    int format = static_cast<int>(state.range(0));
+    const std::string &trace = recordedTrace(format);
     core::SigilConfig cfg;
     cfg.granularityShift = static_cast<unsigned>(state.range(2));
     for (auto _ : state) {
-        std::istringstream is(trace, binary ? std::ios::binary
+        std::istringstream is(trace, format ? std::ios::binary
                                             : std::ios::in);
         vg::Guest g("bench", modeConfig(state.range(1)));
         core::SigilProfiler prof(cfg);
         g.addTool(&prof);
-        if (binary)
+        if (format)
             vg::replayBinaryTrace(is, g);
         else
             vg::replayTrace(is, g);
@@ -277,7 +313,94 @@ BM_TraceReplayProfiled(benchmark::State &state)
                             kWorkloadIters);
 }
 BENCHMARK(BM_TraceReplayProfiled)
-    ->ArgsProduct({{0, 1}, {0, 1}, {0, 6}});
+    ->ArgsProduct({{0, 1, 2}, {0, 1}, {0, 6}});
+
+/**
+ * Checkpointed replay smoke benchmark: the full SGB2 + profiler replay
+ * with periodic state snapshots, against BM_TraceReplayProfiled/2/1/0
+ * as the no-checkpoint baseline. Arg: checkpoint interval in blocks.
+ */
+/** SGB2 trace with finer-grained blocks than the default, so a
+ *  checkpoint interval of a few blocks fires many times over the
+ *  50k-event workload. */
+const std::string &
+checkpointTrace()
+{
+    static const std::string trace = [] {
+        std::ostringstream os(std::ios::binary);
+        vg::Guest g("bench");
+        vg::BinaryTraceRecorder rec(os, vg::TraceFormat::SGB2, 512);
+        g.addTool(&rec);
+        driveWorkload(g, kWorkloadIters);
+        return os.str();
+    }();
+    return trace;
+}
+
+void
+BM_CheckpointedReplay(benchmark::State &state)
+{
+    const std::string &trace = checkpointTrace();
+    std::string path = "/tmp/sigil_bench_ckpt";
+    core::CheckpointConfig ck;
+    ck.path = path;
+    ck.intervalBlocks = static_cast<std::size_t>(state.range(0));
+    std::uint64_t ckpt_bytes = 0;
+    for (auto _ : state) {
+        // A fresh run each iteration: stale checkpoints would otherwise
+        // short-circuit the replay.
+        std::remove(path.c_str());
+        std::remove((path + ".prev").c_str());
+        std::istringstream is(trace, std::ios::binary);
+        vg::Guest g("bench", modeConfig(1));
+        core::SigilProfiler prof;
+        core::CheckpointStats st;
+        core::replayWithCheckpoints(is, g, prof, {}, ck, &st);
+        ckpt_bytes = st.lastCheckpointBytes;
+        benchmark::DoNotOptimize(prof.aggregates(0).readBytes);
+    }
+    std::remove(path.c_str());
+    std::remove((path + ".prev").c_str());
+    state.counters["ckpt_bytes"] =
+        static_cast<double>(ckpt_bytes);
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            kWorkloadIters);
+}
+BENCHMARK(BM_CheckpointedReplay)->Arg(16)->Arg(64);
+
+/**
+ * Resume latency: checkpoint files persist across iterations, so every
+ * iteration after the first loads the newest snapshot (written near
+ * the end of the trace) and replays only the remaining tail — the cost
+ * a crashed analysis pays to get back to where it was.
+ */
+void
+BM_CheckpointResume(benchmark::State &state)
+{
+    const std::string &trace = checkpointTrace();
+    std::string path = "/tmp/sigil_bench_resume";
+    std::remove(path.c_str());
+    std::remove((path + ".prev").c_str());
+    core::CheckpointConfig ck;
+    ck.path = path;
+    ck.intervalBlocks = static_cast<std::size_t>(state.range(0));
+    bool resumed = false;
+    for (auto _ : state) {
+        std::istringstream is(trace, std::ios::binary);
+        vg::Guest g("bench");
+        core::SigilProfiler prof;
+        core::CheckpointStats st;
+        core::replayWithCheckpoints(is, g, prof, {}, ck, &st);
+        resumed = st.resumed;
+        benchmark::DoNotOptimize(prof.aggregates(0).readBytes);
+    }
+    std::remove(path.c_str());
+    std::remove((path + ".prev").c_str());
+    state.counters["resumed"] = resumed ? 1 : 0;
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            kWorkloadIters);
+}
+BENCHMARK(BM_CheckpointResume)->Arg(16);
 
 } // namespace
 

@@ -188,6 +188,11 @@ CgTool::processBatch(const vg::EventBuffer &batch)
 const CgCounters &
 CgTool::counters(vg::ContextId ctx) const
 {
+#ifndef NDEBUG
+    SIGIL_ASSERT(guest_ == nullptr || !guest_->eventsPendingDispatch(),
+                 "tool state read with events pending — call "
+                 "Guest::sync() first");
+#endif
     std::size_t idx = static_cast<std::size_t>(ctx);
     return idx < rows_.size() ? rows_[idx] : kZero;
 }
@@ -197,6 +202,11 @@ CgTool::takeProfile() const
 {
     if (guest_ == nullptr)
         panic("CgTool::takeProfile before attach");
+#ifndef NDEBUG
+    SIGIL_ASSERT(!guest_->eventsPendingDispatch(),
+                 "tool state read with events pending — call "
+                 "Guest::sync() first");
+#endif
     const vg::ContextTree &ctxs = guest_->contexts();
     const vg::FunctionRegistry &fns = guest_->functions();
 

@@ -68,12 +68,24 @@ class CgTool : public vg::Tool
     /** The instruction-side first-level cache. */
     const CacheLevel &i1() const { return i1_; }
 
-    /** Self counters of one context (zeroes if never seen). */
+    /**
+     * Self counters of one context (zeroes if never seen).
+     *
+     * With batched/async dispatch (GuestConfig::batchEvents /
+     * asyncTools) call Guest::sync() first — the tool lags the guest
+     * until the in-flight buffers drain. Debug builds assert that no
+     * events are pending. (Guest::finish() syncs, so post-run reads
+     * need nothing extra.)
+     */
     const CgCounters &counters(vg::ContextId ctx) const;
 
     const CacheSim &caches() const { return caches_; }
 
-    /** Snapshot the profile, with names and inclusive costs filled in. */
+    /**
+     * Snapshot the profile, with names and inclusive costs filled in.
+     * Requires Guest::sync() first under batched/async dispatch (see
+     * counters()); debug builds assert that no events are pending.
+     */
     CgProfile takeProfile() const;
 
   private:

@@ -28,33 +28,60 @@ splitTabs(const std::string &line)
     }
 }
 
-std::uint64_t
-parseU64(const std::string &s, const char *what)
+/** Internal transport of a structured parse error (never escapes). */
+struct ProfileAbort
 {
-    try {
-        std::size_t consumed = 0;
-        std::uint64_t v = std::stoull(s, &consumed);
-        if (consumed != s.size())
-            fatal("profile parse: bad %s value '%s'", what, s.c_str());
-        return v;
-    } catch (const std::exception &) {
-        fatal("profile parse: bad %s value '%s'", what, s.c_str());
-    }
-}
+    vg::TraceError err;
+};
 
-std::int64_t
-parseI64(const std::string &s, const char *what)
+/**
+ * Position of the line being parsed; every rejection carries it plus
+ * the offending token, so a bad profile is diagnosable byte-exactly.
+ */
+struct LineCtx
 {
-    try {
-        std::size_t consumed = 0;
-        std::int64_t v = std::stoll(s, &consumed);
-        if (consumed != s.size())
-            fatal("profile parse: bad %s value '%s'", what, s.c_str());
-        return v;
-    } catch (const std::exception &) {
-        fatal("profile parse: bad %s value '%s'", what, s.c_str());
+    std::uint64_t line = 0;   ///< 1-based line number
+    std::uint64_t offset = 0; ///< byte offset of the line start
+
+    [[noreturn]] void
+    reject(vg::TraceErrorCause cause, std::string detail) const
+    {
+        vg::TraceError e;
+        e.cause = cause;
+        e.line = line;
+        e.byteOffset = offset;
+        e.detail = std::move(detail);
+        throw ProfileAbort{e};
     }
-}
+
+    std::uint64_t
+    u64(const std::string &s, const char *what) const
+    {
+        try {
+            std::size_t consumed = 0;
+            std::uint64_t v = std::stoull(s, &consumed);
+            if (consumed == s.size())
+                return v;
+        } catch (const std::exception &) {
+        }
+        reject(vg::TraceErrorCause::BadRecord,
+               std::string("bad ") + what + " value '" + s + "'");
+    }
+
+    std::int64_t
+    i64(const std::string &s, const char *what) const
+    {
+        try {
+            std::size_t consumed = 0;
+            std::int64_t v = std::stoll(s, &consumed);
+            if (consumed == s.size())
+                return v;
+        } catch (const std::exception &) {
+        }
+        reject(vg::TraceErrorCause::BadRecord,
+               std::string("bad ") + what + " value '" + s + "'");
+    }
+};
 
 std::string
 sanitize(const std::string &name)
@@ -136,16 +163,23 @@ writeProfileFile(const std::string &path, const SigilProfile &profile)
         fatal("I/O error writing '%s'", path.c_str());
 }
 
+namespace {
+
 SigilProfile
-readProfile(std::istream &is)
+parseProfile(std::istream &is)
 {
     SigilProfile profile;
     std::string line;
     bool saw_header = false;
     bool saw_end = false;
     std::unordered_map<std::string, vg::FunctionId> fn_ids;
+    LineCtx at;
+    std::uint64_t next_offset = 0;
 
     while (std::getline(is, line)) {
+        ++at.line;
+        at.offset = next_offset;
+        next_offset += line.size() + 1;
         if (line.empty() || line[0] == '#')
             continue;
         std::vector<std::string> f = splitTabs(line);
@@ -153,7 +187,8 @@ readProfile(std::istream &is)
 
         if (!saw_header) {
             if (tag != "sigil-profile" || f.size() < 2 || f[1] != "1")
-                fatal("not a sigil profile (bad header)");
+                at.reject(vg::TraceErrorCause::BadMagic,
+                          "not a sigil profile header: '" + tag + "'");
             saw_header = true;
             continue;
         }
@@ -161,17 +196,19 @@ readProfile(std::istream &is)
             profile.program = f[1];
         } else if (tag == "granularity" && f.size() >= 2) {
             profile.granularityShift =
-                static_cast<unsigned>(parseU64(f[1], "granularity"));
+                static_cast<unsigned>(at.u64(f[1], "granularity"));
         } else if (tag == "shadow" && f.size() >= 3) {
-            profile.shadowPeakBytes = parseU64(f[1], "shadow peak");
-            profile.shadowEvictions = parseU64(f[2], "shadow evictions");
+            profile.shadowPeakBytes = at.u64(f[1], "shadow peak");
+            profile.shadowEvictions = at.u64(f[2], "shadow evictions");
         } else if (tag == "row") {
             if (f.size() < 22)
-                fatal("profile parse: short row line");
+                at.reject(vg::TraceErrorCause::BadRecord,
+                          "short row line (" + std::to_string(f.size()) +
+                              " of 22 fields)");
             SigilRow r;
-            r.ctx = static_cast<vg::ContextId>(parseI64(f[1], "ctx"));
+            r.ctx = static_cast<vg::ContextId>(at.i64(f[1], "ctx"));
             r.parent =
-                static_cast<vg::ContextId>(parseI64(f[2], "parent"));
+                static_cast<vg::ContextId>(at.i64(f[2], "parent"));
             r.fnName = f[3];
             r.displayName = f[4];
             r.path = f[5];
@@ -180,92 +217,134 @@ readProfile(std::istream &is)
             (void)inserted;
             r.fn = it->second;
             CommAggregates &a = r.agg;
-            a.calls = parseU64(f[6], "calls");
-            a.iops = parseU64(f[7], "iops");
-            a.flops = parseU64(f[8], "flops");
-            a.readBytes = parseU64(f[9], "readBytes");
-            a.writeBytes = parseU64(f[10], "writeBytes");
-            a.uniqueLocalBytes = parseU64(f[11], "ul");
-            a.nonuniqueLocalBytes = parseU64(f[12], "nul");
-            a.uniqueInputBytes = parseU64(f[13], "ui");
-            a.nonuniqueInputBytes = parseU64(f[14], "nui");
-            a.uniqueOutputBytes = parseU64(f[15], "uo");
-            a.nonuniqueOutputBytes = parseU64(f[16], "nuo");
-            a.reusedUnits = parseU64(f[17], "reusedUnits");
-            a.reuseReads = parseU64(f[18], "reuseReads");
-            a.lifetimeSum = parseU64(f[19], "lifetimeSum");
-            a.uniqueInterThreadBytes = parseU64(f[20], "uit");
-            a.nonuniqueInterThreadBytes = parseU64(f[21], "nit");
+            a.calls = at.u64(f[6], "calls");
+            a.iops = at.u64(f[7], "iops");
+            a.flops = at.u64(f[8], "flops");
+            a.readBytes = at.u64(f[9], "readBytes");
+            a.writeBytes = at.u64(f[10], "writeBytes");
+            a.uniqueLocalBytes = at.u64(f[11], "ul");
+            a.nonuniqueLocalBytes = at.u64(f[12], "nul");
+            a.uniqueInputBytes = at.u64(f[13], "ui");
+            a.nonuniqueInputBytes = at.u64(f[14], "nui");
+            a.uniqueOutputBytes = at.u64(f[15], "uo");
+            a.nonuniqueOutputBytes = at.u64(f[16], "nuo");
+            a.reusedUnits = at.u64(f[17], "reusedUnits");
+            a.reuseReads = at.u64(f[18], "reuseReads");
+            a.lifetimeSum = at.u64(f[19], "lifetimeSum");
+            a.uniqueInterThreadBytes = at.u64(f[20], "uit");
+            a.nonuniqueInterThreadBytes = at.u64(f[21], "nit");
             std::size_t idx = static_cast<std::size_t>(r.ctx);
             if (idx >= profile.rows.size())
                 profile.rows.resize(idx + 1);
             profile.rows[idx] = std::move(r);
         } else if (tag == "hist") {
             if (f.size() < 7)
-                fatal("profile parse: short hist line");
-            std::size_t ctx = parseU64(f[1], "hist ctx");
-            std::uint64_t width = parseU64(f[2], "hist width");
-            std::uint64_t overflow = parseU64(f[3], "hist overflow");
-            std::uint64_t sum = parseU64(f[4], "hist sum");
-            std::uint64_t max = parseU64(f[5], "hist max");
-            std::size_t nbins = parseU64(f[6], "hist nbins");
+                at.reject(vg::TraceErrorCause::BadRecord,
+                          "short hist line");
+            std::size_t ctx = at.u64(f[1], "hist ctx");
+            std::uint64_t width = at.u64(f[2], "hist width");
+            std::uint64_t overflow = at.u64(f[3], "hist overflow");
+            std::uint64_t sum = at.u64(f[4], "hist sum");
+            std::uint64_t max = at.u64(f[5], "hist max");
+            std::size_t nbins = at.u64(f[6], "hist nbins");
             if (f.size() != 7 + nbins)
-                fatal("profile parse: hist bin count mismatch");
+                at.reject(vg::TraceErrorCause::BadRecord,
+                          "hist bin count mismatch: header says " +
+                              std::to_string(nbins) + ", line has " +
+                              std::to_string(f.size() - 7));
+            if (width == 0)
+                at.reject(vg::TraceErrorCause::BadRecord,
+                          "hist bin width 0");
             std::vector<std::uint64_t> bins(nbins);
             for (std::size_t i = 0; i < nbins; ++i)
-                bins[i] = parseU64(f[7 + i], "hist bin");
+                bins[i] = at.u64(f[7 + i], "hist bin");
             if (ctx >= profile.rows.size())
-                fatal("profile parse: hist for unknown context");
+                at.reject(vg::TraceErrorCause::BadRecord,
+                          "hist for unknown context " +
+                              std::to_string(ctx));
             LinearHistogram h(width);
             h.restore(std::move(bins), overflow, sum, max);
             profile.rows[ctx].agg.lifetimeHist = std::move(h);
         } else if (tag == "tedge") {
             if (f.size() < 5)
-                fatal("profile parse: short tedge line");
+                at.reject(vg::TraceErrorCause::BadRecord,
+                          "short tedge line");
             ThreadCommEdge e;
             e.producer = static_cast<vg::ThreadId>(
-                parseU64(f[1], "producer tid"));
+                at.u64(f[1], "producer tid"));
             e.consumer = static_cast<vg::ThreadId>(
-                parseU64(f[2], "consumer tid"));
-            e.uniqueBytes = parseU64(f[3], "unique");
-            e.nonuniqueBytes = parseU64(f[4], "nonunique");
+                at.u64(f[2], "consumer tid"));
+            e.uniqueBytes = at.u64(f[3], "unique");
+            e.nonuniqueBytes = at.u64(f[4], "nonunique");
             profile.threadEdges.push_back(e);
         } else if (tag == "edge") {
             if (f.size() < 5)
-                fatal("profile parse: short edge line");
+                at.reject(vg::TraceErrorCause::BadRecord,
+                          "short edge line");
             CommEdge e;
             e.producer =
-                static_cast<vg::ContextId>(parseI64(f[1], "producer"));
+                static_cast<vg::ContextId>(at.i64(f[1], "producer"));
             e.consumer =
-                static_cast<vg::ContextId>(parseI64(f[2], "consumer"));
-            e.uniqueBytes = parseU64(f[3], "unique");
-            e.nonuniqueBytes = parseU64(f[4], "nonunique");
+                static_cast<vg::ContextId>(at.i64(f[2], "consumer"));
+            e.uniqueBytes = at.u64(f[3], "unique");
+            e.nonuniqueBytes = at.u64(f[4], "nonunique");
             profile.edges.push_back(e);
         } else if (tag == "breakdown") {
             if (f.size() < 2)
-                fatal("profile parse: short breakdown line");
+                at.reject(vg::TraceErrorCause::BadRecord,
+                          "short breakdown line");
             std::vector<std::uint64_t> counts;
             for (std::size_t i = 2; i < f.size(); ++i)
-                counts.push_back(parseU64(f[i], "breakdown"));
+                counts.push_back(at.u64(f[i], "breakdown"));
             if (f[1] == "unit")
                 profile.unitReuseBreakdown.restore(counts);
             else if (f[1] == "line")
                 profile.lineReuseBreakdown.restore(counts);
             else
-                fatal("profile parse: unknown breakdown '%s'",
-                      f[1].c_str());
+                at.reject(vg::TraceErrorCause::BadRecord,
+                          "unknown breakdown '" + f[1] + "'");
         } else if (tag == "end") {
             saw_end = true;
             break;
         } else {
-            fatal("profile parse: unknown tag '%s'", tag.c_str());
+            at.reject(vg::TraceErrorCause::UnknownSection,
+                      "unknown tag '" + tag + "'");
         }
     }
-    if (!saw_header)
-        fatal("not a sigil profile (empty input)");
-    if (!saw_end)
-        fatal("profile parse: truncated input (missing 'end')");
+    if (!saw_header) {
+        at.offset = next_offset;
+        at.reject(vg::TraceErrorCause::BadMagic, "empty input");
+    }
+    if (!saw_end) {
+        ++at.line;
+        at.offset = next_offset;
+        at.reject(vg::TraceErrorCause::Truncated,
+                  "input ended before 'end'");
+    }
     return profile;
+}
+
+} // namespace
+
+std::optional<SigilProfile>
+tryReadProfile(std::istream &is, vg::TraceError &error)
+{
+    try {
+        return parseProfile(is);
+    } catch (const ProfileAbort &abort) {
+        error = abort.err;
+        return std::nullopt;
+    }
+}
+
+SigilProfile
+readProfile(std::istream &is)
+{
+    vg::TraceError error;
+    std::optional<SigilProfile> profile = tryReadProfile(is, error);
+    if (!profile)
+        fatal("profile parse: %s", error.message().c_str());
+    return *std::move(profile);
 }
 
 SigilProfile
@@ -307,56 +386,99 @@ writeEventsFile(const std::string &path, const EventTrace &events)
         fatal("I/O error writing '%s'", path.c_str());
 }
 
+namespace {
+
 EventTrace
-readEvents(std::istream &is)
+parseEvents(std::istream &is)
 {
     EventTrace trace;
     std::string line;
     bool saw_header = false;
     bool saw_end = false;
+    LineCtx at;
+    std::uint64_t next_offset = 0;
     while (std::getline(is, line)) {
+        ++at.line;
+        at.offset = next_offset;
+        next_offset += line.size() + 1;
         if (line.empty() || line[0] == '#')
             continue;
         std::vector<std::string> f = splitTabs(line);
         if (!saw_header) {
             if (f[0] != "sigil-events" || f.size() < 2 || f[1] != "1")
-                fatal("not a sigil event file (bad header)");
+                at.reject(vg::TraceErrorCause::BadMagic,
+                          "not a sigil event file header: '" + f[0] +
+                              "'");
             saw_header = true;
             continue;
         }
         if (f[0] == "C") {
             if (f.size() < 9)
-                fatal("event parse: short compute line");
+                at.reject(vg::TraceErrorCause::BadRecord,
+                          "short compute line (" +
+                              std::to_string(f.size()) +
+                              " of 9 fields)");
             ComputeEvent c;
-            c.seq = parseU64(f[1], "seq");
-            c.predSeq = parseU64(f[2], "predSeq");
-            c.ctx = static_cast<vg::ContextId>(parseI64(f[3], "ctx"));
-            c.call = parseU64(f[4], "call");
-            c.iops = parseU64(f[5], "iops");
-            c.flops = parseU64(f[6], "flops");
-            c.reads = parseU64(f[7], "reads");
-            c.writes = parseU64(f[8], "writes");
+            c.seq = at.u64(f[1], "seq");
+            c.predSeq = at.u64(f[2], "predSeq");
+            c.ctx = static_cast<vg::ContextId>(at.i64(f[3], "ctx"));
+            c.call = at.u64(f[4], "call");
+            c.iops = at.u64(f[5], "iops");
+            c.flops = at.u64(f[6], "flops");
+            c.reads = at.u64(f[7], "reads");
+            c.writes = at.u64(f[8], "writes");
             trace.records.push_back(EventRecord::makeCompute(c));
         } else if (f[0] == "X") {
             if (f.size() < 4)
-                fatal("event parse: short xfer line");
+                at.reject(vg::TraceErrorCause::BadRecord,
+                          "short xfer line");
             XferEvent x;
-            x.srcSeq = parseU64(f[1], "srcSeq");
-            x.dstSeq = parseU64(f[2], "dstSeq");
-            x.bytes = parseU64(f[3], "bytes");
+            x.srcSeq = at.u64(f[1], "srcSeq");
+            x.dstSeq = at.u64(f[2], "dstSeq");
+            x.bytes = at.u64(f[3], "bytes");
             trace.records.push_back(EventRecord::makeXfer(x));
         } else if (f[0] == "end") {
             saw_end = true;
             break;
         } else {
-            fatal("event parse: unknown tag '%s'", f[0].c_str());
+            at.reject(vg::TraceErrorCause::UnknownSection,
+                      "unknown tag '" + f[0] + "'");
         }
     }
-    if (!saw_header)
-        fatal("not a sigil event file (empty input)");
-    if (!saw_end)
-        fatal("event parse: truncated input (missing 'end')");
+    if (!saw_header) {
+        at.offset = next_offset;
+        at.reject(vg::TraceErrorCause::BadMagic, "empty input");
+    }
+    if (!saw_end) {
+        ++at.line;
+        at.offset = next_offset;
+        at.reject(vg::TraceErrorCause::Truncated,
+                  "input ended before 'end'");
+    }
     return trace;
+}
+
+} // namespace
+
+std::optional<EventTrace>
+tryReadEvents(std::istream &is, vg::TraceError &error)
+{
+    try {
+        return parseEvents(is);
+    } catch (const ProfileAbort &abort) {
+        error = abort.err;
+        return std::nullopt;
+    }
+}
+
+EventTrace
+readEvents(std::istream &is)
+{
+    vg::TraceError error;
+    std::optional<EventTrace> events = tryReadEvents(is, error);
+    if (!events)
+        fatal("event parse: %s", error.message().c_str());
+    return *std::move(events);
 }
 
 EventTrace

@@ -13,10 +13,12 @@
 #define SIGIL_CORE_PROFILE_IO_HH
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "core/event_trace.hh"
 #include "core/profile.hh"
+#include "vg/trace_error.hh"
 
 namespace sigil::core {
 
@@ -32,6 +34,15 @@ SigilProfile readProfile(std::istream &is);
 /** Parse an aggregate profile from a file. */
 SigilProfile readProfileFile(const std::string &path);
 
+/**
+ * Fault-tolerant variant of readProfile(): a malformed input yields
+ * nullopt and fills `error` with the cause, 1-based line number, byte
+ * offset of the offending line, and the offending token, instead of
+ * exiting the process.
+ */
+std::optional<SigilProfile> tryReadProfile(std::istream &is,
+                                           vg::TraceError &error);
+
 /** Write an event trace. */
 void writeEvents(std::ostream &os, const EventTrace &events);
 
@@ -43,6 +54,10 @@ EventTrace readEvents(std::istream &is);
 
 /** Parse an event trace from a file. */
 EventTrace readEventsFile(const std::string &path);
+
+/** Fault-tolerant variant of readEvents() (see tryReadProfile()). */
+std::optional<EventTrace> tryReadEvents(std::istream &is,
+                                        vg::TraceError &error);
 
 } // namespace sigil::core
 

@@ -30,7 +30,38 @@ SigilProfiler::SigilProfiler(const SigilConfig &config)
             (void)unit;
             finalizeRun(obj.hot, obj.cold);
         });
+    shadow_.setPressureHandler(
+        [this](int failed_attempts) { degrade(failed_attempts); });
     collecting_ = !config_.roiOnly;
+    reuseEnabled_ = config_.collectReuse;
+}
+
+void
+SigilProfiler::degrade(int failed_attempts)
+{
+    if (degradationLevel_ == 0) {
+        degradationLevel_ = 1;
+        if (reuseEnabled_) {
+            // Close out every pending run before dropping the mode so
+            // the statistics collected so far keep their mass.
+            shadow_.forEach(
+                [this](std::uint64_t, shadow::ShadowRef obj) {
+                    finalizeRun(obj.hot, obj.cold);
+                });
+            reuseEnabled_ = false;
+            warn("SigilProfiler: shadow allocation pressure "
+                 "(%d failed attempts) — dropping re-use tracking",
+                 failed_attempts);
+            return;
+        }
+    }
+    if (degradationLevel_ == 1) {
+        degradationLevel_ = 2;
+        classifyEnabled_ = false;
+        warn("SigilProfiler: shadow allocation pressure persists "
+             "(%d failed attempts) — dropping read classification",
+             failed_attempts);
+    }
 }
 
 void
@@ -157,7 +188,7 @@ SigilProfiler::writeUnit(shadow::ShadowHot &hot, shadow::ShadowCold &cold,
                          vg::ContextId ctx, vg::CallNum call,
                          std::uint64_t seq)
 {
-    if (config_.collectReuse)
+    if (reuseEnabled_)
         finalizeRun(hot, cold);
     hot.lastWriterCtx = ctx;
     hot.lastWriterCall = call;
@@ -251,6 +282,16 @@ SigilProfiler::readUnit(shadow::ShadowHot &s, shadow::ShadowCold &c,
         return;
     }
 
+    if (!classifyEnabled_) {
+        // Degradation level 2: raw byte totals (readAccess) continue,
+        // but per-class aggregation stops. Reader identity is still
+        // maintained so a later analysis of the shadow state remains
+        // coherent.
+        s.lastReaderCtx = ctx;
+        s.lastReaderCall = call;
+        return;
+    }
+
     if (unique)
         unique_bytes_this_access += w;
     if (local) {
@@ -315,7 +356,7 @@ SigilProfiler::readUnit(shadow::ShadowHot &s, shadow::ShadowCold &c,
         state.xfers[s.lastWriterSeq] += w;
     }
 
-    if (config_.collectReuse) {
+    if (reuseEnabled_) {
         if (s.lastReaderCtx == ctx && s.lastReaderCall == call) {
             ++c.runReads;
             c.runLastRead = now;
@@ -399,7 +440,7 @@ SigilProfiler::threadSwitchAt(vg::ThreadId tid, vg::ContextId ctx,
 void
 SigilProfiler::finalizeRun(shadow::ShadowHot &hot, shadow::ShadowCold &cold)
 {
-    if (!config_.collectReuse)
+    if (!reuseEnabled_)
         return;
     if (hot.lastReaderCtx == vg::kInvalidContext || cold.runReads == 0)
         return;
@@ -495,7 +536,13 @@ SigilProfiler::flushSegment(SegState &state)
     bool has_work = segment.iops || segment.flops || segment.reads ||
                     segment.writes;
     if (collecting_ && (has_work || !state.xfers.empty())) {
-        for (const auto &[src, bytes] : state.xfers) {
+        // Emit incoming transfers in source order: the hash map's
+        // iteration order is not part of the observable state, and a
+        // checkpoint restore would otherwise reorder the X records.
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> ordered(
+            state.xfers.begin(), state.xfers.end());
+        std::sort(ordered.begin(), ordered.end());
+        for (const auto &[src, bytes] : ordered) {
             XferEvent x;
             x.srcSeq = resolvePred(src);
             x.dstSeq = segment.seq;
@@ -572,6 +619,11 @@ SigilProfiler::finish()
 const CommAggregates &
 SigilProfiler::aggregates(vg::ContextId ctx) const
 {
+#ifndef NDEBUG
+    SIGIL_ASSERT(guest_ == nullptr || !guest_->eventsPendingDispatch(),
+                 "tool state read with events pending — call "
+                 "Guest::sync() first");
+#endif
     std::size_t idx = static_cast<std::size_t>(ctx);
     return idx < rows_.size() ? rows_[idx] : kZero;
 }
@@ -581,6 +633,11 @@ SigilProfiler::takeProfile() const
 {
     if (guest_ == nullptr)
         panic("SigilProfiler::takeProfile before attach");
+#ifndef NDEBUG
+    SIGIL_ASSERT(!guest_->eventsPendingDispatch(),
+                 "tool state read with events pending — call "
+                 "Guest::sync() first");
+#endif
     const vg::ContextTree &ctxs = guest_->contexts();
     const vg::FunctionRegistry &fns = guest_->functions();
 
@@ -626,6 +683,423 @@ SigilProfiler::takeProfile() const
     profile.shadowPeakBytes = shadow_.peakBytes();
     profile.shadowEvictions = shadow_.stats().evictions;
     return profile;
+}
+
+namespace {
+
+void
+putLinearHistogram(ByteSink &sink, const LinearHistogram &h)
+{
+    sink.u64(h.binWidth());
+    sink.varint(h.numBins());
+    for (std::size_t i = 0; i < h.numBins(); ++i)
+        sink.u64(h.binCount(i));
+    sink.u64(h.overflowCount());
+    sink.u64(h.totalValue());
+    sink.u64(h.maxValue());
+}
+
+bool
+getLinearHistogram(ByteSource &src, LinearHistogram &h)
+{
+    std::uint64_t bin_width = src.u64();
+    if (bin_width != h.binWidth())
+        return false;
+    std::uint64_t n = src.varint();
+    if (!src.ok() || n > (std::uint64_t{1} << 24))
+        return false;
+    std::vector<std::uint64_t> bins(static_cast<std::size_t>(n));
+    for (auto &b : bins)
+        b = src.u64();
+    std::uint64_t overflow = src.u64();
+    std::uint64_t sum = src.u64();
+    std::uint64_t max = src.u64();
+    if (!src.ok())
+        return false;
+    h.restore(std::move(bins), overflow, sum, max);
+    return true;
+}
+
+void
+putBoundsHistogram(ByteSink &sink, const BoundsHistogram &h)
+{
+    sink.varint(h.numBins());
+    for (std::size_t i = 0; i < h.numBins(); ++i)
+        sink.u64(h.binCount(i));
+}
+
+bool
+getBoundsHistogram(ByteSource &src, BoundsHistogram &h)
+{
+    std::uint64_t n = src.varint();
+    if (n != h.numBins())
+        return false;
+    std::vector<std::uint64_t> counts(static_cast<std::size_t>(n));
+    for (auto &c : counts)
+        c = src.u64();
+    if (!src.ok())
+        return false;
+    h.restore(counts);
+    return true;
+}
+
+void
+putAggregates(ByteSink &sink, const CommAggregates &a)
+{
+    sink.u64(a.calls);
+    sink.u64(a.iops);
+    sink.u64(a.flops);
+    sink.u64(a.readBytes);
+    sink.u64(a.writeBytes);
+    sink.u64(a.uniqueLocalBytes);
+    sink.u64(a.nonuniqueLocalBytes);
+    sink.u64(a.uniqueInputBytes);
+    sink.u64(a.nonuniqueInputBytes);
+    sink.u64(a.uniqueOutputBytes);
+    sink.u64(a.nonuniqueOutputBytes);
+    sink.u64(a.uniqueInterThreadBytes);
+    sink.u64(a.nonuniqueInterThreadBytes);
+    sink.u64(a.reusedUnits);
+    sink.u64(a.reuseReads);
+    sink.u64(a.lifetimeSum);
+    putLinearHistogram(sink, a.lifetimeHist);
+}
+
+bool
+getAggregates(ByteSource &src, CommAggregates &a)
+{
+    a.calls = src.u64();
+    a.iops = src.u64();
+    a.flops = src.u64();
+    a.readBytes = src.u64();
+    a.writeBytes = src.u64();
+    a.uniqueLocalBytes = src.u64();
+    a.nonuniqueLocalBytes = src.u64();
+    a.uniqueInputBytes = src.u64();
+    a.nonuniqueInputBytes = src.u64();
+    a.uniqueOutputBytes = src.u64();
+    a.nonuniqueOutputBytes = src.u64();
+    a.uniqueInterThreadBytes = src.u64();
+    a.nonuniqueInterThreadBytes = src.u64();
+    a.reusedUnits = src.u64();
+    a.reuseReads = src.u64();
+    a.lifetimeSum = src.u64();
+    return getLinearHistogram(src, a.lifetimeHist);
+}
+
+void
+putComputeEvent(ByteSink &sink, const ComputeEvent &c)
+{
+    sink.u64(c.seq);
+    sink.u64(c.predSeq);
+    sink.u32(static_cast<std::uint32_t>(c.ctx));
+    sink.u64(c.call);
+    sink.u64(c.iops);
+    sink.u64(c.flops);
+    sink.u64(c.reads);
+    sink.u64(c.writes);
+}
+
+void
+getComputeEvent(ByteSource &src, ComputeEvent &c)
+{
+    c.seq = src.u64();
+    c.predSeq = src.u64();
+    c.ctx = static_cast<vg::ContextId>(src.u32());
+    c.call = src.u64();
+    c.iops = src.u64();
+    c.flops = src.u64();
+    c.reads = src.u64();
+    c.writes = src.u64();
+}
+
+} // namespace
+
+void
+SigilProfiler::saveState(ByteSink &sink)
+{
+    sink.u8(1); // profiler state version
+
+    // Config echo: a checkpoint is only meaningful for the identical
+    // collection configuration (referenceShadowPath is excluded — the
+    // two shadow walks are bit-identical by contract).
+    sink.u8(static_cast<std::uint8_t>(config_.granularityShift));
+    sink.u64(config_.maxShadowChunks);
+    sink.u8(config_.collectReuse ? 1 : 0);
+    sink.u8(config_.collectEvents ? 1 : 0);
+    sink.u8(config_.roiOnly ? 1 : 0);
+    sink.u8(config_.collectObjects ? 1 : 0);
+
+    sink.u8(collecting_ ? 1 : 0);
+    sink.u8(static_cast<std::uint8_t>(degradationLevel_));
+    sink.u8(reuseEnabled_ ? 1 : 0);
+    sink.u8(classifyEnabled_ ? 1 : 0);
+
+    sink.varint(rows_.size());
+    for (const CommAggregates &a : rows_)
+        putAggregates(sink, a);
+
+    sink.varint(edges_.size());
+    for (const CommEdge &e : edges_) {
+        sink.u32(static_cast<std::uint32_t>(e.producer));
+        sink.u32(static_cast<std::uint32_t>(e.consumer));
+        sink.u64(e.uniqueBytes);
+        sink.u64(e.nonuniqueBytes);
+    }
+    sink.varint(threadEdges_.size());
+    for (const ThreadCommEdge &e : threadEdges_) {
+        sink.u32(e.producer);
+        sink.u32(e.consumer);
+        sink.u64(e.uniqueBytes);
+        sink.u64(e.nonuniqueBytes);
+    }
+
+    putBoundsHistogram(sink, unitReuseBreakdown_);
+    putBoundsHistogram(sink, lineReuseBreakdown_);
+
+    sink.varint(objectStats_.size());
+    for (const ObjectStats &o : objectStats_) {
+        sink.u64(o.readBytes);
+        sink.u64(o.writeBytes);
+        sink.u64(o.uniqueReadBytes);
+    }
+
+    sink.varint(events_.records.size());
+    for (const EventRecord &r : events_.records) {
+        sink.u8(r.kind == EventRecord::Kind::Compute ? 0 : 1);
+        if (r.kind == EventRecord::Kind::Compute) {
+            putComputeEvent(sink, r.compute);
+        } else {
+            sink.u64(r.xfer.srcSeq);
+            sink.u64(r.xfer.dstSeq);
+            sink.u64(r.xfer.bytes);
+        }
+    }
+    sink.u64(nextSeq_);
+
+    sink.varint(segStates_.size());
+    for (const SegState &s : segStates_) {
+        sink.u8(s.open ? 1 : 0);
+        putComputeEvent(sink, s.segment);
+        sink.varint(s.xfers.size());
+        for (const auto &[src_seq, bytes] : s.xfers) {
+            sink.u64(src_seq);
+            sink.u64(bytes);
+        }
+        sink.varint(s.frameLastSeq.size());
+        for (std::uint64_t seq : s.frameLastSeq)
+            sink.u64(seq);
+        sink.u8(s.barrierPending ? 1 : 0);
+    }
+    sink.varint(currentTid_);
+
+    sink.varint(skippedSegments_.size());
+    for (const auto &[seq, pred] : skippedSegments_) {
+        sink.u64(seq);
+        sink.u64(pred);
+    }
+    sink.varint(barrierPreds_.size());
+    for (std::uint64_t seq : barrierPreds_)
+        sink.u64(seq);
+
+    const shadow::ShadowStats &st = shadow_.stats();
+    sink.u64(st.chunksAllocated);
+    sink.u64(st.chunksLive);
+    sink.u64(st.chunksPeak);
+    sink.u64(st.evictions);
+    sink.u64(st.allocFailures);
+
+    // Shadow units, least recently used chunk first: restoring in
+    // this order reproduces the recency list, hence every future
+    // eviction decision.
+    std::uint64_t unit_count = 0;
+    shadow_.forEachInRecencyOrder(
+        [&](std::uint64_t, shadow::ShadowRef) { ++unit_count; });
+    sink.varint(unit_count);
+    shadow_.forEachInRecencyOrder(
+        [&](std::uint64_t unit, shadow::ShadowRef obj) {
+            sink.varint(unit);
+            sink.u64(obj.hot.lastWriterSeq);
+            sink.u64(obj.hot.lastWriterCall);
+            sink.u64(obj.hot.lastReaderCall);
+            sink.u32(static_cast<std::uint32_t>(obj.hot.lastWriterCtx));
+            sink.u32(static_cast<std::uint32_t>(obj.hot.lastReaderCtx));
+            sink.u32(obj.hot.lastWriterThread);
+            sink.u64(obj.cold.runFirstRead);
+            sink.u64(obj.cold.runLastRead);
+            sink.u64(obj.cold.totalAccesses);
+            sink.u32(obj.cold.runReads);
+        });
+}
+
+bool
+SigilProfiler::restoreState(ByteSource &src)
+{
+    if (src.u8() != 1)
+        return false;
+
+    if (src.u8() != config_.granularityShift ||
+        src.u64() != config_.maxShadowChunks ||
+        (src.u8() != 0) != config_.collectReuse ||
+        (src.u8() != 0) != config_.collectEvents ||
+        (src.u8() != 0) != config_.roiOnly ||
+        (src.u8() != 0) != config_.collectObjects) {
+        return false;
+    }
+
+    collecting_ = src.u8() != 0;
+    degradationLevel_ = src.u8();
+    reuseEnabled_ = src.u8() != 0;
+    classifyEnabled_ = src.u8() != 0;
+
+    std::uint64_t num_rows = src.varint();
+    if (!src.ok() || num_rows > (std::uint64_t{1} << 32))
+        return false;
+    rows_.assign(static_cast<std::size_t>(num_rows), CommAggregates());
+    for (CommAggregates &a : rows_) {
+        if (!getAggregates(src, a))
+            return false;
+    }
+
+    std::uint64_t num_edges = src.varint();
+    if (!src.ok() || num_edges > (std::uint64_t{1} << 32))
+        return false;
+    edges_.clear();
+    edgeIndex_.clear();
+    for (std::uint64_t i = 0; i < num_edges; ++i) {
+        CommEdge e;
+        e.producer = static_cast<vg::ContextId>(src.u32());
+        e.consumer = static_cast<vg::ContextId>(src.u32());
+        e.uniqueBytes = src.u64();
+        e.nonuniqueBytes = src.u64();
+        edgeIndex_.emplace(edgeKey(e.producer, e.consumer),
+                           edges_.size());
+        edges_.push_back(e);
+    }
+    std::uint64_t num_tedges = src.varint();
+    if (!src.ok() || num_tedges > (std::uint64_t{1} << 32))
+        return false;
+    threadEdges_.clear();
+    threadEdgeIndex_.clear();
+    for (std::uint64_t i = 0; i < num_tedges; ++i) {
+        ThreadCommEdge e;
+        e.producer = src.u32();
+        e.consumer = src.u32();
+        e.uniqueBytes = src.u64();
+        e.nonuniqueBytes = src.u64();
+        threadEdgeIndex_.emplace(
+            (static_cast<std::uint64_t>(e.producer) << 32) | e.consumer,
+            threadEdges_.size());
+        threadEdges_.push_back(e);
+    }
+
+    if (!getBoundsHistogram(src, unitReuseBreakdown_) ||
+        !getBoundsHistogram(src, lineReuseBreakdown_)) {
+        return false;
+    }
+
+    std::uint64_t num_objs = src.varint();
+    if (!src.ok() || num_objs > (std::uint64_t{1} << 32))
+        return false;
+    objectStats_.assign(static_cast<std::size_t>(num_objs),
+                        ObjectStats{});
+    for (ObjectStats &o : objectStats_) {
+        o.readBytes = src.u64();
+        o.writeBytes = src.u64();
+        o.uniqueReadBytes = src.u64();
+    }
+
+    std::uint64_t num_records = src.varint();
+    if (!src.ok() || num_records > (std::uint64_t{1} << 32))
+        return false;
+    events_.records.clear();
+    events_.records.reserve(static_cast<std::size_t>(num_records));
+    for (std::uint64_t i = 0; i < num_records; ++i) {
+        if (src.u8() == 0) {
+            ComputeEvent c;
+            getComputeEvent(src, c);
+            events_.records.push_back(EventRecord::makeCompute(c));
+        } else {
+            XferEvent x;
+            x.srcSeq = src.u64();
+            x.dstSeq = src.u64();
+            x.bytes = src.u64();
+            events_.records.push_back(EventRecord::makeXfer(x));
+        }
+    }
+    nextSeq_ = src.u64();
+
+    std::uint64_t num_segs = src.varint();
+    if (!src.ok() || num_segs == 0 || num_segs > (std::uint64_t{1} << 20))
+        return false;
+    segStates_.assign(static_cast<std::size_t>(num_segs), SegState{});
+    for (SegState &s : segStates_) {
+        s.open = src.u8() != 0;
+        getComputeEvent(src, s.segment);
+        std::uint64_t num_xfers = src.varint();
+        if (!src.ok() || num_xfers > (std::uint64_t{1} << 32))
+            return false;
+        for (std::uint64_t i = 0; i < num_xfers; ++i) {
+            std::uint64_t src_seq = src.u64();
+            std::uint64_t bytes = src.u64();
+            s.xfers.emplace(src_seq, bytes);
+        }
+        std::uint64_t num_frames = src.varint();
+        if (!src.ok() || num_frames > (std::uint64_t{1} << 24))
+            return false;
+        s.frameLastSeq.resize(static_cast<std::size_t>(num_frames));
+        for (auto &seq : s.frameLastSeq)
+            seq = src.u64();
+        s.barrierPending = src.u8() != 0;
+    }
+    currentTid_ = static_cast<vg::ThreadId>(src.varint());
+    if (currentTid_ >= segStates_.size())
+        return false;
+
+    std::uint64_t num_skipped = src.varint();
+    if (!src.ok() || num_skipped > (std::uint64_t{1} << 32))
+        return false;
+    skippedSegments_.clear();
+    for (std::uint64_t i = 0; i < num_skipped; ++i) {
+        std::uint64_t seq = src.u64();
+        std::uint64_t pred = src.u64();
+        skippedSegments_.emplace(seq, pred);
+    }
+    std::uint64_t num_bpreds = src.varint();
+    if (!src.ok() || num_bpreds > (std::uint64_t{1} << 20))
+        return false;
+    barrierPreds_.resize(static_cast<std::size_t>(num_bpreds));
+    for (auto &seq : barrierPreds_)
+        seq = src.u64();
+
+    shadow::ShadowStats st;
+    st.chunksAllocated = src.u64();
+    st.chunksLive = src.u64();
+    st.chunksPeak = src.u64();
+    st.evictions = src.u64();
+    st.allocFailures = src.u64();
+
+    std::uint64_t num_units = src.varint();
+    if (!src.ok() || num_units > (std::uint64_t{1} << 40))
+        return false;
+    for (std::uint64_t i = 0; i < num_units; ++i) {
+        std::uint64_t unit = src.varint();
+        if (!src.ok())
+            return false;
+        shadow::ShadowRef obj = shadow_.restoreLookup(unit);
+        obj.hot.lastWriterSeq = src.u64();
+        obj.hot.lastWriterCall = src.u64();
+        obj.hot.lastReaderCall = src.u64();
+        obj.hot.lastWriterCtx = static_cast<vg::ContextId>(src.u32());
+        obj.hot.lastReaderCtx = static_cast<vg::ContextId>(src.u32());
+        obj.hot.lastWriterThread = src.u32();
+        obj.cold.runFirstRead = src.u64();
+        obj.cold.runLastRead = src.u64();
+        obj.cold.totalAccesses = src.u64();
+        obj.cold.runReads = src.u32();
+    }
+    shadow_.restoreStats(st);
+    return src.ok();
 }
 
 } // namespace sigil::core

@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "support/serial.hh"
 #include "core/comm_stats.hh"
 #include "core/event_trace.hh"
 #include "core/profile.hh"
@@ -93,16 +94,57 @@ class SigilProfiler : public vg::Tool
      */
     void processBatch(const vg::EventBuffer &batch) override;
 
-    /** Aggregates of one context (zeroes if never seen). */
+    /**
+     * Aggregates of one context (zeroes if never seen).
+     *
+     * With batched/async dispatch (GuestConfig::batchEvents /
+     * asyncTools) call Guest::sync() first — the profiler lags the
+     * guest until the in-flight buffers drain. Debug builds assert
+     * that no events are pending.
+     */
     const CommAggregates &aggregates(vg::ContextId ctx) const;
 
-    /** Snapshot the aggregate profile (names, edges, breakdowns). */
+    /**
+     * Snapshot the aggregate profile (names, edges, breakdowns).
+     * Requires Guest::sync() first under batched/async dispatch (see
+     * aggregates()); debug builds assert that no events are pending.
+     */
     SigilProfile takeProfile() const;
+
+    /** @name Checkpointing
+     *
+     * saveState() serializes the complete analysis state — aggregate
+     * rows, edges, breakdown histograms, object stats, event-trace
+     * records and open segments, and every live shadow chunk (in
+     * recency order, so the restore reproduces future eviction
+     * decisions). restoreState() rebuilds it into a freshly
+     * constructed profiler with an *identical* SigilConfig; a config
+     * mismatch or corrupt input returns false.
+     */
+    /// @{
+    void saveState(ByteSink &sink);
+    bool restoreState(ByteSource &src);
+    /// @}
+
+    /**
+     * Fidelity degradation under shadow allocation pressure (driven by
+     * ShadowMemory's pressure handler): 0 = full fidelity, 1 = re-use
+     * tracking dropped (pending runs are finalized first, so existing
+     * statistics keep their mass), 2 = read classification dropped
+     * (raw byte counts continue). The level only rises.
+     */
+    int degradationLevel() const { return degradationLevel_; }
 
     /** The event trace (empty unless collectEvents). */
     const EventTrace &events() const { return events_; }
 
     const shadow::ShadowMemory &shadowMemory() const { return shadow_; }
+
+    /**
+     * Mutable shadow access for fault-injection harnesses (install an
+     * allocation-failure injector before driving the guest).
+     */
+    shadow::ShadowMemory &shadowMemory() { return shadow_; }
 
     const SigilConfig &config() const { return config_; }
 
@@ -162,11 +204,23 @@ class SigilProfiler : public vg::Tool
     /** Resolve a predecessor through any skipped (empty) segments. */
     std::uint64_t resolvePred(std::uint64_t seq) const;
 
+    /** Shed fidelity one rung at a time (see degradationLevel()). */
+    void degrade(int failed_attempts);
+
     SigilConfig config_;
     shadow::ShadowMemory shadow_;
 
     /** False while ROI-only collection is outside the ROI. */
     bool collecting_ = true;
+
+    /** @name Degradation ladder state */
+    /// @{
+    int degradationLevel_ = 0;
+    /** config_.collectReuse until degradation level 1. */
+    bool reuseEnabled_ = true;
+    /** True until degradation level 2. */
+    bool classifyEnabled_ = true;
+    /// @}
 
     std::vector<CommAggregates> rows_;
 

@@ -64,6 +64,26 @@ ShadowMemory::chunkFor(std::uint64_t unit)
     if (it == directory_.end()) {
         if (maxChunks_ != 0 && directory_.size() >= maxChunks_)
             evictOldest();
+        if (allocFailureInjector_) {
+            // Degradation ladder, rung 1: survive a failed chunk
+            // allocation by evicting the least recently used chunk
+            // (losing only precision, like the memory-limit path) and
+            // retrying. Only when nothing evictable remains does the
+            // pressure handler ask the owner to degrade fidelity.
+            int failed = 0;
+            bool exhausted = false;
+            while (allocFailureInjector_()) {
+                ++failed;
+                ++stats_.allocFailures;
+                if (directory_.empty() || failed >= 8) {
+                    exhausted = true;
+                    break;
+                }
+                evictOldest();
+            }
+            if (exhausted && pressureHandler_)
+                pressureHandler_(failed);
+        }
         Chunk chunk;
         chunk.base = index << kChunkShift;
         chunk.index = index;
@@ -93,6 +113,20 @@ ShadowMemory::lookup(std::uint64_t unit)
     return ShadowRef{chunk.hot[off], chunk.cold[off]};
 }
 
+ShadowRef
+ShadowMemory::restoreLookup(std::uint64_t unit)
+{
+    std::size_t saved_max = maxChunks_;
+    std::function<bool()> saved_injector =
+        std::move(allocFailureInjector_);
+    maxChunks_ = 0;
+    allocFailureInjector_ = nullptr;
+    ShadowRef ref = lookup(unit);
+    maxChunks_ = saved_max;
+    allocFailureInjector_ = std::move(saved_injector);
+    return ref;
+}
+
 ShadowPtr
 ShadowMemory::find(std::uint64_t unit)
 {
@@ -116,6 +150,25 @@ ShadowMemory::forEach(const EvictionHandler &visitor)
                   return a->base < b->base;
               });
     for (Chunk *chunk : chunks) {
+        for (std::size_t w = 0; w < kTouchedWords; ++w) {
+            std::uint64_t bits = chunk->touched[w];
+            while (bits != 0) {
+                std::size_t i =
+                    (w << 6) +
+                    static_cast<std::size_t>(std::countr_zero(bits));
+                bits &= bits - 1;
+                visitor(chunk->base + i,
+                        ShadowRef{chunk->hot[i], chunk->cold[i]});
+            }
+        }
+    }
+}
+
+void
+ShadowMemory::forEachInRecencyOrder(const EvictionHandler &visitor)
+{
+    for (Chunk *chunk = lruHead_; chunk != nullptr;
+         chunk = chunk->lruNext) {
         for (std::size_t w = 0; w < kTouchedWords; ++w) {
             std::uint64_t bits = chunk->touched[w];
             while (bits != 0) {

@@ -108,6 +108,8 @@ struct ShadowStats
     std::uint64_t chunksLive = 0;
     std::uint64_t chunksPeak = 0;
     std::uint64_t evictions = 0;
+    /** Injected (or real) chunk allocation failures survived. */
+    std::uint64_t allocFailures = 0;
 
     std::uint64_t
     peakBytes(std::size_t chunk_bytes) const
@@ -228,6 +230,14 @@ class ShadowMemory
     ShadowPtr find(std::uint64_t unit);
 
     /**
+     * lookup() variant for checkpoint restore: never evicts and never
+     * consults the failure injector, so re-populating exactly the
+     * saved chunk set (which already respects the limit) cannot
+     * perturb it. Units must be restored in saved (recency) order.
+     */
+    ShadowRef restoreLookup(std::uint64_t unit);
+
+    /**
      * Visit every touched shadow object (used for the end-of-run sweep
      * that finalizes pending re-use runs). Chunks are visited in
      * ascending base order so the sweep is deterministic run-to-run;
@@ -236,7 +246,50 @@ class ShadowMemory
      */
     void forEach(const EvictionHandler &visitor);
 
+    /**
+     * Visit every touched shadow object chunk-by-chunk in recency
+     * order, least recently touched chunk first. A checkpoint saves
+     * chunks in this order so that a restore — which re-lookup()s the
+     * units in saved order — reproduces the recency list exactly, and
+     * with it every future eviction decision.
+     */
+    void forEachInRecencyOrder(const EvictionHandler &visitor);
+
     const ShadowStats &stats() const { return stats_; }
+
+    /**
+     * Overwrite the cumulative statistics (checkpoint restore); the
+     * live-chunk count is re-derived from the directory.
+     */
+    void
+    restoreStats(const ShadowStats &stats)
+    {
+        stats_ = stats;
+        stats_.chunksLive = directory_.size();
+    }
+
+    /**
+     * Fault injection: consulted before every new chunk allocation;
+     * returning true simulates the allocation failing. The shadow
+     * survives by evicting its least recently used chunk to make room
+     * and retrying (the paper's reclamation path under real memory
+     * pressure); if the injector keeps failing with nothing left to
+     * evict, the pressure handler is told how many attempts failed so
+     * the owning profiler can degrade collection fidelity, and the
+     * allocation then proceeds (the injector only simulates failure).
+     */
+    void
+    setAllocationFailureInjector(std::function<bool()> injector)
+    {
+        allocFailureInjector_ = std::move(injector);
+    }
+
+    /** Called when eviction could not satisfy an allocation. */
+    void
+    setPressureHandler(std::function<void(int failed_attempts)> handler)
+    {
+        pressureHandler_ = std::move(handler);
+    }
 
     /**
      * Host bytes of one chunk, for memory accounting: the hot and cold
@@ -308,6 +361,8 @@ class ShadowMemory
     Chunk *lruHead_ = nullptr;
     Chunk *lruTail_ = nullptr;
     EvictionHandler evictionHandler_;
+    std::function<bool()> allocFailureInjector_;
+    std::function<void(int)> pressureHandler_;
     ShadowStats stats_;
 };
 

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Minimal binary serialization helpers for checkpoint files.
+ *
+ * ByteSink appends fixed-width little-endian integers, varints, and
+ * length-prefixed strings to a growable byte buffer; ByteSource reads
+ * them back with hard bounds checking. A ByteSource never reads past
+ * its buffer regardless of the input bytes: any overrun or varint
+ * overflow latches a sticky failure flag and all subsequent reads
+ * return zero values, so a decoder can run to completion on garbage
+ * and check ok() once instead of guarding every field. This is the
+ * failure model checkpoint restore needs — a torn or corrupted file
+ * must be *detected*, never crash the process.
+ */
+
+#ifndef SIGIL_SUPPORT_SERIAL_HH
+#define SIGIL_SUPPORT_SERIAL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace sigil {
+
+/** Append-only byte buffer with primitive encoders. */
+class ByteSink
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf_.push_back(static_cast<char>(v));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        char b[4];
+        b[0] = static_cast<char>(v);
+        b[1] = static_cast<char>(v >> 8);
+        b[2] = static_cast<char>(v >> 16);
+        b[3] = static_cast<char>(v >> 24);
+        buf_.append(b, 4);
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        u32(static_cast<std::uint32_t>(v));
+        u32(static_cast<std::uint32_t>(v >> 32));
+    }
+
+    void
+    i64(std::int64_t v)
+    {
+        u64(static_cast<std::uint64_t>(v));
+    }
+
+    void
+    varint(std::uint64_t v)
+    {
+        while (v >= 0x80) {
+            buf_.push_back(static_cast<char>(v | 0x80));
+            v >>= 7;
+        }
+        buf_.push_back(static_cast<char>(v));
+    }
+
+    /** Length-prefixed string. */
+    void
+    str(std::string_view s)
+    {
+        varint(s.size());
+        buf_.append(s.data(), s.size());
+    }
+
+    /** Raw bytes, no length prefix. */
+    void
+    raw(const void *data, std::size_t len)
+    {
+        buf_.append(static_cast<const char *>(data), len);
+    }
+
+    const std::string &bytes() const { return buf_; }
+    std::string take() { return std::move(buf_); }
+    std::size_t size() const { return buf_.size(); }
+
+  private:
+    std::string buf_;
+};
+
+/** Bounds-checked reader over a byte buffer (sticky failure flag). */
+class ByteSource
+{
+  public:
+    ByteSource(const char *data, std::size_t len) : data_(data), len_(len)
+    {}
+
+    explicit ByteSource(std::string_view bytes)
+        : ByteSource(bytes.data(), bytes.size())
+    {}
+
+    std::uint8_t
+    u8()
+    {
+        if (pos_ >= len_) {
+            ok_ = false;
+            return 0;
+        }
+        return static_cast<std::uint8_t>(data_[pos_++]);
+    }
+
+    std::uint32_t
+    u32()
+    {
+        if (len_ - pos_ < 4 || !ok_) {
+            ok_ = false;
+            pos_ = len_;
+            return 0;
+        }
+        const unsigned char *p =
+            reinterpret_cast<const unsigned char *>(data_) + pos_;
+        pos_ += 4;
+        return static_cast<std::uint32_t>(p[0]) |
+               static_cast<std::uint32_t>(p[1]) << 8 |
+               static_cast<std::uint32_t>(p[2]) << 16 |
+               static_cast<std::uint32_t>(p[3]) << 24;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        std::uint64_t lo = u32();
+        std::uint64_t hi = u32();
+        return lo | (hi << 32);
+    }
+
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+    std::uint64_t
+    varint()
+    {
+        std::uint64_t v = 0;
+        unsigned shift = 0;
+        for (;;) {
+            if (pos_ >= len_ || shift >= 70) {
+                ok_ = false;
+                pos_ = len_;
+                return 0;
+            }
+            std::uint8_t byte = static_cast<std::uint8_t>(data_[pos_++]);
+            v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+            if (!(byte & 0x80))
+                return v;
+            shift += 7;
+        }
+    }
+
+    std::string
+    str()
+    {
+        std::uint64_t n = varint();
+        if (!ok_ || n > len_ - pos_) {
+            ok_ = false;
+            pos_ = len_;
+            return {};
+        }
+        std::string s(data_ + pos_, static_cast<std::size_t>(n));
+        pos_ += static_cast<std::size_t>(n);
+        return s;
+    }
+
+    /** Copy len raw bytes out; zero-fills (and fails) on overrun. */
+    void
+    raw(void *out, std::size_t n)
+    {
+        if (!ok_ || n > len_ - pos_) {
+            ok_ = false;
+            pos_ = len_;
+            std::memset(out, 0, n);
+            return;
+        }
+        std::memcpy(out, data_ + pos_, n);
+        pos_ += n;
+    }
+
+    /** True until any read overran the buffer. */
+    bool ok() const { return ok_; }
+
+    /** True when every byte has been consumed without failure. */
+    bool atEnd() const { return ok_ && pos_ == len_; }
+
+    std::size_t pos() const { return pos_; }
+
+  private:
+    const char *data_;
+    std::size_t len_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+} // namespace sigil
+
+#endif // SIGIL_SUPPORT_SERIAL_HH

@@ -62,6 +62,14 @@ class AsyncToolPipeline
         cv_.wait(lock, [this] { return pending_ == nullptr && !busy_; });
     }
 
+    /** Non-blocking: true when no submitted buffer is in flight. */
+    bool
+    idle() const
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        return pending_ == nullptr && !busy_;
+    }
+
   private:
     void
     run()
@@ -88,7 +96,7 @@ class AsyncToolPipeline
 
     Guest &guest_;
     std::thread worker_;
-    std::mutex m_;
+    mutable std::mutex m_;
     std::condition_variable cv_;
     std::unique_ptr<EventBuffer> pending_;
     std::unique_ptr<EventBuffer> spare_;
@@ -498,6 +506,172 @@ Guest::finish()
     sync();
     for (Tool *t : tools_)
         t->finish();
+}
+
+bool
+Guest::eventsPendingDispatch() const
+{
+    if (!batching_)
+        return false;
+    if (fillBuf_ && !fillBuf_->empty())
+        return true;
+    return pipeline_ && !pipeline_->idle();
+}
+
+void
+Guest::saveState(ByteSink &sink)
+{
+    sync();
+    sink.u8(1); // guest state version
+    sink.str(programName_);
+
+    std::size_t num_fns = functions_.size();
+    sink.varint(num_fns);
+    for (std::size_t i = 0; i < num_fns; ++i)
+        sink.str(functions_.name(static_cast<FunctionId>(i)));
+
+    std::size_t num_ctxs = contexts_.size();
+    sink.varint(num_ctxs);
+    for (std::size_t i = 0; i < num_ctxs; ++i) {
+        ContextId ctx = static_cast<ContextId>(i);
+        // kInvalidContext (-1) maps to 0, real parents to parent + 1.
+        sink.varint(
+            static_cast<std::uint64_t>(contexts_.parent(ctx) + 1));
+        sink.varint(static_cast<std::uint64_t>(contexts_.function(ctx)));
+    }
+
+    sink.varint(threads_.size());
+    for (const ThreadCtx &t : threads_) {
+        sink.u64(t.stackPtr);
+        sink.varint(t.frames.size());
+        for (const Frame &f : t.frames) {
+            sink.varint(static_cast<std::uint64_t>(f.ctx));
+            sink.u64(f.call);
+            sink.u64(f.stackWatermark);
+        }
+    }
+    sink.varint(currentTid_);
+    sink.u64(nextCall_);
+    sink.u64(heapPtr_);
+
+    sink.varint(allocations_.size());
+    for (const Allocation &a : allocations_) {
+        sink.u64(a.base);
+        sink.u64(a.size);
+        sink.str(a.tag);
+    }
+
+    sink.u8(roiActive_ ? 1 : 0);
+    sink.u8(finished_ ? 1 : 0);
+
+    sink.u64(counters_.reads);
+    sink.u64(counters_.readBytes);
+    sink.u64(counters_.writes);
+    sink.u64(counters_.writeBytes);
+    sink.u64(counters_.iops);
+    sink.u64(counters_.flops);
+    sink.u64(counters_.branches);
+    sink.u64(counters_.calls);
+}
+
+bool
+Guest::restoreState(ByteSource &src)
+{
+    if (batching_)
+        return false;
+    if (src.u8() != 1)
+        return false;
+    if (src.str() != programName_)
+        return false;
+
+    // Registries rebuild by re-interning in id order: a fresh guest
+    // assigns the same dense ids, and enterChild() replays the exact
+    // folding decisions the original run made (the tree prefix at each
+    // step equals the original prefix).
+    std::uint64_t num_fns = src.varint();
+    if (num_fns > (std::uint64_t{1} << 32))
+        return false;
+    for (std::uint64_t i = 0; i < num_fns; ++i) {
+        if (!src.ok())
+            return false;
+        if (functions_.intern(src.str()) != static_cast<FunctionId>(i))
+            return false;
+    }
+
+    std::uint64_t num_ctxs = src.varint();
+    if (num_ctxs > (std::uint64_t{1} << 32))
+        return false;
+    for (std::uint64_t i = 0; i < num_ctxs; ++i) {
+        if (!src.ok())
+            return false;
+        ContextId parent =
+            static_cast<ContextId>(src.varint()) - 1;
+        FunctionId fn = static_cast<FunctionId>(src.varint());
+        if (fn < 0 || static_cast<std::uint64_t>(fn) >= num_fns)
+            return false;
+        if (contexts_.enterChild(parent, fn) !=
+            static_cast<ContextId>(i)) {
+            return false;
+        }
+    }
+
+    std::uint64_t num_threads = src.varint();
+    if (num_threads == 0 || num_threads > (std::uint64_t{1} << 20))
+        return false;
+    threads_.clear();
+    for (std::uint64_t t = 0; t < num_threads; ++t) {
+        ThreadCtx tc;
+        tc.stackPtr = src.u64();
+        std::uint64_t num_frames = src.varint();
+        if (!src.ok() || num_frames > (std::uint64_t{1} << 24))
+            return false;
+        tc.frames.reserve(static_cast<std::size_t>(num_frames));
+        for (std::uint64_t f = 0; f < num_frames; ++f) {
+            Frame fr;
+            fr.ctx = static_cast<ContextId>(src.varint());
+            fr.call = src.u64();
+            fr.stackWatermark = src.u64();
+            if (fr.ctx < 0 ||
+                static_cast<std::uint64_t>(fr.ctx) >= num_ctxs) {
+                return false;
+            }
+            tc.frames.push_back(fr);
+        }
+        threads_.push_back(std::move(tc));
+    }
+    currentTid_ = static_cast<ThreadId>(src.varint());
+    if (currentTid_ >= threads_.size())
+        return false;
+    nextCall_ = src.u64();
+    heapPtr_ = src.u64();
+
+    std::uint64_t num_allocs = src.varint();
+    if (!src.ok() || num_allocs > (std::uint64_t{1} << 32))
+        return false;
+    allocations_.clear();
+    for (std::uint64_t i = 0; i < num_allocs; ++i) {
+        Allocation a;
+        a.base = src.u64();
+        a.size = src.u64();
+        a.tag = src.str();
+        if (!src.ok())
+            return false;
+        allocations_.push_back(std::move(a));
+    }
+    allocCount_.store(allocations_.size(), std::memory_order_release);
+
+    roiActive_ = src.u8() != 0;
+    finished_ = src.u8() != 0;
+
+    counters_.reads = src.u64();
+    counters_.readBytes = src.u64();
+    counters_.writes = src.u64();
+    counters_.writeBytes = src.u64();
+    counters_.iops = src.u64();
+    counters_.flops = src.u64();
+    counters_.branches = src.u64();
+    counters_.calls = src.u64();
+    return src.ok();
 }
 
 void

@@ -25,6 +25,7 @@
 #include <string_view>
 #include <vector>
 
+#include "support/serial.hh"
 #include "vg/context_tree.hh"
 #include "vg/event_buffer.hh"
 #include "vg/function_registry.hh"
@@ -319,6 +320,40 @@ class Guest
     }
 
     const GuestCounters &counters() const { return counters_; }
+
+    /**
+     * True while buffered events have not yet reached every tool
+     * (batched/async mode). Tool state queried while this is true is
+     * stale; call sync() first. Always false in per-event mode.
+     */
+    bool eventsPendingDispatch() const;
+
+    /** @name Checkpointing
+     *
+     * The checkpoint layer (core/checkpoint.hh) snapshots a replay at
+     * block boundaries. saveState() serializes everything the guest
+     * owns — function names, context tree, per-thread call stacks,
+     * allocations, counters, ROI flag, virtual clock — in a form
+     * restoreState() can rebuild deterministically: names and contexts
+     * are re-interned in id order, so a restored guest assigns the
+     * same ids a fresh replay would.
+     */
+    /// @{
+
+    /** Serialize the full guest state. sync()s first in batched mode. */
+    void saveState(ByteSink &sink);
+
+    /**
+     * Restore state saved by saveState() into a freshly constructed
+     * guest with the same program name and no events delivered yet
+     * (tools may be attached; their state is restored separately).
+     * Returns false — leaving the guest unusable — on corrupt input,
+     * an id mismatch, or a batching guest (checkpoint replay uses
+     * per-event dispatch).
+     */
+    bool restoreState(ByteSource &src);
+
+    /// @}
 
   private:
     struct Frame

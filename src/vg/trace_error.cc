@@ -1,0 +1,90 @@
+#include "trace_error.hh"
+
+#include <cstdio>
+
+namespace sigil::vg {
+
+const char *
+traceErrorCauseName(TraceErrorCause cause)
+{
+    switch (cause) {
+      case TraceErrorCause::Io:
+        return "io";
+      case TraceErrorCause::BadMagic:
+        return "bad magic";
+      case TraceErrorCause::BadVersion:
+        return "bad version";
+      case TraceErrorCause::Truncated:
+        return "truncated";
+      case TraceErrorCause::HeaderCrc:
+        return "header-crc";
+      case TraceErrorCause::PayloadCrc:
+        return "payload-crc";
+      case TraceErrorCause::VarintOverflow:
+        return "varint overflow";
+      case TraceErrorCause::BoundsExceeded:
+        return "bounds exceeded";
+      case TraceErrorCause::UnknownSection:
+        return "unknown section";
+      case TraceErrorCause::UnknownOpcode:
+        return "unknown opcode";
+      case TraceErrorCause::UnknownFunction:
+        return "unknown function";
+      case TraceErrorCause::BadRecord:
+        return "bad record";
+      case TraceErrorCause::StateMismatch:
+        return "state mismatch";
+      case TraceErrorCause::Unsupported:
+        return "unsupported";
+    }
+    return "unknown";
+}
+
+std::string
+TraceError::message() const
+{
+    std::string msg = traceErrorCauseName(cause);
+    char pos[96];
+    if (line > 0) {
+        std::snprintf(pos, sizeof(pos),
+                      " at line %llu (offset %llu)",
+                      static_cast<unsigned long long>(line),
+                      static_cast<unsigned long long>(byteOffset));
+    } else if (blockIndex >= 0) {
+        std::snprintf(pos, sizeof(pos), " at offset %llu (block %lld)",
+                      static_cast<unsigned long long>(byteOffset),
+                      static_cast<long long>(blockIndex));
+    } else {
+        std::snprintf(pos, sizeof(pos), " at offset %llu",
+                      static_cast<unsigned long long>(byteOffset));
+    }
+    msg += pos;
+    if (!detail.empty()) {
+        msg += ": ";
+        msg += detail;
+    }
+    return msg;
+}
+
+std::string
+ReplayReport::summary() const
+{
+    char buf[256];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%llu events in %llu blocks delivered; "
+        "%llu events / %llu blocks / %llu bytes skipped "
+        "(%llu stale, %llu resyncs)%s%s",
+        static_cast<unsigned long long>(eventsDelivered),
+        static_cast<unsigned long long>(blocksDelivered),
+        static_cast<unsigned long long>(eventsSkipped),
+        static_cast<unsigned long long>(blocksSkipped),
+        static_cast<unsigned long long>(bytesSkipped),
+        static_cast<unsigned long long>(blocksStale),
+        static_cast<unsigned long long>(resyncs),
+        truncated ? "; truncated" : "",
+        error.has_value() ? "; stopped on error" : "");
+    return buf;
+}
+
+} // namespace sigil::vg

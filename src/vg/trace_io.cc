@@ -4,9 +4,11 @@
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <unordered_map>
 
+#include "support/crc32c.hh"
 #include "support/logging.hh"
 
 namespace sigil::vg {
@@ -16,16 +18,41 @@ namespace {
 /** Flush the text formatting buffer once it crosses this size. */
 constexpr std::size_t kTextFlushBytes = 64 * 1024;
 
-constexpr char kBinaryMagic[4] = {'S', 'G', 'B', '1'};
+constexpr char kSgb1Magic[4] = {'S', 'G', 'B', '1'};
+constexpr char kSgb2Magic[4] = {'S', 'G', 'B', '2'};
 
-/** @name Binary section tags */
+/** @name SGB1 section tags */
 /// @{
 constexpr std::uint8_t kSecEnd = 0x00;
 constexpr std::uint8_t kSecFunction = 0x01;
 constexpr std::uint8_t kSecBlock = 0x02;
 /// @}
 
-/** @name Binary event opcodes */
+/** @name SGB2 frame tags */
+/// @{
+constexpr std::uint8_t kTagEnd = 0x00;
+constexpr std::uint8_t kTagFunctions = 0x01;
+constexpr std::uint8_t kTagEvents = 0x02;
+/// @}
+
+/**
+ * SGB2 frame sync bytes. Resynchronization scans for this pattern and
+ * then validates the header CRC, so the bytes only need to be unlikely,
+ * not impossible, inside payload data; the non-ASCII guards keep them
+ * from colliding with text or with the file magic.
+ */
+constexpr unsigned char kFrameSync[4] = {0xa7, 'S', 'B', 0xb2};
+
+/** Smallest possible frame: sync + tag + 4 one-byte varints + 2 CRCs. */
+constexpr std::size_t kMinFrameBytes = 4 + 1 + 4 + 8;
+
+/** Sanity caps rejecting absurd values decoded from corrupt input. */
+constexpr std::uint64_t kMaxPayloadLen = std::uint64_t{1} << 26;
+constexpr std::uint64_t kMaxNameLen = std::uint64_t{1} << 20;
+constexpr std::uint64_t kMaxAccessSize = std::uint64_t{1} << 30;
+constexpr std::uint64_t kMaxThreads = std::uint64_t{1} << 16;
+
+/** @name Binary event opcodes (shared by SGB1 and SGB2) */
 /// @{
 constexpr std::uint8_t kOpRead = 1;
 constexpr std::uint8_t kOpWrite = 2;
@@ -48,6 +75,15 @@ putVarint(std::string &out, std::uint64_t v)
         v >>= 7;
     }
     out.push_back(static_cast<char>(v));
+}
+
+void
+putU32le(std::string &out, std::uint32_t v)
+{
+    out.push_back(static_cast<char>(v));
+    out.push_back(static_cast<char>(v >> 8));
+    out.push_back(static_cast<char>(v >> 16));
+    out.push_back(static_cast<char>(v >> 24));
 }
 
 std::uint64_t
@@ -73,60 +109,97 @@ putUint(std::string &out, std::uint64_t v)
     out.append(tmp, ptr);
 }
 
+/** Internal error transport; never escapes the public replay API. */
+struct TraceAbort
+{
+    TraceError err;
+};
+
+[[noreturn]] void
+raiseError(TraceErrorCause cause, std::uint64_t offset,
+           std::int64_t block = -1, std::string detail = {})
+{
+    TraceError e;
+    e.cause = cause;
+    e.byteOffset = offset;
+    e.blockIndex = block;
+    e.detail = std::move(detail);
+    throw TraceAbort{std::move(e)};
+}
+
+/** Read the remainder of a stream into one buffer. */
+std::string
+slurp(std::istream &is)
+{
+    std::string out;
+    char buf[256 * 1024];
+    for (;;) {
+        is.read(buf, sizeof(buf));
+        std::size_t got = static_cast<std::size_t>(is.gcount());
+        if (got == 0)
+            break;
+        out.append(buf, got);
+    }
+    return out;
+}
+
 /**
- * Checked byte-level reader over an istream for the binary format.
- * Reads the stream in large chunks and serves bytes from an internal
- * buffer: varint decoding touches every byte, and a virtual
- * istream::get() per byte would dominate the replay cost.
+ * Bounds-checked decoder over one byte range. Every read is validated
+ * against the range end before touching memory, so no sequence of
+ * input bytes can make the decoder read outside the buffer: an overrun
+ * raises a TraceError (BoundsExceeded inside a length-framed block,
+ * Truncated when the range is the rest of the stream) with the exact
+ * offset instead of relying on stream EOF behaviour.
  */
-class ByteReader
+class Cursor
 {
   public:
-    explicit ByteReader(std::istream &is) : is_(is)
-    {
-        buf_.resize(kChunkBytes);
-    }
+    Cursor(const char *data, std::size_t len, std::uint64_t base_offset,
+           std::int64_t block, TraceErrorCause bounds_cause)
+        : data_(data), len_(len), base_(base_offset), block_(block),
+          boundsCause_(bounds_cause)
+    {}
+
+    bool atEnd() const { return pos_ == len_; }
+    std::size_t remaining() const { return len_ - pos_; }
+
+    /** Absolute stream offset of the next byte. */
+    std::uint64_t offset() const { return base_ + pos_; }
 
     std::uint8_t
     u8()
     {
-        if (pos_ == len_)
-            refill();
-        return static_cast<std::uint8_t>(buf_[pos_++]);
+        if (pos_ >= len_)
+            raiseError(boundsCause_, offset(), block_);
+        return static_cast<std::uint8_t>(data_[pos_++]);
     }
 
     std::uint64_t
     varint()
     {
-        // Fast path: a full varint's worth of buffered bytes.
-        if (len_ - pos_ >= 10) {
-            const unsigned char *p =
-                reinterpret_cast<const unsigned char *>(buf_.data()) + pos_;
-            std::uint64_t v = p[0] & 0x7f;
-            if (!(p[0] & 0x80)) {
-                ++pos_;
-                return v;
-            }
-            unsigned i = 1;
-            unsigned shift = 7;
-            do {
-                v |= static_cast<std::uint64_t>(p[i] & 0x7f) << shift;
-                shift += 7;
-            } while ((p[i++] & 0x80) && shift < 70);
-            if (shift >= 70 && (p[i - 1] & 0x80))
-                fatal("binary trace: varint overflow");
-            pos_ += i;
-            return v;
+        const unsigned char *p =
+            reinterpret_cast<const unsigned char *>(data_) + pos_;
+        std::size_t avail = len_ - pos_;
+        // Fast path: first byte present and terminal.
+        if (avail != 0 && !(p[0] & 0x80)) {
+            ++pos_;
+            return p[0];
         }
         std::uint64_t v = 0;
         unsigned shift = 0;
+        std::size_t i = 0;
         for (;;) {
-            std::uint8_t byte = u8();
-            if (shift >= 64)
-                fatal("binary trace: varint overflow");
+            if (i >= avail)
+                raiseError(boundsCause_, base_ + pos_ + i, block_);
+            if (shift >= 70)
+                raiseError(TraceErrorCause::VarintOverflow,
+                           base_ + pos_ + i, block_);
+            std::uint8_t byte = p[i++];
             v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
-            if (!(byte & 0x80))
+            if (!(byte & 0x80)) {
+                pos_ += i;
                 return v;
+            }
             shift += 7;
         }
     }
@@ -134,39 +207,273 @@ class ByteReader
     std::string
     bytes(std::uint64_t n)
     {
-        if (n > (1u << 20))
-            fatal("binary trace: unreasonable string length");
-        std::string s;
-        s.reserve(n);
-        while (s.size() < n) {
-            if (pos_ == len_)
-                refill();
-            std::size_t take = std::min<std::size_t>(len_ - pos_,
-                                                     n - s.size());
-            s.append(buf_.data() + pos_, take);
-            pos_ += take;
-        }
+        if (n > kMaxNameLen)
+            raiseError(TraceErrorCause::BadRecord, offset(), block_,
+                       "unreasonable string length");
+        if (n > remaining())
+            raiseError(boundsCause_, offset(), block_);
+        std::string s(data_ + pos_, static_cast<std::size_t>(n));
+        pos_ += static_cast<std::size_t>(n);
         return s;
     }
 
   private:
-    static constexpr std::size_t kChunkBytes = 256 * 1024;
+    const char *data_;
+    std::size_t len_;
+    std::size_t pos_ = 0;
+    std::uint64_t base_;
+    std::int64_t block_;
+    TraceErrorCause boundsCause_;
+};
+
+/**
+ * Shared event-delivery state of a binary replay: the guest, the
+ * function-id map, and the salvage-mode guest-state reconciliation
+ * (synthesized functions for lost name records, dropped underflowing
+ * leaves, ROI transitions reconciled against the guest's actual state).
+ */
+struct ReplayCtx
+{
+    Guest &guest;
+    ReplayPolicy policy;
+    ReplayReport &report;
+    std::unordered_map<std::uint64_t, FunctionId> fnMap;
+    std::uint64_t synthCounter = 0;
+
+    bool salvage() const { return policy == ReplayPolicy::Salvage; }
 
     void
-    refill()
+    recordError(const TraceError &e, std::size_t max_errors)
     {
-        is_.read(buf_.data(), static_cast<std::streamsize>(buf_.size()));
-        len_ = static_cast<std::size_t>(is_.gcount());
-        pos_ = 0;
-        if (len_ == 0)
-            fatal("binary trace: truncated input");
+        if (report.errors.size() < max_errors)
+            report.errors.push_back(e);
     }
 
-    std::istream &is_;
-    std::string buf_;
-    std::size_t pos_ = 0;
-    std::size_t len_ = 0;
+    FunctionId
+    resolveFunction(std::uint64_t id, std::uint64_t offset,
+                    std::int64_t block)
+    {
+        auto it = fnMap.find(id);
+        if (it != fnMap.end())
+            return it->second;
+        if (!salvage())
+            raiseError(TraceErrorCause::UnknownFunction, offset, block,
+                       "unknown function id " + std::to_string(id));
+        // The function record was lost with its block: intern a
+        // stable placeholder so call-tree structure survives even if
+        // the name is gone.
+        FunctionId fn = guest.functions().intern(
+            "<lost-fn-" + std::to_string(++synthCounter) + ">");
+        fnMap.emplace(id, fn);
+        ++report.functionsSynthesized;
+        return fn;
+    }
+
+    /** Decode and deliver one event; prev_addr is the delta base. */
+    void
+    deliverOne(Cursor &c, std::uint64_t &prev_addr, std::int64_t block)
+    {
+        std::uint64_t at = c.offset();
+        std::uint8_t opcode = c.u8();
+        switch (opcode) {
+          case kOpRead:
+          case kOpWrite: {
+            prev_addr += static_cast<std::uint64_t>(unzigzag(c.varint()));
+            std::uint64_t size = c.varint();
+            if (size > kMaxAccessSize)
+                raiseError(TraceErrorCause::BadRecord, at, block,
+                           "unreasonable access size " +
+                               std::to_string(size));
+            if (guest.callDepth() == 0) {
+                // An access outside any function would panic the
+                // guest; only decodable from a damaged stream.
+                if (!salvage())
+                    raiseError(TraceErrorCause::BadRecord, at, block,
+                               "access outside any function");
+                break;
+            }
+            if (opcode == kOpRead)
+                guest.read(prev_addr, static_cast<unsigned>(size));
+            else
+                guest.write(prev_addr, static_cast<unsigned>(size));
+            break;
+          }
+          case kOpOp: {
+            std::uint64_t iops = c.varint();
+            std::uint64_t flops = c.varint();
+            if (guest.callDepth() == 0) {
+                // Tools attribute ops to the current context, which
+                // does not exist when the enclosing enter was lost.
+                if (!salvage())
+                    raiseError(TraceErrorCause::BadRecord, at, block,
+                               "op outside any function");
+                break;
+            }
+            if (iops)
+                guest.iop(iops);
+            if (flops)
+                guest.flop(flops);
+            break;
+          }
+          case kOpBranchTaken:
+          case kOpBranchNotTaken:
+            if (guest.callDepth() == 0) {
+                if (!salvage())
+                    raiseError(TraceErrorCause::BadRecord, at, block,
+                               "branch outside any function");
+                break;
+            }
+            guest.branch(opcode == kOpBranchTaken);
+            break;
+          case kOpEnter:
+            guest.enter(resolveFunction(c.varint(), at, block));
+            break;
+          case kOpLeave:
+            if (guest.callDepth() == 0) {
+                // Call-depth reconciliation: the matching enter was
+                // lost with a skipped block.
+                if (!salvage())
+                    raiseError(TraceErrorCause::BadRecord, at, block,
+                               "leave with empty call stack");
+                ++report.leavesDropped;
+                break;
+            }
+            guest.leave();
+            break;
+          case kOpThreadSwitch: {
+            std::uint64_t tid = c.varint();
+            if (tid >= kMaxThreads)
+                raiseError(TraceErrorCause::BadRecord, at, block,
+                           "unreasonable thread id " +
+                               std::to_string(tid));
+            while (guest.numThreads() <= tid)
+                guest.spawnThread();
+            guest.switchThread(static_cast<ThreadId>(tid));
+            break;
+          }
+          case kOpBarrier:
+            guest.barrier();
+            break;
+          case kOpRoiBegin:
+          case kOpRoiEnd: {
+            bool begin = opcode == kOpRoiBegin;
+            if (guest.inRoi() == begin) {
+                // ROI reconciliation: the paired transition was lost.
+                if (!salvage())
+                    raiseError(TraceErrorCause::BadRecord, at, block,
+                               begin ? "nested roi begin"
+                                     : "roi end outside roi");
+                ++report.roiDropped;
+                break;
+            }
+            if (begin)
+                guest.roiBegin();
+            else
+                guest.roiEnd();
+            break;
+          }
+          default:
+            raiseError(TraceErrorCause::UnknownOpcode, at, block,
+                       "opcode " + std::to_string(opcode));
+        }
+        ++report.eventsDelivered;
+    }
 };
+
+/** @name SGB2 frame header parsing */
+/// @{
+
+struct FrameHeader
+{
+    std::uint8_t tag = 0;
+    std::uint64_t blockSeq = 0;
+    std::uint64_t firstEventSeq = 0;
+    std::uint64_t eventCount = 0;
+    std::uint64_t payloadLen = 0;
+    std::uint32_t payloadCrc = 0;
+    std::size_t headerLen = 0; ///< sync through headerCrc, inclusive
+};
+
+/**
+ * Try to parse and validate an SGB2 frame header at data[off]. Fails
+ * (nullopt) on missing sync bytes, malformed or overlong varints,
+ * implausible field values, or a header-CRC mismatch — all without
+ * reading past the buffer, so it is safe to probe arbitrary offsets
+ * during resynchronization.
+ */
+std::optional<FrameHeader>
+parseFrameAt(std::string_view data, std::size_t off)
+{
+    if (off + kMinFrameBytes > data.size())
+        return std::nullopt;
+    const unsigned char *p =
+        reinterpret_cast<const unsigned char *>(data.data()) + off;
+    std::size_t avail = data.size() - off;
+    if (std::memcmp(p, kFrameSync, 4) != 0)
+        return std::nullopt;
+
+    std::size_t pos = 4;
+    FrameHeader h;
+    h.tag = p[pos++];
+
+    auto varint = [&](std::uint64_t &out) -> bool {
+        std::uint64_t v = 0;
+        unsigned shift = 0;
+        for (;;) {
+            if (pos >= avail || shift >= 70)
+                return false;
+            std::uint8_t byte = p[pos++];
+            v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+            if (!(byte & 0x80)) {
+                out = v;
+                return true;
+            }
+            shift += 7;
+        }
+    };
+    if (!varint(h.blockSeq) || !varint(h.firstEventSeq) ||
+        !varint(h.eventCount) || !varint(h.payloadLen)) {
+        return std::nullopt;
+    }
+    if (pos + 8 > avail)
+        return std::nullopt;
+    if (h.payloadLen > kMaxPayloadLen || h.eventCount > h.payloadLen)
+        return std::nullopt;
+    h.payloadCrc = static_cast<std::uint32_t>(p[pos]) |
+                   static_cast<std::uint32_t>(p[pos + 1]) << 8 |
+                   static_cast<std::uint32_t>(p[pos + 2]) << 16 |
+                   static_cast<std::uint32_t>(p[pos + 3]) << 24;
+    std::uint32_t header_crc =
+        static_cast<std::uint32_t>(p[pos + 4]) |
+        static_cast<std::uint32_t>(p[pos + 5]) << 8 |
+        static_cast<std::uint32_t>(p[pos + 6]) << 16 |
+        static_cast<std::uint32_t>(p[pos + 7]) << 24;
+    if (crc32c(p, pos + 4) != header_crc)
+        return std::nullopt;
+    h.headerLen = pos + 8;
+    return h;
+}
+
+/** Next offset >= from holding a valid frame header; npos if none. */
+std::size_t
+findNextFrame(std::string_view data, std::size_t from)
+{
+    while (from + kMinFrameBytes <= data.size()) {
+        const void *hit =
+            std::memchr(data.data() + from, kFrameSync[0],
+                        data.size() - from - (kMinFrameBytes - 1));
+        if (hit == nullptr)
+            return std::string_view::npos;
+        from = static_cast<std::size_t>(static_cast<const char *>(hit) -
+                                        data.data());
+        if (parseFrameAt(data, from))
+            return from;
+        ++from;
+    }
+    return std::string_view::npos;
+}
+
+/// @}
 
 } // namespace
 
@@ -363,13 +670,22 @@ TraceRecorder::finish()
 // Binary recorder
 // ---------------------------------------------------------------------
 
-BinaryTraceRecorder::BinaryTraceRecorder(std::ostream &os) : os_(os) {}
+BinaryTraceRecorder::BinaryTraceRecorder(std::ostream &os,
+                                         TraceFormat format,
+                                         std::size_t block_events)
+    : os_(os), format_(format), maxBlockEvents_(block_events)
+{
+    if (maxBlockEvents_ == 0)
+        fatal("binary trace: block size must be at least 1 event");
+}
 
 void
 BinaryTraceRecorder::attach(const Guest &guest)
 {
     Tool::attach(guest);
-    std::string header(kBinaryMagic, sizeof(kBinaryMagic));
+    std::string header(format_ == TraceFormat::SGB2 ? kSgb2Magic
+                                                    : kSgb1Magic,
+                       4);
     putVarint(header, 1); // version
     const std::string &name = guest.programName();
     putVarint(header, name.size());
@@ -386,7 +702,10 @@ BinaryTraceRecorder::ensureFunction(FunctionId fn)
     if (emitted_[idx])
         return;
     emitted_[idx] = true;
-    pendingFns_.push_back(static_cast<char>(kSecFunction));
+    // SGB1 tags each record as its own section; SGB2 accumulates bare
+    // records into one function-block payload framed by flushBlock().
+    if (format_ == TraceFormat::SGB1)
+        pendingFns_.push_back(static_cast<char>(kSecFunction));
     putVarint(pendingFns_,
               static_cast<std::uint64_t>(static_cast<std::uint32_t>(fn)));
     const std::string &name = guest_->functions().name(fn);
@@ -395,20 +714,50 @@ BinaryTraceRecorder::ensureFunction(FunctionId fn)
 }
 
 void
+BinaryTraceRecorder::writeFrame(std::uint8_t tag, std::string_view payload,
+                                std::uint64_t first_event,
+                                std::uint64_t event_count)
+{
+    std::string hdr;
+    hdr.append(reinterpret_cast<const char *>(kFrameSync), 4);
+    hdr.push_back(static_cast<char>(tag));
+    putVarint(hdr, blockSeq_++);
+    putVarint(hdr, first_event);
+    putVarint(hdr, event_count);
+    putVarint(hdr, payload.size());
+    putU32le(hdr, crc32c(payload.data(), payload.size()));
+    putU32le(hdr, crc32c(hdr.data(), hdr.size()));
+    os_.write(hdr.data(), static_cast<std::streamsize>(hdr.size()));
+    os_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+}
+
+void
 BinaryTraceRecorder::flushBlock()
 {
+    std::uint64_t first_event = events_ - blockEvents_;
     if (!pendingFns_.empty()) {
-        os_.write(pendingFns_.data(),
-                  static_cast<std::streamsize>(pendingFns_.size()));
+        if (format_ == TraceFormat::SGB1) {
+            os_.write(pendingFns_.data(),
+                      static_cast<std::streamsize>(pendingFns_.size()));
+        } else {
+            writeFrame(kTagFunctions, pendingFns_, first_event, 0);
+        }
         pendingFns_.clear();
     }
     if (blockEvents_ == 0)
         return;
-    std::string frame;
-    frame.push_back(static_cast<char>(kSecBlock));
-    putVarint(frame, blockEvents_);
-    os_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
-    os_.write(block_.data(), static_cast<std::streamsize>(block_.size()));
+    if (format_ == TraceFormat::SGB1) {
+        std::string frame;
+        frame.push_back(static_cast<char>(kSecBlock));
+        putVarint(frame, blockEvents_);
+        os_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+        os_.write(block_.data(), static_cast<std::streamsize>(block_.size()));
+    } else {
+        writeFrame(kTagEvents, block_, first_event, blockEvents_);
+        // Each SGB2 block must decode independently (salvage can drop
+        // any predecessor), so the address delta chain restarts here.
+        prevAddr_ = 0;
+    }
     block_.clear();
     blockEvents_ = 0;
 }
@@ -418,7 +767,7 @@ BinaryTraceRecorder::event(std::uint8_t opcode)
 {
     block_.push_back(static_cast<char>(opcode));
     ++events_;
-    if (++blockEvents_ >= kBlockEvents)
+    if (++blockEvents_ >= maxBlockEvents_)
         flushBlock();
 }
 
@@ -430,7 +779,17 @@ BinaryTraceRecorder::access(std::uint8_t opcode, Addr addr, unsigned size)
     putVarint(block_, size);
     prevAddr_ = addr;
     ++events_;
-    if (++blockEvents_ >= kBlockEvents)
+    if (++blockEvents_ >= maxBlockEvents_)
+        flushBlock();
+}
+
+void
+BinaryTraceRecorder::enterEvent(std::uint64_t fn_id)
+{
+    block_.push_back(static_cast<char>(kOpEnter));
+    putVarint(block_, fn_id);
+    ++events_;
+    if (++blockEvents_ >= maxBlockEvents_)
         flushBlock();
 }
 
@@ -440,12 +799,7 @@ BinaryTraceRecorder::fnEnter(ContextId ctx, CallNum call)
     (void)call;
     FunctionId fn = guest_->contexts().function(ctx);
     ensureFunction(fn);
-    block_.push_back(static_cast<char>(kOpEnter));
-    putVarint(block_,
-              static_cast<std::uint64_t>(static_cast<std::uint32_t>(fn)));
-    ++events_;
-    if (++blockEvents_ >= kBlockEvents)
-        flushBlock();
+    enterEvent(static_cast<std::uint64_t>(static_cast<std::uint32_t>(fn)));
 }
 
 void
@@ -475,7 +829,7 @@ BinaryTraceRecorder::op(std::uint64_t iops, std::uint64_t flops)
     putVarint(block_, iops);
     putVarint(block_, flops);
     ++events_;
-    if (++blockEvents_ >= kBlockEvents)
+    if (++blockEvents_ >= maxBlockEvents_)
         flushBlock();
 }
 
@@ -491,7 +845,7 @@ BinaryTraceRecorder::threadSwitch(ThreadId tid)
     block_.push_back(static_cast<char>(kOpThreadSwitch));
     putVarint(block_, tid);
     ++events_;
-    if (++blockEvents_ >= kBlockEvents)
+    if (++blockEvents_ >= maxBlockEvents_)
         flushBlock();
 }
 
@@ -526,16 +880,10 @@ BinaryTraceRecorder::processBatch(const EventBuffer &batch)
           case EventKind::kBranch:
             event(a ? kOpBranchTaken : kOpBranchNotTaken);
             break;
-          case EventKind::kEnter: {
-            FunctionId fn = static_cast<FunctionId>(a);
-            ensureFunction(fn);
-            block_.push_back(static_cast<char>(kOpEnter));
-            putVarint(block_, a);
-            ++events_;
-            if (++blockEvents_ >= kBlockEvents)
-                flushBlock();
+          case EventKind::kEnter:
+            ensureFunction(static_cast<FunctionId>(a));
+            enterEvent(a);
             break;
-          }
           case EventKind::kLeave:
             event(kOpLeave);
             break;
@@ -559,231 +907,800 @@ BinaryTraceRecorder::finish()
         return;
     finished_ = true;
     flushBlock();
-    char end = static_cast<char>(kSecEnd);
-    os_.write(&end, 1);
+    if (format_ == TraceFormat::SGB1) {
+        char end = static_cast<char>(kSecEnd);
+        os_.write(&end, 1);
+    } else {
+        // The end frame doubles as the trailer: firstEventSeq is the
+        // total event count, giving salvage replays the ground truth
+        // for their skipped-vs-delivered accounting.
+        writeFrame(kTagEnd, {}, events_, 0);
+    }
     os_.flush();
 }
 
 // ---------------------------------------------------------------------
-// Replay
+// Binary replay session
 // ---------------------------------------------------------------------
 
-std::uint64_t
-replayTrace(std::istream &is, Guest &guest)
+struct BinaryReplaySession::Impl
 {
+    Guest &guest;
+    ReplayOptions opts;
+    ReplayReport report;
+    ReplayCtx ctx;
+    std::string data;
+    std::size_t pos = 0;       ///< offset of the next frame
+    std::uint64_t streamPos = 0; ///< next expected event sequence
+    std::uint64_t eventBlocks = 0;
+    bool sgb1 = false;
+    bool done = false;
+    bool finished = false;
+
+    Impl(std::istream &is, Guest &g, const ReplayOptions &o)
+        : guest(g), opts(o), ctx{g, o.policy, report, {}, 0}
+    {
+        data = slurp(is);
+        start();
+    }
+
+    bool salvage() const { return opts.policy == ReplayPolicy::Salvage; }
+
+    /** Record e; in strict mode it also stops the session. */
+    void
+    fail(TraceError e)
+    {
+        if (salvage()) {
+            ctx.recordError(e, opts.maxRecordedErrors);
+        } else {
+            report.error = std::move(e);
+            done = true;
+        }
+    }
+
+    void
+    start()
+    {
+        if (data.size() >= 4 &&
+            std::memcmp(data.data(), kSgb1Magic, 4) == 0) {
+            sgb1 = true;
+            pos = 4;
+            return;
+        }
+        if (data.size() >= 4 &&
+            std::memcmp(data.data(), kSgb2Magic, 4) == 0) {
+            // Preamble: version + program name (informational).
+            Cursor c(data.data() + 4, data.size() - 4, 4, -1,
+                     TraceErrorCause::Truncated);
+            try {
+                std::uint64_t version = c.varint();
+                if (version != 1)
+                    raiseError(TraceErrorCause::BadVersion, 4, -1,
+                               "unsupported version " +
+                                   std::to_string(version));
+                c.bytes(c.varint());
+                pos = 4 + static_cast<std::size_t>(c.offset() - 4);
+            } catch (TraceAbort &a) {
+                fail(std::move(a.err));
+                if (salvage())
+                    resyncFrom(4);
+            }
+            return;
+        }
+        TraceError e;
+        e.cause = TraceErrorCause::BadMagic;
+        e.byteOffset = 0;
+        e.detail = "not a binary sigil trace";
+        fail(std::move(e));
+        // Salvage can still mine a damaged preamble for valid SGB2
+        // frames: every frame is self-describing.
+        if (salvage())
+            resyncFrom(0);
+    }
+
+    /**
+     * Scan forward for the next valid frame header, accounting the
+     * gap. Ends the session (as truncation) when none remains.
+     */
+    void
+    resyncFrom(std::size_t from)
+    {
+        std::size_t np = findNextFrame(data, from);
+        if (np == std::string_view::npos) {
+            report.bytesSkipped += data.size() - pos;
+            report.truncated = true;
+            done = true;
+            pos = data.size();
+            return;
+        }
+        report.bytesSkipped += np - pos;
+        ++report.resyncs;
+        pos = np;
+    }
+
+    /** Drop an event frame, accounting its events as skipped. */
+    void
+    skipEventFrame(const FrameHeader &h)
+    {
+        if (h.tag != kTagEvents)
+            return;
+        ++eventBlocks;
+        if (h.firstEventSeq < streamPos) {
+            ++report.blocksStale;
+            return;
+        }
+        report.eventsSkipped +=
+            h.firstEventSeq + h.eventCount - streamPos;
+        streamPos = h.firstEventSeq + h.eventCount;
+        ++report.blocksSkipped;
+    }
+
+    bool
+    step()
+    {
+        if (done)
+            return false;
+        if (sgb1) {
+            stepSgb1();
+            return !done;
+        }
+        if (pos >= data.size()) {
+            if (!report.sawTrailer) {
+                TraceError e;
+                e.cause = TraceErrorCause::Truncated;
+                e.byteOffset = pos;
+                e.detail = "missing end frame";
+                report.truncated = true;
+                fail(std::move(e));
+            }
+            done = true;
+            return false;
+        }
+
+        std::optional<FrameHeader> h = parseFrameAt(data, pos);
+        if (!h) {
+            TraceError e;
+            e.byteOffset = pos;
+            if (data.size() - pos < kMinFrameBytes) {
+                e.cause = TraceErrorCause::Truncated;
+                e.detail = "stream ends inside a frame";
+            } else if (std::memcmp(data.data() + pos, kFrameSync, 4) ==
+                       0) {
+                e.cause = TraceErrorCause::HeaderCrc;
+                e.detail = "frame header failed validation";
+            } else {
+                e.cause = TraceErrorCause::BadRecord;
+                e.detail = "expected frame sync bytes";
+            }
+            bool was_salvage = salvage();
+            fail(std::move(e));
+            if (was_salvage)
+                resyncFrom(pos + 1);
+            return !done;
+        }
+
+        std::size_t frame_end =
+            pos + h->headerLen + static_cast<std::size_t>(h->payloadLen);
+        std::int64_t bidx = static_cast<std::int64_t>(h->blockSeq);
+        if (frame_end > data.size()) {
+            TraceError e;
+            e.cause = TraceErrorCause::Truncated;
+            e.byteOffset = pos;
+            e.blockIndex = bidx;
+            e.detail = "stream ends inside a block payload";
+            bool was_salvage = salvage();
+            fail(std::move(e));
+            if (was_salvage) {
+                skipEventFrame(*h);
+                resyncFrom(pos + 1);
+            }
+            return !done;
+        }
+
+        const char *payload = data.data() + pos + h->headerLen;
+        if (crc32c(payload, static_cast<std::size_t>(h->payloadLen)) !=
+            h->payloadCrc) {
+            TraceError e;
+            e.cause = TraceErrorCause::PayloadCrc;
+            e.byteOffset = pos;
+            e.blockIndex = bidx;
+            e.detail = "block payload failed validation";
+            bool was_salvage = salvage();
+            fail(std::move(e));
+            if (was_salvage) {
+                skipEventFrame(*h);
+                report.bytesSkipped += frame_end - pos;
+                pos = frame_end;
+            }
+            return !done;
+        }
+
+        std::uint64_t payload_off = pos + h->headerLen;
+        switch (h->tag) {
+          case kTagEnd:
+            report.sawTrailer = true;
+            report.totalEventsRecorded = h->firstEventSeq;
+            if (h->firstEventSeq > streamPos) {
+                // Blocks lost immediately before the trailer.
+                report.eventsSkipped += h->firstEventSeq - streamPos;
+                streamPos = h->firstEventSeq;
+            }
+            pos = frame_end;
+            done = true;
+            break;
+
+          case kTagFunctions: {
+            Cursor c(payload, static_cast<std::size_t>(h->payloadLen),
+                     payload_off, bidx, TraceErrorCause::BoundsExceeded);
+            try {
+                while (!c.atEnd()) {
+                    std::uint64_t id = c.varint();
+                    ctx.fnMap[id] =
+                        guest.functions().intern(c.bytes(c.varint()));
+                }
+            } catch (TraceAbort &a) {
+                fail(std::move(a.err));
+            }
+            pos = frame_end;
+            break;
+          }
+
+          case kTagEvents: {
+            if (h->firstEventSeq < streamPos) {
+                // Duplicate or reordered stale block: its events were
+                // already delivered (or accounted as a gap); replaying
+                // it would double-deliver.
+                ++report.blocksStale;
+                ++eventBlocks;
+                pos = frame_end;
+                break;
+            }
+            if (h->firstEventSeq > streamPos) {
+                // Gap: whole blocks were lost before this one.
+                report.eventsSkipped += h->firstEventSeq - streamPos;
+                streamPos = h->firstEventSeq;
+            }
+            Cursor c(payload, static_cast<std::size_t>(h->payloadLen),
+                     payload_off, bidx, TraceErrorCause::BoundsExceeded);
+            std::uint64_t prev_addr = 0;
+            std::uint64_t delivered = 0;
+            bool clean = true;
+            try {
+                for (; delivered < h->eventCount; ++delivered)
+                    ctx.deliverOne(c, prev_addr, bidx);
+                if (!c.atEnd())
+                    raiseError(TraceErrorCause::BadRecord, c.offset(),
+                               bidx, "trailing bytes in event block");
+            } catch (TraceAbort &a) {
+                clean = false;
+                fail(std::move(a.err));
+                if (salvage()) {
+                    report.eventsSkipped += h->eventCount - delivered;
+                    ++report.blocksSkipped;
+                }
+            }
+            streamPos = h->firstEventSeq + h->eventCount;
+            if (clean)
+                ++report.blocksDelivered;
+            ++eventBlocks;
+            pos = frame_end;
+            break;
+          }
+
+          default: {
+            TraceError e;
+            e.cause = TraceErrorCause::UnknownSection;
+            e.byteOffset = pos;
+            e.blockIndex = bidx;
+            e.detail = "frame tag " + std::to_string(h->tag);
+            bool was_salvage = salvage();
+            fail(std::move(e));
+            if (was_salvage) {
+                // Valid frame of an unknown (future?) type: its length
+                // is trustworthy, so skip it precisely.
+                ++report.blocksSkipped;
+                report.bytesSkipped += frame_end - pos;
+                pos = frame_end;
+            }
+            break;
+          }
+        }
+        return !done;
+    }
+
+    /**
+     * SGB1 has no frame boundaries to step or salvage by: process the
+     * entire stream in one step. Damage ends the replay at the last
+     * decodable event — reported, never fatal.
+     */
+    void
+    stepSgb1()
+    {
+        done = true;
+        Cursor c(data.data() + pos, data.size() - pos, pos, -1,
+                 TraceErrorCause::Truncated);
+        try {
+            std::uint64_t version = c.varint();
+            if (version != 1)
+                raiseError(TraceErrorCause::BadVersion, pos, -1,
+                           "unsupported version " +
+                               std::to_string(version));
+            c.bytes(c.varint()); // program name — informational
+            std::uint64_t prev_addr = 0;
+            for (;;) {
+                std::uint64_t at = c.offset();
+                std::uint8_t sec = c.u8();
+                if (sec == kSecEnd) {
+                    report.sawTrailer = true;
+                    report.totalEventsRecorded = report.eventsDelivered;
+                    break;
+                }
+                if (sec == kSecFunction) {
+                    std::uint64_t id = c.varint();
+                    ctx.fnMap[id] =
+                        guest.functions().intern(c.bytes(c.varint()));
+                    continue;
+                }
+                if (sec != kSecBlock)
+                    raiseError(TraceErrorCause::UnknownSection, at, -1,
+                               "section tag " + std::to_string(sec));
+                std::uint64_t count = c.varint();
+                if (count > c.remaining())
+                    raiseError(TraceErrorCause::Truncated, at, -1,
+                               "block claims more events than bytes "
+                               "remain");
+                for (std::uint64_t i = 0; i < count; ++i)
+                    ctx.deliverOne(c, prev_addr, -1);
+                ++report.blocksDelivered;
+                ++eventBlocks;
+            }
+        } catch (TraceAbort &a) {
+            report.truncated = a.err.cause == TraceErrorCause::Truncated;
+            fail(std::move(a.err));
+        }
+        pos = data.size();
+    }
+
+    ReplayReport
+    finishReplay()
+    {
+        if (!finished) {
+            finished = true;
+            if (!report.error.has_value())
+                guest.finish();
+        }
+        return report;
+    }
+};
+
+BinaryReplaySession::BinaryReplaySession(std::istream &is, Guest &guest,
+                                         const ReplayOptions &options)
+    : impl_(std::make_unique<Impl>(is, guest, options))
+{}
+
+BinaryReplaySession::~BinaryReplaySession() = default;
+
+bool
+BinaryReplaySession::step()
+{
+    return impl_->step();
+}
+
+bool
+BinaryReplaySession::done() const
+{
+    return impl_->done;
+}
+
+const ReplayReport &
+BinaryReplaySession::report() const
+{
+    return impl_->report;
+}
+
+ReplayReport
+BinaryReplaySession::finish()
+{
+    return impl_->finishReplay();
+}
+
+std::uint64_t
+BinaryReplaySession::blocksProcessed() const
+{
+    return impl_->eventBlocks;
+}
+
+std::uint64_t
+BinaryReplaySession::nextOffset() const
+{
+    return impl_->pos;
+}
+
+void
+BinaryReplaySession::saveReaderState(ByteSink &sink) const
+{
+    const Impl &s = *impl_;
+    sink.raw("SGRS", 4);
+    sink.u8(1); // version
+    sink.u64(s.pos);
+    sink.u64(s.streamPos);
+    sink.u64(s.eventBlocks);
+    sink.u64(s.ctx.synthCounter);
+    const ReplayReport &r = s.report;
+    sink.u64(r.eventsDelivered);
+    sink.u64(r.eventsSkipped);
+    sink.u64(r.blocksDelivered);
+    sink.u64(r.blocksSkipped);
+    sink.u64(r.blocksStale);
+    sink.u64(r.bytesSkipped);
+    sink.u64(r.resyncs);
+    sink.u64(r.leavesDropped);
+    sink.u64(r.roiDropped);
+    sink.u64(r.functionsSynthesized);
+    sink.varint(s.ctx.fnMap.size());
+    for (const auto &[id, fn] : s.ctx.fnMap) {
+        sink.varint(id);
+        sink.str(s.guest.functions().name(fn));
+    }
+}
+
+bool
+BinaryReplaySession::restoreReaderState(ByteSource &src)
+{
+    Impl &s = *impl_;
+    char magic[4];
+    src.raw(magic, 4);
+    if (!src.ok() || std::memcmp(magic, "SGRS", 4) != 0)
+        return false;
+    if (src.u8() != 1)
+        return false;
+    std::uint64_t pos = src.u64();
+    s.streamPos = src.u64();
+    s.eventBlocks = src.u64();
+    s.ctx.synthCounter = src.u64();
+    ReplayReport &r = s.report;
+    r.eventsDelivered = src.u64();
+    r.eventsSkipped = src.u64();
+    r.blocksDelivered = src.u64();
+    r.blocksSkipped = src.u64();
+    r.blocksStale = src.u64();
+    r.bytesSkipped = src.u64();
+    r.resyncs = src.u64();
+    r.leavesDropped = src.u64();
+    r.roiDropped = src.u64();
+    r.functionsSynthesized = src.u64();
+    std::uint64_t n = src.varint();
+    s.ctx.fnMap.clear();
+    for (std::uint64_t i = 0; i < n && src.ok(); ++i) {
+        std::uint64_t id = src.varint();
+        s.ctx.fnMap[id] = s.guest.functions().intern(src.str());
+    }
+    if (!src.ok() || s.sgb1 || pos > s.data.size()) {
+        s.done = true;
+        return false;
+    }
+    s.pos = static_cast<std::size_t>(pos);
+    s.done = false;
+    // A session that already errored cannot be resumed over the error.
+    return !r.error.has_value();
+}
+
+// ---------------------------------------------------------------------
+// Replay entry points
+// ---------------------------------------------------------------------
+
+namespace {
+
+/**
+ * Structured text replay shared by the strict legacy wrapper and the
+ * fault-tolerant overload. Tracks the 1-based line number and the
+ * absolute byte offset of every line so each rejection names its
+ * position and the offending token.
+ */
+ReplayReport
+replayTextTrace(std::istream &is, Guest &guest,
+                const ReplayOptions &opts)
+{
+    ReplayReport report;
+    ReplayCtx ctx{guest, opts.policy, report, {}, 0};
     std::string line;
     bool saw_header = false;
-    bool saw_end = false;
-    std::uint64_t events = 0;
-    std::unordered_map<long, FunctionId> fn_map;
+    std::uint64_t line_no = 0;
+    std::uint64_t offset = 0;
 
-    auto bad = [&](const char *what) {
-        fatal("trace replay: %s in line '%s'", what, line.c_str());
+    // Returns true when the line was consumed (or skipped in salvage);
+    // false when a strict error should stop the loop.
+    auto reject = [&](TraceErrorCause cause, std::string detail,
+                      bool counts_event) {
+        TraceError e;
+        e.cause = cause;
+        e.byteOffset = offset;
+        e.line = line_no;
+        e.detail = std::move(detail);
+        if (opts.policy == ReplayPolicy::Salvage) {
+            ctx.recordError(e, opts.maxRecordedErrors);
+            if (counts_event)
+                ++report.eventsSkipped;
+            report.bytesSkipped += line.size() + 1;
+            return true;
+        }
+        report.error = std::move(e);
+        return false;
     };
 
     while (std::getline(is, line)) {
+        ++line_no;
+        std::uint64_t this_offset = offset;
+        offset += line.size() + 1;
+        (void)this_offset;
         if (line.empty() || line[0] == '#')
             continue;
         if (!saw_header) {
-            if (line.rfind("sigil-trace\t1", 0) != 0)
-                fatal("not a sigil trace (bad header)");
+            if (line.rfind("sigil-trace\t1", 0) != 0) {
+                offset -= line.size() + 1;
+                if (!reject(TraceErrorCause::BadMagic,
+                            "not a sigil trace header: '" + line + "'",
+                            false)) {
+                    return report;
+                }
+                offset += line.size() + 1;
+                // Without a header this is not a trace at all — even
+                // salvage gives up rather than replay random text.
+                report.truncated = true;
+                return report;
+            }
             saw_header = true;
             continue;
         }
+        offset -= line.size() + 1; // report positions at line start
         char tag = line[0];
         const char *rest = line.c_str() + (line.size() > 1 ? 2 : 1);
+        bool ok = true;
         switch (tag) {
           case 'p': // program line — informational
             break;
           case 'F': {
             char *end = nullptr;
             long id = std::strtol(rest, &end, 10);
-            if (end == rest || *end != '\t')
-                bad("bad function record");
-            fn_map[id] = guest.functions().intern(end + 1);
+            if (end == rest || *end != '\t') {
+                ok = reject(TraceErrorCause::BadRecord,
+                            "bad function record: token '" +
+                                std::string(rest) + "'",
+                            false);
+                break;
+            }
+            ctx.fnMap[static_cast<std::uint64_t>(id)] =
+                guest.functions().intern(end + 1);
             break;
           }
           case 'E': {
             char *end = nullptr;
             long id = std::strtol(rest, &end, 10);
-            auto it = fn_map.find(id);
-            if (end == rest || it == fn_map.end())
-                bad("unknown function id");
-            guest.enter(it->second);
-            ++events;
+            if (end == rest) {
+                ok = reject(TraceErrorCause::BadRecord,
+                            "bad enter record: token '" +
+                                std::string(rest) + "'",
+                            true);
+                break;
+            }
+            auto it = ctx.fnMap.find(static_cast<std::uint64_t>(id));
+            if (it == ctx.fnMap.end()) {
+                if (opts.policy != ReplayPolicy::Salvage) {
+                    ok = reject(TraceErrorCause::UnknownFunction,
+                                "unknown function id " +
+                                    std::to_string(id),
+                                true);
+                    break;
+                }
+                guest.enter(ctx.resolveFunction(
+                    static_cast<std::uint64_t>(id), offset, -1));
+            } else {
+                guest.enter(it->second);
+            }
+            ++report.eventsDelivered;
             break;
           }
           case 'L':
+            if (guest.callDepth() == 0) {
+                if (opts.policy == ReplayPolicy::Salvage) {
+                    ++report.leavesDropped;
+                    ++report.eventsDelivered;
+                    break;
+                }
+                ok = reject(TraceErrorCause::BadRecord,
+                            "leave with empty call stack", true);
+                break;
+            }
             guest.leave();
-            ++events;
+            ++report.eventsDelivered;
             break;
           case 'R':
           case 'W': {
             char *end = nullptr;
             unsigned long long addr = std::strtoull(rest, &end, 10);
-            if (end == rest || *end != '\t')
-                bad("bad access record");
+            if (end == rest || *end != '\t') {
+                ok = reject(TraceErrorCause::BadRecord,
+                            "bad access record: token '" +
+                                std::string(rest) + "'",
+                            true);
+                break;
+            }
             unsigned long size = std::strtoul(end + 1, nullptr, 10);
+            if (size > kMaxAccessSize) {
+                ok = reject(TraceErrorCause::BadRecord,
+                            "unreasonable access size " +
+                                std::to_string(size),
+                            true);
+                break;
+            }
+            if (guest.callDepth() == 0) {
+                ok = reject(TraceErrorCause::BadRecord,
+                            "access outside any function", true);
+                break;
+            }
             if (tag == 'R')
                 guest.read(static_cast<Addr>(addr),
                            static_cast<unsigned>(size));
             else
                 guest.write(static_cast<Addr>(addr),
                             static_cast<unsigned>(size));
-            ++events;
+            ++report.eventsDelivered;
             break;
           }
           case 'O': {
             char *end = nullptr;
             unsigned long long iops = std::strtoull(rest, &end, 10);
-            if (end == rest || *end != '\t')
-                bad("bad op record");
+            if (end == rest || *end != '\t') {
+                ok = reject(TraceErrorCause::BadRecord,
+                            "bad op record: token '" +
+                                std::string(rest) + "'",
+                            true);
+                break;
+            }
             unsigned long long flops = std::strtoull(end + 1, nullptr, 10);
+            if (guest.callDepth() == 0) {
+                ok = reject(TraceErrorCause::BadRecord,
+                            "op outside any function", true);
+                break;
+            }
             if (iops)
                 guest.iop(iops);
             if (flops)
                 guest.flop(flops);
-            ++events;
+            ++report.eventsDelivered;
             break;
           }
           case 'B':
+            if (guest.callDepth() == 0) {
+                ok = reject(TraceErrorCause::BadRecord,
+                            "branch outside any function", true);
+                break;
+            }
             guest.branch(rest[0] == '1');
-            ++events;
+            ++report.eventsDelivered;
             break;
           case 'T': {
             char *end = nullptr;
             unsigned long tid = std::strtoul(rest, &end, 10);
-            if (end == rest)
-                bad("bad thread-switch record");
+            if (end == rest || tid >= kMaxThreads) {
+                ok = reject(TraceErrorCause::BadRecord,
+                            "bad thread-switch record: token '" +
+                                std::string(rest) + "'",
+                            true);
+                break;
+            }
             while (guest.numThreads() <= tid)
                 guest.spawnThread();
             guest.switchThread(static_cast<ThreadId>(tid));
-            ++events;
+            ++report.eventsDelivered;
             break;
           }
           case 'Z':
             guest.barrier();
-            ++events;
+            ++report.eventsDelivered;
             break;
-          case 'I':
-            if (rest[0] == '1')
+          case 'I': {
+            bool begin = rest[0] == '1';
+            if (guest.inRoi() == begin) {
+                if (opts.policy == ReplayPolicy::Salvage) {
+                    ++report.roiDropped;
+                    ++report.eventsDelivered;
+                    break;
+                }
+                ok = reject(TraceErrorCause::BadRecord,
+                            begin ? "nested roi begin"
+                                  : "roi end outside roi",
+                            true);
+                break;
+            }
+            if (begin)
                 guest.roiBegin();
             else
                 guest.roiEnd();
-            ++events;
+            ++report.eventsDelivered;
             break;
-          case 'e': // "end"
-            saw_end = true;
+          }
+          case 'e':
+            if (line == "end") {
+                report.sawTrailer = true;
+                break;
+            }
+            ok = reject(TraceErrorCause::BadRecord,
+                        "unknown record tag 'e' in line '" + line + "'",
+                        true);
             break;
           default:
-            bad("unknown record tag");
+            ok = reject(TraceErrorCause::BadRecord,
+                        "unknown record tag '" + std::string(1, tag) +
+                            "'",
+                        true);
+            break;
         }
-        if (saw_end)
+        offset += line.size() + 1;
+        if (!ok)
+            return report;
+        if (report.sawTrailer)
             break;
     }
-    if (!saw_header)
-        fatal("not a sigil trace (empty input)");
-    if (!saw_end)
-        fatal("trace replay: truncated input (missing 'end')");
+    if (!saw_header) {
+        TraceError e;
+        e.cause = TraceErrorCause::BadMagic;
+        e.byteOffset = 0;
+        e.line = line_no;
+        e.detail = "empty input";
+        report.error = std::move(e);
+        return report;
+    }
+    if (!report.sawTrailer) {
+        report.truncated = true;
+        if (opts.policy != ReplayPolicy::Salvage) {
+            TraceError e;
+            e.cause = TraceErrorCause::Truncated;
+            e.byteOffset = offset;
+            e.line = line_no;
+            e.detail = "missing 'end' marker";
+            report.error = std::move(e);
+            return report;
+        }
+    }
     guest.finish();
-    return events;
+    return report;
+}
+
+} // namespace
+
+std::uint64_t
+replayTrace(std::istream &is, Guest &guest)
+{
+    ReplayReport report = replayTextTrace(is, guest, ReplayOptions{});
+    if (report.error.has_value())
+        fatal("trace replay: %s", report.error->message().c_str());
+    return report.eventsDelivered;
+}
+
+ReplayReport
+replayTrace(std::istream &is, Guest &guest, const ReplayOptions &options)
+{
+    return replayTextTrace(is, guest, options);
+}
+
+ReplayReport
+replayBinaryTrace(std::istream &is, Guest &guest,
+                  const ReplayOptions &options)
+{
+    BinaryReplaySession session(is, guest, options);
+    while (session.step()) {
+    }
+    return session.finish();
 }
 
 std::uint64_t
 replayBinaryTrace(std::istream &is, Guest &guest)
 {
-    char magic[4];
-    is.read(magic, sizeof(magic));
-    if (is.gcount() != sizeof(magic) ||
-        std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
-        fatal("not a binary sigil trace (bad magic)");
-    }
-    ByteReader r(is);
-    std::uint64_t version = r.varint();
-    if (version != 1)
-        fatal("binary trace: unsupported version %llu",
-              static_cast<unsigned long long>(version));
-    r.bytes(r.varint()); // program name — informational
-
-    std::uint64_t events = 0;
-    std::uint64_t prev_addr = 0;
-    std::unordered_map<std::uint64_t, FunctionId> fn_map;
-
-    for (;;) {
-        std::uint8_t sec = r.u8();
-        if (sec == kSecEnd)
-            break;
-        if (sec == kSecFunction) {
-            std::uint64_t id = r.varint();
-            fn_map[id] = guest.functions().intern(r.bytes(r.varint()));
-            continue;
-        }
-        if (sec != kSecBlock)
-            fatal("binary trace: unknown section tag %u", sec);
-        std::uint64_t count = r.varint();
-        for (std::uint64_t i = 0; i < count; ++i) {
-            std::uint8_t opcode = r.u8();
-            switch (opcode) {
-              case kOpRead:
-              case kOpWrite: {
-                prev_addr += static_cast<std::uint64_t>(
-                    unzigzag(r.varint()));
-                unsigned size = static_cast<unsigned>(r.varint());
-                if (opcode == kOpRead)
-                    guest.read(prev_addr, size);
-                else
-                    guest.write(prev_addr, size);
-                break;
-              }
-              case kOpOp: {
-                std::uint64_t iops = r.varint();
-                std::uint64_t flops = r.varint();
-                if (iops)
-                    guest.iop(iops);
-                if (flops)
-                    guest.flop(flops);
-                break;
-              }
-              case kOpBranchTaken:
-                guest.branch(true);
-                break;
-              case kOpBranchNotTaken:
-                guest.branch(false);
-                break;
-              case kOpEnter: {
-                auto it = fn_map.find(r.varint());
-                if (it == fn_map.end())
-                    fatal("binary trace: unknown function id");
-                guest.enter(it->second);
-                break;
-              }
-              case kOpLeave:
-                guest.leave();
-                break;
-              case kOpThreadSwitch: {
-                std::uint64_t tid = r.varint();
-                while (guest.numThreads() <= tid)
-                    guest.spawnThread();
-                guest.switchThread(static_cast<ThreadId>(tid));
-                break;
-              }
-              case kOpBarrier:
-                guest.barrier();
-                break;
-              case kOpRoiBegin:
-                guest.roiBegin();
-                break;
-              case kOpRoiEnd:
-                guest.roiEnd();
-                break;
-              default:
-                fatal("binary trace: unknown opcode %u", opcode);
-            }
-            ++events;
-        }
-    }
-    guest.finish();
-    return events;
+    ReplayReport report = replayBinaryTrace(is, guest, ReplayOptions{});
+    if (report.error.has_value())
+        fatal("binary trace: %s", report.error->message().c_str());
+    return report.eventsDelivered;
 }
 
 std::uint64_t
@@ -796,9 +1713,59 @@ replayTraceFile(const std::string &path, Guest &guest)
     is.read(magic, sizeof(magic));
     is.clear();
     is.seekg(0);
-    if (std::memcmp(magic, kBinaryMagic, sizeof(magic)) == 0)
+    if (std::memcmp(magic, kSgb1Magic, sizeof(magic)) == 0 ||
+        std::memcmp(magic, kSgb2Magic, sizeof(magic)) == 0) {
         return replayBinaryTrace(is, guest);
+    }
     return replayTrace(is, guest);
+}
+
+ReplayReport
+replayTraceFile(const std::string &path, Guest &guest,
+                const ReplayOptions &options)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        ReplayReport report;
+        TraceError e;
+        e.cause = TraceErrorCause::Io;
+        e.detail = "cannot open '" + path + "' for reading";
+        report.error = std::move(e);
+        return report;
+    }
+    char magic[4] = {0, 0, 0, 0};
+    is.read(magic, sizeof(magic));
+    is.clear();
+    is.seekg(0);
+    if (std::memcmp(magic, kSgb1Magic, sizeof(magic)) == 0 ||
+        std::memcmp(magic, kSgb2Magic, sizeof(magic)) == 0) {
+        return replayBinaryTrace(is, guest, options);
+    }
+    return replayTrace(is, guest, options);
+}
+
+std::vector<Sgb2BlockInfo>
+scanSgb2Blocks(std::string_view trace)
+{
+    std::vector<Sgb2BlockInfo> blocks;
+    std::size_t pos = 0;
+    for (;;) {
+        pos = findNextFrame(trace, pos);
+        if (pos == std::string_view::npos)
+            break;
+        std::optional<FrameHeader> h = parseFrameAt(trace, pos);
+        Sgb2BlockInfo info;
+        info.offset = pos;
+        info.length = h->headerLen + h->payloadLen;
+        info.tag = h->tag;
+        info.firstEventSeq = h->firstEventSeq;
+        info.eventCount = h->eventCount;
+        blocks.push_back(info);
+        pos += static_cast<std::size_t>(info.length);
+        if (pos >= trace.size())
+            break;
+    }
+    return blocks;
 }
 
 std::uint64_t

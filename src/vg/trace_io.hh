@@ -6,26 +6,38 @@
  * (function enters/leaves, reads, writes, ops, branches, thread
  * switches, barriers, ROI marks) plus the function name table to a text
  * file. BinaryTraceRecorder writes the same sequence in a block-framed
- * binary format (magic "SGB1") with varint fields and zigzag-delta
- * encoded addresses — a fraction of the text size and several times
- * faster to replay. replayTrace()/replayBinaryTrace() drive a fresh
- * Guest — with any set of analysis tools attached — through exactly the
- * same event sequence; replayTraceFile() sniffs the format. This is the
+ * binary format — legacy "SGB1" (varint fields, zigzag-delta addresses)
+ * or the hardened "SGB2" default, which adds a per-block frame header
+ * with an explicit payload length and CRC32C checksums over both the
+ * header and the payload, so a reader validates every block before
+ * dispatching a single event from it.
+ *
+ * replayTrace()/replayBinaryTrace() drive a fresh Guest — with any set
+ * of analysis tools attached — through exactly the same event sequence;
+ * replayTraceFile() sniffs the format. The ReplayOptions overloads add
+ * fault tolerance: under ReplayPolicy::Salvage a damaged region is
+ * skipped, the reader resynchronizes on the next valid SGB2 block
+ * header, guest state is reconciled, and the loss is quantified in the
+ * returned ReplayReport instead of killing the process. This is the
  * paper's "collect once" model taken to its limit: one expensive
- * instrumented run can feed any number of later analyses (different
- * Sigil modes, different cache configurations) without rerunning the
- * program.
+ * instrumented run can feed any number of later analyses, so the
+ * recorded trace is the artifact that must survive.
  */
 
 #ifndef SIGIL_VG_TRACE_IO_HH
 #define SIGIL_VG_TRACE_IO_HH
 
+#include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "support/serial.hh"
 #include "vg/guest.hh"
 #include "vg/tool.hh"
+#include "vg/trace_error.hh"
 
 namespace sigil::vg {
 
@@ -71,33 +83,54 @@ class TraceRecorder : public Tool
     bool finished_ = false;
 };
 
+/** On-disk flavour of the binary trace. */
+enum class TraceFormat
+{
+    SGB1, ///< legacy unframed sections (no checksums, no lengths)
+    SGB2, ///< CRC32C-framed blocks with explicit lengths (default)
+};
+
 /**
- * Streams the raw event sequence in the binary trace format:
+ * Streams the raw event sequence in a binary trace format.
  *
- *   "SGB1"                       magic
- *   varint version (=1)
- *   varint len, program name
- *   sections until the end marker:
- *     0x01  function record: varint id, varint len, name bytes
- *           (always precedes the first block referencing the id)
- *     0x02  event block: varint event count, encoded events
- *     0x00  end marker
+ * Both formats share the file preamble and the per-event encoding;
+ * they differ in the block framing (see docs/FORMATS.md §3.1/§3.2):
+ *
+ *   SGB1:  "SGB1" magic, varint version, varint len + program name,
+ *          then unframed sections: 0x01 function record, 0x02 event
+ *          block (varint count + events), 0x00 end. The address delta
+ *          chain persists across blocks.
+ *
+ *   SGB2:  "SGB2" magic, varint version, varint len + program name,
+ *          then self-describing frames, each: 4 sync bytes, a tag
+ *          byte, varint block sequence number, varint first event
+ *          sequence, varint event count, varint payload length, the
+ *          payload CRC32C, and a CRC32C over the frame header itself.
+ *          The address delta chain resets at every block boundary so
+ *          any block can be decoded (or skipped) independently.
  *
  * Event encoding inside a block (one opcode byte each): reads/writes
- * carry a zigzag varint delta from the previous access address (the
- * delta chain persists across blocks) plus a varint size; ops carry two
- * varints; enters a varint function id; thread switches a varint thread
- * id; branches, barriers, and ROI marks fold their flag into the
- * opcode.
+ * carry a zigzag varint delta from the previous access address plus a
+ * varint size; ops carry two varints; enters a varint function id;
+ * thread switches a varint thread id; branches, barriers, and ROI
+ * marks fold their flag into the opcode.
  */
 class BinaryTraceRecorder : public Tool
 {
   public:
-    /** Events per block before the block is framed and written. */
+    /** Default events per block before the block is framed and written. */
     static constexpr std::size_t kBlockEvents = 4096;
 
-    /** The stream must outlive the recorder (open it in binary mode). */
-    explicit BinaryTraceRecorder(std::ostream &os);
+    /**
+     * The stream must outlive the recorder (open it in binary mode).
+     *
+     * @param block_events Events per block; smaller blocks bound the
+     *        loss radius of a corrupted block (and the checkpoint
+     *        interval granularity) at a small framing-overhead cost.
+     */
+    explicit BinaryTraceRecorder(std::ostream &os,
+                                 TraceFormat format = TraceFormat::SGB2,
+                                 std::size_t block_events = kBlockEvents);
 
     void attach(const Guest &guest) override;
     void fnEnter(ContextId ctx, CallNum call) override;
@@ -117,16 +150,24 @@ class BinaryTraceRecorder : public Tool
     /** Events written so far. */
     std::uint64_t eventsWritten() const { return events_; }
 
+    TraceFormat format() const { return format_; }
+
   private:
     void ensureFunction(FunctionId fn);
     void access(std::uint8_t opcode, Addr addr, unsigned size);
     void event(std::uint8_t opcode);
+    void enterEvent(std::uint64_t fn_id);
     void flushBlock();
+    void writeFrame(std::uint8_t tag, std::string_view payload,
+                    std::uint64_t first_event, std::uint64_t event_count);
 
     std::ostream &os_;
+    TraceFormat format_;
+    std::size_t maxBlockEvents_;
     std::string block_;      ///< encoded events of the open block
     std::string pendingFns_; ///< fn records to emit before the block
     std::size_t blockEvents_ = 0;
+    std::uint64_t blockSeq_ = 0; ///< frames written (SGB2)
     std::uint64_t prevAddr_ = 0;
     std::vector<bool> emitted_;
     std::uint64_t events_ = 0;
@@ -142,11 +183,117 @@ class BinaryTraceRecorder : public Tool
  */
 std::uint64_t replayTrace(std::istream &is, Guest &guest);
 
-/** Replay a binary ("SGB1") trace into a guest. */
+/**
+ * Fault-tolerant text replay. Strict stops (and reports) at the first
+ * malformed line with its line number, byte offset, and offending
+ * token; Salvage skips malformed lines and keeps replaying.
+ */
+ReplayReport replayTrace(std::istream &is, Guest &guest,
+                         const ReplayOptions &options);
+
+/**
+ * Replay a binary trace (SGB1 or SGB2, sniffed from the magic) into a
+ * guest. fatal() on malformed input.
+ */
 std::uint64_t replayBinaryTrace(std::istream &is, Guest &guest);
+
+/**
+ * Fault-tolerant binary replay. Under Salvage, SGB2 corruption is
+ * skipped block-by-block (resynchronizing on the frame sync bytes) and
+ * quantified in the report; SGB1 has no per-block framing to recover
+ * with, so damage ends the replay at the last decodable event with the
+ * loss flagged as truncation.
+ */
+ReplayReport replayBinaryTrace(std::istream &is, Guest &guest,
+                               const ReplayOptions &options);
 
 /** Replay from a file, sniffing text vs. binary format. */
 std::uint64_t replayTraceFile(const std::string &path, Guest &guest);
+
+/** Fault-tolerant variant of replayTraceFile(). */
+ReplayReport replayTraceFile(const std::string &path, Guest &guest,
+                             const ReplayOptions &options);
+
+/**
+ * Incremental SGB2 replay: processes the trace one frame at a time so
+ * a driver can interleave work between blocks — the checkpoint layer
+ * uses this to snapshot replay state at block boundaries and to resume
+ * a replay mid-stream. Also replays SGB1 (one step per section), but
+ * without salvage or mid-stream resume.
+ */
+class BinaryReplaySession
+{
+  public:
+    /** Slurps the stream; the guest must outlive the session. */
+    BinaryReplaySession(std::istream &is, Guest &guest,
+                        const ReplayOptions &options = ReplayOptions{});
+    ~BinaryReplaySession();
+
+    BinaryReplaySession(const BinaryReplaySession &) = delete;
+    BinaryReplaySession &operator=(const BinaryReplaySession &) = delete;
+
+    /**
+     * Process the next frame (salvaging past damage first if
+     * configured). Returns false once the trace is exhausted, the end
+     * marker was seen, or a strict-mode error stopped the replay.
+     */
+    bool step();
+
+    /** True when step() has nothing left to do. */
+    bool done() const;
+
+    /** Running accounting (final after finish()). */
+    const ReplayReport &report() const;
+
+    /**
+     * Finish the replay: calls guest.finish() (unless a strict error
+     * stopped the session) and returns the final report.
+     */
+    ReplayReport finish();
+
+    /** Event blocks fully processed so far (delivered or skipped). */
+    std::uint64_t blocksProcessed() const;
+
+    /** Absolute byte offset of the next unread frame. */
+    std::uint64_t nextOffset() const;
+
+    /**
+     * Serialize the reader-side replay state (position, function-id
+     * map, accounting) so a checkpoint can resume mid-stream. Only
+     * meaningful at a step() boundary of an SGB2 trace.
+     */
+    void saveReaderState(ByteSink &sink) const;
+
+    /**
+     * Restore reader state saved by saveReaderState() over the same
+     * trace. The guest must already be restored to the matching
+     * snapshot. Returns false (leaving the session unusable) if the
+     * state is corrupt or inconsistent with the trace.
+     */
+    bool restoreReaderState(ByteSource &src);
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/** One SGB2 frame located in a trace buffer (fault-injection aid). */
+struct Sgb2BlockInfo
+{
+    std::uint64_t offset = 0; ///< absolute offset of the sync bytes
+    std::uint64_t length = 0; ///< frame header + payload bytes
+    std::uint8_t tag = 0;
+    std::uint64_t firstEventSeq = 0;
+    std::uint64_t eventCount = 0;
+};
+
+/**
+ * Locate every valid SGB2 frame in a trace image. Used by the
+ * fault-injection harness to aim corruption at specific blocks and by
+ * tests to reason about frame layout; returns an empty vector for
+ * non-SGB2 input.
+ */
+std::vector<Sgb2BlockInfo> scanSgb2Blocks(std::string_view trace);
 
 /**
  * Convert a text trace to the binary format by replaying it through a
