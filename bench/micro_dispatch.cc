@@ -402,6 +402,95 @@ BM_CheckpointResume(benchmark::State &state)
 }
 BENCHMARK(BM_CheckpointResume)->Arg(16);
 
+/**
+ * Memory-heavy workload over a wide (16 MiB) address window for the
+ * sharded-replay sweep: at byte granularity the window spans ~4096
+ * shadow chunks, so chunk-hashed sharding spreads the analysis evenly.
+ * Accesses average ~144 bytes, so per-unit classification dominates
+ * the sequencer's routing cost — the regime sharding targets.
+ */
+void
+driveShardWorkload(vg::Guest &g, int iters)
+{
+    Rng rng(7);
+    vg::FunctionId fns[4] = {g.fn("a"), g.fn("b"), g.fn("c"), g.fn("d")};
+    g.enter("main");
+    for (int i = 0; i < iters; ++i) {
+        switch (i & 15) {
+        case 0:
+            if (g.callDepth() < 8)
+                g.enter(fns[rng.nextBounded(4)]);
+            break;
+        case 1:
+            if (g.callDepth() > 1)
+                g.leave();
+            break;
+        case 2:
+            g.iop(1 + rng.nextBounded(8));
+            break;
+        default: {
+            vg::Addr addr = 0x100000 + rng.nextBounded(1u << 24);
+            unsigned size = 32 + rng.nextBounded(224);
+            if (i & 1)
+                g.read(addr, size);
+            else
+                g.write(addr, size);
+            break;
+        }
+        }
+    }
+    while (g.callDepth() > 0)
+        g.leave();
+    g.finish();
+}
+
+constexpr int kShardWorkloadIters = 20000;
+
+const std::string &
+shardedTrace()
+{
+    static const std::string trace = [] {
+        std::ostringstream os(std::ios::binary);
+        vg::Guest g("bench");
+        vg::BinaryTraceRecorder rec(os, vg::TraceFormat::SGB2);
+        g.addTool(&rec);
+        driveShardWorkload(g, kShardWorkloadIters);
+        return os.str();
+    }();
+    return trace;
+}
+
+/**
+ * Address-sharded profiled replay: SGB2 trace into a full-fidelity
+ * (re-use mode) Sigil profiler. Arg: 0 = the PR 2 async pipeline (one
+ * analysis thread — the pre-sharding ceiling), N = N shard workers.
+ * Real time, since the work happens on the workers. The acceptance
+ * target is >= 2.0x items/sec at Arg(4) over Arg(0).
+ */
+void
+BM_ShardedReplay(benchmark::State &state)
+{
+    const std::string &trace = shardedTrace();
+    core::SigilConfig cfg; // defaults: re-use tracking on
+    for (auto _ : state) {
+        std::istringstream is(trace, std::ios::binary);
+        vg::GuestConfig gc;
+        if (state.range(0) == 0)
+            gc.asyncTools = true;
+        else
+            gc.shardCount = static_cast<unsigned>(state.range(0));
+        vg::Guest g("bench", gc);
+        core::SigilProfiler prof(cfg);
+        g.addTool(&prof);
+        vg::replayBinaryTrace(is, g);
+        benchmark::DoNotOptimize(prof.aggregates(0).readBytes);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            kShardWorkloadIters);
+}
+BENCHMARK(BM_ShardedReplay)
+    ->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
 } // namespace
 
 BENCHMARK_MAIN();

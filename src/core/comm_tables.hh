@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Shared communication-classification tables and kernels.
+ *
+ * The paper's per-byte classification (local vs. input/output, unique
+ * vs. non-unique, re-use runs) is needed by two engines: the serial
+ * SigilProfiler and the address-sharded parallel engine, where every
+ * shard worker maintains a private partial table that is later merged.
+ * Keeping one implementation of the per-unit kernels — commReadUnit /
+ * commWriteUnit / commFinalizeRun operating on a CommTables — is what
+ * makes "sharded output is bit-identical to serial" true by
+ * construction rather than by parallel maintenance of two copies.
+ *
+ * All quantities in a CommTables are unsigned-integer sums or
+ * histogram counts, so merging shard partials by addition reproduces
+ * the serial totals exactly. Edge *order* is the one observable that
+ * addition cannot recover; edges therefore carry the global epoch of
+ * their first occurrence, and the merge re-sorts by (epoch, local
+ * insertion index) to reproduce the serial first-seen order.
+ */
+
+#ifndef SIGIL_CORE_COMM_TABLES_HH
+#define SIGIL_CORE_COMM_TABLES_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/comm_stats.hh"
+#include "shadow/shadow_memory.hh"
+#include "vg/types.hh"
+
+namespace sigil::core {
+
+/** A communication edge plus its first-occurrence position. */
+struct OrderedCommEdge
+{
+    CommEdge edge;
+    /** Global access epoch at which the edge was first created. */
+    std::uint64_t firstEpoch = 0;
+};
+
+/** A thread edge plus its first-occurrence position. */
+struct OrderedThreadEdge
+{
+    ThreadCommEdge edge;
+    std::uint64_t firstEpoch = 0;
+};
+
+/** Per-allocation traffic; slot 0 is the "other" bucket. */
+struct ObjectTraffic
+{
+    std::uint64_t readBytes = 0;
+    std::uint64_t writeBytes = 0;
+    std::uint64_t uniqueReadBytes = 0;
+};
+
+/**
+ * Ambient state of one memory-access piece, captured by the sequencer
+ * at event time. Shard workers classify against this stamp instead of
+ * live guest state, which is how classification stays epoch-exact
+ * while memory events execute out of band.
+ */
+struct AccessStamp
+{
+    vg::ContextId ctx = vg::kInvalidContext;
+    vg::CallNum call = 0;
+    vg::Tick tick = 0;
+    vg::ThreadId tid = 0;
+    /** Open event-trace segment receiving the access (0 = none). */
+    std::uint64_t segSeq = 0;
+    /** Position of the piece in the global access stream. */
+    std::uint64_t epoch = 0;
+    /** Allocation receiving unique-read attribution (-1 = none). */
+    std::int32_t allocIdx = -1;
+    /** ROI collection flag at the time of the access. */
+    bool collecting = true;
+};
+
+/**
+ * Collection environment of the read kernel. The fidelity flags are
+ * *references*: in the serial engine a failure-injected chunk
+ * allocation can degrade fidelity in the middle of a multi-unit span,
+ * and the kernel must observe the flip on the very next unit, exactly
+ * as the pre-refactor member functions did.
+ */
+struct ClassifyEnv
+{
+    const bool &reuseEnabled;
+    const bool &classifyEnabled;
+    bool collectEvents = false;
+    unsigned granularityShift = 0;
+};
+
+/**
+ * One set of communication tables: either the serial profiler's single
+ * authoritative copy, or a shard worker's partial awaiting the merge.
+ */
+struct CommTables
+{
+    std::vector<CommAggregates> rows;
+
+    /** (producer<<32|consumer) → edge index, no self edges. */
+    std::unordered_map<std::uint64_t, std::size_t> edgeIndex;
+    std::vector<OrderedCommEdge> edges;
+
+    /** (producerTid<<32|consumerTid) → thread-edge index. */
+    std::unordered_map<std::uint64_t, std::size_t> threadEdgeIndex;
+    std::vector<OrderedThreadEdge> threadEdges;
+
+    BoundsHistogram unitReuseBreakdown{std::vector<std::uint64_t>{0, 9}};
+    BoundsHistogram lineReuseBreakdown{
+        std::vector<std::uint64_t>{9, 99, 999, 9999}};
+
+    std::vector<ObjectTraffic> objectStats;
+
+    /**
+     * Shard partials only: per consuming segment, producer segment →
+     * unique bytes. The serial engine accumulates directly into the
+     * open segment's map instead; at the fold these merge into the
+     * matching pending segment records.
+     */
+    std::unordered_map<std::uint64_t,
+                       std::unordered_map<std::uint64_t, std::uint64_t>>
+        segXfers;
+
+    CommAggregates &
+    row(vg::ContextId ctx)
+    {
+        std::size_t idx = static_cast<std::size_t>(ctx);
+        if (idx >= rows.size())
+            rows.resize(idx + 1);
+        return rows[idx];
+    }
+
+    /** Grow-and-fetch the stats slot of allocation index (-1 = other). */
+    ObjectTraffic &
+    objectSlot(std::int32_t alloc_index)
+    {
+        std::size_t slot = static_cast<std::size_t>(alloc_index + 1);
+        if (slot >= objectStats.size())
+            objectStats.resize(slot + 1);
+        return objectStats[slot];
+    }
+
+    static std::uint64_t
+    edgeKey(vg::ContextId producer, vg::ContextId consumer)
+    {
+        return (static_cast<std::uint64_t>(
+                    static_cast<std::uint32_t>(producer))
+                << 32) |
+               static_cast<std::uint32_t>(consumer);
+    }
+
+    static std::uint64_t
+    threadEdgeKey(vg::ThreadId producer, vg::ThreadId consumer)
+    {
+        return (static_cast<std::uint64_t>(producer) << 32) | consumer;
+    }
+};
+
+/** Add every counter of src into dst (histograms merge). */
+inline void
+mergeAggregates(CommAggregates &dst, const CommAggregates &src)
+{
+    dst.calls += src.calls;
+    dst.iops += src.iops;
+    dst.flops += src.flops;
+    dst.readBytes += src.readBytes;
+    dst.writeBytes += src.writeBytes;
+    dst.uniqueLocalBytes += src.uniqueLocalBytes;
+    dst.nonuniqueLocalBytes += src.nonuniqueLocalBytes;
+    dst.uniqueInputBytes += src.uniqueInputBytes;
+    dst.nonuniqueInputBytes += src.nonuniqueInputBytes;
+    dst.uniqueOutputBytes += src.uniqueOutputBytes;
+    dst.nonuniqueOutputBytes += src.nonuniqueOutputBytes;
+    dst.uniqueInterThreadBytes += src.uniqueInterThreadBytes;
+    dst.nonuniqueInterThreadBytes += src.nonuniqueInterThreadBytes;
+    dst.reusedUnits += src.reusedUnits;
+    dst.reuseReads += src.reuseReads;
+    dst.lifetimeSum += src.lifetimeSum;
+    dst.lifetimeHist.merge(src.lifetimeHist);
+}
+
+/**
+ * Close the pending re-use run of a shadow object, folding its
+ * lifetime into the last reader's statistics and its read count into
+ * the program-wide breakdown.
+ */
+inline void
+commFinalizeRun(CommTables &t, const bool &reuse_enabled,
+                shadow::ShadowHot &hot, shadow::ShadowCold &cold)
+{
+    if (!reuse_enabled)
+        return;
+    if (hot.lastReaderCtx == vg::kInvalidContext || cold.runReads == 0)
+        return;
+    std::uint64_t reuse = cold.runReads - 1;
+    t.unitReuseBreakdown.add(reuse);
+    if (reuse >= 1) {
+        CommAggregates &r = t.row(hot.lastReaderCtx);
+        ++r.reusedUnits;
+        r.reuseReads += reuse;
+        std::uint64_t lifetime = cold.runLastRead - cold.runFirstRead;
+        r.lifetimeSum += lifetime;
+        r.lifetimeHist.add(lifetime);
+    }
+    cold.runReads = 0;
+}
+
+/** Record one write into a unit's shadow state. */
+inline void
+commWriteUnit(CommTables &t, const bool &reuse_enabled,
+              shadow::ShadowHot &hot, shadow::ShadowCold &cold,
+              const AccessStamp &a)
+{
+    if (reuse_enabled)
+        commFinalizeRun(t, reuse_enabled, hot, cold);
+    hot.lastWriterCtx = a.ctx;
+    hot.lastWriterCall = a.call;
+    hot.lastWriterSeq = a.segSeq;
+    hot.lastWriterThread = a.tid;
+    hot.lastReaderCtx = vg::kInvalidContext;
+    hot.lastReaderCall = 0;
+}
+
+/**
+ * Classify one read of w bytes against a unit's shadow state and
+ * update that state. seg_xfers (nullable) receives producer-segment →
+ * unique-byte transfers; unique_bytes_this_access accumulates for
+ * per-object attribution.
+ */
+inline void
+commReadUnit(CommTables &t, const ClassifyEnv &env,
+             shadow::ShadowHot &s, shadow::ShadowCold &c,
+             std::uint64_t w, const AccessStamp &a,
+             std::unordered_map<std::uint64_t, std::uint64_t> *seg_xfers,
+             std::uint64_t &unique_bytes_this_access)
+{
+    vg::ContextId producer =
+        s.everWritten() ? s.lastWriterCtx : kUninitProducer;
+    bool unique = s.lastReaderCtx != a.ctx;
+    bool local = producer == a.ctx;
+
+    if (!a.collecting) {
+        // Outside the ROI: maintain shadow state only. Clear any
+        // pending run so pre-ROI reads never leak into ROI stats.
+        c.runReads = 0;
+        s.lastReaderCtx = a.ctx;
+        s.lastReaderCall = a.call;
+        return;
+    }
+
+    if (!env.classifyEnabled) {
+        // Degradation level 2: raw byte totals continue, but per-class
+        // aggregation stops. Reader identity is still maintained so a
+        // later analysis of the shadow state remains coherent.
+        s.lastReaderCtx = a.ctx;
+        s.lastReaderCall = a.call;
+        return;
+    }
+
+    if (unique)
+        unique_bytes_this_access += w;
+    if (local) {
+        // row() may grow rows, so the reader row is re-fetched after
+        // any call that can resize it rather than cached across them.
+        CommAggregates &reader = t.row(a.ctx);
+        if (unique)
+            reader.uniqueLocalBytes += w;
+        else
+            reader.nonuniqueLocalBytes += w;
+    } else {
+        CommAggregates &reader = t.row(a.ctx);
+        if (unique)
+            reader.uniqueInputBytes += w;
+        else
+            reader.nonuniqueInputBytes += w;
+        if (producer >= 0) {
+            CommAggregates &prod = t.row(producer);
+            if (unique)
+                prod.uniqueOutputBytes += w;
+            else
+                prod.nonuniqueOutputBytes += w;
+        }
+        std::uint64_t key = CommTables::edgeKey(producer, a.ctx);
+        auto [it, inserted] =
+            t.edgeIndex.try_emplace(key, t.edges.size());
+        if (inserted) {
+            t.edges.push_back(
+                OrderedCommEdge{CommEdge{producer, a.ctx, 0, 0},
+                                a.epoch});
+        }
+        CommEdge &edge = t.edges[it->second].edge;
+        if (unique)
+            edge.uniqueBytes += w;
+        else
+            edge.nonuniqueBytes += w;
+    }
+
+    // Cross-thread communication: producer ran on another thread.
+    // Orthogonal to the local/input axis — two threads executing the
+    // same function still communicate through memory.
+    if (s.everWritten() && s.lastWriterThread != a.tid) {
+        CommAggregates &reader = t.row(a.ctx);
+        if (unique)
+            reader.uniqueInterThreadBytes += w;
+        else
+            reader.nonuniqueInterThreadBytes += w;
+        std::uint64_t tkey =
+            CommTables::threadEdgeKey(s.lastWriterThread, a.tid);
+        auto [tit, tin] =
+            t.threadEdgeIndex.try_emplace(tkey, t.threadEdges.size());
+        if (tin) {
+            t.threadEdges.push_back(OrderedThreadEdge{
+                ThreadCommEdge{s.lastWriterThread, a.tid, 0, 0},
+                a.epoch});
+        }
+        ThreadCommEdge &tedge = t.threadEdges[tit->second].edge;
+        if (unique)
+            tedge.uniqueBytes += w;
+        else
+            tedge.nonuniqueBytes += w;
+    }
+
+    if (env.collectEvents && unique && s.everWritten() &&
+        a.segSeq != 0 && s.lastWriterSeq != a.segSeq) {
+        (*seg_xfers)[s.lastWriterSeq] += w;
+    }
+
+    if (env.reuseEnabled) {
+        if (s.lastReaderCtx == a.ctx && s.lastReaderCall == a.call) {
+            ++c.runReads;
+            c.runLastRead = a.tick;
+        } else {
+            commFinalizeRun(t, env.reuseEnabled, s, c);
+            c.runReads = 1;
+            c.runFirstRead = a.tick;
+            c.runLastRead = a.tick;
+        }
+    }
+
+    // Per-unit access totals only feed the line-granularity re-use
+    // breakdown, so byte-mode reads skip the cold record entirely
+    // unless they are tracking a re-use run.
+    if (env.granularityShift > 0)
+        ++c.totalAccesses;
+    s.lastReaderCtx = a.ctx;
+    s.lastReaderCall = a.call;
+}
+
+} // namespace sigil::core
+
+#endif // SIGIL_CORE_COMM_TABLES_HH

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Address-sharded parallel analysis engine.
+ *
+ * Partitions the shadowed address space over N workers by chunk index
+ * (shard = index & (N-1)): each worker owns a private ShadowMemory and
+ * a private partial CommTables, so the per-unit classification kernels
+ * run completely lock-free. The sequencer (the thread driving guest
+ * events) splits every access into chunk-clamped pieces, stamps each
+ * with the ambient calling context and a monotonic epoch, and routes
+ * it to the owning worker's SPSC queue; non-memory events never leave
+ * the sequencer.
+ *
+ * Determinism invariants:
+ *  - Piece splitting at chunk boundaries preserves the serial per-unit
+ *    byte widths (a unit never spans chunks, so clamping an access to
+ *    its chunk cannot change any unit's covered width).
+ *  - The sequencer's ChunkLruPlanner re-enacts the serial
+ *    ShadowMemory recency/eviction automaton (including its one-entry
+ *    lookup cache) over chunk indices, so the *global* eviction
+ *    sequence is identical to serial; victims are evicted in the
+ *    owning shard via explicit queue commands, FIFO-ordered after
+ *    every earlier access to that chunk.
+ *  - Workers never evict on their own (their shadows are unbounded)
+ *    and never consult failure injectors; shadow statistics come from
+ *    the planner, which is exact (peak-of-sum, not sum-of-peaks).
+ *
+ * The merge back into the serial tables lives in SigilProfiler
+ * (foldShards); this class only owns the routing and the workers.
+ */
+
+#ifndef SIGIL_CORE_SHARD_ENGINE_HH
+#define SIGIL_CORE_SHARD_ENGINE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/comm_tables.hh"
+#include "shadow/shadow_memory.hh"
+#include "vg/shard_queue.hh"
+
+namespace sigil::core {
+
+struct SigilConfig;
+
+/**
+ * Sequencer-side mirror of ShadowMemory's chunk recency automaton.
+ *
+ * Replays exactly the decisions ShadowMemory::chunkFor would make over
+ * the same chunk-touch sequence: a one-entry cache hit does no recency
+ * work, a miss on a resident chunk moves it to the back, and a miss on
+ * an absent chunk evicts the front when the limit is reached (one
+ * eviction per allocation, like the serial path). It is the single
+ * authority for eviction decisions and for the ShadowStats of a
+ * sharded run.
+ */
+class ChunkLruPlanner
+{
+  public:
+    static constexpr std::uint64_t kNone = ~std::uint64_t{0};
+
+    explicit ChunkLruPlanner(std::size_t max_chunks)
+        : maxChunks_(max_chunks)
+    {}
+
+    /**
+     * Record a touch of a chunk, allocating it if absent. Returns the
+     * chunk index evicted to make room, or kNone.
+     */
+    std::uint64_t
+    touch(std::uint64_t index)
+    {
+        if (index == lastIndex_)
+            return kNone;
+        std::uint64_t victim = kNone;
+        auto it = map_.find(index);
+        if (it == map_.end()) {
+            if (maxChunks_ != 0 && map_.size() >= maxChunks_) {
+                victim = lru_.front();
+                map_.erase(victim);
+                lru_.pop_front();
+                ++stats_.evictions;
+            }
+            lru_.push_back(index);
+            map_.emplace(index, std::prev(lru_.end()));
+            ++stats_.chunksAllocated;
+            stats_.chunksLive = map_.size();
+            if (stats_.chunksLive > stats_.chunksPeak)
+                stats_.chunksPeak = stats_.chunksLive;
+        } else if (it->second != std::prev(lru_.end())) {
+            lru_.splice(lru_.end(), lru_, it->second);
+        }
+        lastIndex_ = index;
+        return victim;
+    }
+
+    /**
+     * touch() for checkpoint restore: never evicts (the saved chunk
+     * set already respects the limit). Statistics churn is overwritten
+     * by restoreStats() afterwards, as in the serial restore.
+     */
+    void
+    restoreTouch(std::uint64_t index)
+    {
+        if (index == lastIndex_)
+            return;
+        auto it = map_.find(index);
+        if (it == map_.end()) {
+            lru_.push_back(index);
+            map_.emplace(index, std::prev(lru_.end()));
+            ++stats_.chunksAllocated;
+            stats_.chunksLive = map_.size();
+            if (stats_.chunksLive > stats_.chunksPeak)
+                stats_.chunksPeak = stats_.chunksLive;
+        } else if (it->second != std::prev(lru_.end())) {
+            lru_.splice(lru_.end(), lru_, it->second);
+        }
+        lastIndex_ = index;
+    }
+
+    const shadow::ShadowStats &stats() const { return stats_; }
+
+    /** Overwrite statistics (checkpoint restore). */
+    void
+    restoreStats(const shadow::ShadowStats &stats)
+    {
+        stats_ = stats;
+        stats_.chunksLive = map_.size();
+    }
+
+    /** Visit live chunk indices, least recently touched first. */
+    template <typename Fn>
+    void
+    forEachChunk(Fn &&fn) const
+    {
+        for (std::uint64_t index : lru_)
+            fn(index);
+    }
+
+    std::size_t liveChunks() const { return map_.size(); }
+
+  private:
+    std::size_t maxChunks_;
+    std::list<std::uint64_t> lru_;
+    std::unordered_map<std::uint64_t,
+                       std::list<std::uint64_t>::iterator>
+        map_;
+    /** Mirror of ShadowMemory's one-entry lookup cache. */
+    std::uint64_t lastIndex_ = kNone;
+    shadow::ShadowStats stats_;
+};
+
+/** The shard workers plus the sequencer-side routing state. */
+class ShardEngine
+{
+  public:
+    ShardEngine(const SigilConfig &config, unsigned shard_count,
+                std::size_t queue_capacity);
+    ~ShardEngine();
+
+    ShardEngine(const ShardEngine &) = delete;
+    ShardEngine &operator=(const ShardEngine &) = delete;
+
+    unsigned
+    shardCount() const
+    {
+        return static_cast<unsigned>(shards_.size());
+    }
+
+    unsigned
+    shardOf(std::uint64_t chunk_index) const
+    {
+        return static_cast<unsigned>(chunk_index &
+                                     (shards_.size() - 1));
+    }
+
+    /**
+     * Split an access into chunk-clamped pieces and enqueue each to
+     * its owning shard, running the eviction planner along the way.
+     * stamp.epoch is overwritten with fresh epochs per piece.
+     */
+    void routeAccess(bool is_write, vg::Addr addr, unsigned size,
+                     AccessStamp stamp);
+
+    /** Block until every routed record has been processed. */
+    void drain();
+
+    CommTables &tables(unsigned shard);
+    shadow::ShadowMemory &shadowOf(unsigned shard);
+
+    ChunkLruPlanner &planner() { return planner_; }
+    const ChunkLruPlanner &planner() const { return planner_; }
+
+    /**
+     * Checkpoint restore: materialize one unit in its owning shard
+     * (planner recency updated to match). Workers must be idle.
+     */
+    shadow::ShadowRef restoreUnit(std::uint64_t unit);
+
+  private:
+    struct Shard;
+
+    void workerLoop(Shard &shard);
+    void process(Shard &shard, const vg::ShardRecord &record);
+
+    const SigilConfig &config_;
+    /**
+     * Fidelity flags in sharded mode: fixed for the lifetime of the
+     * run (degradation requires the serial engine's failure-injection
+     * path, which sharding does not support). ClassifyEnv binds these
+     * by reference.
+     */
+    bool reuseEnabled_;
+    bool classifyEnabled_ = true;
+
+    ChunkLruPlanner planner_;
+    std::uint64_t nextEpoch_ = 1;
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+} // namespace sigil::core
+
+#endif // SIGIL_CORE_SHARD_ENGINE_HH

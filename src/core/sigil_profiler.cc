@@ -2,23 +2,12 @@
 
 #include <algorithm>
 
+#include "core/shard_engine.hh"
 #include "support/logging.hh"
 
 namespace sigil::core {
 
 const CommAggregates SigilProfiler::kZero = CommAggregates();
-
-namespace {
-
-std::uint64_t
-edgeKey(vg::ContextId producer, vg::ContextId consumer)
-{
-    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(producer))
-            << 32) |
-           static_cast<std::uint32_t>(consumer);
-}
-
-} // namespace
 
 SigilProfiler::SigilProfiler(const SigilConfig &config)
     : config_(config),
@@ -28,13 +17,15 @@ SigilProfiler::SigilProfiler(const SigilConfig &config)
     shadow_.setEvictionHandler(
         [this](std::uint64_t unit, shadow::ShadowRef obj) {
             (void)unit;
-            finalizeRun(obj.hot, obj.cold);
+            commFinalizeRun(tables_, reuseEnabled_, obj.hot, obj.cold);
         });
     shadow_.setPressureHandler(
         [this](int failed_attempts) { degrade(failed_attempts); });
     collecting_ = !config_.roiOnly;
     reuseEnabled_ = config_.collectReuse;
 }
+
+SigilProfiler::~SigilProfiler() = default;
 
 void
 SigilProfiler::degrade(int failed_attempts)
@@ -46,7 +37,8 @@ SigilProfiler::degrade(int failed_attempts)
             // the statistics collected so far keep their mass.
             shadow_.forEach(
                 [this](std::uint64_t, shadow::ShadowRef obj) {
-                    finalizeRun(obj.hot, obj.cold);
+                    commFinalizeRun(tables_, reuseEnabled_, obj.hot,
+                                    obj.cold);
                 });
             reuseEnabled_ = false;
             warn("SigilProfiler: shadow allocation pressure "
@@ -75,15 +67,11 @@ void
 SigilProfiler::attach(const vg::Guest &guest)
 {
     Tool::attach(guest);
-}
-
-CommAggregates &
-SigilProfiler::row(vg::ContextId ctx)
-{
-    std::size_t idx = static_cast<std::size_t>(ctx);
-    if (idx >= rows_.size())
-        rows_.resize(idx + 1);
-    return rows_[idx];
+    const vg::GuestConfig &gc = guest.config();
+    if (gc.shardCount > 1 && engine_ == nullptr) {
+        engine_ = std::make_unique<ShardEngine>(config_, gc.shardCount,
+                                                gc.shardQueueCapacity);
+    }
 }
 
 void
@@ -137,15 +125,6 @@ SigilProfiler::leaveAt(vg::ContextId resumed_ctx, vg::CallNum resumed_call,
     }
 }
 
-SigilProfiler::ObjectStats &
-SigilProfiler::objectSlot(int alloc_index)
-{
-    std::size_t slot = static_cast<std::size_t>(alloc_index + 1);
-    if (slot >= objectStats_.size())
-        objectStats_.resize(slot + 1);
-    return objectStats_[slot];
-}
-
 void
 SigilProfiler::memWrite(vg::Addr addr, unsigned size)
 {
@@ -159,43 +138,49 @@ SigilProfiler::writeAccess(vg::Addr addr, unsigned size,
 {
     if (collecting_) {
         row(ctx).writeBytes += size;
-        if (config_.collectObjects)
-            objectSlot(guest_->allocationOf(addr)).writeBytes += size;
+        if (config_.collectObjects) {
+            tables_.objectSlot(guest_->allocationOf(addr)).writeBytes +=
+                size;
+        }
     }
     SegState &state = seg();
     if (state.open)
         ++state.segment.writes;
     std::uint64_t seq = state.open ? state.segment.seq : 0;
 
+    if (engine_) {
+        AccessStamp a;
+        a.ctx = ctx;
+        a.call = call;
+        a.tid = currentTid_;
+        a.segSeq = seq;
+        a.collecting = collecting_;
+        engine_->routeAccess(true, addr, size, a);
+        needsFold_ = true;
+        return;
+    }
+
     std::uint64_t first = shadow_.unitOf(addr);
     std::uint64_t last = shadow_.lastUnitOf(addr, size);
+    AccessStamp a;
+    a.ctx = ctx;
+    a.call = call;
+    a.tid = currentTid_;
+    a.segSeq = seq;
     if (config_.referenceShadowPath) {
         // Reference path: resolve the chunk once per unit.
         for (std::uint64_t u = first; u <= last; ++u) {
             shadow::ShadowRef s = shadow_.lookup(u);
-            writeUnit(s.hot, s.cold, ctx, call, seq);
+            commWriteUnit(tables_, reuseEnabled_, s.hot, s.cold, a);
         }
         return;
     }
     shadow_.span(first, last, [&](shadow::ShadowMemory::Run run) {
-        for (std::size_t i = 0; i < run.count; ++i)
-            writeUnit(run.hot[i], run.cold[i], ctx, call, seq);
+        for (std::size_t i = 0; i < run.count; ++i) {
+            commWriteUnit(tables_, reuseEnabled_, run.hot[i],
+                          run.cold[i], a);
+        }
     });
-}
-
-void
-SigilProfiler::writeUnit(shadow::ShadowHot &hot, shadow::ShadowCold &cold,
-                         vg::ContextId ctx, vg::CallNum call,
-                         std::uint64_t seq)
-{
-    if (reuseEnabled_)
-        finalizeRun(hot, cold);
-    hot.lastWriterCtx = ctx;
-    hot.lastWriterCall = call;
-    hot.lastWriterSeq = seq;
-    hot.lastWriterThread = currentTid_;
-    hot.lastReaderCtx = vg::kInvalidContext;
-    hot.lastReaderCall = 0;
 }
 
 void
@@ -214,7 +199,36 @@ SigilProfiler::readAccess(vg::Addr addr, unsigned size, vg::ContextId ctx,
     SegState &state = seg();
     if (state.open)
         ++state.segment.reads;
+
+    if (engine_) {
+        std::int32_t alloc_idx = -1;
+        if (collecting_ && config_.collectObjects) {
+            alloc_idx = guest_->allocationOf(addr);
+            tables_.objectSlot(alloc_idx).readBytes += size;
+        }
+        AccessStamp a;
+        a.ctx = ctx;
+        a.call = call;
+        a.tick = now;
+        a.tid = currentTid_;
+        a.segSeq = state.open ? state.segment.seq : 0;
+        a.allocIdx = alloc_idx;
+        a.collecting = collecting_;
+        engine_->routeAccess(false, addr, size, a);
+        needsFold_ = true;
+        return;
+    }
+
     std::uint64_t unique_bytes_this_access = 0;
+    AccessStamp a;
+    a.ctx = ctx;
+    a.call = call;
+    a.tick = now;
+    a.tid = currentTid_;
+    a.segSeq = state.open ? state.segment.seq : 0;
+    a.collecting = collecting_;
+    ClassifyEnv env{reuseEnabled_, classifyEnabled_,
+                    config_.collectEvents, config_.granularityShift};
 
     std::uint64_t first = shadow_.unitOf(addr);
     std::uint64_t last = shadow_.lastUnitOf(addr, size);
@@ -230,8 +244,8 @@ SigilProfiler::readAccess(vg::Addr addr, unsigned size, vg::ContextId ctx,
             std::uint64_t lo = std::max<std::uint64_t>(addr, unit_lo);
             std::uint64_t hi =
                 std::min<std::uint64_t>(addr + size, unit_hi);
-            readUnit(s.hot, s.cold, hi - lo, ctx, call, now, state,
-                     unique_bytes_this_access);
+            commReadUnit(tables_, env, s.hot, s.cold, hi - lo, a,
+                         &state.xfers, unique_bytes_this_access);
         }
     } else {
         shadow_.span(first, last, [&](shadow::ShadowMemory::Run run) {
@@ -249,132 +263,18 @@ SigilProfiler::readAccess(vg::Addr addr, unsigned size, vg::ContextId ctx,
                         std::min<std::uint64_t>(addr + size, unit_hi);
                     w = hi - lo;
                 }
-                readUnit(run.hot[i], run.cold[i], w, ctx, call, now,
-                         state, unique_bytes_this_access);
+                commReadUnit(tables_, env, run.hot[i], run.cold[i], w, a,
+                             &state.xfers, unique_bytes_this_access);
             }
         });
     }
 
     if (collecting_ && config_.collectObjects) {
-        ObjectStats &obj = objectSlot(guest_->allocationOf(addr));
+        ObjectTraffic &obj =
+            tables_.objectSlot(guest_->allocationOf(addr));
         obj.readBytes += size;
         obj.uniqueReadBytes += unique_bytes_this_access;
     }
-}
-
-void
-SigilProfiler::readUnit(shadow::ShadowHot &s, shadow::ShadowCold &c,
-                        std::uint64_t w, vg::ContextId ctx,
-                        vg::CallNum call, vg::Tick now, SegState &state,
-                        std::uint64_t &unique_bytes_this_access)
-{
-    vg::ContextId producer =
-        s.everWritten() ? s.lastWriterCtx : kUninitProducer;
-    bool unique = s.lastReaderCtx != ctx;
-    bool local = producer == ctx;
-
-    if (!collecting_) {
-        // Outside the ROI: maintain shadow state only. Clear any
-        // pending run so pre-ROI reads never leak into ROI stats.
-        c.runReads = 0;
-        s.lastReaderCtx = ctx;
-        s.lastReaderCall = call;
-        return;
-    }
-
-    if (!classifyEnabled_) {
-        // Degradation level 2: raw byte totals (readAccess) continue,
-        // but per-class aggregation stops. Reader identity is still
-        // maintained so a later analysis of the shadow state remains
-        // coherent.
-        s.lastReaderCtx = ctx;
-        s.lastReaderCall = call;
-        return;
-    }
-
-    if (unique)
-        unique_bytes_this_access += w;
-    if (local) {
-        // row() may grow rows_, so the reader row is re-fetched after
-        // any call that can resize it rather than cached across them.
-        CommAggregates &reader = row(ctx);
-        if (unique)
-            reader.uniqueLocalBytes += w;
-        else
-            reader.nonuniqueLocalBytes += w;
-    } else {
-        CommAggregates &reader = row(ctx);
-        if (unique)
-            reader.uniqueInputBytes += w;
-        else
-            reader.nonuniqueInputBytes += w;
-        if (producer >= 0) {
-            CommAggregates &prod = row(producer);
-            if (unique)
-                prod.uniqueOutputBytes += w;
-            else
-                prod.nonuniqueOutputBytes += w;
-        }
-        std::uint64_t key = edgeKey(producer, ctx);
-        auto [it, inserted] = edgeIndex_.try_emplace(key, edges_.size());
-        if (inserted)
-            edges_.push_back(CommEdge{producer, ctx, 0, 0});
-        CommEdge &edge = edges_[it->second];
-        if (unique)
-            edge.uniqueBytes += w;
-        else
-            edge.nonuniqueBytes += w;
-    }
-
-    // Cross-thread communication: producer ran on another thread.
-    // Orthogonal to the local/input axis — two threads executing
-    // the same function still communicate through memory.
-    if (s.everWritten() && s.lastWriterThread != currentTid_) {
-        CommAggregates &reader = row(ctx);
-        if (unique)
-            reader.uniqueInterThreadBytes += w;
-        else
-            reader.nonuniqueInterThreadBytes += w;
-        std::uint64_t tkey =
-            (static_cast<std::uint64_t>(s.lastWriterThread) << 32) |
-            currentTid_;
-        auto [tit, tin] =
-            threadEdgeIndex_.try_emplace(tkey, threadEdges_.size());
-        if (tin) {
-            threadEdges_.push_back(
-                ThreadCommEdge{s.lastWriterThread, currentTid_, 0, 0});
-        }
-        ThreadCommEdge &tedge = threadEdges_[tit->second];
-        if (unique)
-            tedge.uniqueBytes += w;
-        else
-            tedge.nonuniqueBytes += w;
-    }
-
-    if (config_.collectEvents && unique && s.everWritten() &&
-        state.open && s.lastWriterSeq != state.segment.seq) {
-        state.xfers[s.lastWriterSeq] += w;
-    }
-
-    if (reuseEnabled_) {
-        if (s.lastReaderCtx == ctx && s.lastReaderCall == call) {
-            ++c.runReads;
-            c.runLastRead = now;
-        } else {
-            finalizeRun(s, c);
-            c.runReads = 1;
-            c.runFirstRead = now;
-            c.runLastRead = now;
-        }
-    }
-
-    // Per-unit access totals only feed the line-granularity re-use
-    // breakdown, so byte-mode reads skip the cold record entirely
-    // unless they are tracking a re-use run.
-    if (config_.granularityShift > 0)
-        ++c.totalAccesses;
-    s.lastReaderCtx = ctx;
-    s.lastReaderCall = call;
 }
 
 void
@@ -437,34 +337,22 @@ SigilProfiler::threadSwitchAt(vg::ThreadId tid, vg::ContextId ctx,
     }
 }
 
-void
-SigilProfiler::finalizeRun(shadow::ShadowHot &hot, shadow::ShadowCold &cold)
+std::uint64_t
+SigilProfiler::resolvePred(std::uint64_t seq) const
 {
-    if (!reuseEnabled_)
-        return;
-    if (hot.lastReaderCtx == vg::kInvalidContext || cold.runReads == 0)
-        return;
-    std::uint64_t reuse = cold.runReads - 1;
-    unitReuseBreakdown_.add(reuse);
-    if (reuse >= 1) {
-        CommAggregates &r = row(hot.lastReaderCtx);
-        ++r.reusedUnits;
-        r.reuseReads += reuse;
-        std::uint64_t lifetime = cold.runLastRead - cold.runFirstRead;
-        r.lifetimeSum += lifetime;
-        r.lifetimeHist.add(lifetime);
-    }
-    cold.runReads = 0;
+    return resolvePredAt(seq, ~std::uint64_t{0});
 }
 
 std::uint64_t
-SigilProfiler::resolvePred(std::uint64_t seq) const
+SigilProfiler::resolvePredAt(std::uint64_t seq,
+                             std::uint64_t stamp_bound) const
 {
     // Follow the forwarding chain through skipped empty segments so an
     // ordering edge never dangles on a segment absent from the trace.
     auto it = skippedSegments_.find(seq);
-    while (it != skippedSegments_.end()) {
-        seq = it->second;
+    while (it != skippedSegments_.end() &&
+           it->second.stamp < stamp_bound) {
+        seq = it->second.pred;
         it = skippedSegments_.find(seq);
     }
     return seq;
@@ -536,22 +424,45 @@ SigilProfiler::flushSegment(SegState &state)
     bool has_work = segment.iops || segment.flops || segment.reads ||
                     segment.writes;
     if (collecting_ && (has_work || !state.xfers.empty())) {
-        // Emit incoming transfers in source order: the hash map's
-        // iteration order is not part of the observable state, and a
-        // checkpoint restore would otherwise reorder the X records.
-        std::vector<std::pair<std::uint64_t, std::uint64_t>> ordered(
-            state.xfers.begin(), state.xfers.end());
-        std::sort(ordered.begin(), ordered.end());
-        for (const auto &[src, bytes] : ordered) {
-            XferEvent x;
-            x.srcSeq = resolvePred(src);
-            x.dstSeq = segment.seq;
-            x.bytes = bytes;
-            events_.records.push_back(EventRecord::makeXfer(x));
+        if (engine_) {
+            // The segment's data transfers are still distributed over
+            // the shard tables; emit the C record now and leave a
+            // placeholder so the fold can splice the X records in
+            // front of it. state.xfers carries only sequencer-side
+            // entries (barrier ordering edges, restored state).
+            pendingSegs_.push_back(PendingSeg{events_.records.size(),
+                                              segment.seq, skipStamp_,
+                                              std::move(state.xfers)});
+            state.xfers = {};
+            events_.records.push_back(EventRecord::makeCompute(segment));
+            needsFold_ = true;
+        } else {
+            // Emit incoming transfers in source order: the hash map's
+            // iteration order is not part of the observable state, and
+            // a checkpoint restore would otherwise reorder the X
+            // records.
+            std::vector<std::pair<std::uint64_t, std::uint64_t>> ordered(
+                state.xfers.begin(), state.xfers.end());
+            std::sort(ordered.begin(), ordered.end());
+            for (const auto &[src, bytes] : ordered) {
+                XferEvent x;
+                x.srcSeq = resolvePred(src);
+                x.dstSeq = segment.seq;
+                x.bytes = bytes;
+                events_.records.push_back(EventRecord::makeXfer(x));
+            }
+            events_.records.push_back(EventRecord::makeCompute(segment));
         }
-        events_.records.push_back(EventRecord::makeCompute(segment));
     } else {
-        skippedSegments_.emplace(segment.seq, segment.predSeq);
+        skippedSegments_.emplace(segment.seq,
+                                 SkipInfo{segment.predSeq, skipStamp_++});
+        if (engine_ && config_.collectEvents) {
+            // Any shard-side transfers charged to this segment must be
+            // discarded at the fold, as the serial path discards
+            // state.xfers here.
+            discardedSeqs_.push_back(segment.seq);
+            needsFold_ = true;
+        }
     }
     state.xfers.clear();
     state.open = false;
@@ -604,15 +515,226 @@ SigilProfiler::processBatch(const vg::EventBuffer &batch)
 }
 
 void
+SigilProfiler::sync()
+{
+    foldShards();
+}
+
+void
+SigilProfiler::foldShards()
+{
+    if (engine_ == nullptr || !needsFold_)
+        return;
+    engine_->drain();
+    needsFold_ = false;
+
+    const unsigned n = engine_->shardCount();
+    std::vector<unsigned> order;
+    if (foldOrder_.size() == n) {
+        order = foldOrder_;
+    } else {
+        order.resize(n);
+        for (unsigned i = 0; i < n; ++i)
+            order[i] = i;
+    }
+
+    // Edges need their serial first-seen order back: every edge carries
+    // the global epoch of the piece that created it, epochs are unique
+    // per piece (hence per shard), and within one piece the shard's
+    // local insertion index preserves unit order — so (epoch, localIdx)
+    // totally orders the new edges exactly as the serial engine would
+    // have first seen them, independent of the shard visit order.
+    struct TaggedEdge
+    {
+        std::uint64_t epoch;
+        std::uint64_t localIdx;
+        CommEdge edge;
+    };
+    struct TaggedThreadEdge
+    {
+        std::uint64_t epoch;
+        std::uint64_t localIdx;
+        ThreadCommEdge edge;
+    };
+    std::vector<TaggedEdge> new_edges;
+    std::vector<TaggedThreadEdge> new_tedges;
+
+    for (unsigned i : order) {
+        CommTables &st = engine_->tables(i);
+        for (std::size_t c = 0; c < st.rows.size(); ++c) {
+            mergeAggregates(tables_.row(static_cast<vg::ContextId>(c)),
+                            st.rows[c]);
+        }
+        st.rows.clear();
+        tables_.unitReuseBreakdown.merge(st.unitReuseBreakdown);
+        st.unitReuseBreakdown =
+            BoundsHistogram{std::vector<std::uint64_t>{0, 9}};
+        tables_.lineReuseBreakdown.merge(st.lineReuseBreakdown);
+        st.lineReuseBreakdown =
+            BoundsHistogram{std::vector<std::uint64_t>{9, 99, 999, 9999}};
+        for (std::size_t o = 0; o < st.objectStats.size(); ++o) {
+            ObjectTraffic &dst = tables_.objectSlot(
+                static_cast<std::int32_t>(o) - 1);
+            dst.readBytes += st.objectStats[o].readBytes;
+            dst.writeBytes += st.objectStats[o].writeBytes;
+            dst.uniqueReadBytes += st.objectStats[o].uniqueReadBytes;
+        }
+        st.objectStats.clear();
+        for (std::size_t e = 0; e < st.edges.size(); ++e) {
+            new_edges.push_back(
+                {st.edges[e].firstEpoch, e, st.edges[e].edge});
+        }
+        st.edges.clear();
+        st.edgeIndex.clear();
+        for (std::size_t e = 0; e < st.threadEdges.size(); ++e) {
+            new_tedges.push_back(
+                {st.threadEdges[e].firstEpoch, e, st.threadEdges[e].edge});
+        }
+        st.threadEdges.clear();
+        st.threadEdgeIndex.clear();
+    }
+
+    std::sort(new_edges.begin(), new_edges.end(),
+              [](const TaggedEdge &a, const TaggedEdge &b) {
+                  return a.epoch != b.epoch ? a.epoch < b.epoch
+                                            : a.localIdx < b.localIdx;
+              });
+    tables_.edges.reserve(tables_.edges.size() + new_edges.size());
+    for (const TaggedEdge &te : new_edges) {
+        std::uint64_t key =
+            CommTables::edgeKey(te.edge.producer, te.edge.consumer);
+        auto [it, inserted] =
+            tables_.edgeIndex.try_emplace(key, tables_.edges.size());
+        if (inserted) {
+            tables_.edges.push_back(OrderedCommEdge{te.edge, te.epoch});
+        } else {
+            CommEdge &dst = tables_.edges[it->second].edge;
+            dst.uniqueBytes += te.edge.uniqueBytes;
+            dst.nonuniqueBytes += te.edge.nonuniqueBytes;
+        }
+    }
+    std::sort(new_tedges.begin(), new_tedges.end(),
+              [](const TaggedThreadEdge &a, const TaggedThreadEdge &b) {
+                  return a.epoch != b.epoch ? a.epoch < b.epoch
+                                            : a.localIdx < b.localIdx;
+              });
+    tables_.threadEdges.reserve(tables_.threadEdges.size() +
+                                new_tedges.size());
+    for (const TaggedThreadEdge &te : new_tedges) {
+        std::uint64_t key = CommTables::threadEdgeKey(te.edge.producer,
+                                                      te.edge.consumer);
+        auto [it, inserted] = tables_.threadEdgeIndex.try_emplace(
+            key, tables_.threadEdges.size());
+        if (inserted) {
+            tables_.threadEdges.push_back(
+                OrderedThreadEdge{te.edge, te.epoch});
+        } else {
+            ThreadCommEdge &dst = tables_.threadEdges[it->second].edge;
+            dst.uniqueBytes += te.edge.uniqueBytes;
+            dst.nonuniqueBytes += te.edge.nonuniqueBytes;
+        }
+    }
+
+    if (!config_.collectEvents)
+        return;
+
+    for (std::uint64_t seq : discardedSeqs_) {
+        for (unsigned i = 0; i < n; ++i)
+            engine_->tables(i).segXfers.erase(seq);
+    }
+    discardedSeqs_.clear();
+
+    if (pendingSegs_.empty())
+        return;
+
+    // Pull each emitted segment's shard-side transfers into its pending
+    // record, then rebuild the record stream once, splicing the X
+    // records (raw-key sorted, flush-time predecessor resolution)
+    // before their C record — exactly where the serial engine would
+    // have written them.
+    std::size_t extra = 0;
+    for (PendingSeg &p : pendingSegs_) {
+        for (unsigned i : order) {
+            auto &sx = engine_->tables(i).segXfers;
+            auto it = sx.find(p.seq);
+            if (it == sx.end())
+                continue;
+            for (const auto &[src, bytes] : it->second)
+                p.xfers[src] += bytes;
+            sx.erase(it);
+        }
+        extra += p.xfers.size();
+    }
+    std::vector<EventRecord> rebuilt;
+    rebuilt.reserve(events_.records.size() + extra);
+    std::size_t next = 0;
+    for (std::size_t pos = 0; pos < events_.records.size(); ++pos) {
+        while (next < pendingSegs_.size() &&
+               pendingSegs_[next].recordPos == pos) {
+            PendingSeg &p = pendingSegs_[next];
+            std::vector<std::pair<std::uint64_t, std::uint64_t>> ordered(
+                p.xfers.begin(), p.xfers.end());
+            std::sort(ordered.begin(), ordered.end());
+            for (const auto &[src, bytes] : ordered) {
+                XferEvent x;
+                x.srcSeq = resolvePredAt(src, p.skipStamp);
+                x.dstSeq = p.seq;
+                x.bytes = bytes;
+                rebuilt.push_back(EventRecord::makeXfer(x));
+            }
+            ++next;
+        }
+        rebuilt.push_back(events_.records[pos]);
+    }
+    events_.records = std::move(rebuilt);
+    pendingSegs_.clear();
+}
+
+void
+SigilProfiler::mergeOpenSegXfers()
+{
+    for (SegState &s : segStates_) {
+        if (!s.open)
+            continue;
+        for (unsigned i = 0; i < engine_->shardCount(); ++i) {
+            auto &sx = engine_->tables(i).segXfers;
+            auto it = sx.find(s.segment.seq);
+            if (it == sx.end())
+                continue;
+            for (const auto &[src, bytes] : it->second)
+                s.xfers[src] += bytes;
+            sx.erase(it);
+        }
+    }
+}
+
+void
 SigilProfiler::finish()
 {
     for (SegState &state : segStates_)
         flushSegment(state);
+    if (engine_) {
+        needsFold_ = true;
+        foldShards();
+        for (unsigned i = 0; i < engine_->shardCount(); ++i) {
+            engine_->shadowOf(i).forEach(
+                [this](std::uint64_t, shadow::ShadowRef obj) {
+                    commFinalizeRun(tables_, reuseEnabled_, obj.hot,
+                                    obj.cold);
+                    if (config_.granularityShift > 0 &&
+                        obj.cold.totalAccesses > 0) {
+                        tables_.lineReuseBreakdown.add(
+                            obj.cold.totalAccesses - 1);
+                    }
+                });
+        }
+        return;
+    }
     shadow_.forEach([this](std::uint64_t unit, shadow::ShadowRef obj) {
         (void)unit;
-        finalizeRun(obj.hot, obj.cold);
+        commFinalizeRun(tables_, reuseEnabled_, obj.hot, obj.cold);
         if (config_.granularityShift > 0 && obj.cold.totalAccesses > 0)
-            lineReuseBreakdown_.add(obj.cold.totalAccesses - 1);
+            tables_.lineReuseBreakdown.add(obj.cold.totalAccesses - 1);
     });
 }
 
@@ -624,8 +746,37 @@ SigilProfiler::aggregates(vg::ContextId ctx) const
                  "tool state read with events pending — call "
                  "Guest::sync() first");
 #endif
+    if (engine_ != nullptr && needsFold_)
+        const_cast<SigilProfiler *>(this)->foldShards();
     std::size_t idx = static_cast<std::size_t>(ctx);
-    return idx < rows_.size() ? rows_[idx] : kZero;
+    return idx < tables_.rows.size() ? tables_.rows[idx] : kZero;
+}
+
+const EventTrace &
+SigilProfiler::events() const
+{
+    if (engine_ != nullptr && needsFold_)
+        const_cast<SigilProfiler *>(this)->foldShards();
+    return events_;
+}
+
+shadow::ShadowStats
+SigilProfiler::shadowStats() const
+{
+    return engine_ != nullptr ? engine_->planner().stats()
+                              : shadow_.stats();
+}
+
+std::uint64_t
+SigilProfiler::shadowPeakBytes() const
+{
+    return shadowStats().peakBytes(shadow::ShadowMemory::chunkBytes());
+}
+
+void
+SigilProfiler::setFoldOrderForTesting(std::vector<unsigned> order)
+{
+    foldOrder_ = std::move(order);
 }
 
 SigilProfile
@@ -638,6 +789,8 @@ SigilProfiler::takeProfile() const
                  "tool state read with events pending — call "
                  "Guest::sync() first");
 #endif
+    if (engine_ != nullptr && needsFold_)
+        const_cast<SigilProfiler *>(this)->foldShards();
     const vg::ContextTree &ctxs = guest_->contexts();
     const vg::FunctionRegistry &fns = guest_->functions();
 
@@ -656,11 +809,15 @@ SigilProfiler::takeProfile() const
         out.path = ctxs.pathName(ctx);
         out.agg = aggregates(ctx);
     }
-    profile.edges = edges_;
-    profile.threadEdges = threadEdges_;
+    profile.edges.reserve(tables_.edges.size());
+    for (const OrderedCommEdge &e : tables_.edges)
+        profile.edges.push_back(e.edge);
+    profile.threadEdges.reserve(tables_.threadEdges.size());
+    for (const OrderedThreadEdge &e : tables_.threadEdges)
+        profile.threadEdges.push_back(e.edge);
     if (config_.collectObjects) {
         const auto &allocs = guest_->allocations();
-        // Row i+1 of objectStats_ maps to allocation i; row 0 = other.
+        // Row i+1 of objectStats maps to allocation i; row 0 = other.
         for (std::size_t i = 0; i < allocs.size() + 1; ++i) {
             SigilProfile::ObjectRow row;
             if (i == 0) {
@@ -670,18 +827,19 @@ SigilProfiler::takeProfile() const
                 row.base = allocs[i - 1].base;
                 row.size = allocs[i - 1].size;
             }
-            if (i < objectStats_.size()) {
-                row.readBytes = objectStats_[i].readBytes;
-                row.writeBytes = objectStats_[i].writeBytes;
-                row.uniqueReadBytes = objectStats_[i].uniqueReadBytes;
+            if (i < tables_.objectStats.size()) {
+                row.readBytes = tables_.objectStats[i].readBytes;
+                row.writeBytes = tables_.objectStats[i].writeBytes;
+                row.uniqueReadBytes =
+                    tables_.objectStats[i].uniqueReadBytes;
             }
             profile.objects.push_back(std::move(row));
         }
     }
-    profile.unitReuseBreakdown = unitReuseBreakdown_;
-    profile.lineReuseBreakdown = lineReuseBreakdown_;
-    profile.shadowPeakBytes = shadow_.peakBytes();
-    profile.shadowEvictions = shadow_.stats().evictions;
+    profile.unitReuseBreakdown = tables_.unitReuseBreakdown;
+    profile.lineReuseBreakdown = tables_.lineReuseBreakdown;
+    profile.shadowPeakBytes = shadowPeakBytes();
+    profile.shadowEvictions = shadowStats().evictions;
     return profile;
 }
 
@@ -818,7 +976,20 @@ getComputeEvent(ByteSource &src, ComputeEvent &c)
 void
 SigilProfiler::saveState(ByteSink &sink)
 {
-    sink.u8(1); // profiler state version
+    if (engine_) {
+        // Fold everything shard-side into the authoritative tables so
+        // the serialized body is engine-independent (and restorable
+        // into a serial profiler or any shard count).
+        needsFold_ = true;
+        foldShards();
+        mergeOpenSegXfers();
+    }
+
+    // Version 2 differs from 1 only by recording the shard count of
+    // the saving run (informational); the body layout is identical.
+    sink.u8(engine_ ? 2 : 1);
+    if (engine_)
+        sink.varint(engine_->shardCount());
 
     // Config echo: a checkpoint is only meaningful for the identical
     // collection configuration (referenceShadowPath is excluded — the
@@ -835,30 +1006,30 @@ SigilProfiler::saveState(ByteSink &sink)
     sink.u8(reuseEnabled_ ? 1 : 0);
     sink.u8(classifyEnabled_ ? 1 : 0);
 
-    sink.varint(rows_.size());
-    for (const CommAggregates &a : rows_)
+    sink.varint(tables_.rows.size());
+    for (const CommAggregates &a : tables_.rows)
         putAggregates(sink, a);
 
-    sink.varint(edges_.size());
-    for (const CommEdge &e : edges_) {
-        sink.u32(static_cast<std::uint32_t>(e.producer));
-        sink.u32(static_cast<std::uint32_t>(e.consumer));
-        sink.u64(e.uniqueBytes);
-        sink.u64(e.nonuniqueBytes);
+    sink.varint(tables_.edges.size());
+    for (const OrderedCommEdge &oe : tables_.edges) {
+        sink.u32(static_cast<std::uint32_t>(oe.edge.producer));
+        sink.u32(static_cast<std::uint32_t>(oe.edge.consumer));
+        sink.u64(oe.edge.uniqueBytes);
+        sink.u64(oe.edge.nonuniqueBytes);
     }
-    sink.varint(threadEdges_.size());
-    for (const ThreadCommEdge &e : threadEdges_) {
-        sink.u32(e.producer);
-        sink.u32(e.consumer);
-        sink.u64(e.uniqueBytes);
-        sink.u64(e.nonuniqueBytes);
+    sink.varint(tables_.threadEdges.size());
+    for (const OrderedThreadEdge &oe : tables_.threadEdges) {
+        sink.u32(oe.edge.producer);
+        sink.u32(oe.edge.consumer);
+        sink.u64(oe.edge.uniqueBytes);
+        sink.u64(oe.edge.nonuniqueBytes);
     }
 
-    putBoundsHistogram(sink, unitReuseBreakdown_);
-    putBoundsHistogram(sink, lineReuseBreakdown_);
+    putBoundsHistogram(sink, tables_.unitReuseBreakdown);
+    putBoundsHistogram(sink, tables_.lineReuseBreakdown);
 
-    sink.varint(objectStats_.size());
-    for (const ObjectStats &o : objectStats_) {
+    sink.varint(tables_.objectStats.size());
+    for (const ObjectTraffic &o : tables_.objectStats) {
         sink.u64(o.readBytes);
         sink.u64(o.writeBytes);
         sink.u64(o.uniqueReadBytes);
@@ -894,15 +1065,15 @@ SigilProfiler::saveState(ByteSink &sink)
     sink.varint(currentTid_);
 
     sink.varint(skippedSegments_.size());
-    for (const auto &[seq, pred] : skippedSegments_) {
+    for (const auto &[seq, info] : skippedSegments_) {
         sink.u64(seq);
-        sink.u64(pred);
+        sink.u64(info.pred);
     }
     sink.varint(barrierPreds_.size());
     for (std::uint64_t seq : barrierPreds_)
         sink.u64(seq);
 
-    const shadow::ShadowStats &st = shadow_.stats();
+    const shadow::ShadowStats st = shadowStats();
     sink.u64(st.chunksAllocated);
     sink.u64(st.chunksLive);
     sink.u64(st.chunksPeak);
@@ -911,32 +1082,58 @@ SigilProfiler::saveState(ByteSink &sink)
 
     // Shadow units, least recently used chunk first: restoring in
     // this order reproduces the recency list, hence every future
-    // eviction decision.
-    std::uint64_t unit_count = 0;
-    shadow_.forEachInRecencyOrder(
-        [&](std::uint64_t, shadow::ShadowRef) { ++unit_count; });
-    sink.varint(unit_count);
-    shadow_.forEachInRecencyOrder(
-        [&](std::uint64_t unit, shadow::ShadowRef obj) {
-            sink.varint(unit);
-            sink.u64(obj.hot.lastWriterSeq);
-            sink.u64(obj.hot.lastWriterCall);
-            sink.u64(obj.hot.lastReaderCall);
-            sink.u32(static_cast<std::uint32_t>(obj.hot.lastWriterCtx));
-            sink.u32(static_cast<std::uint32_t>(obj.hot.lastReaderCtx));
-            sink.u32(obj.hot.lastWriterThread);
-            sink.u64(obj.cold.runFirstRead);
-            sink.u64(obj.cold.runLastRead);
-            sink.u64(obj.cold.totalAccesses);
-            sink.u32(obj.cold.runReads);
+    // eviction decision. Sharded runs walk the planner's recency list
+    // (which *is* the serial recency order) and pull each chunk's
+    // units from its owning shard.
+    const auto putUnit = [&](std::uint64_t unit, shadow::ShadowRef obj) {
+        sink.varint(unit);
+        sink.u64(obj.hot.lastWriterSeq);
+        sink.u64(obj.hot.lastWriterCall);
+        sink.u64(obj.hot.lastReaderCall);
+        sink.u32(static_cast<std::uint32_t>(obj.hot.lastWriterCtx));
+        sink.u32(static_cast<std::uint32_t>(obj.hot.lastReaderCtx));
+        sink.u32(obj.hot.lastWriterThread);
+        sink.u64(obj.cold.runFirstRead);
+        sink.u64(obj.cold.runLastRead);
+        sink.u64(obj.cold.totalAccesses);
+        sink.u32(obj.cold.runReads);
+    };
+    if (engine_) {
+        std::uint64_t unit_count = 0;
+        engine_->planner().forEachChunk([&](std::uint64_t index) {
+            engine_->shadowOf(engine_->shardOf(index))
+                .forEachInChunk(index,
+                                [&](std::uint64_t, shadow::ShadowRef) {
+                                    ++unit_count;
+                                });
         });
+        sink.varint(unit_count);
+        engine_->planner().forEachChunk([&](std::uint64_t index) {
+            engine_->shadowOf(engine_->shardOf(index))
+                .forEachInChunk(index, putUnit);
+        });
+    } else {
+        std::uint64_t unit_count = 0;
+        shadow_.forEachInRecencyOrder(
+            [&](std::uint64_t, shadow::ShadowRef) { ++unit_count; });
+        sink.varint(unit_count);
+        shadow_.forEachInRecencyOrder(putUnit);
+    }
 }
 
 bool
 SigilProfiler::restoreState(ByteSource &src)
 {
-    if (src.u8() != 1)
+    std::uint8_t version = src.u8();
+    if (version != 1 && version != 2)
         return false;
+    if (version == 2) {
+        // Shard count of the saving run; the body is engine-neutral,
+        // so the value is informational only.
+        (void)src.varint();
+        if (!src.ok())
+            return false;
+    }
 
     if (src.u8() != config_.granularityShift ||
         src.u64() != config_.maxShadowChunks ||
@@ -951,12 +1148,18 @@ SigilProfiler::restoreState(ByteSource &src)
     degradationLevel_ = src.u8();
     reuseEnabled_ = src.u8() != 0;
     classifyEnabled_ = src.u8() != 0;
+    if (engine_ && degradationLevel_ != 0) {
+        // The sharded engine runs at fixed fidelity; a degraded
+        // snapshot can only resume serially.
+        return false;
+    }
 
     std::uint64_t num_rows = src.varint();
     if (!src.ok() || num_rows > (std::uint64_t{1} << 32))
         return false;
-    rows_.assign(static_cast<std::size_t>(num_rows), CommAggregates());
-    for (CommAggregates &a : rows_) {
+    tables_.rows.assign(static_cast<std::size_t>(num_rows),
+                        CommAggregates());
+    for (CommAggregates &a : tables_.rows) {
         if (!getAggregates(src, a))
             return false;
     }
@@ -964,46 +1167,47 @@ SigilProfiler::restoreState(ByteSource &src)
     std::uint64_t num_edges = src.varint();
     if (!src.ok() || num_edges > (std::uint64_t{1} << 32))
         return false;
-    edges_.clear();
-    edgeIndex_.clear();
+    tables_.edges.clear();
+    tables_.edgeIndex.clear();
     for (std::uint64_t i = 0; i < num_edges; ++i) {
         CommEdge e;
         e.producer = static_cast<vg::ContextId>(src.u32());
         e.consumer = static_cast<vg::ContextId>(src.u32());
         e.uniqueBytes = src.u64();
         e.nonuniqueBytes = src.u64();
-        edgeIndex_.emplace(edgeKey(e.producer, e.consumer),
-                           edges_.size());
-        edges_.push_back(e);
+        tables_.edgeIndex.emplace(
+            CommTables::edgeKey(e.producer, e.consumer),
+            tables_.edges.size());
+        tables_.edges.push_back(OrderedCommEdge{e, 0});
     }
     std::uint64_t num_tedges = src.varint();
     if (!src.ok() || num_tedges > (std::uint64_t{1} << 32))
         return false;
-    threadEdges_.clear();
-    threadEdgeIndex_.clear();
+    tables_.threadEdges.clear();
+    tables_.threadEdgeIndex.clear();
     for (std::uint64_t i = 0; i < num_tedges; ++i) {
         ThreadCommEdge e;
         e.producer = src.u32();
         e.consumer = src.u32();
         e.uniqueBytes = src.u64();
         e.nonuniqueBytes = src.u64();
-        threadEdgeIndex_.emplace(
-            (static_cast<std::uint64_t>(e.producer) << 32) | e.consumer,
-            threadEdges_.size());
-        threadEdges_.push_back(e);
+        tables_.threadEdgeIndex.emplace(
+            CommTables::threadEdgeKey(e.producer, e.consumer),
+            tables_.threadEdges.size());
+        tables_.threadEdges.push_back(OrderedThreadEdge{e, 0});
     }
 
-    if (!getBoundsHistogram(src, unitReuseBreakdown_) ||
-        !getBoundsHistogram(src, lineReuseBreakdown_)) {
+    if (!getBoundsHistogram(src, tables_.unitReuseBreakdown) ||
+        !getBoundsHistogram(src, tables_.lineReuseBreakdown)) {
         return false;
     }
 
     std::uint64_t num_objs = src.varint();
     if (!src.ok() || num_objs > (std::uint64_t{1} << 32))
         return false;
-    objectStats_.assign(static_cast<std::size_t>(num_objs),
-                        ObjectStats{});
-    for (ObjectStats &o : objectStats_) {
+    tables_.objectStats.assign(static_cast<std::size_t>(num_objs),
+                               ObjectTraffic{});
+    for (ObjectTraffic &o : tables_.objectStats) {
         o.readBytes = src.u64();
         o.writeBytes = src.u64();
         o.uniqueReadBytes = src.u64();
@@ -1060,10 +1264,11 @@ SigilProfiler::restoreState(ByteSource &src)
     if (!src.ok() || num_skipped > (std::uint64_t{1} << 32))
         return false;
     skippedSegments_.clear();
+    skipStamp_ = 0;
     for (std::uint64_t i = 0; i < num_skipped; ++i) {
         std::uint64_t seq = src.u64();
         std::uint64_t pred = src.u64();
-        skippedSegments_.emplace(seq, pred);
+        skippedSegments_.emplace(seq, SkipInfo{pred, skipStamp_++});
     }
     std::uint64_t num_bpreds = src.varint();
     if (!src.ok() || num_bpreds > (std::uint64_t{1} << 20))
@@ -1086,7 +1291,8 @@ SigilProfiler::restoreState(ByteSource &src)
         std::uint64_t unit = src.varint();
         if (!src.ok())
             return false;
-        shadow::ShadowRef obj = shadow_.restoreLookup(unit);
+        shadow::ShadowRef obj = engine_ ? engine_->restoreUnit(unit)
+                                        : shadow_.restoreLookup(unit);
         obj.hot.lastWriterSeq = src.u64();
         obj.hot.lastWriterCall = src.u64();
         obj.hot.lastReaderCall = src.u64();
@@ -1098,7 +1304,13 @@ SigilProfiler::restoreState(ByteSource &src)
         obj.cold.totalAccesses = src.u64();
         obj.cold.runReads = src.u32();
     }
-    shadow_.restoreStats(st);
+    if (engine_)
+        engine_->planner().restoreStats(st);
+    else
+        shadow_.restoreStats(st);
+    pendingSegs_.clear();
+    discardedSeqs_.clear();
+    needsFold_ = false;
     return src.ok();
 }
 

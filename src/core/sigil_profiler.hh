@@ -11,17 +11,25 @@
  * timestamps — whose lifetimes feed per-function histograms. With event
  * collection enabled the tool also emits the event-file representation
  * (computation segments + data-transfer edges).
+ *
+ * Two execution engines share the classification kernels
+ * (core/comm_tables.hh): the serial path below, and an address-sharded
+ * parallel path (core/shard_engine.hh) enabled by
+ * vg::GuestConfig::shardCount > 1, whose merged output is bit-identical
+ * to the serial path.
  */
 
 #ifndef SIGIL_CORE_SIGIL_PROFILER_HH
 #define SIGIL_CORE_SIGIL_PROFILER_HH
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "support/serial.hh"
 #include "core/comm_stats.hh"
+#include "core/comm_tables.hh"
 #include "core/event_trace.hh"
 #include "core/profile.hh"
 #include "shadow/shadow_memory.hh"
@@ -29,6 +37,8 @@
 #include "vg/tool.hh"
 
 namespace sigil::core {
+
+class ShardEngine;
 
 /** Configuration of a profiling run. */
 struct SigilConfig
@@ -75,6 +85,7 @@ class SigilProfiler : public vg::Tool
 {
   public:
     explicit SigilProfiler(const SigilConfig &config = SigilConfig{});
+    ~SigilProfiler() override;
 
     void attach(const vg::Guest &guest) override;
     void fnEnter(vg::ContextId ctx, vg::CallNum call) override;
@@ -86,6 +97,13 @@ class SigilProfiler : public vg::Tool
     void barrier() override;
     void roi(bool active) override;
     void finish() override;
+
+    /**
+     * Sharded mode: drain the shard queues and fold every shard's
+     * partial tables into the authoritative ones (Guest::sync() calls
+     * this). No-op in serial mode.
+     */
+    void sync() override;
 
     /**
      * Native batch consumer: reads the buffer's lanes directly instead
@@ -120,6 +138,11 @@ class SigilProfiler : public vg::Tool
      * decisions). restoreState() rebuilds it into a freshly
      * constructed profiler with an *identical* SigilConfig; a config
      * mismatch or corrupt input returns false.
+     *
+     * Sharded runs fold before saving, so the snapshot body is
+     * engine-independent: a checkpoint written by a sharded run (v2)
+     * restores into a serial profiler and vice versa, for any shard
+     * count.
      */
     /// @{
     void saveState(ByteSink &sink);
@@ -131,25 +154,54 @@ class SigilProfiler : public vg::Tool
      * ShadowMemory's pressure handler): 0 = full fidelity, 1 = re-use
      * tracking dropped (pending runs are finalized first, so existing
      * statistics keep their mass), 2 = read classification dropped
-     * (raw byte counts continue). The level only rises.
+     * (raw byte counts continue). The level only rises. Serial engine
+     * only — sharded runs do not consult failure injectors.
      */
     int degradationLevel() const { return degradationLevel_; }
 
-    /** The event trace (empty unless collectEvents). */
-    const EventTrace &events() const { return events_; }
+    /**
+     * The event trace (empty unless collectEvents). Sharded mode folds
+     * pending shard work first, like aggregates().
+     */
+    const EventTrace &events() const;
 
     const shadow::ShadowMemory &shadowMemory() const { return shadow_; }
 
     /**
      * Mutable shadow access for fault-injection harnesses (install an
-     * allocation-failure injector before driving the guest).
+     * allocation-failure injector before driving the guest). Serial
+     * engine only: sharded runs never consult this shadow.
      */
     shadow::ShadowMemory &shadowMemory() { return shadow_; }
+
+    /** True when the address-sharded parallel engine is active. */
+    bool sharded() const { return engine_ != nullptr; }
+
+    /**
+     * Aggregate shadow allocation statistics: the serial shadow's, or
+     * the shard planner's (exact global peak-of-sum) when sharded.
+     */
+    shadow::ShadowStats shadowStats() const;
+
+    /** Peak host bytes of shadow state across all shards. */
+    std::uint64_t shadowPeakBytes() const;
+
+    /**
+     * Test hook: permutation in which foldShards() visits shards. The
+     * merge is order-independent by construction; the differential
+     * tests assert it stays that way. Ignored unless it is a
+     * permutation of [0, shardCount).
+     */
+    void setFoldOrderForTesting(std::vector<unsigned> order);
 
     const SigilConfig &config() const { return config_; }
 
   private:
-    CommAggregates &row(vg::ContextId ctx);
+    CommAggregates &
+    row(vg::ContextId ctx)
+    {
+        return tables_.row(ctx);
+    }
 
     /** @name Event bodies with explicit ambient state
      *
@@ -170,29 +222,7 @@ class SigilProfiler : public vg::Tool
     void barrierAt(vg::ContextId ctx, vg::CallNum call);
     /// @}
 
-    /**
-     * Close the pending re-use run of a shadow object, folding its
-     * lifetime into the last reader's statistics and its read count
-     * into the program-wide breakdown.
-     */
-    void finalizeRun(shadow::ShadowHot &hot, shadow::ShadowCold &cold);
-
     struct SegState;
-
-    /**
-     * Classify one read of w bytes against a unit's shadow state and
-     * update that state. Shared by the span hot path and the per-unit
-     * reference path so both produce identical profiles.
-     */
-    void readUnit(shadow::ShadowHot &hot, shadow::ShadowCold &cold,
-                  std::uint64_t w, vg::ContextId ctx, vg::CallNum call,
-                  vg::Tick now, SegState &state,
-                  std::uint64_t &unique_bytes_this_access);
-
-    /** Record one write into a unit's shadow state. */
-    void writeUnit(shadow::ShadowHot &hot, shadow::ShadowCold &cold,
-                   vg::ContextId ctx, vg::CallNum call,
-                   std::uint64_t seq);
 
     /** Flush a thread's open compute segment and start a new one. */
     void startSegment(SegState &state, vg::ContextId ctx,
@@ -204,8 +234,33 @@ class SigilProfiler : public vg::Tool
     /** Resolve a predecessor through any skipped (empty) segments. */
     std::uint64_t resolvePred(std::uint64_t seq) const;
 
+    /**
+     * resolvePred() as of an earlier moment: only skip entries with an
+     * insertion stamp below the bound are followed. The sharded fold
+     * resolves X-record sources with the stamp captured when the
+     * consuming segment was flushed, reproducing the serial flush-time
+     * resolution even when further segments were skipped since.
+     */
+    std::uint64_t resolvePredAt(std::uint64_t seq,
+                                std::uint64_t stamp_bound) const;
+
     /** Shed fidelity one rung at a time (see degradationLevel()). */
     void degrade(int failed_attempts);
+
+    /**
+     * Sharded mode: drain the workers and fold their partial tables —
+     * rows, breakdowns, object stats, edges in global first-occurrence
+     * order, and per-segment transfer maps spliced into the event
+     * trace — into the authoritative state. Idempotent.
+     */
+    void foldShards();
+
+    /**
+     * Sharded checkpoint save: pull each open segment's shard-side
+     * transfer map into its sequencer SegState so the serialized body
+     * matches what a serial run would hold.
+     */
+    void mergeOpenSegXfers();
 
     SigilConfig config_;
     shadow::ShadowMemory shadow_;
@@ -222,31 +277,8 @@ class SigilProfiler : public vg::Tool
     bool classifyEnabled_ = true;
     /// @}
 
-    std::vector<CommAggregates> rows_;
-
-    /** (producer<<32|consumer) → edge index, no self edges. */
-    std::unordered_map<std::uint64_t, std::size_t> edgeIndex_;
-    std::vector<CommEdge> edges_;
-
-    BoundsHistogram unitReuseBreakdown_{std::vector<std::uint64_t>{0, 9}};
-    BoundsHistogram lineReuseBreakdown_{
-        std::vector<std::uint64_t>{9, 99, 999, 9999}};
-
-    /** (producerTid<<32|consumerTid) → thread-edge index. */
-    std::unordered_map<std::uint64_t, std::size_t> threadEdgeIndex_;
-    std::vector<ThreadCommEdge> threadEdges_;
-
-    /** Per-allocation traffic; slot 0 is the "other" bucket. */
-    struct ObjectStats
-    {
-        std::uint64_t readBytes = 0;
-        std::uint64_t writeBytes = 0;
-        std::uint64_t uniqueReadBytes = 0;
-    };
-    std::vector<ObjectStats> objectStats_;
-
-    /** Grow-and-fetch the stats slot of allocation index (-1 = other). */
-    ObjectStats &objectSlot(int alloc_index);
+    /** Aggregate rows, edges, breakdowns, object stats. */
+    CommTables tables_;
 
     /** @name Open event-trace segments (one per guest thread) */
     /// @{
@@ -271,11 +303,53 @@ class SigilProfiler : public vg::Tool
     std::vector<SegState> segStates_{1};
     vg::ThreadId currentTid_ = 0;
 
-    /** Skipped empty segments: seq → its own predecessor. */
-    std::unordered_map<std::uint64_t, std::uint64_t> skippedSegments_;
+    /** A skipped empty segment: its predecessor + insertion stamp. */
+    struct SkipInfo
+    {
+        std::uint64_t pred;
+        /** Position in the skip sequence (see resolvePredAt). */
+        std::uint64_t stamp;
+    };
+
+    /** Skipped empty segments: seq → forwarding info. */
+    std::unordered_map<std::uint64_t, SkipInfo> skippedSegments_;
+    std::uint64_t skipStamp_ = 0;
 
     /** Every thread's last segment at the most recent barrier. */
     std::vector<std::uint64_t> barrierPreds_;
+    /// @}
+
+    /** @name Sharded engine state (null ⇒ fully serial) */
+    /// @{
+    std::unique_ptr<ShardEngine> engine_;
+
+    /** Routed or flushed work not yet folded into tables_/events_. */
+    bool needsFold_ = false;
+
+    /**
+     * Emitted C records whose X records wait for the fold: the
+     * transfer bytes live shard-side until the queues drain.
+     */
+    struct PendingSeg
+    {
+        /** Index of the segment's C record in events_.records. */
+        std::size_t recordPos;
+        std::uint64_t seq;
+        /** skipStamp_ at flush time (see resolvePredAt). */
+        std::uint64_t skipStamp;
+        /** Sequencer-side xfers (barrier edges, restored entries). */
+        std::unordered_map<std::uint64_t, std::uint64_t> xfers;
+    };
+    std::vector<PendingSeg> pendingSegs_;
+
+    /**
+     * Segments flushed without emission (ROI off): their shard-side
+     * transfer maps are discarded at the fold, as the serial path
+     * discards state.xfers.
+     */
+    std::vector<std::uint64_t> discardedSeqs_;
+
+    std::vector<unsigned> foldOrder_;
     /// @}
 
     static const CommAggregates kZero;

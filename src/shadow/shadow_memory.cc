@@ -188,28 +188,64 @@ ShadowMemory::evictOldest()
 {
     if (lruHead_ == nullptr)
         panic("ShadowMemory::evictOldest with no chunks");
-    Chunk *oldest = lruHead_;
+    evictChunkPtr(lruHead_);
+}
+
+void
+ShadowMemory::evictChunk(std::uint64_t index)
+{
+    auto it = directory_.find(index);
+    if (it == directory_.end())
+        panic("ShadowMemory::evictChunk: chunk %llu not resident",
+              static_cast<unsigned long long>(index));
+    evictChunkPtr(&it->second);
+}
+
+void
+ShadowMemory::evictChunkPtr(Chunk *victim)
+{
     if (evictionHandler_) {
         for (std::size_t w = 0; w < kTouchedWords; ++w) {
-            std::uint64_t bits = oldest->touched[w];
+            std::uint64_t bits = victim->touched[w];
             while (bits != 0) {
                 std::size_t i =
                     (w << 6) +
                     static_cast<std::size_t>(std::countr_zero(bits));
                 bits &= bits - 1;
                 evictionHandler_(
-                    oldest->base + i,
-                    ShadowRef{oldest->hot[i], oldest->cold[i]});
+                    victim->base + i,
+                    ShadowRef{victim->hot[i], victim->cold[i]});
             }
         }
     }
     // The lookup cache may point into the evicted chunk.
     lastChunk_ = nullptr;
     lastChunkIndex_ = ~0ull;
-    lruUnlink(oldest);
-    directory_.erase(oldest->index);
+    lruUnlink(victim);
+    directory_.erase(victim->index);
     ++stats_.evictions;
     stats_.chunksLive = directory_.size();
+}
+
+void
+ShadowMemory::forEachInChunk(std::uint64_t index,
+                             const EvictionHandler &visitor)
+{
+    auto it = directory_.find(index);
+    if (it == directory_.end())
+        return;
+    Chunk &chunk = it->second;
+    for (std::size_t w = 0; w < kTouchedWords; ++w) {
+        std::uint64_t bits = chunk.touched[w];
+        while (bits != 0) {
+            std::size_t i =
+                (w << 6) +
+                static_cast<std::size_t>(std::countr_zero(bits));
+            bits &= bits - 1;
+            visitor(chunk.base + i,
+                    ShadowRef{chunk.hot[i], chunk.cold[i]});
+        }
+    }
 }
 
 } // namespace sigil::shadow

@@ -255,6 +255,23 @@ class ShadowMemory
      */
     void forEachInRecencyOrder(const EvictionHandler &visitor);
 
+    /**
+     * Visit the touched units of one resident chunk (ascending unit
+     * order), or do nothing if the chunk is absent. Sharded mode saves
+     * checkpoints by walking the planner's global recency list and
+     * visiting each chunk in its owning shard with this.
+     */
+    void forEachInChunk(std::uint64_t index,
+                        const EvictionHandler &visitor);
+
+    /**
+     * Evict one specific resident chunk (sharded mode: the sequencer's
+     * recency planner decides victims globally and commands the owning
+     * shard). Runs the eviction handler over the chunk's touched units
+     * exactly like the LRU path. Panics if the chunk is absent.
+     */
+    void evictChunk(std::uint64_t index);
+
     const ShadowStats &stats() const { return stats_; }
 
     /**
@@ -330,6 +347,7 @@ class ShadowMemory
 
     Chunk &chunkFor(std::uint64_t unit);
     void evictOldest();
+    void evictChunkPtr(Chunk *chunk);
 
     void lruUnlink(Chunk *chunk);
     void lruAppend(Chunk *chunk);

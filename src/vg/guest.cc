@@ -105,9 +105,15 @@ class AsyncToolPipeline
 };
 
 Guest::Guest(std::string program_name, const GuestConfig &config)
-    : programName_(std::move(program_name)),
+    : programName_(std::move(program_name)), config_(config),
       contexts_(functions_, config.maxContextDepth)
 {
+    if (config.shardCount == 0 || config.shardCount > 64 ||
+        (config.shardCount & (config.shardCount - 1)) != 0) {
+        fatal("GuestConfig::shardCount must be a power of two in "
+              "[1, 64] (got %u)",
+              config.shardCount);
+    }
     inputFn_ = functions_.intern("*input*");
     threads_.push_back(ThreadCtx{{}, kStackBase});
     batching_ = config.batchEvents || config.asyncTools;
@@ -184,11 +190,15 @@ Guest::dispatchBatch(const EventBuffer &batch)
 void
 Guest::sync()
 {
-    if (!batching_)
-        return;
-    flushFill();
-    if (pipeline_)
-        pipeline_->waitIdle();
+    if (batching_) {
+        flushFill();
+        if (pipeline_)
+            pipeline_->waitIdle();
+    }
+    // Tools may run their own internal concurrency (shard workers)
+    // regardless of the transport mode; give each a chance to drain.
+    for (Tool *t : tools_)
+        t->sync();
 }
 
 void

@@ -87,6 +87,23 @@ struct GuestConfig
 
     /** Capacity of each event buffer, in records. */
     std::size_t eventBufferEvents = 4096;
+
+    /**
+     * Address-sharded parallel analysis: number of shard workers a
+     * sharding-aware tool (core::SigilProfiler) may spin up, each
+     * owning a disjoint slice of the shadowed address space. 1 (the
+     * default) keeps the fully serial analysis path; must be a power
+     * of two, at most 64. Purely advisory to the tools — the guest
+     * itself only validates and carries the value.
+     */
+    unsigned shardCount = 1;
+
+    /**
+     * Capacity, in records, of each shard's bounded SPSC work queue
+     * (rounded up to a power of two by the queue). Small capacities
+     * exercise backpressure; the default absorbs routing bursts.
+     */
+    std::size_t shardQueueCapacity = std::size_t{1} << 15;
 };
 
 class AsyncToolPipeline;
@@ -110,6 +127,9 @@ class Guest
     void addTool(Tool *tool);
 
     const std::string &programName() const { return programName_; }
+
+    /** The configuration this guest was constructed with. */
+    const GuestConfig &config() const { return config_; }
 
     FunctionRegistry &functions() { return functions_; }
     const FunctionRegistry &functions() const { return functions_; }
@@ -303,10 +323,11 @@ class Guest
 
     /**
      * Flush buffered events to the tools and, in async mode, wait for
-     * the consumer thread to drain them. After sync() every tool has
-     * observed every event emitted so far; required before querying
-     * tool state mid-run in batched/async mode. No-op in per-event
-     * mode. finish() syncs implicitly.
+     * the consumer thread to drain them; then sync() every tool so
+     * internal tool concurrency (shard workers) drains too. After
+     * sync() every tool has observed every event emitted so far;
+     * required before querying tool state mid-run in batched/async or
+     * sharded mode. finish() syncs implicitly.
      */
     void sync();
 
@@ -392,6 +413,7 @@ class Guest
     /// @}
 
     std::string programName_;
+    GuestConfig config_;
     FunctionRegistry functions_;
     ContextTree contexts_;
     std::vector<Tool *> tools_;

@@ -1,0 +1,87 @@
+#include "shard_queue.hh"
+
+#include <chrono>
+#include <thread>
+
+namespace sigil::vg {
+
+namespace {
+
+/**
+ * Progressive backoff for a full/empty ring: spin briefly (the common
+ * case resolves within a few consumer batches), then sleep in small
+ * steps so a stalled peer costs microseconds of latency, not a core.
+ */
+void
+backoff(int &spins)
+{
+    if (spins < 64) {
+        ++spins;
+        std::this_thread::yield();
+        return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+}
+
+} // namespace
+
+ShardQueue::ShardQueue(std::size_t capacity)
+{
+    std::size_t cap = 8;
+    while (cap < capacity)
+        cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+}
+
+void
+ShardQueue::push(const ShardRecord &record)
+{
+    std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    if (t - cachedHead_ > mask_) {
+        cachedHead_ = head_.load(std::memory_order_acquire);
+        int spins = 0;
+        while (t - cachedHead_ > mask_) {
+            backoff(spins);
+            cachedHead_ = head_.load(std::memory_order_acquire);
+        }
+    }
+    slots_[t & mask_] = record;
+    tail_.store(t + 1, std::memory_order_release);
+}
+
+std::size_t
+ShardQueue::pop(ShardRecord *out, std::size_t max)
+{
+    std::uint64_t h = head_.load(std::memory_order_relaxed);
+    int spins = 0;
+    for (;;) {
+        std::uint64_t avail =
+            tail_.load(std::memory_order_acquire) - h;
+        if (avail != 0) {
+            std::size_t n = static_cast<std::size_t>(
+                avail < max ? avail : max);
+            for (std::size_t i = 0; i < n; ++i)
+                out[i] = slots_[(h + i) & mask_];
+            head_.store(h + n, std::memory_order_release);
+            return n;
+        }
+        if (stopped_.load(std::memory_order_acquire)) {
+            // stop() happens-after the producer's final push, so one
+            // re-read of tail_ after observing the flag cannot miss a
+            // record.
+            if (tail_.load(std::memory_order_acquire) != h)
+                continue;
+            return 0;
+        }
+        backoff(spins);
+    }
+}
+
+void
+ShardQueue::stop()
+{
+    stopped_.store(true, std::memory_order_release);
+}
+
+} // namespace sigil::vg

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Bounded single-producer / single-consumer shard work queue.
+ *
+ * The address-sharded analysis engine (core::ShardEngine) routes every
+ * memory access, split at shadow-chunk boundaries, to the worker that
+ * owns the covering chunk. Each worker is fed through one of these
+ * queues: a power-of-two ring of ShardRecord slots with a wait-free
+ * fast path (one release store per side) and bounded memory — when the
+ * ring is full the producer backs off (yield, then short sleeps)
+ * instead of growing, so a slow shard exerts backpressure on the
+ * sequencer rather than ballooning the heap.
+ *
+ * The queue is deliberately lock-free on both sides: producer and
+ * consumer each own one cursor and only read the other's with acquire
+ * ordering, which keeps the hand-off TSan-clean without a mutex.
+ */
+
+#ifndef SIGIL_VG_SHARD_QUEUE_HH
+#define SIGIL_VG_SHARD_QUEUE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "vg/types.hh"
+
+namespace sigil::vg {
+
+/**
+ * One unit of shard work: a memory-access piece clamped to a single
+ * shadow chunk, or an eviction command for a specific chunk. The
+ * sequencer stamps each record with the ambient calling context and a
+ * global epoch so the worker classifies the access exactly as the
+ * serial engine would at that point of the event stream.
+ */
+struct ShardRecord
+{
+    enum Kind : std::uint8_t { kRead = 0, kWrite = 1, kEvict = 2 };
+
+    /** Guest address of the piece (kEvict: the chunk index). */
+    Addr addr = 0;
+    /** Virtual time of the access. */
+    Tick tick = 0;
+    /** Open event-trace segment receiving the access (0 = none). */
+    std::uint64_t segSeq = 0;
+    /** Position of this piece in the global access stream. */
+    std::uint64_t epoch = 0;
+    CallNum call = 0;
+    ContextId ctx = kInvalidContext;
+    ThreadId tid = 0;
+    /** Byte size of the piece (already clamped to its chunk). */
+    std::uint32_t size = 0;
+    /** Allocation receiving unique-read attribution (-1 = none). */
+    std::int32_t allocIdx = -1;
+    Kind kind = kRead;
+    /** ROI collection flag at the time of the access. */
+    bool collecting = true;
+};
+
+/** Bounded SPSC ring of ShardRecords with blocking backpressure. */
+class ShardQueue
+{
+  public:
+    /** Capacity is rounded up to a power of two (minimum 8). */
+    explicit ShardQueue(std::size_t capacity);
+
+    ShardQueue(const ShardQueue &) = delete;
+    ShardQueue &operator=(const ShardQueue &) = delete;
+
+    std::size_t capacity() const { return mask_ + 1; }
+
+    /**
+     * Enqueue one record (producer side). Blocks — yield then
+     * micro-sleep — while the ring is full.
+     */
+    void push(const ShardRecord &record);
+
+    /**
+     * Dequeue up to max records into out (consumer side). Blocks while
+     * the ring is empty; returns 0 only after stop() when every pushed
+     * record has been consumed.
+     */
+    std::size_t pop(ShardRecord *out, std::size_t max);
+
+    /** Producer is done; wakes the consumer to drain and exit. */
+    void stop();
+
+  private:
+    std::vector<ShardRecord> slots_;
+    std::size_t mask_;
+
+    /** Producer cursor (next slot to write). */
+    alignas(64) std::atomic<std::uint64_t> tail_{0};
+    /** Producer-local snapshot of head_, refreshed only when full. */
+    std::uint64_t cachedHead_ = 0;
+
+    /** Consumer cursor (next slot to read). */
+    alignas(64) std::atomic<std::uint64_t> head_{0};
+
+    std::atomic<bool> stopped_{false};
+};
+
+} // namespace sigil::vg
+
+#endif // SIGIL_VG_SHARD_QUEUE_HH

@@ -93,6 +93,14 @@ class Tool
      */
     virtual void roi(bool active) { (void)active; }
 
+    /**
+     * Drain any asynchronous analysis state the tool owns (e.g. shard
+     * worker queues) so that queries observe every event delivered so
+     * far. Called by Guest::sync() and Guest::finish(); tools without
+     * internal concurrency ignore it.
+     */
+    virtual void sync() {}
+
     /** The guest program finished; flush any pending state. */
     virtual void finish() {}
 
