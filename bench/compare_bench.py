@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Compare a fresh google-benchmark JSON against a committed baseline.
+
+Guards the perf trajectory of the hot paths the PR series optimizes:
+the stamp-word span fill (BM_ShadowSpanStride), end-to-end trace
+replay throughput (BM_TraceReplayThroughput), and the shadow-memory
+footprint (the shadow_peak_bytes counter). A regression of more than
+the threshold (default 10%) on any watched metric fails the run.
+
+Usage:
+  bench/compare_bench.py [--check-only] [--threshold 0.10]
+                         BASELINE.json FRESH.json
+
+--check-only reports deltas but exits 0 on regressions; it still
+exits 1 on malformed input or when a watched metric is missing from
+the baseline (baseline rot), so the tier-1 smoke target catches
+tooling breakage without failing on machine-to-machine noise.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+# (name regex, metric key, direction) — direction +1 means higher is
+# better (rates), -1 means lower is better (bytes, times).
+WATCHED = [
+    (r"^BM_ShadowSpanStride/", "bytes_per_second", +1),
+    (r"^BM_ShadowPerUnitStride/", "bytes_per_second", +1),
+    (r"^BM_TraceReplayThroughput$", "items_per_second", +1),
+    (r"^BM_TraceReplayThroughput$", "shadow_peak_bytes", -1),
+    (r"^BM_ShardedReplay/", "items_per_second", +1),
+]
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"error: cannot load {path}: {e}")
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = b
+    if not out:
+        sys.exit(f"error: {path} contains no benchmark entries")
+    return out
+
+
+def watched_metrics(bench_map):
+    """Yield (name, metric, direction, value) for every watched match."""
+    for name, entry in sorted(bench_map.items()):
+        for pattern, metric, direction in WATCHED:
+            if re.search(pattern, name) and metric in entry:
+                yield name, metric, direction, float(entry[metric])
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--check-only", action="store_true",
+                    help="report deltas but do not fail on regressions")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="relative regression that fails (default 0.10)")
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+
+    base_watched = {(n, m): (d, v)
+                    for n, m, d, v in watched_metrics(base)}
+    if not base_watched:
+        sys.exit(f"error: no watched metrics found in {args.baseline}; "
+                 "baseline is stale — re-record with bench/run_benches.sh")
+
+    regressions = []
+    compared = 0
+    for (name, metric), (direction, bval) in sorted(base_watched.items()):
+        entry = fresh.get(name)
+        if entry is None or metric not in entry:
+            print(f"missing  {name} [{metric}] — not in fresh run")
+            continue
+        fval = float(entry[metric])
+        compared += 1
+        change = (fval - bval) / bval if bval else 0.0
+        # Positive delta always means "worse", whichever way is better.
+        delta = -change * direction
+        flag = "REGRESSED" if delta > args.threshold else "ok"
+        print(f"{flag:9s} {name} [{metric}]: "
+              f"{bval:.4g} -> {fval:.4g} ({change * 100:+.1f}%"
+              f"{', worse' if delta > 0 else ''})")
+        if delta > args.threshold:
+            regressions.append((name, metric, delta))
+
+    if compared == 0:
+        sys.exit("error: no watched metric present in both files")
+
+    print(f"\n{compared} metrics compared, {len(regressions)} regressed "
+          f"beyond {args.threshold:.0%}")
+    if regressions and not args.check_only:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -88,12 +88,14 @@ BM_ShadowPerUnitStride(benchmark::State &state)
     shadow::ShadowMemory sm(cfg);
     unsigned size = static_cast<unsigned>(state.range(0));
     const std::uint64_t window = strideWindow(cfg.maxChunks);
+    const shadow::StampId ws =
+        sm.internWriter(shadow::WriterStamp{0, 1, 0});
     vg::Addr addr = 0;
     for (auto _ : state) {
         std::uint64_t first = sm.unitOf(addr);
         std::uint64_t last = sm.lastUnitOf(addr, size);
         for (std::uint64_t u = first; u <= last; ++u)
-            sm.lookup(u).hot.lastWriterCtx = 1;
+            sm.lookup(u).hot.writer = ws;
         addr = (addr + size) & (window - 1);
     }
     benchmark::DoNotOptimize(sm.stats().chunksAllocated);
@@ -112,13 +114,15 @@ BM_ShadowSpanStride(benchmark::State &state)
     shadow::ShadowMemory sm(cfg);
     unsigned size = static_cast<unsigned>(state.range(0));
     const std::uint64_t window = strideWindow(cfg.maxChunks);
+    const shadow::StampId ws =
+        sm.internWriter(shadow::WriterStamp{0, 1, 0});
     vg::Addr addr = 0;
     for (auto _ : state) {
         std::uint64_t first = sm.unitOf(addr);
         std::uint64_t last = sm.lastUnitOf(addr, size);
-        sm.span(first, last, [](shadow::ShadowMemory::Run run) {
-            for (std::size_t i = 0; i < run.count; ++i)
-                run.hot[i].lastWriterCtx = 1;
+        sm.span(first, last, false, [&](shadow::ShadowMemory::Run run) {
+            std::fill(run.hot, run.hot + run.count,
+                      shadow::ShadowHot{ws, 0});
         });
         addr = (addr + size) & (window - 1);
     }
@@ -224,13 +228,16 @@ BM_TraceReplayThroughput(benchmark::State &state)
         events = recorder.eventsWritten();
     }
     std::string text = trace.str();
+    std::uint64_t peak = 0;
     for (auto _ : state) {
         std::stringstream in(text);
         vg::Guest g2("bench");
         core::SigilProfiler prof;
         g2.addTool(&prof);
         benchmark::DoNotOptimize(vg::replayTrace(in, g2));
+        peak = prof.shadowPeakBytes();
     }
+    state.counters["shadow_peak_bytes"] = static_cast<double>(peak);
     state.SetItemsProcessed(
         static_cast<std::int64_t>(state.iterations() * events));
 }

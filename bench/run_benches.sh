@@ -2,7 +2,17 @@
 # Run the shadow-path and event-transport microbenchmarks and record the
 # results as BENCH_shadow.json and BENCH_dispatch.json at the repo root.
 # Future PRs compare against these files to keep the perf trajectory
-# honest.
+# honest (see bench/compare_bench.py).
+#
+# Benchmarks are configured and built Release (-O2, NDEBUG): numbers
+# from unoptimized builds are not comparable and must never become
+# baselines. The script refuses a build tree configured Debug. Note
+# the JSON context's "library_build_type" reports how the *installed
+# google-benchmark library* was compiled — on hosts that only ship a
+# debug libbenchmark it stays "debug" even though the harness and
+# tool code under test are Release; the script warns loudly so such
+# runs are flagged, but the harness flags are what decide whether the
+# numbers are meaningful.
 #
 # BENCH_dispatch.json includes the BM_ShardedReplay shard sweep
 # (Arg 0 = the async single-analysis-thread baseline; Args 1/2/4/8 =
@@ -16,7 +26,7 @@
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-build_dir="$repo_root/build"
+build_dir="$repo_root/build-release"
 if [ $# -gt 0 ]; then
     case $1 in
         -*) ;; # benchmark flag, leave it for the binary
@@ -24,24 +34,51 @@ if [ $# -gt 0 ]; then
     esac
 fi
 
-if [ ! -x "$build_dir/bench/micro_shadow" ] ||
-   [ ! -x "$build_dir/bench/micro_dispatch" ]; then
-    cmake -B "$build_dir" -S "$repo_root"
-    cmake --build "$build_dir" --target micro_shadow micro_dispatch -j
+if [ -f "$build_dir/CMakeCache.txt" ]; then
+    # Reusing an existing tree: refuse one configured Debug. An empty
+    # CMAKE_BUILD_TYPE is fine — the top-level CMakeLists defaults it
+    # to RelWithDebInfo (-O2, NDEBUG).
+    if grep -q '^CMAKE_BUILD_TYPE:[^=]*=Debug$' \
+            "$build_dir/CMakeCache.txt"; then
+        echo "error: $build_dir is configured CMAKE_BUILD_TYPE=Debug;" \
+             "benchmark baselines must come from an optimized build." >&2
+        echo "       Use bench/run_benches.sh with no build-dir" \
+             "argument to build Release into $repo_root/build-release." >&2
+        exit 1
+    fi
+    if grep -q 'SIGIL_SANITIZE:[^=]*=..*' "$build_dir/CMakeCache.txt"; then
+        echo "error: $build_dir is a sanitizer build; benchmark" \
+             "baselines must come from a plain Release build." >&2
+        exit 1
+    fi
+else
+    cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 fi
+cmake --build "$build_dir" --target micro_shadow micro_dispatch -j
 
-"$build_dir/bench/micro_shadow" \
-    --benchmark_format=json \
-    --benchmark_out="$repo_root/BENCH_shadow.json" \
-    --benchmark_out_format=json \
-    "$@"
+run_bench() {
+    bin=$1
+    out=$2
+    shift 2
+    tmp="$out.tmp"
+    "$build_dir/bench/$bin" \
+        --benchmark_format=json \
+        --benchmark_out="$tmp" \
+        --benchmark_out_format=json \
+        "$@"
+    if grep -q '"library_build_type": *"debug"' "$tmp"; then
+        echo "==============================================================" >&2
+        echo "WARNING: the installed google-benchmark library is a debug" >&2
+        echo "build (\"library_build_type\": \"debug\" in $out)." >&2
+        echo "The harness and tool code were compiled Release; timing" >&2
+        echo "overhead from the library itself is small but nonzero." >&2
+        echo "Compare these numbers only against baselines recorded on" >&2
+        echo "the same host/library (see bench/compare_bench.py)." >&2
+        echo "==============================================================" >&2
+    fi
+    mv "$tmp" "$out"
+    echo "wrote $out"
+}
 
-echo "wrote $repo_root/BENCH_shadow.json"
-
-"$build_dir/bench/micro_dispatch" \
-    --benchmark_format=json \
-    --benchmark_out="$repo_root/BENCH_dispatch.json" \
-    --benchmark_out_format=json \
-    "$@"
-
-echo "wrote $repo_root/BENCH_dispatch.json"
+run_bench micro_shadow "$repo_root/BENCH_shadow.json" "$@"
+run_bench micro_dispatch "$repo_root/BENCH_dispatch.json" "$@"

@@ -185,69 +185,79 @@ mergeAggregates(CommAggregates &dst, const CommAggregates &src)
 /**
  * Close the pending re-use run of a shadow object, folding its
  * lifetime into the last reader's statistics and its read count into
- * the program-wide breakdown.
+ * the program-wide breakdown. A pending run can only exist on a unit
+ * whose chunk has a cold array, so a null cold is a no-op.
  */
 inline void
 commFinalizeRun(CommTables &t, const bool &reuse_enabled,
-                shadow::ShadowHot &hot, shadow::ShadowCold &cold)
+                const shadow::StampTable &st, shadow::ShadowHot &hot,
+                shadow::ShadowCold *cold)
 {
-    if (!reuse_enabled)
+    if (!reuse_enabled || cold == nullptr)
         return;
-    if (hot.lastReaderCtx == vg::kInvalidContext || cold.runReads == 0)
+    if (hot.reader == 0 || cold->runReads == 0)
         return;
-    std::uint64_t reuse = cold.runReads - 1;
+    const shadow::ReaderStamp &rd = st.reader(hot.reader);
+    if (rd.ctx == vg::kInvalidContext)
+        return;
+    std::uint64_t reuse = cold->runReads - 1;
     t.unitReuseBreakdown.add(reuse);
     if (reuse >= 1) {
-        CommAggregates &r = t.row(hot.lastReaderCtx);
+        CommAggregates &r = t.row(rd.ctx);
         ++r.reusedUnits;
         r.reuseReads += reuse;
-        std::uint64_t lifetime = cold.runLastRead - cold.runFirstRead;
+        std::uint64_t lifetime = cold->runLastRead - cold->runFirstRead;
         r.lifetimeSum += lifetime;
         r.lifetimeHist.add(lifetime);
     }
-    cold.runReads = 0;
+    cold->runReads = 0;
 }
 
-/** Record one write into a unit's shadow state. */
+/**
+ * Record one write into a unit's shadow state. writer_id is the
+ * access's producer identity, interned once per access into the
+ * owning shadow's stamp table.
+ */
 inline void
 commWriteUnit(CommTables &t, const bool &reuse_enabled,
-              shadow::ShadowHot &hot, shadow::ShadowCold &cold,
-              const AccessStamp &a)
+              const shadow::StampTable &st, shadow::ShadowHot &hot,
+              shadow::ShadowCold *cold, shadow::StampId writer_id)
 {
     if (reuse_enabled)
-        commFinalizeRun(t, reuse_enabled, hot, cold);
-    hot.lastWriterCtx = a.ctx;
-    hot.lastWriterCall = a.call;
-    hot.lastWriterSeq = a.segSeq;
-    hot.lastWriterThread = a.tid;
-    hot.lastReaderCtx = vg::kInvalidContext;
-    hot.lastReaderCall = 0;
+        commFinalizeRun(t, reuse_enabled, st, hot, cold);
+    hot.writer = writer_id;
+    hot.reader = 0;
 }
 
 /**
  * Classify one read of w bytes against a unit's shadow state and
- * update that state. seg_xfers (nullable) receives producer-segment →
- * unique-byte transfers; unique_bytes_this_access accumulates for
- * per-object attribution.
+ * update that state. reader_id is the access's consumer identity
+ * (a.call, a.ctx), interned once per access. cold may be null when the
+ * access does not need the cold record (the caller materializes it
+ * exactly when re-use or line mode will touch it). seg_xfers
+ * (nullable) receives producer-segment → unique-byte transfers;
+ * unique_bytes_this_access accumulates for per-object attribution.
  */
 inline void
 commReadUnit(CommTables &t, const ClassifyEnv &env,
-             shadow::ShadowHot &s, shadow::ShadowCold &c,
-             std::uint64_t w, const AccessStamp &a,
+             const shadow::StampTable &st, shadow::ShadowHot &s,
+             shadow::ShadowCold *c, std::uint64_t w,
+             const AccessStamp &a, shadow::StampId reader_id,
              std::unordered_map<std::uint64_t, std::uint64_t> *seg_xfers,
              std::uint64_t &unique_bytes_this_access)
 {
-    vg::ContextId producer =
-        s.everWritten() ? s.lastWriterCtx : kUninitProducer;
-    bool unique = s.lastReaderCtx != a.ctx;
+    const shadow::WriterStamp &wr = st.writer(s.writer);
+    const bool ever_written = wr.ctx != vg::kInvalidContext;
+    vg::ContextId producer = ever_written ? wr.ctx : kUninitProducer;
+    bool unique = st.reader(s.reader).ctx != a.ctx;
     bool local = producer == a.ctx;
 
     if (!a.collecting) {
         // Outside the ROI: maintain shadow state only. Clear any
         // pending run so pre-ROI reads never leak into ROI stats.
-        c.runReads = 0;
-        s.lastReaderCtx = a.ctx;
-        s.lastReaderCall = a.call;
+        if (c != nullptr)
+            c->runReads = 0;
+        s.reader = reader_id;
         return;
     }
 
@@ -255,8 +265,7 @@ commReadUnit(CommTables &t, const ClassifyEnv &env,
         // Degradation level 2: raw byte totals continue, but per-class
         // aggregation stops. Reader identity is still maintained so a
         // later analysis of the shadow state remains coherent.
-        s.lastReaderCtx = a.ctx;
-        s.lastReaderCall = a.call;
+        s.reader = reader_id;
         return;
     }
 
@@ -301,20 +310,18 @@ commReadUnit(CommTables &t, const ClassifyEnv &env,
     // Cross-thread communication: producer ran on another thread.
     // Orthogonal to the local/input axis — two threads executing the
     // same function still communicate through memory.
-    if (s.everWritten() && s.lastWriterThread != a.tid) {
+    if (ever_written && wr.thread != a.tid) {
         CommAggregates &reader = t.row(a.ctx);
         if (unique)
             reader.uniqueInterThreadBytes += w;
         else
             reader.nonuniqueInterThreadBytes += w;
-        std::uint64_t tkey =
-            CommTables::threadEdgeKey(s.lastWriterThread, a.tid);
+        std::uint64_t tkey = CommTables::threadEdgeKey(wr.thread, a.tid);
         auto [tit, tin] =
             t.threadEdgeIndex.try_emplace(tkey, t.threadEdges.size());
         if (tin) {
             t.threadEdges.push_back(OrderedThreadEdge{
-                ThreadCommEdge{s.lastWriterThread, a.tid, 0, 0},
-                a.epoch});
+                ThreadCommEdge{wr.thread, a.tid, 0, 0}, a.epoch});
         }
         ThreadCommEdge &tedge = t.threadEdges[tit->second].edge;
         if (unique)
@@ -323,20 +330,23 @@ commReadUnit(CommTables &t, const ClassifyEnv &env,
             tedge.nonuniqueBytes += w;
     }
 
-    if (env.collectEvents && unique && s.everWritten() &&
-        a.segSeq != 0 && s.lastWriterSeq != a.segSeq) {
-        (*seg_xfers)[s.lastWriterSeq] += w;
+    if (env.collectEvents && unique && ever_written && a.segSeq != 0 &&
+        wr.seq != a.segSeq) {
+        (*seg_xfers)[wr.seq] += w;
     }
 
     if (env.reuseEnabled) {
-        if (s.lastReaderCtx == a.ctx && s.lastReaderCall == a.call) {
-            ++c.runReads;
-            c.runLastRead = a.tick;
+        // Stamp interning is injective, so id equality is exactly the
+        // old (reader ctx, reader call) pair comparison. Re-use mode
+        // always resolves with want_cold, so c is non-null here.
+        if (s.reader == reader_id) {
+            ++c->runReads;
+            c->runLastRead = a.tick;
         } else {
-            commFinalizeRun(t, env.reuseEnabled, s, c);
-            c.runReads = 1;
-            c.runFirstRead = a.tick;
-            c.runLastRead = a.tick;
+            commFinalizeRun(t, env.reuseEnabled, st, s, c);
+            c->runReads = 1;
+            c->runFirstRead = a.tick;
+            c->runLastRead = a.tick;
         }
     }
 
@@ -344,9 +354,8 @@ commReadUnit(CommTables &t, const ClassifyEnv &env,
     // breakdown, so byte-mode reads skip the cold record entirely
     // unless they are tracking a re-use run.
     if (env.granularityShift > 0)
-        ++c.totalAccesses;
-    s.lastReaderCtx = a.ctx;
-    s.lastReaderCall = a.call;
+        ++c->totalAccesses;
+    s.reader = reader_id;
 }
 
 } // namespace sigil::core

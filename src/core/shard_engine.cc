@@ -53,9 +53,10 @@ ShardEngine::ShardEngine(const SigilConfig &config, unsigned shard_count,
         Shard *s = shard.get();
         s->shadow.setEvictionHandler(
             [this, s](std::uint64_t, shadow::ShadowRef obj) {
-                commFinalizeRun(s->tables, reuseEnabled_, obj.hot,
-                                obj.cold);
-            });
+                commFinalizeRun(s->tables, reuseEnabled_,
+                                s->shadow.stamps(), obj.hot, obj.cold);
+            },
+            shadow::SweepFilter::PendingRuns);
         shards_.push_back(std::move(shard));
     }
     for (auto &shard : shards_) {
@@ -106,6 +107,25 @@ ShardEngine::routeAccess(bool is_write, vg::Addr addr, unsigned size,
     record.allocIdx = stamp.allocIdx;
     record.collecting = stamp.collecting;
 
+    // Mirror the serial engine's stamp interning (once per access,
+    // before the shadow walk) so the sequencer's table — the one the
+    // byte accounting and checkpoints use — grows in exactly the
+    // serial order. Workers re-intern into their shard-local tables.
+    if (is_write) {
+        planner_.internWriter(shadow::WriterStamp{
+            stamp.segSeq, stamp.ctx, stamp.tid});
+    } else {
+        planner_.internReader(shadow::ReaderStamp{
+            reuseEnabled_ ? stamp.call : 0, stamp.ctx});
+    }
+    // Serial readAccess resolves want_cold once per access; the worker
+    // computes the identical value from the record (classifyEnabled_
+    // is fixed true in sharded mode).
+    const bool want_cold = !is_write && stamp.collecting &&
+                           classifyEnabled_ &&
+                           (reuseEnabled_ ||
+                            config_.granularityShift > 0);
+
     std::uint64_t u = first;
     vg::Addr piece_addr = addr;
     const vg::Addr end_addr = addr + size;
@@ -122,7 +142,7 @@ ShardEngine::routeAccess(bool is_write, vg::Addr addr, unsigned size,
         // Replay the serial recency/eviction decision for this chunk;
         // a victim is evicted in its owning shard before the piece
         // that displaced it is enqueued.
-        std::uint64_t victim = planner_.touch(chunk);
+        std::uint64_t victim = planner_.touch(chunk, want_cold);
         if (victim != ChunkLruPlanner::kNone) {
             Shard &vs = *shards_[shardOf(victim)];
             vg::ShardRecord evict;
@@ -167,12 +187,31 @@ ShardEngine::drain()
 }
 
 shadow::ShadowRef
-ShardEngine::restoreUnit(std::uint64_t unit)
+ShardEngine::restoreUnit(std::uint64_t unit, bool has_cold)
 {
     const std::uint64_t chunk =
         unit >> shadow::ShadowMemory::kChunkShift;
-    planner_.restoreTouch(chunk);
-    return shards_[shardOf(chunk)]->shadow.restoreLookup(unit);
+    planner_.restoreTouch(chunk, has_cold);
+    return shards_[shardOf(chunk)]->shadow.restoreLookup(unit,
+                                                         has_cold);
+}
+
+shadow::StampId
+ShardEngine::internWriterFor(std::uint64_t unit,
+                             const shadow::WriterStamp &s)
+{
+    const std::uint64_t chunk =
+        unit >> shadow::ShadowMemory::kChunkShift;
+    return shards_[shardOf(chunk)]->shadow.internWriter(s);
+}
+
+shadow::StampId
+ShardEngine::internReaderFor(std::uint64_t unit,
+                             const shadow::ReaderStamp &s)
+{
+    const std::uint64_t chunk =
+        unit >> shadow::ShadowMemory::kChunkShift;
+    return shards_[shardOf(chunk)]->shadow.internReader(s);
 }
 
 void
@@ -214,20 +253,31 @@ ShardEngine::process(Shard &shard, const vg::ShardRecord &r)
     const std::uint64_t last = sh.lastUnitOf(r.addr, r.size);
 
     if (r.kind == vg::ShardRecord::kWrite) {
+        const shadow::StampId ws = sh.internWriter(shadow::WriterStamp{
+            a.segSeq, a.ctx, a.tid});
         if (config_.referenceShadowPath) {
             for (std::uint64_t u = first; u <= last; ++u) {
                 shadow::ShadowRef s = sh.lookup(u);
-                commWriteUnit(shard.tables, reuseEnabled_, s.hot,
-                              s.cold, a);
+                commWriteUnit(shard.tables, reuseEnabled_, sh.stamps(),
+                              s.hot, s.cold, ws);
             }
             return;
         }
-        sh.span(first, last, [&](shadow::ShadowMemory::Run run) {
-            for (std::size_t i = 0; i < run.count; ++i) {
-                commWriteUnit(shard.tables, reuseEnabled_, run.hot[i],
-                              run.cold[i], a);
-            }
-        });
+        sh.span(first, last, /*want_cold=*/false,
+                [&](shadow::ShadowMemory::Run run) {
+                    if (reuseEnabled_ && run.cold != nullptr) {
+                        for (std::size_t i = 0; i < run.count; ++i) {
+                            if (run.hot[i].reader != 0) {
+                                commFinalizeRun(shard.tables,
+                                                reuseEnabled_,
+                                                sh.stamps(), run.hot[i],
+                                                run.cold + i);
+                            }
+                        }
+                    }
+                    std::fill(run.hot, run.hot + run.count,
+                              shadow::ShadowHot{ws, 0});
+                });
         return;
     }
 
@@ -235,6 +285,13 @@ ShardEngine::process(Shard &shard, const vg::ShardRecord &r)
     // The piece is the access clamped to this chunk and units never
     // span chunks, so clamping against the piece bounds yields the
     // serial widths.
+    // Same call-collapse rule as the serial read path: with re-use
+    // off the reader call feeds nothing, so one stamp per context.
+    const shadow::StampId rs = sh.internReader(
+        shadow::ReaderStamp{reuseEnabled_ ? a.call : 0, a.ctx});
+    const bool want_cold = a.collecting && classifyEnabled_ &&
+                           (reuseEnabled_ ||
+                            config_.granularityShift > 0);
     ClassifyEnv env{reuseEnabled_, classifyEnabled_,
                     config_.collectEvents, config_.granularityShift};
     std::unordered_map<std::uint64_t, std::uint64_t> *xfers =
@@ -249,33 +306,36 @@ ShardEngine::process(Shard &shard, const vg::ShardRecord &r)
 
     if (config_.referenceShadowPath) {
         for (std::uint64_t u = first; u <= last; ++u) {
-            shadow::ShadowRef s = sh.lookup(u);
+            shadow::ShadowRef s = sh.lookup(u, want_cold);
             std::uint64_t unit_lo = u << shift;
             std::uint64_t unit_hi = unit_lo + unit_bytes;
             std::uint64_t lo = std::max<std::uint64_t>(addr, unit_lo);
             std::uint64_t hi =
                 std::min<std::uint64_t>(end_addr, unit_hi);
-            commReadUnit(shard.tables, env, s.hot, s.cold, hi - lo, a,
-                         xfers, unique_bytes);
+            commReadUnit(shard.tables, env, sh.stamps(), s.hot, s.cold,
+                         hi - lo, a, rs, xfers, unique_bytes);
         }
     } else {
-        sh.span(first, last, [&](shadow::ShadowMemory::Run run) {
-            for (std::size_t i = 0; i < run.count; ++i) {
-                std::uint64_t u = run.firstUnit + i;
-                std::uint64_t w = unit_bytes;
-                if (u == first || u == last) {
-                    std::uint64_t unit_lo = u << shift;
-                    std::uint64_t unit_hi = unit_lo + unit_bytes;
-                    std::uint64_t lo =
-                        std::max<std::uint64_t>(addr, unit_lo);
-                    std::uint64_t hi =
-                        std::min<std::uint64_t>(end_addr, unit_hi);
-                    w = hi - lo;
-                }
-                commReadUnit(shard.tables, env, run.hot[i], run.cold[i],
-                             w, a, xfers, unique_bytes);
-            }
-        });
+        sh.span(first, last, want_cold,
+                [&](shadow::ShadowMemory::Run run) {
+                    for (std::size_t i = 0; i < run.count; ++i) {
+                        std::uint64_t u = run.firstUnit + i;
+                        std::uint64_t w = unit_bytes;
+                        if (u == first || u == last) {
+                            std::uint64_t unit_lo = u << shift;
+                            std::uint64_t unit_hi = unit_lo + unit_bytes;
+                            std::uint64_t lo =
+                                std::max<std::uint64_t>(addr, unit_lo);
+                            std::uint64_t hi = std::min<std::uint64_t>(
+                                end_addr, unit_hi);
+                            w = hi - lo;
+                        }
+                        commReadUnit(shard.tables, env, sh.stamps(),
+                                     run.hot[i],
+                                     run.cold ? run.cold + i : nullptr,
+                                     w, a, rs, xfers, unique_bytes);
+                    }
+                });
     }
 
     if (a.collecting && config_.collectObjects) {

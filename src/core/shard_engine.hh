@@ -69,33 +69,55 @@ class ChunkLruPlanner
     {}
 
     /**
-     * Record a touch of a chunk, allocating it if absent. Returns the
-     * chunk index evicted to make room, or kNone.
+     * Record a touch of a chunk, allocating it if absent. want_cold
+     * mirrors the serial lookup's lazy cold-array materialization:
+     * the planner tracks which chunks hold a cold array (and accounts
+     * its bytes) so a sharded run's ShadowStats — including the byte
+     * peak a profile embeds — is bit-identical to the serial run's.
+     * Returns the chunk index evicted to make room, or kNone.
      */
     std::uint64_t
-    touch(std::uint64_t index)
+    touch(std::uint64_t index, bool want_cold)
     {
-        if (index == lastIndex_)
+        if (lastEntry_ != nullptr && index == lastIndex_) {
+            // Cache hit: no recency work, but the serial lookup still
+            // materializes the cold array on demand.
+            if (want_cold && !lastEntry_->cold)
+                materializeCold(*lastEntry_);
             return kNone;
+        }
         std::uint64_t victim = kNone;
         auto it = map_.find(index);
         if (it == map_.end()) {
             if (maxChunks_ != 0 && map_.size() >= maxChunks_) {
                 victim = lru_.front();
-                map_.erase(victim);
+                auto vit = map_.find(victim);
+                stats_.bytesLive -= shadow::ShadowMemory::chunkHotBytes();
+                if (vit->second.cold) {
+                    stats_.bytesLive -=
+                        shadow::ShadowMemory::chunkColdBytes();
+                    --stats_.coldArraysLive;
+                }
+                map_.erase(vit);
                 lru_.pop_front();
                 ++stats_.evictions;
             }
             lru_.push_back(index);
-            map_.emplace(index, std::prev(lru_.end()));
+            it = map_.emplace(index,
+                              Entry{std::prev(lru_.end()), false})
+                     .first;
             ++stats_.chunksAllocated;
             stats_.chunksLive = map_.size();
             if (stats_.chunksLive > stats_.chunksPeak)
                 stats_.chunksPeak = stats_.chunksLive;
-        } else if (it->second != std::prev(lru_.end())) {
-            lru_.splice(lru_.end(), lru_, it->second);
+            bytesAdd(shadow::ShadowMemory::chunkHotBytes());
+        } else if (it->second.pos != std::prev(lru_.end())) {
+            lru_.splice(lru_.end(), lru_, it->second.pos);
         }
+        if (want_cold && !it->second.cold)
+            materializeCold(it->second);
         lastIndex_ = index;
+        lastEntry_ = &it->second;
         return victim;
     }
 
@@ -105,53 +127,140 @@ class ChunkLruPlanner
      * by restoreStats() afterwards, as in the serial restore.
      */
     void
-    restoreTouch(std::uint64_t index)
+    restoreTouch(std::uint64_t index, bool has_cold)
     {
-        if (index == lastIndex_)
+        if (lastEntry_ != nullptr && index == lastIndex_) {
+            if (has_cold && !lastEntry_->cold)
+                materializeCold(*lastEntry_);
             return;
+        }
         auto it = map_.find(index);
         if (it == map_.end()) {
             lru_.push_back(index);
-            map_.emplace(index, std::prev(lru_.end()));
+            it = map_.emplace(index,
+                              Entry{std::prev(lru_.end()), false})
+                     .first;
             ++stats_.chunksAllocated;
             stats_.chunksLive = map_.size();
             if (stats_.chunksLive > stats_.chunksPeak)
                 stats_.chunksPeak = stats_.chunksLive;
-        } else if (it->second != std::prev(lru_.end())) {
-            lru_.splice(lru_.end(), lru_, it->second);
+            bytesAdd(shadow::ShadowMemory::chunkHotBytes());
+        } else if (it->second.pos != std::prev(lru_.end())) {
+            lru_.splice(lru_.end(), lru_, it->second.pos);
         }
+        if (has_cold && !it->second.cold)
+            materializeCold(it->second);
         lastIndex_ = index;
+        lastEntry_ = &it->second;
     }
 
     const shadow::ShadowStats &stats() const { return stats_; }
 
-    /** Overwrite statistics (checkpoint restore). */
+    /** @name Mirror stamp table
+     *
+     * The sequencer interns every access's identity tuple here, in
+     * serial order, before routing it — so the mirror's table growth
+     * (hence its byte accounting, hence the profile's byte peak)
+     * matches the table a serial run would build. The per-shard local
+     * tables workers use for kernel execution are deliberately NOT
+     * accounted: they duplicate the mirror's content and are a cost of
+     * sharding, not of the analysis being modeled.
+     */
+    /// @{
+    shadow::StampId
+    internWriter(const shadow::WriterStamp &s)
+    {
+        std::uint64_t before = stamps_.bytes();
+        shadow::StampId id = stamps_.internWriter(s);
+        if (std::uint64_t after = stamps_.bytes(); after != before)
+            bytesAdd(after - before);
+        return id;
+    }
+
+    shadow::StampId
+    internReader(const shadow::ReaderStamp &s)
+    {
+        std::uint64_t before = stamps_.bytes();
+        shadow::StampId id = stamps_.internReader(s);
+        if (std::uint64_t after = stamps_.bytes(); after != before)
+            bytesAdd(after - before);
+        return id;
+    }
+
+    shadow::StampTable &stamps() { return stamps_; }
+    const shadow::StampTable &stamps() const { return stamps_; }
+    /// @}
+
+    /**
+     * Overwrite statistics (checkpoint restore). Live chunk and cold
+     * array counts and the live byte figure are re-derived from the
+     * planner's own state, clamping the peak up like the serial
+     * restore.
+     */
     void
     restoreStats(const shadow::ShadowStats &stats)
     {
         stats_ = stats;
         stats_.chunksLive = map_.size();
+        stats_.coldArraysLive = 0;
+        std::uint64_t live = stamps_.bytes();
+        for (const auto &[index, entry] : map_) {
+            live += shadow::ShadowMemory::chunkHotBytes();
+            if (entry.cold) {
+                live += shadow::ShadowMemory::chunkColdBytes();
+                ++stats_.coldArraysLive;
+            }
+        }
+        stats_.bytesLive = live;
+        if (stats_.bytesPeak < stats_.bytesLive)
+            stats_.bytesPeak = stats_.bytesLive;
     }
 
-    /** Visit live chunk indices, least recently touched first. */
+    /**
+     * Visit live chunks as (index, has_cold), least recently touched
+     * first.
+     */
     template <typename Fn>
     void
     forEachChunk(Fn &&fn) const
     {
         for (std::uint64_t index : lru_)
-            fn(index);
+            fn(index, map_.find(index)->second.cold);
     }
 
     std::size_t liveChunks() const { return map_.size(); }
 
   private:
+    struct Entry
+    {
+        std::list<std::uint64_t>::iterator pos;
+        /** Chunk holds a (mirrored) cold array. */
+        bool cold;
+    };
+
+    void
+    bytesAdd(std::uint64_t n)
+    {
+        stats_.bytesLive += n;
+        if (stats_.bytesLive > stats_.bytesPeak)
+            stats_.bytesPeak = stats_.bytesLive;
+    }
+
+    void
+    materializeCold(Entry &entry)
+    {
+        entry.cold = true;
+        ++stats_.coldArraysLive;
+        bytesAdd(shadow::ShadowMemory::chunkColdBytes());
+    }
+
     std::size_t maxChunks_;
     std::list<std::uint64_t> lru_;
-    std::unordered_map<std::uint64_t,
-                       std::list<std::uint64_t>::iterator>
-        map_;
+    std::unordered_map<std::uint64_t, Entry> map_;
     /** Mirror of ShadowMemory's one-entry lookup cache. */
     std::uint64_t lastIndex_ = kNone;
+    Entry *lastEntry_ = nullptr;
+    shadow::StampTable stamps_;
     shadow::ShadowStats stats_;
 };
 
@@ -198,9 +307,22 @@ class ShardEngine
 
     /**
      * Checkpoint restore: materialize one unit in its owning shard
-     * (planner recency updated to match). Workers must be idle.
+     * (planner recency and cold-array mirror updated to match).
+     * Workers must be idle.
      */
-    shadow::ShadowRef restoreUnit(std::uint64_t unit);
+    shadow::ShadowRef restoreUnit(std::uint64_t unit, bool has_cold);
+
+    /**
+     * Checkpoint restore: intern an identity tuple into the LOCAL
+     * stamp table of the shard owning a unit, returning the local id
+     * to store in that unit's hot record. (The sequencer's mirror
+     * table is maintained separately by the caller.) Workers must be
+     * idle.
+     */
+    shadow::StampId internWriterFor(std::uint64_t unit,
+                                    const shadow::WriterStamp &s);
+    shadow::StampId internReaderFor(std::uint64_t unit,
+                                    const shadow::ReaderStamp &s);
 
   private:
     struct Shard;

@@ -17,8 +17,10 @@ SigilProfiler::SigilProfiler(const SigilConfig &config)
     shadow_.setEvictionHandler(
         [this](std::uint64_t unit, shadow::ShadowRef obj) {
             (void)unit;
-            commFinalizeRun(tables_, reuseEnabled_, obj.hot, obj.cold);
-        });
+            commFinalizeRun(tables_, reuseEnabled_, shadow_.stamps(),
+                            obj.hot, obj.cold);
+        },
+        shadow::SweepFilter::PendingRuns);
     shadow_.setPressureHandler(
         [this](int failed_attempts) { degrade(failed_attempts); });
     collecting_ = !config_.roiOnly;
@@ -37,9 +39,10 @@ SigilProfiler::degrade(int failed_attempts)
             // the statistics collected so far keep their mass.
             shadow_.forEach(
                 [this](std::uint64_t, shadow::ShadowRef obj) {
-                    commFinalizeRun(tables_, reuseEnabled_, obj.hot,
-                                    obj.cold);
-                });
+                    commFinalizeRun(tables_, reuseEnabled_,
+                                    shadow_.stamps(), obj.hot, obj.cold);
+                },
+                shadow::SweepFilter::PendingRuns);
             reuseEnabled_ = false;
             warn("SigilProfiler: shadow allocation pressure "
                  "(%d failed attempts) — dropping re-use tracking",
@@ -162,24 +165,34 @@ SigilProfiler::writeAccess(vg::Addr addr, unsigned size,
 
     std::uint64_t first = shadow_.unitOf(addr);
     std::uint64_t last = shadow_.lastUnitOf(addr, size);
-    AccessStamp a;
-    a.ctx = ctx;
-    a.call = call;
-    a.tid = currentTid_;
-    a.segSeq = seq;
+    // One producer identity per access: intern it once, stamp the id.
+    const shadow::StampId ws = shadow_.internWriter(
+        shadow::WriterStamp{seq, ctx, currentTid_});
     if (config_.referenceShadowPath) {
         // Reference path: resolve the chunk once per unit.
         for (std::uint64_t u = first; u <= last; ++u) {
             shadow::ShadowRef s = shadow_.lookup(u);
-            commWriteUnit(tables_, reuseEnabled_, s.hot, s.cold, a);
+            commWriteUnit(tables_, reuseEnabled_, shadow_.stamps(),
+                          s.hot, s.cold, ws);
         }
         return;
     }
-    shadow_.span(first, last, [&](shadow::ShadowMemory::Run run) {
-        for (std::size_t i = 0; i < run.count; ++i) {
-            commWriteUnit(tables_, reuseEnabled_, run.hot[i],
-                          run.cold[i], a);
+    shadow_.span(first, last, /*want_cold=*/false,
+                 [&](shadow::ShadowMemory::Run run) {
+        if (reuseEnabled_ && run.cold != nullptr) {
+            // Close pending runs before the overwrite clobbers their
+            // reader identity; units with no recorded reader have
+            // nothing pending.
+            for (std::size_t i = 0; i < run.count; ++i) {
+                if (run.hot[i].reader != 0) {
+                    commFinalizeRun(tables_, reuseEnabled_,
+                                    shadow_.stamps(), run.hot[i],
+                                    run.cold + i);
+                }
+            }
         }
+        // The stamp overwrite itself is a plain 8-byte word fill.
+        std::fill(run.hot, run.hot + run.count, shadow::ShadowHot{ws, 0});
     });
 }
 
@@ -234,21 +247,33 @@ SigilProfiler::readAccess(vg::Addr addr, unsigned size, vg::ContextId ctx,
     std::uint64_t last = shadow_.lastUnitOf(addr, size);
     const unsigned shift = shadow_.granularityShift();
     const std::uint64_t unit_bytes = shadow_.unitBytes();
+    // One consumer identity per access, and one cold-materialization
+    // decision per access (so a mid-span fidelity flip cannot make the
+    // two walk paths materialize differently). The call number only
+    // matters for re-use run identity (consecutive-reader equality);
+    // with re-use off, classification reads nothing but the reader's
+    // context, so collapsing the call keeps the table at one entry
+    // per context instead of one per dynamic call.
+    const shadow::StampId rs = shadow_.internReader(
+        shadow::ReaderStamp{reuseEnabled_ ? call : 0, ctx});
+    const bool want_cold = readWantsCold();
     if (config_.referenceShadowPath) {
         // Reference path: resolve the chunk and compute the covered
         // byte width from scratch for every unit.
         for (std::uint64_t u = first; u <= last; ++u) {
-            shadow::ShadowRef s = shadow_.lookup(u);
+            shadow::ShadowRef s = shadow_.lookup(u, want_cold);
             std::uint64_t unit_lo = u << shift;
             std::uint64_t unit_hi = unit_lo + unit_bytes;
             std::uint64_t lo = std::max<std::uint64_t>(addr, unit_lo);
             std::uint64_t hi =
                 std::min<std::uint64_t>(addr + size, unit_hi);
-            commReadUnit(tables_, env, s.hot, s.cold, hi - lo, a,
-                         &state.xfers, unique_bytes_this_access);
+            commReadUnit(tables_, env, shadow_.stamps(), s.hot, s.cold,
+                         hi - lo, a, rs, &state.xfers,
+                         unique_bytes_this_access);
         }
     } else {
-        shadow_.span(first, last, [&](shadow::ShadowMemory::Run run) {
+        shadow_.span(first, last, want_cold,
+                     [&](shadow::ShadowMemory::Run run) {
             for (std::size_t i = 0; i < run.count; ++i) {
                 // Every unit covers a full unit's worth of the access
                 // except possibly the two end units.
@@ -263,7 +288,8 @@ SigilProfiler::readAccess(vg::Addr addr, unsigned size, vg::ContextId ctx,
                         std::min<std::uint64_t>(addr + size, unit_hi);
                     w = hi - lo;
                 }
-                commReadUnit(tables_, env, run.hot[i], run.cold[i], w, a,
+                commReadUnit(tables_, env, shadow_.stamps(), run.hot[i],
+                             run.cold ? run.cold + i : nullptr, w, a, rs,
                              &state.xfers, unique_bytes_this_access);
             }
         });
@@ -713,29 +739,52 @@ SigilProfiler::finish()
 {
     for (SegState &state : segStates_)
         flushSegment(state);
+    // The end-of-run sweep only finalizes pending re-use runs and (in
+    // line mode) folds per-unit access totals: both live in the cold
+    // record, so chunks that never materialized one are skipped whole.
+    // In line mode a read-then-overwritten unit has no recorded reader
+    // but a nonzero access total, so the sweep must visit every unit
+    // of a cold chunk; in byte mode units with no recorded reader have
+    // nothing pending and are skipped too.
+    const shadow::SweepFilter filter =
+        config_.granularityShift > 0 ? shadow::SweepFilter::ColdChunks
+                                     : shadow::SweepFilter::PendingRuns;
+    const bool sweep_needed =
+        config_.granularityShift > 0 || reuseEnabled_;
     if (engine_) {
         needsFold_ = true;
         foldShards();
+        if (!sweep_needed)
+            return;
         for (unsigned i = 0; i < engine_->shardCount(); ++i) {
-            engine_->shadowOf(i).forEach(
-                [this](std::uint64_t, shadow::ShadowRef obj) {
-                    commFinalizeRun(tables_, reuseEnabled_, obj.hot,
-                                    obj.cold);
-                    if (config_.granularityShift > 0 &&
-                        obj.cold.totalAccesses > 0) {
+            shadow::ShadowMemory &sh = engine_->shadowOf(i);
+            sh.forEach(
+                [this, &sh](std::uint64_t, shadow::ShadowRef obj) {
+                    commFinalizeRun(tables_, reuseEnabled_, sh.stamps(),
+                                    obj.hot, obj.cold);
+                    if (config_.granularityShift > 0 && obj.cold &&
+                        obj.cold->totalAccesses > 0) {
                         tables_.lineReuseBreakdown.add(
-                            obj.cold.totalAccesses - 1);
+                            obj.cold->totalAccesses - 1);
                     }
-                });
+                },
+                filter);
         }
         return;
     }
-    shadow_.forEach([this](std::uint64_t unit, shadow::ShadowRef obj) {
-        (void)unit;
-        commFinalizeRun(tables_, reuseEnabled_, obj.hot, obj.cold);
-        if (config_.granularityShift > 0 && obj.cold.totalAccesses > 0)
-            tables_.lineReuseBreakdown.add(obj.cold.totalAccesses - 1);
-    });
+    if (!sweep_needed)
+        return;
+    shadow_.forEach(
+        [this](std::uint64_t unit, shadow::ShadowRef obj) {
+            (void)unit;
+            commFinalizeRun(tables_, reuseEnabled_, shadow_.stamps(),
+                            obj.hot, obj.cold);
+            if (config_.granularityShift > 0 && obj.cold &&
+                obj.cold->totalAccesses > 0)
+                tables_.lineReuseBreakdown.add(obj.cold->totalAccesses -
+                                               1);
+        },
+        filter);
 }
 
 const CommAggregates &
@@ -770,7 +819,7 @@ SigilProfiler::shadowStats() const
 std::uint64_t
 SigilProfiler::shadowPeakBytes() const
 {
-    return shadowStats().peakBytes(shadow::ShadowMemory::chunkBytes());
+    return shadowStats().peakBytes();
 }
 
 void
@@ -976,6 +1025,18 @@ getComputeEvent(ByteSource &src, ComputeEvent &c)
 void
 SigilProfiler::saveState(ByteSink &sink)
 {
+    saveStateImpl(sink, 3);
+}
+
+void
+SigilProfiler::saveStateLegacy(ByteSink &sink)
+{
+    saveStateImpl(sink, engine_ ? 2 : 1);
+}
+
+void
+SigilProfiler::saveStateImpl(ByteSink &sink, std::uint8_t version)
+{
     if (engine_) {
         // Fold everything shard-side into the authoritative tables so
         // the serialized body is engine-independent (and restorable
@@ -987,8 +1048,13 @@ SigilProfiler::saveState(ByteSink &sink)
 
     // Version 2 differs from 1 only by recording the shard count of
     // the saving run (informational); the body layout is identical.
-    sink.u8(engine_ ? 2 : 1);
-    if (engine_)
+    // Version 3 always records the shard count (1 when serial) and
+    // replaces the per-unit identity tuples with the interned stamp
+    // table plus chunk-grouped stamp-id units.
+    sink.u8(version);
+    if (version >= 3)
+        sink.varint(engine_ ? engine_->shardCount() : 1);
+    else if (engine_)
         sink.varint(engine_->shardCount());
 
     // Config echo: a checkpoint is only meaningful for the identical
@@ -1052,8 +1118,14 @@ SigilProfiler::saveState(ByteSink &sink)
     for (const SegState &s : segStates_) {
         sink.u8(s.open ? 1 : 0);
         putComputeEvent(sink, s.segment);
-        sink.varint(s.xfers.size());
-        for (const auto &[src_seq, bytes] : s.xfers) {
+        // Canonical order: unordered_map iteration depends on insertion
+        // history, which a restore does not replay. Sorting makes the
+        // body a pure function of the logical state.
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> xfers(
+            s.xfers.begin(), s.xfers.end());
+        std::sort(xfers.begin(), xfers.end());
+        sink.varint(xfers.size());
+        for (const auto &[src_seq, bytes] : xfers) {
             sink.u64(src_seq);
             sink.u64(bytes);
         }
@@ -1064,10 +1136,15 @@ SigilProfiler::saveState(ByteSink &sink)
     }
     sink.varint(currentTid_);
 
-    sink.varint(skippedSegments_.size());
-    for (const auto &[seq, info] : skippedSegments_) {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> skipped;
+    skipped.reserve(skippedSegments_.size());
+    for (const auto &[seq, info] : skippedSegments_)
+        skipped.emplace_back(seq, info.pred);
+    std::sort(skipped.begin(), skipped.end());
+    sink.varint(skipped.size());
+    for (const auto &[seq, pred] : skipped) {
         sink.u64(seq);
-        sink.u64(info.pred);
+        sink.u64(pred);
     }
     sink.varint(barrierPreds_.size());
     for (std::uint64_t seq : barrierPreds_)
@@ -1080,44 +1157,164 @@ SigilProfiler::saveState(ByteSink &sink)
     sink.u64(st.evictions);
     sink.u64(st.allocFailures);
 
-    // Shadow units, least recently used chunk first: restoring in
+    if (version < 3) {
+        // Legacy body: flat unit list in recency order, identity
+        // tuples inline (resolved back from the stamp table).
+        const auto putUnitLegacy = [&](const shadow::StampTable &table,
+                                       std::uint64_t unit,
+                                       shadow::ShadowRef obj) {
+            const shadow::WriterStamp &w = table.writer(obj.hot.writer);
+            const shadow::ReaderStamp &r = table.reader(obj.hot.reader);
+            sink.varint(unit);
+            sink.u64(w.seq);
+            sink.u64(0); // legacy writer-call slot; no consumer
+            sink.u64(r.call);
+            sink.u32(static_cast<std::uint32_t>(w.ctx));
+            sink.u32(static_cast<std::uint32_t>(r.ctx));
+            sink.u32(w.thread);
+            sink.u64(obj.cold ? obj.cold->runFirstRead : 0);
+            sink.u64(obj.cold ? obj.cold->runLastRead : 0);
+            sink.u64(obj.cold ? obj.cold->totalAccesses : 0);
+            sink.u32(obj.cold ? obj.cold->runReads : 0);
+        };
+        if (engine_) {
+            std::uint64_t unit_count = 0;
+            engine_->planner().forEachChunk(
+                [&](std::uint64_t index, bool) {
+                    engine_->shadowOf(engine_->shardOf(index))
+                        .forEachInChunk(
+                            index,
+                            [&](std::uint64_t, shadow::ShadowRef) {
+                                ++unit_count;
+                            });
+                });
+            sink.varint(unit_count);
+            engine_->planner().forEachChunk(
+                [&](std::uint64_t index, bool) {
+                    shadow::ShadowMemory &sh =
+                        engine_->shadowOf(engine_->shardOf(index));
+                    sh.forEachInChunk(
+                        index, [&](std::uint64_t unit,
+                                   shadow::ShadowRef obj) {
+                            putUnitLegacy(sh.stamps(), unit, obj);
+                        });
+                });
+        } else {
+            std::uint64_t unit_count = 0;
+            shadow_.forEachInRecencyOrder(
+                [&](std::uint64_t, shadow::ShadowRef) { ++unit_count; });
+            sink.varint(unit_count);
+            shadow_.forEachInRecencyOrder(
+                [&](std::uint64_t unit, shadow::ShadowRef obj) {
+                    putUnitLegacy(shadow_.stamps(), unit, obj);
+                });
+        }
+        return;
+    }
+
+    // Version 3 shadow body. The byte peak joins the stats (it is no
+    // longer derivable from chunksPeak once cold arrays are lazy).
+    sink.u64(st.bytesPeak);
+
+    // The FULL stamp table, in id order — including tuples whose only
+    // holders were evicted chunks. A resumed run must not re-grow the
+    // table for tuples the interrupted run already knew, or its byte
+    // accounting (hence its profile) would diverge from an
+    // uninterrupted run's. Sharded runs serialize the sequencer's
+    // mirror table, whose ids are serial-equivalent by construction,
+    // making the body engine-independent; shard-local unit stamps are
+    // remapped through it below.
+    const shadow::StampTable &table =
+        engine_ ? engine_->planner().stamps() : shadow_.stamps();
+    sink.varint(table.writerCount() - 1);
+    for (std::size_t i = 1; i < table.writerCount(); ++i) {
+        const shadow::WriterStamp &w =
+            table.writer(static_cast<shadow::StampId>(i));
+        sink.u64(w.seq);
+        sink.u32(static_cast<std::uint32_t>(w.ctx));
+        sink.u32(w.thread);
+    }
+    sink.varint(table.readerCount() - 1);
+    for (std::size_t i = 1; i < table.readerCount(); ++i) {
+        const shadow::ReaderStamp &r =
+            table.reader(static_cast<shadow::StampId>(i));
+        sink.u64(r.call);
+        sink.u32(static_cast<std::uint32_t>(r.ctx));
+    }
+
+    // Chunk groups, least recently used chunk first: restoring in
     // this order reproduces the recency list, hence every future
-    // eviction decision. Sharded runs walk the planner's recency list
-    // (which *is* the serial recency order) and pull each chunk's
-    // units from its owning shard.
-    const auto putUnit = [&](std::uint64_t unit, shadow::ShadowRef obj) {
-        sink.varint(unit);
-        sink.u64(obj.hot.lastWriterSeq);
-        sink.u64(obj.hot.lastWriterCall);
-        sink.u64(obj.hot.lastReaderCall);
-        sink.u32(static_cast<std::uint32_t>(obj.hot.lastWriterCtx));
-        sink.u32(static_cast<std::uint32_t>(obj.hot.lastReaderCtx));
-        sink.u32(obj.hot.lastWriterThread);
-        sink.u64(obj.cold.runFirstRead);
-        sink.u64(obj.cold.runLastRead);
-        sink.u64(obj.cold.totalAccesses);
-        sink.u32(obj.cold.runReads);
+    // eviction decision. Each group carries its cold-presence flag so
+    // the restore re-materializes exactly the saved cold arrays.
+    // Sharded runs walk the planner's recency list (which *is* the
+    // serial recency order) and pull each chunk's units from its
+    // owning shard.
+    struct ChunkHead
+    {
+        std::uint64_t index;
+        bool hasCold;
+        std::uint64_t units;
     };
+    std::vector<ChunkHead> heads;
     if (engine_) {
-        std::uint64_t unit_count = 0;
-        engine_->planner().forEachChunk([&](std::uint64_t index) {
-            engine_->shadowOf(engine_->shardOf(index))
-                .forEachInChunk(index,
-                                [&](std::uint64_t, shadow::ShadowRef) {
-                                    ++unit_count;
-                                });
-        });
-        sink.varint(unit_count);
-        engine_->planner().forEachChunk([&](std::uint64_t index) {
-            engine_->shadowOf(engine_->shardOf(index))
-                .forEachInChunk(index, putUnit);
-        });
+        engine_->planner().forEachChunk(
+            [&](std::uint64_t index, bool has_cold) {
+                std::uint64_t units = 0;
+                engine_->shadowOf(engine_->shardOf(index))
+                    .forEachInChunk(index,
+                                    [&](std::uint64_t,
+                                        shadow::ShadowRef) { ++units; });
+                heads.push_back(ChunkHead{index, has_cold, units});
+            });
     } else {
-        std::uint64_t unit_count = 0;
-        shadow_.forEachInRecencyOrder(
-            [&](std::uint64_t, shadow::ShadowRef) { ++unit_count; });
-        sink.varint(unit_count);
-        shadow_.forEachInRecencyOrder(putUnit);
+        shadow_.forEachChunkInRecencyOrder(
+            [&](std::uint64_t index, bool has_cold,
+                std::uint64_t units) {
+                heads.push_back(ChunkHead{index, has_cold, units});
+            });
+    }
+    sink.varint(heads.size());
+    for (const ChunkHead &head : heads) {
+        sink.varint(head.index);
+        sink.u8(head.hasCold ? 1 : 0);
+        sink.varint(head.units);
+        const std::uint64_t base = head.index
+                                   << shadow::ShadowMemory::kChunkShift;
+        const auto putUnit = [&](const shadow::StampTable &local,
+                                 bool remap, std::uint64_t unit,
+                                 shadow::ShadowRef obj) {
+            sink.varint(unit - base);
+            shadow::StampId w = obj.hot.writer;
+            shadow::StampId r = obj.hot.reader;
+            if (remap) {
+                w = table.idOfWriter(local.writer(w));
+                r = table.idOfReader(local.reader(r));
+            }
+            sink.varint(w);
+            sink.varint(r);
+            if (head.hasCold) {
+                sink.u64(obj.cold->runFirstRead);
+                sink.u64(obj.cold->runLastRead);
+                sink.u64(obj.cold->totalAccesses);
+                sink.u32(obj.cold->runReads);
+            }
+        };
+        if (engine_) {
+            shadow::ShadowMemory &sh =
+                engine_->shadowOf(engine_->shardOf(head.index));
+            sh.forEachInChunk(head.index,
+                              [&](std::uint64_t unit,
+                                  shadow::ShadowRef obj) {
+                                  putUnit(sh.stamps(), true, unit, obj);
+                              });
+        } else {
+            shadow_.forEachInChunk(head.index,
+                                   [&](std::uint64_t unit,
+                                       shadow::ShadowRef obj) {
+                                       putUnit(shadow_.stamps(), false,
+                                               unit, obj);
+                                   });
+        }
     }
 }
 
@@ -1125,9 +1322,9 @@ bool
 SigilProfiler::restoreState(ByteSource &src)
 {
     std::uint8_t version = src.u8();
-    if (version != 1 && version != 2)
+    if (version < 1 || version > 3)
         return false;
-    if (version == 2) {
+    if (version >= 2) {
         // Shard count of the saving run; the body is engine-neutral,
         // so the value is informational only.
         (void)src.varint();
@@ -1284,25 +1481,137 @@ SigilProfiler::restoreState(ByteSource &src)
     st.evictions = src.u64();
     st.allocFailures = src.u64();
 
-    std::uint64_t num_units = src.varint();
-    if (!src.ok() || num_units > (std::uint64_t{1} << 40))
-        return false;
-    for (std::uint64_t i = 0; i < num_units; ++i) {
-        std::uint64_t unit = src.varint();
-        if (!src.ok())
+    // Re-interns a resolved identity tuple pair into whichever tables
+    // the target engine uses and stores the unit. Interning (rather
+    // than trusting saved ids) keeps the restore correct even if the
+    // saved id space and ours ever disagree, and lets v1/v2 bodies —
+    // which carry tuples, not ids — restore into the same machinery.
+    const auto restoreUnit = [&](std::uint64_t unit, bool has_cold,
+                                 const shadow::WriterStamp &w,
+                                 const shadow::ReaderStamp &r,
+                                 shadow::ShadowCold cold) {
+        shadow::ShadowRef obj = engine_
+                                    ? engine_->restoreUnit(unit, has_cold)
+                                    : shadow_.restoreLookup(unit,
+                                                            has_cold);
+        if (engine_) {
+            // Keep the sequencer's mirror table in sync so later
+            // saves can resolve shard-local ids (v3 interned the full
+            // table above already; this is a dedup no-op there).
+            engine_->planner().stamps().internWriter(w);
+            engine_->planner().stamps().internReader(r);
+            obj.hot.writer = engine_->internWriterFor(unit, w);
+            obj.hot.reader = engine_->internReaderFor(unit, r);
+        } else {
+            obj.hot.writer = shadow_.internWriter(w);
+            obj.hot.reader = shadow_.internReader(r);
+        }
+        if (has_cold)
+            *obj.cold = cold;
+    };
+
+    if (version < 3) {
+        // Legacy flat unit list with inline identity tuples. A unit
+        // gets a cold slot iff any cold field is nonzero — exactly the
+        // units the old eager-cold layout carried pending state for.
+        // bytesPeak was not recorded; restoreStats approximates it as
+        // the rebuilt live footprint.
+        std::uint64_t num_units = src.varint();
+        if (!src.ok() || num_units > (std::uint64_t{1} << 40))
             return false;
-        shadow::ShadowRef obj = engine_ ? engine_->restoreUnit(unit)
-                                        : shadow_.restoreLookup(unit);
-        obj.hot.lastWriterSeq = src.u64();
-        obj.hot.lastWriterCall = src.u64();
-        obj.hot.lastReaderCall = src.u64();
-        obj.hot.lastWriterCtx = static_cast<vg::ContextId>(src.u32());
-        obj.hot.lastReaderCtx = static_cast<vg::ContextId>(src.u32());
-        obj.hot.lastWriterThread = src.u32();
-        obj.cold.runFirstRead = src.u64();
-        obj.cold.runLastRead = src.u64();
-        obj.cold.totalAccesses = src.u64();
-        obj.cold.runReads = src.u32();
+        for (std::uint64_t i = 0; i < num_units; ++i) {
+            std::uint64_t unit = src.varint();
+            if (!src.ok())
+                return false;
+            shadow::WriterStamp w;
+            shadow::ReaderStamp r;
+            shadow::ShadowCold cold;
+            w.seq = src.u64();
+            src.u64(); // legacy writer-call slot; no consumer
+            r.call = src.u64();
+            w.ctx = static_cast<vg::ContextId>(src.u32());
+            r.ctx = static_cast<vg::ContextId>(src.u32());
+            w.thread = src.u32();
+            cold.runFirstRead = src.u64();
+            cold.runLastRead = src.u64();
+            cold.totalAccesses = src.u64();
+            cold.runReads = src.u32();
+            const bool has_cold = cold.runFirstRead != 0 ||
+                                  cold.runLastRead != 0 ||
+                                  cold.totalAccesses != 0 ||
+                                  cold.runReads != 0;
+            restoreUnit(unit, has_cold, w, r, cold);
+        }
+    } else {
+        st.bytesPeak = src.u64();
+
+        // Full stamp table of the saving run. Every entry is interned
+        // up front — even ones no resident unit references — so the
+        // resumed run's table growth (hence byte accounting) matches
+        // an uninterrupted run's.
+        std::uint64_t wcount = src.varint();
+        if (!src.ok() || wcount > (std::uint64_t{1} << 32))
+            return false;
+        std::vector<shadow::WriterStamp> writers(
+            static_cast<std::size_t>(wcount) + 1);
+        for (std::uint64_t i = 1; i <= wcount; ++i) {
+            shadow::WriterStamp &w = writers[i];
+            w.seq = src.u64();
+            w.ctx = static_cast<vg::ContextId>(src.u32());
+            w.thread = src.u32();
+            if (engine_)
+                engine_->planner().stamps().internWriter(w);
+            else
+                shadow_.internWriter(w);
+        }
+        std::uint64_t rcount = src.varint();
+        if (!src.ok() || rcount > (std::uint64_t{1} << 32))
+            return false;
+        std::vector<shadow::ReaderStamp> readers(
+            static_cast<std::size_t>(rcount) + 1);
+        for (std::uint64_t i = 1; i <= rcount; ++i) {
+            shadow::ReaderStamp &r = readers[i];
+            r.call = src.u64();
+            r.ctx = static_cast<vg::ContextId>(src.u32());
+            if (engine_)
+                engine_->planner().stamps().internReader(r);
+            else
+                shadow_.internReader(r);
+        }
+
+        std::uint64_t num_chunks = src.varint();
+        if (!src.ok() || num_chunks > (std::uint64_t{1} << 28))
+            return false;
+        for (std::uint64_t c = 0; c < num_chunks; ++c) {
+            std::uint64_t index = src.varint();
+            std::uint8_t has_cold = src.u8();
+            std::uint64_t num_units = src.varint();
+            if (!src.ok() || has_cold > 1 ||
+                num_units > shadow::ShadowMemory::kChunkUnits) {
+                return false;
+            }
+            const std::uint64_t base =
+                index << shadow::ShadowMemory::kChunkShift;
+            for (std::uint64_t i = 0; i < num_units; ++i) {
+                std::uint64_t off = src.varint();
+                std::uint64_t wid = src.varint();
+                std::uint64_t rid = src.varint();
+                if (!src.ok() ||
+                    off >= shadow::ShadowMemory::kChunkUnits ||
+                    wid > wcount || rid > rcount) {
+                    return false;
+                }
+                shadow::ShadowCold cold;
+                if (has_cold != 0) {
+                    cold.runFirstRead = src.u64();
+                    cold.runLastRead = src.u64();
+                    cold.totalAccesses = src.u64();
+                    cold.runReads = src.u32();
+                }
+                restoreUnit(base + off, has_cold != 0, writers[wid],
+                            readers[rid], cold);
+            }
+        }
     }
     if (engine_)
         engine_->planner().restoreStats(st);

@@ -147,6 +147,15 @@ class SigilProfiler : public vg::Tool
     /// @{
     void saveState(ByteSink &sink);
     bool restoreState(ByteSource &src);
+
+    /**
+     * Write the pre-stamp-table body (version 1 serial / 2 sharded):
+     * per-unit identity tuples inline, no stamp table, no byte peak.
+     * Retained so the cross-version restore path (v1/v2 snapshot into
+     * a stamp-compressed profiler) stays covered by tests; new
+     * checkpoints are always written by saveState() as version 3.
+     */
+    void saveStateLegacy(ByteSink &sink);
     /// @}
 
     /**
@@ -246,6 +255,25 @@ class SigilProfiler : public vg::Tool
 
     /** Shed fidelity one rung at a time (see degradationLevel()). */
     void degrade(int failed_attempts);
+
+    /**
+     * Whether a read access must materialize the cold record of the
+     * units it touches: only re-use tracking and line-mode access
+     * totals ever write it. Writes never materialize cold (finalizing
+     * an overwritten run only touches a cold record that already
+     * exists). Computed once per access, before the shadow walk, so
+     * the reference and span paths materialize identically even when
+     * fidelity degrades mid-span.
+     */
+    bool
+    readWantsCold() const
+    {
+        return collecting_ && classifyEnabled_ &&
+               (reuseEnabled_ || config_.granularityShift > 0);
+    }
+
+    /** Common body writer behind saveState()/saveStateLegacy(). */
+    void saveStateImpl(ByteSink &sink, std::uint8_t version);
 
     /**
      * Sharded mode: drain the workers and fold their partial tables —

@@ -19,9 +19,11 @@ ShadowMemory::ShadowMemory(const Config &config)
 }
 
 void
-ShadowMemory::setEvictionHandler(EvictionHandler handler)
+ShadowMemory::setEvictionHandler(EvictionHandler handler,
+                                 SweepFilter filter)
 {
     evictionHandler_ = std::move(handler);
+    evictionFilter_ = filter;
 }
 
 void
@@ -88,13 +90,13 @@ ShadowMemory::chunkFor(std::uint64_t unit)
         chunk.base = index << kChunkShift;
         chunk.index = index;
         chunk.hot = std::make_unique<ShadowHot[]>(kChunkUnits);
-        chunk.cold = std::make_unique<ShadowCold[]>(kChunkUnits);
         it = directory_.emplace(index, std::move(chunk)).first;
         lruAppend(&it->second);
         ++stats_.chunksAllocated;
         stats_.chunksLive = directory_.size();
         if (stats_.chunksLive > stats_.chunksPeak)
             stats_.chunksPeak = stats_.chunksLive;
+        bytesAdd(chunkHotBytes());
     } else if (&it->second != lruTail_) {
         lruUnlink(&it->second);
         lruAppend(&it->second);
@@ -104,24 +106,35 @@ ShadowMemory::chunkFor(std::uint64_t unit)
     return it->second;
 }
 
-ShadowRef
-ShadowMemory::lookup(std::uint64_t unit)
+void
+ShadowMemory::materializeCold(Chunk &chunk)
 {
-    Chunk &chunk = chunkFor(unit);
-    std::size_t off = unit & (kChunkUnits - 1);
-    chunk.touched[off >> 6] |= std::uint64_t{1} << (off & 63);
-    return ShadowRef{chunk.hot[off], chunk.cold[off]};
+    chunk.cold = std::make_unique<ShadowCold[]>(kChunkUnits);
+    ++stats_.coldArraysLive;
+    bytesAdd(chunkColdBytes());
 }
 
 ShadowRef
-ShadowMemory::restoreLookup(std::uint64_t unit)
+ShadowMemory::lookup(std::uint64_t unit, bool want_cold)
+{
+    Chunk &chunk = chunkFor(unit);
+    if (want_cold && !chunk.cold)
+        materializeCold(chunk);
+    std::size_t off = unit & (kChunkUnits - 1);
+    chunk.touched[off >> 6] |= std::uint64_t{1} << (off & 63);
+    return ShadowRef{chunk.hot[off],
+                     chunk.cold ? &chunk.cold[off] : nullptr};
+}
+
+ShadowRef
+ShadowMemory::restoreLookup(std::uint64_t unit, bool want_cold)
 {
     std::size_t saved_max = maxChunks_;
     std::function<bool()> saved_injector =
         std::move(allocFailureInjector_);
     maxChunks_ = 0;
     allocFailureInjector_ = nullptr;
-    ShadowRef ref = lookup(unit);
+    ShadowRef ref = lookup(unit, want_cold);
     maxChunks_ = saved_max;
     allocFailureInjector_ = std::move(saved_injector);
     return ref;
@@ -135,11 +148,35 @@ ShadowMemory::find(std::uint64_t unit)
     if (it == directory_.end())
         return ShadowPtr{};
     std::size_t off = unit & (kChunkUnits - 1);
-    return ShadowPtr{&it->second.hot[off], &it->second.cold[off]};
+    return ShadowPtr{&it->second.hot[off],
+                     it->second.cold ? &it->second.cold[off] : nullptr};
 }
 
 void
-ShadowMemory::forEach(const EvictionHandler &visitor)
+ShadowMemory::visitTouched(Chunk &chunk, const EvictionHandler &visitor,
+                           SweepFilter filter)
+{
+    if (filter != SweepFilter::All && !chunk.cold)
+        return;
+    const bool pending_only = filter == SweepFilter::PendingRuns;
+    for (std::size_t w = 0; w < kTouchedWords; ++w) {
+        std::uint64_t bits = chunk.touched[w];
+        while (bits != 0) {
+            std::size_t i =
+                (w << 6) +
+                static_cast<std::size_t>(std::countr_zero(bits));
+            bits &= bits - 1;
+            if (pending_only && chunk.hot[i].reader == 0)
+                continue;
+            visitor(chunk.base + i,
+                    ShadowRef{chunk.hot[i],
+                              chunk.cold ? &chunk.cold[i] : nullptr});
+        }
+    }
+}
+
+void
+ShadowMemory::forEach(const EvictionHandler &visitor, SweepFilter filter)
 {
     std::vector<Chunk *> chunks;
     chunks.reserve(directory_.size());
@@ -149,19 +186,8 @@ ShadowMemory::forEach(const EvictionHandler &visitor)
               [](const Chunk *a, const Chunk *b) {
                   return a->base < b->base;
               });
-    for (Chunk *chunk : chunks) {
-        for (std::size_t w = 0; w < kTouchedWords; ++w) {
-            std::uint64_t bits = chunk->touched[w];
-            while (bits != 0) {
-                std::size_t i =
-                    (w << 6) +
-                    static_cast<std::size_t>(std::countr_zero(bits));
-                bits &= bits - 1;
-                visitor(chunk->base + i,
-                        ShadowRef{chunk->hot[i], chunk->cold[i]});
-            }
-        }
-    }
+    for (Chunk *chunk : chunks)
+        visitTouched(*chunk, visitor, filter);
 }
 
 void
@@ -169,17 +195,22 @@ ShadowMemory::forEachInRecencyOrder(const EvictionHandler &visitor)
 {
     for (Chunk *chunk = lruHead_; chunk != nullptr;
          chunk = chunk->lruNext) {
-        for (std::size_t w = 0; w < kTouchedWords; ++w) {
-            std::uint64_t bits = chunk->touched[w];
-            while (bits != 0) {
-                std::size_t i =
-                    (w << 6) +
-                    static_cast<std::size_t>(std::countr_zero(bits));
-                bits &= bits - 1;
-                visitor(chunk->base + i,
-                        ShadowRef{chunk->hot[i], chunk->cold[i]});
-            }
-        }
+        visitTouched(*chunk, visitor, SweepFilter::All);
+    }
+}
+
+void
+ShadowMemory::forEachChunkInRecencyOrder(
+    const std::function<void(std::uint64_t, bool, std::uint64_t)> &fn)
+    const
+{
+    for (const Chunk *chunk = lruHead_; chunk != nullptr;
+         chunk = chunk->lruNext) {
+        std::uint64_t touched = 0;
+        for (std::size_t w = 0; w < kTouchedWords; ++w)
+            touched += static_cast<std::uint64_t>(
+                std::popcount(chunk->touched[w]));
+        fn(chunk->index, chunk->cold != nullptr, touched);
     }
 }
 
@@ -204,23 +235,16 @@ ShadowMemory::evictChunk(std::uint64_t index)
 void
 ShadowMemory::evictChunkPtr(Chunk *victim)
 {
-    if (evictionHandler_) {
-        for (std::size_t w = 0; w < kTouchedWords; ++w) {
-            std::uint64_t bits = victim->touched[w];
-            while (bits != 0) {
-                std::size_t i =
-                    (w << 6) +
-                    static_cast<std::size_t>(std::countr_zero(bits));
-                bits &= bits - 1;
-                evictionHandler_(
-                    victim->base + i,
-                    ShadowRef{victim->hot[i], victim->cold[i]});
-            }
-        }
-    }
+    if (evictionHandler_)
+        visitTouched(*victim, evictionHandler_, evictionFilter_);
     // The lookup cache may point into the evicted chunk.
     lastChunk_ = nullptr;
     lastChunkIndex_ = ~0ull;
+    stats_.bytesLive -= chunkHotBytes();
+    if (victim->cold) {
+        stats_.bytesLive -= chunkColdBytes();
+        --stats_.coldArraysLive;
+    }
     lruUnlink(victim);
     directory_.erase(victim->index);
     ++stats_.evictions;
@@ -234,18 +258,33 @@ ShadowMemory::forEachInChunk(std::uint64_t index,
     auto it = directory_.find(index);
     if (it == directory_.end())
         return;
-    Chunk &chunk = it->second;
-    for (std::size_t w = 0; w < kTouchedWords; ++w) {
-        std::uint64_t bits = chunk.touched[w];
-        while (bits != 0) {
-            std::size_t i =
-                (w << 6) +
-                static_cast<std::size_t>(std::countr_zero(bits));
-            bits &= bits - 1;
-            visitor(chunk.base + i,
-                    ShadowRef{chunk.hot[i], chunk.cold[i]});
+    visitTouched(it->second, visitor, SweepFilter::All);
+}
+
+bool
+ShadowMemory::chunkHasCold(std::uint64_t index) const
+{
+    auto it = directory_.find(index);
+    return it != directory_.end() && it->second.cold != nullptr;
+}
+
+void
+ShadowMemory::restoreStats(const ShadowStats &stats)
+{
+    stats_ = stats;
+    stats_.chunksLive = directory_.size();
+    stats_.coldArraysLive = 0;
+    std::uint64_t live = stamps_.bytes();
+    for (const auto &[index, chunk] : directory_) {
+        live += chunkHotBytes();
+        if (chunk.cold) {
+            live += chunkColdBytes();
+            ++stats_.coldArraysLive;
         }
     }
+    stats_.bytesLive = live;
+    if (stats_.bytesPeak < stats_.bytesLive)
+        stats_.bytesPeak = stats_.bytesLive;
 }
 
 } // namespace sigil::shadow

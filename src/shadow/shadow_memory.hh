@@ -1,6 +1,7 @@
 /**
  * @file
- * Two-level shadow memory with a span-oriented hot path.
+ * Two-level shadow memory with a span-oriented, stamp-compressed hot
+ * path.
  *
  * Holds shadow state per shadowed unit (byte, or cache line in
  * line-granularity mode) of the guest address space, following
@@ -10,10 +11,14 @@
  * address range is touched.
  *
  * Per chunk the state is stored as a structure-of-arrays split:
- *  - a *hot* array (ShadowHot): producer/consumer identity, touched on
- *    every access;
+ *  - a *hot* array (ShadowHot): two 32-bit stamp ids per unit — the
+ *    interned producer and last-consumer identities (see
+ *    stamp_table.hh). Every traced access reads or writes this record;
+ *    at 8 bytes per unit a contiguous span write is a word fill.
  *  - a *cold* array (ShadowCold): re-use run state and line-mode access
- *    totals, touched only in re-use / line mode;
+ *    totals. The array is allocated lazily, per chunk, the first time a
+ *    client asks for it (want_cold) — baseline-mode runs never pay for
+ *    it at all;
  *  - a *touched bitmap*: one bit per unit ever returned to a client, so
  *    end-of-run sweeps and eviction handlers visit only units whose
  *    state can differ from the default instead of all kChunkUnits.
@@ -39,32 +44,23 @@
 #include <memory>
 #include <unordered_map>
 
+#include "shadow/stamp_table.hh"
 #include "vg/types.hh"
 
 namespace sigil::shadow {
 
 /**
- * Hot shadow state of one shadowed unit (Table I of the paper):
- * identity of the producer (last writer) and of the last consumer
- * (last reader, with its call number). Every traced access reads or
- * writes this record, so it carries nothing else.
+ * Hot shadow state of one shadowed unit (Table I of the paper),
+ * stamp-compressed: the interned identity of the producer (last
+ * writer) and of the last consumer (last reader, with its call
+ * number). Id 0 is the null stamp, so a zero record means "never
+ * written, never read" and `reader != 0` means a consumer identity is
+ * recorded.
  */
 struct ShadowHot
 {
-    /** Event-trace segment that produced the current value. */
-    std::uint64_t lastWriterSeq = 0;
-    vg::CallNum lastWriterCall = 0;
-    vg::CallNum lastReaderCall = 0;
-    vg::ContextId lastWriterCtx = vg::kInvalidContext;
-    vg::ContextId lastReaderCtx = vg::kInvalidContext;
-    /** Thread that produced the current value. */
-    vg::ThreadId lastWriterThread = 0;
-
-    bool
-    everWritten() const
-    {
-        return lastWriterCtx != vg::kInvalidContext;
-    }
+    StampId writer = 0;
+    StampId reader = 0;
 };
 
 /**
@@ -72,7 +68,8 @@ struct ShadowHot
  * many times the last reader has read this unit and the first/last
  * access timestamps of that run) and the line-granularity access
  * total. Only re-use / line mode touches this record, so it lives in a
- * side array that baseline-mode accesses never pull into cache.
+ * side array that is not even allocated until such a client asks for
+ * it.
  */
 struct ShadowCold
 {
@@ -85,11 +82,16 @@ struct ShadowCold
     std::uint32_t runReads = 0;
 };
 
-/** Reference to the full (hot + cold) shadow state of one unit. */
+/**
+ * Reference to the shadow state of one unit. cold is null when the
+ * unit's chunk has no cold array (it was never requested with
+ * want_cold); clients that only need it opportunistically — finalizing
+ * a pending run that can only exist if cold exists — check for null.
+ */
 struct ShadowRef
 {
     ShadowHot &hot;
-    ShadowCold &cold;
+    ShadowCold *cold;
 };
 
 /** Nullable variant of ShadowRef (find() result). */
@@ -99,6 +101,23 @@ struct ShadowPtr
     ShadowCold *cold = nullptr;
 
     explicit operator bool() const { return hot != nullptr; }
+};
+
+/**
+ * Which touched units a sweep visits. Sweeps whose visitor is a no-op
+ * on some units (finalizing re-use runs never does anything to a unit
+ * with no recorded reader, or in a chunk with no cold array) pass a
+ * filter so the bit-scan loop skips them without a call through
+ * std::function.
+ */
+enum class SweepFilter
+{
+    /** Every touched unit. */
+    All,
+    /** Only chunks that have a cold array (every touched unit in them). */
+    ColdChunks,
+    /** Only units with a recorded reader, in chunks with a cold array. */
+    PendingRuns,
 };
 
 /** Allocation / eviction statistics (drives the memory-usage figure). */
@@ -111,10 +130,23 @@ struct ShadowStats
     /** Injected (or real) chunk allocation failures survived. */
     std::uint64_t allocFailures = 0;
 
+    /** Chunks currently holding a (lazily allocated) cold array. */
+    std::uint64_t coldArraysLive = 0;
+
+    /**
+     * Actual allocated shadow bytes, now and at the high-water mark:
+     * hot arrays + touched bitmaps of live chunks, cold arrays where
+     * present, plus the stamp table's accounting share. Replaces the
+     * old `chunksPeak * chunk_bytes` approximation, which over-counted
+     * chunks that never materialized a cold array.
+     */
+    std::uint64_t bytesLive = 0;
+    std::uint64_t bytesPeak = 0;
+
     std::uint64_t
-    peakBytes(std::size_t chunk_bytes) const
+    peakBytes() const
     {
-        return chunksPeak * chunk_bytes;
+        return bytesPeak;
     }
 };
 
@@ -148,7 +180,14 @@ class ShadowMemory
     using EvictionHandler =
         std::function<void(std::uint64_t unit, ShadowRef obj)>;
 
-    void setEvictionHandler(EvictionHandler handler);
+    /**
+     * Install the eviction handler. The filter restricts which touched
+     * units the handler is called with; a handler that only finalizes
+     * pending re-use runs passes SweepFilter::PendingRuns so eviction
+     * skips the (typically vast) majority of units it would no-op on.
+     */
+    void setEvictionHandler(EvictionHandler handler,
+                            SweepFilter filter = SweepFilter::All);
 
     /** Unit index covering a guest address. */
     std::uint64_t
@@ -169,17 +208,50 @@ class ShadowMemory
     /** Shadow unit size in guest bytes. */
     unsigned unitBytes() const { return 1u << granularityShift_; }
 
+    /** @name Stamp interning
+     *
+     * All stamp ids stored in this shadow come from its own table;
+     * interning goes through the shadow so the table's memory share is
+     * folded into the byte accounting the moment it grows.
+     */
+    /// @{
+    StampId
+    internWriter(const WriterStamp &s)
+    {
+        std::uint64_t before = stamps_.bytes();
+        StampId id = stamps_.internWriter(s);
+        if (std::uint64_t after = stamps_.bytes(); after != before)
+            bytesAdd(after - before);
+        return id;
+    }
+
+    StampId
+    internReader(const ReaderStamp &s)
+    {
+        std::uint64_t before = stamps_.bytes();
+        StampId id = stamps_.internReader(s);
+        if (std::uint64_t after = stamps_.bytes(); after != before)
+            bytesAdd(after - before);
+        return id;
+    }
+
+    const StampTable &stamps() const { return stamps_; }
+    /// @}
+
     /**
      * Locate (creating if needed) the shadow state of a unit, marking
      * its chunk as most recently touched. May evict another chunk when
-     * a memory limit is configured.
+     * a memory limit is configured. want_cold materializes the chunk's
+     * cold array if it is still absent; without it the returned cold
+     * pointer is null unless the array already exists.
      */
-    ShadowRef lookup(std::uint64_t unit);
+    ShadowRef lookup(std::uint64_t unit, bool want_cold = false);
 
     /**
      * A maximal contiguous run of shadow state inside one chunk:
-     * units [firstUnit, firstUnit + count) map to hot[0..count) and
-     * cold[0..count).
+     * units [firstUnit, firstUnit + count) map to hot[0..count), and
+     * to cold[0..count) when the chunk has a cold array (else cold is
+     * null).
      */
     struct Run
     {
@@ -193,35 +265,42 @@ class ShadowMemory
      * Span-oriented lookup: visit the shadow state of every unit in
      * [first_unit, last_unit] as chunk-clamped contiguous runs,
      * resolving each chunk exactly once. Equivalent to calling
-     * lookup() per unit (same touch ordering, same evictions at chunk
-     * boundaries) without the per-unit directory and recency work.
+     * lookup() per unit (same touch ordering, same evictions and cold
+     * materializations at chunk boundaries) without the per-unit
+     * directory and recency work.
      *
      * The references inside a Run are valid only during the callback:
      * the next chunk resolution may evict the chunk that backed it.
      */
     template <typename Fn>
     void
-    span(std::uint64_t first_unit, std::uint64_t last_unit, Fn &&fn)
+    span(std::uint64_t first_unit, std::uint64_t last_unit,
+         bool want_cold, Fn &&fn)
     {
         if (first_unit == last_unit) {
             // Single-unit access (the byte-mode common case): skip the
             // run clamping and range bitmap arithmetic entirely.
             Chunk &chunk = chunkFor(first_unit);
+            if (want_cold && !chunk.cold)
+                materializeCold(chunk);
             std::size_t off = first_unit & (kChunkUnits - 1);
             chunk.touched[off >> 6] |= std::uint64_t{1} << (off & 63);
             fn(Run{first_unit, 1, chunk.hot.get() + off,
-                   chunk.cold.get() + off});
+                   chunk.cold ? chunk.cold.get() + off : nullptr});
             return;
         }
         std::uint64_t u = first_unit;
         while (u <= last_unit) {
             Chunk &chunk = chunkFor(u);
+            if (want_cold && !chunk.cold)
+                materializeCold(chunk);
             std::size_t off = static_cast<std::size_t>(u - chunk.base);
             std::size_t n = static_cast<std::size_t>(
                 std::min<std::uint64_t>(last_unit - u + 1,
                                         kChunkUnits - off));
             markTouched(chunk, off, n);
-            fn(Run{u, n, chunk.hot.get() + off, chunk.cold.get() + off});
+            fn(Run{u, n, chunk.hot.get() + off,
+                   chunk.cold ? chunk.cold.get() + off : nullptr});
             u += n;
         }
     }
@@ -235,16 +314,16 @@ class ShadowMemory
      * saved chunk set (which already respects the limit) cannot
      * perturb it. Units must be restored in saved (recency) order.
      */
-    ShadowRef restoreLookup(std::uint64_t unit);
+    ShadowRef restoreLookup(std::uint64_t unit, bool want_cold = false);
 
     /**
      * Visit every touched shadow object (used for the end-of-run sweep
      * that finalizes pending re-use runs). Chunks are visited in
      * ascending base order so the sweep is deterministic run-to-run;
-     * within a chunk only units marked in the touched bitmap are
-     * visited.
+     * within a chunk only units matching the filter are visited.
      */
-    void forEach(const EvictionHandler &visitor);
+    void forEach(const EvictionHandler &visitor,
+                 SweepFilter filter = SweepFilter::All);
 
     /**
      * Visit every touched shadow object chunk-by-chunk in recency
@@ -256,6 +335,16 @@ class ShadowMemory
     void forEachInRecencyOrder(const EvictionHandler &visitor);
 
     /**
+     * Visit the live chunks in recency order (least recently touched
+     * first) as (index, has_cold, touched_units) triples — the
+     * chunk-level walk the checkpoint writer uses to frame each
+     * chunk's unit group.
+     */
+    void forEachChunkInRecencyOrder(
+        const std::function<void(std::uint64_t index, bool has_cold,
+                                 std::uint64_t touched_units)> &fn) const;
+
+    /**
      * Visit the touched units of one resident chunk (ascending unit
      * order), or do nothing if the chunk is absent. Sharded mode saves
      * checkpoints by walking the planner's global recency list and
@@ -263,6 +352,9 @@ class ShadowMemory
      */
     void forEachInChunk(std::uint64_t index,
                         const EvictionHandler &visitor);
+
+    /** Whether a resident chunk has a cold array (false if absent). */
+    bool chunkHasCold(std::uint64_t index) const;
 
     /**
      * Evict one specific resident chunk (sharded mode: the sequencer's
@@ -275,15 +367,13 @@ class ShadowMemory
     const ShadowStats &stats() const { return stats_; }
 
     /**
-     * Overwrite the cumulative statistics (checkpoint restore); the
-     * live-chunk count is re-derived from the directory.
+     * Overwrite the cumulative statistics (checkpoint restore). The
+     * live-chunk count, cold-array count, and live bytes are re-derived
+     * from the directory and stamp table; the byte peak is clamped up
+     * to the re-derived live figure (pre-v3 checkpoints do not record
+     * it).
      */
-    void
-    restoreStats(const ShadowStats &stats)
-    {
-        stats_ = stats;
-        stats_.chunksLive = directory_.size();
-    }
+    void restoreStats(const ShadowStats &stats);
 
     /**
      * Fault injection: consulted before every new chunk allocation;
@@ -309,27 +399,28 @@ class ShadowMemory
     }
 
     /**
-     * Host bytes of one chunk, for memory accounting: the hot and cold
-     * unit arrays plus the touched bitmap.
+     * Host bytes of the always-present part of one chunk: the hot unit
+     * array plus the touched bitmap.
      */
     static constexpr std::size_t
-    chunkBytes()
+    chunkHotBytes()
     {
-        return kChunkUnits * (sizeof(ShadowHot) + sizeof(ShadowCold)) +
+        return kChunkUnits * sizeof(ShadowHot) +
                kTouchedWords * sizeof(std::uint64_t);
     }
 
-    /** Current host bytes held by live chunks. */
-    std::uint64_t liveBytes() const
+    /** Host bytes of one chunk's lazily allocated cold array. */
+    static constexpr std::size_t
+    chunkColdBytes()
     {
-        return stats_.chunksLive * chunkBytes();
+        return kChunkUnits * sizeof(ShadowCold);
     }
 
+    /** Current host bytes held (chunks + stamp table share). */
+    std::uint64_t liveBytes() const { return stats_.bytesLive; }
+
     /** Peak host bytes ever held. */
-    std::uint64_t peakBytes() const
-    {
-        return stats_.chunksPeak * chunkBytes();
-    }
+    std::uint64_t peakBytes() const { return stats_.bytesPeak; }
 
   private:
     struct Chunk
@@ -337,6 +428,7 @@ class ShadowMemory
         std::uint64_t base = 0; // first unit index covered
         std::uint64_t index = 0;
         std::unique_ptr<ShadowHot[]> hot;
+        /** Lazily allocated on the first want_cold resolution. */
         std::unique_ptr<ShadowCold[]> cold;
         /** Bit per unit: ever returned via lookup()/span(). */
         std::uint64_t touched[kTouchedWords] = {};
@@ -346,11 +438,30 @@ class ShadowMemory
     };
 
     Chunk &chunkFor(std::uint64_t unit);
+    void materializeCold(Chunk &chunk);
     void evictOldest();
     void evictChunkPtr(Chunk *chunk);
 
     void lruUnlink(Chunk *chunk);
     void lruAppend(Chunk *chunk);
+
+    /**
+     * The single owner of the touched-bit scan: every sweep — the
+     * ascending and recency-ordered walks, the per-chunk checkpoint
+     * walk, and the eviction handler pass — visits a chunk's touched
+     * units through here (the eviction/sweep loop used to be
+     * duplicated per caller).
+     */
+    static void visitTouched(Chunk &chunk, const EvictionHandler &visitor,
+                             SweepFilter filter);
+
+    void
+    bytesAdd(std::uint64_t n)
+    {
+        stats_.bytesLive += n;
+        if (stats_.bytesLive > stats_.bytesPeak)
+            stats_.bytesPeak = stats_.bytesLive;
+    }
 
     /** Mark units [off, off + n) of a chunk as touched. */
     static void
@@ -379,8 +490,10 @@ class ShadowMemory
     Chunk *lruHead_ = nullptr;
     Chunk *lruTail_ = nullptr;
     EvictionHandler evictionHandler_;
+    SweepFilter evictionFilter_ = SweepFilter::All;
     std::function<bool()> allocFailureInjector_;
     std::function<void(int)> pressureHandler_;
+    StampTable stamps_;
     ShadowStats stats_;
 };
 

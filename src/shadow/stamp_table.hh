@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Interning table for shadow identity stamps.
+ *
+ * Every shadowed unit must remember who produced its current value —
+ * (segment, context, thread) — and who last consumed it —
+ * (call, context). Those tuples are massively repeated: one write
+ * segment stamps the same producer identity across every unit it
+ * touches. Storing the tuple inline (the pre-stamp ShadowHot was ~40
+ * bytes per unit) duplicates it per unit; interning each distinct
+ * tuple once and storing a 32-bit stamp id per unit cuts the hot
+ * array to 8 bytes per unit and turns span writes into word fills.
+ *
+ * Stamp id 0 is reserved for the *null* tuple — the default state of
+ * a never-written (resp. never-read) unit: writer {seq 0,
+ * ctx kInvalidContext, thread 0}, reader {call 0, ctx
+ * kInvalidContext}. Interning is injective, so id equality is tuple
+ * equality; in particular "unit was never read" is `reader == 0`.
+ *
+ * Ids are assigned densely in first-intern order, which makes them
+ * deterministic for a given access stream: two engines that intern
+ * the same tuple sequence assign identical ids (the property the
+ * sharded checkpoint path relies on).
+ */
+
+#ifndef SIGIL_SHADOW_STAMP_TABLE_HH
+#define SIGIL_SHADOW_STAMP_TABLE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "vg/types.hh"
+
+namespace sigil::shadow {
+
+/** Index of an interned stamp tuple; 0 is the null stamp. */
+using StampId = std::uint32_t;
+
+/**
+ * Producer identity of a shadowed unit's current value.
+ *
+ * Deliberately minimal: classification consumes the producer context,
+ * thread (inter-thread edges), and event segment (transfer
+ * attribution) — the producer's call number is consumed by nothing,
+ * so carrying it would only multiply distinct tuples (one per call
+ * instead of one per context) without changing any output. With event
+ * collection off, segments never open and `seq` stays 0, so the table
+ * holds roughly (contexts × threads) entries for a whole run.
+ */
+struct WriterStamp
+{
+    /** Event-trace segment that produced the value (0 = none). */
+    std::uint64_t seq = 0;
+    vg::ContextId ctx = vg::kInvalidContext;
+    vg::ThreadId thread = 0;
+
+    bool
+    operator==(const WriterStamp &o) const
+    {
+        return seq == o.seq && ctx == o.ctx && thread == o.thread;
+    }
+};
+
+/**
+ * Identity of a shadowed unit's last consumer.
+ *
+ * The call number exists solely so that id equality delimits re-use
+ * runs (a run ends when a different call or context reads the unit).
+ * When re-use collection is off, intern sites pass call = 0 —
+ * classification reads only the consumer context, and the table then
+ * holds one entry per context instead of one per dynamic call.
+ */
+struct ReaderStamp
+{
+    vg::CallNum call = 0;
+    vg::ContextId ctx = vg::kInvalidContext;
+
+    bool
+    operator==(const ReaderStamp &o) const
+    {
+        return call == o.call && ctx == o.ctx;
+    }
+};
+
+/** The interning table: dense id → tuple, hash tuple → id. */
+class StampTable
+{
+  public:
+    StampTable();
+
+    /** Intern a tuple, returning its (possibly existing) id. */
+    StampId internWriter(const WriterStamp &s);
+    StampId internReader(const ReaderStamp &s);
+
+    /** Resolve an id back to its tuple. */
+    const WriterStamp &
+    writer(StampId id) const
+    {
+        return writers_[id];
+    }
+
+    const ReaderStamp &
+    reader(StampId id) const
+    {
+        return readers_[id];
+    }
+
+    /**
+     * Id of an already-interned tuple. Panics if the tuple was never
+     * interned — callers use this where absence is an invariant
+     * violation (checkpoint save resolving shard-local stamps against
+     * the sequencer mirror table).
+     */
+    StampId idOfWriter(const WriterStamp &s) const;
+    StampId idOfReader(const ReaderStamp &s) const;
+
+    /** Total entries, including the reserved null entry 0. */
+    std::size_t writerCount() const { return writers_.size(); }
+    std::size_t readerCount() const { return readers_.size(); }
+
+    /**
+     * Deterministic memory accounting: bytes attributed to the interned
+     * entries beyond the two reserved null entries. Per entry this is
+     * the tuple itself plus a fixed hash-index share, so two tables
+     * holding the same entries report the same figure regardless of
+     * load factors — a requirement for serial and sharded runs to
+     * report bit-identical shadowPeakBytes.
+     */
+    static constexpr std::size_t kIndexShareBytes = 24;
+
+    std::uint64_t
+    bytes() const
+    {
+        return (writers_.size() - 1) *
+                   (sizeof(WriterStamp) + kIndexShareBytes) +
+               (readers_.size() - 1) *
+                   (sizeof(ReaderStamp) + kIndexShareBytes);
+    }
+
+  private:
+    struct WriterHash
+    {
+        std::size_t operator()(const WriterStamp &s) const;
+    };
+    struct ReaderHash
+    {
+        std::size_t operator()(const ReaderStamp &s) const;
+    };
+
+    std::vector<WriterStamp> writers_;
+    std::vector<ReaderStamp> readers_;
+    std::unordered_map<WriterStamp, StampId, WriterHash> writerIndex_;
+    std::unordered_map<ReaderStamp, StampId, ReaderHash> readerIndex_;
+
+    /**
+     * One-entry intern caches: consecutive accesses share the ambient
+     * stamp, so most interns are a repeat of the previous one.
+     */
+    WriterStamp lastWriter_;
+    StampId lastWriterId_ = 0;
+    ReaderStamp lastReader_;
+    StampId lastReaderId_ = 0;
+};
+
+} // namespace sigil::shadow
+
+#endif // SIGIL_SHADOW_STAMP_TABLE_HH

@@ -2,7 +2,8 @@
  * @file
  * Tests for the two-level shadow memory: lazy chunk creation, the
  * lookup cache, the span API, line granularity, the LRU memory limit,
- * the touched bitmap, and eviction callbacks.
+ * the touched bitmap, stamp interning, lazy cold arrays, byte
+ * accounting, and eviction callbacks.
  */
 
 #include <gtest/gtest.h>
@@ -17,12 +18,39 @@
 namespace sigil::shadow {
 namespace {
 
+/** Writer stamp for a bare context (tests mostly only vary the ctx). */
+WriterStamp
+ctxStamp(vg::ContextId ctx)
+{
+    return WriterStamp{0, ctx, 0};
+}
+
+/** Intern a bare-context writer stamp in a shadow's own table. */
+StampId
+ctxId(ShadowMemory &sm, vg::ContextId ctx)
+{
+    return sm.internWriter(ctxStamp(ctx));
+}
+
+/** The writer context recorded for a unit (kInvalidContext if never). */
+vg::ContextId
+writerCtx(const ShadowMemory &sm, const ShadowRef &o)
+{
+    return sm.stamps().writer(o.hot.writer).ctx;
+}
+
+bool
+everWritten(const ShadowRef &o)
+{
+    return o.hot.writer != 0;
+}
+
 TEST(ShadowMemory, LookupCreatesChunkOnDemand)
 {
     ShadowMemory sm;
     EXPECT_EQ(sm.stats().chunksLive, 0u);
     ShadowRef o = sm.lookup(100);
-    EXPECT_FALSE(o.hot.everWritten());
+    EXPECT_FALSE(everWritten(o));
     EXPECT_EQ(sm.stats().chunksLive, 1u);
     EXPECT_EQ(sm.stats().chunksAllocated, 1u);
 }
@@ -31,19 +59,47 @@ TEST(ShadowMemory, FindDoesNotCreate)
 {
     ShadowMemory sm;
     EXPECT_FALSE(sm.find(100));
-    sm.lookup(100).hot.lastWriterCtx = 3;
+    sm.lookup(100).hot.writer = ctxId(sm, 3);
     ShadowPtr o = sm.find(100);
     ASSERT_TRUE(o);
-    EXPECT_EQ(o.hot->lastWriterCtx, 3);
+    EXPECT_EQ(sm.stamps().writer(o.hot->writer).ctx, 3);
     EXPECT_EQ(sm.stats().chunksLive, 1u);
 }
 
 TEST(ShadowMemory, StatePersistsAcrossLookups)
 {
     ShadowMemory sm;
-    sm.lookup(5).hot.lastWriterCtx = 42;
+    sm.lookup(5).hot.writer = ctxId(sm, 42);
     sm.lookup(1 << 20); // different chunk, invalidates lookup cache
-    EXPECT_EQ(sm.lookup(5).hot.lastWriterCtx, 42);
+    EXPECT_EQ(writerCtx(sm, sm.lookup(5)), 42);
+}
+
+TEST(ShadowMemory, InterningIsInjective)
+{
+    ShadowMemory sm;
+    StampId a = ctxId(sm, 1);
+    StampId b = ctxId(sm, 2);
+    StampId c = ctxId(sm, 1);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a, c);
+    EXPECT_NE(a, 0u); // 0 is the reserved null stamp
+    // Distinct fields yield distinct ids even when the ctx matches.
+    StampId d = sm.internWriter(WriterStamp{7, 1, 0});
+    StampId f = sm.internWriter(WriterStamp{0, 1, 7});
+    EXPECT_EQ((std::set<StampId>{a, d, f}).size(), 3u);
+    // Resolution inverts interning.
+    EXPECT_EQ(sm.stamps().writer(d).seq, 7u);
+    EXPECT_EQ(sm.stamps().writer(f).thread, 7u);
+}
+
+TEST(ShadowMemory, NullStampResolvesToNeverWritten)
+{
+    StampTable t;
+    EXPECT_EQ(t.writer(0).ctx, vg::kInvalidContext);
+    EXPECT_EQ(t.reader(0).ctx, vg::kInvalidContext);
+    // Interning the null tuples returns the reserved id 0.
+    EXPECT_EQ(t.internWriter(WriterStamp{}), 0u);
+    EXPECT_EQ(t.internReader(ReaderStamp{}), 0u);
 }
 
 TEST(ShadowMemory, UnitMappingByteMode)
@@ -82,8 +138,50 @@ TEST(ShadowMemory, PeakTracksHighWater)
     for (std::uint64_t c = 0; c < 5; ++c)
         sm.lookup(c * ShadowMemory::kChunkUnits);
     EXPECT_EQ(sm.stats().chunksPeak, 5u);
-    EXPECT_EQ(sm.peakBytes(), 5u * ShadowMemory::chunkBytes());
+    // No cold arrays were requested and nothing was interned, so the
+    // footprint is exactly five hot arrays (plus bitmaps).
+    EXPECT_EQ(sm.peakBytes(), 5u * ShadowMemory::chunkHotBytes());
     EXPECT_EQ(sm.liveBytes(), sm.peakBytes());
+}
+
+TEST(ShadowMemory, ColdArrayIsLazyAndAccounted)
+{
+    ShadowMemory sm;
+    ShadowRef o = sm.lookup(100);
+    EXPECT_EQ(o.cold, nullptr);
+    EXPECT_EQ(sm.stats().coldArraysLive, 0u);
+    EXPECT_EQ(sm.liveBytes(), ShadowMemory::chunkHotBytes());
+
+    ShadowRef c = sm.lookup(100, /*want_cold=*/true);
+    ASSERT_NE(c.cold, nullptr);
+    c.cold->runReads = 5;
+    EXPECT_EQ(sm.stats().coldArraysLive, 1u);
+    EXPECT_EQ(sm.liveBytes(), ShadowMemory::chunkHotBytes() +
+                                  ShadowMemory::chunkColdBytes());
+
+    // Once materialized, plain lookups see the same array.
+    ShadowRef again = sm.lookup(100);
+    ASSERT_NE(again.cold, nullptr);
+    EXPECT_EQ(again.cold->runReads, 5u);
+
+    // A second chunk without want_cold stays hot-only.
+    sm.lookup(ShadowMemory::kChunkUnits * 9);
+    EXPECT_EQ(sm.stats().coldArraysLive, 1u);
+}
+
+TEST(ShadowMemory, InterningGrowsByteAccounting)
+{
+    ShadowMemory sm;
+    sm.lookup(0);
+    const std::uint64_t base = sm.liveBytes();
+    ctxId(sm, 1);
+    const std::uint64_t one = sm.liveBytes();
+    EXPECT_GT(one, base);
+    ctxId(sm, 1); // duplicate: no growth
+    EXPECT_EQ(sm.liveBytes(), one);
+    ctxId(sm, 2);
+    EXPECT_GT(sm.liveBytes(), one);
+    EXPECT_EQ(sm.liveBytes(), base + sm.stamps().bytes());
 }
 
 TEST(ShadowMemory, LimitEvictsLeastRecentlyTouched)
@@ -91,15 +189,30 @@ TEST(ShadowMemory, LimitEvictsLeastRecentlyTouched)
     ShadowMemory::Config cfg;
     cfg.maxChunks = 2;
     ShadowMemory sm(cfg);
-    sm.lookup(0 * ShadowMemory::kChunkUnits).hot.lastWriterCtx = 10;
-    sm.lookup(1 * ShadowMemory::kChunkUnits).hot.lastWriterCtx = 11;
+    sm.lookup(0 * ShadowMemory::kChunkUnits).hot.writer = ctxId(sm, 10);
+    sm.lookup(1 * ShadowMemory::kChunkUnits).hot.writer = ctxId(sm, 11);
     sm.lookup(0 * ShadowMemory::kChunkUnits); // touch chunk 0 again
     sm.lookup(2 * ShadowMemory::kChunkUnits); // evicts chunk 1
     EXPECT_EQ(sm.stats().evictions, 1u);
     EXPECT_EQ(sm.stats().chunksLive, 2u);
     // Chunk 0 survived with its state; chunk 1's state is gone.
-    EXPECT_EQ(sm.find(0).hot->lastWriterCtx, 10);
+    EXPECT_EQ(sm.stamps().writer(sm.find(0).hot->writer).ctx, 10);
     EXPECT_FALSE(sm.find(ShadowMemory::kChunkUnits));
+}
+
+TEST(ShadowMemory, EvictionReleasesBytes)
+{
+    ShadowMemory::Config cfg;
+    cfg.maxChunks = 2;
+    ShadowMemory sm(cfg);
+    sm.lookup(0 * ShadowMemory::kChunkUnits, /*want_cold=*/true);
+    sm.lookup(1 * ShadowMemory::kChunkUnits);
+    const std::uint64_t peak = sm.liveBytes();
+    sm.lookup(2 * ShadowMemory::kChunkUnits); // evicts the cold chunk
+    EXPECT_EQ(sm.stats().coldArraysLive, 0u);
+    EXPECT_EQ(sm.liveBytes(),
+              peak - ShadowMemory::chunkColdBytes());
+    EXPECT_EQ(sm.peakBytes(), peak);
 }
 
 TEST(ShadowMemory, LruOrderSurvivesManyInterleavedTouches)
@@ -115,14 +228,15 @@ TEST(ShadowMemory, LruOrderSurvivesManyInterleavedTouches)
     sm.setEvictionHandler([&](std::uint64_t unit, ShadowRef) {
         evicted.push_back(unit / kC);
     });
+    const StampId w = ctxId(sm, 1);
     for (std::uint64_t c = 0; c < 4; ++c)
-        sm.lookup(c * kC).hot.lastWriterCtx = 1; // LRU order 0,1,2,3
-    sm.lookup(1 * kC);                           // order 0,2,3,1
-    sm.lookup(0 * kC);                           // order 2,3,1,0
-    sm.lookup(4 * kC).hot.lastWriterCtx = 1;     // evicts 2
-    sm.lookup(5 * kC).hot.lastWriterCtx = 1;     // evicts 3
-    sm.lookup(6 * kC).hot.lastWriterCtx = 1;     // evicts 1
-    sm.lookup(7 * kC).hot.lastWriterCtx = 1;     // evicts 0
+        sm.lookup(c * kC).hot.writer = w; // LRU order 0,1,2,3
+    sm.lookup(1 * kC);                    // order 0,2,3,1
+    sm.lookup(0 * kC);                    // order 2,3,1,0
+    sm.lookup(4 * kC).hot.writer = w;     // evicts 2
+    sm.lookup(5 * kC).hot.writer = w;     // evicts 3
+    sm.lookup(6 * kC).hot.writer = w;     // evicts 1
+    sm.lookup(7 * kC).hot.writer = w;     // evicts 0
     EXPECT_EQ(evicted, (std::vector<std::uint64_t>{2, 3, 1, 0}));
     EXPECT_EQ(sm.stats().evictions, 4u);
 }
@@ -136,11 +250,49 @@ TEST(ShadowMemory, EvictionHandlerSeesOnlyTouchedUnits)
     sm.setEvictionHandler([&](std::uint64_t unit, ShadowRef) {
         evicted_units.insert(unit);
     });
-    sm.lookup(7).hot.lastWriterCtx = 1;
+    sm.lookup(7).hot.writer = ctxId(sm, 1);
     sm.lookup(9); // touched but never written — still reported
-    sm.lookup(ShadowMemory::kChunkUnits + 3).hot.lastWriterCtx = 1;
+    sm.lookup(ShadowMemory::kChunkUnits + 3).hot.writer = ctxId(sm, 1);
     sm.lookup(2 * ShadowMemory::kChunkUnits); // evicts the oldest chunk
     EXPECT_EQ(evicted_units, (std::set<std::uint64_t>{7, 9}));
+}
+
+TEST(ShadowMemory, SweepFiltersSkipColdlessChunksAndIdleUnits)
+{
+    ShadowMemory::Config cfg;
+    cfg.maxChunks = 2;
+    ShadowMemory sm(cfg);
+    std::vector<std::uint64_t> evicted_units;
+    sm.setEvictionHandler(
+        [&](std::uint64_t unit, ShadowRef) {
+            evicted_units.push_back(unit);
+        },
+        SweepFilter::PendingRuns);
+    // Chunk 0: no cold array — its eviction must visit nothing.
+    sm.lookup(7).hot.writer = ctxId(sm, 1);
+    sm.lookup(ShadowMemory::kChunkUnits);
+    sm.lookup(2 * ShadowMemory::kChunkUnits); // evicts chunk 0
+    EXPECT_TRUE(evicted_units.empty());
+
+    // Chunk 1 gains a cold array; only its reader-holding unit is
+    // reported under PendingRuns.
+    ShadowRef o = sm.lookup(ShadowMemory::kChunkUnits + 4,
+                            /*want_cold=*/true);
+    o.hot.reader = 1;
+    sm.lookup(ShadowMemory::kChunkUnits + 9); // touched, no reader
+    sm.lookup(2 * ShadowMemory::kChunkUnits); // chunk 1 becomes LRU
+    sm.lookup(3 * ShadowMemory::kChunkUnits); // evicts chunk 1
+    EXPECT_EQ(evicted_units,
+              (std::vector<std::uint64_t>{ShadowMemory::kChunkUnits + 4}));
+
+    // ColdChunks: every touched unit of cold chunks, reader or not.
+    std::vector<std::uint64_t> swept;
+    sm.lookup(5 * ShadowMemory::kChunkUnits + 1, /*want_cold=*/true);
+    sm.forEach([&](std::uint64_t unit,
+                   ShadowRef) { swept.push_back(unit); },
+               SweepFilter::ColdChunks);
+    EXPECT_EQ(swept, (std::vector<std::uint64_t>{
+                         5 * ShadowMemory::kChunkUnits + 1}));
 }
 
 TEST(ShadowMemory, EvictedChunkRecreatedFresh)
@@ -148,25 +300,25 @@ TEST(ShadowMemory, EvictedChunkRecreatedFresh)
     ShadowMemory::Config cfg;
     cfg.maxChunks = 2;
     ShadowMemory sm(cfg);
-    sm.lookup(0).hot.lastWriterCtx = 99;
+    sm.lookup(0).hot.writer = ctxId(sm, 99);
     sm.lookup(ShadowMemory::kChunkUnits);
     sm.lookup(2 * ShadowMemory::kChunkUnits); // evicts chunk of unit 0
     ShadowRef o = sm.lookup(0);               // recreated
-    EXPECT_FALSE(o.hot.everWritten());
+    EXPECT_FALSE(everWritten(o));
     EXPECT_EQ(sm.stats().chunksAllocated, 4u);
 }
 
 TEST(ShadowMemory, ForEachVisitsOnlyTouchedUnits)
 {
     ShadowMemory sm;
-    sm.lookup(1).hot.lastWriterCtx = 1;
-    sm.lookup(ShadowMemory::kChunkUnits + 2).hot.lastWriterCtx = 2;
+    sm.lookup(1).hot.writer = ctxId(sm, 1);
+    sm.lookup(ShadowMemory::kChunkUnits + 2).hot.writer = ctxId(sm, 2);
     sm.lookup(ShadowMemory::kChunkUnits + 5); // touched, default state
     std::vector<std::uint64_t> seen;
     int written = 0;
     sm.forEach([&](std::uint64_t unit, ShadowRef o) {
         seen.push_back(unit);
-        if (o.hot.everWritten())
+        if (everWritten(o))
             ++written;
     });
     EXPECT_EQ(written, 2);
@@ -180,8 +332,9 @@ TEST(ShadowMemory, ForEachIsSortedByBaseRegardlessOfCreationOrder)
     constexpr std::uint64_t kC = ShadowMemory::kChunkUnits;
     ShadowMemory sm;
     // Create chunks in scrambled order; the sweep must be ascending.
+    const StampId w = ctxId(sm, 1);
     for (std::uint64_t c : {9ull, 2ull, 31ull, 0ull, 17ull, 5ull})
-        sm.lookup(c * kC + 1).hot.lastWriterCtx = 1;
+        sm.lookup(c * kC + 1).hot.writer = w;
     std::vector<std::uint64_t> order;
     sm.forEach([&](std::uint64_t unit, ShadowRef) {
         order.push_back(unit);
@@ -195,12 +348,13 @@ TEST(ShadowMemory, SpanYieldsChunkClampedRuns)
 {
     constexpr std::uint64_t kC = ShadowMemory::kChunkUnits;
     ShadowMemory sm;
+    const StampId w = ctxId(sm, 7);
     // A span crossing two chunk boundaries decomposes into three runs.
     std::vector<std::pair<std::uint64_t, std::size_t>> runs;
-    sm.span(kC - 3, 2 * kC + 4, [&](ShadowMemory::Run run) {
+    sm.span(kC - 3, 2 * kC + 4, false, [&](ShadowMemory::Run run) {
         runs.push_back({run.firstUnit, run.count});
-        for (std::size_t i = 0; i < run.count; ++i)
-            run.hot[i].lastWriterCtx = 7;
+        EXPECT_EQ(run.cold, nullptr); // never requested
+        std::fill(run.hot, run.hot + run.count, ShadowHot{w, 0});
     });
     ASSERT_EQ(runs.size(), 3u);
     EXPECT_EQ(runs[0], (std::pair<std::uint64_t, std::size_t>{kC - 3, 3}));
@@ -208,9 +362,9 @@ TEST(ShadowMemory, SpanYieldsChunkClampedRuns)
     EXPECT_EQ(runs[2],
               (std::pair<std::uint64_t, std::size_t>{2 * kC, 5}));
     // Every unit of the span (and only those) is written and touched.
-    EXPECT_FALSE(sm.lookup(kC - 4).hot.everWritten());
-    EXPECT_TRUE(sm.lookup(kC - 3).hot.everWritten());
-    EXPECT_TRUE(sm.lookup(2 * kC + 4).hot.everWritten());
+    EXPECT_FALSE(everWritten(sm.lookup(kC - 4)));
+    EXPECT_TRUE(everWritten(sm.lookup(kC - 3)));
+    EXPECT_TRUE(everWritten(sm.lookup(2 * kC + 4)));
     std::size_t visited = 0;
     sm.forEach([&](std::uint64_t, ShadowRef) { ++visited; });
     // 3 + 4096 + 5 span units, plus unit kC-4 touched by the probe
@@ -228,20 +382,22 @@ TEST(ShadowMemory, SpanMatchesPerUnitLookup)
         std::uint64_t last = first + rng.nextBounded(300);
         vg::ContextId ctx =
             static_cast<vg::ContextId>(rng.nextBounded(50));
-        a.span(first, last, [&](ShadowMemory::Run run) {
-            for (std::size_t k = 0; k < run.count; ++k)
-                run.hot[k].lastWriterCtx = ctx;
+        const StampId wa = ctxId(a, ctx);
+        const StampId wb = ctxId(b, ctx);
+        a.span(first, last, false, [&](ShadowMemory::Run run) {
+            std::fill(run.hot, run.hot + run.count, ShadowHot{wa, 0});
         });
         for (std::uint64_t u = first; u <= last; ++u)
-            b.lookup(u).hot.lastWriterCtx = ctx;
+            b.lookup(u).hot.writer = wb;
     }
     EXPECT_EQ(a.stats().chunksAllocated, b.stats().chunksAllocated);
+    EXPECT_EQ(a.liveBytes(), b.liveBytes());
     std::vector<std::pair<std::uint64_t, vg::ContextId>> va, vb;
     a.forEach([&](std::uint64_t u, ShadowRef o) {
-        va.push_back({u, o.hot.lastWriterCtx});
+        va.push_back({u, writerCtx(a, o)});
     });
     b.forEach([&](std::uint64_t u, ShadowRef o) {
-        vb.push_back({u, o.hot.lastWriterCtx});
+        vb.push_back({u, writerCtx(b, o)});
     });
     EXPECT_EQ(va, vb);
 }
@@ -259,27 +415,31 @@ TEST(ShadowMemory, SpanAndPerUnitEvictIdentically)
     b.setEvictionHandler(
         [&](std::uint64_t u, ShadowRef) { eb.push_back(u); });
     sigil::Rng rng(13);
+    const StampId wa = ctxId(a, 1);
+    const StampId wb = ctxId(b, 1);
     for (int i = 0; i < 500; ++i) {
         std::uint64_t first = rng.nextBounded(1 << 16);
         std::uint64_t last = first + rng.nextBounded(3000);
-        a.span(first, last, [&](ShadowMemory::Run run) {
-            for (std::size_t k = 0; k < run.count; ++k)
-                run.hot[k].lastWriterCtx = 1;
+        a.span(first, last, false, [&](ShadowMemory::Run run) {
+            std::fill(run.hot, run.hot + run.count, ShadowHot{wa, 0});
         });
         for (std::uint64_t u = first; u <= last; ++u)
-            b.lookup(u).hot.lastWriterCtx = 1;
+            b.lookup(u).hot.writer = wb;
     }
     EXPECT_EQ(a.stats().evictions, b.stats().evictions);
     EXPECT_EQ(ea, eb);
 }
 
-TEST(ShadowMemory, ChunkBytesAccountsHotColdAndBitmap)
+TEST(ShadowMemory, ChunkByteFormulas)
 {
-    constexpr std::size_t expect =
-        ShadowMemory::kChunkUnits *
-            (sizeof(ShadowHot) + sizeof(ShadowCold)) +
-        ShadowMemory::kChunkUnits / 8;
-    EXPECT_EQ(ShadowMemory::chunkBytes(), expect);
+    // Hot: 8 bytes per unit plus the touched bitmap (1 bit per unit).
+    EXPECT_EQ(ShadowMemory::chunkHotBytes(),
+              ShadowMemory::kChunkUnits * sizeof(ShadowHot) +
+                  ShadowMemory::kChunkUnits / 8);
+    EXPECT_EQ(sizeof(ShadowHot), 8u);
+    // Cold: the full per-unit re-use record.
+    EXPECT_EQ(ShadowMemory::chunkColdBytes(),
+              ShadowMemory::kChunkUnits * sizeof(ShadowCold));
 }
 
 TEST(ShadowMemory, LimitOfOneIsRejected)
@@ -310,15 +470,15 @@ TEST_P(ShadowOracle, MatchesMapSemantics)
         if (rng.next() & 1) {
             vg::ContextId ctx =
                 static_cast<vg::ContextId>(rng.nextBounded(100));
-            sm.lookup(unit).hot.lastWriterCtx = ctx;
+            sm.lookup(unit).hot.writer = ctxId(sm, ctx);
             oracle[unit] = ctx;
         } else {
             auto it = oracle.find(unit);
             ShadowRef o = sm.lookup(unit);
             if (it == oracle.end())
-                EXPECT_FALSE(o.hot.everWritten()) << "unit " << unit;
+                EXPECT_FALSE(everWritten(o)) << "unit " << unit;
             else
-                EXPECT_EQ(o.hot.lastWriterCtx, it->second)
+                EXPECT_EQ(writerCtx(sm, o), it->second)
                     << "unit " << unit;
         }
     }

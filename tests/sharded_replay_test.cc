@@ -8,8 +8,9 @@
  * traces to be bitwise identical to the serial reference. Also covers:
  * merge order-independence (shuffled fold orders), backpressure with
  * tiny shard queues, mid-run sync visibility, checkpoint/resume under
- * sharding including cross-mode resume (a sharded v2 snapshot into a
- * serial replay and a serial v1 snapshot into a sharded replay), and
+ * sharding including cross-mode resume (the v3 profiler body is
+ * engine-independent: a sharded snapshot restores into a serial
+ * replay and vice versa, for any shard count), and
  * rejection of invalid shard counts.
  */
 
@@ -386,7 +387,7 @@ TEST_P(ShardedCheckpoint, ResumeIsBitIdenticalAcrossEngines)
         return std::make_pair(pos.str(), eos.str());
     };
 
-    // Fresh sharded run writes v2 checkpoints; output identical.
+    // Fresh sharded run writes checkpoints; output identical.
     core::CheckpointStats st1;
     auto out1 = run(4, st1);
     EXPECT_FALSE(st1.resumed);
@@ -394,7 +395,7 @@ TEST_P(ShardedCheckpoint, ResumeIsBitIdenticalAcrossEngines)
     EXPECT_EQ(out1.first, ref.first);
     EXPECT_EQ(out1.second, ref.second);
 
-    // A serial replay resumes from the sharded (v2) snapshot.
+    // A serial replay resumes from the sharded snapshot.
     core::CheckpointStats st2;
     auto out2 = run(1, st2);
     EXPECT_TRUE(st2.resumed);
@@ -402,8 +403,8 @@ TEST_P(ShardedCheckpoint, ResumeIsBitIdenticalAcrossEngines)
     EXPECT_EQ(out2.first, ref.first);
     EXPECT_EQ(out2.second, ref.second);
 
-    // A sharded replay resumes from the serial (v1) snapshot — and a
-    // differently-sharded one from the resulting v2.
+    // A sharded replay resumes from the serial snapshot — and a
+    // differently-sharded one from the re-saved sharded snapshot.
     core::CheckpointStats st3;
     auto out3 = run(8, st3);
     EXPECT_TRUE(st3.resumed);
