@@ -15,6 +15,12 @@ Usage:
 exits 1 on malformed input or when a watched metric is missing from
 the baseline (baseline rot), so the tier-1 smoke target catches
 tooling breakage without failing on machine-to-machine noise.
+
+A fresh run whose context.library_build_type is "debug" is rejected
+outright (even under --check-only): a Debug benchmark harness taxes
+every State iteration, so nothing it measures is comparable to a
+Release baseline. Build the bundled bench/minibench shim (the
+default) or a Release google-benchmark and re-run.
 """
 
 import argparse
@@ -30,6 +36,7 @@ WATCHED = [
     (r"^BM_TraceReplayThroughput$", "items_per_second", +1),
     (r"^BM_TraceReplayThroughput$", "shadow_peak_bytes", -1),
     (r"^BM_ShardedReplay/", "items_per_second", +1),
+    (r"^BM_ParallelDecode/", "items_per_second", +1),
 ]
 
 
@@ -46,7 +53,7 @@ def load(path):
         out[b["name"]] = b
     if not out:
         sys.exit(f"error: {path} contains no benchmark entries")
-    return out
+    return doc.get("context", {}), out
 
 
 def watched_metrics(bench_map):
@@ -67,8 +74,19 @@ def main():
     ap.add_argument("fresh")
     args = ap.parse_args()
 
-    base = load(args.baseline)
-    fresh = load(args.fresh)
+    _, base = load(args.baseline)
+    fresh_ctx, fresh = load(args.fresh)
+
+    # Hard gate, deliberately immune to --check-only: a debug-built
+    # benchmark library invalidates the measurement itself, not just
+    # one metric.
+    build_type = str(fresh_ctx.get("library_build_type", "")).lower()
+    if build_type == "debug":
+        sys.exit(f"error: {args.fresh} was recorded with a debug "
+                 "benchmark library (context.library_build_type == "
+                 "\"debug\"); its numbers are not comparable. Rebuild "
+                 "with the bundled minibench (default) or a Release "
+                 "google-benchmark and re-record.")
 
     base_watched = {(n, m): (d, v)
                     for n, m, d, v in watched_metrics(base)}

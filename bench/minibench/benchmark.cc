@@ -1,0 +1,437 @@
+/**
+ * @file
+ * Runner for the bundled benchmark shim: iteration-count calibration
+ * against --benchmark_min_time, console and JSON reporting, and the
+ * google-benchmark flag surface bench/run_benches.sh relies on.
+ */
+
+#include "benchmark/benchmark.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <regex>
+#include <sstream>
+#include <thread>
+
+namespace benchmark {
+
+namespace {
+
+double
+realNow()
+{
+    timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+}
+
+double
+cpuNow()
+{
+    timespec ts;
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+}
+
+struct Flags
+{
+    double minTime = 0.5;
+    std::string filter;
+    std::string format = "console";    // console | json
+    std::string out;
+    std::string outFormat = "json";
+    bool listTests = false;
+};
+
+Flags &
+flags()
+{
+    static Flags f;
+    return f;
+}
+
+std::vector<std::unique_ptr<internal::Benchmark>> &
+registry()
+{
+    static std::vector<std::unique_ptr<internal::Benchmark>> r;
+    return r;
+}
+
+/** One benchmark instance: function + one argument vector. */
+struct Instance
+{
+    const internal::Benchmark *bench;
+    std::vector<std::int64_t> args;
+    std::string name;
+};
+
+std::string
+instanceName(const internal::Benchmark &b,
+             const std::vector<std::int64_t> &args)
+{
+    std::string name = b.name();
+    for (std::int64_t a : args) {
+        name += '/';
+        name += std::to_string(a);
+    }
+    if (b.useRealTime())
+        name += "/real_time";
+    return name;
+}
+
+std::vector<Instance>
+expandInstances()
+{
+    std::vector<Instance> out;
+    for (const auto &b : registry()) {
+        if (b->instances().empty()) {
+            out.push_back({b.get(), {}, instanceName(*b, {})});
+            continue;
+        }
+        for (const auto &args : b->instances())
+            out.push_back({b.get(), args, instanceName(*b, args)});
+    }
+    if (!flags().filter.empty()) {
+        std::regex re(flags().filter);
+        std::erase_if(out, [&](const Instance &i) {
+            return !std::regex_search(i.name, re);
+        });
+    }
+    return out;
+}
+
+/** Result of one calibrated benchmark run. */
+struct RunResult
+{
+    std::string name;
+    std::uint64_t iterations = 0;
+    double realSeconds = 0;
+    double cpuSeconds = 0;
+    std::int64_t items = 0;
+    std::int64_t bytes = 0;
+    bool useRealTime = false;
+    std::map<std::string, double> counters;
+};
+
+/**
+ * Run one instance, growing the iteration count until the timed loop
+ * meets the min-time budget (the google-benchmark calibration shape:
+ * geometric growth bounded to 10x per attempt).
+ */
+RunResult
+runInstance(const Instance &inst)
+{
+    const double min_time = flags().minTime;
+    std::uint64_t iters = 1;
+    for (;;) {
+        State state(iters, inst.args);
+        inst.bench->fn()(state);
+        double measured = inst.bench->useRealTime()
+                              ? state.realSeconds()
+                              : state.cpuSeconds();
+        if (measured >= min_time || iters >= 1000000000ULL) {
+            RunResult r;
+            r.name = inst.name;
+            r.iterations = static_cast<std::uint64_t>(state.iterations());
+            r.realSeconds = state.realSeconds();
+            r.cpuSeconds = state.cpuSeconds();
+            r.items = state.itemsProcessed();
+            r.bytes = state.bytesProcessed();
+            r.useRealTime = inst.bench->useRealTime();
+            r.counters = state.counters;
+            return r;
+        }
+        double mult = 10.0;
+        if (measured > 0) {
+            mult = min_time * 1.4 / measured;
+            mult = std::clamp(mult, 2.0, 10.0);
+        }
+        iters = static_cast<std::uint64_t>(
+            static_cast<double>(iters) * mult);
+        if (iters == 0)
+            iters = 1;
+    }
+}
+
+const char *
+buildType()
+{
+#ifdef NDEBUG
+    return "release";
+#else
+    return "debug";
+#endif
+}
+
+/** Format a double the way the JSON reporter needs (no locale). */
+std::string
+jsonNumber(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    // %g can produce "inf"/"nan", which JSON does not allow.
+    if (std::strchr(buf, 'i') != nullptr ||
+        std::strchr(buf, 'n') != nullptr)
+        return "0";
+    return buf;
+}
+
+void
+writeJson(std::ostream &os, const std::vector<RunResult> &results)
+{
+    os << "{\n  \"context\": {\n";
+    os << "    \"num_cpus\": "
+       << std::max(1u, std::thread::hardware_concurrency()) << ",\n";
+    os << "    \"library_build_type\": \"" << buildType() << "\"\n";
+    os << "  },\n  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const RunResult &r = results[i];
+        double denom = static_cast<double>(
+            r.iterations != 0 ? r.iterations : 1);
+        double real_ns = r.realSeconds * 1e9 / denom;
+        double cpu_ns = r.cpuSeconds * 1e9 / denom;
+        double rate_time = r.useRealTime ? r.realSeconds : r.cpuSeconds;
+        os << "    {\n";
+        os << "      \"name\": \"" << r.name << "\",\n";
+        os << "      \"run_name\": \"" << r.name << "\",\n";
+        os << "      \"run_type\": \"iteration\",\n";
+        os << "      \"repetitions\": 1,\n";
+        os << "      \"repetition_index\": 0,\n";
+        os << "      \"threads\": 1,\n";
+        os << "      \"iterations\": " << r.iterations << ",\n";
+        os << "      \"real_time\": " << jsonNumber(real_ns) << ",\n";
+        os << "      \"cpu_time\": " << jsonNumber(cpu_ns) << ",\n";
+        os << "      \"time_unit\": \"ns\"";
+        if (r.items != 0 && rate_time > 0) {
+            os << ",\n      \"items_per_second\": "
+               << jsonNumber(static_cast<double>(r.items) / rate_time);
+        }
+        if (r.bytes != 0 && rate_time > 0) {
+            os << ",\n      \"bytes_per_second\": "
+               << jsonNumber(static_cast<double>(r.bytes) / rate_time);
+        }
+        for (const auto &[key, value] : r.counters)
+            os << ",\n      \"" << key << "\": " << jsonNumber(value);
+        os << "\n    }" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+void
+writeConsole(std::ostream &os, const std::vector<RunResult> &results)
+{
+    os << "minibench (" << buildType() << " library build)\n";
+    char line[256];
+    std::snprintf(line, sizeof(line), "%-58s %15s %15s %12s\n",
+                  "Benchmark", "Time", "CPU", "Iterations");
+    os << line
+       << "--------------------------------------------------------------"
+          "--------------------------------------\n";
+    for (const RunResult &r : results) {
+        double denom = static_cast<double>(
+            r.iterations != 0 ? r.iterations : 1);
+        std::snprintf(line, sizeof(line),
+                      "%-58s %12.0f ns %12.0f ns %12llu", r.name.c_str(),
+                      r.realSeconds * 1e9 / denom,
+                      r.cpuSeconds * 1e9 / denom,
+                      static_cast<unsigned long long>(r.iterations));
+        os << line;
+        double rate_time = r.useRealTime ? r.realSeconds : r.cpuSeconds;
+        if (r.bytes != 0 && rate_time > 0) {
+            std::snprintf(line, sizeof(line), " bytes_per_second=%.4gG",
+                          static_cast<double>(r.bytes) / rate_time / 1e9);
+            os << line;
+        }
+        if (r.items != 0 && rate_time > 0) {
+            std::snprintf(line, sizeof(line), " items_per_second=%.4gM",
+                          static_cast<double>(r.items) / rate_time / 1e6);
+            os << line;
+        }
+        for (const auto &[key, value] : r.counters) {
+            std::snprintf(line, sizeof(line), " %s=%.4g", key.c_str(),
+                          value);
+            os << line;
+        }
+        os << '\n';
+    }
+}
+
+} // namespace
+
+namespace internal {
+
+Benchmark::Benchmark(std::string name, void (*fn)(State &))
+    : name_(std::move(name)), fn_(fn)
+{}
+
+Benchmark *
+Benchmark::Arg(std::int64_t a)
+{
+    instances_.push_back({a});
+    return this;
+}
+
+Benchmark *
+Benchmark::Args(const std::vector<std::int64_t> &args)
+{
+    instances_.push_back(args);
+    return this;
+}
+
+Benchmark *
+Benchmark::ArgsProduct(const std::vector<std::vector<std::int64_t>> &lists)
+{
+    // Cartesian product, last list varying fastest (the order the
+    // google-benchmark reporter enumerates).
+    std::vector<std::vector<std::int64_t>> acc = {{}};
+    for (const auto &list : lists) {
+        std::vector<std::vector<std::int64_t>> next;
+        next.reserve(acc.size() * list.size());
+        for (const auto &prefix : acc) {
+            for (std::int64_t v : list) {
+                std::vector<std::int64_t> row = prefix;
+                row.push_back(v);
+                next.push_back(std::move(row));
+            }
+        }
+        acc = std::move(next);
+    }
+    for (auto &row : acc)
+        instances_.push_back(std::move(row));
+    return this;
+}
+
+Benchmark *
+Benchmark::UseRealTime()
+{
+    useRealTime_ = true;
+    return this;
+}
+
+Benchmark *
+RegisterBenchmark(Benchmark *b)
+{
+    registry().emplace_back(b);
+    return b;
+}
+
+} // namespace internal
+
+State::iterator
+State::begin()
+{
+    count_ = 0;
+    realStart_ = realNow();
+    cpuStart_ = cpuNow();
+    return iterator(this);
+}
+
+bool
+State::keepRunning()
+{
+    if (count_ < max_) {
+        ++count_;
+        return true;
+    }
+    finishTiming();
+    return false;
+}
+
+void
+State::finishTiming()
+{
+    realSeconds_ = realNow() - realStart_;
+    cpuSeconds_ = cpuNow() - cpuStart_;
+}
+
+void
+Initialize(int *argc, char **argv)
+{
+    Flags &f = flags();
+    int kept = 1;
+    for (int i = 1; i < *argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *prefix) -> const char * {
+            std::size_t n = std::strlen(prefix);
+            return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n
+                                                  : nullptr;
+        };
+        if (const char *v = value("--benchmark_min_time=")) {
+            // Tolerate the newer "<N>s" / "<N>x" suffix syntax; the
+            // numeric prefix is what strtod stops at.
+            f.minTime = std::strtod(v, nullptr);
+            if (f.minTime <= 0)
+                f.minTime = 0.5;
+        } else if (const char *v2 = value("--benchmark_filter=")) {
+            f.filter = v2;
+        } else if (const char *v3 = value("--benchmark_format=")) {
+            f.format = v3;
+        } else if (const char *v4 = value("--benchmark_out=")) {
+            f.out = v4;
+        } else if (const char *v5 = value("--benchmark_out_format=")) {
+            f.outFormat = v5;
+        } else if (arg == "--benchmark_list_tests" ||
+                   arg == "--benchmark_list_tests=true") {
+            f.listTests = true;
+        } else if (arg.rfind("--benchmark_", 0) == 0) {
+            std::fprintf(stderr, "minibench: ignoring flag %s\n",
+                         arg.c_str());
+        } else {
+            argv[kept++] = argv[i];
+        }
+    }
+    *argc = kept;
+}
+
+bool
+ReportUnrecognizedArguments(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        std::fprintf(stderr, "minibench: unrecognized argument %s\n",
+                     argv[i]);
+    return argc > 1;
+}
+
+std::size_t
+RunSpecifiedBenchmarks()
+{
+    std::vector<Instance> instances = expandInstances();
+    if (flags().listTests) {
+        for (const Instance &i : instances)
+            std::cout << i.name << '\n';
+        return instances.size();
+    }
+    std::vector<RunResult> results;
+    results.reserve(instances.size());
+    for (const Instance &i : instances)
+        results.push_back(runInstance(i));
+
+    if (flags().format == "json")
+        writeJson(std::cout, results);
+    else
+        writeConsole(std::cout, results);
+    if (!flags().out.empty()) {
+        std::ofstream os(flags().out, std::ios::trunc);
+        if (!os) {
+            std::fprintf(stderr, "minibench: cannot open %s\n",
+                         flags().out.c_str());
+        } else if (flags().outFormat == "json") {
+            writeJson(os, results);
+        } else {
+            writeConsole(os, results);
+        }
+    }
+    return results.size();
+}
+
+void
+Shutdown()
+{}
+
+} // namespace benchmark

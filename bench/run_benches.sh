@@ -6,20 +6,24 @@
 #
 # Benchmarks are configured and built Release (-O2, NDEBUG): numbers
 # from unoptimized builds are not comparable and must never become
-# baselines. The script refuses a build tree configured Debug. Note
-# the JSON context's "library_build_type" reports how the *installed
-# google-benchmark library* was compiled — on hosts that only ship a
-# debug libbenchmark it stays "debug" even though the harness and
-# tool code under test are Release; the script warns loudly so such
-# runs are flagged, but the harness flags are what decide whether the
-# numbers are meaningful.
+# baselines. The script refuses a build tree configured Debug, and
+# refuses to record a baseline whose JSON context reports
+# "library_build_type": "debug" — that field reports how the
+# benchmark *library* was compiled, and a debug harness taxes every
+# timed iteration. The default build links the bundled bench/minibench
+# shim (always built with the project's own flags), so this only
+# trips when SIGIL_SYSTEM_BENCHMARK=ON picked up a debug
+# libbenchmark; compare_bench.py rejects such candidates too.
 #
 # BENCH_dispatch.json includes the BM_ShardedReplay shard sweep
 # (Arg 0 = the async single-analysis-thread baseline; Args 1/2/4/8 =
-# shard worker counts). Shard workers scale with physical cores: the
-# >= 2x speedup target at 4 workers needs a >= 4-core host. On fewer
-# cores the sweep still runs (the differential tests keep the output
-# bit-identical) but measures queue overhead, not parallelism — check
+# shard worker counts) and the BM_ParallelDecode{,Profiled} decode
+# sweeps (decodeThreads 1/2/4/8 x SGB2/SGB3; parse-only and profiled
+# end to end). Both families scale with physical cores: the >= 2x
+# shard target at 4 workers and the >= 2.5x parse-only decode target
+# at decodeThreads=4 each need a >= 4-core host. On fewer cores the
+# sweeps still run (the differential tests keep the output
+# bit-identical) but measure queue overhead, not parallelism — check
 # the "num_cpus" field in the JSON context when comparing runs.
 #
 # Usage: bench/run_benches.sh [build-dir] [extra benchmark args...]
@@ -67,14 +71,14 @@ run_bench() {
         --benchmark_out_format=json \
         "$@"
     if grep -q '"library_build_type": *"debug"' "$tmp"; then
-        echo "==============================================================" >&2
-        echo "WARNING: the installed google-benchmark library is a debug" >&2
-        echo "build (\"library_build_type\": \"debug\" in $out)." >&2
-        echo "The harness and tool code were compiled Release; timing" >&2
-        echo "overhead from the library itself is small but nonzero." >&2
-        echo "Compare these numbers only against baselines recorded on" >&2
-        echo "the same host/library (see bench/compare_bench.py)." >&2
-        echo "==============================================================" >&2
+        rm -f "$tmp"
+        echo "error: the linked benchmark library is a debug build" \
+             "(\"library_build_type\": \"debug\"); refusing to record" \
+             "$out." >&2
+        echo "       Reconfigure without SIGIL_SYSTEM_BENCHMARK (the" \
+             "bundled minibench shim inherits the project's Release" \
+             "flags) or install a Release google-benchmark." >&2
+        exit 1
     fi
     mv "$tmp" "$out"
     echo "wrote $out"

@@ -42,7 +42,7 @@ struct TraceBinding
     std::uint32_t preambleCrc = 0;
 
     static TraceBinding
-    of(const std::string &trace)
+    of(std::string_view trace)
     {
         TraceBinding b;
         b.traceBytes = trace.size();
@@ -157,24 +157,26 @@ restoreSnapshot(const std::string &payload, const TraceBinding &binding,
            session.restoreReaderState(src) && src.ok();
 }
 
-} // namespace
-
+/**
+ * Shared core: checkpointed replay directly over a byte view (an
+ * mmap'd file or a slurped stream). The binding hashes the raw stored
+ * bytes, so it is identical whether the trace arrived as a stream, a
+ * mapping, or a compressed (SGB3) file.
+ */
 vg::ReplayReport
-replayWithCheckpoints(std::istream &trace, vg::Guest &guest,
-                      SigilProfiler &profiler,
-                      const vg::ReplayOptions &options,
-                      const CheckpointConfig &config,
-                      CheckpointStats *stats)
+replayViewWithCheckpoints(std::string_view data, vg::Guest &guest,
+                          SigilProfiler &profiler,
+                          const vg::ReplayOptions &options,
+                          const CheckpointConfig &config,
+                          CheckpointStats *stats)
 {
     CheckpointStats local;
     CheckpointStats &st = stats != nullptr ? *stats : local;
     st = CheckpointStats{};
 
-    const std::string data = slurpStream(trace);
     const TraceBinding binding = TraceBinding::of(data);
 
-    std::istringstream is(data);
-    vg::BinaryReplaySession session(is, guest, options);
+    vg::BinaryReplaySession session(data, guest, options);
 
     // Resume from the newest valid checkpoint that matches this trace
     // and configuration; a corrupt or torn newest file falls back to
@@ -219,6 +221,42 @@ replayWithCheckpoints(std::istream &trace, vg::Guest &guest,
     }
 
     return session.finish();
+}
+
+} // namespace
+
+vg::ReplayReport
+replayWithCheckpoints(std::istream &trace, vg::Guest &guest,
+                      SigilProfiler &profiler,
+                      const vg::ReplayOptions &options,
+                      const CheckpointConfig &config,
+                      CheckpointStats *stats)
+{
+    const std::string data = slurpStream(trace);
+    return replayViewWithCheckpoints(data, guest, profiler, options,
+                                     config, stats);
+}
+
+vg::ReplayReport
+replayFileWithCheckpoints(const std::string &tracePath, vg::Guest &guest,
+                          SigilProfiler &profiler,
+                          const vg::ReplayOptions &options,
+                          const CheckpointConfig &config,
+                          CheckpointStats *stats)
+{
+    vg::MappedTraceFile file(tracePath);
+    if (!file.ok()) {
+        if (stats != nullptr)
+            *stats = CheckpointStats{};
+        vg::ReplayReport report;
+        vg::TraceError e;
+        e.cause = vg::TraceErrorCause::Io;
+        e.detail = file.errorDetail();
+        report.error = std::move(e);
+        return report;
+    }
+    return replayViewWithCheckpoints(file.view(), guest, profiler,
+                                     options, config, stats);
 }
 
 } // namespace sigil::core

@@ -95,6 +95,21 @@ replayWithCheckpoints(std::istream &trace, vg::Guest &guest,
                       const CheckpointConfig &config,
                       CheckpointStats *stats = nullptr);
 
+/**
+ * Checkpointed replay straight from a trace file. The file is mmap'd
+ * when possible (vg::MappedTraceFile), so replay decodes in place with
+ * no slurp copy; checkpoint binding and resume semantics are identical
+ * to the stream overload — the binding hashes the stored bytes, which
+ * SGB3 compression does not change between record and replay. Returns
+ * an Io-cause error report if the file cannot be opened.
+ */
+vg::ReplayReport
+replayFileWithCheckpoints(const std::string &tracePath, vg::Guest &guest,
+                          SigilProfiler &profiler,
+                          const vg::ReplayOptions &options,
+                          const CheckpointConfig &config,
+                          CheckpointStats *stats = nullptr);
+
 } // namespace sigil::core
 
 #endif // SIGIL_CORE_CHECKPOINT_HH

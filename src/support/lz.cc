@@ -1,0 +1,196 @@
+#include "support/lz.hh"
+
+#include <cstdint>
+#include <cstring>
+
+namespace sigil {
+
+namespace {
+
+// Hash of the next 4 source bytes, used to index the match table.
+// Fibonacci multiplicative hash over a little-endian load.
+constexpr unsigned kHashBits = 13;
+
+inline std::uint32_t
+load32(const char *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, sizeof v);
+    return v;
+}
+
+inline std::uint32_t
+hash4(const char *p)
+{
+    return (load32(p) * 2654435761u) >> (32 - kHashBits);
+}
+
+// Emit a 4-bit length nibble's extension bytes (255-continuation).
+inline bool
+putExt(char *dst, std::size_t cap, std::size_t &o, std::size_t v)
+{
+    while (v >= 255) {
+        if (o >= cap)
+            return false;
+        dst[o++] = static_cast<char>(0xff);
+        v -= 255;
+    }
+    if (o >= cap)
+        return false;
+    dst[o++] = static_cast<char>(v);
+    return true;
+}
+
+// One sequence: literals [lit_start, lit_end) then, unless this is
+// the terminal sequence, a match of match_len at match_off.
+bool
+putSequence(char *dst, std::size_t cap, std::size_t &o, const char *lit,
+            std::size_t lit_len, std::size_t match_off,
+            std::size_t match_len)
+{
+    const std::size_t lit_nib = lit_len < 15 ? lit_len : 15;
+    const std::size_t mat_extra = match_len ? match_len - kLzMinMatch : 0;
+    const std::size_t mat_nib = match_len ? (mat_extra < 15 ? mat_extra : 15)
+                                          : 0;
+    if (o >= cap)
+        return false;
+    dst[o++] = static_cast<char>((lit_nib << 4) | mat_nib);
+    if (lit_nib == 15 && !putExt(dst, cap, o, lit_len - 15))
+        return false;
+    if (lit_len) {
+        if (cap - o < lit_len)
+            return false;
+        std::memcpy(dst + o, lit, lit_len);
+        o += lit_len;
+    }
+    if (!match_len)
+        return true; // terminal sequence: no offset field
+    if (cap - o < 2)
+        return false;
+    dst[o++] = static_cast<char>(match_off & 0xff);
+    dst[o++] = static_cast<char>((match_off >> 8) & 0xff);
+    if (mat_nib == 15 && !putExt(dst, cap, o, mat_extra - 15))
+        return false;
+    return true;
+}
+
+} // namespace
+
+std::size_t
+lzCompress(const char *src, std::size_t n, char *dst, std::size_t cap)
+{
+    if (n == 0)
+        return 0;
+    std::size_t out = 0;
+    std::size_t lit_start = 0; // first unemitted literal byte
+    // Greedy single-probe matcher. Table holds source positions; a
+    // stale or colliding entry is rejected by the byte compare below.
+    std::uint32_t table[1u << kHashBits];
+    std::memset(table, 0xff, sizeof table);
+
+    if (n >= kLzMinMatch + 1) {
+        const std::size_t last_probe = n - kLzMinMatch; // need 4 bytes
+        std::size_t i = 0;
+        // Skip-accelerated scan: every miss in an incompressible run
+        // widens the stride so pathological inputs stay near memcpy
+        // speed.
+        std::size_t miss_streak = 0;
+        while (i < last_probe) {
+            const std::uint32_t h = hash4(src + i);
+            const std::uint32_t cand = table[h];
+            table[h] = static_cast<std::uint32_t>(i);
+            const bool usable = cand != 0xffffffffu &&
+                                static_cast<std::size_t>(cand) < i &&
+                                i - cand <= 0xffff &&
+                                load32(src + cand) == load32(src + i);
+            if (!usable) {
+                ++miss_streak;
+                i += 1 + (miss_streak >> 6);
+                continue;
+            }
+            miss_streak = 0;
+            // Extend the match forward.
+            std::size_t len = kLzMinMatch;
+            while (i + len < n && src[cand + len] == src[i + len])
+                ++len;
+            // ...and backward into pending literals.
+            std::size_t back = 0;
+            while (back < i - lit_start && cand > back &&
+                   src[cand - back - 1] == src[i - back - 1])
+                ++back;
+            const std::size_t mpos = i - back;
+            if (!putSequence(dst, cap, out, src + lit_start,
+                             mpos - lit_start, i - cand, len + back))
+                return 0;
+            i += len;
+            lit_start = i;
+            // Seed the table inside the match so adjacent repeats of
+            // the same motif are still found.
+            if (i < last_probe)
+                table[hash4(src + i - 2)] =
+                    static_cast<std::uint32_t>(i - 2);
+        }
+    }
+    if (!putSequence(dst, cap, out, src + lit_start, n - lit_start, 0, 0))
+        return 0;
+    return out;
+}
+
+bool
+lzDecompress(const char *src, std::size_t n, char *dst, std::size_t rawLen)
+{
+    std::size_t i = 0, o = 0;
+    // Decode extension bytes for a nibble value of 15.
+    const auto ext = [&](std::size_t &len) -> bool {
+        for (;;) {
+            if (i >= n)
+                return false;
+            const unsigned char b = static_cast<unsigned char>(src[i++]);
+            len += b;
+            if (b < 255)
+                return true;
+        }
+    };
+    while (i < n) {
+        const unsigned char token = static_cast<unsigned char>(src[i++]);
+        std::size_t lit = token >> 4;
+        if (lit == 15 && !ext(lit))
+            return false;
+        if (lit > n - i || lit > rawLen - o)
+            return false;
+        std::memcpy(dst + o, src + i, lit);
+        i += lit;
+        o += lit;
+        if (i == n) {
+            // Terminal sequence: literals only, match nibble must be 0.
+            if ((token & 0x0f) != 0)
+                return false;
+            break;
+        }
+        if (n - i < 2)
+            return false;
+        const std::size_t off =
+            static_cast<unsigned char>(src[i]) |
+            (static_cast<std::size_t>(static_cast<unsigned char>(src[i + 1]))
+             << 8);
+        i += 2;
+        std::size_t mlen = (token & 0x0f);
+        if (mlen == 15 && !ext(mlen))
+            return false;
+        mlen += kLzMinMatch;
+        if (off == 0 || off > o || mlen > rawLen - o)
+            return false;
+        const char *from = dst + (o - off);
+        char *to = dst + o;
+        o += mlen;
+        if (off >= mlen) {
+            std::memcpy(to, from, mlen);
+        } else {
+            for (std::size_t k = 0; k < mlen; ++k)
+                to[k] = from[k];
+        }
+    }
+    return o == rawLen;
+}
+
+} // namespace sigil

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Byte-oriented LZ block codec for SGB3 trace frames.
+ *
+ * Self-contained LZ77 with an LZ4-style token stream: no entropy
+ * stage, no external dependencies, decompression is a straight
+ * memcpy/backref loop. Designed for trace payloads — long runs of
+ * near-identical varint-encoded event records — where it reaches
+ * multi-x ratios at GB/s-class speed. The compressed stream is only
+ * ever embedded in CRC32C-protected SGB3 frames, but the decoder is
+ * still fully bounds-checked and never reads or writes out of range
+ * on arbitrary input (corrupt-but-CRC-valid bytes must fail cleanly,
+ * not overrun).
+ *
+ * Stream grammar (repeats until the source is exhausted):
+ *
+ *   token      := 1 byte; high nibble = literal length, low nibble =
+ *                 match length - kMinMatch
+ *   [litext]   := if literal nibble == 15, extension bytes, each
+ *                 adding 255, terminated by a byte < 255
+ *   literals   := literal-length raw bytes
+ *   [offset]   := 2 bytes little-endian, 1..65535; present unless the
+ *                 token ends the stream after its literals
+ *   [matchext] := if match nibble == 15, extension bytes as above
+ *
+ * A match copies match-length bytes from `out_pos - offset`; overlap
+ * (offset < length) is legal and copies byte-by-byte, so RLE degrades
+ * gracefully. The final sequence carries literals only: its match
+ * nibble must be 0 and the offset field is absent.
+ */
+
+#ifndef SIGIL_SUPPORT_LZ_HH
+#define SIGIL_SUPPORT_LZ_HH
+
+#include <cstddef>
+
+namespace sigil {
+
+/** Smallest back-reference the token encoding can express. */
+constexpr std::size_t kLzMinMatch = 4;
+
+/**
+ * Worst-case compressed size for @p n source bytes (all-literal
+ * stream: one token plus length extensions per 15-byte run).
+ */
+constexpr std::size_t
+lzCompressBound(std::size_t n)
+{
+    return n + n / 255 + 16;
+}
+
+/**
+ * Compress @p n bytes from @p src into @p dst (capacity @p cap).
+ * Returns the compressed size, or 0 when the input does not fit in
+ * @p cap — callers use `cap = n - 1` to mean "store only if it
+ * actually shrinks". n = 0 returns 0.
+ */
+std::size_t lzCompress(const char *src, std::size_t n, char *dst,
+                       std::size_t cap);
+
+/**
+ * Decompress exactly @p rawLen bytes into @p dst from the @p n
+ * compressed bytes at @p src. Returns false on any malformed input:
+ * truncated stream, offset beyond the bytes produced so far, output
+ * overrun, or a stream that ends early / with trailing bytes. On
+ * failure the contents of @p dst are unspecified.
+ */
+bool lzDecompress(const char *src, std::size_t n, char *dst,
+                  std::size_t rawLen);
+
+} // namespace sigil
+
+#endif // SIGIL_SUPPORT_LZ_HH

@@ -114,6 +114,10 @@ Guest::Guest(std::string program_name, const GuestConfig &config)
               "[1, 64] (got %u)",
               config.shardCount);
     }
+    if (config.decodeThreads == 0 || config.decodeThreads > 64) {
+        fatal("GuestConfig::decodeThreads must be in [1, 64] (got %u)",
+              config.decodeThreads);
+    }
     inputFn_ = functions_.intern("*input*");
     threads_.push_back(ThreadCtx{{}, kStackBase});
     batching_ = config.batchEvents || config.asyncTools;

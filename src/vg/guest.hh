@@ -104,6 +104,17 @@ struct GuestConfig
      * exercise backpressure; the default absorbs routing bursts.
      */
     std::size_t shardQueueCapacity = std::size_t{1} << 15;
+
+    /**
+     * Parallel trace ingestion: number of decode worker threads a
+     * BinaryReplaySession over an SGB2/SGB3 trace spins up to
+     * CRC-verify, decompress, and pre-decode frame payloads ahead of
+     * in-order delivery. 1 (the default) keeps the fully serial decode
+     * path; at most 64. Delivery to tools is bit-identical across all
+     * values — the workers only front-run pure per-frame work (see
+     * DESIGN.md §4.6). Purely advisory to the replay layer.
+     */
+    unsigned decodeThreads = 1;
 };
 
 class AsyncToolPipeline;

@@ -30,6 +30,8 @@ traceErrorCauseName(TraceErrorCause cause)
         return "unknown opcode";
       case TraceErrorCause::UnknownFunction:
         return "unknown function";
+      case TraceErrorCause::Decompress:
+        return "decompress";
       case TraceErrorCause::BadRecord:
         return "bad record";
       case TraceErrorCause::StateMismatch:

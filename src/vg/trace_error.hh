@@ -43,6 +43,7 @@ enum class TraceErrorCause
     UnknownSection, ///< unrecognized section tag
     UnknownOpcode,  ///< unrecognized event opcode
     UnknownFunction,///< event references an id with no function record
+    Decompress,     ///< compressed payload does not decompress (SGB3)
     BadRecord,      ///< malformed record body (text formats: bad token)
     StateMismatch,  ///< checkpoint does not match the replay config
     Unsupported,    ///< valid input the reader cannot process

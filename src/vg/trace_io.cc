@@ -1,15 +1,31 @@
 #include "trace_io.hh"
 
+#include <cerrno>
 #include <charconv>
+#include <condition_variable>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <istream>
+#include <mutex>
 #include <optional>
 #include <ostream>
+#include <sstream>
+#include <thread>
 #include <unordered_map>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define SIGIL_HAVE_MMAP 1
+#endif
 
 #include "support/crc32c.hh"
 #include "support/logging.hh"
+#include "support/lz.hh"
 
 namespace sigil::vg {
 
@@ -20,6 +36,7 @@ constexpr std::size_t kTextFlushBytes = 64 * 1024;
 
 constexpr char kSgb1Magic[4] = {'S', 'G', 'B', '1'};
 constexpr char kSgb2Magic[4] = {'S', 'G', 'B', '2'};
+constexpr char kSgb3Magic[4] = {'S', 'G', 'B', '3'};
 
 /** @name SGB1 section tags */
 /// @{
@@ -43,8 +60,35 @@ constexpr std::uint8_t kTagEvents = 0x02;
  */
 constexpr unsigned char kFrameSync[4] = {0xa7, 'S', 'B', 0xb2};
 
+/**
+ * SGB3 frame sync bytes: distinct from SGB2 so resynchronization in
+ * one flavour can never lock onto a frame of the other.
+ */
+constexpr unsigned char kFrameSync3[4] = {0xa7, 'S', 'B', 0xb3};
+
 /** Smallest possible frame: sync + tag + 4 one-byte varints + 2 CRCs. */
 constexpr std::size_t kMinFrameBytes = 4 + 1 + 4 + 8;
+
+/** SGB3 adds a flags byte and the uncompressed-length varint. */
+constexpr std::size_t kMinFrameBytes3 = 4 + 1 + 4 + 1 + 1 + 8;
+
+/** SGB3 header flags: payload stored LZ-compressed (support/lz.hh). */
+constexpr std::uint8_t kFrameFlagCompressed = 0x01;
+
+/** Payloads below this are never worth a compression attempt (SGB3). */
+constexpr std::size_t kMinCompressBytes = 32;
+
+inline const unsigned char *
+frameSync(bool sgb3)
+{
+    return sgb3 ? kFrameSync3 : kFrameSync;
+}
+
+inline std::size_t
+minFrameBytes(bool sgb3)
+{
+    return sgb3 ? kMinFrameBytes3 : kMinFrameBytes;
+}
 
 /** Sanity caps rejecting absurd values decoded from corrupt input. */
 constexpr std::uint64_t kMaxPayloadLen = std::uint64_t{1} << 26;
@@ -227,6 +271,79 @@ class Cursor
 };
 
 /**
+ * One syntactically decoded event awaiting semantic delivery. The
+ * decode stage resolves the address-delta chain, so `a` holds the
+ * absolute address for accesses (fn id / tid / iops for the others)
+ * and `b` the size (flops for ops); `at` is the absolute offset of the
+ * event's opcode byte, preserved so semantic errors raised at delivery
+ * name the same position the fused serial decoder would.
+ */
+struct PreEvent
+{
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    std::uint64_t at = 0;
+    std::uint8_t opcode = 0;
+};
+
+/**
+ * Syntactic half of event decoding: opcode, operand varints, and the
+ * value sanity caps — everything that depends only on the payload
+ * bytes, so it can run on a decode worker thread. Semantic checks
+ * (call depth, ROI state, function-id resolution) stay with
+ * ReplayCtx::deliverEvent on the delivery thread. The split preserves
+ * the fused decoder's error positions exactly: operand errors are
+ * raised here mid-event, value-cap errors at the event's `at`.
+ */
+void
+decodeEvent(Cursor &c, std::uint64_t &prev_addr, std::int64_t block,
+            PreEvent &ev)
+{
+    ev.at = c.offset();
+    ev.opcode = c.u8();
+    switch (ev.opcode) {
+      case kOpRead:
+      case kOpWrite: {
+        prev_addr += static_cast<std::uint64_t>(unzigzag(c.varint()));
+        std::uint64_t size = c.varint();
+        if (size > kMaxAccessSize)
+            raiseError(TraceErrorCause::BadRecord, ev.at, block,
+                       "unreasonable access size " + std::to_string(size));
+        ev.a = prev_addr;
+        ev.b = size;
+        break;
+      }
+      case kOpOp:
+        ev.a = c.varint();
+        ev.b = c.varint();
+        break;
+      case kOpBranchTaken:
+      case kOpBranchNotTaken:
+        break;
+      case kOpEnter:
+        ev.a = c.varint();
+        break;
+      case kOpLeave:
+        break;
+      case kOpThreadSwitch: {
+        std::uint64_t tid = c.varint();
+        if (tid >= kMaxThreads)
+            raiseError(TraceErrorCause::BadRecord, ev.at, block,
+                       "unreasonable thread id " + std::to_string(tid));
+        ev.a = tid;
+        break;
+      }
+      case kOpBarrier:
+      case kOpRoiBegin:
+      case kOpRoiEnd:
+        break;
+      default:
+        raiseError(TraceErrorCause::UnknownOpcode, ev.at, block,
+                   "opcode " + std::to_string(ev.opcode));
+    }
+}
+
+/**
  * Shared event-delivery state of a binary replay: the guest, the
  * function-id map, and the salvage-mode guest-state reconciliation
  * (synthesized functions for lost name records, dropped underflowing
@@ -269,98 +386,85 @@ struct ReplayCtx
         return fn;
     }
 
-    /** Decode and deliver one event; prev_addr is the delta base. */
+    /**
+     * Semantic half of event delivery: guest-state checks and the
+     * actual tool dispatch. Always runs on the delivery thread, in
+     * stream order, regardless of how many threads decoded the frame —
+     * which is what keeps parallel replay bit-identical to serial.
+     */
     void
-    deliverOne(Cursor &c, std::uint64_t &prev_addr, std::int64_t block)
+    deliverEvent(const PreEvent &ev, std::int64_t block)
     {
-        std::uint64_t at = c.offset();
-        std::uint8_t opcode = c.u8();
-        switch (opcode) {
+        switch (ev.opcode) {
           case kOpRead:
-          case kOpWrite: {
-            prev_addr += static_cast<std::uint64_t>(unzigzag(c.varint()));
-            std::uint64_t size = c.varint();
-            if (size > kMaxAccessSize)
-                raiseError(TraceErrorCause::BadRecord, at, block,
-                           "unreasonable access size " +
-                               std::to_string(size));
+          case kOpWrite:
             if (guest.callDepth() == 0) {
                 // An access outside any function would panic the
                 // guest; only decodable from a damaged stream.
                 if (!salvage())
-                    raiseError(TraceErrorCause::BadRecord, at, block,
+                    raiseError(TraceErrorCause::BadRecord, ev.at, block,
                                "access outside any function");
                 break;
             }
-            if (opcode == kOpRead)
-                guest.read(prev_addr, static_cast<unsigned>(size));
+            if (ev.opcode == kOpRead)
+                guest.read(ev.a, static_cast<unsigned>(ev.b));
             else
-                guest.write(prev_addr, static_cast<unsigned>(size));
+                guest.write(ev.a, static_cast<unsigned>(ev.b));
             break;
-          }
-          case kOpOp: {
-            std::uint64_t iops = c.varint();
-            std::uint64_t flops = c.varint();
+          case kOpOp:
             if (guest.callDepth() == 0) {
                 // Tools attribute ops to the current context, which
                 // does not exist when the enclosing enter was lost.
                 if (!salvage())
-                    raiseError(TraceErrorCause::BadRecord, at, block,
+                    raiseError(TraceErrorCause::BadRecord, ev.at, block,
                                "op outside any function");
                 break;
             }
-            if (iops)
-                guest.iop(iops);
-            if (flops)
-                guest.flop(flops);
+            if (ev.a)
+                guest.iop(ev.a);
+            if (ev.b)
+                guest.flop(ev.b);
             break;
-          }
           case kOpBranchTaken:
           case kOpBranchNotTaken:
             if (guest.callDepth() == 0) {
                 if (!salvage())
-                    raiseError(TraceErrorCause::BadRecord, at, block,
+                    raiseError(TraceErrorCause::BadRecord, ev.at, block,
                                "branch outside any function");
                 break;
             }
-            guest.branch(opcode == kOpBranchTaken);
+            guest.branch(ev.opcode == kOpBranchTaken);
             break;
           case kOpEnter:
-            guest.enter(resolveFunction(c.varint(), at, block));
+            guest.enter(resolveFunction(ev.a, ev.at, block));
             break;
           case kOpLeave:
             if (guest.callDepth() == 0) {
                 // Call-depth reconciliation: the matching enter was
                 // lost with a skipped block.
                 if (!salvage())
-                    raiseError(TraceErrorCause::BadRecord, at, block,
+                    raiseError(TraceErrorCause::BadRecord, ev.at, block,
                                "leave with empty call stack");
                 ++report.leavesDropped;
                 break;
             }
             guest.leave();
             break;
-          case kOpThreadSwitch: {
-            std::uint64_t tid = c.varint();
-            if (tid >= kMaxThreads)
-                raiseError(TraceErrorCause::BadRecord, at, block,
-                           "unreasonable thread id " +
-                               std::to_string(tid));
-            while (guest.numThreads() <= tid)
+          case kOpThreadSwitch:
+            while (guest.numThreads() <= ev.a)
                 guest.spawnThread();
-            guest.switchThread(static_cast<ThreadId>(tid));
+            guest.switchThread(static_cast<ThreadId>(ev.a));
             break;
-          }
           case kOpBarrier:
             guest.barrier();
             break;
           case kOpRoiBegin:
           case kOpRoiEnd: {
-            bool begin = opcode == kOpRoiBegin;
+            bool begin = ev.opcode == kOpRoiBegin;
             if (guest.inRoi() == begin) {
                 // ROI reconciliation: the paired transition was lost.
                 if (!salvage())
-                    raiseError(TraceErrorCause::BadRecord, at, block,
+                    raiseError(TraceErrorCause::BadRecord, ev.at, block,
                                begin ? "nested roi begin"
                                      : "roi end outside roi");
                 ++report.roiDropped;
@@ -373,14 +477,15 @@ struct ReplayCtx
             break;
           }
           default:
-            raiseError(TraceErrorCause::UnknownOpcode, at, block,
-                       "opcode " + std::to_string(opcode));
+            // Unreachable: decodeEvent rejects unknown opcodes.
+            raiseError(TraceErrorCause::UnknownOpcode, ev.at, block,
+                       "opcode " + std::to_string(ev.opcode));
         }
         ++report.eventsDelivered;
     }
 };
 
-/** @name SGB2 frame header parsing */
+/** @name SGB2/SGB3 frame header parsing */
 /// @{
 
 struct FrameHeader
@@ -389,27 +494,32 @@ struct FrameHeader
     std::uint64_t blockSeq = 0;
     std::uint64_t firstEventSeq = 0;
     std::uint64_t eventCount = 0;
-    std::uint64_t payloadLen = 0;
+    std::uint64_t payloadLen = 0; ///< stored (possibly compressed) bytes
     std::uint32_t payloadCrc = 0;
     std::size_t headerLen = 0; ///< sync through headerCrc, inclusive
+    /** SGB3 only: payload is LZ-compressed (frame flags bit 0). */
+    bool compressed = false;
+    /** Uncompressed payload length; equals payloadLen for SGB2. */
+    std::uint64_t rawLen = 0;
 };
 
 /**
- * Try to parse and validate an SGB2 frame header at data[off]. Fails
- * (nullopt) on missing sync bytes, malformed or overlong varints,
- * implausible field values, or a header-CRC mismatch — all without
- * reading past the buffer, so it is safe to probe arbitrary offsets
- * during resynchronization.
+ * Try to parse and validate a frame header at data[off], in SGB2 or
+ * (when `sgb3`) SGB3 layout. Fails (nullopt) on missing sync bytes,
+ * malformed or overlong varints, implausible field values, unknown
+ * SGB3 frame flags, or a header-CRC mismatch — all without reading
+ * past the buffer, so it is safe to probe arbitrary offsets during
+ * resynchronization.
  */
 std::optional<FrameHeader>
-parseFrameAt(std::string_view data, std::size_t off)
+parseFrameAt(std::string_view data, std::size_t off, bool sgb3)
 {
-    if (off + kMinFrameBytes > data.size())
+    if (off + minFrameBytes(sgb3) > data.size())
         return std::nullopt;
     const unsigned char *p =
         reinterpret_cast<const unsigned char *>(data.data()) + off;
     std::size_t avail = data.size() - off;
-    if (std::memcmp(p, kFrameSync, 4) != 0)
+    if (std::memcmp(p, frameSync(sgb3), 4) != 0)
         return std::nullopt;
 
     std::size_t pos = 4;
@@ -435,10 +545,31 @@ parseFrameAt(std::string_view data, std::size_t off)
         !varint(h.eventCount) || !varint(h.payloadLen)) {
         return std::nullopt;
     }
+    if (sgb3) {
+        if (pos >= avail)
+            return std::nullopt;
+        std::uint8_t flags = p[pos++];
+        if (flags & ~kFrameFlagCompressed)
+            return std::nullopt;
+        h.compressed = flags & kFrameFlagCompressed;
+        if (!varint(h.rawLen))
+            return std::nullopt;
+        // An uncompressed frame must store exactly its raw bytes; a
+        // compressed one must actually be smaller, or the writer would
+        // have stored it raw.
+        if (h.compressed ? h.payloadLen >= h.rawLen
+                         : h.payloadLen != h.rawLen) {
+            return std::nullopt;
+        }
+    } else {
+        h.rawLen = h.payloadLen;
+    }
     if (pos + 8 > avail)
         return std::nullopt;
-    if (h.payloadLen > kMaxPayloadLen || h.eventCount > h.payloadLen)
+    if (h.payloadLen > kMaxPayloadLen || h.rawLen > kMaxPayloadLen ||
+        h.eventCount > h.rawLen) {
         return std::nullopt;
+    }
     h.payloadCrc = static_cast<std::uint32_t>(p[pos]) |
                    static_cast<std::uint32_t>(p[pos + 1]) << 8 |
                    static_cast<std::uint32_t>(p[pos + 2]) << 16 |
@@ -456,22 +587,340 @@ parseFrameAt(std::string_view data, std::size_t off)
 
 /** Next offset >= from holding a valid frame header; npos if none. */
 std::size_t
-findNextFrame(std::string_view data, std::size_t from)
+findNextFrame(std::string_view data, std::size_t from, bool sgb3)
 {
-    while (from + kMinFrameBytes <= data.size()) {
+    const std::size_t min_frame = minFrameBytes(sgb3);
+    while (from + min_frame <= data.size()) {
         const void *hit =
-            std::memchr(data.data() + from, kFrameSync[0],
-                        data.size() - from - (kMinFrameBytes - 1));
+            std::memchr(data.data() + from, frameSync(sgb3)[0],
+                        data.size() - from - (min_frame - 1));
         if (hit == nullptr)
             return std::string_view::npos;
         from = static_cast<std::size_t>(static_cast<const char *>(hit) -
                                         data.data());
-        if (parseFrameAt(data, from))
+        if (parseFrameAt(data, from, sgb3))
             return from;
         ++from;
     }
     return std::string_view::npos;
 }
+
+/// @}
+
+/** @name Frame-parallel decode pipeline */
+/// @{
+
+/**
+ * Everything about one frame that can be computed from the raw bytes
+ * alone, independent of replay state: the payload-CRC verdict, the
+ * decompressed image (SGB3), the syntactically decoded events or
+ * function records, and the first syntactic error if the payload is
+ * malformed. Events before `error` are exactly those the serial
+ * decoder would have delivered before raising it.
+ */
+struct DecodeResult
+{
+    bool crcOk = false;
+    std::vector<PreEvent> events;
+    std::vector<std::pair<std::uint64_t, std::string>> fns;
+    std::optional<TraceError> error;
+};
+
+/**
+ * Pure per-frame decode: verify the payload CRC, decompress if the
+ * frame says so, and syntactically decode the payload. `payload_off`
+ * is the absolute file offset of the stored payload; errors inside a
+ * compressed payload are positioned relative to it in the uncompressed
+ * image, so they are stable across thread counts.
+ */
+void
+decodeFramePayload(std::string_view payload, std::uint64_t payload_off,
+                   const FrameHeader &h, std::int64_t block,
+                   DecodeResult &out)
+{
+    out.crcOk =
+        crc32c(payload.data(), payload.size()) == h.payloadCrc;
+    if (!out.crcOk)
+        return;
+
+    std::string raw;
+    if (h.compressed) {
+        raw.resize(static_cast<std::size_t>(h.rawLen));
+        if (!lzDecompress(payload.data(), payload.size(), raw.data(),
+                          raw.size())) {
+            TraceError e;
+            e.cause = TraceErrorCause::Decompress;
+            e.byteOffset = payload_off;
+            e.blockIndex = block;
+            e.detail = "compressed payload does not decompress to " +
+                       std::to_string(h.rawLen) + " bytes";
+            out.error = std::move(e);
+            return;
+        }
+        payload = raw;
+    }
+
+    Cursor c(payload.data(), payload.size(), payload_off, block,
+             TraceErrorCause::BoundsExceeded);
+    try {
+        if (h.tag == kTagFunctions) {
+            while (!c.atEnd()) {
+                std::uint64_t id = c.varint();
+                out.fns.emplace_back(id, c.bytes(c.varint()));
+            }
+        } else if (h.tag == kTagEvents) {
+            // Cap the reservation: eventCount is header-controlled and
+            // CRC-valid headers can still be adversarial.
+            out.events.reserve(static_cast<std::size_t>(
+                std::min<std::uint64_t>(h.eventCount, 65536)));
+            std::uint64_t prev_addr = 0;
+            for (std::uint64_t i = 0; i < h.eventCount; ++i) {
+                PreEvent ev;
+                decodeEvent(c, prev_addr, block, ev);
+                out.events.push_back(ev);
+            }
+            if (!c.atEnd())
+                raiseError(TraceErrorCause::BadRecord, c.offset(),
+                           block, "trailing bytes in event block");
+        }
+    } catch (TraceAbort &abort) {
+        out.error = std::move(abort.err);
+    }
+}
+
+/**
+ * Frame-parallel decode pipeline: a lazy scanner walks the frame chain
+ * ahead of the consumer and hands each syntactically located frame to
+ * a worker pool, which runs decodeFramePayload concurrently. The
+ * consumer asks for "the decode of the frame at offset X" and gets a
+ * cached result (or computes it inline on a miss). Only pure per-frame
+ * work moves off the consumer thread; every decision that touches
+ * replay state — staleness, resync, accounting, delivery — stays with
+ * the consumer in stream order, which is what makes the replay
+ * bit-identical to serial for every thread count.
+ *
+ * The scanner follows exactly the chain the consumer will walk: after
+ * a parsed frame it advances to that frame's end; on damage it stops
+ * (strict) or probes forward with findNextFrame (salvage). If the
+ * consumer ever lands somewhere the scanner did not predict, acquire()
+ * discards stale work and restarts the scan from the requested offset,
+ * so a miss costs only an inline decode, never correctness.
+ */
+class DecodePipeline
+{
+  public:
+    DecodePipeline(std::string_view data, bool sgb3, bool salvage,
+                   unsigned workers, std::size_t start_pos)
+        : data_(data), sgb3_(sgb3), salvage_(salvage),
+          window_(static_cast<std::size_t>(workers) * 4),
+          scanPos_(start_pos)
+    {
+        threads_.reserve(workers);
+        for (unsigned i = 0; i < workers; ++i)
+            threads_.emplace_back([this] { worker(); });
+    }
+
+    ~DecodePipeline()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stop_ = true;
+        }
+        cvWork_.notify_all();
+        cvDone_.notify_all();
+        for (auto &t : threads_)
+            t.join();
+    }
+
+    /**
+     * Result of decoding the frame whose header parses at `pos`, or
+     * nullptr if the pipeline has no job there (caller decodes
+     * inline). The pointer stays valid until release().
+     */
+    const DecodeResult *
+    acquire(std::size_t pos)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        // Drop jobs for frames the consumer skipped past (resync).
+        while (!inflight_.empty() && inflight_.front()->offset < pos)
+            discardFront(lock);
+        if (inflight_.empty() || inflight_.front()->offset != pos) {
+            // Scanner misprediction: restart the scan here so the
+            // window refills behind this frame.
+            while (!inflight_.empty())
+                discardFront(lock);
+            ready_.clear();
+            scanPos_ = pos;
+            scanDone_ = false;
+            topUp(lock);
+            if (inflight_.empty() || inflight_.front()->offset != pos)
+                return nullptr;
+        }
+        Job *j = inflight_.front().get();
+        if (!j->taken) {
+            // Steal: decode the head frame on the consumer thread
+            // rather than wait for a worker to reach it.
+            j->taken = true;
+            for (auto it = ready_.begin(); it != ready_.end(); ++it) {
+                if (*it == j) {
+                    ready_.erase(it);
+                    break;
+                }
+            }
+            lock.unlock();
+            runJob(*j);
+            lock.lock();
+            j->done = true;
+            cvDone_.notify_all();
+        } else {
+            cvDone_.wait(lock, [&] { return j->done || stop_; });
+            if (!j->done)
+                return nullptr;
+        }
+        topUp(lock);
+        cvWork_.notify_all();
+        return &j->result;
+    }
+
+    /** Release the job returned by the last acquire(). */
+    void
+    release()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!inflight_.empty())
+            inflight_.pop_front();
+    }
+
+    /** Restart scanning from `pos` (checkpoint restore). */
+    void
+    reset(std::size_t pos)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        while (!inflight_.empty())
+            discardFront(lock);
+        ready_.clear();
+        scanPos_ = pos;
+        scanDone_ = false;
+    }
+
+  private:
+    struct Job
+    {
+        std::size_t offset = 0;
+        FrameHeader h;
+        DecodeResult result;
+        bool taken = false;
+        bool done = false;
+    };
+
+    void
+    runJob(Job &j)
+    {
+        std::size_t payload_off = j.offset + j.h.headerLen;
+        decodeFramePayload(
+            data_.substr(payload_off,
+                         static_cast<std::size_t>(j.h.payloadLen)),
+            payload_off, j.h,
+            static_cast<std::int64_t>(j.h.blockSeq), j.result);
+    }
+
+    /**
+     * Advance the scan until the prefetch window is full or the chain
+     * ends. Called with mu_ held; pure frame-chain walking, no replay
+     * state involved.
+     */
+    void
+    topUp(std::unique_lock<std::mutex> &)
+    {
+        while (!scanDone_ && inflight_.size() < window_) {
+            auto h = parseFrameAt(data_, scanPos_, sgb3_);
+            if (!h) {
+                if (!salvage_) {
+                    scanDone_ = true;
+                    break;
+                }
+                std::size_t next =
+                    findNextFrame(data_, scanPos_ + 1, sgb3_);
+                if (next == std::string_view::npos) {
+                    scanDone_ = true;
+                    break;
+                }
+                scanPos_ = next;
+                continue;
+            }
+            std::size_t frame_end =
+                scanPos_ + h->headerLen +
+                static_cast<std::size_t>(h->payloadLen);
+            if (frame_end > data_.size()) {
+                // Truncated frame: the consumer handles it inline; in
+                // salvage it will resync, which restarts the scan.
+                scanDone_ = true;
+                break;
+            }
+            auto job = std::make_unique<Job>();
+            job->offset = scanPos_;
+            job->h = *h;
+            inflight_.push_back(std::move(job));
+            ready_.push_back(inflight_.back().get());
+            scanPos_ = frame_end;
+            if (h->tag == kTagEnd)
+                scanDone_ = true;
+        }
+    }
+
+    /** Called with mu_ held; blocks until the front job is reusable. */
+    void
+    discardFront(std::unique_lock<std::mutex> &lock)
+    {
+        Job *j = inflight_.front().get();
+        for (auto it = ready_.begin(); it != ready_.end(); ++it) {
+            if (*it == j) {
+                ready_.erase(it);
+                break;
+            }
+        }
+        if (j->taken)
+            cvDone_.wait(lock, [&] { return j->done || stop_; });
+        inflight_.pop_front();
+    }
+
+    void
+    worker()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        for (;;) {
+            cvWork_.wait(lock,
+                         [&] { return stop_ || !ready_.empty(); });
+            if (stop_)
+                return;
+            Job *j = ready_.front();
+            ready_.pop_front();
+            j->taken = true;
+            lock.unlock();
+            runJob(*j);
+            lock.lock();
+            j->done = true;
+            cvDone_.notify_all();
+        }
+    }
+
+    std::string_view data_;
+    const bool sgb3_;
+    const bool salvage_;
+    const std::size_t window_;
+
+    std::mutex mu_;
+    std::condition_variable cvWork_;
+    std::condition_variable cvDone_;
+    /** Scanned frames in chain order; the front is the consumer's next. */
+    std::deque<std::unique_ptr<Job>> inflight_;
+    /** Subset of inflight_ not yet taken by any thread, chain order. */
+    std::deque<Job *> ready_;
+    std::size_t scanPos_;
+    bool scanDone_ = false;
+    bool stop_ = false;
+    std::vector<std::thread> threads_;
+};
 
 /// @}
 
@@ -683,9 +1132,10 @@ void
 BinaryTraceRecorder::attach(const Guest &guest)
 {
     Tool::attach(guest);
-    std::string header(format_ == TraceFormat::SGB2 ? kSgb2Magic
-                                                    : kSgb1Magic,
-                       4);
+    const char *magic = format_ == TraceFormat::SGB1   ? kSgb1Magic
+                        : format_ == TraceFormat::SGB2 ? kSgb2Magic
+                                                       : kSgb3Magic;
+    std::string header(magic, 4);
     putVarint(header, 1); // version
     const std::string &name = guest.programName();
     putVarint(header, name.size());
@@ -718,13 +1168,33 @@ BinaryTraceRecorder::writeFrame(std::uint8_t tag, std::string_view payload,
                                 std::uint64_t first_event,
                                 std::uint64_t event_count)
 {
+    const bool sgb3 = format_ == TraceFormat::SGB3;
+    const std::uint64_t raw_len = payload.size();
+    bool compressed = false;
+    if (sgb3 && payload.size() >= kMinCompressBytes) {
+        // Cap at size-1: a frame is stored compressed only when that
+        // actually saves bytes, so replay can reject any compressed
+        // frame whose payload is not smaller than its raw length.
+        comp_.resize(payload.size() - 1);
+        std::size_t n = lzCompress(payload.data(), payload.size(),
+                                   comp_.data(), comp_.size());
+        if (n != 0) {
+            compressed = true;
+            payload = std::string_view(comp_.data(), n);
+        }
+    }
     std::string hdr;
-    hdr.append(reinterpret_cast<const char *>(kFrameSync), 4);
+    hdr.append(reinterpret_cast<const char *>(frameSync(sgb3)), 4);
     hdr.push_back(static_cast<char>(tag));
     putVarint(hdr, blockSeq_++);
     putVarint(hdr, first_event);
     putVarint(hdr, event_count);
     putVarint(hdr, payload.size());
+    if (sgb3) {
+        hdr.push_back(
+            static_cast<char>(compressed ? kFrameFlagCompressed : 0));
+        putVarint(hdr, raw_len);
+    }
     putU32le(hdr, crc32c(payload.data(), payload.size()));
     putU32le(hdr, crc32c(hdr.data(), hdr.size()));
     os_.write(hdr.data(), static_cast<std::streamsize>(hdr.size()));
@@ -929,19 +1399,47 @@ struct BinaryReplaySession::Impl
     ReplayOptions opts;
     ReplayReport report;
     ReplayCtx ctx;
-    std::string data;
+    std::string owned;     ///< backing store when built from a stream
+    std::string_view data; ///< the trace bytes (owned or caller-held)
     std::size_t pos = 0;       ///< offset of the next frame
     std::uint64_t streamPos = 0; ///< next expected event sequence
     std::uint64_t eventBlocks = 0;
     bool sgb1 = false;
+    bool sgb3 = false;
     bool done = false;
     bool finished = false;
+    std::unique_ptr<DecodePipeline> pipeline;
 
     Impl(std::istream &is, Guest &g, const ReplayOptions &o)
         : guest(g), opts(o), ctx{g, o.policy, report, {}, 0}
     {
-        data = slurp(is);
+        owned = slurp(is);
+        data = owned;
         start();
+        startPipeline();
+    }
+
+    Impl(std::string_view view, Guest &g, const ReplayOptions &o)
+        : guest(g), opts(o), ctx{g, o.policy, report, {}, 0}
+    {
+        data = view;
+        start();
+        startPipeline();
+    }
+
+    /**
+     * Frame-parallel decode is worth a thread pool only for the framed
+     * formats; SGB1 is one indivisible stream. decodeThreads == 1 keeps
+     * the fully serial path (no pipeline at all).
+     */
+    void
+    startPipeline()
+    {
+        unsigned workers = guest.config().decodeThreads;
+        if (workers < 2 || sgb1 || done)
+            return;
+        pipeline = std::make_unique<DecodePipeline>(
+            data, sgb3, salvage(), workers, pos);
     }
 
     bool salvage() const { return opts.policy == ReplayPolicy::Salvage; }
@@ -968,7 +1466,9 @@ struct BinaryReplaySession::Impl
             return;
         }
         if (data.size() >= 4 &&
-            std::memcmp(data.data(), kSgb2Magic, 4) == 0) {
+            (std::memcmp(data.data(), kSgb2Magic, 4) == 0 ||
+             std::memcmp(data.data(), kSgb3Magic, 4) == 0)) {
+            sgb3 = data[3] == '3';
             // Preamble: version + program name (informational).
             Cursor c(data.data() + 4, data.size() - 4, 4, -1,
                      TraceErrorCause::Truncated);
@@ -992,10 +1492,15 @@ struct BinaryReplaySession::Impl
         e.byteOffset = 0;
         e.detail = "not a binary sigil trace";
         fail(std::move(e));
-        // Salvage can still mine a damaged preamble for valid SGB2
-        // frames: every frame is self-describing.
-        if (salvage())
+        // Salvage can still mine a damaged preamble for valid frames:
+        // every frame is self-describing. With the magic gone, let the
+        // first valid frame of either flavour pick the framing.
+        if (salvage()) {
+            std::size_t p2 = findNextFrame(data, 0, false);
+            std::size_t p3 = findNextFrame(data, 0, true);
+            sgb3 = p3 < p2; // npos compares greater than any hit
             resyncFrom(0);
+        }
     }
 
     /**
@@ -1005,7 +1510,7 @@ struct BinaryReplaySession::Impl
     void
     resyncFrom(std::size_t from)
     {
-        std::size_t np = findNextFrame(data, from);
+        std::size_t np = findNextFrame(data, from, sgb3);
         if (np == std::string_view::npos) {
             report.bytesSkipped += data.size() - pos;
             report.truncated = true;
@@ -1057,15 +1562,15 @@ struct BinaryReplaySession::Impl
             return false;
         }
 
-        std::optional<FrameHeader> h = parseFrameAt(data, pos);
+        std::optional<FrameHeader> h = parseFrameAt(data, pos, sgb3);
         if (!h) {
             TraceError e;
             e.byteOffset = pos;
-            if (data.size() - pos < kMinFrameBytes) {
+            if (data.size() - pos < minFrameBytes(sgb3)) {
                 e.cause = TraceErrorCause::Truncated;
                 e.detail = "stream ends inside a frame";
-            } else if (std::memcmp(data.data() + pos, kFrameSync, 4) ==
-                       0) {
+            } else if (std::memcmp(data.data() + pos, frameSync(sgb3),
+                                   4) == 0) {
                 e.cause = TraceErrorCause::HeaderCrc;
                 e.detail = "frame header failed validation";
             } else {
@@ -1097,9 +1602,38 @@ struct BinaryReplaySession::Impl
             return !done;
         }
 
-        const char *payload = data.data() + pos + h->headerLen;
-        if (crc32c(payload, static_cast<std::size_t>(h->payloadLen)) !=
-            h->payloadCrc) {
+        std::uint64_t payload_off = pos + h->headerLen;
+
+        // Pure per-frame work (payload CRC, decompression, syntactic
+        // decode) comes from the worker pool when one is running; a
+        // miss — or no pipeline at all — decodes inline. Either way
+        // the result is a pure function of the frame bytes, and every
+        // stateful decision below stays on this thread in stream order.
+        DecodeResult local;
+        const DecodeResult *dec =
+            pipeline ? pipeline->acquire(pos) : nullptr;
+        if (dec == nullptr) {
+            decodeFramePayload(
+                data.substr(static_cast<std::size_t>(payload_off),
+                            static_cast<std::size_t>(h->payloadLen)),
+                payload_off, *h, bidx, local);
+            dec = &local;
+        }
+        // Releases the pipeline's cached result on every exit path of
+        // this frame, including the early CRC-failure return.
+        struct ReleaseGuard
+        {
+            DecodePipeline *p;
+            const DecodeResult *inlineResult;
+            const DecodeResult *dec;
+            ~ReleaseGuard()
+            {
+                if (p != nullptr && dec != inlineResult)
+                    p->release();
+            }
+        } releaseGuard{pipeline.get(), &local, dec};
+
+        if (!dec->crcOk) {
             TraceError e;
             e.cause = TraceErrorCause::PayloadCrc;
             e.byteOffset = pos;
@@ -1115,7 +1649,6 @@ struct BinaryReplaySession::Impl
             return !done;
         }
 
-        std::uint64_t payload_off = pos + h->headerLen;
         switch (h->tag) {
           case kTagEnd:
             report.sawTrailer = true;
@@ -1130,17 +1663,12 @@ struct BinaryReplaySession::Impl
             break;
 
           case kTagFunctions: {
-            Cursor c(payload, static_cast<std::size_t>(h->payloadLen),
-                     payload_off, bidx, TraceErrorCause::BoundsExceeded);
-            try {
-                while (!c.atEnd()) {
-                    std::uint64_t id = c.varint();
-                    ctx.fnMap[id] =
-                        guest.functions().intern(c.bytes(c.varint()));
-                }
-            } catch (TraceAbort &a) {
-                fail(std::move(a.err));
-            }
+            // Records decoded before a syntactic error are exactly the
+            // ones the serial decoder interned before raising it.
+            for (const auto &[id, name] : dec->fns)
+                ctx.fnMap[id] = guest.functions().intern(name);
+            if (dec->error.has_value())
+                fail(*dec->error);
             pos = frame_end;
             break;
           }
@@ -1160,17 +1688,19 @@ struct BinaryReplaySession::Impl
                 report.eventsSkipped += h->firstEventSeq - streamPos;
                 streamPos = h->firstEventSeq;
             }
-            Cursor c(payload, static_cast<std::size_t>(h->payloadLen),
-                     payload_off, bidx, TraceErrorCause::BoundsExceeded);
-            std::uint64_t prev_addr = 0;
             std::uint64_t delivered = 0;
             bool clean = true;
             try {
-                for (; delivered < h->eventCount; ++delivered)
-                    ctx.deliverOne(c, prev_addr, bidx);
-                if (!c.atEnd())
-                    raiseError(TraceErrorCause::BadRecord, c.offset(),
-                               bidx, "trailing bytes in event block");
+                // Events before a syntactic error are exactly those
+                // the serial decoder would have delivered before it; a
+                // semantic (strict-mode) error interrupts the loop
+                // earlier, just as the fused decoder would.
+                for (const PreEvent &ev : dec->events) {
+                    ctx.deliverEvent(ev, bidx);
+                    ++delivered;
+                }
+                if (dec->error.has_value())
+                    throw TraceAbort{*dec->error};
             } catch (TraceAbort &a) {
                 clean = false;
                 fail(std::move(a.err));
@@ -1249,8 +1779,11 @@ struct BinaryReplaySession::Impl
                     raiseError(TraceErrorCause::Truncated, at, -1,
                                "block claims more events than bytes "
                                "remain");
-                for (std::uint64_t i = 0; i < count; ++i)
-                    ctx.deliverOne(c, prev_addr, -1);
+                for (std::uint64_t i = 0; i < count; ++i) {
+                    PreEvent ev;
+                    decodeEvent(c, prev_addr, -1, ev);
+                    ctx.deliverEvent(ev, -1);
+                }
                 ++report.blocksDelivered;
                 ++eventBlocks;
             }
@@ -1276,6 +1809,12 @@ struct BinaryReplaySession::Impl
 BinaryReplaySession::BinaryReplaySession(std::istream &is, Guest &guest,
                                          const ReplayOptions &options)
     : impl_(std::make_unique<Impl>(is, guest, options))
+{}
+
+BinaryReplaySession::BinaryReplaySession(std::string_view data,
+                                         Guest &guest,
+                                         const ReplayOptions &options)
+    : impl_(std::make_unique<Impl>(data, guest, options))
 {}
 
 BinaryReplaySession::~BinaryReplaySession() = default;
@@ -1381,8 +1920,89 @@ BinaryReplaySession::restoreReaderState(ByteSource &src)
     }
     s.pos = static_cast<std::size_t>(pos);
     s.done = false;
+    // The prefetch window was scanned for the old position; restart it
+    // where the restored replay will actually resume.
+    if (s.pipeline)
+        s.pipeline->reset(s.pos);
     // A session that already errored cannot be resumed over the error.
     return !r.error.has_value();
+}
+
+// ---------------------------------------------------------------------
+// Mapped trace input
+// ---------------------------------------------------------------------
+
+MappedTraceFile::MappedTraceFile(const std::string &path)
+{
+#ifdef SIGIL_HAVE_MMAP
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd >= 0) {
+        struct stat st;
+        bool regular = ::fstat(fd, &st) == 0 && S_ISREG(st.st_mode);
+        if (regular && st.st_size == 0) {
+            // mmap rejects zero-length mappings; an empty file is
+            // simply an empty view.
+            ::close(fd);
+            ok_ = true;
+            return;
+        }
+        if (regular) {
+            void *m =
+                ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                       PROT_READ, MAP_PRIVATE, fd, 0);
+            ::close(fd);
+            if (m != MAP_FAILED) {
+                map_ = m;
+                mapLen_ = static_cast<std::size_t>(st.st_size);
+                view_ = std::string_view(static_cast<const char *>(m),
+                                         mapLen_);
+                ok_ = true;
+                return;
+            }
+            // mmap refused a regular file (e.g. an exotic filesystem):
+            // fall through to the stream read.
+        } else {
+            // Pipes, FIFOs, devices: not mappable. Drain this very
+            // descriptor — closing and reopening a pipe would drop
+            // whatever the writer already buffered into it.
+            char buf[256 * 1024];
+            for (;;) {
+                ssize_t got = ::read(fd, buf, sizeof(buf));
+                if (got > 0) {
+                    owned_.append(buf, static_cast<std::size_t>(got));
+                    continue;
+                }
+                if (got == 0) {
+                    ::close(fd);
+                    view_ = owned_;
+                    ok_ = true;
+                    return;
+                }
+                if (errno == EINTR)
+                    continue;
+                ::close(fd);
+                error_ = "read error on '" + path + "'";
+                return;
+            }
+        }
+    }
+#endif
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        error_ = "cannot open '" + path + "' for reading";
+        return;
+    }
+    owned_ = slurp(is);
+    view_ = owned_;
+    ok_ = true;
+}
+
+MappedTraceFile::~MappedTraceFile()
+{
+#ifdef SIGIL_HAVE_MMAP
+    if (map_ != nullptr)
+        ::munmap(map_, mapLen_);
+#endif
 }
 
 // ---------------------------------------------------------------------
@@ -1703,63 +2323,103 @@ replayBinaryTrace(std::istream &is, Guest &guest)
     return report.eventsDelivered;
 }
 
+namespace {
+
+bool
+hasBinaryMagic(std::string_view data)
+{
+    return data.size() >= 4 &&
+           (std::memcmp(data.data(), kSgb1Magic, 4) == 0 ||
+            std::memcmp(data.data(), kSgb2Magic, 4) == 0 ||
+            std::memcmp(data.data(), kSgb3Magic, 4) == 0);
+}
+
+/** Zero-copy istream over an existing buffer (text replay on a view). */
+struct ViewBuf : std::streambuf
+{
+    explicit ViewBuf(std::string_view v)
+    {
+        char *p = const_cast<char *>(v.data());
+        setg(p, p, p + v.size());
+    }
+};
+
+ReplayReport
+replayFromView(std::string_view data, Guest &guest,
+               const ReplayOptions &options)
+{
+    if (hasBinaryMagic(data)) {
+        BinaryReplaySession session(data, guest, options);
+        while (session.step()) {
+        }
+        return session.finish();
+    }
+    ViewBuf buf(data);
+    std::istream is(&buf);
+    return replayTrace(is, guest, options);
+}
+
+} // namespace
+
 std::uint64_t
 replayTraceFile(const std::string &path, Guest &guest)
 {
-    std::ifstream is(path, std::ios::binary);
-    if (!is)
-        fatal("cannot open '%s' for reading", path.c_str());
-    char magic[4] = {0, 0, 0, 0};
-    is.read(magic, sizeof(magic));
-    is.clear();
-    is.seekg(0);
-    if (std::memcmp(magic, kSgb1Magic, sizeof(magic)) == 0 ||
-        std::memcmp(magic, kSgb2Magic, sizeof(magic)) == 0) {
-        return replayBinaryTrace(is, guest);
-    }
-    return replayTrace(is, guest);
+    MappedTraceFile file(path);
+    if (!file.ok())
+        fatal("%s", file.errorDetail().c_str());
+    bool binary = hasBinaryMagic(file.view());
+    ReplayReport report =
+        replayFromView(file.view(), guest, ReplayOptions{});
+    if (report.error.has_value())
+        fatal(binary ? "binary trace: %s" : "trace replay: %s",
+              report.error->message().c_str());
+    return report.eventsDelivered;
 }
 
 ReplayReport
 replayTraceFile(const std::string &path, Guest &guest,
                 const ReplayOptions &options)
 {
-    std::ifstream is(path, std::ios::binary);
-    if (!is) {
+    MappedTraceFile file(path);
+    if (!file.ok()) {
         ReplayReport report;
         TraceError e;
         e.cause = TraceErrorCause::Io;
-        e.detail = "cannot open '" + path + "' for reading";
+        e.detail = file.errorDetail();
         report.error = std::move(e);
         return report;
     }
-    char magic[4] = {0, 0, 0, 0};
-    is.read(magic, sizeof(magic));
-    is.clear();
-    is.seekg(0);
-    if (std::memcmp(magic, kSgb1Magic, sizeof(magic)) == 0 ||
-        std::memcmp(magic, kSgb2Magic, sizeof(magic)) == 0) {
-        return replayBinaryTrace(is, guest, options);
-    }
-    return replayTrace(is, guest, options);
+    return replayFromView(file.view(), guest, options);
 }
 
 std::vector<Sgb2BlockInfo>
 scanSgb2Blocks(std::string_view trace)
 {
     std::vector<Sgb2BlockInfo> blocks;
+    bool sgb3 = trace.size() >= 4 &&
+                std::memcmp(trace.data(), kSgb3Magic, 4) == 0;
+    if (!sgb3 && !(trace.size() >= 4 &&
+                   std::memcmp(trace.data(), kSgb2Magic, 4) == 0)) {
+        // Headerless fragment: let the first valid frame of either
+        // flavour pick the framing, as salvage replay does.
+        std::size_t p2 = findNextFrame(trace, 0, false);
+        std::size_t p3 = findNextFrame(trace, 0, true);
+        sgb3 = p3 < p2;
+    }
     std::size_t pos = 0;
     for (;;) {
-        pos = findNextFrame(trace, pos);
+        pos = findNextFrame(trace, pos, sgb3);
         if (pos == std::string_view::npos)
             break;
-        std::optional<FrameHeader> h = parseFrameAt(trace, pos);
+        std::optional<FrameHeader> h = parseFrameAt(trace, pos, sgb3);
         Sgb2BlockInfo info;
         info.offset = pos;
         info.length = h->headerLen + h->payloadLen;
         info.tag = h->tag;
         info.firstEventSeq = h->firstEventSeq;
         info.eventCount = h->eventCount;
+        info.compressed = h->compressed;
+        info.rawLen = h->rawLen;
         blocks.push_back(info);
         pos += static_cast<std::size_t>(info.length);
         if (pos >= trace.size())
@@ -1770,10 +2430,10 @@ scanSgb2Blocks(std::string_view trace)
 
 std::uint64_t
 convertTextTraceToBinary(std::istream &text, std::ostream &bin,
-                         const std::string &program)
+                         const std::string &program, TraceFormat format)
 {
     Guest guest(program);
-    BinaryTraceRecorder recorder(bin);
+    BinaryTraceRecorder recorder(bin, format);
     guest.addTool(&recorder);
     return replayTrace(text, guest);
 }

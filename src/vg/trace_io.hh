@@ -88,6 +88,7 @@ enum class TraceFormat
 {
     SGB1, ///< legacy unframed sections (no checksums, no lengths)
     SGB2, ///< CRC32C-framed blocks with explicit lengths (default)
+    SGB3, ///< SGB2 framing + per-frame LZ block compression
 };
 
 /**
@@ -108,6 +109,13 @@ enum class TraceFormat
  *          payload CRC32C, and a CRC32C over the frame header itself.
  *          The address delta chain resets at every block boundary so
  *          any block can be decoded (or skipped) independently.
+ *
+ *   SGB3:  SGB2 framing with distinct magic/sync bytes, a flags byte
+ *          (bit 0: payload stored LZ-compressed, see support/lz.hh)
+ *          and an uncompressed-length varint in each frame header.
+ *          The CRCs cover the stored (possibly compressed) bytes, so
+ *          frame validation never decompresses. Frames that do not
+ *          shrink are stored raw. See docs/FORMATS.md §3.3.
  *
  * Event encoding inside a block (one opcode byte each): reads/writes
  * carry a zigzag varint delta from the previous access address plus a
@@ -166,6 +174,7 @@ class BinaryTraceRecorder : public Tool
     std::size_t maxBlockEvents_;
     std::string block_;      ///< encoded events of the open block
     std::string pendingFns_; ///< fn records to emit before the block
+    std::string comp_;       ///< compression scratch buffer (SGB3)
     std::size_t blockEvents_ = 0;
     std::uint64_t blockSeq_ = 0; ///< frames written (SGB2)
     std::uint64_t prevAddr_ = 0;
@@ -207,6 +216,44 @@ std::uint64_t replayBinaryTrace(std::istream &is, Guest &guest);
 ReplayReport replayBinaryTrace(std::istream &is, Guest &guest,
                                const ReplayOptions &options);
 
+/**
+ * Zero-copy trace input: maps a trace file read-only into the address
+ * space so replay decodes frame payloads in place, with a graceful
+ * read()-stream fallback for pipes, FIFOs, and anything else mmap
+ * cannot handle (the fallback slurps into an owned buffer, preserving
+ * behaviour at the cost of the copy). The view stays valid for the
+ * lifetime of this object.
+ */
+class MappedTraceFile
+{
+  public:
+    explicit MappedTraceFile(const std::string &path);
+    ~MappedTraceFile();
+
+    MappedTraceFile(const MappedTraceFile &) = delete;
+    MappedTraceFile &operator=(const MappedTraceFile &) = delete;
+
+    /** False when the file could not be opened or read at all. */
+    bool ok() const { return ok_; }
+
+    /** True when the bytes are a zero-copy memory mapping. */
+    bool mapped() const { return map_ != nullptr; }
+
+    /** The file's bytes (empty for an empty file). */
+    std::string_view view() const { return view_; }
+
+    /** Why ok() is false. */
+    const std::string &errorDetail() const { return error_; }
+
+  private:
+    void *map_ = nullptr;
+    std::size_t mapLen_ = 0;
+    std::string owned_;
+    std::string_view view_;
+    std::string error_;
+    bool ok_ = false;
+};
+
 /** Replay from a file, sniffing text vs. binary format. */
 std::uint64_t replayTraceFile(const std::string &path, Guest &guest);
 
@@ -220,6 +267,13 @@ ReplayReport replayTraceFile(const std::string &path, Guest &guest,
  * uses this to snapshot replay state at block boundaries and to resume
  * a replay mid-stream. Also replays SGB1 (one step per section), but
  * without salvage or mid-stream resume.
+ *
+ * When the owning guest's GuestConfig::decodeThreads is greater than
+ * one (and the trace is SGB2/SGB3), frame payloads are CRC-verified
+ * and pre-decoded by a pool of worker threads running ahead of the
+ * step() consumer; delivery order, salvage accounting, and every
+ * report counter stay bit-identical to the serial decoder (see
+ * DESIGN.md §4.6).
  */
 class BinaryReplaySession
 {
@@ -227,6 +281,15 @@ class BinaryReplaySession
     /** Slurps the stream; the guest must outlive the session. */
     BinaryReplaySession(std::istream &is, Guest &guest,
                         const ReplayOptions &options = ReplayOptions{});
+
+    /**
+     * Zero-copy variant: replays directly out of `data` (for example a
+     * MappedTraceFile view), which must stay valid and unchanged for
+     * the session's lifetime.
+     */
+    BinaryReplaySession(std::string_view data, Guest &guest,
+                        const ReplayOptions &options = ReplayOptions{});
+
     ~BinaryReplaySession();
 
     BinaryReplaySession(const BinaryReplaySession &) = delete;
@@ -277,21 +340,24 @@ class BinaryReplaySession
     std::unique_ptr<Impl> impl_;
 };
 
-/** One SGB2 frame located in a trace buffer (fault-injection aid). */
+/** One SGB2/SGB3 frame located in a trace buffer (fault-injection aid). */
 struct Sgb2BlockInfo
 {
     std::uint64_t offset = 0; ///< absolute offset of the sync bytes
-    std::uint64_t length = 0; ///< frame header + payload bytes
+    std::uint64_t length = 0; ///< frame header + stored payload bytes
     std::uint8_t tag = 0;
     std::uint64_t firstEventSeq = 0;
     std::uint64_t eventCount = 0;
+    bool compressed = false;  ///< SGB3 frame stored LZ-compressed
+    std::uint64_t rawLen = 0; ///< uncompressed payload bytes (SGB3)
 };
 
 /**
- * Locate every valid SGB2 frame in a trace image. Used by the
- * fault-injection harness to aim corruption at specific blocks and by
- * tests to reason about frame layout; returns an empty vector for
- * non-SGB2 input.
+ * Locate every valid SGB2/SGB3 frame in a trace image (the flavour is
+ * sniffed from the file magic; a magic-less buffer is scanned as
+ * SGB2). Used by the fault-injection harness to aim corruption at
+ * specific blocks and by tests to reason about frame layout; returns
+ * an empty vector for input without framed blocks.
  */
 std::vector<Sgb2BlockInfo> scanSgb2Blocks(std::string_view trace);
 
@@ -304,7 +370,9 @@ std::vector<Sgb2BlockInfo> scanSgb2Blocks(std::string_view trace);
  */
 std::uint64_t convertTextTraceToBinary(std::istream &text,
                                        std::ostream &bin,
-                                       const std::string &program);
+                                       const std::string &program,
+                                       TraceFormat format
+                                       = TraceFormat::SGB2);
 
 } // namespace sigil::vg
 
