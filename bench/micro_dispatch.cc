@@ -272,6 +272,48 @@ BM_TraceRecordBinary(benchmark::State &state)
 BENCHMARK(BM_TraceRecordBinary)->Arg(1)->Arg(2)->Arg(3);
 
 /**
+ * Synchronous vs. background-writer recording. Args: {format: 2 SGB2,
+ * 3 SGB3} x {writer: 0 sync, 1 async}. Async moves CRC32C and (for
+ * SGB3) LZ compression onto the writer thread, so the guest thread
+ * only appends to the current block and enqueues finished ones; the
+ * bytes are bit-identical either way (`trace_bytes` must match across
+ * the writer axis). `queue_depth_peak` shows how far the guest ran
+ * ahead of the writer before backpressure (capped by
+ * writerQueueFrames). Real time: with the writer overlapping the
+ * guest, CPU time double-counts the background work.
+ */
+void
+BM_TraceRecordAsync(benchmark::State &state)
+{
+    auto format = state.range(0) == 3 ? vg::TraceFormat::SGB3
+                                      : vg::TraceFormat::SGB2;
+    bool async = state.range(1) != 0;
+    std::size_t bytes = 0;
+    std::uint64_t depth_peak = 0;
+    for (auto _ : state) {
+        std::ostringstream os(std::ios::binary);
+        vg::GuestConfig gc;
+        gc.asyncWriter = async;
+        vg::Guest g("bench", gc);
+        vg::BinaryTraceRecorder rec(os, format);
+        g.addTool(&rec);
+        driveWorkload(g, kWorkloadIters);
+        bytes = os.str().size();
+        depth_peak = rec.writerQueuePeak();
+        benchmark::DoNotOptimize(bytes);
+    }
+    state.counters["trace_bytes"] = static_cast<double>(bytes);
+    state.counters["queue_depth_peak"] = static_cast<double>(depth_peak);
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            kWorkloadIters);
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations() * bytes));
+}
+BENCHMARK(BM_TraceRecordAsync)
+    ->ArgsProduct({{2, 3}, {0, 1}})
+    ->UseRealTime();
+
+/**
  * Trace replay, parsing cost only (no tools attached): text vs. the
  * binary framings. Args: {format: 0 text, 1 SGB1, 2 SGB2, 3 SGB3}.
  * The SGB2 column includes per-block CRC verification; SGB3 adds

@@ -11,9 +11,7 @@
  */
 
 #include <cstdio>
-#include <fstream>
 #include <string>
-#include <vector>
 
 #include "cdfg/cdfg.hh"
 #include "cdfg/partitioner.hh"
@@ -43,22 +41,22 @@ main(int argc, char **argv)
     std::string profile_path = dir + "/" + w->name + ".profile";
     std::string events_path = dir + "/" + w->name + ".events";
 
-    // Phase 1: the one expensive instrumented run. The trace goes to
-    // disk in the binary block format through a megabyte stream buffer,
-    // and the guest hands events to the tools in batches.
+    // Phase 1: the one expensive instrumented run. The trace goes
+    // through a DurableTraceWriter — bytes land in `<trace>.tmp`,
+    // fsync every 4 MiB, and the atomic rename in finalize() only
+    // publishes the final path once the shutdown trailer is on disk —
+    // and the compression/CRC work rides on the recorder's background
+    // writer thread instead of the guest thread.
     {
-        std::vector<char> iobuf(1 << 20);
-        std::ofstream trace;
-        trace.rdbuf()->pubsetbuf(iobuf.data(),
-                                 static_cast<std::streamsize>(iobuf.size()));
-        trace.open(trace_path, std::ios::binary);
-        if (!trace)
-            fatal("cannot write to %s (create the directory first)",
-                  trace_path.c_str());
+        vg::DurableTraceWriter durable(trace_path, 4u << 20);
+        if (!durable.ok())
+            fatal("cannot write to %s: %s (create the directory first)",
+                  trace_path.c_str(), durable.errorDetail().c_str());
         vg::GuestConfig gcfg;
         gcfg.batchEvents = true;
+        gcfg.asyncWriter = true;
         vg::Guest guest(w->name, gcfg);
-        vg::BinaryTraceRecorder recorder(trace);
+        vg::BinaryTraceRecorder recorder(durable.stream());
         core::SigilConfig cfg;
         cfg.collectReuse = true;
         cfg.collectEvents = true;
@@ -67,11 +65,18 @@ main(int argc, char **argv)
         guest.addTool(&profiler);
         w->run(guest, workloads::Scale::SimSmall);
         guest.finish();
+        if (!durable.finalize())
+            fatal("finalize failed for %s: %s", trace_path.c_str(),
+                  durable.errorDetail().c_str());
         core::writeProfileFile(profile_path, profiler.takeProfile());
         core::writeEventsFile(events_path, profiler.events());
-        std::printf("collected: %llu raw events\n",
+        std::printf("collected: %llu raw events (writer queue peak %llu, "
+                    "%llu fsyncs)\n",
                     static_cast<unsigned long long>(
-                        recorder.eventsWritten()));
+                        recorder.eventsWritten()),
+                    static_cast<unsigned long long>(
+                        recorder.writerQueuePeak()),
+                    static_cast<unsigned long long>(durable.syncCount()));
         std::printf("  %s\n  %s\n  %s\n", trace_path.c_str(),
                     profile_path.c_str(), events_path.c_str());
     }
@@ -100,7 +105,10 @@ main(int argc, char **argv)
 
     // Phase 3: replay the raw trace into a different profiler mode.
     // replayTraceFile() sniffs the format, so the same call reads this
-    // binary trace or a legacy text one.
+    // binary trace or a legacy text one. Salvage mode tolerates a
+    // damaged file (a crash mid-recording, a bad sector) and the
+    // report says exactly what was recovered and whether the trace
+    // ends in a clean-shutdown trailer.
     {
         vg::GuestConfig gcfg;
         gcfg.batchEvents = true;
@@ -109,11 +117,16 @@ main(int argc, char **argv)
         cfg.granularityShift = 6; // line mode this time
         core::SigilProfiler profiler(cfg);
         guest.addTool(&profiler);
-        std::uint64_t events = vg::replayTraceFile(trace_path, guest);
+        vg::ReplayOptions ropt;
+        ropt.policy = vg::ReplayPolicy::Salvage;
+        vg::ReplayReport report =
+            vg::replayTraceFile(trace_path, guest, ropt);
+        std::printf("\nsalvage replay: %s\n", report.toString().c_str());
         core::SigilProfile lines = profiler.takeProfile();
-        std::printf("\nreplayed %llu events in 64B-line mode: line "
+        std::printf("replayed %llu events in 64B-line mode: line "
                     "re-use breakdown\n",
-                    static_cast<unsigned long long>(events));
+                    static_cast<unsigned long long>(
+                        report.eventsDelivered));
         const BoundsHistogram &h = lines.lineReuseBreakdown;
         for (std::size_t i = 0; i < h.numBins(); ++i) {
             std::printf("  %-7s %5.1f%%\n", h.binLabel(i).c_str(),

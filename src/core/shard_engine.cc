@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 
 #include "core/sigil_profiler.hh"
 #include "support/logging.hh"
+#include "support/watchdog.hh"
 
 namespace sigil::core {
 
@@ -33,19 +35,26 @@ struct ShardEngine::Shard
     /** Worker's count of records fully processed. */
     alignas(64) std::atomic<std::uint64_t> processed{0};
 
+    /** Watchdog entity of this shard's worker (-1 when unmonitored). */
+    int dogId = -1;
+
     std::thread worker;
 };
 
 ShardEngine::ShardEngine(const SigilConfig &config, unsigned shard_count,
-                         std::size_t queue_capacity)
+                         std::size_t queue_capacity,
+                         std::shared_ptr<sigil::Watchdog> watchdog,
+                         std::shared_ptr<sigil::MemoryGovernor> governor)
     : config_(config), reuseEnabled_(config.collectReuse),
-      planner_(config.maxShadowChunks)
+      planner_(config.maxShadowChunks), watchdog_(std::move(watchdog)),
+      governor_(std::move(governor))
 {
     if (shard_count < 2 ||
         (shard_count & (shard_count - 1)) != 0) {
         panic("ShardEngine: shard count %u is not a power of two >= 2",
               shard_count);
     }
+    planner_.setGovernor(governor_.get());
     shards_.reserve(shard_count);
     for (unsigned i = 0; i < shard_count; ++i) {
         auto shard = std::make_unique<Shard>(queue_capacity,
@@ -57,7 +66,31 @@ ShardEngine::ShardEngine(const SigilConfig &config, unsigned shard_count,
                                 s->shadow.stamps(), obj.hot, obj.cold);
             },
             shadow::SweepFilter::PendingRuns);
+        if (watchdog_ != nullptr) {
+            char name[32];
+            std::snprintf(name, sizeof(name), "shard-worker-%u", i);
+            s->dogId = watchdog_->registerEntity(
+                name, sigil::Watchdog::StallAction::Fail, [s] {
+                    char buf[48];
+                    std::snprintf(
+                        buf, sizeof(buf), "records processed=%llu",
+                        static_cast<unsigned long long>(
+                            s->processed.load(
+                                std::memory_order_relaxed)));
+                    return std::string(buf);
+                });
+        }
         shards_.push_back(std::move(shard));
+    }
+    if (governor_ != nullptr) {
+        // Fixed footprint: the SPSC rings exist for the engine's whole
+        // lifetime, so one charge up front and one release at teardown.
+        // capacity() is the ring's actual (power-of-two) slot count.
+        queueBytesCharged_ = shard_count *
+                             shards_[0]->queue.capacity() *
+                             sizeof(vg::ShardRecord);
+        governor_->charge(sigil::MemCategory::ShardQueues,
+                          queueBytesCharged_);
     }
     for (auto &shard : shards_) {
         Shard *s = shard.get();
@@ -72,6 +105,13 @@ ShardEngine::~ShardEngine()
     for (auto &shard : shards_) {
         if (shard->worker.joinable())
             shard->worker.join();
+        if (watchdog_ != nullptr && shard->dogId >= 0)
+            watchdog_->unregisterEntity(shard->dogId);
+    }
+    if (governor_ != nullptr) {
+        governor_->release(sigil::MemCategory::ShardQueues,
+                           queueBytesCharged_);
+        planner_.setGovernor(nullptr);
     }
 }
 
@@ -140,10 +180,12 @@ ShardEngine::routeAccess(bool is_write, vg::Addr addr, unsigned size,
             end_addr, (piece_last + 1) << shift);
 
         // Replay the serial recency/eviction decision for this chunk;
-        // a victim is evicted in its owning shard before the piece
-        // that displaced it is enqueued.
-        std::uint64_t victim = planner_.touch(chunk, want_cold);
-        if (victim != ChunkLruPlanner::kNone) {
+        // every victim (chunk limit, or the governor's budget loop) is
+        // evicted in its owning shard before the piece that displaced
+        // it is enqueued, in planner eviction order.
+        victimScratch_.clear();
+        planner_.touch(chunk, want_cold, victimScratch_);
+        for (std::uint64_t victim : victimScratch_) {
             Shard &vs = *shards_[shardOf(victim)];
             vg::ShardRecord evict;
             evict.kind = vg::ShardRecord::kEvict;
@@ -220,13 +262,22 @@ ShardEngine::workerLoop(Shard &shard)
     std::vector<vg::ShardRecord> buf(kPopBatch);
     std::uint64_t done = 0;
     for (;;) {
+        // Blocking on an empty queue is idleness, not a stall: only
+        // time spent processing popped records counts for the
+        // watchdog's deadline.
+        if (watchdog_ != nullptr && shard.dogId >= 0)
+            watchdog_->idle(shard.dogId);
         std::size_t n = shard.queue.pop(buf.data(), buf.size());
         if (n == 0)
             return; // stopped and fully drained
+        if (watchdog_ != nullptr && shard.dogId >= 0)
+            watchdog_->busy(shard.dogId);
         for (std::size_t i = 0; i < n; ++i)
             process(shard, buf[i]);
         done += n;
         shard.processed.store(done, std::memory_order_release);
+        if (watchdog_ != nullptr && shard.dogId >= 0)
+            watchdog_->beat(shard.dogId);
     }
 }
 

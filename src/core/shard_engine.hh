@@ -42,7 +42,12 @@
 
 #include "core/comm_tables.hh"
 #include "shadow/shadow_memory.hh"
+#include "support/mem_governor.hh"
 #include "vg/shard_queue.hh"
+
+namespace sigil {
+class Watchdog;
+}
 
 namespace sigil::core {
 
@@ -74,33 +79,34 @@ class ChunkLruPlanner
      * the planner tracks which chunks hold a cold array (and accounts
      * its bytes) so a sharded run's ShadowStats — including the byte
      * peak a profile embeds — is bit-identical to the serial run's.
-     * Returns the chunk index evicted to make room, or kNone.
+     * Every chunk index evicted to make room — at most one for the
+     * chunk limit, any number for the memory budget — is appended to
+     * `victims` in eviction order.
      */
-    std::uint64_t
-    touch(std::uint64_t index, bool want_cold)
+    void
+    touch(std::uint64_t index, bool want_cold,
+          std::vector<std::uint64_t> &victims)
     {
         if (lastEntry_ != nullptr && index == lastIndex_) {
             // Cache hit: no recency work, but the serial lookup still
             // materializes the cold array on demand.
             if (want_cold && !lastEntry_->cold)
-                materializeCold(*lastEntry_);
-            return kNone;
+                materializeColdGoverned(index, *lastEntry_, victims);
+            return;
         }
-        std::uint64_t victim = kNone;
         auto it = map_.find(index);
         if (it == map_.end()) {
-            if (maxChunks_ != 0 && map_.size() >= maxChunks_) {
-                victim = lru_.front();
-                auto vit = map_.find(victim);
-                stats_.bytesLive -= shadow::ShadowMemory::chunkHotBytes();
-                if (vit->second.cold) {
-                    stats_.bytesLive -=
-                        shadow::ShadowMemory::chunkColdBytes();
-                    --stats_.coldArraysLive;
+            if (maxChunks_ != 0 && map_.size() >= maxChunks_)
+                victims.push_back(evictFront());
+            // Same budget loop as the serial ShadowMemory::chunkFor,
+            // replayed here so the global eviction sequence of a
+            // governed sharded run matches the governed serial run.
+            if (governor_ != nullptr) {
+                while (!map_.empty() &&
+                       governor_->overBudget(
+                           shadow::ShadowMemory::chunkHotBytes())) {
+                    victims.push_back(evictFront());
                 }
-                map_.erase(vit);
-                lru_.pop_front();
-                ++stats_.evictions;
             }
             lru_.push_back(index);
             it = map_.emplace(index,
@@ -115,10 +121,9 @@ class ChunkLruPlanner
             lru_.splice(lru_.end(), lru_, it->second.pos);
         }
         if (want_cold && !it->second.cold)
-            materializeCold(it->second);
+            materializeColdGoverned(index, it->second, victims);
         lastIndex_ = index;
         lastEntry_ = &it->second;
-        return victim;
     }
 
     /**
@@ -200,6 +205,7 @@ class ChunkLruPlanner
     void
     restoreStats(const shadow::ShadowStats &stats)
     {
+        std::uint64_t charged = stats_.bytesLive;
         stats_ = stats;
         stats_.chunksLive = map_.size();
         stats_.coldArraysLive = 0;
@@ -214,6 +220,16 @@ class ChunkLruPlanner
         stats_.bytesLive = live;
         if (stats_.bytesPeak < stats_.bytesLive)
             stats_.bytesPeak = stats_.bytesLive;
+        if (governor_ != nullptr) {
+            // Restore interns stamps directly into the mirror table
+            // (bypassing the delta-charging wrappers), so resync the
+            // governor's lane with the recomputed live figure.
+            governor_->release(sigil::MemCategory::Shadow,
+                               static_cast<std::size_t>(charged));
+            governor_->charge(
+                sigil::MemCategory::Shadow,
+                static_cast<std::size_t>(stats_.bytesLive));
+        }
     }
 
     /**
@@ -230,6 +246,29 @@ class ChunkLruPlanner
 
     std::size_t liveChunks() const { return map_.size(); }
 
+    /**
+     * Attach the memory governor. The planner — not the per-shard
+     * shadows, which are unbounded mirrors — is the accounting
+     * authority of a sharded run, so its byte ledger is the one
+     * reflected into the governor's Shadow lane, and its touch()
+     * evicts for the budget exactly like the governed serial shadow.
+     */
+    void
+    setGovernor(sigil::MemoryGovernor *governor)
+    {
+        if (governor_ == governor)
+            return;
+        if (governor_ != nullptr)
+            governor_->release(
+                sigil::MemCategory::Shadow,
+                static_cast<std::size_t>(stats_.bytesLive));
+        governor_ = governor;
+        if (governor_ != nullptr && stats_.bytesLive != 0)
+            governor_->charge(
+                sigil::MemCategory::Shadow,
+                static_cast<std::size_t>(stats_.bytesLive));
+    }
+
   private:
     struct Entry
     {
@@ -244,6 +283,41 @@ class ChunkLruPlanner
         stats_.bytesLive += n;
         if (stats_.bytesLive > stats_.bytesPeak)
             stats_.bytesPeak = stats_.bytesLive;
+        if (governor_ != nullptr)
+            governor_->charge(sigil::MemCategory::Shadow,
+                              static_cast<std::size_t>(n));
+    }
+
+    void
+    bytesSub(std::uint64_t n)
+    {
+        stats_.bytesLive -= n;
+        if (governor_ != nullptr)
+            governor_->release(sigil::MemCategory::Shadow,
+                               static_cast<std::size_t>(n));
+    }
+
+    /** Evict the least recently touched chunk, returning its index. */
+    std::uint64_t
+    evictFront()
+    {
+        std::uint64_t victim = lru_.front();
+        auto vit = map_.find(victim);
+        bytesSub(shadow::ShadowMemory::chunkHotBytes());
+        if (vit->second.cold) {
+            bytesSub(shadow::ShadowMemory::chunkColdBytes());
+            --stats_.coldArraysLive;
+        }
+        // Mirror the serial lookup-cache invalidation on eviction.
+        if (lastEntry_ == &vit->second) {
+            lastEntry_ = nullptr;
+            lastIndex_ = kNone;
+        }
+        map_.erase(vit);
+        lru_.pop_front();
+        ++stats_.evictions;
+        stats_.chunksLive = map_.size();
+        return victim;
     }
 
     void
@@ -254,12 +328,31 @@ class ChunkLruPlanner
         bytesAdd(shadow::ShadowMemory::chunkColdBytes());
     }
 
+    /**
+     * materializeCold with the serial shadow's budget loop: make room
+     * for the cold array, but never by evicting the chunk gaining it.
+     */
+    void
+    materializeColdGoverned(std::uint64_t index, Entry &entry,
+                            std::vector<std::uint64_t> &victims)
+    {
+        if (governor_ != nullptr) {
+            while (map_.size() > 1 && lru_.front() != index &&
+                   governor_->overBudget(
+                       shadow::ShadowMemory::chunkColdBytes())) {
+                victims.push_back(evictFront());
+            }
+        }
+        materializeCold(entry);
+    }
+
     std::size_t maxChunks_;
     std::list<std::uint64_t> lru_;
     std::unordered_map<std::uint64_t, Entry> map_;
     /** Mirror of ShadowMemory's one-entry lookup cache. */
     std::uint64_t lastIndex_ = kNone;
     Entry *lastEntry_ = nullptr;
+    sigil::MemoryGovernor *governor_ = nullptr;
     shadow::StampTable stamps_;
     shadow::ShadowStats stats_;
 };
@@ -268,8 +361,18 @@ class ChunkLruPlanner
 class ShardEngine
 {
   public:
+    /**
+     * watchdog (optional) monitors each shard worker for stalls;
+     * governor (optional) accounts the fixed queue footprint under
+     * ShardQueues and drives the planner's budget evictions. Both are
+     * shared handles: the engine's destructor releases charges and
+     * unregisters heartbeats, so they must stay alive even when the
+     * owning profiler outlives the guest that created them.
+     */
     ShardEngine(const SigilConfig &config, unsigned shard_count,
-                std::size_t queue_capacity);
+                std::size_t queue_capacity,
+                std::shared_ptr<sigil::Watchdog> watchdog = nullptr,
+                std::shared_ptr<sigil::MemoryGovernor> governor = nullptr);
     ~ShardEngine();
 
     ShardEngine(const ShardEngine &) = delete;
@@ -342,6 +445,12 @@ class ShardEngine
 
     ChunkLruPlanner planner_;
     std::uint64_t nextEpoch_ = 1;
+    std::shared_ptr<sigil::Watchdog> watchdog_;
+    std::shared_ptr<sigil::MemoryGovernor> governor_;
+    /** ShardQueues bytes charged at construction, released at teardown. */
+    std::size_t queueBytesCharged_ = 0;
+    /** Scratch victim list reused across routeAccess calls. */
+    std::vector<std::uint64_t> victimScratch_;
     std::vector<std::unique_ptr<Shard>> shards_;
 };
 

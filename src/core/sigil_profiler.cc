@@ -71,9 +71,22 @@ SigilProfiler::attach(const vg::Guest &guest)
 {
     Tool::attach(guest);
     const vg::GuestConfig &gc = guest.config();
+    if (gc.shardCount > 1 && shadow_.hasAllocationFailureInjector()) {
+        // Sharded workers never consult injectors and cannot degrade;
+        // silently ignoring the injector would make a fault-injection
+        // run report clean results it never exercised.
+        fatal("SigilProfiler: allocation-failure injection is not "
+              "supported with shardCount > 1");
+    }
+    // The shared handle keeps the governor alive for this profiler's
+    // whole lifetime, so shadow_'s raw pointer into it cannot dangle
+    // even when the guest is torn down first.
+    governorHold_ = guest.governorShared();
+    shadow_.setGovernor(governorHold_.get());
     if (gc.shardCount > 1 && engine_ == nullptr) {
-        engine_ = std::make_unique<ShardEngine>(config_, gc.shardCount,
-                                                gc.shardQueueCapacity);
+        engine_ = std::make_unique<ShardEngine>(
+            config_, gc.shardCount, gc.shardQueueCapacity,
+            guest.watchdogShared(), guest.governorShared());
     }
 }
 

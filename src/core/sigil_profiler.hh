@@ -292,6 +292,12 @@ class SigilProfiler : public vg::Tool
 
     SigilConfig config_;
     shadow::ShadowMemory shadow_;
+    /**
+     * Keeps the attached guest's MemoryGovernor alive as long as this
+     * profiler (tools routinely outlive their guest in tests), so the
+     * raw governor pointer installed into shadow_ stays valid.
+     */
+    std::shared_ptr<sigil::MemoryGovernor> governorHold_;
 
     /** False while ROI-only collection is outside the ROI. */
     bool collecting_ = true;

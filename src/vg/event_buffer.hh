@@ -89,6 +89,21 @@ class EventBuffer
     EventBuffer(const EventBuffer &) = delete;
     EventBuffer &operator=(const EventBuffer &) = delete;
 
+    /**
+     * Heap bytes one buffer of the given capacity holds across its
+     * seven lanes — what a MemoryGovernor charges per buffer.
+     */
+    static std::size_t
+    footprintBytes(std::size_t capacity)
+    {
+        if (capacity == 0)
+            capacity = 1;
+        return capacity *
+               (sizeof(EventKind) + 2 * sizeof(std::uint64_t) +
+                sizeof(ContextId) + sizeof(CallNum) + sizeof(Tick) +
+                sizeof(std::uint32_t));
+    }
+
     std::size_t size() const { return size_; }
     std::size_t capacity() const { return capacity_; }
     bool empty() const { return size_ == 0; }

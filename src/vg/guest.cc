@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <cstdio>
 #include <mutex>
 #include <thread>
 
 #include "support/logging.hh"
+#include "support/mem_governor.hh"
+#include "support/watchdog.hh"
 
 namespace sigil::vg {
 
@@ -26,9 +29,24 @@ namespace sigil::vg {
 class AsyncToolPipeline
 {
   public:
-    AsyncToolPipeline(Guest &guest, std::size_t capacity)
-        : guest_(guest), spare_(std::make_unique<EventBuffer>(capacity))
+    AsyncToolPipeline(Guest &guest, std::size_t capacity,
+                      sigil::Watchdog *watchdog)
+        : guest_(guest), spare_(std::make_unique<EventBuffer>(capacity)),
+          watchdog_(watchdog)
     {
+        if (watchdog_ != nullptr) {
+            dogId_ = watchdog_->registerEntity(
+                "async-tool-consumer", sigil::Watchdog::StallAction::Fail,
+                [this] {
+                    char buf[64];
+                    std::snprintf(buf, sizeof(buf),
+                                  "batches drained=%llu",
+                                  static_cast<unsigned long long>(
+                                      batchesDrained_.load(
+                                          std::memory_order_relaxed)));
+                    return std::string(buf);
+                });
+        }
         worker_ = std::thread([this] { run(); });
     }
 
@@ -40,6 +58,8 @@ class AsyncToolPipeline
         }
         cv_.notify_all();
         worker_.join();
+        if (watchdog_ != nullptr)
+            watchdog_->unregisterEntity(dogId_);
     }
 
     /** Exchange a filled buffer for a drained one. */
@@ -76,15 +96,23 @@ class AsyncToolPipeline
     {
         std::unique_lock<std::mutex> lock(m_);
         for (;;) {
+            // Parked on an empty pipeline: not a stall.
+            if (watchdog_ != nullptr)
+                watchdog_->idle(dogId_);
             cv_.wait(lock,
                      [this] { return stop_ || pending_ != nullptr; });
             if (pending_ == nullptr) // stop requested, nothing queued
                 return;
+            if (watchdog_ != nullptr)
+                watchdog_->busy(dogId_);
             std::unique_ptr<EventBuffer> batch = std::move(pending_);
             busy_ = true;
             lock.unlock();
             guest_.dispatchBatch(*batch);
             batch->clear();
+            batchesDrained_.fetch_add(1, std::memory_order_relaxed);
+            if (watchdog_ != nullptr)
+                watchdog_->beat(dogId_);
             lock.lock();
             spare_ = std::move(batch);
             busy_ = false;
@@ -102,30 +130,74 @@ class AsyncToolPipeline
     std::unique_ptr<EventBuffer> spare_;
     bool busy_ = false;
     bool stop_ = false;
+    sigil::Watchdog *watchdog_ = nullptr;
+    int dogId_ = -1;
+    std::atomic<std::uint64_t> batchesDrained_{0};
 };
+
+std::string
+GuestConfigError::describe() const
+{
+    return "GuestConfig::" + knob + ": " + message;
+}
+
+std::optional<GuestConfigError>
+GuestConfig::validate() const
+{
+    auto reject = [](const char *knob,
+                     std::string message) -> std::optional<GuestConfigError> {
+        return GuestConfigError{knob, std::move(message)};
+    };
+    char detail[96];
+    if (shardCount == 0 || shardCount > 64 ||
+        (shardCount & (shardCount - 1)) != 0) {
+        std::snprintf(detail, sizeof(detail),
+                      "must be a power of two in [1, 64] (got %u)",
+                      shardCount);
+        return reject("shardCount", detail);
+    }
+    if (decodeThreads == 0 || decodeThreads > 64) {
+        std::snprintf(detail, sizeof(detail),
+                      "must be in [1, 64] (got %u)", decodeThreads);
+        return reject("decodeThreads", detail);
+    }
+    if (eventBufferEvents == 0)
+        return reject("eventBufferEvents", "must be at least 1");
+    if (asyncWriter && writerQueueFrames < 2) {
+        std::snprintf(detail, sizeof(detail),
+                      "must be at least 2 with asyncWriter (got %zu)",
+                      writerQueueFrames);
+        return reject("writerQueueFrames", detail);
+    }
+    if (shardQueueCapacity == 0)
+        return reject("shardQueueCapacity", "must be at least 1");
+    return std::nullopt;
+}
 
 Guest::Guest(std::string program_name, const GuestConfig &config)
     : programName_(std::move(program_name)), config_(config),
       contexts_(functions_, config.maxContextDepth)
 {
-    if (config.shardCount == 0 || config.shardCount > 64 ||
-        (config.shardCount & (config.shardCount - 1)) != 0) {
-        fatal("GuestConfig::shardCount must be a power of two in "
-              "[1, 64] (got %u)",
-              config.shardCount);
-    }
-    if (config.decodeThreads == 0 || config.decodeThreads > 64) {
-        fatal("GuestConfig::decodeThreads must be in [1, 64] (got %u)",
-              config.decodeThreads);
-    }
+    if (std::optional<GuestConfigError> err = config.validate())
+        fatal("%s", err->describe().c_str());
+    governor_ =
+        std::make_shared<sigil::MemoryGovernor>(config.memoryBudgetBytes);
+    if (config.stallTimeoutMs > 0)
+        watchdog_ = std::make_shared<sigil::Watchdog>(config.stallTimeoutMs);
     inputFn_ = functions_.intern("*input*");
     threads_.push_back(ThreadCtx{{}, kStackBase});
     batching_ = config.batchEvents || config.asyncTools;
     if (batching_) {
         fillBuf_ = std::make_unique<EventBuffer>(config.eventBufferEvents);
+        // Fill buffer, plus the pipeline's second (double) buffer.
+        std::size_t buffers = config.asyncTools ? 2 : 1;
+        bufferBytesCharged_ =
+            buffers * EventBuffer::footprintBytes(config.eventBufferEvents);
+        governor_->charge(sigil::MemCategory::EventBuffers,
+                          bufferBytesCharged_);
         if (config.asyncTools) {
             pipeline_ = std::make_unique<AsyncToolPipeline>(
-                *this, config.eventBufferEvents);
+                *this, config.eventBufferEvents, watchdog_.get());
             // The consumer dereferences registry entries while the
             // workload thread appends new ones; stall it across the
             // rare vector reallocation so storage never moves under a
@@ -143,6 +215,8 @@ Guest::~Guest()
     // (owned by the caller) may already be destroyed by now. finish()
     // is the orderly path.
     pipeline_.reset();
+    governor_->release(sigil::MemCategory::EventBuffers,
+                       bufferBytesCharged_);
 }
 
 void

@@ -21,6 +21,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -31,6 +32,11 @@
 #include "vg/function_registry.hh"
 #include "vg/tool.hh"
 #include "vg/types.hh"
+
+namespace sigil {
+class MemoryGovernor;
+class Watchdog;
+} // namespace sigil
 
 namespace sigil::vg {
 
@@ -52,6 +58,18 @@ struct GuestCounters
     {
         return iops + flops + reads + writes + branches;
     }
+};
+
+/** One rejected GuestConfig knob (see GuestConfig::validate()). */
+struct GuestConfigError
+{
+    /** Name of the offending knob, e.g. "shardCount". */
+    std::string knob;
+    /** What is wrong with it. */
+    std::string message;
+
+    /** "GuestConfig::<knob>: <message>" */
+    std::string describe() const;
 };
 
 /** Construction-time options of a guest. */
@@ -115,6 +133,54 @@ struct GuestConfig
      * DESIGN.md §4.6). Purely advisory to the replay layer.
      */
     unsigned decodeThreads = 1;
+
+    /**
+     * Background trace writer: a BinaryTraceRecorder attached to this
+     * guest moves frame serialization — CRC32C and, for SGB3, LZ
+     * compression — onto a dedicated writer thread fed by a bounded
+     * frame queue. The guest thread only appends to the current block
+     * and enqueues finished blocks; when the queue is full it blocks
+     * (backpressure) rather than buffering unboundedly. The bytes
+     * written are bit-identical to synchronous recording. Purely
+     * advisory to recording tools.
+     */
+    bool asyncWriter = false;
+
+    /** Capacity of the async writer's frame queue (min 2). */
+    std::size_t writerQueueFrames = 16;
+
+    /**
+     * Process-wide memory budget, in bytes, enforced by the guest's
+     * MemoryGovernor (support/mem_governor.hh). Accounted against it:
+     * shadow chunks (hot + cold + stamp tables), shard work queues,
+     * decode-pipeline windows, and event buffers. When an allocation
+     * would exceed the budget the shadow evicts least-recently-used
+     * chunks first and then escalates to the profiler's
+     * never-descending degradation ladder instead of OOM-ing. 0 (the
+     * default) disables enforcement; the governor still tracks usage.
+     */
+    std::size_t memoryBudgetBytes = 0;
+
+    /**
+     * Stall deadline, in milliseconds, for the watchdog
+     * (support/watchdog.hh) over every worker thread this guest's
+     * subsystems spawn: shard workers, decode workers, the async
+     * analysis consumer, and the background trace writer. A worker
+     * busy without progress for longer than this fails the run with a
+     * structured diagnostic report (decode workers instead degrade:
+     * the pipeline restarts from the consumer's position). 0 (the
+     * default) disables the watchdog.
+     */
+    unsigned stallTimeoutMs = 0;
+
+    /**
+     * Validate knob ranges and reject conflicting combinations.
+     * Returns the first problem found, or nullopt when the
+     * configuration is usable. Guest's constructor calls this and
+     * fails fatally on an error; call it directly to surface
+     * configuration problems as data instead of a death.
+     */
+    std::optional<GuestConfigError> validate() const;
 };
 
 class AsyncToolPipeline;
@@ -141,6 +207,40 @@ class Guest
 
     /** The configuration this guest was constructed with. */
     const GuestConfig &config() const { return config_; }
+
+    /**
+     * The guest's memory-budget governor. Always present: with
+     * memoryBudgetBytes == 0 it only tracks usage. Tools and replay
+     * sessions attached to this guest charge their footprints here.
+     */
+    sigil::MemoryGovernor *governor() const { return governor_.get(); }
+
+    /**
+     * The guest's stall watchdog, or nullptr when stallTimeoutMs is 0.
+     * Worker threads of attached subsystems register here.
+     */
+    sigil::Watchdog *watchdog() const { return watchdog_.get(); }
+
+    /** @name Shared ownership of the governor and watchdog
+     *
+     * Tools routinely outlive the guest they were attached to (tests
+     * tear the guest down first), so any subsystem that must reach the
+     * governor or watchdog from its own destructor — ShardEngine
+     * releasing its queue charge, the async trace writer unregistering
+     * its heartbeat — keeps one of these shared handles instead of the
+     * raw pointer.
+     */
+    /// @{
+    std::shared_ptr<sigil::MemoryGovernor> governorShared() const
+    {
+        return governor_;
+    }
+
+    std::shared_ptr<sigil::Watchdog> watchdogShared() const
+    {
+        return watchdog_;
+    }
+    /// @}
 
     FunctionRegistry &functions() { return functions_; }
     const FunctionRegistry &functions() const { return functions_; }
@@ -441,6 +541,15 @@ class Guest
     FunctionId inputFn_;
     bool roiActive_ = false;
     bool finished_ = false;
+
+    /** Declared before pipeline_ (and destroyed after it): the
+     *  pipeline's consumer thread heartbeats into the watchdog and the
+     *  governor until it is joined. Shared so subsystems that outlive
+     *  the guest (see governorShared()) keep them alive. */
+    std::shared_ptr<sigil::MemoryGovernor> governor_;
+    std::shared_ptr<sigil::Watchdog> watchdog_;
+    /** Event-buffer bytes charged to the governor (released in dtor). */
+    std::size_t bufferBytesCharged_ = 0;
 
     bool batching_ = false;
     std::unique_ptr<EventBuffer> fillBuf_;

@@ -1,6 +1,7 @@
 #include "trace_error.hh"
 
 #include <cstdio>
+#include <ostream>
 
 namespace sigil::vg {
 
@@ -87,6 +88,49 @@ ReplayReport::summary() const
         truncated ? "; truncated" : "",
         error.has_value() ? "; stopped on error" : "");
     return buf;
+}
+
+std::string
+ReplayReport::toString() const
+{
+    std::string out = "replay report: ";
+    out += summary();
+    char buf[256];
+    std::snprintf(
+        buf, sizeof(buf),
+        "\n  reconciliation: %llu leaves dropped, %llu roi dropped, "
+        "%llu functions synthesized",
+        static_cast<unsigned long long>(leavesDropped),
+        static_cast<unsigned long long>(roiDropped),
+        static_cast<unsigned long long>(functionsSynthesized));
+    out += buf;
+    std::snprintf(
+        buf, sizeof(buf),
+        "\n  recorder: %llu events recorded, trailer %s, shutdown %s",
+        static_cast<unsigned long long>(totalEventsRecorded),
+        sawTrailer ? "seen" : "missing",
+        cleanShutdown ? "clean" : "not clean (crash or pre-trailer format)");
+    out += buf;
+    if (!errors.empty()) {
+        std::snprintf(buf, sizeof(buf), "\n  %zu error%s recorded:",
+                      errors.size(), errors.size() == 1 ? "" : "s");
+        out += buf;
+        for (const TraceError &e : errors) {
+            out += "\n    - ";
+            out += e.message();
+        }
+    }
+    if (error.has_value()) {
+        out += "\n  stopped on: ";
+        out += error->message();
+    }
+    return out;
+}
+
+std::ostream &
+operator<<(std::ostream &os, const ReplayReport &report)
+{
+    return os << report.toString();
 }
 
 } // namespace sigil::vg

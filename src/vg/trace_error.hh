@@ -23,6 +23,7 @@
 #define SIGIL_VG_TRACE_ERROR_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <optional>
 #include <string>
 #include <vector>
@@ -131,6 +132,16 @@ struct ReplayReport
     bool sawTrailer = false;
     /** True when the stream ended before the end marker. */
     bool truncated = false;
+    /**
+     * True when the recorder's clean-shutdown trailer frame was seen
+     * (SGB2/SGB3 only): the recording process reached finish() and
+     * flushed everything, as opposed to crashing or being killed
+     * mid-run. A salvageable file without this flag is a crash
+     * capture — every fully-framed event is still recovered, but the
+     * tail of the run is missing by construction. Always false for
+     * SGB1 and text traces, which predate the trailer.
+     */
+    bool cleanShutdown = false;
 
     /** First maxRecordedErrors errors encountered (salvage mode). */
     std::vector<TraceError> errors;
@@ -151,7 +162,18 @@ struct ReplayReport
 
     /** One-line human-readable summary of the replay. */
     std::string summary() const;
+
+    /**
+     * Full multi-line rendering: the summary line plus reconciliation
+     * counters, trailer/shutdown status, and every recorded error —
+     * everything needed to diagnose a degraded replay without a
+     * debugger.
+     */
+    std::string toString() const;
 };
+
+/** Streams toString(). */
+std::ostream &operator<<(std::ostream &os, const ReplayReport &report);
 
 } // namespace sigil::vg
 

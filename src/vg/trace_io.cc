@@ -1,8 +1,11 @@
 #include "trace_io.hh"
 
+#include <atomic>
 #include <cerrno>
 #include <charconv>
+#include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <cstring>
 #include <deque>
 #include <fstream>
@@ -26,6 +29,8 @@
 #include "support/crc32c.hh"
 #include "support/logging.hh"
 #include "support/lz.hh"
+#include "support/mem_governor.hh"
+#include "support/watchdog.hh"
 
 namespace sigil::vg {
 
@@ -50,7 +55,18 @@ constexpr std::uint8_t kSecBlock = 0x02;
 constexpr std::uint8_t kTagEnd = 0x00;
 constexpr std::uint8_t kTagFunctions = 0x01;
 constexpr std::uint8_t kTagEvents = 0x02;
+/**
+ * Clean-shutdown trailer: written by finish() immediately before the
+ * end frame, payload = varint total event count. Its presence proves
+ * the recorder reached finish() and flushed everything; a salvaged
+ * file without it is a crash capture (docs/FORMATS.md §3.4). Readers
+ * predating this tag skip it as an unknown-but-valid frame.
+ */
+constexpr std::uint8_t kTagShutdown = 0x03;
 /// @}
+
+/** Test-only decode-worker delay hook (setDecodeWorkerDelayForTesting). */
+void (*gDecodeWorkerDelayHook)(std::uint64_t block_seq) = nullptr;
 
 /**
  * SGB2 frame sync bytes. Resynchronization scans for this pattern and
@@ -710,14 +726,17 @@ class DecodePipeline
 {
   public:
     DecodePipeline(std::string_view data, bool sgb3, bool salvage,
-                   unsigned workers, std::size_t start_pos)
+                   unsigned workers, std::size_t start_pos,
+                   unsigned stall_timeout_ms, Watchdog *watchdog,
+                   MemoryGovernor *governor)
         : data_(data), sgb3_(sgb3), salvage_(salvage),
           window_(static_cast<std::size_t>(workers) * 4),
-          scanPos_(start_pos)
+          stallTimeoutMs_(stall_timeout_ms), dog_(watchdog),
+          gov_(governor), scanPos_(start_pos)
     {
         threads_.reserve(workers);
         for (unsigned i = 0; i < workers; ++i)
-            threads_.emplace_back([this] { worker(); });
+            threads_.emplace_back([this, i] { worker(i); });
     }
 
     ~DecodePipeline()
@@ -730,6 +749,42 @@ class DecodePipeline
         cvDone_.notify_all();
         for (auto &t : threads_)
             t.join();
+        for (auto &job : inflight_)
+            retire(*job);
+    }
+
+    /**
+     * True after a worker held the consumer's frame past the stall
+     * deadline: the consumer decodes inline (bit-identical, slower)
+     * until tryRecover() restarts the pipeline. Consumer-thread state.
+     */
+    bool degraded() const { return degraded_; }
+
+    /**
+     * Restart a degraded pipeline from the consumer's position — the
+     * reset(pos) recovery path. Safe only once no worker still holds a
+     * job (a wedged worker writes into its Job when it finally wakes);
+     * returns false and stays degraded until then.
+     */
+    bool
+    tryRecover(std::size_t pos)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        for (const auto &job : inflight_) {
+            if (job->taken && !job->done)
+                return false;
+        }
+        while (!inflight_.empty()) {
+            retire(*inflight_.front());
+            inflight_.pop_front();
+        }
+        ready_.clear();
+        scanPos_ = pos;
+        scanDone_ = false;
+        degraded_ = false;
+        topUp(lock);
+        cvWork_.notify_all();
+        return true;
     }
 
     /**
@@ -770,8 +825,22 @@ class DecodePipeline
             lock.unlock();
             runJob(*j);
             lock.lock();
-            j->done = true;
+            finishJob(*j);
             cvDone_.notify_all();
+        } else if (stallTimeoutMs_ > 0) {
+            // Bounded wait: a worker wedged on this frame past the
+            // deadline must not wedge the replay too. Degrade to
+            // inline decoding (still bit-identical) and let the next
+            // step() attempt tryRecover().
+            bool completed = cvDone_.wait_for(
+                lock, std::chrono::milliseconds(stallTimeoutMs_),
+                [&] { return j->done || stop_; });
+            if (!completed) {
+                degraded_ = true;
+                return nullptr;
+            }
+            if (!j->done)
+                return nullptr;
         } else {
             cvDone_.wait(lock, [&] { return j->done || stop_; });
             if (!j->done)
@@ -787,8 +856,10 @@ class DecodePipeline
     release()
     {
         std::lock_guard<std::mutex> lock(mu_);
-        if (!inflight_.empty())
+        if (!inflight_.empty()) {
+            retire(*inflight_.front());
             inflight_.pop_front();
+        }
     }
 
     /** Restart scanning from `pos` (checkpoint restore). */
@@ -811,11 +882,15 @@ class DecodePipeline
         DecodeResult result;
         bool taken = false;
         bool done = false;
+        /** Governor bytes held by result (0 = not charged). */
+        std::size_t chargedBytes = 0;
     };
 
     void
     runJob(Job &j)
     {
+        if (gDecodeWorkerDelayHook != nullptr)
+            gDecodeWorkerDelayHook(j.h.blockSeq);
         std::size_t payload_off = j.offset + j.h.headerLen;
         decodeFramePayload(
             data_.substr(payload_off,
@@ -881,33 +956,89 @@ class DecodePipeline
         }
         if (j->taken)
             cvDone_.wait(lock, [&] { return j->done || stop_; });
+        retire(*j);
         inflight_.pop_front();
     }
 
+    /**
+     * Completion bookkeeping, with mu_ held: charge the decoded
+     * frame's footprint to the governor (released by retire()) and
+     * publish the result.
+     */
     void
-    worker()
+    finishJob(Job &j)
     {
+        if (gov_ != nullptr) {
+            j.chargedBytes =
+                j.result.events.capacity() * sizeof(PreEvent);
+            for (const auto &[id, name] : j.result.fns)
+                j.chargedBytes += sizeof(id) + name.size();
+            gov_->charge(MemCategory::DecodeWindows, j.chargedBytes);
+        }
+        framesDecoded_.fetch_add(1, std::memory_order_relaxed);
+        j.done = true;
+    }
+
+    /** Return a job's governor charge before it is destroyed. */
+    void
+    retire(Job &j)
+    {
+        if (gov_ != nullptr && j.chargedBytes != 0) {
+            gov_->release(MemCategory::DecodeWindows, j.chargedBytes);
+            j.chargedBytes = 0;
+        }
+    }
+
+    void
+    worker(unsigned index)
+    {
+        int dog_id = -1;
+        if (dog_ != nullptr) {
+            dog_id = dog_->registerEntity(
+                "decode-worker-" + std::to_string(index),
+                Watchdog::StallAction::Degrade, [this] {
+                    char buf[64];
+                    std::snprintf(buf, sizeof(buf),
+                                  "frames decoded=%llu",
+                                  static_cast<unsigned long long>(
+                                      framesDecoded_.load(
+                                          std::memory_order_relaxed)));
+                    return std::string(buf);
+                });
+        }
         std::unique_lock<std::mutex> lock(mu_);
         for (;;) {
+            if (dog_ != nullptr)
+                dog_->idle(dog_id);
             cvWork_.wait(lock,
                          [&] { return stop_ || !ready_.empty(); });
             if (stop_)
-                return;
+                break;
+            if (dog_ != nullptr)
+                dog_->busy(dog_id);
             Job *j = ready_.front();
             ready_.pop_front();
             j->taken = true;
             lock.unlock();
             runJob(*j);
             lock.lock();
-            j->done = true;
+            finishJob(*j);
+            if (dog_ != nullptr)
+                dog_->beat(dog_id);
             cvDone_.notify_all();
         }
+        lock.unlock();
+        if (dog_ != nullptr)
+            dog_->unregisterEntity(dog_id);
     }
 
     std::string_view data_;
     const bool sgb3_;
     const bool salvage_;
     const std::size_t window_;
+    const unsigned stallTimeoutMs_;
+    Watchdog *dog_;
+    MemoryGovernor *gov_;
 
     std::mutex mu_;
     std::condition_variable cvWork_;
@@ -919,6 +1050,9 @@ class DecodePipeline
     std::size_t scanPos_;
     bool scanDone_ = false;
     bool stop_ = false;
+    /** Consumer-thread-only (guarded writes under mu_). */
+    bool degraded_ = false;
+    std::atomic<std::uint64_t> framesDecoded_{0};
     std::vector<std::thread> threads_;
 };
 
@@ -1119,6 +1253,136 @@ TraceRecorder::finish()
 // Binary recorder
 // ---------------------------------------------------------------------
 
+/**
+ * Background writer (GuestConfig::asyncWriter): a bounded frame queue
+ * between the guest thread and one writer thread. The guest thread
+ * only moves a finished block's bytes into the queue; the writer
+ * thread does everything writeFrame() does — compression, both CRCs,
+ * the stream writes — so in async mode it is the sole user of comp_,
+ * blockSeq_, and os_ after the header. push() blocks while the queue
+ * is at capacity, so a slow disk exerts backpressure on the guest
+ * instead of ballooning the heap. Frames drain strictly FIFO: the
+ * bytes on disk are identical to synchronous recording.
+ */
+struct BinaryTraceRecorder::AsyncWriter
+{
+    struct Job
+    {
+        std::uint8_t tag = 0;
+        std::string payload;
+        std::uint64_t firstEvent = 0;
+        std::uint64_t eventCount = 0;
+    };
+
+    AsyncWriter(BinaryTraceRecorder &rec, std::size_t capacity,
+                std::shared_ptr<Watchdog> watchdog)
+        : rec_(rec), capacity_(capacity < 2 ? 2 : capacity),
+          dog_(std::move(watchdog))
+    {
+        if (dog_ != nullptr) {
+            dogId_ = dog_->registerEntity(
+                "trace-writer", Watchdog::StallAction::Fail, [this] {
+                    char buf[80];
+                    std::snprintf(
+                        buf, sizeof(buf),
+                        "queue depth=%zu, frames written=%llu",
+                        depthApprox_.load(std::memory_order_relaxed),
+                        static_cast<unsigned long long>(
+                            framesWritten_.load(
+                                std::memory_order_relaxed)));
+                    return std::string(buf);
+                });
+        }
+        thread_ = std::thread([this] { run(); });
+    }
+
+    ~AsyncWriter() { shutdown(); }
+
+    /** Enqueue one finished frame; blocks while the queue is full. */
+    void
+    push(std::uint8_t tag, std::string &&payload,
+         std::uint64_t first_event, std::uint64_t event_count)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        cvSpace_.wait(lock,
+                      [this] { return queue_.size() < capacity_; });
+        queue_.push_back(
+            Job{tag, std::move(payload), first_event, event_count});
+        std::size_t depth = queue_.size();
+        depthApprox_.store(depth, std::memory_order_relaxed);
+        if (depth > depthPeak_.load(std::memory_order_relaxed))
+            depthPeak_.store(depth, std::memory_order_relaxed);
+        cvWork_.notify_one();
+    }
+
+    /** Drain every queued frame, then join the thread. Idempotent. */
+    void
+    shutdown()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stop_ = true;
+        }
+        cvWork_.notify_all();
+        if (thread_.joinable())
+            thread_.join();
+        if (dog_ != nullptr) {
+            dog_->unregisterEntity(dogId_);
+            dog_ = nullptr;
+        }
+    }
+
+    std::uint64_t
+    depthPeak() const
+    {
+        return depthPeak_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void
+    run()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        for (;;) {
+            if (dog_ != nullptr)
+                dog_->idle(dogId_);
+            cvWork_.wait(lock,
+                         [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty()) // stop requested and fully drained
+                return;
+            if (dog_ != nullptr)
+                dog_->busy(dogId_);
+            Job job = std::move(queue_.front());
+            queue_.pop_front();
+            depthApprox_.store(queue_.size(),
+                               std::memory_order_relaxed);
+            cvSpace_.notify_one();
+            lock.unlock();
+            rec_.writeFrame(job.tag, job.payload, job.firstEvent,
+                            job.eventCount);
+            framesWritten_.fetch_add(1, std::memory_order_relaxed);
+            if (dog_ != nullptr)
+                dog_->beat(dogId_);
+            lock.lock();
+        }
+    }
+
+    BinaryTraceRecorder &rec_;
+    const std::size_t capacity_;
+    /** Shared: unregistration in shutdown() may run after the guest. */
+    std::shared_ptr<Watchdog> dog_;
+    int dogId_ = -1;
+    std::mutex mu_;
+    std::condition_variable cvWork_;
+    std::condition_variable cvSpace_;
+    std::deque<Job> queue_;
+    std::atomic<std::size_t> depthApprox_{0};
+    std::atomic<std::uint64_t> depthPeak_{0};
+    std::atomic<std::uint64_t> framesWritten_{0};
+    bool stop_ = false;
+    std::thread thread_;
+};
+
 BinaryTraceRecorder::BinaryTraceRecorder(std::ostream &os,
                                          TraceFormat format,
                                          std::size_t block_events)
@@ -1126,6 +1390,20 @@ BinaryTraceRecorder::BinaryTraceRecorder(std::ostream &os,
 {
     if (maxBlockEvents_ == 0)
         fatal("binary trace: block size must be at least 1 event");
+}
+
+BinaryTraceRecorder::~BinaryTraceRecorder()
+{
+    // finish() is the orderly path; without it, still drain whatever
+    // was queued so the destructor never abandons a running thread.
+    if (writer_)
+        writer_->shutdown();
+}
+
+std::uint64_t
+BinaryTraceRecorder::writerQueuePeak() const
+{
+    return writer_ ? writer_->depthPeak() : 0;
 }
 
 void
@@ -1141,6 +1419,13 @@ BinaryTraceRecorder::attach(const Guest &guest)
     putVarint(header, name.size());
     header += name;
     os_.write(header.data(), static_cast<std::streamsize>(header.size()));
+    // SGB1 has no frame boundary a writer thread could hand off at,
+    // so the async knob only engages for the framed formats.
+    if (guest.config().asyncWriter && format_ != TraceFormat::SGB1) {
+        writer_ = std::make_unique<AsyncWriter>(
+            *this, guest.config().writerQueueFrames,
+            guest.watchdogShared());
+    }
 }
 
 void
@@ -1202,6 +1487,19 @@ BinaryTraceRecorder::writeFrame(std::uint8_t tag, std::string_view payload,
 }
 
 void
+BinaryTraceRecorder::emitFrame(std::uint8_t tag, std::string &payload,
+                               std::uint64_t first_event,
+                               std::uint64_t event_count)
+{
+    if (writer_) {
+        writer_->push(tag, std::move(payload), first_event, event_count);
+        payload = std::string(); // moved-from: leave it reusable
+    } else {
+        writeFrame(tag, payload, first_event, event_count);
+    }
+}
+
+void
 BinaryTraceRecorder::flushBlock()
 {
     std::uint64_t first_event = events_ - blockEvents_;
@@ -1210,7 +1508,7 @@ BinaryTraceRecorder::flushBlock()
             os_.write(pendingFns_.data(),
                       static_cast<std::streamsize>(pendingFns_.size()));
         } else {
-            writeFrame(kTagFunctions, pendingFns_, first_event, 0);
+            emitFrame(kTagFunctions, pendingFns_, first_event, 0);
         }
         pendingFns_.clear();
     }
@@ -1223,7 +1521,7 @@ BinaryTraceRecorder::flushBlock()
         os_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
         os_.write(block_.data(), static_cast<std::streamsize>(block_.size()));
     } else {
-        writeFrame(kTagEvents, block_, first_event, blockEvents_);
+        emitFrame(kTagEvents, block_, first_event, blockEvents_);
         // Each SGB2 block must decode independently (salvage can drop
         // any predecessor), so the address delta chain restarts here.
         prevAddr_ = 0;
@@ -1381,11 +1679,21 @@ BinaryTraceRecorder::finish()
         char end = static_cast<char>(kSecEnd);
         os_.write(&end, 1);
     } else {
+        // Clean-shutdown trailer: its presence tells replay the
+        // recorder reached finish() and flushed everything, so a
+        // salvageable file without it is a crash capture. A killed
+        // process never gets here, which is exactly the signal.
+        std::string shutdown;
+        putVarint(shutdown, events_);
+        emitFrame(kTagShutdown, shutdown, events_, 0);
         // The end frame doubles as the trailer: firstEventSeq is the
         // total event count, giving salvage replays the ground truth
         // for their skipped-vs-delivered accounting.
-        writeFrame(kTagEnd, {}, events_, 0);
+        std::string empty;
+        emitFrame(kTagEnd, empty, events_, 0);
     }
+    if (writer_)
+        writer_->shutdown();
     os_.flush();
 }
 
@@ -1439,7 +1747,9 @@ struct BinaryReplaySession::Impl
         if (workers < 2 || sgb1 || done)
             return;
         pipeline = std::make_unique<DecodePipeline>(
-            data, sgb3, salvage(), workers, pos);
+            data, sgb3, salvage(), workers, pos,
+            guest.config().stallTimeoutMs, guest.watchdog(),
+            guest.governor());
     }
 
     bool salvage() const { return opts.policy == ReplayPolicy::Salvage; }
@@ -1610,8 +1920,17 @@ struct BinaryReplaySession::Impl
         // the result is a pure function of the frame bytes, and every
         // stateful decision below stays on this thread in stream order.
         DecodeResult local;
-        const DecodeResult *dec =
-            pipeline ? pipeline->acquire(pos) : nullptr;
+        const DecodeResult *dec = nullptr;
+        if (pipeline) {
+            // A degraded pipeline (worker wedged past the stall
+            // deadline) is restarted from the consumer's position as
+            // soon as no worker still holds a job; until then every
+            // frame decodes inline, trading speed for progress.
+            if (pipeline->degraded())
+                pipeline->tryRecover(pos);
+            if (!pipeline->degraded())
+                dec = pipeline->acquire(pos);
+        }
         if (dec == nullptr) {
             decodeFramePayload(
                 data.substr(static_cast<std::size_t>(payload_off),
@@ -1716,6 +2035,15 @@ struct BinaryReplaySession::Impl
             pos = frame_end;
             break;
           }
+
+          case kTagShutdown:
+            // The recorder reached finish() and flushed everything
+            // before this frame: the capture is complete, not a crash
+            // remnant. The end frame right after carries the trailer
+            // accounting.
+            report.cleanShutdown = true;
+            pos = frame_end;
+            break;
 
           default: {
             TraceError e;
@@ -1860,7 +2188,7 @@ BinaryReplaySession::saveReaderState(ByteSink &sink) const
 {
     const Impl &s = *impl_;
     sink.raw("SGRS", 4);
-    sink.u8(1); // version
+    sink.u8(2); // version 2: adds the cleanShutdown flag
     sink.u64(s.pos);
     sink.u64(s.streamPos);
     sink.u64(s.eventBlocks);
@@ -1876,6 +2204,7 @@ BinaryReplaySession::saveReaderState(ByteSink &sink) const
     sink.u64(r.leavesDropped);
     sink.u64(r.roiDropped);
     sink.u64(r.functionsSynthesized);
+    sink.u8(r.cleanShutdown ? 1 : 0);
     sink.varint(s.ctx.fnMap.size());
     for (const auto &[id, fn] : s.ctx.fnMap) {
         sink.varint(id);
@@ -1891,7 +2220,7 @@ BinaryReplaySession::restoreReaderState(ByteSource &src)
     src.raw(magic, 4);
     if (!src.ok() || std::memcmp(magic, "SGRS", 4) != 0)
         return false;
-    if (src.u8() != 1)
+    if (src.u8() != 2)
         return false;
     std::uint64_t pos = src.u64();
     s.streamPos = src.u64();
@@ -1908,6 +2237,7 @@ BinaryReplaySession::restoreReaderState(ByteSource &src)
     r.leavesDropped = src.u64();
     r.roiDropped = src.u64();
     r.functionsSynthesized = src.u64();
+    r.cleanShutdown = src.u8() != 0;
     std::uint64_t n = src.varint();
     s.ctx.fnMap.clear();
     for (std::uint64_t i = 0; i < n && src.ok(); ++i) {
@@ -2003,6 +2333,216 @@ MappedTraceFile::~MappedTraceFile()
     if (map_ != nullptr)
         ::munmap(map_, mapLen_);
 #endif
+}
+
+// ---------------------------------------------------------------------
+// Durable trace writer
+// ---------------------------------------------------------------------
+
+#ifdef SIGIL_HAVE_MMAP
+
+/**
+ * Unbuffered streambuf over a POSIX fd: every put reaches write(2)
+ * immediately (no userspace buffer a SIGKILL could strand), with an
+ * optional byte-interval fsync policy on top.
+ */
+class DurableTraceWriter::FdBuf : public std::streambuf
+{
+  public:
+    FdBuf(int fd, std::size_t fsync_interval) noexcept
+        : fd_(fd), interval_(fsync_interval)
+    {
+    }
+
+    ~FdBuf() override
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    /** Hand the fd to finalize(); the buf stops owning it. */
+    int
+    releaseFd() noexcept
+    {
+        int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+
+    std::uint64_t syncs() const noexcept { return syncs_; }
+
+  protected:
+    int_type
+    overflow(int_type ch) override
+    {
+        if (traits_type::eq_int_type(ch, traits_type::eof()))
+            return traits_type::not_eof(ch);
+        char c = traits_type::to_char_type(ch);
+        return xsputn(&c, 1) == 1 ? ch : traits_type::eof();
+    }
+
+    std::streamsize
+    xsputn(const char *s, std::streamsize n) override
+    {
+        std::streamsize done = 0;
+        while (done < n) {
+            ssize_t got = ::write(fd_, s + done,
+                                  static_cast<std::size_t>(n - done));
+            if (got < 0) {
+                if (errno == EINTR)
+                    continue;
+                return done;
+            }
+            done += got;
+        }
+        if (interval_ != 0) {
+            sinceSync_ += static_cast<std::size_t>(n);
+            if (sinceSync_ >= interval_)
+                doSync();
+        }
+        return done;
+    }
+
+    int
+    sync() override
+    {
+        // std::ostream::flush() lands here: make it a real fsync so a
+        // recorder's finish() leaves the capture on stable storage.
+        return doSync();
+    }
+
+  private:
+    int
+    doSync()
+    {
+        sinceSync_ = 0;
+        if (fd_ < 0)
+            return 0;
+        ++syncs_;
+        return ::fsync(fd_) == 0 ? 0 : -1;
+    }
+
+    int fd_;
+    std::size_t interval_;
+    std::size_t sinceSync_ = 0;
+    std::uint64_t syncs_ = 0;
+};
+
+DurableTraceWriter::DurableTraceWriter(const std::string &path,
+                                       std::size_t fsync_interval_bytes)
+    : path_(path), tmpPath_(path + ".tmp")
+{
+    int fd = ::open(tmpPath_.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                    0644);
+    if (fd < 0) {
+        error_ = "cannot create '" + tmpPath_ + "': ";
+        error_ += std::strerror(errno);
+        return;
+    }
+    buf_ = std::make_unique<FdBuf>(fd, fsync_interval_bytes);
+    os_ = std::make_unique<std::ostream>(buf_.get());
+    ok_ = true;
+}
+
+DurableTraceWriter::~DurableTraceWriter() = default;
+
+std::uint64_t
+DurableTraceWriter::syncCount() const
+{
+    return buf_ ? buf_->syncs() : 0;
+}
+
+bool
+DurableTraceWriter::finalize()
+{
+    if (finalized_)
+        return ok_;
+    if (!ok_)
+        return false;
+    finalized_ = true;
+    os_->flush();
+    int fd = buf_->releaseFd();
+    bool good = ::fsync(fd) == 0;
+    good = ::close(fd) == 0 && good;
+    if (good && ::rename(tmpPath_.c_str(), path_.c_str()) != 0) {
+        error_ = "rename to '" + path_ + "' failed: ";
+        error_ += std::strerror(errno);
+        good = false;
+    }
+    if (good) {
+        // The rename itself must survive a power failure: sync the
+        // directory entry, not just the file contents.
+        std::string dir = path_;
+        std::size_t slash = dir.find_last_of('/');
+        dir = slash == std::string::npos ? "." : dir.substr(0, slash);
+        int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+        if (dfd >= 0) {
+            ::fsync(dfd);
+            ::close(dfd);
+        }
+    } else if (error_.empty()) {
+        error_ = "fsync/close of '" + tmpPath_ + "' failed";
+    }
+    ok_ = good;
+    return good;
+}
+
+#else // !SIGIL_HAVE_MMAP
+
+/** Portable fallback: plain ofstream, no fsync guarantees. */
+class DurableTraceWriter::FdBuf : public std::filebuf
+{
+  public:
+    std::uint64_t syncs() const noexcept { return 0; }
+};
+
+DurableTraceWriter::DurableTraceWriter(const std::string &path,
+                                       std::size_t)
+    : path_(path), tmpPath_(path + ".tmp")
+{
+    auto buf = std::make_unique<FdBuf>();
+    if (buf->open(tmpPath_,
+                  std::ios::binary | std::ios::out | std::ios::trunc) ==
+        nullptr) {
+        error_ = "cannot create '" + tmpPath_ + "'";
+        return;
+    }
+    buf_ = std::move(buf);
+    os_ = std::make_unique<std::ostream>(buf_.get());
+    ok_ = true;
+}
+
+DurableTraceWriter::~DurableTraceWriter() = default;
+
+std::uint64_t
+DurableTraceWriter::syncCount() const
+{
+    return 0;
+}
+
+bool
+DurableTraceWriter::finalize()
+{
+    if (finalized_)
+        return ok_;
+    if (!ok_)
+        return false;
+    finalized_ = true;
+    os_->flush();
+    buf_->close();
+    if (std::rename(tmpPath_.c_str(), path_.c_str()) != 0) {
+        error_ = "rename to '" + path_ + "' failed";
+        ok_ = false;
+    }
+    return ok_;
+}
+
+#endif // SIGIL_HAVE_MMAP
+
+void
+setDecodeWorkerDelayForTesting(void (*hook)(std::uint64_t block_seq))
+{
+    gDecodeWorkerDelayHook = hook;
 }
 
 // ---------------------------------------------------------------------

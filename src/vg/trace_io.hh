@@ -140,6 +140,17 @@ class BinaryTraceRecorder : public Tool
                                  TraceFormat format = TraceFormat::SGB2,
                                  std::size_t block_events = kBlockEvents);
 
+    ~BinaryTraceRecorder() override;
+
+    /**
+     * Attaching to a guest whose GuestConfig::asyncWriter is set moves
+     * frame serialization — CRC32C and, for SGB3, LZ compression —
+     * onto a background writer thread fed by a bounded queue of
+     * finished blocks (GuestConfig::writerQueueFrames deep; a full
+     * queue blocks the guest thread as backpressure). The bytes that
+     * reach the stream are bit-identical to synchronous recording.
+     * finish() drains and joins the writer.
+     */
     void attach(const Guest &guest) override;
     void fnEnter(ContextId ctx, CallNum call) override;
     void fnLeave(ContextId ctx, CallNum call) override;
@@ -160,7 +171,20 @@ class BinaryTraceRecorder : public Tool
 
     TraceFormat format() const { return format_; }
 
+    /** True when a background writer thread is active. */
+    bool asyncActive() const { return writer_ != nullptr; }
+
+    /**
+     * Deepest the async writer's frame queue ever got (0 in
+     * synchronous mode): how far the guest thread ran ahead of the
+     * writer before backpressure or the writer caught up.
+     */
+    std::uint64_t writerQueuePeak() const;
+
   private:
+    struct AsyncWriter;
+    friend struct AsyncWriter;
+
     void ensureFunction(FunctionId fn);
     void access(std::uint8_t opcode, Addr addr, unsigned size);
     void event(std::uint8_t opcode);
@@ -168,6 +192,9 @@ class BinaryTraceRecorder : public Tool
     void flushBlock();
     void writeFrame(std::uint8_t tag, std::string_view payload,
                     std::uint64_t first_event, std::uint64_t event_count);
+    /** Route one finished frame: enqueue (async) or write (sync). */
+    void emitFrame(std::uint8_t tag, std::string &payload,
+                   std::uint64_t first_event, std::uint64_t event_count);
 
     std::ostream &os_;
     TraceFormat format_;
@@ -181,6 +208,65 @@ class BinaryTraceRecorder : public Tool
     std::vector<bool> emitted_;
     std::uint64_t events_ = 0;
     bool finished_ = false;
+    std::unique_ptr<AsyncWriter> writer_;
+};
+
+/**
+ * Durable file sink for trace recording: crash-safe on the outside,
+ * prompt on the inside.
+ *
+ * Writes go to `<path>.tmp` through an unbuffered file descriptor, so
+ * every frame the recorder emits reaches the kernel immediately — a
+ * SIGKILL loses at most the frame being written, which salvage replay
+ * skips by construction. An optional fsync policy bounds what a power
+ * failure can lose: after every `fsync_interval_bytes` written the
+ * file is fsync'd (0 = only at finalize).
+ *
+ * finalize() makes the capture atomic: fsync, close, rename onto the
+ * final path, and fsync the directory, so `path` either does not exist
+ * or names a complete capture ending in the clean-shutdown trailer. A
+ * crash before finalize() leaves only `<path>.tmp` — a salvageable
+ * crash capture that never masquerades as a finished one.
+ */
+class DurableTraceWriter
+{
+  public:
+    explicit DurableTraceWriter(const std::string &path,
+                                std::size_t fsync_interval_bytes = 0);
+
+    /** Without finalize(): closes the fd, leaves `<path>.tmp` behind. */
+    ~DurableTraceWriter();
+
+    DurableTraceWriter(const DurableTraceWriter &) = delete;
+    DurableTraceWriter &operator=(const DurableTraceWriter &) = delete;
+
+    /** False when the tmp file could not be created. */
+    bool ok() const { return ok_; }
+
+    /** Why ok() is false (or finalize() failed). */
+    const std::string &errorDetail() const { return error_; }
+
+    /** The stream to hand to a recorder. Valid while this lives. */
+    std::ostream &stream() { return *os_; }
+
+    /** Where bytes land until finalize(). */
+    const std::string &tempPath() const { return tmpPath_; }
+
+    /** fsync + close + rename onto the final path. Idempotent. */
+    bool finalize();
+
+    /** fsyncs issued so far (including the finalize one). */
+    std::uint64_t syncCount() const;
+
+  private:
+    class FdBuf;
+    std::unique_ptr<FdBuf> buf_;
+    std::unique_ptr<std::ostream> os_;
+    std::string path_;
+    std::string tmpPath_;
+    std::string error_;
+    bool ok_ = false;
+    bool finalized_ = false;
 };
 
 /**
@@ -360,6 +446,15 @@ struct Sgb2BlockInfo
  * an empty vector for input without framed blocks.
  */
 std::vector<Sgb2BlockInfo> scanSgb2Blocks(std::string_view trace);
+
+/**
+ * Test hook: invoked by every decode worker at the start of each frame
+ * job with the job's block sequence number. Lets the stall-recovery
+ * tests wedge a worker deterministically; never set outside tests.
+ * Pass nullptr to clear. Not thread-safe against running sessions —
+ * set it before constructing one and clear it after destruction.
+ */
+void setDecodeWorkerDelayForTesting(void (*hook)(std::uint64_t block_seq));
 
 /**
  * Convert a text trace to the binary format by replaying it through a

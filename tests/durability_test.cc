@@ -1,0 +1,391 @@
+/**
+ * @file
+ * Durability suite for crash-resilient recording.
+ *
+ * The centrepiece is the crash-kill sweep: a child process records a
+ * trace through DurableTraceWriter and SIGKILLs itself at a
+ * seed-dependent point mid-run, across SGB2/SGB3 and the synchronous
+ * and async-writer paths. The parent then salvages the orphaned
+ * `.tmp` file and asserts the recovery contract — every fully-framed
+ * event in the file is delivered, nothing more, and the report says
+ * the shutdown was not clean. Around it: async-vs-sync bit-identity
+ * of the recorded bytes, the atomic tmp-file/rename publication
+ * semantics of DurableTraceWriter, the clean-shutdown trailer on
+ * intact traces, and ReplayReport::toString()/operator<< rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <vector>
+
+#include "core/sigil_profiler.hh"
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "vg/guest.hh"
+#include "vg/trace_io.hh"
+
+namespace sigil {
+namespace {
+
+/** Silence expected warnings (salvage resyncs on truncated tails). */
+class QuietLogs
+{
+  public:
+    QuietLogs() : saved_(setLogSink(&swallow)) {}
+    ~QuietLogs() { setLogSink(saved_); }
+
+  private:
+    static void
+    swallow(LogLevel level, const std::string &msg)
+    {
+        if (level == LogLevel::Panic || level == LogLevel::Fatal)
+            std::fprintf(stderr, "%s\n", msg.c_str());
+    }
+    LogSink saved_;
+};
+
+/** Events per block: small, so a short run still spans many frames. */
+constexpr std::size_t kBlockEvents = 48;
+
+/**
+ * Drive a deterministic pseudo-random workload. When `kill_step` is
+ * non-negative the process SIGKILLs itself after that many steps —
+ * never reaching finish(), exactly like a crash mid-recording.
+ */
+void
+driveWorkload(vg::Guest &g, std::uint64_t seed, int steps,
+              int kill_step = -1)
+{
+    Rng rng(seed);
+    const char *fns[] = {"alpha", "beta", "gamma", "delta"};
+    g.enter("main");
+    for (int i = 0; i < steps; ++i) {
+        if (i == kill_step)
+            ::kill(::getpid(), SIGKILL);
+        vg::Addr addr =
+            vg::kHeapBase + rng.nextBounded(1 << 16);
+        unsigned size = 1 + static_cast<unsigned>(rng.nextBounded(64));
+        switch (rng.nextBounded(8)) {
+        case 0:
+            if (g.callDepth() < 5)
+                g.enter(fns[rng.nextBounded(4)]);
+            break;
+        case 1:
+            if (g.callDepth() > 1)
+                g.leave();
+            break;
+        case 2:
+            g.iop(1 + rng.nextBounded(50));
+            break;
+        case 3:
+        case 4:
+            g.write(addr, size);
+            break;
+        default:
+            g.read(addr, size);
+            break;
+        }
+    }
+    while (g.callDepth() > 0)
+        g.leave();
+    g.finish();
+}
+
+struct SweepParams
+{
+    std::uint64_t seed;
+    vg::TraceFormat format;
+    bool async;
+    int killStep;
+};
+
+/**
+ * Child half of the crash-kill sweep: record through a
+ * DurableTraceWriter, then die by SIGKILL mid-run. Never returns on
+ * the intended path; exit codes flag setup failures.
+ */
+[[noreturn]] void
+crashChild(const std::string &path, const SweepParams &p)
+{
+    vg::DurableTraceWriter durable(path, 1u << 14);
+    if (!durable.ok())
+        ::_exit(2);
+    vg::GuestConfig gc;
+    gc.asyncWriter = p.async;
+    gc.writerQueueFrames = 4;
+    vg::Guest g("crash", gc);
+    vg::BinaryTraceRecorder rec(durable.stream(), p.format,
+                                kBlockEvents);
+    g.addTool(&rec);
+    driveWorkload(g, p.seed, 100000, p.killStep);
+    ::_exit(3); // kill step never fired — a sweep bug, not a crash
+}
+
+std::string
+slurpFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+/** Sum of event counts over every fully-framed event block. */
+std::uint64_t
+fullyFramedEvents(const std::string &trace)
+{
+    std::uint64_t total = 0;
+    for (const vg::Sgb2BlockInfo &b : vg::scanSgb2Blocks(trace)) {
+        if (b.tag == 0x02)
+            total += b.eventCount;
+    }
+    return total;
+}
+
+vg::ReplayReport
+salvageReplay(const std::string &trace)
+{
+    QuietLogs quiet;
+    vg::Guest g("salvage");
+    core::SigilProfiler prof{core::SigilConfig{}};
+    g.addTool(&prof);
+    std::istringstream is(trace, std::ios::binary);
+    vg::ReplayOptions opts;
+    opts.policy = vg::ReplayPolicy::Salvage;
+    return vg::replayBinaryTrace(is, g, opts);
+}
+
+// ---------------------------------------------------------------------
+// Crash-kill sweep
+// ---------------------------------------------------------------------
+
+TEST(CrashKillSweep, SalvageRecoversEveryFullyFramedEvent)
+{
+    constexpr int kSeeds = 200;
+    std::uint64_t recovered_total = 0;
+    for (int s = 0; s < kSeeds; ++s) {
+        SweepParams p;
+        p.seed = 7700 + static_cast<std::uint64_t>(s);
+        p.format = (s % 2 == 0) ? vg::TraceFormat::SGB2
+                                : vg::TraceFormat::SGB3;
+        p.async = (s / 2) % 2 == 0;
+        // Land kills from "barely past the header" to "thousands of
+        // events in", so the tail frame is cut at varied offsets.
+        p.killStep = 20 + static_cast<int>(
+                              Rng(p.seed).nextBounded(4000));
+
+        std::string path = ::testing::TempDir() + "/crash_" +
+                           std::to_string(p.seed) + ".trace";
+        std::string tmp = path + ".tmp";
+        std::remove(path.c_str());
+        std::remove(tmp.c_str());
+
+        pid_t pid = ::fork();
+        ASSERT_GE(pid, 0);
+        if (pid == 0)
+            crashChild(path, p); // never returns
+        int status = 0;
+        ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+        ASSERT_TRUE(WIFSIGNALED(status))
+            << "seed " << p.seed << ": child exited with status "
+            << status << " instead of dying by signal";
+        ASSERT_EQ(WTERMSIG(status), SIGKILL) << "seed " << p.seed;
+
+        // The crash left the bytes at the tmp path — the final path
+        // must not exist, that is the whole point of the rename.
+        struct stat st;
+        EXPECT_NE(::stat(path.c_str(), &st), 0) << "seed " << p.seed;
+        ASSERT_EQ(::stat(tmp.c_str(), &st), 0) << "seed " << p.seed;
+
+        std::string trace = slurpFile(tmp);
+        std::uint64_t expect = fullyFramedEvents(trace);
+        vg::ReplayReport report = salvageReplay(trace);
+        EXPECT_EQ(report.eventsDelivered, expect)
+            << "seed " << p.seed << " lost fully-framed events";
+        EXPECT_FALSE(report.cleanShutdown) << "seed " << p.seed;
+        EXPECT_FALSE(report.sawTrailer) << "seed " << p.seed;
+        recovered_total += report.eventsDelivered;
+
+        std::remove(tmp.c_str());
+    }
+    // Guard against a vacuous sweep: most kills land past several
+    // flushed frames, so the total recovery must be substantial.
+    EXPECT_GT(recovered_total, 100000u);
+}
+
+// ---------------------------------------------------------------------
+// Clean shutdown and atomic publication
+// ---------------------------------------------------------------------
+
+TEST(DurableWriter, CleanRunPublishesFinalPathWithTrailer)
+{
+    for (vg::TraceFormat fmt :
+         {vg::TraceFormat::SGB2, vg::TraceFormat::SGB3}) {
+        std::string path = ::testing::TempDir() + "/clean_" +
+                           std::to_string(static_cast<int>(fmt)) +
+                           ".trace";
+        std::remove(path.c_str());
+        std::remove((path + ".tmp").c_str());
+        {
+            vg::DurableTraceWriter durable(path, 1u << 12);
+            ASSERT_TRUE(durable.ok()) << durable.errorDetail();
+            vg::GuestConfig gc;
+            gc.asyncWriter = true;
+            vg::Guest g("clean", gc);
+            vg::BinaryTraceRecorder rec(durable.stream(), fmt,
+                                        kBlockEvents);
+            g.addTool(&rec);
+            driveWorkload(g, 99, 3000);
+            ASSERT_TRUE(durable.finalize()) << durable.errorDetail();
+            // Idempotent: a second finalize is a no-op that succeeds.
+            EXPECT_TRUE(durable.finalize());
+            EXPECT_GE(durable.syncCount(), 2u); // interval + finalize
+        }
+        struct stat st;
+        EXPECT_EQ(::stat(path.c_str(), &st), 0);
+        EXPECT_NE(::stat((path + ".tmp").c_str(), &st), 0);
+
+        vg::ReplayReport report = salvageReplay(slurpFile(path));
+        EXPECT_TRUE(report.ok());
+        EXPECT_TRUE(report.sawTrailer);
+        EXPECT_TRUE(report.cleanShutdown);
+        EXPECT_EQ(report.eventsDelivered, report.totalEventsRecorded);
+        EXPECT_EQ(report.eventsSkipped, 0u);
+        std::remove(path.c_str());
+    }
+}
+
+TEST(DurableWriter, NoFinalizeLeavesOnlyTmpFile)
+{
+    std::string path = ::testing::TempDir() + "/nofinal.trace";
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+    {
+        vg::DurableTraceWriter durable(path);
+        ASSERT_TRUE(durable.ok()) << durable.errorDetail();
+        durable.stream() << "partial";
+        durable.stream().flush();
+    }
+    struct stat st;
+    EXPECT_NE(::stat(path.c_str(), &st), 0);
+    ASSERT_EQ(::stat((path + ".tmp").c_str(), &st), 0);
+    EXPECT_EQ(st.st_size, 7);
+    std::remove((path + ".tmp").c_str());
+}
+
+TEST(DurableWriter, UnwritableDirectoryReportsError)
+{
+    vg::DurableTraceWriter durable(
+        "/nonexistent_dir_sigil/trace.bin");
+    EXPECT_FALSE(durable.ok());
+    EXPECT_FALSE(durable.errorDetail().empty());
+    EXPECT_FALSE(durable.finalize());
+}
+
+// ---------------------------------------------------------------------
+// Async writer: bit-identity and accounting
+// ---------------------------------------------------------------------
+
+std::string
+recordBytes(vg::TraceFormat fmt, bool async, std::uint64_t seed)
+{
+    std::ostringstream os(std::ios::binary);
+    vg::GuestConfig gc;
+    gc.asyncWriter = async;
+    gc.writerQueueFrames = 3;
+    vg::Guest g("ident", gc);
+    vg::BinaryTraceRecorder rec(os, fmt, kBlockEvents);
+    g.addTool(&rec);
+    driveWorkload(g, seed, 5000);
+    EXPECT_EQ(rec.asyncActive(), async && fmt != vg::TraceFormat::SGB1);
+    return os.str();
+}
+
+TEST(AsyncWriter, BytesBitIdenticalToSync)
+{
+    for (vg::TraceFormat fmt :
+         {vg::TraceFormat::SGB2, vg::TraceFormat::SGB3}) {
+        for (std::uint64_t seed : {11u, 12u, 13u}) {
+            std::string sync_bytes = recordBytes(fmt, false, seed);
+            std::string async_bytes = recordBytes(fmt, true, seed);
+            EXPECT_EQ(sync_bytes, async_bytes)
+                << "format " << static_cast<int>(fmt) << " seed "
+                << seed;
+        }
+    }
+}
+
+TEST(AsyncWriter, QueuePeakIsBoundedAndObserved)
+{
+    std::ostringstream os(std::ios::binary);
+    vg::GuestConfig gc;
+    gc.asyncWriter = true;
+    gc.writerQueueFrames = 3;
+    vg::Guest g("depth", gc);
+    vg::BinaryTraceRecorder rec(os, vg::TraceFormat::SGB3,
+                                kBlockEvents);
+    g.addTool(&rec);
+    driveWorkload(g, 21, 8000);
+    EXPECT_GE(rec.writerQueuePeak(), 1u);
+    EXPECT_LE(rec.writerQueuePeak(), 3u); // backpressure bound
+}
+
+TEST(AsyncWriter, Sgb1StaysSynchronous)
+{
+    std::ostringstream os(std::ios::binary);
+    vg::GuestConfig gc;
+    gc.asyncWriter = true;
+    vg::Guest g("sgb1", gc);
+    vg::BinaryTraceRecorder rec(os, vg::TraceFormat::SGB1);
+    g.addTool(&rec);
+    EXPECT_FALSE(rec.asyncActive());
+    EXPECT_EQ(rec.writerQueuePeak(), 0u);
+    driveWorkload(g, 5, 500);
+}
+
+// ---------------------------------------------------------------------
+// Report rendering
+// ---------------------------------------------------------------------
+
+TEST(ReplayReportRender, ToStringAndStreamOperator)
+{
+    std::string trace;
+    {
+        std::ostringstream os(std::ios::binary);
+        vg::Guest g("render");
+        vg::BinaryTraceRecorder rec(os, vg::TraceFormat::SGB2,
+                                    kBlockEvents);
+        g.addTool(&rec);
+        driveWorkload(g, 42, 2000);
+        trace = os.str();
+    }
+
+    vg::ReplayReport clean = salvageReplay(trace);
+    std::string text = clean.toString();
+    EXPECT_NE(text.find("replay report:"), std::string::npos);
+    EXPECT_NE(text.find("trailer seen"), std::string::npos);
+    EXPECT_NE(text.find("shutdown clean"), std::string::npos);
+
+    // A truncated tail must render as a crash, and operator<< must
+    // match toString() byte for byte.
+    vg::ReplayReport crashed =
+        salvageReplay(trace.substr(0, trace.size() - 40));
+    EXPECT_FALSE(crashed.cleanShutdown);
+    std::string crashed_text = crashed.toString();
+    EXPECT_NE(crashed_text.find("not clean"), std::string::npos);
+    std::ostringstream os;
+    os << crashed;
+    EXPECT_EQ(os.str(), crashed_text);
+}
+
+} // namespace
+} // namespace sigil
