@@ -21,6 +21,13 @@ outright (even under --check-only): a Debug benchmark harness taxes
 every State iteration, so nothing it measures is comparable to a
 Release baseline. Build the bundled bench/minibench shim (the
 default) or a Release google-benchmark and re-run.
+
+Both files carry a machine manifest (context.num_cpus, cpu_model,
+kernel). A baseline recorded on different hardware (cpu_model or
+num_cpus mismatch) is refused — under --check-only it degrades to a
+warning, so smoke targets keep passing on CI pools. A kernel-only
+mismatch always just warns (same machine, upgraded kernel). Baselines
+predating the manifest compare silently.
 """
 
 import argparse
@@ -37,7 +44,23 @@ WATCHED = [
     (r"^BM_TraceReplayThroughput$", "shadow_peak_bytes", -1),
     (r"^BM_ShardedReplay/", "items_per_second", +1),
     (r"^BM_ParallelDecode/", "items_per_second", +1),
+    (r"^BM_SegmentedReplay/", "items_per_second", +1),
 ]
+
+
+def machine_mismatches(base_ctx, fresh_ctx):
+    """Split manifest differences into hard (different machine) and
+    soft (same machine, different kernel) mismatches. Keys missing on
+    either side — e.g. a baseline predating the manifest — compare
+    silently."""
+    hard, soft = [], []
+    for key, bucket in (("cpu_model", hard), ("num_cpus", hard),
+                        ("kernel", soft)):
+        bval, fval = base_ctx.get(key), fresh_ctx.get(key)
+        if bval is None or fval is None or bval == fval:
+            continue
+        bucket.append((key, bval, fval))
+    return hard, soft
 
 
 def load(path):
@@ -70,11 +93,16 @@ def main():
                     help="report deltas but do not fail on regressions")
     ap.add_argument("--threshold", type=float, default=0.10,
                     help="relative regression that fails (default 0.10)")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="REGEX",
+                    help="fail (even under --check-only) when no "
+                         "watched baseline metric matches REGEX — a "
+                         "per-suite baseline-rot guard")
     ap.add_argument("baseline")
     ap.add_argument("fresh")
     args = ap.parse_args()
 
-    _, base = load(args.baseline)
+    base_ctx, base = load(args.baseline)
     fresh_ctx, fresh = load(args.fresh)
 
     # Hard gate, deliberately immune to --check-only: a debug-built
@@ -88,11 +116,36 @@ def main():
                  "with the bundled minibench (default) or a Release "
                  "google-benchmark and re-record.")
 
+    hard, soft = machine_mismatches(base_ctx, fresh_ctx)
+    for key, bval, fval in soft:
+        print(f"warning: baseline {key} differs "
+              f"({bval!r} -> {fval!r}); same-machine comparison "
+              "assumed", file=sys.stderr)
+    if hard:
+        detail = ", ".join(f"{key}: {bval!r} -> {fval!r}"
+                           for key, bval, fval in hard)
+        if args.check_only:
+            print(f"warning: baseline was recorded on a different "
+                  f"machine ({detail}); deltas below are "
+                  "machine-to-machine noise, not regressions",
+                  file=sys.stderr)
+        else:
+            sys.exit(f"error: baseline {args.baseline} was recorded "
+                     f"on a different machine ({detail}); re-record "
+                     "it with bench/run_benches.sh on this machine "
+                     "or pass --check-only to inspect the deltas "
+                     "anyway.")
+
     base_watched = {(n, m): (d, v)
                     for n, m, d, v in watched_metrics(base)}
     if not base_watched:
         sys.exit(f"error: no watched metrics found in {args.baseline}; "
                  "baseline is stale — re-record with bench/run_benches.sh")
+    for req in args.require:
+        if not any(re.search(req, name) for name, _ in base_watched):
+            sys.exit(f"error: no watched baseline metric matches "
+                     f"{req!r} in {args.baseline}; re-record with "
+                     "bench/run_benches.sh")
 
     regressions = []
     compared = 0

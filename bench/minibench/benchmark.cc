@@ -19,6 +19,10 @@
 #include <sstream>
 #include <thread>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/utsname.h>
+#endif
+
 namespace benchmark {
 
 namespace {
@@ -169,6 +173,54 @@ buildType()
 #endif
 }
 
+/** Escape a free-form string for a JSON string literal. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (static_cast<unsigned char>(c) >= 0x20)
+            out.push_back(c);
+    }
+    return out;
+}
+
+/** CPU model string, for the machine manifest ("unknown" elsewhere). */
+std::string
+cpuModel()
+{
+    std::ifstream f("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(f, line)) {
+        if (line.rfind("model name", 0) == 0 ||
+            line.rfind("Model name", 0) == 0) {
+            std::size_t colon = line.find(':');
+            if (colon != std::string::npos) {
+                std::size_t begin =
+                    line.find_first_not_of(" \t", colon + 1);
+                if (begin != std::string::npos)
+                    return line.substr(begin);
+            }
+        }
+    }
+    return "unknown";
+}
+
+/** OS name + kernel release, for the machine manifest. */
+std::string
+kernelRelease()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    utsname u{};
+    if (uname(&u) == 0)
+        return std::string(u.sysname) + " " + u.release;
+#endif
+    return "unknown";
+}
+
 /** Format a double the way the JSON reporter needs (no locale). */
 std::string
 jsonNumber(double v)
@@ -185,9 +237,15 @@ jsonNumber(double v)
 void
 writeJson(std::ostream &os, const std::vector<RunResult> &results)
 {
+    // The machine manifest lets bench/compare_bench.py refuse a
+    // baseline recorded on different hardware instead of reporting
+    // machine-to-machine noise as a regression.
     os << "{\n  \"context\": {\n";
     os << "    \"num_cpus\": "
        << std::max(1u, std::thread::hardware_concurrency()) << ",\n";
+    os << "    \"cpu_model\": \"" << jsonEscape(cpuModel()) << "\",\n";
+    os << "    \"kernel\": \"" << jsonEscape(kernelRelease())
+       << "\",\n";
     os << "    \"library_build_type\": \"" << buildType() << "\"\n";
     os << "  },\n  \"benchmarks\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {

@@ -17,14 +17,18 @@
 #
 # BENCH_dispatch.json includes the BM_ShardedReplay shard sweep
 # (Arg 0 = the async single-analysis-thread baseline; Args 1/2/4/8 =
-# shard worker counts) and the BM_ParallelDecode{,Profiled} decode
+# shard worker counts), the BM_ParallelDecode{,Profiled} decode
 # sweeps (decodeThreads 1/2/4/8 x SGB2/SGB3; parse-only and profiled
-# end to end). Both families scale with physical cores: the >= 2x
-# shard target at 4 workers and the >= 2.5x parse-only decode target
-# at decodeThreads=4 each need a >= 4-core host. On fewer cores the
-# sweeps still run (the differential tests keep the output
-# bit-identical) but measure queue overhead, not parallelism — check
-# the "num_cpus" field in the JSON context when comparing runs.
+# end to end), and the BM_SegmentedReplay segment sweep (Arg =
+# segment count; Arg 1 = the serial chained baseline). All three
+# families scale with physical cores: the >= 2x shard target at 4
+# workers, the >= 2.5x parse-only decode target at decodeThreads=4,
+# and the >= 2x segment target at 4 segments each need a >= 4-core
+# host. On fewer cores the sweeps still run (the differential tests
+# keep the output bit-identical) but measure scheduling overhead, not
+# parallelism — the JSON context carries a machine manifest
+# ("num_cpus", "cpu_model", "kernel") and compare_bench.py refuses a
+# baseline recorded on different hardware.
 #
 # Usage: bench/run_benches.sh [build-dir] [extra benchmark args...]
 set -eu

@@ -32,37 +32,20 @@ slurpStream(std::istream &is)
     return data;
 }
 
-/**
- * Identity of the trace a checkpoint belongs to: its size plus a CRC
- * of its preamble. Resuming against a different trace is refused.
- */
-struct TraceBinding
+} // namespace
+
+namespace detail {
+
+TraceBinding
+TraceBinding::of(std::string_view trace)
 {
-    std::uint64_t traceBytes = 0;
-    std::uint32_t preambleCrc = 0;
+    TraceBinding b;
+    b.traceBytes = trace.size();
+    b.preambleCrc =
+        crc32c(trace.data(), std::min(trace.size(), kBindingBytes));
+    return b;
+}
 
-    static TraceBinding
-    of(std::string_view trace)
-    {
-        TraceBinding b;
-        b.traceBytes = trace.size();
-        b.preambleCrc = crc32c(trace.data(),
-                               std::min(trace.size(), kBindingBytes));
-        return b;
-    }
-
-    bool
-    operator==(const TraceBinding &o) const
-    {
-        return traceBytes == o.traceBytes && preambleCrc == o.preambleCrc;
-    }
-};
-
-/**
- * Atomically replace the checkpoint at `path`, rotating the previous
- * one to "<path>.prev". Returns the bytes written, 0 on failure (a
- * failed write never destroys the existing checkpoint).
- */
 std::uint64_t
 writeCheckpointFile(const std::string &path, const std::string &payload)
 {
@@ -102,7 +85,6 @@ writeCheckpointFile(const std::string &path, const std::string &payload)
     return header.size() + payload.size();
 }
 
-/** Load and validate one checkpoint file; nullopt when unusable. */
 std::optional<std::string>
 loadCheckpointFile(const std::string &path)
 {
@@ -156,6 +138,12 @@ restoreSnapshot(const std::string &payload, const TraceBinding &binding,
     return guest.restoreState(src) && profiler.restoreState(src) &&
            session.restoreReaderState(src) && src.ok();
 }
+
+} // namespace detail
+
+namespace {
+
+using namespace detail;
 
 /**
  * Shared core: checkpointed replay directly over a byte view (an

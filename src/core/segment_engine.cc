@@ -1,0 +1,657 @@
+#include "segment_engine.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "core/comm_tables.hh"
+#include "support/logging.hh"
+#include "support/serial.hh"
+#include "vg/trace_io.hh"
+
+namespace sigil::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t
+nsSince(Clock::time_point start)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now() - start)
+            .count());
+}
+
+/** SGB2 frame tag carrying event payload (vg/trace_io.cc). */
+constexpr std::uint8_t kEventFrameTag = 0x02;
+
+/**
+ * Interior cut targets: byte offsets of event frames that split the
+ * event stream into `segments` near-equal slices. The seek-index
+ * trailer gives them in O(index); a trace without one (older recorder,
+ * damaged tail) costs one sequential frame-chain scan. Targets are
+ * advisory — the control scan cuts at the first frame boundary it
+ * observes at or past each target, so a damaged region spanning a
+ * target simply shifts the cut to the next decodable frame.
+ */
+std::vector<std::uint64_t>
+planCutTargets(std::string_view trace, unsigned segments,
+               bool &used_seek_index)
+{
+    struct Frame
+    {
+        std::uint64_t offset;
+        std::uint64_t events;
+    };
+    std::vector<Frame> frames;
+    std::vector<vg::SeekIndexEntry> index = vg::readSeekIndex(trace);
+    used_seek_index = !index.empty();
+    if (used_seek_index) {
+        frames.reserve(index.size());
+        for (const vg::SeekIndexEntry &e : index)
+            frames.push_back(Frame{e.offset, e.eventCount});
+    } else {
+        for (const vg::Sgb2BlockInfo &b : vg::scanSgb2Blocks(trace)) {
+            if (b.tag == kEventFrameTag)
+                frames.push_back(Frame{b.offset, b.eventCount});
+        }
+    }
+    std::vector<std::uint64_t> targets;
+    if (segments <= 1 || frames.size() < 2)
+        return targets;
+
+    std::uint64_t total = 0;
+    for (const Frame &f : frames)
+        total += f.events;
+    targets.reserve(segments - 1);
+    std::uint64_t cum = 0;
+    std::size_t next = 0;
+    for (const Frame &f : frames) {
+        while (next + 1 < segments &&
+               cum >= total * (next + 1) / segments) {
+            if (targets.empty() || targets.back() != f.offset)
+                targets.push_back(f.offset);
+            ++next;
+        }
+        cum += f.events;
+    }
+    return targets;
+}
+
+} // namespace
+
+/**
+ * Implementation of the segment-parallel replay (declared as a friend
+ * of SigilProfiler so the control scan, the workers, and the ordered
+ * resolution merge can drive the profiler's private machinery).
+ */
+class SegmentEngine
+{
+  public:
+    static SegmentResult run(std::string_view trace, vg::Guest &guest,
+                             SigilProfiler &profiler,
+                             const SegmentOptions &opts);
+
+  private:
+    /** State captured by the control scan at one cut boundary. */
+    struct Capture
+    {
+        std::uint64_t offset = 0;
+        std::string guestBlob;
+        std::string readerBlob;
+        SigilProfiler::ControlState control;
+    };
+
+    static bool eligibleForSpeculation(const vg::Guest &guest,
+                                       const SigilProfiler &profiler,
+                                       const SegmentOptions &opts);
+    static SegmentResult runChained(std::string_view trace,
+                                    vg::Guest &guest,
+                                    SigilProfiler &profiler,
+                                    const SegmentOptions &opts,
+                                    std::vector<std::uint64_t> targets,
+                                    SegmentResult result);
+    static SegmentResult
+    runSpeculative(std::string_view trace, vg::Guest &guest,
+                   SigilProfiler &profiler, const SegmentOptions &opts,
+                   const std::vector<std::uint64_t> &targets,
+                   SegmentResult result);
+    static void resolveMerge(SigilProfiler &ctl,
+                             std::vector<std::unique_ptr<SigilProfiler>>
+                                 &workers);
+};
+
+bool
+SegmentEngine::eligibleForSpeculation(const vg::Guest &guest,
+                                      const SigilProfiler &profiler,
+                                      const SegmentOptions &opts)
+{
+    const SigilConfig &cfg = profiler.config();
+    const vg::GuestConfig &gc = guest.config();
+    // The speculative path needs a deterministic, unlimited serial
+    // shadow: no chunk cap (eviction decisions depend on global access
+    // order), no object attribution (allocation indexes are resolved
+    // against live guest state, not logged), per-event dispatch (the
+    // worker guests are rebuilt from snapshots, which batching guests
+    // do not support), and no shard engine under the same profiler.
+    // Checkpointed runs go chained so every snapshot stays a plain
+    // serial-session snapshot.
+    return opts.segments > 1 && cfg.maxShadowChunks == 0 &&
+           !cfg.collectObjects && !cfg.referenceShadowPath &&
+           gc.shardCount <= 1 && !gc.batchEvents && !gc.asyncTools &&
+           gc.memoryBudgetBytes == 0 && opts.checkpoint.path.empty() &&
+           !profiler.shadowMemory().hasAllocationFailureInjector();
+}
+
+SegmentResult
+SegmentEngine::run(std::string_view trace, vg::Guest &guest,
+                   SigilProfiler &profiler, const SegmentOptions &opts)
+{
+    SegmentResult result;
+    const Clock::time_point plan_start = Clock::now();
+    std::vector<std::uint64_t> targets =
+        planCutTargets(trace, opts.segments, result.usedSeekIndex);
+    result.timing.planNs = nsSince(plan_start);
+
+    // No interior cuts (one segment requested, or a trace too small or
+    // too damaged to partition) degenerates to a plain serial scan —
+    // the chained path, without its snapshot and merge overheads.
+    if (targets.empty() ||
+        !eligibleForSpeculation(guest, profiler, opts)) {
+        return runChained(trace, guest, profiler, opts,
+                          std::move(targets), std::move(result));
+    }
+    return runSpeculative(trace, guest, profiler, opts, targets,
+                          std::move(result));
+}
+
+SegmentResult
+SegmentEngine::runChained(std::string_view trace, vg::Guest &guest,
+                          SigilProfiler &profiler,
+                          const SegmentOptions &opts,
+                          std::vector<std::uint64_t> targets,
+                          SegmentResult result)
+{
+    result.speculative = false;
+    CheckpointStats &st = result.checkpoint;
+
+    const detail::TraceBinding binding = detail::TraceBinding::of(trace);
+    vg::BinaryReplaySession session(trace, guest, opts.replay);
+
+    const bool checkpointing = !opts.checkpoint.path.empty();
+    if (checkpointing) {
+        for (const std::string &candidate :
+             {opts.checkpoint.path, opts.checkpoint.path + ".prev"}) {
+            auto payload = detail::loadCheckpointFile(candidate);
+            if (!payload)
+                continue;
+            if (detail::restoreSnapshot(*payload, binding, guest,
+                                        profiler, session)) {
+                st.resumed = true;
+                st.resumeBlocks = session.blocksProcessed();
+                break;
+            }
+            warn("segment engine: checkpoint %s does not match this "
+                 "replay, ignoring",
+                 candidate.c_str());
+        }
+    }
+
+    // A resume may land mid-stream: cuts already behind the reader
+    // collapse into segment 0 of this run.
+    std::size_t next_cut = 0;
+    while (next_cut < targets.size() &&
+           session.nextOffset() >= targets[next_cut])
+        ++next_cut;
+
+    if (checkpointing) {
+        profiler.setSegmentProvenance(SigilProfiler::SegmentProvenance{
+            targets.size() + 1, next_cut, session.nextOffset()});
+    }
+
+    const bool periodic =
+        checkpointing && opts.checkpoint.intervalBlocks != 0;
+    std::uint64_t next_checkpoint =
+        periodic
+            ? session.blocksProcessed() + opts.checkpoint.intervalBlocks
+            : 0;
+
+    const auto write_snapshot = [&]() {
+        std::uint64_t bytes = detail::writeCheckpointFile(
+            opts.checkpoint.path,
+            detail::buildSnapshot(binding, guest, profiler, session));
+        if (bytes != 0) {
+            ++st.checkpointsWritten;
+            st.lastCheckpointBytes = bytes;
+        }
+    };
+
+    Clock::time_point seg_start = Clock::now();
+    while (session.step()) {
+        if (next_cut < targets.size() &&
+            session.nextOffset() >= targets[next_cut]) {
+            result.timing.workerNs.push_back(nsSince(seg_start));
+            seg_start = Clock::now();
+            do {
+                ++next_cut;
+            } while (next_cut < targets.size() &&
+                     session.nextOffset() >= targets[next_cut]);
+            if (checkpointing) {
+                profiler.setSegmentProvenance(
+                    SigilProfiler::SegmentProvenance{
+                        targets.size() + 1, next_cut,
+                        session.nextOffset()});
+                write_snapshot();
+                if (periodic) {
+                    next_checkpoint = session.blocksProcessed() +
+                                      opts.checkpoint.intervalBlocks;
+                }
+            }
+        }
+        if (periodic && session.blocksProcessed() >= next_checkpoint) {
+            write_snapshot();
+            next_checkpoint = session.blocksProcessed() +
+                              opts.checkpoint.intervalBlocks;
+        }
+    }
+    result.timing.workerNs.push_back(nsSince(seg_start));
+    result.segmentsUsed =
+        static_cast<unsigned>(result.timing.workerNs.size());
+    result.report = session.finish();
+    return result;
+}
+
+SegmentResult
+SegmentEngine::runSpeculative(std::string_view trace, vg::Guest &guest,
+                              SigilProfiler &profiler,
+                              const SegmentOptions &opts,
+                              const std::vector<std::uint64_t> &targets,
+                              SegmentResult result)
+{
+    result.speculative = true;
+
+    // ---- Phase 1: control scan -------------------------------------
+    // One serial pass with the caller's guest + profiler in control
+    // mode: it sequences (ROI flag, thread switches, segment chain and
+    // emit/skip decisions, C records + pending placeholders) without
+    // touching rows or shadow, and snapshots guest + reader + control
+    // state at every observed cut boundary. Its report is the replay's
+    // report — error handling, salvage, resyncs all happen here, and
+    // the captured reader states make every worker retrace the exact
+    // same frame decisions.
+    const Clock::time_point scan_start = Clock::now();
+    profiler.mode_ = SigilProfiler::Mode::kControlScan;
+    vg::BinaryReplaySession session(trace, guest, opts.replay);
+
+    std::vector<Capture> captures;
+    const auto capture = [&]() {
+        Capture c;
+        c.offset = session.nextOffset();
+        ByteSink gs;
+        guest.saveState(gs);
+        c.guestBlob = gs.take();
+        ByteSink rs;
+        session.saveReaderState(rs);
+        c.readerBlob = rs.take();
+        c.control = profiler.captureControlState();
+        captures.push_back(std::move(c));
+    };
+    capture(); // segment 0 starts at the head of the stream
+    std::size_t next_target = 0;
+    for (;;) {
+        while (next_target < targets.size() &&
+               session.nextOffset() >= targets[next_target]) {
+            if (session.nextOffset() != captures.back().offset)
+                capture();
+            ++next_target;
+        }
+        if (!session.step())
+            break;
+    }
+    result.report = session.finish();
+    result.timing.scanNs = nsSince(scan_start);
+
+    // ---- Phase 2: speculative segment workers ----------------------
+    const std::size_t n = captures.size();
+    result.segmentsUsed = static_cast<unsigned>(n);
+    result.timing.workerNs.assign(n, 0);
+    std::vector<std::unique_ptr<SigilProfiler>> wprofs(n);
+    std::vector<std::unique_ptr<vg::Guest>> wguests(n);
+
+    std::atomic<std::size_t> next_idx{0};
+    const auto worker_loop = [&]() {
+        for (;;) {
+            const std::size_t k = next_idx.fetch_add(1);
+            if (k >= n)
+                return;
+            const Clock::time_point t0 = Clock::now();
+            auto prof =
+                std::make_unique<SigilProfiler>(profiler.config());
+            prof->mode_ = SigilProfiler::Mode::kSegmentWorker;
+            prof->segmentIndex_ = k;
+            auto g = std::make_unique<vg::Guest>(guest.programName(),
+                                                 guest.config());
+            g->addTool(prof.get());
+            ByteSource gsrc(captures[k].guestBlob);
+            if (!g->restoreState(gsrc))
+                panic("segment engine: guest snapshot failed to "
+                      "restore into worker");
+            prof->restoreControlState(captures[k].control);
+            vg::BinaryReplaySession s(trace, *g, opts.replay);
+            ByteSource rsrc(captures[k].readerBlob);
+            if (s.restoreReaderState(rsrc)) {
+                const std::uint64_t end = k + 1 < n
+                                              ? captures[k + 1].offset
+                                              : ~std::uint64_t{0};
+                // The end offset is a position the control reader
+                // actually reached, so the (deterministic) worker
+                // reader lands on it exactly — even when salvage
+                // resyncs around damage.
+                while (s.nextOffset() < end && s.step()) {
+                }
+            }
+            // A restore refusal means this fresh session errored at
+            // construction — the control session, on the same bytes,
+            // did too, and delivered nothing: an empty worker is the
+            // serial outcome.
+            prof->flushOpenSegmentsToXfers();
+            wprofs[k] = std::move(prof);
+            wguests[k] = std::move(g);
+            result.timing.workerNs[k] = nsSince(t0);
+        }
+    };
+    std::size_t nthreads =
+        opts.threads != 0 ? std::min<std::size_t>(opts.threads, n) : n;
+    if (nthreads <= 1) {
+        worker_loop();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(nthreads);
+        for (std::size_t t = 0; t < nthreads; ++t)
+            pool.emplace_back(worker_loop);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    // ---- Phase 3: ordered resolution merge -------------------------
+    const Clock::time_point resolve_start = Clock::now();
+    resolveMerge(profiler, wprofs);
+    result.timing.resolveNs = nsSince(resolve_start);
+    return result;
+}
+
+void
+SegmentEngine::resolveMerge(
+    SigilProfiler &ctl,
+    std::vector<std::unique_ptr<SigilProfiler>> &workers)
+{
+    const ClassifyEnv env{ctl.reuseEnabled_, ctl.classifyEnabled_,
+                          ctl.config_.collectEvents,
+                          ctl.config_.granularityShift};
+
+    // Edges from every segment, tagged for a global re-sort into the
+    // serial first-seen order: epochs are worker-local unit-touch
+    // counters (unique per segment across both the worker's own table
+    // and the boundary-resolution table), so (segment, epoch) totally
+    // orders edge creation exactly as one serial pass would.
+    struct TaggedEdge
+    {
+        std::uint64_t seg;
+        std::uint64_t epoch;
+        CommEdge edge;
+    };
+    struct TaggedThreadEdge
+    {
+        std::uint64_t seg;
+        std::uint64_t epoch;
+        ThreadCommEdge edge;
+    };
+    std::vector<TaggedEdge> new_edges;
+    std::vector<TaggedThreadEdge> new_tedges;
+
+    // Consuming segment seq → (producer seq → unique bytes), summed
+    // over worker-local observations and boundary resolution.
+    std::unordered_map<std::uint64_t,
+                       std::unordered_map<std::uint64_t, std::uint64_t>>
+        acc_xfers;
+
+    for (std::size_t k = 0; k < workers.size(); ++k) {
+        SigilProfiler &w = *workers[k];
+
+        // (1) Stamp union. Folding segments in stream order and
+        // interning each worker's stamps in local id order reproduces
+        // the serial table's first-occurrence order (and its byte
+        // accounting). Unresolved placeholders live in a separate lane
+        // and never enter the merged table.
+        const shadow::StampTable &wst = w.shadow_.stamps();
+        std::vector<shadow::StampId> remap_w(wst.writerCount());
+        for (std::size_t i = 1; i < wst.writerCount(); ++i) {
+            remap_w[i] = ctl.shadow_.internWriter(
+                wst.writer(static_cast<shadow::StampId>(i)));
+        }
+        std::vector<shadow::StampId> remap_r(wst.readerCount());
+        for (std::size_t i = 1; i < wst.readerCount(); ++i) {
+            remap_r[i] = ctl.shadow_.internReader(
+                wst.reader(static_cast<shadow::StampId>(i)));
+        }
+
+        // (2) Boundary-log replay, in access order, against the merged
+        // predecessor shadow — BEFORE this segment's delta import, so
+        // every unresolved read classifies against the producer that
+        // was live when the segment started.
+        CommTables res;
+        std::unordered_map<
+            std::uint64_t,
+            std::unordered_map<std::uint64_t, std::uint64_t>>
+            res_xfers;
+        std::uint64_t unique_unused = 0;
+        for (const SigilProfiler::BoundaryOp &e : w.boundaryLog_) {
+            if (e.kind == SigilProfiler::BoundaryOp::Kind::kRead) {
+                shadow::ShadowRef ref =
+                    ctl.shadow_.lookup(e.unit, e.wantCold);
+                AccessStamp a;
+                a.ctx = e.ctx;
+                a.tick = e.tick;
+                a.tid = e.tid;
+                a.segSeq = e.segSeq;
+                a.epoch = e.epoch;
+                a.collecting = e.collecting;
+                commReadUnit(res, env, ctl.shadow_.stamps(), ref.hot,
+                             ref.cold, e.w, a, remap_r[e.localReader],
+                             &res_xfers[e.segSeq], unique_unused);
+            } else {
+                // First local overwrite of a never-owned unit: close
+                // the predecessor's pending re-use run, as the serial
+                // write path would have. The new owner stamp arrives
+                // with the delta import below.
+                shadow::ShadowRef ref = ctl.shadow_.lookup(e.unit, false);
+                if (ctl.reuseEnabled_ && ref.cold != nullptr &&
+                    ref.hot.reader != 0) {
+                    commFinalizeRun(res, ctl.reuseEnabled_,
+                                    ctl.shadow_.stamps(), ref.hot,
+                                    ref.cold);
+                }
+            }
+        }
+        w.boundaryLog_.clear();
+
+        // (3) Delta import: owned units overwrite the merged shadow
+        // with their remapped final stamps; line-mode access totals
+        // add (boundary reads already counted theirs into the merged
+        // cold record during replay), and a still-pending local run
+        // carries over for the final sweep.
+        w.shadow_.forEach(
+            [&](std::uint64_t unit, shadow::ShadowRef obj) {
+                if (obj.hot.writer == 0 ||
+                    shadow::StampTable::isUnresolved(obj.hot.writer))
+                    return;
+                shadow::ShadowRef dst =
+                    ctl.shadow_.lookup(unit, obj.cold != nullptr);
+                dst.hot.writer = remap_w[obj.hot.writer];
+                dst.hot.reader =
+                    obj.hot.reader != 0 ? remap_r[obj.hot.reader] : 0;
+                if (obj.cold != nullptr) {
+                    dst.cold->totalAccesses += obj.cold->totalAccesses;
+                    if (obj.cold->runReads != 0) {
+                        dst.cold->runFirstRead = obj.cold->runFirstRead;
+                        dst.cold->runLastRead = obj.cold->runLastRead;
+                        dst.cold->runReads = obj.cold->runReads;
+                    }
+                }
+            },
+            shadow::SweepFilter::All);
+
+        // (4) Merge this segment's tables (worker-local + resolved).
+        for (CommTables *src : {&w.tables_, &res}) {
+            for (std::size_t c = 0; c < src->rows.size(); ++c) {
+                mergeAggregates(
+                    ctl.tables_.row(static_cast<vg::ContextId>(c)),
+                    src->rows[c]);
+            }
+            ctl.tables_.unitReuseBreakdown.merge(src->unitReuseBreakdown);
+            ctl.tables_.lineReuseBreakdown.merge(src->lineReuseBreakdown);
+            for (const OrderedCommEdge &oe : src->edges)
+                new_edges.push_back(TaggedEdge{k, oe.firstEpoch, oe.edge});
+            for (const OrderedThreadEdge &oe : src->threadEdges) {
+                new_tedges.push_back(
+                    TaggedThreadEdge{k, oe.firstEpoch, oe.edge});
+            }
+        }
+        for (const auto &[seq, xfers] : w.workerSegXfers_) {
+            auto &dst = acc_xfers[seq];
+            for (const auto &[src, bytes] : xfers)
+                dst[src] += bytes;
+        }
+        w.workerSegXfers_.clear();
+        for (const auto &[seq, xfers] : res_xfers) {
+            auto &dst = acc_xfers[seq];
+            for (const auto &[src, bytes] : xfers)
+                dst[src] += bytes;
+        }
+        w.tables_ = CommTables{};
+    }
+
+    // Edges into the control tables in global first-seen order (the
+    // control scan contributed none, so vector order = serial order).
+    const auto edge_less = [](const auto &a, const auto &b) {
+        return a.seg != b.seg ? a.seg < b.seg : a.epoch < b.epoch;
+    };
+    std::sort(new_edges.begin(), new_edges.end(), edge_less);
+    ctl.tables_.edges.reserve(ctl.tables_.edges.size() +
+                              new_edges.size());
+    for (const TaggedEdge &te : new_edges) {
+        std::uint64_t key =
+            CommTables::edgeKey(te.edge.producer, te.edge.consumer);
+        auto [it, inserted] = ctl.tables_.edgeIndex.try_emplace(
+            key, ctl.tables_.edges.size());
+        if (inserted) {
+            ctl.tables_.edges.push_back(
+                OrderedCommEdge{te.edge, te.epoch});
+        } else {
+            CommEdge &dst = ctl.tables_.edges[it->second].edge;
+            dst.uniqueBytes += te.edge.uniqueBytes;
+            dst.nonuniqueBytes += te.edge.nonuniqueBytes;
+        }
+    }
+    std::sort(new_tedges.begin(), new_tedges.end(), edge_less);
+    ctl.tables_.threadEdges.reserve(ctl.tables_.threadEdges.size() +
+                                    new_tedges.size());
+    for (const TaggedThreadEdge &te : new_tedges) {
+        std::uint64_t key = CommTables::threadEdgeKey(te.edge.producer,
+                                                      te.edge.consumer);
+        auto [it, inserted] = ctl.tables_.threadEdgeIndex.try_emplace(
+            key, ctl.tables_.threadEdges.size());
+        if (inserted) {
+            ctl.tables_.threadEdges.push_back(
+                OrderedThreadEdge{te.edge, te.epoch});
+        } else {
+            ThreadCommEdge &dst =
+                ctl.tables_.threadEdges[it->second].edge;
+            dst.uniqueBytes += te.edge.uniqueBytes;
+            dst.nonuniqueBytes += te.edge.nonuniqueBytes;
+        }
+    }
+
+    if (ctl.config_.collectEvents) {
+        // Transfers charged to segments the control scan skipped are
+        // discarded, as the serial flush discards state.xfers.
+        for (std::uint64_t seq : ctl.discardedSeqs_)
+            acc_xfers.erase(seq);
+        ctl.discardedSeqs_.clear();
+
+        // Splice the X records before their C records, exactly like
+        // the sharded fold: raw-key sort, flush-time predecessor
+        // resolution via the stamp bound captured at emission.
+        std::size_t extra = 0;
+        for (SigilProfiler::PendingSeg &p : ctl.pendingSegs_) {
+            auto it = acc_xfers.find(p.seq);
+            if (it != acc_xfers.end()) {
+                p.xfers.reserve(p.xfers.size() + it->second.size());
+                for (const auto &[src, bytes] : it->second)
+                    p.xfers[src] += bytes;
+                acc_xfers.erase(it);
+            }
+            extra += p.xfers.size();
+        }
+        std::vector<EventRecord> rebuilt;
+        rebuilt.reserve(ctl.events_.records.size() + extra);
+        std::size_t next = 0;
+        for (std::size_t pos = 0; pos < ctl.events_.records.size();
+             ++pos) {
+            while (next < ctl.pendingSegs_.size() &&
+                   ctl.pendingSegs_[next].recordPos == pos) {
+                SigilProfiler::PendingSeg &p = ctl.pendingSegs_[next];
+                std::vector<std::pair<std::uint64_t, std::uint64_t>>
+                    ordered(p.xfers.begin(), p.xfers.end());
+                std::sort(ordered.begin(), ordered.end());
+                for (const auto &[src, bytes] : ordered) {
+                    XferEvent x;
+                    x.srcSeq = ctl.resolvePredAt(src, p.skipStamp);
+                    x.dstSeq = p.seq;
+                    x.bytes = bytes;
+                    rebuilt.push_back(EventRecord::makeXfer(x));
+                }
+                ++next;
+            }
+            rebuilt.push_back(ctl.events_.records[pos]);
+        }
+        ctl.events_.records = std::move(rebuilt);
+        ctl.pendingSegs_.clear();
+    }
+
+    // The serial end-of-run sweep over the now-complete merged shadow
+    // finalizes surviving runs and folds line-mode access totals.
+    ctl.runFinalSweep();
+    ctl.mode_ = SigilProfiler::Mode::kSerial;
+}
+
+SegmentResult
+replaySegmented(std::string_view trace, vg::Guest &guest,
+                SigilProfiler &profiler, const SegmentOptions &opts)
+{
+    return SegmentEngine::run(trace, guest, profiler, opts);
+}
+
+SegmentResult
+replaySegmentedFile(const std::string &tracePath, vg::Guest &guest,
+                    SigilProfiler &profiler, const SegmentOptions &opts)
+{
+    vg::MappedTraceFile file(tracePath);
+    if (!file.ok()) {
+        SegmentResult result;
+        vg::TraceError e;
+        e.cause = vg::TraceErrorCause::Io;
+        e.detail = file.errorDetail();
+        result.report.error = std::move(e);
+        return result;
+    }
+    return SegmentEngine::run(file.view(), guest, profiler, opts);
+}
+
+} // namespace sigil::core

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Segment-parallel trace replay with speculative shadow deltas.
+ *
+ * Replaying one SGB2/SGB3 trace is inherently serial: every read's
+ * classification depends on the last writer of its data unit, which may
+ * be arbitrarily far back in the stream. This engine breaks the chain
+ * by splitting the trace into S segments at event-frame boundaries (the
+ * seek-index trailer gives O(1) cut points, docs/FORMATS.md §3.5;
+ * without one the frame chain is scanned once) and replaying the
+ * segments concurrently, each worker running the full tool stack
+ * against its own *speculative* shadow:
+ *
+ *   - a unit the worker has written is *owned* — its local history is
+ *     complete, so the serial classification kernels run unchanged;
+ *   - a read of a unit the worker never wrote has an unknown producer.
+ *     The unit is stamped with an interned Unresolved(segment,
+ *     firstReadSeq) placeholder and the read is appended to a boundary
+ *     log; the first local overwrite of such a unit logs a run
+ *     termination and takes ownership.
+ *
+ * A sequential resolution pass then folds the segments in stream
+ * order into the control profiler: worker stamp tables are re-interned
+ * (reproducing the serial intern order), each boundary log is replayed
+ * against the merged predecessor shadow — resolving every placeholder
+ * to its real producer and rewriting comm-table rows and event-file X
+ * records — and the worker's owned-unit delta is imported. Profiles
+ * and event files are bit-identical to a serial replay.
+ *
+ * The speculative path requires a deterministic, unlimited serial
+ * shadow (no chunk cap, no object attribution, per-event dispatch, no
+ * shard engine). Every other configuration — sharded, batched/async,
+ * bounded shadow, checkpointed — falls back to a *chained* scan: one
+ * serial session stepped cut-to-cut, which keeps the per-segment
+ * timing breakdown and (with a checkpoint path) writes a version-4
+ * snapshot with segment provenance at every cut boundary. Chained
+ * output is the serial output by construction, and serial and
+ * segmented replays resume each other's checkpoint files.
+ */
+
+#ifndef SIGIL_CORE_SEGMENT_ENGINE_HH
+#define SIGIL_CORE_SEGMENT_ENGINE_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/checkpoint.hh"
+#include "core/sigil_profiler.hh"
+#include "vg/guest.hh"
+#include "vg/trace_error.hh"
+
+namespace sigil::core {
+
+/** How to partition and drive a segment-parallel replay. */
+struct SegmentOptions
+{
+    /** Target segment count; 1 replays serially (chained path). */
+    unsigned segments = 1;
+
+    /** Worker threads for the speculative path; 0 = one per segment. */
+    unsigned threads = 0;
+
+    /** Error policy forwarded to every replay session. */
+    vg::ReplayOptions replay;
+
+    /**
+     * Checkpointing (chained path only; an empty path disables it).
+     * In addition to the periodic interval, a snapshot is written at
+     * every segment cut, stamped with version-4 segment provenance.
+     */
+    CheckpointConfig checkpoint;
+};
+
+/** Wall-clock breakdown of one segmented replay, nanoseconds. */
+struct SegmentTiming
+{
+    /** Cut planning: seek-index read or frame-chain scan. */
+    std::uint64_t planNs = 0;
+
+    /** Control scan (speculative path only). */
+    std::uint64_t scanNs = 0;
+
+    /** Ordered resolution merge (speculative path only). */
+    std::uint64_t resolveNs = 0;
+
+    /** Per-segment replay time, in stream order. */
+    std::vector<std::uint64_t> workerNs;
+};
+
+/** What one segmented replay did. */
+struct SegmentResult
+{
+    /** The serial-equivalent replay report. */
+    vg::ReplayReport report;
+
+    SegmentTiming timing;
+
+    /** Segments actually replayed (≤ requested; cuts may coincide). */
+    unsigned segmentsUsed = 1;
+
+    /** True when the speculative worker path ran (vs. chained scan). */
+    bool speculative = false;
+
+    /** True when cut points came from the seek-index trailer. */
+    bool usedSeekIndex = false;
+
+    /** Checkpoint activity (chained path with a checkpoint path). */
+    CheckpointStats checkpoint;
+};
+
+/**
+ * Replay a trace image segment-parallel. The caller constructs the
+ * guest and profiler and attaches the profiler, exactly as for a
+ * serial replay; on return the pair holds the complete analysis state
+ * (bit-identical to a serial replay of the same trace), ready for
+ * takeProfile()/events().
+ */
+SegmentResult replaySegmented(std::string_view trace, vg::Guest &guest,
+                              SigilProfiler &profiler,
+                              const SegmentOptions &opts = {});
+
+/**
+ * replaySegmented() straight from a trace file (mmap'd when possible).
+ * Returns an Io-cause error report if the file cannot be opened.
+ */
+SegmentResult replaySegmentedFile(const std::string &tracePath,
+                                  vg::Guest &guest,
+                                  SigilProfiler &profiler,
+                                  const SegmentOptions &opts = {});
+
+} // namespace sigil::core
+
+#endif // SIGIL_CORE_SEGMENT_ENGINE_HH

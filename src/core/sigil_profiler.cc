@@ -93,7 +93,7 @@ SigilProfiler::attach(const vg::Guest &guest)
 void
 SigilProfiler::fnEnter(vg::ContextId ctx, vg::CallNum call)
 {
-    if (collecting_)
+    if (collecting_ && mode_ != Mode::kControlScan)
         ++row(ctx).calls;
     if (!config_.collectEvents)
         return;
@@ -152,7 +152,7 @@ void
 SigilProfiler::writeAccess(vg::Addr addr, unsigned size,
                            vg::ContextId ctx, vg::CallNum call)
 {
-    if (collecting_) {
+    if (collecting_ && mode_ != Mode::kControlScan) {
         row(ctx).writeBytes += size;
         if (config_.collectObjects) {
             tables_.objectSlot(guest_->allocationOf(addr)).writeBytes +=
@@ -163,6 +163,9 @@ SigilProfiler::writeAccess(vg::Addr addr, unsigned size,
     if (state.open)
         ++state.segment.writes;
     std::uint64_t seq = state.open ? state.segment.seq : 0;
+
+    if (mode_ == Mode::kControlScan)
+        return;
 
     if (engine_) {
         AccessStamp a;
@@ -181,6 +184,32 @@ SigilProfiler::writeAccess(vg::Addr addr, unsigned size,
     // One producer identity per access: intern it once, stamp the id.
     const shadow::StampId ws = shadow_.internWriter(
         shadow::WriterStamp{seq, ctx, currentTid_});
+    if (mode_ == Mode::kSegmentWorker) {
+        // Speculative walk: the first overwrite of a unit this worker
+        // never wrote must finalize the *predecessor's* pending re-use
+        // run, which lives in the merged shadow the resolution pass
+        // folds segments into — log a termination and take ownership.
+        // Units already owned behave exactly like the serial span path.
+        shadow_.span(first, last, /*want_cold=*/false,
+                     [&](shadow::ShadowMemory::Run run) {
+            for (std::size_t i = 0; i < run.count; ++i) {
+                shadow::ShadowHot &hot = run.hot[i];
+                if (hot.writer == 0 ||
+                    shadow::StampTable::isUnresolved(hot.writer)) {
+                    BoundaryOp op;
+                    op.kind = BoundaryOp::Kind::kTerminate;
+                    op.unit = run.firstUnit + i;
+                    boundaryLog_.push_back(op);
+                } else if (reuseEnabled_ && run.cold != nullptr &&
+                           hot.reader != 0) {
+                    commFinalizeRun(tables_, reuseEnabled_,
+                                    shadow_.stamps(), hot, run.cold + i);
+                }
+                hot = shadow::ShadowHot{ws, 0};
+            }
+        });
+        return;
+    }
     if (config_.referenceShadowPath) {
         // Reference path: resolve the chunk once per unit.
         for (std::uint64_t u = first; u <= last; ++u) {
@@ -220,11 +249,14 @@ void
 SigilProfiler::readAccess(vg::Addr addr, unsigned size, vg::ContextId ctx,
                           vg::CallNum call, vg::Tick now)
 {
-    if (collecting_)
+    if (collecting_ && mode_ != Mode::kControlScan)
         row(ctx).readBytes += size;
     SegState &state = seg();
     if (state.open)
         ++state.segment.reads;
+
+    if (mode_ == Mode::kControlScan)
+        return;
 
     if (engine_) {
         std::int32_t alloc_idx = -1;
@@ -270,6 +302,61 @@ SigilProfiler::readAccess(vg::Addr addr, unsigned size, vg::ContextId ctx,
     const shadow::StampId rs = shadow_.internReader(
         shadow::ReaderStamp{reuseEnabled_ ? call : 0, ctx});
     const bool want_cold = readWantsCold();
+    if (mode_ == Mode::kSegmentWorker) {
+        // Speculative walk: a unit this worker ever wrote is *owned* —
+        // its whole local history is known, so the serial kernel runs
+        // as-is. A unit it never wrote has an unknown producer: mark
+        // it with an unresolved placeholder stamp and log the read;
+        // the resolution pass replays the log in order against the
+        // merged predecessor shadow, classifying with real producers.
+        // Every unit touch takes an epoch so edge first-occurrence
+        // order survives the split between the two table sets.
+        shadow_.span(first, last, want_cold,
+                     [&](shadow::ShadowMemory::Run run) {
+            for (std::size_t i = 0; i < run.count; ++i) {
+                std::uint64_t u = run.firstUnit + i;
+                std::uint64_t w = unit_bytes;
+                if (u == first || u == last) {
+                    std::uint64_t unit_lo = u << shift;
+                    std::uint64_t unit_hi = unit_lo + unit_bytes;
+                    std::uint64_t lo =
+                        std::max<std::uint64_t>(addr, unit_lo);
+                    std::uint64_t hi =
+                        std::min<std::uint64_t>(addr + size, unit_hi);
+                    w = hi - lo;
+                }
+                a.epoch = ++epochCounter_;
+                shadow::ShadowHot &hot = run.hot[i];
+                if (hot.writer == 0 ||
+                    shadow::StampTable::isUnresolved(hot.writer)) {
+                    if (hot.writer == 0) {
+                        hot.writer =
+                            shadow_.internUnresolved(shadow::UnresolvedStamp{
+                                segmentIndex_, a.segSeq});
+                    }
+                    BoundaryOp op;
+                    op.kind = BoundaryOp::Kind::kRead;
+                    op.collecting = collecting_;
+                    op.wantCold = want_cold;
+                    op.unit = u;
+                    op.w = w;
+                    op.localReader = rs;
+                    op.ctx = ctx;
+                    op.tick = now;
+                    op.tid = currentTid_;
+                    op.segSeq = a.segSeq;
+                    op.epoch = a.epoch;
+                    boundaryLog_.push_back(op);
+                } else {
+                    commReadUnit(tables_, env, shadow_.stamps(), hot,
+                                 run.cold ? run.cold + i : nullptr, w, a,
+                                 rs, &state.xfers,
+                                 unique_bytes_this_access);
+                }
+            }
+        });
+        return;
+    }
     if (config_.referenceShadowPath) {
         // Reference path: resolve the chunk and compute the covered
         // byte width from scratch for every unit.
@@ -332,9 +419,11 @@ SigilProfiler::opAt(std::uint64_t iops, std::uint64_t flops,
         return;
     if (ctx == vg::kInvalidContext)
         panic("SigilProfiler: op outside any function");
-    CommAggregates &r = row(ctx);
-    r.iops += iops;
-    r.flops += flops;
+    if (mode_ != Mode::kControlScan) {
+        CommAggregates &r = row(ctx);
+        r.iops += iops;
+        r.flops += flops;
+    }
     SegState &state = seg();
     if (state.open) {
         state.segment.iops += iops;
@@ -463,7 +552,26 @@ SigilProfiler::flushSegment(SegState &state)
     bool has_work = segment.iops || segment.flops || segment.reads ||
                     segment.writes;
     if (collecting_ && (has_work || !state.xfers.empty())) {
-        if (engine_) {
+        if (mode_ == Mode::kSegmentWorker) {
+            // Workers never emit records — the control scan already
+            // wrote this segment's C record and placeholder. Bank the
+            // locally observed transfers (comm-kernel entries for
+            // owned units plus the restored/barrier ordering entries)
+            // for the resolution pass to fold in stream order.
+            auto &dst = workerSegXfers_[segment.seq];
+            for (const auto &[src, bytes] : state.xfers)
+                dst[src] += bytes;
+        } else if (mode_ == Mode::kControlScan) {
+            // Control scan: emit the C record and a placeholder so the
+            // resolution fold can splice the X records (accumulated
+            // across workers and boundary replay) in front of it,
+            // exactly like the sharded fold does.
+            pendingSegs_.push_back(PendingSeg{events_.records.size(),
+                                              segment.seq, skipStamp_,
+                                              std::move(state.xfers)});
+            state.xfers = {};
+            events_.records.push_back(EventRecord::makeCompute(segment));
+        } else if (engine_) {
             // The segment's data transfers are still distributed over
             // the shard tables; emit the C record now and leave a
             // placeholder so the fold can splice the X records in
@@ -495,7 +603,14 @@ SigilProfiler::flushSegment(SegState &state)
     } else {
         skippedSegments_.emplace(segment.seq,
                                  SkipInfo{segment.predSeq, skipStamp_++});
-        if (engine_ && config_.collectEvents) {
+        if (mode_ == Mode::kControlScan && config_.collectEvents) {
+            // Worker- and replay-side transfers charged to this
+            // segment must be discarded at the resolution fold, as the
+            // serial path discards state.xfers here. (Workers reach
+            // the same decision — the segment counters are part of the
+            // restored control state — and drop theirs locally.)
+            discardedSeqs_.push_back(segment.seq);
+        } else if (engine_ && config_.collectEvents) {
             // Any shard-side transfers charged to this segment must be
             // discarded at the fold, as the serial path discards
             // state.xfers here.
@@ -598,6 +713,21 @@ SigilProfiler::foldShards()
     std::vector<TaggedEdge> new_edges;
     std::vector<TaggedThreadEdge> new_tedges;
 
+    // The shard tables know exactly how many edges are in flight:
+    // reserve the staging vectors and the merged indexes once from the
+    // summed sizes instead of growing them geometrically mid-fold.
+    std::size_t edge_total = 0;
+    std::size_t tedge_total = 0;
+    for (unsigned i : order) {
+        edge_total += engine_->tables(i).edges.size();
+        tedge_total += engine_->tables(i).threadEdges.size();
+    }
+    new_edges.reserve(edge_total);
+    new_tedges.reserve(tedge_total);
+    tables_.edgeIndex.reserve(tables_.edgeIndex.size() + edge_total);
+    tables_.threadEdgeIndex.reserve(tables_.threadEdgeIndex.size() +
+                                    tedge_total);
+
     for (unsigned i : order) {
         CommTables &st = engine_->tables(i);
         for (std::size_t c = 0; c < st.rows.size(); ++c) {
@@ -693,6 +823,18 @@ SigilProfiler::foldShards()
     // have written them.
     std::size_t extra = 0;
     for (PendingSeg &p : pendingSegs_) {
+        // Size the destination map once from the summed shard entries
+        // (an upper bound — shards may share source segments) before
+        // merging, so the merge itself never rehashes.
+        std::size_t found = 0;
+        for (unsigned i : order) {
+            auto &sx = engine_->tables(i).segXfers;
+            auto it = sx.find(p.seq);
+            if (it != sx.end())
+                found += it->second.size();
+        }
+        if (found != 0)
+            p.xfers.reserve(p.xfers.size() + found);
         for (unsigned i : order) {
             auto &sx = engine_->tables(i).segXfers;
             auto it = sx.find(p.seq);
@@ -752,6 +894,12 @@ SigilProfiler::finish()
 {
     for (SegState &state : segStates_)
         flushSegment(state);
+    if (mode_ == Mode::kControlScan) {
+        // The control scan only sequences: segment record emission and
+        // skip forwarding are final here, but every kernel-side total
+        // (and the shadow sweep) belongs to the resolution fold.
+        return;
+    }
     // The end-of-run sweep only finalizes pending re-use runs and (in
     // line mode) folds per-unit access totals: both live in the cold
     // record, so chunks that never materialized one are skipped whole.
@@ -785,8 +933,19 @@ SigilProfiler::finish()
         }
         return;
     }
+    runFinalSweep();
+}
+
+void
+SigilProfiler::runFinalSweep()
+{
+    const bool sweep_needed =
+        config_.granularityShift > 0 || reuseEnabled_;
     if (!sweep_needed)
         return;
+    const shadow::SweepFilter filter =
+        config_.granularityShift > 0 ? shadow::SweepFilter::ColdChunks
+                                     : shadow::SweepFilter::PendingRuns;
     shadow_.forEach(
         [this](std::uint64_t unit, shadow::ShadowRef obj) {
             (void)unit;
@@ -798,6 +957,50 @@ SigilProfiler::finish()
                                                1);
         },
         filter);
+}
+
+SigilProfiler::ControlState
+SigilProfiler::captureControlState() const
+{
+    ControlState s;
+    s.collecting = collecting_;
+    s.segStates = segStates_;
+    s.currentTid = currentTid_;
+    s.nextSeq = nextSeq_;
+    s.skippedSegments = skippedSegments_;
+    s.skipStamp = skipStamp_;
+    s.barrierPreds = barrierPreds_;
+    return s;
+}
+
+void
+SigilProfiler::restoreControlState(const ControlState &s)
+{
+    collecting_ = s.collecting;
+    segStates_ = s.segStates;
+    currentTid_ = s.currentTid;
+    nextSeq_ = s.nextSeq;
+    skippedSegments_ = s.skippedSegments;
+    skipStamp_ = s.skipStamp;
+    barrierPreds_ = s.barrierPreds;
+}
+
+void
+SigilProfiler::flushOpenSegmentsToXfers()
+{
+    // A segment spanning the cut stays open — the successor worker
+    // (or the control scan's final flush) closes it. Only its locally
+    // observed transfers move to the banked map keyed by sequence, so
+    // the resolution pass can attribute them regardless of which
+    // worker eventually flushes the segment.
+    for (SegState &s : segStates_) {
+        if (!s.open || s.xfers.empty())
+            continue;
+        auto &dst = workerSegXfers_[s.segment.seq];
+        for (const auto &[src, bytes] : s.xfers)
+            dst[src] += bytes;
+        s.xfers.clear();
+    }
 }
 
 const CommAggregates &
@@ -1038,7 +1241,10 @@ getComputeEvent(ByteSource &src, ComputeEvent &c)
 void
 SigilProfiler::saveState(ByteSink &sink)
 {
-    saveStateImpl(sink, 3);
+    // Version 4 is version 3 plus a segment-provenance trailer; it is
+    // only emitted when a segmented driver stamped this profiler, so
+    // serial snapshots stay byte-identical to previous releases.
+    saveStateImpl(sink, provenance_ ? 4 : 3);
 }
 
 void
@@ -1329,13 +1535,22 @@ SigilProfiler::saveStateImpl(ByteSink &sink, std::uint8_t version)
                                    });
         }
     }
+
+    // Version 4 trailer: which segmented cut this snapshot was taken
+    // at. Informational — the body above is complete replay state, so
+    // serial and segmented drivers resume each other's files.
+    if (version >= 4) {
+        sink.u64(provenance_->segments);
+        sink.u64(provenance_->segmentIndex);
+        sink.u64(provenance_->cutOffset);
+    }
 }
 
 bool
 SigilProfiler::restoreState(ByteSource &src)
 {
     std::uint8_t version = src.u8();
-    if (version < 1 || version > 3)
+    if (version < 1 || version > 4)
         return false;
     if (version >= 2) {
         // Shard count of the saving run; the body is engine-neutral,
@@ -1624,6 +1839,13 @@ SigilProfiler::restoreState(ByteSource &src)
                 restoreUnit(base + off, has_cold != 0, writers[wid],
                             readers[rid], cold);
             }
+        }
+        if (version >= 4) {
+            // Segment-provenance trailer: informational, consumed so
+            // the session reader state that follows stays aligned.
+            (void)src.u64();
+            (void)src.u64();
+            (void)src.u64();
         }
     }
     if (engine_)

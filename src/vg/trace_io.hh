@@ -83,6 +83,27 @@ class TraceRecorder : public Tool
     bool finished_ = false;
 };
 
+/**
+ * One event frame as described by the seek-index trailer (SGB2/SGB3):
+ * where it starts and which slice of the event sequence it carries.
+ * Gives segment-parallel replay its O(1) cut points (FORMATS.md §3.5).
+ */
+struct SeekIndexEntry
+{
+    std::uint64_t offset = 0; ///< absolute offset of the frame sync
+    std::uint64_t firstEventSeq = 0;
+    std::uint64_t eventCount = 0;
+};
+
+/**
+ * Read the seek-index trailer from a trace image. Returns one entry
+ * per event frame, in stream order, or an empty vector when the trace
+ * has no (intact) index — older recorders, SGB1, damaged tails. A
+ * missing index is never an error: callers fall back to a sequential
+ * frame-chain scan (scanSgb2Blocks).
+ */
+std::vector<SeekIndexEntry> readSeekIndex(std::string_view trace);
+
 /** On-disk flavour of the binary trace. */
 enum class TraceFormat
 {
@@ -192,6 +213,8 @@ class BinaryTraceRecorder : public Tool
     void flushBlock();
     void writeFrame(std::uint8_t tag, std::string_view payload,
                     std::uint64_t first_event, std::uint64_t event_count);
+    /** Emit the seek-index trailer frame + footer (SGB2/SGB3 only). */
+    void writeSeekIndex();
     /** Route one finished frame: enqueue (async) or write (sync). */
     void emitFrame(std::uint8_t tag, std::string &payload,
                    std::uint64_t first_event, std::uint64_t event_count);
@@ -208,6 +231,9 @@ class BinaryTraceRecorder : public Tool
     std::vector<bool> emitted_;
     std::uint64_t events_ = 0;
     bool finished_ = false;
+    /** Bytes on the stream so far; owned by the frame-writing thread. */
+    std::uint64_t bytesWritten_ = 0;
+    std::vector<SeekIndexEntry> seekIndex_;
     std::unique_ptr<AsyncWriter> writer_;
 };
 

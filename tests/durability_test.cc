@@ -376,9 +376,17 @@ TEST(ReplayReportRender, ToStringAndStreamOperator)
     EXPECT_NE(text.find("shutdown clean"), std::string::npos);
 
     // A truncated tail must render as a crash, and operator<< must
-    // match toString() byte for byte.
-    vg::ReplayReport crashed =
-        salvageReplay(trace.substr(0, trace.size() - 40));
+    // match toString() byte for byte. Cut at the shutdown frame so the
+    // truncation actually removes the clean-shutdown evidence (the
+    // seek-index trailer pads the file tail past the end frame).
+    std::size_t cut = trace.size() - 40;
+    for (const vg::Sgb2BlockInfo &b : vg::scanSgb2Blocks(trace)) {
+        if (b.tag == 0x03) {
+            cut = static_cast<std::size_t>(b.offset);
+            break;
+        }
+    }
+    vg::ReplayReport crashed = salvageReplay(trace.substr(0, cut));
     EXPECT_FALSE(crashed.cleanShutdown);
     std::string crashed_text = crashed.toString();
     EXPECT_NE(crashed_text.find("not clean"), std::string::npos);

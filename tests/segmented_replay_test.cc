@@ -1,0 +1,636 @@
+/**
+ * @file
+ * Differential suite for the segment-parallel replay engine.
+ *
+ * Records the randomized workloads of the sharded suite as SGB2/SGB3
+ * traces and replays them through core::replaySegmented under segment
+ * counts {1, 2, 4, 8}, in per-event, asynchronous, and sharded guest
+ * dispatch, requiring the serialized profiles and event traces to be
+ * bitwise identical to the serial reference — the speculative worker
+ * path and the chained fallback are both exercised. Also covers: cut
+ * planning with and without the seek-index trailer (index agreement
+ * with the frame scan, chain-scan fallback on stripped traces),
+ * salvage equivalence on corrupted and truncated inputs, capped worker
+ * thread pools, and checkpoint/resume with cross-engine resume in both
+ * directions (segmented v4 snapshots restore into a serial replay and
+ * serial v3 snapshots into a segmented one).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/checkpoint.hh"
+#include "core/profile_io.hh"
+#include "core/segment_engine.hh"
+#include "core/sigil_profiler.hh"
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "vg/guest.hh"
+#include "vg/trace_io.hh"
+
+namespace sigil {
+namespace {
+
+/** Silence expected warnings (salvage resyncs, frame unwinds). */
+class QuietLogs
+{
+  public:
+    QuietLogs() : saved_(setLogSink(&swallow)) {}
+    ~QuietLogs() { setLogSink(saved_); }
+
+  private:
+    static void
+    swallow(LogLevel level, const std::string &msg)
+    {
+        if (level == LogLevel::Panic || level == LogLevel::Fatal)
+            std::fprintf(stderr, "%s\n", msg.c_str());
+    }
+    LogSink saved_;
+};
+
+struct TraceParams
+{
+    std::uint64_t seed;
+    unsigned granularityShift;
+    std::size_t maxShadowChunks;
+    bool collectReuse;
+    bool collectEvents;
+    bool roiOnly;
+};
+
+core::SigilConfig
+profilerConfig(const TraceParams &p)
+{
+    core::SigilConfig cfg;
+    cfg.granularityShift = p.granularityShift;
+    cfg.maxShadowChunks = p.maxShadowChunks;
+    cfg.collectReuse = p.collectReuse;
+    cfg.collectEvents = p.collectEvents;
+    cfg.roiOnly = p.roiOnly;
+    return cfg;
+}
+
+/** Drive one deterministic pseudo-random workload into the guest. */
+void
+driveTrace(vg::Guest &g, const TraceParams &p, int steps)
+{
+    Rng rng(p.seed);
+    const char *fns[] = {"alpha", "beta", "gamma", "delta",
+                         "epsilon", "zeta", "eta", "theta"};
+    vg::ThreadId threads[3] = {0, g.spawnThread(), g.spawnThread()};
+
+    g.enter("main");
+    if (p.roiOnly)
+        g.roiBegin();
+    bool in_roi = true;
+    for (int i = 0; i < steps; ++i) {
+        vg::Addr addr = vg::kHeapBase;
+        addr += (rng.nextBounded(8) == 0) ? rng.nextBounded(1 << 24)
+                                          : rng.nextBounded(1 << 16);
+        unsigned size;
+        switch (rng.nextBounded(8)) {
+        case 0:
+            size = 1000 + static_cast<unsigned>(rng.nextBounded(9000));
+            break;
+        case 1:
+        case 2:
+            size = 64 + static_cast<unsigned>(rng.nextBounded(192));
+            break;
+        default:
+            size = 1 + static_cast<unsigned>(rng.nextBounded(16));
+            break;
+        }
+
+        switch (rng.nextBounded(16)) {
+        case 0:
+            if (g.callDepth() < 6)
+                g.enter(fns[rng.nextBounded(8)]);
+            break;
+        case 1:
+            if (g.callDepth() > 1)
+                g.leave();
+            break;
+        case 2:
+            g.switchThread(threads[rng.nextBounded(3)]);
+            if (g.callDepth() == 0)
+                g.enter(fns[rng.nextBounded(8)]);
+            break;
+        case 3:
+            g.iop(1 + rng.nextBounded(100));
+            break;
+        case 4:
+            if (p.collectEvents && rng.nextBounded(4) == 0)
+                g.barrier();
+            break;
+        case 5:
+            if (p.roiOnly && rng.nextBounded(4) == 0) {
+                if (in_roi)
+                    g.roiEnd();
+                else
+                    g.roiBegin();
+                in_roi = !in_roi;
+            }
+            break;
+        case 6:
+        case 7:
+        case 8:
+        case 9:
+            if (g.callDepth() > 0)
+                g.write(addr, size);
+            break;
+        default:
+            if (g.callDepth() > 0)
+                g.read(addr, size);
+            break;
+        }
+        if (g.callDepth() > 0 && rng.nextBounded(32) == 0)
+            g.branch(rng.nextBounded(2) == 0);
+    }
+    for (vg::ThreadId t : threads) {
+        g.switchThread(t);
+        while (g.callDepth() > 0)
+            g.leave();
+    }
+    g.finish();
+}
+
+/** Record the workload as a binary trace. */
+std::string
+recordTrace(const TraceParams &p,
+            vg::TraceFormat format = vg::TraceFormat::SGB2,
+            std::size_t block_events = 64, int steps = 1500)
+{
+    vg::Guest g("segmented");
+    std::ostringstream bos(std::ios::binary);
+    vg::BinaryTraceRecorder rec(bos, format, block_events);
+    g.addTool(&rec);
+    driveTrace(g, p, steps);
+    return bos.str();
+}
+
+struct Outcome
+{
+    vg::ReplayReport report;
+    std::string profile;
+    std::string events;
+};
+
+/** Replay serially into a fresh profiler; serialize results. */
+Outcome
+replaySerial(const std::string &trace, const TraceParams &p,
+             vg::ReplayPolicy policy = vg::ReplayPolicy::Strict)
+{
+    QuietLogs quiet;
+    vg::Guest g("segmented");
+    core::SigilProfiler prof(profilerConfig(p));
+    g.addTool(&prof);
+    std::istringstream is(trace, std::ios::binary);
+    vg::ReplayOptions opts;
+    opts.policy = policy;
+    Outcome out;
+    out.report = vg::replayBinaryTrace(is, g, opts);
+    if (out.report.ok()) {
+        std::ostringstream pos, eos;
+        core::writeProfile(pos, prof.takeProfile());
+        core::writeEvents(eos, prof.events());
+        out.profile = pos.str();
+        out.events = eos.str();
+    }
+    return out;
+}
+
+struct SegOutcome
+{
+    core::SegmentResult res;
+    std::string profile;
+    std::string events;
+};
+
+/** Replay segment-parallel into a fresh guest+profiler pair. */
+SegOutcome
+replaySeg(const std::string &trace, const TraceParams &p,
+          unsigned segments, const vg::GuestConfig &gc = {},
+          vg::ReplayPolicy policy = vg::ReplayPolicy::Strict,
+          unsigned threads = 0,
+          const core::CheckpointConfig *checkpoint = nullptr)
+{
+    QuietLogs quiet;
+    vg::Guest g("segmented", gc);
+    core::SigilProfiler prof(profilerConfig(p));
+    g.addTool(&prof);
+    core::SegmentOptions so;
+    so.segments = segments;
+    so.threads = threads;
+    so.replay.policy = policy;
+    if (checkpoint)
+        so.checkpoint = *checkpoint;
+    SegOutcome out;
+    out.res = core::replaySegmented(trace, g, prof, so);
+    if (out.res.report.ok()) {
+        std::ostringstream pos, eos;
+        core::writeProfile(pos, prof.takeProfile());
+        core::writeEvents(eos, prof.events());
+        out.profile = pos.str();
+        out.events = eos.str();
+    }
+    return out;
+}
+
+/** Assert every field of two replay reports matches — the segment
+ *  engine's contract is full-report equality, not just event totals. */
+void
+expectReportsEqual(const vg::ReplayReport &a, const vg::ReplayReport &b)
+{
+    EXPECT_EQ(a.eventsDelivered, b.eventsDelivered);
+    EXPECT_EQ(a.blocksDelivered, b.blocksDelivered);
+    EXPECT_EQ(a.eventsSkipped, b.eventsSkipped);
+    EXPECT_EQ(a.blocksSkipped, b.blocksSkipped);
+    EXPECT_EQ(a.bytesSkipped, b.bytesSkipped);
+    EXPECT_EQ(a.blocksStale, b.blocksStale);
+    EXPECT_EQ(a.resyncs, b.resyncs);
+    EXPECT_EQ(a.leavesDropped, b.leavesDropped);
+    EXPECT_EQ(a.roiDropped, b.roiDropped);
+    EXPECT_EQ(a.functionsSynthesized, b.functionsSynthesized);
+    EXPECT_EQ(a.totalEventsRecorded, b.totalEventsRecorded);
+    EXPECT_EQ(a.sawTrailer, b.sawTrailer);
+    EXPECT_EQ(a.truncated, b.truncated);
+
+    auto same = [](const vg::TraceError &x, const vg::TraceError &y) {
+        EXPECT_EQ(x.cause, y.cause);
+        EXPECT_EQ(x.byteOffset, y.byteOffset);
+        EXPECT_EQ(x.blockIndex, y.blockIndex);
+        EXPECT_EQ(x.line, y.line);
+        EXPECT_EQ(x.detail, y.detail);
+    };
+    ASSERT_EQ(a.errors.size(), b.errors.size());
+    for (std::size_t i = 0; i < a.errors.size(); ++i)
+        same(a.errors[i], b.errors[i]);
+    ASSERT_EQ(a.error.has_value(), b.error.has_value());
+    if (a.error.has_value())
+        same(*a.error, *b.error);
+}
+
+/** Drop the seek-index trailer, leaving a valid index-less trace. */
+std::string
+stripSeekIndex(const std::string &trace)
+{
+    if (trace.size() < 12 ||
+        trace.compare(trace.size() - 4, 4, "SGIX") != 0)
+        return trace;
+    std::uint64_t off = 0;
+    for (int i = 7; i >= 0; --i)
+        off = (off << 8) |
+              static_cast<unsigned char>(trace[trace.size() - 12 + i]);
+    EXPECT_LT(off, trace.size());
+    return trace.substr(0, off);
+}
+
+// ---------------------------------------------------------------------
+// Differential: segmented output == serial output, bit for bit
+// ---------------------------------------------------------------------
+
+class SegmentedDifferential : public ::testing::TestWithParam<TraceParams>
+{};
+
+TEST_P(SegmentedDifferential, SegmentCountsMatchSerialReference)
+{
+    const TraceParams &p = GetParam();
+    std::string trace = recordTrace(p);
+    Outcome ref = replaySerial(trace, p);
+    ASSERT_TRUE(ref.report.ok());
+    ASSERT_TRUE(ref.report.sawTrailer);
+    // Guard against the vacuous pass.
+    ASSERT_GT(ref.profile.size(), 100u);
+
+    // The speculative worker path needs a deterministic unlimited
+    // shadow and per-event dispatch; anything else chains.
+    const bool spec_eligible = p.maxShadowChunks == 0;
+
+    enum class Dispatch { PerEvent, Async, Sharded };
+    for (unsigned segments : {1u, 2u, 4u, 8u}) {
+        for (Dispatch d :
+             {Dispatch::PerEvent, Dispatch::Async, Dispatch::Sharded}) {
+            vg::GuestConfig gc;
+            if (d == Dispatch::Async)
+                gc.asyncTools = true;
+            if (d == Dispatch::Sharded)
+                gc.shardCount = 4;
+            SegOutcome got = replaySeg(trace, p, segments, gc);
+            std::string where = "segments=" + std::to_string(segments) +
+                                " dispatch=" +
+                                std::to_string(static_cast<int>(d));
+            EXPECT_EQ(got.res.speculative,
+                      segments > 1 && spec_eligible &&
+                          d == Dispatch::PerEvent)
+                << where;
+            EXPECT_TRUE(got.res.usedSeekIndex || segments == 1) << where;
+            EXPECT_LE(got.res.segmentsUsed, segments) << where;
+            EXPECT_EQ(got.res.timing.workerNs.size(),
+                      got.res.segmentsUsed)
+                << where;
+            if (segments > 1 && got.res.speculative) {
+                EXPECT_GT(got.res.segmentsUsed, 1u) << where;
+            }
+            expectReportsEqual(ref.report, got.res.report);
+            EXPECT_EQ(ref.profile, got.profile) << where;
+            EXPECT_EQ(ref.events, got.events) << where;
+        }
+    }
+}
+
+TEST_P(SegmentedDifferential, CappedThreadPoolMatches)
+{
+    // A 2-thread pool over 8 segments must only change the schedule.
+    const TraceParams &p = GetParam();
+    std::string trace = recordTrace(p);
+    Outcome ref = replaySerial(trace, p);
+    ASSERT_TRUE(ref.report.ok());
+
+    SegOutcome got =
+        replaySeg(trace, p, 8, vg::GuestConfig{},
+                  vg::ReplayPolicy::Strict, /*threads=*/2);
+    expectReportsEqual(ref.report, got.res.report);
+    EXPECT_EQ(ref.profile, got.profile);
+    EXPECT_EQ(ref.events, got.events);
+}
+
+TEST_P(SegmentedDifferential, ChainScanFallbackWithoutSeekIndex)
+{
+    // Stripping the seek-index trailer leaves a valid trace; cuts come
+    // from a frame-chain scan and the output must not change.
+    const TraceParams &p = GetParam();
+    std::string trace = recordTrace(p);
+    std::string stripped = stripSeekIndex(trace);
+    ASSERT_LT(stripped.size(), trace.size());
+    ASSERT_TRUE(vg::readSeekIndex(stripped).empty());
+
+    Outcome ref = replaySerial(stripped, p);
+    ASSERT_TRUE(ref.report.ok());
+    ASSERT_TRUE(ref.report.sawTrailer);
+
+    SegOutcome got = replaySeg(stripped, p, 4);
+    EXPECT_FALSE(got.res.usedSeekIndex);
+    expectReportsEqual(ref.report, got.res.report);
+    EXPECT_EQ(ref.profile, got.profile);
+    EXPECT_EQ(ref.events, got.events);
+
+    // The trailer is byte-inert for replay: the indexed trace's serial
+    // output matches the stripped one's.
+    Outcome full = replaySerial(trace, p);
+    EXPECT_EQ(full.profile, got.profile);
+    EXPECT_EQ(full.events, got.events);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SegmentedDifferential,
+    ::testing::Values(TraceParams{101, 0, 0, true, true, false},
+                      TraceParams{202, 0, 6, true, true, false},
+                      TraceParams{303, 6, 0, true, true, false},
+                      TraceParams{404, 6, 4, true, true, false},
+                      TraceParams{505, 0, 0, false, false, false},
+                      TraceParams{606, 0, 0, true, false, true},
+                      TraceParams{707, 6, 0, false, false, false}),
+    [](const ::testing::TestParamInfo<TraceParams> &info) {
+        const TraceParams &p = info.param;
+        std::string name = "seed" + std::to_string(p.seed) + "_g" +
+                           std::to_string(p.granularityShift) + "_max" +
+                           std::to_string(p.maxShadowChunks);
+        if (p.collectReuse)
+            name += "_reuse";
+        if (p.collectEvents)
+            name += "_events";
+        if (p.roiOnly)
+            name += "_roi";
+        return name;
+    });
+
+// ---------------------------------------------------------------------
+// Cut planning and format coverage
+// ---------------------------------------------------------------------
+
+TEST(SegmentedReplay, SeekIndexAgreesWithFrameScan)
+{
+    TraceParams p{101, 0, 0, true, true, false};
+    std::string trace = recordTrace(p);
+
+    std::vector<vg::SeekIndexEntry> index = vg::readSeekIndex(trace);
+    ASSERT_FALSE(index.empty());
+
+    std::vector<vg::Sgb2BlockInfo> blocks = vg::scanSgb2Blocks(trace);
+    std::vector<vg::Sgb2BlockInfo> event_frames;
+    for (const vg::Sgb2BlockInfo &b : blocks)
+        if (b.tag == 0x02)
+            event_frames.push_back(b);
+
+    ASSERT_EQ(index.size(), event_frames.size());
+    std::uint64_t prev = 0;
+    for (std::size_t i = 0; i < index.size(); ++i) {
+        EXPECT_EQ(index[i].offset, event_frames[i].offset);
+        EXPECT_EQ(index[i].firstEventSeq, event_frames[i].firstEventSeq);
+        EXPECT_EQ(index[i].eventCount, event_frames[i].eventCount);
+        if (i > 0) {
+            EXPECT_GT(index[i].offset, prev);
+        }
+        prev = index[i].offset;
+    }
+}
+
+TEST(SegmentedReplay, CompressedSgb3MatchesSerial)
+{
+    TraceParams p{303, 6, 0, true, true, false};
+    std::string trace = recordTrace(p, vg::TraceFormat::SGB3);
+    Outcome ref = replaySerial(trace, p);
+    ASSERT_TRUE(ref.report.ok());
+    ASSERT_GT(ref.profile.size(), 100u);
+
+    for (unsigned segments : {2u, 8u}) {
+        SegOutcome got = replaySeg(trace, p, segments);
+        EXPECT_TRUE(got.res.speculative);
+        expectReportsEqual(ref.report, got.res.report);
+        EXPECT_EQ(ref.profile, got.profile) << "segments=" << segments;
+        EXPECT_EQ(ref.events, got.events) << "segments=" << segments;
+    }
+}
+
+TEST(SegmentedReplay, MoreSegmentsThanFramesClamps)
+{
+    // A tiny trace cannot honour a huge segment request; the engine
+    // must clamp to the available cut points and stay correct.
+    TraceParams p{101, 0, 0, true, true, false};
+    std::string trace =
+        recordTrace(p, vg::TraceFormat::SGB2, 4096, /*steps=*/200);
+    Outcome ref = replaySerial(trace, p);
+    ASSERT_TRUE(ref.report.ok());
+
+    SegOutcome got = replaySeg(trace, p, 64);
+    EXPECT_LE(got.res.segmentsUsed, 64u);
+    expectReportsEqual(ref.report, got.res.report);
+    EXPECT_EQ(ref.profile, got.profile);
+    EXPECT_EQ(ref.events, got.events);
+}
+
+// ---------------------------------------------------------------------
+// Salvage equivalence on damaged inputs
+// ---------------------------------------------------------------------
+
+TEST(SegmentedSalvage, CorruptBlockMatchesSerialSalvage)
+{
+    for (TraceParams p :
+         {TraceParams{101, 0, 0, true, true, false},
+          TraceParams{202, 0, 6, true, true, false}}) {
+        std::string trace = recordTrace(p);
+        std::vector<vg::Sgb2BlockInfo> blocks =
+            vg::scanSgb2Blocks(trace);
+        std::vector<std::size_t> event_idx;
+        for (std::size_t i = 0; i < blocks.size(); ++i)
+            if (blocks[i].tag == 0x02)
+                event_idx.push_back(i);
+        ASSERT_GT(event_idx.size(), 4u);
+
+        // Flip the final payload byte of a mid-stream event frame.
+        const vg::Sgb2BlockInfo &victim =
+            blocks[event_idx[event_idx.size() / 2]];
+        std::string damaged = trace;
+        damaged[victim.offset + victim.length - 1] ^=
+            static_cast<char>(0x5a);
+
+        Outcome ref =
+            replaySerial(damaged, p, vg::ReplayPolicy::Salvage);
+        ASSERT_TRUE(ref.report.ok());
+        EXPECT_GT(ref.report.blocksSkipped + ref.report.eventsSkipped,
+                  0u);
+
+        for (unsigned segments : {2u, 4u, 8u}) {
+            SegOutcome got = replaySeg(damaged, p, segments,
+                                       vg::GuestConfig{},
+                                       vg::ReplayPolicy::Salvage);
+            expectReportsEqual(ref.report, got.res.report);
+            EXPECT_EQ(ref.profile, got.profile)
+                << "seed=" << p.seed << " segments=" << segments;
+            EXPECT_EQ(ref.events, got.events)
+                << "seed=" << p.seed << " segments=" << segments;
+        }
+    }
+}
+
+TEST(SegmentedSalvage, TruncatedTraceMatchesSerialSalvage)
+{
+    TraceParams p{101, 0, 0, true, true, false};
+    std::string trace = recordTrace(p);
+
+    // Chop inside the event stream: the seek-index trailer is gone, a
+    // tail frame is torn, and the trailer never arrives.
+    std::string truncated = trace.substr(0, (trace.size() * 2) / 3);
+    Outcome ref =
+        replaySerial(truncated, p, vg::ReplayPolicy::Salvage);
+    ASSERT_TRUE(ref.report.ok());
+    EXPECT_TRUE(ref.report.truncated);
+    EXPECT_FALSE(ref.report.sawTrailer);
+
+    for (unsigned segments : {2u, 4u}) {
+        SegOutcome got =
+            replaySeg(truncated, p, segments, vg::GuestConfig{},
+                      vg::ReplayPolicy::Salvage);
+        EXPECT_FALSE(got.res.usedSeekIndex);
+        expectReportsEqual(ref.report, got.res.report);
+        EXPECT_EQ(ref.profile, got.profile)
+            << "segments=" << segments;
+        EXPECT_EQ(ref.events, got.events) << "segments=" << segments;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint / resume across engines
+// ---------------------------------------------------------------------
+
+class SegmentedCheckpoint : public ::testing::TestWithParam<TraceParams>
+{};
+
+TEST_P(SegmentedCheckpoint, CrossEngineResumeIsBitIdentical)
+{
+    const TraceParams &p = GetParam();
+    std::string trace = recordTrace(p);
+    Outcome ref = replaySerial(trace, p);
+    ASSERT_TRUE(ref.report.ok());
+
+    std::string path = ::testing::TempDir() + "/segmented_ckpt_" +
+                       std::to_string(p.seed);
+    std::remove(path.c_str());
+    std::remove((path + ".prev").c_str());
+
+    core::CheckpointConfig cc;
+    cc.path = path;
+    cc.intervalBlocks = 3;
+
+    // Fresh segmented run: checkpointing forces the chained path and
+    // writes v4 snapshots at every cut on top of the periodic ones.
+    SegOutcome a = replaySeg(trace, p, 4, vg::GuestConfig{},
+                             vg::ReplayPolicy::Strict, 0, &cc);
+    EXPECT_FALSE(a.res.speculative);
+    EXPECT_FALSE(a.res.checkpoint.resumed);
+    EXPECT_GE(a.res.checkpoint.checkpointsWritten, 2u);
+    EXPECT_EQ(ref.profile, a.profile);
+    EXPECT_EQ(ref.events, a.events);
+
+    // A serial replay resumes the segmented v4 snapshot.
+    core::CheckpointStats st2;
+    {
+        QuietLogs quiet;
+        vg::Guest g("segmented");
+        core::SigilProfiler prof(profilerConfig(p));
+        g.addTool(&prof);
+        std::istringstream is(trace, std::ios::binary);
+        vg::ReplayReport r = core::replayWithCheckpoints(
+            is, g, prof, vg::ReplayOptions{}, cc, &st2);
+        EXPECT_TRUE(r.ok());
+        EXPECT_TRUE(st2.resumed);
+        EXPECT_GT(st2.resumeBlocks, 0u);
+        std::ostringstream pos, eos;
+        core::writeProfile(pos, prof.takeProfile());
+        core::writeEvents(eos, prof.events());
+        EXPECT_EQ(ref.profile, pos.str());
+        EXPECT_EQ(ref.events, eos.str());
+    }
+
+    // A segmented replay resumes the serial v3 snapshot.
+    SegOutcome c = replaySeg(trace, p, 4, vg::GuestConfig{},
+                             vg::ReplayPolicy::Strict, 0, &cc);
+    EXPECT_TRUE(c.res.checkpoint.resumed);
+    EXPECT_GT(c.res.checkpoint.resumeBlocks, 0u);
+    EXPECT_EQ(ref.profile, c.profile);
+    EXPECT_EQ(ref.events, c.events);
+
+    // And a differently-cut segmented replay resumes the v4 file.
+    SegOutcome d = replaySeg(trace, p, 8, vg::GuestConfig{},
+                             vg::ReplayPolicy::Strict, 0, &cc);
+    EXPECT_TRUE(d.res.checkpoint.resumed);
+    EXPECT_EQ(ref.profile, d.profile);
+    EXPECT_EQ(ref.events, d.events);
+
+    std::remove(path.c_str());
+    std::remove((path + ".prev").c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SegmentedCheckpoint,
+    ::testing::Values(TraceParams{111, 0, 0, true, true, false},
+                      TraceParams{222, 0, 6, true, true, false},
+                      TraceParams{333, 6, 4, true, true, false},
+                      TraceParams{444, 0, 0, false, false, false}),
+    [](const ::testing::TestParamInfo<TraceParams> &info) {
+        const TraceParams &p = info.param;
+        std::string name = "seed" + std::to_string(p.seed) + "_g" +
+                           std::to_string(p.granularityShift) + "_max" +
+                           std::to_string(p.maxShadowChunks);
+        if (p.collectEvents)
+            name += "_events";
+        return name;
+    });
+
+} // namespace
+} // namespace sigil
