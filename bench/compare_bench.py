@@ -16,6 +16,13 @@ exits 1 on malformed input or when a watched metric is missing from
 the baseline (baseline rot), so the tier-1 smoke target catches
 tooling breakage without failing on machine-to-machine noise.
 
+Watched suites must be present on both sides: a baseline that lacks
+one of the candidate's suites (or vice versa), or a baseline
+benchmark absent from the fresh run, produces a per-suite diagnostic
+naming the suite, and fails a strict (non --check-only) comparison —
+two files covering different benchmark sets cannot vouch for the
+perf trajectory of the suites one of them skipped.
+
 A fresh run whose context.library_build_type is "debug" is rejected
 outright (even under --check-only): a Debug benchmark harness taxes
 every State iteration, so nothing it measures is comparable to a
@@ -45,6 +52,7 @@ WATCHED = [
     (r"^BM_ShardedReplay/", "items_per_second", +1),
     (r"^BM_ParallelDecode/", "items_per_second", +1),
     (r"^BM_SegmentedReplay/", "items_per_second", +1),
+    (r"^BM_ServerQueryThroughput/", "items_per_second", +1),
 ]
 
 
@@ -70,10 +78,15 @@ def load(path):
     except (OSError, ValueError) as e:
         sys.exit(f"error: cannot load {path}: {e}")
     out = {}
-    for b in doc.get("benchmarks", []):
+    for i, b in enumerate(doc.get("benchmarks", [])):
         if b.get("run_type") == "aggregate":
             continue
-        out[b["name"]] = b
+        name = b.get("name")
+        if not name:
+            sys.exit(f"error: {path}: benchmark entry #{i} has no "
+                     "\"name\" field; the file is malformed or was "
+                     "not produced by --benchmark_format=json")
+        out[name] = b
     if not out:
         sys.exit(f"error: {path} contains no benchmark entries")
     return doc.get("context", {}), out
@@ -138,6 +151,8 @@ def main():
 
     base_watched = {(n, m): (d, v)
                     for n, m, d, v in watched_metrics(base)}
+    fresh_watched = {(n, m): (d, v)
+                     for n, m, d, v in watched_metrics(fresh)}
     if not base_watched:
         sys.exit(f"error: no watched metrics found in {args.baseline}; "
                  "baseline is stale — re-record with bench/run_benches.sh")
@@ -147,12 +162,38 @@ def main():
                      f"{req!r} in {args.baseline}; re-record with "
                      "bench/run_benches.sh")
 
+    # Per-suite presence check: each WATCHED (pattern, metric) pair is
+    # one guarded suite. A suite present on only one side means the
+    # two files were produced by different benchmark sets — that must
+    # surface as a named diagnostic (and a strict-mode failure), never
+    # as a silent pass over the suites that happen to match.
+    suite_problems = []
+    for pattern, metric, _ in WATCHED:
+        in_base = any(name for (name, m) in base_watched
+                      if m == metric and re.search(pattern, name))
+        in_fresh = any(name for (name, m) in fresh_watched
+                       if m == metric and re.search(pattern, name))
+        if in_base and not in_fresh:
+            suite_problems.append(
+                f"suite {pattern!r} [{metric}] is in the baseline "
+                f"but missing from {args.fresh} — the fresh run did "
+                "not execute it")
+        elif in_fresh and not in_base:
+            suite_problems.append(
+                f"suite {pattern!r} [{metric}] is in the fresh run "
+                f"but missing from {args.baseline} — no baseline "
+                "gates it; re-record with bench/run_benches.sh")
+    for msg in suite_problems:
+        print(f"warning: {msg}", file=sys.stderr)
+
     regressions = []
     compared = 0
+    missing = 0
     for (name, metric), (direction, bval) in sorted(base_watched.items()):
         entry = fresh.get(name)
         if entry is None or metric not in entry:
             print(f"missing  {name} [{metric}] — not in fresh run")
+            missing += 1
             continue
         fval = float(entry[metric])
         compared += 1
@@ -169,9 +210,17 @@ def main():
     if compared == 0:
         sys.exit("error: no watched metric present in both files")
 
-    print(f"\n{compared} metrics compared, {len(regressions)} regressed "
-          f"beyond {args.threshold:.0%}")
-    if regressions and not args.check_only:
+    print(f"\n{compared} metrics compared, {missing} missing, "
+          f"{len(regressions)} regressed beyond {args.threshold:.0%}")
+    if args.check_only:
+        return 0
+    if suite_problems or missing:
+        print(f"error: {len(suite_problems)} suite mismatch(es), "
+              f"{missing} missing benchmark(s); the files do not "
+              "cover the same benchmark set (see diagnostics above)",
+              file=sys.stderr)
+        return 1
+    if regressions:
         return 1
     return 0
 

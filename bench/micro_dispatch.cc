@@ -10,14 +10,23 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
 
 #include "cg/cg_tool.hh"
 #include "core/checkpoint.hh"
 #include "core/segment_engine.hh"
 #include "core/sigil_profiler.hh"
+#include "server/client.hh"
+#include "server/server.hh"
 #include "support/rng.hh"
 #include "vg/guest.hh"
 #include "vg/trace_io.hh"
@@ -661,6 +670,130 @@ BM_SegmentedReplay(benchmark::State &state)
                             kShardWorkloadIters);
 }
 BENCHMARK(BM_SegmentedReplay)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+/**
+ * One sigild instance shared by every BM_ServerQueryThroughput run:
+ * the sharded trace written to a file, loaded once into the catalog,
+ * served over a Unix-domain socket by an 8-worker pool. Started on
+ * first use and drained at process exit so the socket file is
+ * unlinked.
+ */
+const server::ProfileQueryServer &
+queryServerFixture(std::string &socket_path)
+{
+    struct Fixture
+    {
+        std::string socketPath;
+        server::ProfileQueryServer *srv = nullptr;
+    };
+    static Fixture fx = [] {
+        Fixture f;
+        std::string stem =
+            "/tmp/sigil_bench_server_" + std::to_string(::getpid());
+        std::string trace_path = stem + ".trace";
+        {
+            std::ofstream os(trace_path, std::ios::binary);
+            os << shardedTrace();
+        }
+        f.socketPath = stem + ".sock";
+        server::ServerConfig cfg;
+        cfg.unixPath = f.socketPath;
+        cfg.threads = 8;
+        f.srv = new server::ProfileQueryServer(cfg);
+        std::string err;
+        if (!f.srv->start(&err)) {
+            std::fprintf(stderr, "bench server fixture: %s\n",
+                         err.c_str());
+            std::abort();
+        }
+        server::LoadStatus ls =
+            f.srv->catalog().load("bench", trace_path);
+        std::remove(trace_path.c_str());
+        if (!ls.ok) {
+            std::fprintf(stderr, "bench server fixture load: %s\n",
+                         ls.error.c_str());
+            std::abort();
+        }
+        return f;
+    }();
+    static const int cleanup = [] {
+        std::atexit([] {
+            // The fixture pointer is reachable through the static
+            // above; re-enter with a dummy string to fetch it.
+            std::string dummy;
+            const_cast<server::ProfileQueryServer &>(
+                queryServerFixture(dummy))
+                .stop();
+        });
+        return 0;
+    }();
+    (void)cleanup;
+    socket_path = fx.socketPath;
+    return *fx.srv;
+}
+
+/**
+ * Daemon query throughput: Arg(N) clients hammer the loaded profile
+ * concurrently over the Unix-domain socket with a mixed query stream
+ * (function rows, comm edges, flat summary, catalog list), one
+ * connection per client per iteration. minibench has no Threads()
+ * support, so the benchmark spawns its own client threads and runs on
+ * real time; items/sec is end-to-end requests per second through
+ * framing, dispatch, rendering, and the socket round-trip. The
+ * failed_requests counter must stay 0 — a non-RespText answer under
+ * plain load is a server bug, not noise.
+ */
+void
+BM_ServerQueryThroughput(benchmark::State &state)
+{
+    std::string socket_path;
+    queryServerFixture(socket_path);
+    const int clients = static_cast<int>(state.range(0));
+    constexpr int kRequestsPerClient = 64;
+    std::atomic<std::uint64_t> failures{0};
+    for (auto _ : state) {
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(clients));
+        for (int c = 0; c < clients; ++c) {
+            pool.emplace_back([&socket_path, &failures] {
+                server::QueryClient qc =
+                    server::QueryClient::connectUnix(socket_path);
+                if (!qc.valid()) {
+                    failures.fetch_add(kRequestsPerClient);
+                    return;
+                }
+                for (int i = 0; i < kRequestsPerClient; ++i) {
+                    server::QueryResult r;
+                    switch (i & 3) {
+                    case 0:
+                        r = qc.function("bench", "a");
+                        break;
+                    case 1:
+                        r = qc.edges("bench");
+                        break;
+                    case 2:
+                        r = qc.summary("bench");
+                        break;
+                    default:
+                        r = qc.list();
+                        break;
+                    }
+                    if (!r.ok)
+                        failures.fetch_add(1);
+                    benchmark::DoNotOptimize(r.text.size());
+                }
+            });
+        }
+        for (std::thread &t : pool)
+            t.join();
+    }
+    state.counters["failed_requests"] =
+        static_cast<double>(failures.load());
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            clients * kRequestsPerClient);
+}
+BENCHMARK(BM_ServerQueryThroughput)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 } // namespace

@@ -20,7 +20,11 @@
 # shard worker counts), the BM_ParallelDecode{,Profiled} decode
 # sweeps (decodeThreads 1/2/4/8 x SGB2/SGB3; parse-only and profiled
 # end to end), and the BM_SegmentedReplay segment sweep (Arg =
-# segment count; Arg 1 = the serial chained baseline). All three
+# segment count; Arg 1 = the serial chained baseline), plus the
+# BM_ServerQueryThroughput sigild sweep (Arg = concurrent query
+# clients over the daemon's Unix-domain socket; items/sec is
+# end-to-end requests per second through framing, dispatch, catalog
+# rendering, and the socket round-trip). The replay
 # families scale with physical cores: the >= 2x shard target at 4
 # workers, the >= 2.5x parse-only decode target at decodeThreads=4,
 # and the >= 2x segment target at 4 segments each need a >= 4-core

@@ -13,14 +13,28 @@
  * printed alongside the replay report. The analysis output is
  * bit-identical to the serial replay either way.
  *
+ * Every phase that reads a file checks the structured error channel:
+ * an unreadable or corrupt input ends the run with a non-zero exit
+ * code and the TraceError message on stderr, never with a report
+ * rendered over partial state.
+ *
  * Usage: example_offline_postprocess [--segments N] [workload]
  *                                    [output_dir]
+ *        example_offline_postprocess --replay TRACE
+ *
+ * The second form skips collection and replays an existing trace file
+ * (salvage policy, line granularity) — the post-mortem entry point,
+ * and the error-path regression test's hook: pointing it at a missing
+ * or corrupt file must exit non-zero.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cdfg/cdfg.hh"
@@ -37,6 +51,53 @@
 
 using namespace sigil;
 
+namespace {
+
+/**
+ * Salvage-replay one existing trace in line mode; the post-mortem
+ * path. Returns the process exit code: an unrecoverable TraceError
+ * (missing file, bad magic, torn header) is reported and fails the
+ * run instead of being summarized away.
+ */
+int
+replayOnly(const char *trace_path)
+{
+    vg::Guest guest("replay");
+    core::SigilConfig cfg;
+    cfg.granularityShift = 6;
+    core::SigilProfiler profiler(cfg);
+    guest.addTool(&profiler);
+    vg::ReplayOptions ropt;
+    ropt.policy = vg::ReplayPolicy::Salvage;
+    vg::ReplayReport report =
+        vg::replayTraceFile(trace_path, guest, ropt);
+    if (!report.ok()) {
+        std::fprintf(stderr, "error: cannot replay %s: %s\n",
+                     trace_path, report.error->message().c_str());
+        return 1;
+    }
+    // Salvage never "fails" on damage it can skip — but a replay that
+    // recovered zero events from a corrupted input has salvaged
+    // nothing. Reporting that as success would be exactly the
+    // report-over-partial-state bug this path exists to prevent.
+    if (report.eventsDelivered == 0 && report.sawCorruption()) {
+        vg::TraceError fallback;
+        fallback.cause = vg::TraceErrorCause::Truncated;
+        fallback.detail = "no decodable events in the file";
+        const vg::TraceError &cause =
+            report.errors.empty() ? fallback : report.errors.front();
+        std::fprintf(stderr,
+                     "error: nothing salvageable in %s: %s\n",
+                     trace_path, cause.message().c_str());
+        return 1;
+    }
+    std::printf("salvage replay of %s: %s\n", trace_path,
+                report.toString().c_str());
+    return 0;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
@@ -49,6 +110,9 @@ main(int argc, char **argv)
         } else if (std::strncmp(argv[i], "--segments=", 11) == 0) {
             segments = static_cast<unsigned>(
                 std::strtoul(argv[i] + 11, nullptr, 10));
+        } else if (std::strcmp(argv[i], "--replay") == 0 &&
+                   i + 1 < argc) {
+            return replayOnly(argv[++i]);
         } else {
             positional.push_back(argv[i]);
         }
@@ -108,10 +172,26 @@ main(int argc, char **argv)
                     profile_path.c_str(), events_path.c_str());
     }
 
-    // Phase 2: analyses purely from the files.
+    // Phase 2: analyses purely from the files. The fault-tolerant
+    // readers surface a corrupt or unreadable file as a TraceError —
+    // position, cause, offending token — and the run fails before any
+    // analysis could be computed over partial state.
     {
-        core::SigilProfile profile =
-            core::readProfileFile(profile_path);
+        std::ifstream profile_is(profile_path);
+        vg::TraceError read_error;
+        std::optional<core::SigilProfile> maybe_profile;
+        if (profile_is)
+            maybe_profile =
+                core::tryReadProfile(profile_is, read_error);
+        else
+            read_error.detail = "cannot open " + profile_path;
+        if (!maybe_profile) {
+            std::fprintf(stderr, "error: cannot read %s: %s\n",
+                         profile_path.c_str(),
+                         read_error.message().c_str());
+            return 1;
+        }
+        core::SigilProfile profile = std::move(*maybe_profile);
         cdfg::Cdfg graph = cdfg::Cdfg::build(profile);
         cdfg::PartitionResult parts =
             cdfg::Partitioner().partition(graph);
@@ -124,7 +204,19 @@ main(int argc, char **argv)
                         c.breakevenSpeedup);
         }
 
-        core::EventTrace events = core::readEventsFile(events_path);
+        std::ifstream events_is(events_path);
+        std::optional<core::EventTrace> maybe_events;
+        if (events_is)
+            maybe_events = core::tryReadEvents(events_is, read_error);
+        else
+            read_error.detail = "cannot open " + events_path;
+        if (!maybe_events) {
+            std::fprintf(stderr, "error: cannot read %s: %s\n",
+                         events_path.c_str(),
+                         read_error.message().c_str());
+            return 1;
+        }
+        core::EventTrace events = std::move(*maybe_events);
         critpath::CriticalPathResult cp = critpath::analyze(events);
         std::printf("\nfrom %s: max function-level parallelism %.2fx\n",
                     events_path.c_str(), cp.maxParallelism);
@@ -172,9 +264,20 @@ main(int argc, char **argv)
             vg::ReplayOptions ropt;
             ropt.policy = vg::ReplayPolicy::Salvage;
             report = vg::replayTraceFile(trace_path, guest, ropt);
+        }
+        // Salvage tolerates damage it can skip past, but a replay
+        // that stopped on an unrecoverable TraceError (unreadable
+        // file, bad magic) produced no usable profile — fail instead
+        // of printing an analysis over partial state.
+        if (!report.ok()) {
+            std::fprintf(stderr, "error: cannot replay %s: %s\n",
+                         trace_path.c_str(),
+                         report.error->message().c_str());
+            return 1;
+        }
+        if (segments <= 1)
             std::printf("\nsalvage replay: %s\n",
                         report.toString().c_str());
-        }
         core::SigilProfile lines = profiler.takeProfile();
         std::printf("replayed %llu events in 64B-line mode: line "
                     "re-use breakdown\n",

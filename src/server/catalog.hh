@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Budget-governed in-memory catalog of loaded profiles.
+ *
+ * The catalog decouples the expensive part of the paper's pipeline
+ * (replaying a trace through the full profiler stack) from the cheap
+ * part (answering queries over the resulting aggregate profile): each
+ * trace is replayed exactly once at load time — segment-parallel,
+ * salvage policy, so crash captures load too — and the immutable
+ * SigilProfile then serves any number of concurrent readers without
+ * locking beyond a catalog-map mutex.
+ *
+ * Resident profiles are charged to the process MemoryGovernor under
+ * MemCategory::ProfileCatalog. When a load pushes the governor over
+ * budget the catalog evicts least-recently-queried entries (never the
+ * one being loaded) until the budget fits again — the same
+ * shed-where-cheapest policy the shadow's chunk LRU applies, one
+ * level up.
+ */
+
+#ifndef SIGIL_SERVER_CATALOG_HH
+#define SIGIL_SERVER_CATALOG_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/profile.hh"
+#include "support/mem_governor.hh"
+#include "vg/trace_error.hh"
+
+namespace sigil::server {
+
+/** Outcome of one load request. */
+struct LoadStatus
+{
+    bool ok = false;
+    /** TraceError-derived message when the replay failed. */
+    std::string error;
+    /** One-line replay summary (events, salvage accounting). */
+    std::string summary;
+    /** Entries evicted to fit this load under the budget. */
+    std::size_t evicted = 0;
+};
+
+class ProfileCatalog
+{
+  public:
+    /**
+     * governor may be null (ungoverned catalog, never evicts).
+     * segments > 1 loads traces through the segment-parallel engine.
+     */
+    ProfileCatalog(std::shared_ptr<MemoryGovernor> governor,
+                   unsigned segments);
+    ~ProfileCatalog();
+
+    ProfileCatalog(const ProfileCatalog &) = delete;
+    ProfileCatalog &operator=(const ProfileCatalog &) = delete;
+
+    /**
+     * Replay the trace at path and store its profile under name.
+     * Replaces an existing entry of the same name. Thread-safe; the
+     * replay itself runs outside the catalog lock, so queries keep
+     * flowing while a load is in progress.
+     */
+    LoadStatus load(const std::string &name, const std::string &path);
+
+    /** Drop one entry; false when no such name. */
+    bool unload(const std::string &name);
+
+    /**
+     * Profile by name, bumping its LRU stamp; null when absent. The
+     * returned profile is immutable and outlives eviction (shared
+     * ownership), so an in-flight query never races an unload.
+     */
+    std::shared_ptr<const core::SigilProfile>
+    find(const std::string &name);
+
+    /** Loaded names, most recently used first. */
+    std::vector<std::string> names() const;
+
+    /** One line per entry: name, bytes, hits, replay summary. */
+    std::string statsText() const;
+
+    std::uint64_t evictions() const;
+    std::size_t size() const;
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        std::string path;
+        std::shared_ptr<const core::SigilProfile> profile;
+        std::string replaySummary;
+        std::uint64_t bytes = 0;
+        std::uint64_t lastUse = 0;
+        std::uint64_t hits = 0;
+    };
+
+    /** Evict LRU entries until the governor fits; keeps `keep`. */
+    std::size_t evictOverBudgetLocked(const std::string &keep);
+
+    std::shared_ptr<MemoryGovernor> governor_;
+    const unsigned segments_;
+
+    mutable std::mutex mu_;
+    std::vector<Entry> entries_;
+    std::uint64_t tick_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace sigil::server
+
+#endif // SIGIL_SERVER_CATALOG_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * C++ client of the profile-query daemon: one connection, blocking
+ * request→response calls over the shared frame codec. Used by the
+ * sigil-query CLI and by the server differential tests (which compare
+ * daemon responses byte-for-byte against in-process renderings).
+ */
+
+#ifndef SIGIL_SERVER_CLIENT_HH
+#define SIGIL_SERVER_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "server/protocol.hh"
+#include "support/socket.hh"
+
+namespace sigil::server {
+
+/** Outcome of one query round-trip. */
+struct QueryResult
+{
+    /** True when the server answered Op::RespText. */
+    bool ok = false;
+
+    /** Query text (ok) — empty otherwise. */
+    std::string text;
+
+    /** Structured server error code (RespError answers). */
+    ErrCode code = ErrCode::Internal;
+
+    /** Error message: server-provided, or a transport diagnosis. */
+    std::string error;
+};
+
+class QueryClient
+{
+  public:
+    QueryClient() = default;
+
+    /** Connect over the Unix-domain socket. */
+    static QueryClient connectUnix(const std::string &path,
+                                   int timeout_ms = 10000);
+
+    /** Connect over loopback TCP. */
+    static QueryClient connectTcp(const std::string &host,
+                                  std::uint16_t port,
+                                  int timeout_ms = 10000);
+
+    bool valid() const { return sock_.valid(); }
+
+    /** @name One call per protocol op */
+    /// @{
+    QueryResult ping();
+    QueryResult stats();
+    QueryResult list();
+    QueryResult profile(const std::string &name);
+    QueryResult function(const std::string &name,
+                         const std::string &fn_name);
+    QueryResult edges(const std::string &name);
+    QueryResult summary(const std::string &name);
+    QueryResult diff(const std::string &name_a,
+                     const std::string &name_b);
+    QueryResult partition(const std::string &name);
+    QueryResult load(const std::string &name, const std::string &path);
+    QueryResult unload(const std::string &name);
+    QueryResult shutdownServer();
+    /// @}
+
+    /**
+     * Raw round-trip with an arbitrary op byte and payload — the fuzz
+     * tests speak malformed dialects through this.
+     */
+    QueryResult request(std::uint8_t op, std::string_view payload);
+
+    /** Direct socket access (fuzz tests send hand-built bytes). */
+    net::Socket &socket() { return sock_; }
+
+  private:
+    explicit QueryClient(net::Socket sock) : sock_(std::move(sock)) {}
+
+    net::Socket sock_;
+};
+
+} // namespace sigil::server
+
+#endif // SIGIL_SERVER_CLIENT_HH

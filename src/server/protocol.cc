@@ -1,0 +1,20 @@
+#include "server/protocol.hh"
+
+namespace sigil::server {
+
+const char *
+errCodeName(ErrCode code)
+{
+    switch (code) {
+    case ErrCode::BadFrame: return "bad-frame";
+    case ErrCode::BadRequest: return "bad-request";
+    case ErrCode::UnknownOp: return "unknown-op";
+    case ErrCode::NotFound: return "not-found";
+    case ErrCode::LoadFailed: return "load-failed";
+    case ErrCode::ShuttingDown: return "shutting-down";
+    case ErrCode::Internal: return "internal";
+    }
+    return "?";
+}
+
+} // namespace sigil::server

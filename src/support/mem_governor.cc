@@ -18,6 +18,8 @@ memCategoryName(MemCategory cat)
         return "decode-windows";
     case MemCategory::EventBuffers:
         return "event-buffers";
+    case MemCategory::ProfileCatalog:
+        return "profile-catalog";
     case MemCategory::kCount:
         break;
     }

@@ -42,7 +42,8 @@ enum class MemCategory : unsigned {
     ShardQueues = 1,  ///< bounded SPSC rings feeding shard workers
     DecodeWindows = 2, ///< in-flight decoded frames in the decode pipeline
     EventBuffers = 3, ///< guest-side SoA event batches
-    kCount = 4,
+    ProfileCatalog = 4, ///< daemon-resident profiles (sigild catalog)
+    kCount = 5,
 };
 
 /** Human-readable category name ("shadow", "shard-queues", ...). */

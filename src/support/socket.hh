@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Minimal stream-socket layer for the profile-query daemon: RAII
+ * sockets with per-direction timeouts, Unix-domain and loopback TCP
+ * listeners with a self-pipe wakeup (so an accept loop can be unblocked
+ * deterministically during shutdown), and the length-prefixed CRC32C
+ * frame codec shared by server and client.
+ *
+ * Wire frame layout (all integers little-endian):
+ *
+ *     u32  len       count of the bytes that follow (op + payload + crc)
+ *     u8   op        operation / response code
+ *     ...  payload   len - 5 bytes, opaque to this layer
+ *     u32  crc       CRC32C over op byte + payload
+ *
+ * The reader enforces a caller-supplied frame-size cap before
+ * allocating, so a hostile length prefix cannot balloon memory, and it
+ * verifies the CRC before handing the payload up, so a corrupted or
+ * fuzzed frame surfaces as FrameStatus::BadCrc instead of as garbage
+ * reaching a request decoder. Timeouts are plain SO_RCVTIMEO /
+ * SO_SNDTIMEO: a slow or stalled peer turns into IoStatus::Timeout on
+ * the worker thread that owns the connection, never a wedged server.
+ */
+
+#ifndef SIGIL_SUPPORT_SOCKET_HH
+#define SIGIL_SUPPORT_SOCKET_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sigil::net {
+
+/** Outcome of a blocking full read or write. */
+enum class IoStatus {
+    Ok,      ///< every requested byte transferred
+    Eof,     ///< peer closed the stream mid-transfer (reads only)
+    Timeout, ///< SO_RCVTIMEO / SO_SNDTIMEO deadline expired
+    Error,   ///< any other socket error (errno-level)
+};
+
+/** Human-readable name of an IoStatus ("ok", "eof", ...). */
+const char *ioStatusName(IoStatus status);
+
+/** Move-only RAII wrapper of a connected stream-socket fd. */
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket() { closeNow(); }
+
+    Socket(Socket &&other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Socket &
+    operator=(Socket &&other) noexcept
+    {
+        if (this != &other) {
+            closeNow();
+            fd_ = other.fd_;
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /**
+     * Set receive/send deadlines in milliseconds (0 = block forever).
+     * Applies to every subsequent readFully/writeFully.
+     */
+    bool setTimeouts(int recv_ms, int send_ms);
+
+    /** Read exactly n bytes (EINTR-safe). */
+    IoStatus readFully(void *buf, std::size_t n);
+
+    /** Write exactly n bytes (EINTR-safe, SIGPIPE-proof). */
+    IoStatus writeFully(const void *buf, std::size_t n);
+
+    /** Close immediately; valid() turns false. Idempotent. */
+    void closeNow();
+
+  private:
+    int fd_ = -1;
+};
+
+/** Connect to a Unix-domain listener; invalid Socket on failure. */
+Socket connectUnix(const std::string &path);
+
+/** Connect to a TCP listener; invalid Socket on failure. */
+Socket connectTcp(const std::string &host, std::uint16_t port);
+
+/**
+ * Listening socket plus a self-pipe so wake() can unblock a pending
+ * accept() from another thread — the mechanism behind the daemon's
+ * graceful SIGTERM drain.
+ */
+class Listener
+{
+  public:
+    Listener() = default;
+    ~Listener();
+
+    Listener(Listener &&other) noexcept;
+    Listener &operator=(Listener &&other) noexcept;
+    Listener(const Listener &) = delete;
+    Listener &operator=(const Listener &) = delete;
+
+    /**
+     * Bind + listen on a Unix-domain path. An existing socket file at
+     * the path is unlinked first (stale from a killed daemon). On
+     * failure returns an invalid Listener and fills *err.
+     */
+    static Listener listenUnix(const std::string &path, std::string *err);
+
+    /**
+     * Bind + listen on loopback TCP. port 0 picks an ephemeral port;
+     * boundPort() reports the actual one.
+     */
+    static Listener listenTcp(std::uint16_t port, std::string *err);
+
+    bool valid() const { return fd_ >= 0; }
+
+    /** Actual bound TCP port (0 for Unix listeners). */
+    std::uint16_t boundPort() const { return port_; }
+
+    /**
+     * Block until a client connects, wake() is called, or an error
+     * occurs. Returns an invalid Socket for the latter two; after a
+     * wake() the listener stays usable (shutdown decides separately).
+     */
+    Socket accept();
+
+    /** Unblock a pending (or the next) accept(). Thread-safe. */
+    void wake();
+
+    /** Close the listening fd and unlink a Unix socket path. */
+    void closeNow();
+
+  private:
+    int fd_ = -1;
+    int wakeRead_ = -1;
+    int wakeWrite_ = -1;
+    std::uint16_t port_ = 0;
+    std::string unixPath_;
+};
+
+/** Outcome of reading one wire frame. */
+enum class FrameStatus {
+    Ok,        ///< frame decoded, CRC verified
+    Eof,       ///< clean EOF at a frame boundary
+    Timeout,   ///< read deadline expired
+    TooBig,    ///< length prefix exceeds the caller's cap
+    Malformed, ///< length prefix below the 5-byte minimum
+    BadCrc,    ///< CRC32C mismatch over op + payload
+    Error,     ///< transport error (EOF mid-frame, errno-level)
+};
+
+/** Human-readable name of a FrameStatus ("ok", "bad-crc", ...). */
+const char *frameStatusName(FrameStatus status);
+
+/** Encode and send one frame: len | op | payload | crc. */
+IoStatus sendFrame(Socket &sock, std::uint8_t op,
+                   std::string_view payload);
+
+/**
+ * Receive one frame. max_len caps the length prefix (op + payload +
+ * crc) before any allocation; an oversized or malformed prefix leaves
+ * the stream desynchronized, so callers should close the connection on
+ * anything but Ok.
+ */
+FrameStatus recvFrame(Socket &sock, std::uint8_t *op,
+                      std::string *payload, std::uint32_t max_len);
+
+} // namespace sigil::net
+
+#endif // SIGIL_SUPPORT_SOCKET_HH

@@ -1502,9 +1502,16 @@ BinaryTraceRecorder::writeFrame(std::uint8_t tag, std::string_view payload,
     // offsets always describe the bytes actually on the stream.
     if (tag == kTagEvents)
         seekIndex_.push_back({bytesWritten_, first_event, event_count});
+    // Publish the frame with a single stream write. Split header and
+    // payload writes open a window — one write(2) retired, the other
+    // not — where a crash leaves a valid frame header whose payload
+    // never reached the fd; salvage then (correctly) drops the frame,
+    // but any reader that trusts a validated header over-counts. One
+    // write narrows the torn-frame window to what the kernel itself
+    // can tear.
+    hdr.append(payload.data(), payload.size());
     os_.write(hdr.data(), static_cast<std::streamsize>(hdr.size()));
-    os_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-    bytesWritten_ += hdr.size() + payload.size();
+    bytesWritten_ += hdr.size();
 }
 
 void
@@ -3008,9 +3015,20 @@ scanSgb2Blocks(std::string_view trace)
         if (pos == std::string_view::npos)
             break;
         std::optional<FrameHeader> h = parseFrameAt(trace, pos, sgb3);
+        std::uint64_t frame_len = h->headerLen + h->payloadLen;
+        if (pos + frame_len > trace.size()) {
+            // Torn frame: the header is intact but the stored payload
+            // runs past the end of the buffer — a crash cut the file
+            // mid-frame. It is not fully framed (salvage replay skips
+            // it as "stream ends inside a block payload"), so it must
+            // not be reported as a valid block. Probe its interior for
+            // sync bytes, exactly like salvage resynchronization.
+            ++pos;
+            continue;
+        }
         Sgb2BlockInfo info;
         info.offset = pos;
-        info.length = h->headerLen + h->payloadLen;
+        info.length = frame_len;
         info.tag = h->tag;
         info.firstEventSeq = h->firstEventSeq;
         info.eventCount = h->eventCount;
